@@ -1,0 +1,1137 @@
+// Benchmark harness regenerating every table and figure of the paper
+// plus the quantitative experiments E1–E10 of DESIGN.md. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark prints its experiment summary once (the rows/series the
+// paper-shaped report needs) and reports scenario metrics via
+// b.ReportMetric, so the shapes are visible directly in the bench output.
+package myrtus
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"myrtus/internal/adt"
+	"myrtus/internal/cluster"
+	"myrtus/internal/continuum"
+	"myrtus/internal/dataflow"
+	"myrtus/internal/device"
+	"myrtus/internal/dpe"
+	"myrtus/internal/dse"
+	"myrtus/internal/fl"
+	"myrtus/internal/fpga"
+	"myrtus/internal/kb"
+	"myrtus/internal/mirto"
+	"myrtus/internal/mlir"
+	"myrtus/internal/network"
+	"myrtus/internal/security"
+	"myrtus/internal/sim"
+	"myrtus/internal/swarm"
+	"myrtus/internal/tosca"
+	"myrtus/internal/workload"
+)
+
+var printOnce sync.Map
+
+// printExperiment emits an experiment summary exactly once per process.
+func printExperiment(id, body string) {
+	if _, loaded := printOnce.LoadOrStore(id, true); !loaded {
+		fmt.Printf("\n===== %s =====\n%s\n", id, body)
+	}
+}
+
+func smallContinuum(b *testing.B) *continuum.Continuum {
+	b.Helper()
+	opts := continuum.DefaultOptions()
+	opts.KBReplicas = 1
+	c, err := continuum.Build(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+const benchApp = `
+tosca_definitions_version: tosca_2_0
+metadata:
+  template_name: bench-mobility
+topology_template:
+  node_templates:
+    camera:
+      type: myrtus.nodes.Container
+      properties: {cpu: 0.5, memoryMB: 128, gops: 0.4, outMB: 2.0, inMB: 4.0}
+    detector:
+      type: myrtus.nodes.AcceleratedKernel
+      properties: {cpu: 1, memoryMB: 512, kernel: conv2d, gops: 12, outMB: 0.2}
+      requirements:
+        - source: camera
+    aggregator:
+      type: myrtus.nodes.Container
+      properties: {cpu: 2, memoryMB: 2048, gops: 4, outMB: 0.05}
+      requirements:
+        - source: detector
+  policies:
+    - cam-edge:
+        type: myrtus.policies.Placement
+        targets: [camera]
+        properties: {layer: edge}
+    - det-medium:
+        type: myrtus.policies.Security
+        targets: [detector]
+        properties: {level: medium}
+`
+
+// ---------------------------------------------------------------------
+// T1 — Table I: EU-CEI building blocks, live probes.
+// ---------------------------------------------------------------------
+
+func BenchmarkTable1BuildingBlocks(b *testing.B) {
+	c := smallContinuum(b)
+	printExperiment("T1 Table I", c.RenderTableI())
+	blocks := continuum.BuildingBlocks()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, bb := range blocks {
+			if err := bb.Probe(c); err != nil {
+				b.Fatalf("probe %s: %v", bb.Name, err)
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// T2 — Table II: the three security suites, measured.
+// ---------------------------------------------------------------------
+
+func BenchmarkTable2Security(b *testing.B) {
+	var report bytes.Buffer
+	for _, info := range security.TableII() {
+		fmt.Fprintf(&report, "%-6s enc=%s auth=%s kex=%s hash=%s\n",
+			info.Level, info.Encryption, info.Authentication, info.KeyExchange, info.Hashing)
+	}
+	report.WriteString("shape check: High carries PQC-scale keys; Low uses lightweight ASCON primitives;\n" +
+		"per-op costs below (see sub-benchmark ns/op).")
+	printExperiment("T2 Table II", report.String())
+
+	payload := bytes.Repeat([]byte{0xCD}, 4096)
+	for _, level := range security.Levels() {
+		s, err := security.SuiteFor(level)
+		if err != nil {
+			b.Fatal(err)
+		}
+		key := bytes.Repeat([]byte{1}, s.KeySize())
+		nonce := bytes.Repeat([]byte{2}, s.NonceSize())
+		b.Run(string(level)+"/seal4k", func(b *testing.B) {
+			b.SetBytes(4096)
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Seal(key, nonce, nil, payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(string(level)+"/hash4k", func(b *testing.B) {
+			b.SetBytes(4096)
+			for i := 0; i < b.N; i++ {
+				s.Hash(payload)
+			}
+		})
+		b.Run(string(level)+"/verify", func(b *testing.B) {
+			signer, err := s.NewSigner(nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sig, err := signer.Sign(payload)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pub := signer.PublicKey()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !s.Verify(pub, payload, sig) {
+					b.Fatal("verify failed")
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// F2 — Fig. 2: continuum boot.
+// ---------------------------------------------------------------------
+
+func BenchmarkFig2ContinuumBoot(b *testing.B) {
+	c := smallContinuum(b)
+	printExperiment("F2 Fig. 2", c.RenderTopology())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := continuum.DefaultOptions()
+		opts.KBReplicas = 1
+		if _, err := continuum.Build(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// F3 — Fig. 3: MIRTO agent pipeline (plan + execute + teardown).
+// ---------------------------------------------------------------------
+
+func BenchmarkFig3AgentPipeline(b *testing.B) {
+	c := smallContinuum(b)
+	m := mirto.NewManager(c, mirto.LatencyGoal())
+	st, err := tosca.Parse(benchApp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := m.Plan(st)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var body bytes.Buffer
+	fmt.Fprintf(&body, "deployment-time orchestration of %q: score=%.4f negotiations=%d\n", plan.App, plan.Score, plan.Negotiations)
+	for _, a := range plan.Assignments {
+		fmt.Fprintf(&body, "  %-12s -> %-14s (%s)\n", a.TemplateNode, a.Device, a.Layer)
+	}
+	printExperiment("F3 Fig. 3", body.String())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := m.Plan(st)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Execute(p); err != nil {
+			b.Fatal(err)
+		}
+		m.Teardown(p)
+	}
+}
+
+// ---------------------------------------------------------------------
+// F4 — Fig. 4: DPE pipeline.
+// ---------------------------------------------------------------------
+
+func benchProject(b *testing.B) *dpe.Project {
+	b.Helper()
+	st, err := tosca.Parse(benchApp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := &mlir.Model{Name: "bench-cnn"}
+	model.Conv("c1", "", 64, 64, 3, 8, 3)
+	model.Relu("r1", "c1", 64*64*8)
+	model.Conv("c2", "r1", 32, 32, 8, 16, 3)
+	model.Relu("r2", "c2", 32*32*16)
+	model.Gemm("fc", "r2", 4096, 10)
+	return &dpe.Project{
+		Name: "bench", Template: st,
+		Threats: &adt.Tree{Name: "bench-threats", Root: &adt.Node{
+			Name: "compromise", Gate: adt.Or,
+			Children: []*adt.Node{
+				{Name: "mitm", Gate: adt.Leaf, Prob: 0.4, Cost: 2, Tags: []string{"network"}},
+				{Name: "inject", Gate: adt.Leaf, Prob: 0.3, Cost: 3, Tags: []string{"injection"}},
+			},
+		}},
+		DefenceBudget: 6,
+		Models:        map[string]*mlir.Model{"detector": model},
+		CGRAPEs:       4,
+	}
+}
+
+func BenchmarkFig4DPEPipeline(b *testing.B) {
+	res, err := dpe.Build(benchProject(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	printExperiment("F4 Fig. 4", res.Report)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dpe.Build(benchProject(b)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// E1 — orchestration quality: MIRTO vs first-fit vs random placement.
+// ---------------------------------------------------------------------
+
+// placeWith builds a plan using a naive strategy for baseline comparison.
+func placeWith(b *testing.B, c *continuum.Continuum, st *tosca.ServiceTemplate, strategy string, seed uint64) *mirto.Plan {
+	b.Helper()
+	rng := sim.NewRNG(seed)
+	plan := &mirto.Plan{App: st.Name, Template: st}
+	type cand struct {
+		dev   string
+		layer string
+		cl    *cluster.Cluster
+	}
+	reserved := map[string]cluster.Resources{}
+	for _, nodeName := range st.NodeNames() {
+		nt := st.Nodes[nodeName]
+		req := cluster.Resources{CPU: nt.PropFloat("cpu", 0.5), MemMB: nt.PropFloat("memoryMB", 128)}
+		sec := st.SecurityLevelFor(nodeName)
+		var cands []cand
+		for _, cl := range c.Layers() {
+			for _, n := range cl.Nodes() {
+				if !n.Ready || n.Virtual {
+					continue
+				}
+				d := c.Devices[n.Name]
+				if d == nil || d.Failed() || (sec != "" && !d.SupportsSecurity(sec)) {
+					continue
+				}
+				free, _ := cl.FreeOn(n.Name)
+				r := reserved[n.Name]
+				if !req.Fits(cluster.Resources{CPU: free.CPU - r.CPU, MemMB: free.MemMB - r.MemMB}) {
+					continue
+				}
+				layer := n.Labels["layer"]
+				cands = append(cands, cand{dev: n.Name, layer: layer, cl: cl})
+			}
+		}
+		if len(cands) == 0 {
+			b.Fatalf("baseline %s: no candidate for %s", strategy, nodeName)
+		}
+		pick := cands[0] // first-fit
+		if strategy == "random" {
+			pick = cands[rng.Intn(len(cands))]
+		}
+		reserved[pick.dev] = reserved[pick.dev].Add(req)
+		plan.Assignments = append(plan.Assignments, mirto.Assignment{
+			TemplateNode: nodeName, Device: pick.dev, Layer: pick.layer,
+			Cluster: pick.cl, SecurityLvl: sec,
+		})
+	}
+	return plan
+}
+
+// driveScenario deploys with the given plan maker and returns p95 latency
+// (ms) and mean request energy after n requests.
+func driveScenario(b *testing.B, mk func(c *continuum.Continuum, m *mirto.Manager, st *tosca.ServiceTemplate) *mirto.Plan, n int) (p95, meanEnergy float64) {
+	b.Helper()
+	c := smallContinuum(b)
+	m := mirto.NewManager(c, mirto.LatencyGoal())
+	o := mirto.NewOrchestrator(m)
+	st, err := tosca.Parse(benchApp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan := mk(c, m, st)
+	if err := m.Execute(plan); err != nil {
+		b.Fatal(err)
+	}
+	o.R.Register(plan)
+	totalE := 0.0
+	for i := 0; i < n; i++ {
+		_, e, err := o.R.ServeRequestFrom(st.Name, "edge-rv-0", 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		totalE += e
+		c.Engine.RunFor(50 * sim.Millisecond)
+	}
+	k, _ := o.R.KPIs(st.Name)
+	return k.LatencyMs.P95, totalE / float64(n)
+}
+
+func BenchmarkE1OrchestrationQuality(b *testing.B) {
+	const n = 20
+	mirtoP95, mirtoE := driveScenario(b, func(c *continuum.Continuum, m *mirto.Manager, st *tosca.ServiceTemplate) *mirto.Plan {
+		p, err := m.Plan(st)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return p
+	}, n)
+	ffP95, ffE := driveScenario(b, func(c *continuum.Continuum, m *mirto.Manager, st *tosca.ServiceTemplate) *mirto.Plan {
+		return placeWith(b, c, st, "first-fit", 1)
+	}, n)
+	rndP95, rndE := driveScenario(b, func(c *continuum.Continuum, m *mirto.Manager, st *tosca.ServiceTemplate) *mirto.Plan {
+		return placeWith(b, c, st, "random", 7)
+	}, n)
+	printExperiment("E1 orchestration quality", fmt.Sprintf(
+		"strategy    p95 latency   mean energy/request\n"+
+			"MIRTO       %8.1f ms   %8.2f J\n"+
+			"first-fit   %8.1f ms   %8.2f J\n"+
+			"random      %8.1f ms   %8.2f J\n"+
+			"shape: MIRTO <= baselines on latency at comparable or lower energy",
+		mirtoP95, mirtoE, ffP95, ffE, rndP95, rndE))
+	if mirtoP95 > ffP95 || mirtoP95 > rndP95 {
+		b.Fatalf("E1 shape violated: mirto=%v first-fit=%v random=%v", mirtoP95, ffP95, rndP95)
+	}
+	b.ReportMetric(mirtoP95, "mirto_p95_ms")
+	b.ReportMetric(ffP95, "firstfit_p95_ms")
+	b.ReportMetric(rndP95, "random_p95_ms")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		driveScenario(b, func(c *continuum.Continuum, m *mirto.Manager, st *tosca.ServiceTemplate) *mirto.Plan {
+			p, err := m.Plan(st)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return p
+		}, 5)
+	}
+}
+
+// ---------------------------------------------------------------------
+// E2 — MAPE-K adaptation after failure injection.
+// ---------------------------------------------------------------------
+
+func adaptationRun(b *testing.B, withLoop bool) (failed int64) {
+	b.Helper()
+	c := smallContinuum(b)
+	o := mirto.NewOrchestrator(mirto.NewManager(c, mirto.LatencyGoal()))
+	st, err := tosca.Parse(benchApp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := o.Deploy(st)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if withLoop {
+		if _, err := o.AttachLoop(st.Name, mirto.SLO{MaxFailureRate: 0.1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	const requests = 30
+	for i := 0; i < requests; i++ {
+		if i == 5 {
+			det, _ := plan.Assignment("detector")
+			c.FailDevice(det.Device) //nolint:errcheck
+		}
+		o.R.ServeRequestFrom(st.Name, "edge-rv-0", 4) //nolint:errcheck
+		if withLoop {
+			if loop, ok := o.Loop(st.Name); ok {
+				loop.Iterate()
+			}
+		}
+		c.Engine.RunFor(50 * sim.Millisecond)
+	}
+	k, _ := o.R.KPIs(st.Name)
+	return k.Failed
+}
+
+func BenchmarkE2Adaptation(b *testing.B) {
+	with := adaptationRun(b, true)
+	without := adaptationRun(b, false)
+	printExperiment("E2 MAPE-K adaptation", fmt.Sprintf(
+		"device failure at request 5 of 30:\n"+
+			"  with MAPE-K loop:    %d failed requests (loop replans)\n"+
+			"  without loop:        %d failed requests (outage persists)\n"+
+			"shape: loop bounds the outage to ~1 request", with, without))
+	if with >= without {
+		b.Fatalf("E2 shape violated: with=%d without=%d", with, without)
+	}
+	b.ReportMetric(float64(with), "failed_with_loop")
+	b.ReportMetric(float64(without), "failed_without_loop")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		adaptationRun(b, true)
+	}
+}
+
+// ---------------------------------------------------------------------
+// E3 — federated learning vs isolated local models.
+// ---------------------------------------------------------------------
+
+func BenchmarkE3FederatedLearning(b *testing.B) {
+	rng := sim.NewRNG(3)
+	world := func(n int, r *sim.RNG) *fl.Dataset {
+		return fl.SamplesToDataset(fl.SyntheticWorkload(r, n, 5, 10, 8, 3, 0.2))
+	}
+	clients := []fl.Client{
+		{Name: "rich-0", Data: world(400, rng.Fork("r0"))},
+		{Name: "rich-1", Data: world(400, rng.Fork("r1"))},
+		{Name: "sparse", Data: world(6, rng.Fork("s"))},
+	}
+	test := world(300, rng.Fork("t"))
+	local := fl.NewModel(3)
+	if err := local.TrainSGD(clients[2].Data, fl.DefaultSGDOptions()); err != nil {
+		b.Fatal(err)
+	}
+	global, err := fl.FedAvg(clients, 3, fl.DefaultFedAvgOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	lMSE, gMSE := local.MSE(test), global.MSE(test)
+	printExperiment("E3 federated learning", fmt.Sprintf(
+		"operating-point latency predictor, sparse-data device:\n"+
+			"  local-only MSE:  %.4f\n"+
+			"  federated  MSE:  %.4f\n"+
+			"shape: FedAvg <= local on sparse devices, no raw data shared", lMSE, gMSE))
+	if gMSE >= lMSE {
+		b.Fatalf("E3 shape violated: federated %v >= local %v", gMSE, lMSE)
+	}
+	b.ReportMetric(lMSE, "local_mse")
+	b.ReportMetric(gMSE, "fed_mse")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fl.FedAvg(clients, 3, fl.DefaultFedAvgOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// E4 — swarm placement vs centralized greedy at fog scale.
+// ---------------------------------------------------------------------
+
+func BenchmarkE4SwarmPlacement(b *testing.B) {
+	const nodes = 100
+	rng := sim.NewRNG(4)
+	var tasks []float64
+	for i := 0; i < 600; i++ {
+		tasks = append(tasks, 0.2+rng.Float64())
+	}
+	greedy := swarm.GreedyCentral(tasks, nodes, 10)
+	scenario := func() *swarm.Network {
+		net, err := swarm.NewRing(nodes, 2, 10, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		net.AssignRandom(tasks)
+		return net
+	}
+	rule, _, err := swarm.Evolve(scenario, swarm.DefaultEvolveOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	net := scenario()
+	st, err := net.Run(rule, 300)
+	if err != nil {
+		b.Fatal(err)
+	}
+	printExperiment("E4 swarm placement", fmt.Sprintf(
+		"%d fog nodes, %d workloads:\n"+
+			"  centralized greedy (global view):  max load %.3f, stddev %.4f\n"+
+			"  evolved swarm rule (local view):   max load %.3f, stddev %.4f, %d migrations, %d rounds\n"+
+			"  evolved rule: offload>%.2f hysteresis %.2f\n"+
+			"shape: decentralized swarm within a small factor of the global optimum",
+		nodes, len(tasks), greedy.MaxRelLoad, greedy.StdDev,
+		st.MaxRelLoad, st.StdDev, st.Migrations, st.Rounds,
+		rule.OffloadThreshold, rule.Hysteresis))
+	if st.MaxRelLoad > greedy.MaxRelLoad*1.8+0.05 {
+		b.Fatalf("E4 shape violated: swarm %v vs greedy %v", st.MaxRelLoad, greedy.MaxRelLoad)
+	}
+	b.ReportMetric(st.MaxRelLoad, "swarm_maxload")
+	b.ReportMetric(greedy.MaxRelLoad, "greedy_maxload")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net := scenario()
+		if _, err := net.Run(rule, 300); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// E5 — mapping DSE: heuristics vs exhaustive Pareto front.
+// ---------------------------------------------------------------------
+
+func BenchmarkE5DSE(b *testing.B) {
+	g := &dse.TaskGraph{
+		Name: "bench-pipeline",
+		Tasks: []dse.Task{
+			{Name: "capture", GOps: 1}, {Name: "detect", GOps: 20, Kernel: "conv2d"},
+			{Name: "track", GOps: 5}, {Name: "fuse", GOps: 3}, {Name: "report", GOps: 1},
+		},
+		Edges: []dse.Edge{
+			{Src: "capture", Dst: "detect", DataMB: 8},
+			{Src: "detect", Dst: "track", DataMB: 1},
+			{Src: "detect", Dst: "fuse", DataMB: 1},
+			{Src: "track", Dst: "report", DataMB: 0.1},
+			{Src: "fuse", Dst: "report", DataMB: 0.1},
+		},
+	}
+	p := &dse.Platform{
+		Name: "hetero-soc",
+		PEs: []dse.PE{
+			{Name: "big", GOPS: 10, PowerW: 4},
+			{Name: "little", GOPS: 3, PowerW: 1},
+			{Name: "fpga", GOPS: 5, PowerW: 2, Accel: map[string]float64{"conv2d": 10}},
+		},
+		BandwidthMBps: 1000, CommEnergyPerMB: 0.01,
+	}
+	exact, err := dse.ExploreExhaustive(g, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ga, err := dse.ExploreGA(g, p, dse.DefaultGAOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sa, err := dse.ExploreSA(g, p, dse.DefaultSAOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var body bytes.Buffer
+	space := 1
+	for range g.Tasks {
+		space *= len(p.PEs)
+	}
+	fmt.Fprintf(&body, "Pareto fronts (latency vs energy) for %d tasks on %d PEs (%d mappings):\n",
+		len(g.Tasks), len(p.PEs), space)
+	fmt.Fprintf(&body, "  exhaustive: %d points, best latency %v\n", len(exact), exact[0].Cost.Latency)
+	fmt.Fprintf(&body, "  GA:         %d points, best latency %v\n", len(ga), ga[0].Cost.Latency)
+	fmt.Fprintf(&body, "  SA:         %d points, best latency %v\n", len(sa), sa[0].Cost.Latency)
+	for _, pt := range dse.ExportOperatingPoints(g, exact) {
+		fmt.Fprintf(&body, "  operating point %-10s latency=%.2fms energy=%.2fJ\n", pt.Name, pt.LatencyMs, pt.EnergyJ)
+	}
+	body.WriteString("shape: heuristics reach the exhaustive front's best latency within 25%")
+	printExperiment("E5 mapping DSE", body.String())
+	if float64(ga[0].Cost.Latency) > 1.25*float64(exact[0].Cost.Latency) {
+		b.Fatalf("E5 shape violated: GA %v vs exact %v", ga[0].Cost.Latency, exact[0].Cost.Latency)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dse.ExploreGA(g, p, dse.DefaultGAOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// E6 — partial reconfiguration break-even.
+// ---------------------------------------------------------------------
+
+func BenchmarkE6Reconfiguration(b *testing.B) {
+	bs := device.StandardBitstreams()
+	var body bytes.Buffer
+	body.WriteString("reconfigure-to-accelerate vs stay-on-CPU break-even (conv2d, HMPSoC):\n")
+	conv := bs[0]
+	cpuPerItem := 0.01 / 6.0 // 0.01 GOps per item on the 6-GOPS host core
+	fpgaPerItem := conv.Points[0].LatencyPerItem.Seconds()
+	breakEven := conv.ReconfigTime.Seconds() / (cpuPerItem - fpgaPerItem)
+	sawCPUWin, sawFPGAWin := false, false
+	for _, batch := range []int64{1, 4, 16, 64, 256} {
+		fab := fpga.NewFabric("bench", 1, 8)
+		ready, err := fab.Load(0, conv, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		finish, _, err := fab.Execute(0, "conv2d", batch, ready)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fpgaTotal := finish.Seconds()
+		cpuTotal := cpuPerItem * float64(batch)
+		winner := "cpu"
+		if fpgaTotal < cpuTotal {
+			winner = "fpga+reconfig"
+			sawFPGAWin = true
+		} else {
+			sawCPUWin = true
+		}
+		fmt.Fprintf(&body, "  batch %4d: cpu %8.2f ms, reconfig+fpga %8.2f ms -> %s\n",
+			batch, cpuTotal*1e3, fpgaTotal*1e3, winner)
+	}
+	fmt.Fprintf(&body, "analytic break-even ≈ %.1f items; shape: CPU wins below the crossover, FPGA beyond it", breakEven)
+	printExperiment("E6 reconfiguration", body.String())
+	if !sawCPUWin || !sawFPGAWin {
+		b.Fatalf("E6 shape violated: no crossover (cpuWin=%v fpgaWin=%v)", sawCPUWin, sawFPGAWin)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fab := fpga.NewFabric("bench", 1, 8)
+		ready, _ := fab.Load(0, conv, 0)
+		fab.Execute(0, "conv2d", 64, ready) //nolint:errcheck
+	}
+}
+
+// ---------------------------------------------------------------------
+// E7 — Knowledge Base (Raft) throughput vs replication.
+// ---------------------------------------------------------------------
+
+func BenchmarkE7KnowledgeBase(b *testing.B) {
+	var body bytes.Buffer
+	body.WriteString("replicated KB write cost (virtual cluster, real consensus work):\n")
+	for _, n := range []int{1, 3, 5} {
+		c := kb.NewCluster(n, 1)
+		writes := 50
+		for i := 0; i < writes; i++ {
+			if rev := c.Put(fmt.Sprintf("/bench/%d", i), []byte("v")); rev <= 0 {
+				b.Fatal("write failed")
+			}
+		}
+		delivered, _ := c.Stats()
+		fmt.Fprintf(&body, "  %d replicas: %4d consensus messages for %d writes (%.1f msg/write)\n",
+			n, delivered, writes, float64(delivered)/float64(writes))
+	}
+	body.WriteString("shape: message cost grows with replica count; all writes linearizable")
+	printExperiment("E7 knowledge base", body.String())
+	for _, n := range []int{1, 3, 5} {
+		b.Run(fmt.Sprintf("replicas-%d", n), func(b *testing.B) {
+			c := kb.NewCluster(n, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if rev := c.Put(fmt.Sprintf("/bench/%d", i), []byte("v")); rev <= 0 {
+					b.Fatal("write failed")
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// E8 — network slicing bounds latency under congestion.
+// ---------------------------------------------------------------------
+
+func BenchmarkE8NetworkSlicing(b *testing.B) {
+	run := func(withSlice bool) sim.Time {
+		eng := sim.NewEngine(1)
+		topo := network.NewTopology(1)
+		if err := topo.AddLink("edge", "gw", sim.Millisecond, 10e6, 0); err != nil {
+			b.Fatal(err)
+		}
+		if withSlice {
+			if err := topo.DefineSlice("critical", 0.5, "edge->gw"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		f := network.NewFabric(eng, topo)
+		for i := 0; i < 30; i++ {
+			f.Send("edge", "gw", 1_000_000, network.Options{}, nil) //nolint:errcheck
+		}
+		var done sim.Time
+		slice := ""
+		if withSlice {
+			slice = "critical"
+		}
+		f.Send("edge", "gw", 500_000, network.Options{Slice: slice}, func(error) { done = eng.Now() }) //nolint:errcheck
+		eng.Run()
+		return done
+	}
+	without := run(false)
+	with := run(true)
+	printExperiment("E8 network slicing", fmt.Sprintf(
+		"critical 0.5MB message behind 30MB of best-effort congestion (10MB/s link):\n"+
+			"  without slice: %v\n"+
+			"  with 40%%-reserved slice: %v\n"+
+			"shape: the slice bounds latency regardless of best-effort load", without, with))
+	if with >= without {
+		b.Fatalf("E8 shape violated: %v >= %v", with, without)
+	}
+	b.ReportMetric(with.Seconds()*1e3, "sliced_ms")
+	b.ReportMetric(without.Seconds()*1e3, "besteffort_ms")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run(true)
+	}
+}
+
+// ---------------------------------------------------------------------
+// E9 — compiler pipeline: fusion effect on the synthesized design.
+// ---------------------------------------------------------------------
+
+func BenchmarkE9CompilerPipeline(b *testing.B) {
+	build := func(withFusion bool) (*mlir.HLSResult, int) {
+		model := &mlir.Model{Name: "e9-cnn"}
+		model.Conv("c1", "", 64, 64, 3, 8, 3)
+		model.Relu("r1", "c1", 64*64*8)
+		model.MaxPool("p1", "r1", 64*64*8)
+		model.Conv("c2", "p1", 32, 32, 8, 16, 3)
+		model.Relu("r2", "c2", 32*32*16)
+		model.Gemm("fc", "r2", 4096, 10)
+		mod := mlir.NewModule("e9")
+		if _, err := mlir.Import(model, mod); err != nil {
+			b.Fatal(err)
+		}
+		pm := &mlir.PassManager{}
+		fuse := mlir.NewFuseDFGPass()
+		if withFusion {
+			pm.AddPass(fuse)
+		}
+		pm.AddPass(mlir.NewDCEPass())
+		if err := pm.Run(mod); err != nil {
+			b.Fatal(err)
+		}
+		res, err := mlir.EstimateHLS(mod, mlir.DefaultHLSOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res, fuse.Fused
+	}
+	plain, _ := build(false)
+	fused, nFused := build(true)
+	printExperiment("E9 compiler pipeline", fmt.Sprintf(
+		"dfg fusion ablation on a 6-layer CNN:\n"+
+			"  unfused: %d actors, bottleneck %s\n"+
+			"  fused:   %d actors (%d kernels merged)\n"+
+			"shape: fusion shrinks the datapath without losing schedulability",
+		len(plain.Graph.Actors()), mustAnalyze(b, plain).Bottleneck,
+		len(fused.Graph.Actors()), nFused))
+	if len(fused.Graph.Actors()) >= len(plain.Graph.Actors()) {
+		b.Fatalf("E9 shape violated: %d >= %d actors", len(fused.Graph.Actors()), len(plain.Graph.Actors()))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		build(true)
+	}
+}
+
+func mustAnalyze(b *testing.B, r *mlir.HLSResult) dataflowAnalysis {
+	b.Helper()
+	a, err := r.Graph.Analyze()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return dataflowAnalysis{Bottleneck: a.Bottleneck}
+}
+
+type dataflowAnalysis struct{ Bottleneck string }
+
+// ---------------------------------------------------------------------
+// E10 — threat analysis and countermeasure synthesis.
+// ---------------------------------------------------------------------
+
+func e10Tree() *adt.Tree {
+	return &adt.Tree{
+		Name: "compromise-continuum",
+		Root: &adt.Node{
+			Name: "compromise", Gate: adt.Or,
+			Children: []*adt.Node{
+				{Name: "network-path", Gate: adt.And, Children: []*adt.Node{
+					{Name: "intercept", Gate: adt.Leaf, Prob: 0.5, Cost: 4, Tags: []string{"network"}},
+					{Name: "spoof", Gate: adt.Leaf, Prob: 0.4, Cost: 3, Tags: []string{"spoofing"}},
+				}},
+				{Name: "firmware-exploit", Gate: adt.Leaf, Prob: 0.2, Cost: 10, Tags: []string{"firmware"}},
+				{Name: "input-injection", Gate: adt.Leaf, Prob: 0.35, Cost: 2, Tags: []string{"injection"}},
+			},
+		},
+	}
+}
+
+func BenchmarkE10ThreatAnalysis(b *testing.B) {
+	tree := e10Tree()
+	before := tree.SuccessProbability()
+	syn := tree.Synthesize(adt.StandardLibrary(), 10)
+	var body bytes.Buffer
+	fmt.Fprintf(&body, "attack success probability: %.3f -> %.3f (budget %.1f/10)\n", syn.Before, syn.After, syn.SpentBudget)
+	for _, a := range syn.Applied {
+		fmt.Fprintf(&body, "  applied %-20s on %-18s risk -%.4f\n", a.Countermeasure, a.Leaf, a.RiskReduction)
+	}
+	fmt.Fprintf(&body, "minimal cut sets: %v\n", tree.MinimalCutSets())
+	body.WriteString("shape: synthesized countermeasures cut attack probability by >5x within budget")
+	printExperiment("E10 threat analysis", body.String())
+	if syn.After > before/5 {
+		b.Fatalf("E10 shape violated: %v -> %v", before, syn.After)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := e10Tree()
+		t.Synthesize(adt.StandardLibrary(), 10)
+	}
+}
+
+// ---------------------------------------------------------------------
+// A1 — ablation: MIRTO goal weights (latency vs energy vs balanced).
+// ---------------------------------------------------------------------
+
+func goalRun(b *testing.B, goal mirto.Goal) (p95, energy float64) {
+	b.Helper()
+	c := smallContinuum(b)
+	o := mirto.NewOrchestrator(mirto.NewManager(c, goal))
+	st, err := tosca.Parse(benchApp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := o.Deploy(st); err != nil {
+		b.Fatal(err)
+	}
+	total := 0.0
+	const n = 15
+	for i := 0; i < n; i++ {
+		_, e, err := o.R.ServeRequestFrom(st.Name, "edge-rv-0", 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += e
+		c.Engine.RunFor(50 * sim.Millisecond)
+	}
+	k, _ := o.R.KPIs(st.Name)
+	return k.LatencyMs.P95, total / n
+}
+
+func BenchmarkA1GoalAblation(b *testing.B) {
+	latP95, latE := goalRun(b, mirto.LatencyGoal())
+	ecoP95, ecoE := goalRun(b, mirto.EnergyGoal())
+	balP95, balE := goalRun(b, mirto.BalancedGoal())
+	printExperiment("A1 goal ablation", fmt.Sprintf(
+		"goal       p95 latency   mean energy/request\n"+
+			"latency    %8.1f ms   %8.2f J\n"+
+			"balanced   %8.1f ms   %8.2f J\n"+
+			"energy     %8.1f ms   %8.2f J\n"+
+			"shape: the energy goal spends less energy than the latency goal",
+		latP95, latE, balP95, balE, ecoP95, ecoE))
+	if ecoE >= latE {
+		b.Fatalf("A1 shape violated: eco energy %v >= latency-goal energy %v", ecoE, latE)
+	}
+	b.ReportMetric(latE, "latgoal_J")
+	b.ReportMetric(ecoE, "ecogoal_J")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		goalRun(b, mirto.BalancedGoal())
+	}
+}
+
+// ---------------------------------------------------------------------
+// A2 — ablation: RL network manager vs static policies.
+// ---------------------------------------------------------------------
+
+func rlEpisode(b *testing.B, seed uint64, congested bool, action string) float64 {
+	b.Helper()
+	eng := sim.NewEngine(seed)
+	topo := network.NewTopology(seed)
+	if err := topo.AddLink("a", "b", sim.Millisecond, 10e6, 0); err != nil {
+		b.Fatal(err)
+	}
+	if err := topo.DefineSlice("critical", 0.4, "a->b"); err != nil {
+		b.Fatal(err)
+	}
+	f := network.NewFabric(eng, topo)
+	if congested {
+		for i := 0; i < 20; i++ {
+			f.Send("a", "b", 1_000_000, network.Options{}, nil) //nolint:errcheck
+		}
+	}
+	slice := ""
+	if action == mirto.ActionSlice {
+		slice = "critical"
+	}
+	var lat sim.Time
+	f.Send("a", "b", 500_000, network.Options{Slice: slice}, func(error) { lat = eng.Now() }) //nolint:errcheck
+	eng.Run()
+	// The slice's opportunity cost: reserved bandwidth unavailable to
+	// best-effort traffic (mirrors NetworkManager.SliceCost).
+	cost := lat.Seconds()
+	if action == mirto.ActionSlice {
+		cost += 0.05
+	}
+	return cost
+}
+
+func BenchmarkA2RLNetworkManager(b *testing.B) {
+	nm := mirto.NewNetworkManager(1)
+	// Train on alternating congestion regimes.
+	for ep := 0; ep < 300; ep++ {
+		congested := ep%2 == 0
+		state := mirto.CongestionState(map[bool]float64{true: 2.0, false: 0.0}[congested])
+		action := nm.Choose(state)
+		lat := rlEpisode(b, uint64(ep), congested, action)
+		if action == mirto.ActionSlice {
+			lat -= 0.05 // Observe re-adds the cost
+		}
+		nm.Observe(state, action, lat)
+	}
+	evalPolicy := func(policy func(congested bool) string) float64 {
+		total := 0.0
+		for ep := 0; ep < 40; ep++ {
+			congested := ep%2 == 0
+			total += rlEpisode(b, uint64(1000+ep), congested, policy(congested))
+		}
+		return total / 40
+	}
+	learned := evalPolicy(func(c bool) string {
+		return nm.Best(mirto.CongestionState(map[bool]float64{true: 2.0, false: 0.0}[c]))
+	})
+	alwaysBE := evalPolicy(func(bool) string { return mirto.ActionBestEffort })
+	alwaysSlice := evalPolicy(func(bool) string { return mirto.ActionSlice })
+	printExperiment("A2 RL network manager", fmt.Sprintf(
+		"mean cost (latency + reservation) per request, mixed congestion:\n"+
+			"  learned Q-policy:    %.4f s\n"+
+			"  always best-effort:  %.4f s\n"+
+			"  always slice:        %.4f s\n"+
+			"shape: the learned policy beats both static policies", learned, alwaysBE, alwaysSlice))
+	if learned >= alwaysBE || learned >= alwaysSlice {
+		b.Fatalf("A2 shape violated: learned=%v BE=%v slice=%v", learned, alwaysBE, alwaysSlice)
+	}
+	b.ReportMetric(learned, "learned_cost_s")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rlEpisode(b, uint64(i), i%2 == 0, nm.Best("congested"))
+	}
+}
+
+// ---------------------------------------------------------------------
+// A3 — ablation: MDC multi-dataflow composition area saving.
+// ---------------------------------------------------------------------
+
+func BenchmarkA3MDCComposition(b *testing.B) {
+	mk := func(name, kernel string, area int) *dataflow.Graph {
+		g := dataflow.NewGraph(name)
+		for _, a := range []dataflow.Actor{
+			{Name: "src", Kind: "src", Latency: 100 * sim.Microsecond, AreaUnits: 4},
+			{Name: "pre", Kind: "kernel", Latency: 200 * sim.Microsecond, AreaUnits: 6},
+			{Name: kernel, Kind: "kernel", Latency: 500 * sim.Microsecond, AreaUnits: area},
+			{Name: "sink", Kind: "sink", Latency: 100 * sim.Microsecond, AreaUnits: 4},
+		} {
+			if err := g.AddActor(a); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, e := range []dataflow.Edge{
+			{Src: "src", Dst: "pre", Produce: 1, Consume: 1},
+			{Src: "pre", Dst: kernel, Produce: 1, Consume: 1},
+			{Src: kernel, Dst: "sink", Produce: 1, Consume: 1},
+		} {
+			if err := g.AddEdge(e); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return g
+	}
+	g1 := mk("app-fir", "fir", 8)
+	g2 := mk("app-fft", "fft", 10)
+	g3 := mk("app-iir", "iir", 7)
+	comp, err := dataflow.Compose(g1, g2, g3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sep, merged, saving := comp.AreaSaving(g1, g2, g3)
+	printExperiment("A3 MDC composition", fmt.Sprintf(
+		"three DSP apps sharing src/pre/sink on one reconfigurable datapath:\n"+
+			"  separate area: %d units, merged: %d units -> %.0f%% saved\n"+
+			"  shared actors: %v\n"+
+			"shape: composition saves substantial area while every configuration stays schedulable",
+		sep, merged, saving*100, comp.SharedActors))
+	if saving < 0.25 {
+		b.Fatalf("A3 shape violated: saving %.2f < 0.25", saving)
+	}
+	for _, name := range []string{"app-fir", "app-fft", "app-iir"} {
+		cg, err := comp.ConfigGraph(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cg.Analyze(); err != nil {
+			b.Fatalf("config %s unschedulable: %v", name, err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dataflow.Compose(g1, g2, g3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// A4 — open-loop load sensitivity: p95 vs offered Poisson load.
+// ---------------------------------------------------------------------
+
+func openLoopP95(b *testing.B, ratePerSec float64) float64 {
+	b.Helper()
+	c := smallContinuum(b)
+	o := mirto.NewOrchestrator(mirto.NewManager(c, mirto.LatencyGoal()))
+	st, err := tosca.Parse(benchApp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := o.Deploy(st); err != nil {
+		b.Fatal(err)
+	}
+	const n = 30
+	if _, err := workload.Schedule(c.Engine, sim.NewRNG(5), workload.Poisson{RatePerSec: ratePerSec}, n, func(int) {
+		o.R.Submit(st.Name, 4, nil) //nolint:errcheck
+	}); err != nil {
+		b.Fatal(err)
+	}
+	c.Engine.Run()
+	k, _ := o.R.KPIs(st.Name)
+	if k.Requests != n {
+		b.Fatalf("completed %d of %d", k.Requests, n)
+	}
+	return k.LatencyMs.P95
+}
+
+func BenchmarkA4OpenLoopLoad(b *testing.B) {
+	var body bytes.Buffer
+	body.WriteString("p95 latency vs offered Poisson load (30 requests, same pipeline):\n")
+	rates := []float64{0.5, 2, 10, 50}
+	var p95s []float64
+	for _, r := range rates {
+		p95 := openLoopP95(b, r)
+		p95s = append(p95s, p95)
+		fmt.Fprintf(&body, "  %6.1f req/s -> p95 %10.1f ms\n", r, p95)
+	}
+	body.WriteString("shape: p95 grows monotonically once arrivals outpace pipeline capacity")
+	printExperiment("A4 open-loop load", body.String())
+	if p95s[len(p95s)-1] <= p95s[0] {
+		b.Fatalf("A4 shape violated: %v", p95s)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		openLoopP95(b, 10)
+	}
+}
+
+// ---------------------------------------------------------------------
+// A5 — orchestrator scalability: plan time vs continuum size.
+// ---------------------------------------------------------------------
+
+func BenchmarkA5Scale(b *testing.B) {
+	sizes := []int{6, 30, 90}
+	var body bytes.Buffer
+	body.WriteString("deployment-time orchestration vs continuum size (same template):\n")
+	st, err := tosca.Parse(benchApp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, edge := range sizes {
+		opts := continuum.DefaultOptions()
+		opts.KBReplicas = 1
+		opts.Multicores = edge / 3
+		opts.HMPSoCs = edge / 3
+		opts.RISCVs = edge / 3
+		opts.FMDCServers = 2 + edge/10
+		c, err := continuum.Build(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := mirto.NewManager(c, mirto.LatencyGoal())
+		start := nowNs()
+		const plans = 20
+		for i := 0; i < plans; i++ {
+			if _, err := m.Plan(st); err != nil {
+				b.Fatal(err)
+			}
+		}
+		perPlan := float64(nowNs()-start) / plans / 1e3
+		fmt.Fprintf(&body, "  %3d edge devices (%d total): %8.1f µs/plan\n",
+			edge, len(c.Devices), perPlan)
+	}
+	body.WriteString("shape: planning stays sub-millisecond into hundreds of devices (linear in candidates)")
+	printExperiment("A5 scalability", body.String())
+
+	for _, edge := range sizes {
+		b.Run(fmt.Sprintf("edge-%d", edge), func(b *testing.B) {
+			opts := continuum.DefaultOptions()
+			opts.KBReplicas = 1
+			opts.Multicores = edge / 3
+			opts.HMPSoCs = edge / 3
+			opts.RISCVs = edge / 3
+			opts.FMDCServers = 2 + edge/10
+			c, err := continuum.Build(opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m := mirto.NewManager(c, mirto.LatencyGoal())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Plan(st); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func nowNs() int64 { return timeNowNano() }
+
+// timeNowNano isolates the wall-clock dependency of A5's summary line.
+func timeNowNano() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,134 @@
+// Command continuum-sim boots a full simulated MYRTUS continuum, deploys
+// the built-in smart-mobility pipeline through the MIRTO Cognitive
+// Engine, drives a request load against it, and prints the resulting
+// topology, placement, and KPIs.
+//
+// Usage:
+//
+//	continuum-sim [-seed N] [-requests N] [-goal latency|energy|balanced]
+//	              [-fail device] [-serve addr]
+//
+// With -serve, the MIRTO agent REST API is exposed on addr (tokens:
+// admin-token / viewer-token) instead of running the batch scenario.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"myrtus"
+	"myrtus/internal/mirto"
+	"myrtus/internal/sim"
+)
+
+const mobilityApp = `
+tosca_definitions_version: tosca_2_0
+metadata:
+  template_name: smart-mobility
+topology_template:
+  node_templates:
+    camera:
+      type: myrtus.nodes.Container
+      properties: {cpu: 0.5, memoryMB: 128, gops: 0.4, outMB: 2.0, inMB: 4.0}
+    detector:
+      type: myrtus.nodes.AcceleratedKernel
+      properties: {cpu: 1, memoryMB: 512, kernel: conv2d, gops: 12, outMB: 0.2}
+      requirements:
+        - source: camera
+    aggregator:
+      type: myrtus.nodes.Container
+      properties: {cpu: 2, memoryMB: 2048, gops: 4, outMB: 0.05}
+      requirements:
+        - source: detector
+  policies:
+    - cam-edge:
+        type: myrtus.policies.Placement
+        targets: [camera]
+        properties: {layer: edge}
+    - det-medium:
+        type: myrtus.policies.Security
+        targets: [detector]
+        properties: {level: medium}
+`
+
+func main() {
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	requests := flag.Int("requests", 50, "requests to drive through the pipeline")
+	goal := flag.String("goal", "latency", "orchestration goal: latency, energy, balanced")
+	failDev := flag.String("fail", "", "fail this device mid-run to exercise the MAPE-K loop")
+	serve := flag.String("serve", "", "serve the MIRTO agent REST API on this address instead")
+	flag.Parse()
+
+	opts := myrtus.DefaultOptions()
+	opts.Infrastructure.Seed = *seed
+	switch *goal {
+	case "latency":
+		opts.Goal = myrtus.LatencyGoal()
+	case "energy":
+		opts.Goal = myrtus.EnergyGoal()
+	case "balanced":
+		opts.Goal = myrtus.BalancedGoal()
+	default:
+		log.Fatalf("unknown goal %q", *goal)
+	}
+	sys, err := myrtus.New(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *serve != "" {
+		handler := sys.Handler(map[string]mirto.Role{
+			"admin-token":  mirto.RoleAdmin,
+			"viewer-token": mirto.RoleViewer,
+		})
+		fmt.Printf("MIRTO agent listening on %s (tokens: admin-token, viewer-token)\n", *serve)
+		log.Fatal(http.ListenAndServe(*serve, handler))
+	}
+
+	fmt.Println(sys.Continuum.RenderTopology())
+
+	plan, err := sys.DeployYAML(mobilityApp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deployed %q (score %.4f, %d negotiations):\n", plan.App, plan.Score, plan.Negotiations)
+	for _, a := range plan.Assignments {
+		fmt.Printf("  %-12s -> %-14s (%s layer, security=%q)\n", a.TemplateNode, a.Device, a.Layer, a.SecurityLvl)
+	}
+	if err := sys.AttachSLO(plan.App, mirto.SLO{MaxFailureRate: 0.1}); err != nil {
+		log.Fatal(err)
+	}
+
+	half := *requests / 2
+	for i := 0; i < *requests; i++ {
+		if *failDev != "" && i == half {
+			fmt.Printf("\n!! failing device %s at request %d\n", *failDev, i)
+			if err := sys.Continuum.FailDevice(*failDev); err != nil {
+				log.Fatal(err)
+			}
+		}
+		_, _, err := sys.ServeRequest(plan.App, "edge-hmp-0", 4)
+		if err != nil {
+			fmt.Printf("request %d failed: %v\n", i, err)
+		}
+		sys.IterateLoops()
+		sys.Continuum.Engine.RunFor(100 * sim.Millisecond)
+	}
+
+	k, _ := sys.KPIs(plan.App)
+	fmt.Printf("\nKPIs for %s after %d requests:\n", plan.App, *requests)
+	fmt.Printf("  ok=%d failed=%d\n", k.Requests, k.Failed)
+	fmt.Printf("  latency p50=%.2fms p95=%.2fms max=%.2fms\n", k.LatencyMs.P50, k.LatencyMs.P95, k.LatencyMs.Max)
+	fmt.Printf("  pipeline energy=%.2f J, total continuum energy=%.1f J\n", k.EnergyJoules, sys.Continuum.TotalEnergy())
+	np, _ := sys.Orchestrator.PlanFor(plan.App)
+	fmt.Println("\nfinal placement:")
+	for _, a := range np.Assignments {
+		fmt.Printf("  %-12s -> %s\n", a.TemplateNode, a.Device)
+	}
+	if k.Failed > int64(*requests)/2 {
+		os.Exit(1)
+	}
+}

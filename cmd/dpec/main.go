@@ -1,0 +1,96 @@
+// Command dpec is the MYRTUS DPE compiler driver: it takes a TOSCA
+// service template, runs the three-step DPE flow (validation + threat
+// analysis, model import, node-level optimization), and writes the
+// deployment specification CSAR that MIRTO consumes.
+//
+// Usage:
+//
+//	dpec -template app.yaml [-out app.csar] [-threats] [-cgra N]
+//
+// Accelerated-kernel nodes in the template get a demo CNN model imported
+// and synthesized (standing in for the designer's ONNX export).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"myrtus/internal/adt"
+	"myrtus/internal/dpe"
+	"myrtus/internal/dse"
+	"myrtus/internal/mlir"
+	"myrtus/internal/tosca"
+)
+
+func main() {
+	templatePath := flag.String("template", "", "TOSCA service template (YAML)")
+	out := flag.String("out", "app.csar", "output CSAR path")
+	withThreats := flag.Bool("threats", false, "include a demo threat model and synthesize countermeasures")
+	cgra := flag.Int("cgra", 4, "CGRA PEs for lowering (0 disables)")
+	flag.Parse()
+	if *templatePath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*templatePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := tosca.Parse(string(src))
+	if err != nil {
+		log.Fatal(err)
+	}
+	proj := &dpe.Project{
+		Name:     st.Name,
+		Template: st,
+		Models:   map[string]*mlir.Model{},
+		CGRAPEs:  *cgra,
+		Platform: &dse.Platform{
+			Name: "generic-edge",
+			PEs: []dse.PE{
+				{Name: "cpu0", GOPS: 8, PowerW: 4},
+				{Name: "cpu1", GOPS: 8, PowerW: 4},
+				{Name: "fpga", GOPS: 4, PowerW: 2, Accel: map[string]float64{"conv2d": 10, "fft": 8, "pose-estimation": 10}},
+			},
+			BandwidthMBps: 500, CommEnergyPerMB: 0.02,
+		},
+	}
+	for name, nt := range st.Nodes {
+		if nt.Type != tosca.TypeAcceleratedKernel {
+			continue
+		}
+		m := &mlir.Model{Name: name + "-model"}
+		m.Conv("c1", "", 64, 64, 3, 8, 3)
+		m.Relu("r1", "c1", 64*64*8)
+		m.Conv("c2", "r1", 32, 32, 8, 16, 3)
+		m.Relu("r2", "c2", 32*32*16)
+		m.Gemm("fc", "r2", 4096, 16)
+		proj.Models[name] = m
+	}
+	if *withThreats {
+		proj.Threats = &adt.Tree{Name: st.Name + "-threats", Root: &adt.Node{
+			Name: "compromise", Gate: adt.Or,
+			Children: []*adt.Node{
+				{Name: "intercept-stream", Gate: adt.Leaf, Prob: 0.4, Cost: 3, Tags: []string{"network"}},
+				{Name: "tamper-firmware", Gate: adt.Leaf, Prob: 0.2, Cost: 8, Tags: []string{"firmware"}},
+				{Name: "inject-input", Gate: adt.Leaf, Prob: 0.3, Cost: 2, Tags: []string{"injection"}},
+			},
+		}}
+		proj.DefenceBudget = 8
+	}
+	res, err := dpe.Build(proj)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Report)
+	data, err := res.CSAR.Bytes()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d bytes, %d files)\n", *out, len(data), len(res.CSAR.Files))
+}

@@ -1,0 +1,123 @@
+// Command mirtoctl is the CLI client for the MIRTO agent REST API.
+//
+// Usage:
+//
+//	mirtoctl -addr http://host:port -token TOKEN COMMAND [args]
+//
+// Commands:
+//
+//	deploy FILE     deploy a TOSCA YAML template or .csar package
+//	list            list deployments
+//	get APP         show one deployment
+//	delete APP      undeploy an application
+//	kpis APP        show an application's KPIs
+//	registry        dump the Resource Registry snapshot
+//	health          agent health
+//
+// Pair it with `continuum-sim -serve :8080`.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "MIRTO agent base URL")
+	token := flag.String("token", "admin-token", "bearer token")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cli := &client{base: strings.TrimRight(*addr, "/"), token: *token}
+	var err error
+	switch args[0] {
+	case "deploy":
+		if len(args) != 2 {
+			log.Fatal("usage: mirtoctl deploy FILE")
+		}
+		err = cli.deploy(args[1])
+	case "list":
+		err = cli.get("/v1/deployments")
+	case "get":
+		if len(args) != 2 {
+			log.Fatal("usage: mirtoctl get APP")
+		}
+		err = cli.get("/v1/deployments/" + args[1])
+	case "delete":
+		if len(args) != 2 {
+			log.Fatal("usage: mirtoctl delete APP")
+		}
+		err = cli.do("DELETE", "/v1/deployments/"+args[1], "", nil)
+	case "kpis":
+		if len(args) != 2 {
+			log.Fatal("usage: mirtoctl kpis APP")
+		}
+		err = cli.get("/v1/kpis/" + args[1])
+	case "registry":
+		err = cli.get("/v1/registry")
+	case "health":
+		err = cli.get("/v1/healthz")
+	default:
+		log.Fatalf("unknown command %q", args[0])
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+type client struct {
+	base, token string
+}
+
+func (c *client) deploy(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	ct := "application/x-yaml"
+	if strings.HasSuffix(path, ".csar") || strings.HasSuffix(path, ".zip") {
+		ct = "application/zip"
+	}
+	return c.do("POST", "/v1/deployments", ct, data)
+}
+
+func (c *client) get(path string) error { return c.do("GET", path, "", nil) }
+
+func (c *client) do(method, path, contentType string, body []byte) error {
+	req, err := http.NewRequest(method, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Authorization", "Bearer "+c.token)
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	var pretty bytes.Buffer
+	if json.Indent(&pretty, raw, "", "  ") == nil {
+		raw = pretty.Bytes()
+	}
+	fmt.Printf("%s\n%s\n", resp.Status, raw)
+	if resp.StatusCode >= 400 {
+		return fmt.Errorf("request failed with %s", resp.Status)
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+// Trusted federation: the governance side of the continuum. This example
+// exercises the mechanisms the paper attaches to the cloud/fog layers —
+// Gaia-X trust-framework compliance (§III), the container image registry
+// with access control and scanning (§VI), runtime trust & reputation
+// (Table I), and the RL-based network manager learning when a traffic
+// class deserves a slice (§VI).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"myrtus/internal/images"
+	"myrtus/internal/mirto"
+	"myrtus/internal/network"
+	"myrtus/internal/security"
+	"myrtus/internal/sim"
+)
+
+func main() {
+	// ---- Gaia-X compliance: who may join the federation ---------------
+	anchor, err := security.NewTrustAnchor("gaia-x-aisbl", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	compliance := security.NewComplianceService()
+	compliance.AddAnchor(anchor)
+
+	hiro, _ := security.NewParticipant("hiro-fmdc", nil)
+	anchor.Endorse(hiro)      //nolint:errcheck
+	compliance.Register(hiro) //nolint:errcheck
+	sd, _ := hiro.SignSelfDescription("fog-micro-datacenter", security.Claims{
+		"legalName":          "HIRO MicroDataCenters B.V.",
+		"headquarterCountry": "NL",
+		"termsAndConditions": "sha256:2f6e...",
+		"service":            "fmdc-fog-compute",
+	})
+	fmt.Printf("Gaia-X: self-description of %q compliant: %v\n", sd.Subject, compliance.Compliant(sd))
+
+	mallory, _ := security.NewParticipant("mallory", nil)
+	rogue, _ := security.NewTrustAnchor("rogue-anchor", nil)
+	rogue.Endorse(mallory) //nolint:errcheck
+	badSD, _ := mallory.SignSelfDescription("evil-cloud", security.Claims{"legalName": "Mallory"})
+	fmt.Printf("Gaia-X: rogue participant rejected: %v\n\n", !compliance.Compliant(badSD))
+
+	// ---- Image registry: signed, scanned, access-controlled -----------
+	low, _ := security.SuiteFor(security.LevelLow)
+	reg := images.New(nil, low.Verify)
+	reg.GrantToken("ci-pipeline", images.RolePush)
+	reg.GrantToken("edge-node", images.RolePull)
+
+	signer, _ := low.NewSigner(nil)
+	blob := []byte("detector-image-layers-v1")
+	sig, _ := signer.Sign(blob)
+	if _, err := reg.Push("ci-pipeline", "detector", "v1", blob, signer.PublicKey(), sig); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("images: signed detector:v1 pushed and scanned")
+	evil := []byte("payload MALWARE-TEST-SIGNATURE payload")
+	evilSig, _ := signer.Sign(evil)
+	m, _ := reg.Push("ci-pipeline", "backdoor", "v1", evil, signer.PublicKey(), evilSig)
+	fmt.Printf("images: backdoor:v1 quarantined by scanner: %v\n", m.Quarantined())
+	if _, _, err := reg.Pull("edge-node", "backdoor", "v1"); err != nil {
+		fmt.Printf("images: pull refused: %v\n\n", err)
+	}
+
+	// ---- Trust & reputation at runtime --------------------------------
+	trust, _ := security.NewTrustEngine(0.98)
+	for i := 0; i < 30; i++ {
+		trust.Observe("edge-agent", "hiro-fmdc", true)
+		trust.Observe("edge-agent", "flaky-cloud", i%3 == 0) // fails 2 of 3
+	}
+	fmt.Printf("trust: hiro-fmdc reputation %.2f, flaky-cloud %.2f (threshold 0.5 -> flaky excluded from placement)\n\n",
+		trust.Reputation("hiro-fmdc"), trust.Reputation("flaky-cloud"))
+
+	// ---- RL network manager: learning the slicing policy ---------------
+	nm := mirto.NewNetworkManager(7)
+	for ep := 0; ep < 200; ep++ {
+		congested := ep%2 == 0
+		eng := sim.NewEngine(uint64(ep))
+		topo := network.NewTopology(uint64(ep))
+		topo.AddLink("edge", "fmdc", sim.Millisecond, 10e6, 0) //nolint:errcheck
+		topo.DefineSlice("gold", 0.4, "edge->fmdc")            //nolint:errcheck
+		f := network.NewFabric(eng, topo)
+		if congested {
+			for i := 0; i < 20; i++ {
+				f.Send("edge", "fmdc", 1_000_000, network.Options{}, nil) //nolint:errcheck
+			}
+		}
+		state := mirto.CongestionState(map[bool]float64{true: 2, false: 0}[congested])
+		action := nm.Choose(state)
+		slice := ""
+		if action == mirto.ActionSlice {
+			slice = "gold"
+		}
+		var lat sim.Time
+		f.Send("edge", "fmdc", 500_000, network.Options{Slice: slice}, func(error) { lat = eng.Now() }) //nolint:errcheck
+		eng.Run()
+		nm.Observe(state, action, lat.Seconds())
+	}
+	fmt.Print(nm.Render())
+	fmt.Printf("policy: congested -> %s, quiet -> %s\n", nm.Best("congested"), nm.Best("quiet"))
+}

@@ -1,0 +1,122 @@
+// Smart Mobility use case (paper §I: developed jointly by TNO and CRF):
+// roadside cameras feed a vehicle-detection pipeline spanning the
+// continuum. The example demonstrates
+//
+//   - cognitive deployment-time placement under latency goals,
+//   - a network slice protecting the camera traffic under congestion,
+//   - a mid-run device failure healed by the MAPE-K loop,
+//   - the latency/energy trade-off between goals.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"myrtus"
+	"myrtus/internal/mirto"
+	"myrtus/internal/sim"
+)
+
+const mobility = `
+tosca_definitions_version: tosca_2_0
+metadata:
+  template_name: smart-mobility
+topology_template:
+  node_templates:
+    camera:
+      type: myrtus.nodes.Container
+      properties: {cpu: 0.5, memoryMB: 128, gops: 0.4, outMB: 2.0, inMB: 4.0}
+    detector:
+      type: myrtus.nodes.AcceleratedKernel
+      properties: {cpu: 1, memoryMB: 512, kernel: conv2d, gops: 12, outMB: 0.2}
+      requirements:
+        - source: camera
+    tracker:
+      type: myrtus.nodes.Container
+      properties: {cpu: 1, memoryMB: 1024, gops: 3, outMB: 0.1}
+      requirements:
+        - source: detector
+    traffic-center:
+      type: myrtus.nodes.Container
+      properties: {cpu: 2, memoryMB: 4096, gops: 2}
+      requirements:
+        - source: tracker
+  policies:
+    - cam-edge:
+        type: myrtus.policies.Placement
+        targets: [camera]
+        properties: {layer: edge}
+    - center-cloud:
+        type: myrtus.policies.Placement
+        targets: [traffic-center]
+        properties: {layer: cloud}
+    - det-secure:
+        type: myrtus.policies.Security
+        targets: [detector, tracker]
+        properties: {level: medium}
+    - cam-latency:
+        type: myrtus.policies.Latency
+        targets: [camera, detector]
+        properties: {maxMs: 800}
+`
+
+func run(goal myrtus.Options, label string, withFailure bool) (p50, energy float64) {
+	sys, err := myrtus.New(goal)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Reserve a slice for camera traffic on the edge uplinks so bulk
+	// background transfers cannot starve it.
+	if err := sys.Continuum.Topo.DefineSlice("camera-traffic", 0.4); err != nil {
+		log.Fatal(err)
+	}
+	plan, err := sys.DeployYAML(mobility)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.AttachSLO(plan.App, mirto.SLO{MaxFailureRate: 0.1}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n=== %s ===\n", label)
+	for _, a := range plan.Assignments {
+		fmt.Printf("  %-14s -> %-14s (%s)\n", a.TemplateNode, a.Device, a.Layer)
+	}
+	const requests = 30
+	fails := 0
+	for i := 0; i < requests; i++ {
+		if withFailure && i == requests/2 {
+			det, _ := plan.Assignment("detector")
+			fmt.Printf("  !! failing %s (hosts the detector)\n", det.Device)
+			sys.Continuum.FailDevice(det.Device) //nolint:errcheck
+		}
+		if _, _, err := sys.ServeRequest(plan.App, "edge-hmp-0", 4); err != nil {
+			fails++
+		}
+		sys.IterateLoops()
+		sys.Continuum.Engine.RunFor(50 * sim.Millisecond)
+	}
+	k, _ := sys.KPIs(plan.App)
+	np, _ := sys.Orchestrator.PlanFor(plan.App)
+	det, _ := np.Assignment("detector")
+	fmt.Printf("  %d requests: ok=%d failed=%d p50=%.1fms p95=%.1fms energy=%.2fJ\n",
+		requests, k.Requests, k.Failed, k.LatencyMs.P50, k.LatencyMs.P95, k.EnergyJoules)
+	fmt.Printf("  detector now on %s\n", det.Device)
+	return k.LatencyMs.P50, k.EnergyJoules
+}
+
+func main() {
+	latOpts := myrtus.DefaultOptions()
+	latOpts.Goal = myrtus.LatencyGoal()
+	latP50, latE := run(latOpts, "latency goal, with device failure + MAPE-K recovery", true)
+
+	ecoOpts := myrtus.DefaultOptions()
+	ecoOpts.Goal = myrtus.EnergyGoal()
+	ecoP50, ecoE := run(ecoOpts, "energy goal, steady state", false)
+
+	fmt.Printf("\ngoal comparison (30 requests each):\n")
+	fmt.Printf("  latency goal: p50=%.1fms energy=%.2fJ\n", latP50, latE)
+	fmt.Printf("  energy  goal: p50=%.1fms energy=%.2fJ\n", ecoP50, ecoE)
+	if ecoE < latE {
+		fmt.Println("  -> energy goal saves energy, trading latency (the MIRTO trade-off)")
+	}
+}

@@ -1,0 +1,3 @@
+module myrtus
+
+go 1.24

@@ -1,0 +1,370 @@
+// Package adt implements Attack-Defence Trees — the threat-analysis
+// formalism the MYRTUS DPE uses at design time ("model the Attack Defence
+// Tree for the analysis of the threats to which the system is exposed and
+// synthesize a set of adapted counter-measures", §V). It provides attack
+// success probability and cost analysis, minimal cut sets, and greedy
+// countermeasure synthesis from a library of customizable primitives.
+package adt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Gate is the combinator type of an inner node.
+type Gate int
+
+const (
+	// Leaf is an atomic attack step.
+	Leaf Gate = iota
+	// Or succeeds when any child succeeds.
+	Or
+	// And succeeds only when all children succeed.
+	And
+)
+
+func (g Gate) String() string {
+	switch g {
+	case Leaf:
+		return "LEAF"
+	case Or:
+		return "OR"
+	case And:
+		return "AND"
+	default:
+		return fmt.Sprintf("Gate(%d)", int(g))
+	}
+}
+
+// Node is one vertex of the attack tree.
+type Node struct {
+	Name     string
+	Gate     Gate
+	Children []*Node
+
+	// Leaf attributes.
+	Prob float64  // baseline success probability
+	Cost float64  // attacker effort
+	Tags []string // what the step exploits ("network", "firmware", …)
+
+	// Applied defences (effectiveness multiplies residual probability).
+	Defences []Countermeasure
+}
+
+// Countermeasure is one defence primitive from the library.
+type Countermeasure struct {
+	Name string
+	// Effectiveness ∈ (0,1]: fraction of attack probability removed.
+	Effectiveness float64
+	// Cost in defender budget units.
+	Cost float64
+	// Covers lists leaf tags the countermeasure applies to.
+	Covers []string
+}
+
+func (c Countermeasure) covers(tag string) bool {
+	for _, t := range c.Covers {
+		if t == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Tree is a rooted attack-defence tree.
+type Tree struct {
+	Name string
+	Root *Node
+}
+
+// Validate checks structural sanity.
+func (t *Tree) Validate() error {
+	if t.Root == nil {
+		return fmt.Errorf("adt: tree %q has no root", t.Name)
+	}
+	seen := map[*Node]bool{}
+	var walk func(n *Node, path []string) error
+	walk = func(n *Node, path []string) error {
+		if seen[n] {
+			return fmt.Errorf("adt: node %q reachable twice (tree must be a tree)", n.Name)
+		}
+		seen[n] = true
+		if n.Name == "" {
+			return fmt.Errorf("adt: unnamed node under %v", path)
+		}
+		switch n.Gate {
+		case Leaf:
+			if len(n.Children) != 0 {
+				return fmt.Errorf("adt: leaf %q has children", n.Name)
+			}
+			if n.Prob < 0 || n.Prob > 1 {
+				return fmt.Errorf("adt: leaf %q probability %v out of [0,1]", n.Name, n.Prob)
+			}
+			if n.Cost < 0 {
+				return fmt.Errorf("adt: leaf %q negative cost", n.Name)
+			}
+		case Or, And:
+			if len(n.Children) == 0 {
+				return fmt.Errorf("adt: gate %q has no children", n.Name)
+			}
+			for _, c := range n.Children {
+				if err := walk(c, append(path, n.Name)); err != nil {
+					return err
+				}
+			}
+		default:
+			return fmt.Errorf("adt: node %q has invalid gate", n.Name)
+		}
+		return nil
+	}
+	return walk(t.Root, nil)
+}
+
+// residualProb is the leaf probability after applied defences.
+func (n *Node) residualProb() float64 {
+	p := n.Prob
+	for _, d := range n.Defences {
+		p *= 1 - d.Effectiveness
+	}
+	return p
+}
+
+// SuccessProbability computes the attack success probability of the root
+// under independence assumptions.
+func (t *Tree) SuccessProbability() float64 {
+	var eval func(n *Node) float64
+	eval = func(n *Node) float64 {
+		switch n.Gate {
+		case Leaf:
+			return n.residualProb()
+		case And:
+			p := 1.0
+			for _, c := range n.Children {
+				p *= eval(c)
+			}
+			return p
+		default: // Or
+			q := 1.0
+			for _, c := range n.Children {
+				q *= 1 - eval(c)
+			}
+			return 1 - q
+		}
+	}
+	return eval(t.Root)
+}
+
+// MinAttackCost computes the cheapest attacker effort to reach the root:
+// min over OR children, sum over AND children.
+func (t *Tree) MinAttackCost() float64 {
+	var eval func(n *Node) float64
+	eval = func(n *Node) float64 {
+		switch n.Gate {
+		case Leaf:
+			return n.Cost
+		case And:
+			sum := 0.0
+			for _, c := range n.Children {
+				sum += eval(c)
+			}
+			return sum
+		default: // Or
+			best := math.Inf(1)
+			for _, c := range n.Children {
+				if v := eval(c); v < best {
+					best = v
+				}
+			}
+			return best
+		}
+	}
+	return eval(t.Root)
+}
+
+// CutSet is one minimal set of leaf names whose joint success reaches the
+// root.
+type CutSet []string
+
+// MinimalCutSets enumerates the minimal cut sets of the tree.
+func (t *Tree) MinimalCutSets() []CutSet {
+	var eval func(n *Node) []CutSet
+	eval = func(n *Node) []CutSet {
+		switch n.Gate {
+		case Leaf:
+			return []CutSet{{n.Name}}
+		case Or:
+			var out []CutSet
+			for _, c := range n.Children {
+				out = append(out, eval(c)...)
+			}
+			return out
+		default: // And
+			acc := []CutSet{{}}
+			for _, c := range n.Children {
+				var next []CutSet
+				for _, left := range acc {
+					for _, right := range eval(c) {
+						merged := append(append(CutSet{}, left...), right...)
+						next = append(next, merged)
+					}
+				}
+				acc = next
+			}
+			return acc
+		}
+	}
+	sets := eval(t.Root)
+	for _, s := range sets {
+		sort.Strings(s)
+	}
+	sort.Slice(sets, func(i, j int) bool {
+		if len(sets[i]) != len(sets[j]) {
+			return len(sets[i]) < len(sets[j])
+		}
+		return strings.Join(sets[i], ",") < strings.Join(sets[j], ",")
+	})
+	return sets
+}
+
+// Leaves returns all leaf nodes.
+func (t *Tree) Leaves() []*Node {
+	var out []*Node
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.Gate == Leaf {
+			out = append(out, n)
+			return
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(t.Root)
+	return out
+}
+
+// Synthesis is the result of countermeasure selection.
+type Synthesis struct {
+	Applied []AppliedDefence
+	// Before and After are the root success probabilities.
+	Before, After float64
+	SpentBudget   float64
+}
+
+// AppliedDefence records one placement of a countermeasure on a leaf.
+type AppliedDefence struct {
+	Leaf           string
+	Countermeasure string
+	RiskReduction  float64
+}
+
+// Synthesize greedily selects (leaf, countermeasure) applications from
+// the library that maximize root risk reduction per unit cost until the
+// defender budget is exhausted or no application reduces risk. The
+// defences are applied to the tree in place — this is the "Threat Counter
+// Measures" synthesis step of the DPE.
+func (t *Tree) Synthesize(library []Countermeasure, budget float64) Synthesis {
+	syn := Synthesis{Before: t.SuccessProbability()}
+	remaining := budget
+	type candidate struct {
+		leaf *Node
+		cm   Countermeasure
+	}
+	applied := map[string]map[string]bool{} // leaf → cm name
+	for {
+		base := t.SuccessProbability()
+		var best *candidate
+		bestGain := 0.0
+		for _, leaf := range t.Leaves() {
+			for _, cm := range library {
+				if cm.Cost > remaining || cm.Effectiveness <= 0 {
+					continue
+				}
+				if applied[leaf.Name][cm.Name] {
+					continue
+				}
+				match := false
+				for _, tag := range leaf.Tags {
+					if cm.covers(tag) {
+						match = true
+						break
+					}
+				}
+				if !match {
+					continue
+				}
+				// Trial application.
+				leaf.Defences = append(leaf.Defences, cm)
+				gain := (base - t.SuccessProbability()) / math.Max(cm.Cost, 1e-9)
+				leaf.Defences = leaf.Defences[:len(leaf.Defences)-1]
+				if gain > bestGain {
+					bestGain = gain
+					c := candidate{leaf: leaf, cm: cm}
+					best = &c
+				}
+			}
+		}
+		if best == nil || bestGain <= 1e-12 {
+			break
+		}
+		best.leaf.Defences = append(best.leaf.Defences, best.cm)
+		remaining -= best.cm.Cost
+		if applied[best.leaf.Name] == nil {
+			applied[best.leaf.Name] = map[string]bool{}
+		}
+		applied[best.leaf.Name][best.cm.Name] = true
+		syn.Applied = append(syn.Applied, AppliedDefence{
+			Leaf:           best.leaf.Name,
+			Countermeasure: best.cm.Name,
+			RiskReduction:  base - t.SuccessProbability(),
+		})
+		syn.SpentBudget += best.cm.Cost
+	}
+	syn.After = t.SuccessProbability()
+	return syn
+}
+
+// StandardLibrary returns the customizable countermeasure primitives the
+// DPE ships with.
+func StandardLibrary() []Countermeasure {
+	return []Countermeasure{
+		{Name: "tls-mutual-auth", Effectiveness: 0.90, Cost: 2, Covers: []string{"network", "spoofing"}},
+		{Name: "encrypted-storage", Effectiveness: 0.85, Cost: 2, Covers: []string{"storage", "data-at-rest"}},
+		{Name: "secure-boot", Effectiveness: 0.95, Cost: 3, Covers: []string{"firmware"}},
+		{Name: "input-sanitization", Effectiveness: 0.80, Cost: 1, Covers: []string{"injection"}},
+		{Name: "rate-limiting", Effectiveness: 0.60, Cost: 1, Covers: []string{"dos", "network"}},
+		{Name: "attestation", Effectiveness: 0.75, Cost: 2, Covers: []string{"spoofing", "firmware"}},
+		{Name: "anomaly-detection", Effectiveness: 0.50, Cost: 1, Covers: []string{"network", "injection", "dos"}},
+	}
+}
+
+// Render pretty-prints the tree with probabilities and defences.
+func (t *Tree) Render() string {
+	var b strings.Builder
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		indent := strings.Repeat("  ", depth)
+		switch n.Gate {
+		case Leaf:
+			fmt.Fprintf(&b, "%s- %s [p=%.2f→%.2f cost=%.1f]", indent, n.Name, n.Prob, n.residualProb(), n.Cost)
+			if len(n.Defences) > 0 {
+				var names []string
+				for _, d := range n.Defences {
+					names = append(names, d.Name)
+				}
+				fmt.Fprintf(&b, " defended-by=%s", strings.Join(names, ","))
+			}
+			b.WriteString("\n")
+		default:
+			fmt.Fprintf(&b, "%s%s %s\n", indent, n.Gate, n.Name)
+			for _, c := range n.Children {
+				walk(c, depth+1)
+			}
+		}
+	}
+	fmt.Fprintf(&b, "ADT %s (P(success)=%.3f, min attacker cost=%.1f)\n", t.Name, t.SuccessProbability(), t.MinAttackCost())
+	walk(t.Root, 0)
+	return b.String()
+}

@@ -1,0 +1,201 @@
+package adt
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// sampleTree: compromise-system = OR(network-path = AND(intercept, spoof),
+// direct = firmware-exploit).
+func sampleTree() *Tree {
+	return &Tree{
+		Name: "compromise-edge-node",
+		Root: &Node{
+			Name: "compromise", Gate: Or,
+			Children: []*Node{
+				{
+					Name: "network-path", Gate: And,
+					Children: []*Node{
+						{Name: "intercept", Gate: Leaf, Prob: 0.5, Cost: 4, Tags: []string{"network"}},
+						{Name: "spoof", Gate: Leaf, Prob: 0.4, Cost: 3, Tags: []string{"spoofing"}},
+					},
+				},
+				{Name: "firmware-exploit", Gate: Leaf, Prob: 0.2, Cost: 10, Tags: []string{"firmware"}},
+			},
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tr := sampleTree()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Tree{
+		{Name: "no-root"},
+		{Name: "leaf-kids", Root: &Node{Name: "l", Gate: Leaf, Children: []*Node{{Name: "x", Gate: Leaf}}}},
+		{Name: "empty-gate", Root: &Node{Name: "g", Gate: Or}},
+		{Name: "bad-prob", Root: &Node{Name: "l", Gate: Leaf, Prob: 1.5}},
+		{Name: "neg-cost", Root: &Node{Name: "l", Gate: Leaf, Prob: 0.5, Cost: -1}},
+		{Name: "unnamed", Root: &Node{Name: "g", Gate: Or, Children: []*Node{{Gate: Leaf}}}},
+		{Name: "bad-gate", Root: &Node{Name: "x", Gate: Gate(9)}},
+	}
+	for _, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Fatalf("tree %q validated", b.Name)
+		}
+	}
+	shared := &Node{Name: "s", Gate: Leaf, Prob: 0.1}
+	dag := &Tree{Name: "dag", Root: &Node{Name: "r", Gate: Or, Children: []*Node{shared, shared}}}
+	if err := dag.Validate(); err == nil {
+		t.Fatal("DAG accepted as tree")
+	}
+}
+
+func TestSuccessProbability(t *testing.T) {
+	tr := sampleTree()
+	// AND: 0.5·0.4 = 0.2; OR with 0.2: 1-(0.8·0.8) = 0.36.
+	if p := tr.SuccessProbability(); math.Abs(p-0.36) > 1e-9 {
+		t.Fatalf("P = %v, want 0.36", p)
+	}
+}
+
+func TestMinAttackCost(t *testing.T) {
+	tr := sampleTree()
+	// AND path costs 7; leaf path costs 10 → min 7.
+	if c := tr.MinAttackCost(); c != 7 {
+		t.Fatalf("cost = %v, want 7", c)
+	}
+}
+
+func TestMinimalCutSets(t *testing.T) {
+	tr := sampleTree()
+	sets := tr.MinimalCutSets()
+	if len(sets) != 2 {
+		t.Fatalf("cut sets = %v", sets)
+	}
+	if len(sets[0]) != 1 || sets[0][0] != "firmware-exploit" {
+		t.Fatalf("first set = %v", sets[0])
+	}
+	if len(sets[1]) != 2 || sets[1][0] != "intercept" || sets[1][1] != "spoof" {
+		t.Fatalf("second set = %v", sets[1])
+	}
+}
+
+func TestLeaves(t *testing.T) {
+	if got := len(sampleTree().Leaves()); got != 3 {
+		t.Fatalf("leaves = %d", got)
+	}
+}
+
+func TestSynthesizeReducesRisk(t *testing.T) {
+	tr := sampleTree()
+	syn := tr.Synthesize(StandardLibrary(), 10)
+	if syn.After >= syn.Before {
+		t.Fatalf("no risk reduction: %v → %v", syn.Before, syn.After)
+	}
+	if syn.After > 0.1 {
+		t.Fatalf("residual risk too high: %v", syn.After)
+	}
+	if len(syn.Applied) == 0 || syn.SpentBudget <= 0 || syn.SpentBudget > 10 {
+		t.Fatalf("synthesis = %+v", syn)
+	}
+	// Applications are recorded with positive reductions.
+	for _, a := range syn.Applied {
+		if a.RiskReduction <= 0 {
+			t.Fatalf("non-positive reduction: %+v", a)
+		}
+	}
+}
+
+func TestSynthesizeRespectsBudget(t *testing.T) {
+	tr := sampleTree()
+	syn := tr.Synthesize(StandardLibrary(), 1) // only cost-1 defences fit
+	if syn.SpentBudget > 1 {
+		t.Fatalf("budget exceeded: %v", syn.SpentBudget)
+	}
+	tr2 := sampleTree()
+	syn0 := tr2.Synthesize(StandardLibrary(), 0)
+	if len(syn0.Applied) != 0 || syn0.Before != syn0.After {
+		t.Fatalf("zero budget applied defences: %+v", syn0)
+	}
+}
+
+func TestSynthesizeOnlyMatchingTags(t *testing.T) {
+	tr := &Tree{Name: "t", Root: &Node{Name: "l", Gate: Leaf, Prob: 0.9, Tags: []string{"exotic"}}}
+	syn := tr.Synthesize(StandardLibrary(), 100)
+	if len(syn.Applied) != 0 {
+		t.Fatalf("untagged defences applied: %+v", syn.Applied)
+	}
+}
+
+func TestSynthesizeNoDuplicateApplication(t *testing.T) {
+	tr := sampleTree()
+	syn := tr.Synthesize(StandardLibrary(), 1000)
+	seen := map[string]bool{}
+	for _, a := range syn.Applied {
+		key := a.Leaf + "/" + a.Countermeasure
+		if seen[key] {
+			t.Fatalf("countermeasure %s applied twice", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestProbabilityBoundsProperty(t *testing.T) {
+	// For arbitrary leaf probabilities the root probability stays in
+	// [0,1] and synthesis never increases it.
+	if err := quick.Check(func(p1, p2, p3 uint8) bool {
+		tr := sampleTree()
+		tr.Root.Children[0].Children[0].Prob = float64(p1) / 255
+		tr.Root.Children[0].Children[1].Prob = float64(p2) / 255
+		tr.Root.Children[1].Prob = float64(p3) / 255
+		before := tr.SuccessProbability()
+		if before < 0 || before > 1 {
+			return false
+		}
+		syn := tr.Synthesize(StandardLibrary(), 5)
+		return syn.After >= 0 && syn.After <= before+1e-12
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAndMonotoneProperty(t *testing.T) {
+	// Adding a child to an AND gate can only lower success probability.
+	if err := quick.Check(func(probs []uint8) bool {
+		if len(probs) == 0 {
+			return true
+		}
+		var kids []*Node
+		last := 1.1
+		for i, p := range probs {
+			kids = append(kids, &Node{Name: string(rune('a' + i%26)), Gate: Leaf, Prob: float64(p) / 255})
+			tr := &Tree{Name: "t", Root: &Node{Name: "r", Gate: And, Children: append([]*Node(nil), kids...)}}
+			cur := tr.SuccessProbability()
+			if cur > last+1e-12 {
+				return false
+			}
+			last = cur
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRender(t *testing.T) {
+	tr := sampleTree()
+	tr.Synthesize(StandardLibrary(), 10)
+	out := tr.Render()
+	for _, want := range []string{"ADT compromise-edge-node", "OR compromise", "AND network-path", "defended-by"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if Gate(9).String() == "" || Leaf.String() != "LEAF" {
+		t.Fatal("gate strings")
+	}
+}

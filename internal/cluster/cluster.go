@@ -1,0 +1,462 @@
+// Package cluster implements the low-level desired-state orchestrator of
+// the MYRTUS infrastructure — the role Table I assigns to Kubernetes:
+// nodes, pods, deployments, a filter-and-score scheduler, and reconcile
+// controllers. The MIRTO Cognitive Engine (internal/mirto) sits above it
+// and *decides*; this layer merely converges actual state to desired
+// state, exactly the split the paper prescribes ("Kubernetes is used as a
+// low-level orchestrator; the MIRTO Cognitive Engine covers the
+// high-level orchestrator role").
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Resources is a resource quantity vector.
+type Resources struct {
+	CPU   float64 // cores
+	MemMB float64
+}
+
+// Add returns r + o.
+func (r Resources) Add(o Resources) Resources {
+	return Resources{CPU: r.CPU + o.CPU, MemMB: r.MemMB + o.MemMB}
+}
+
+// Fits reports whether r fits within capacity c.
+func (r Resources) Fits(c Resources) bool {
+	return r.CPU <= c.CPU+1e-9 && r.MemMB <= c.MemMB+1e-9
+}
+
+// PodPhase is the pod lifecycle phase.
+type PodPhase string
+
+// Pod lifecycle phases.
+const (
+	PodPending PodPhase = "Pending"
+	PodRunning PodPhase = "Running"
+	PodFailed  PodPhase = "Failed"
+)
+
+// PodSpec is the desired description of one workload container.
+type PodSpec struct {
+	App      string
+	Requests Resources
+	Labels   map[string]string
+	// NodeSelector restricts placement to nodes carrying these labels.
+	NodeSelector map[string]string
+	// SecurityLevel names the minimum Table II suite the hosting node
+	// must support ("" = any).
+	SecurityLevel string
+	// Kernel optionally names an accelerable kernel the workload runs.
+	Kernel string
+}
+
+// Pod is one scheduled instance.
+type Pod struct {
+	Name  string
+	Spec  PodSpec
+	Node  string // "" until bound
+	Phase PodPhase
+}
+
+// Node is a schedulable member of the cluster.
+type Node struct {
+	Name        string
+	Allocatable Resources
+	Labels      map[string]string
+	// SecurityLevels are the suites the node supports.
+	SecurityLevels []string
+	Ready          bool
+	// Virtual marks Liqo-style virtual nodes backed by a peered cluster.
+	Virtual bool
+}
+
+func (n *Node) supportsSecurity(level string) bool {
+	if level == "" {
+		return true
+	}
+	for _, l := range n.SecurityLevels {
+		if l == level {
+			return true
+		}
+	}
+	return false
+}
+
+func (n *Node) matchesSelector(sel map[string]string) bool {
+	for k, v := range sel {
+		if n.Labels[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Event records one orchestration action, for observability.
+type Event struct {
+	Kind    string // "Scheduled", "Failed", "Evicted", "Created", "Deleted"
+	Object  string
+	Message string
+}
+
+// ScoreFunc ranks a feasible node for a pod; higher is better. The
+// cognitive layer injects its own policy through this hook.
+type ScoreFunc func(pod *Pod, node *Node, free Resources) float64
+
+// BinPackScore is the default policy: prefer the most-allocated feasible
+// node (consolidation keeps devices idle for power-down). Virtual (Liqo)
+// nodes carry a large penalty so offloading happens only when no local
+// node fits — the "prefer local" taint of real Liqo deployments.
+func BinPackScore(pod *Pod, node *Node, free Resources) float64 {
+	if node.Allocatable.CPU == 0 {
+		return 0
+	}
+	s := 1 - free.CPU/node.Allocatable.CPU
+	if node.Virtual {
+		s -= 10
+	}
+	return s
+}
+
+// SpreadScore prefers the least-allocated node (load spreading baseline),
+// with the same local-first virtual-node penalty as BinPackScore.
+func SpreadScore(pod *Pod, node *Node, free Resources) float64 {
+	if node.Allocatable.CPU == 0 {
+		return 0
+	}
+	s := free.CPU / node.Allocatable.CPU
+	if node.Virtual {
+		s -= 10
+	}
+	return s
+}
+
+// Cluster is one Kubernetes-role cluster instance.
+type Cluster struct {
+	mu     sync.Mutex
+	name   string
+	nodes  map[string]*Node
+	pods   map[string]*Pod
+	deps   map[string]*Deployment
+	events []Event
+	nextID int
+	score  ScoreFunc
+}
+
+// New returns an empty cluster using the default bin-packing score.
+func New(name string) *Cluster {
+	return &Cluster{
+		name:  name,
+		nodes: make(map[string]*Node),
+		pods:  make(map[string]*Pod),
+		deps:  make(map[string]*Deployment),
+		score: BinPackScore,
+	}
+}
+
+// Name returns the cluster name.
+func (c *Cluster) Name() string { return c.name }
+
+// SetScoreFunc replaces the scheduler scoring policy.
+func (c *Cluster) SetScoreFunc(f ScoreFunc) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f == nil {
+		f = BinPackScore
+	}
+	c.score = f
+}
+
+// AddNode registers a node.
+func (c *Cluster) AddNode(n Node) error {
+	if n.Name == "" {
+		return fmt.Errorf("cluster: node needs a name")
+	}
+	if n.Allocatable.CPU <= 0 || n.Allocatable.MemMB <= 0 {
+		return fmt.Errorf("cluster: node %s needs positive allocatable resources", n.Name)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.nodes[n.Name]; ok {
+		return fmt.Errorf("cluster: node %s already exists", n.Name)
+	}
+	cp := n
+	c.nodes[n.Name] = &cp
+	c.eventLocked("Created", "node/"+n.Name, "node registered")
+	return nil
+}
+
+// RemoveNode deletes a node; its pods fail (to be rescheduled by the
+// controllers).
+func (c *Cluster) RemoveNode(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.nodes, name)
+	for _, p := range c.pods {
+		if p.Node == name && p.Phase == PodRunning {
+			p.Phase = PodFailed
+			c.eventLocked("Evicted", "pod/"+p.Name, "node removed")
+		}
+	}
+}
+
+// SetNodeReady flips a node's readiness. Marking a node unready fails its
+// running pods, modelling a crashed device.
+func (c *Cluster) SetNodeReady(name string, ready bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.nodes[name]
+	if !ok {
+		return fmt.Errorf("cluster: unknown node %s", name)
+	}
+	n.Ready = ready
+	if !ready {
+		for _, p := range c.pods {
+			if p.Node == name && p.Phase == PodRunning {
+				p.Phase = PodFailed
+				c.eventLocked("Evicted", "pod/"+p.Name, "node not ready")
+			}
+		}
+	}
+	return nil
+}
+
+// Node returns a copy of the named node.
+func (c *Cluster) Node(name string) (Node, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.nodes[name]
+	if !ok {
+		return Node{}, false
+	}
+	return *n, true
+}
+
+// Nodes returns copies of all nodes, sorted by name.
+func (c *Cluster) Nodes() []Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Node, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		out = append(out, *n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// CreatePod creates a pending pod and returns its generated name.
+func (c *Cluster) CreatePod(spec PodSpec) (string, error) {
+	if spec.App == "" {
+		return "", fmt.Errorf("cluster: pod spec needs an app")
+	}
+	if spec.Requests.CPU <= 0 || spec.Requests.MemMB <= 0 {
+		return "", fmt.Errorf("cluster: pod for %s needs positive requests", spec.App)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	name := fmt.Sprintf("%s-%d", spec.App, c.nextID)
+	c.pods[name] = &Pod{Name: name, Spec: spec, Phase: PodPending}
+	c.eventLocked("Created", "pod/"+name, "pod created")
+	return name, nil
+}
+
+// DeletePod removes a pod.
+func (c *Cluster) DeletePod(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.pods[name]; ok {
+		delete(c.pods, name)
+		c.eventLocked("Deleted", "pod/"+name, "pod deleted")
+	}
+}
+
+// Pod returns a copy of the named pod.
+func (c *Cluster) Pod(name string) (Pod, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.pods[name]
+	if !ok {
+		return Pod{}, false
+	}
+	return *p, true
+}
+
+// Pods returns copies of all pods, sorted by name.
+func (c *Cluster) Pods() []Pod {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.podsLocked()
+}
+
+func (c *Cluster) podsLocked() []Pod {
+	out := make([]Pod, 0, len(c.pods))
+	for _, p := range c.pods {
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// PodsOnNode returns running pods bound to the named node.
+func (c *Cluster) PodsOnNode(node string) []Pod {
+	var out []Pod
+	for _, p := range c.Pods() {
+		if p.Node == node && p.Phase == PodRunning {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// FreeOn returns the unallocated resources of a node.
+func (c *Cluster) FreeOn(node string) (Resources, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.freeLocked(node)
+}
+
+// FreeAll returns the unallocated resources of every node in one pass —
+// O(nodes + pods), for schedulers scanning many candidates.
+func (c *Cluster) FreeAll() map[string]Resources {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	used := make(map[string]Resources, len(c.nodes))
+	for _, p := range c.pods {
+		if p.Phase == PodRunning {
+			used[p.Node] = used[p.Node].Add(p.Spec.Requests)
+		}
+	}
+	out := make(map[string]Resources, len(c.nodes))
+	for name, n := range c.nodes {
+		u := used[name]
+		out[name] = Resources{CPU: n.Allocatable.CPU - u.CPU, MemMB: n.Allocatable.MemMB - u.MemMB}
+	}
+	return out
+}
+
+func (c *Cluster) freeLocked(node string) (Resources, bool) {
+	n, ok := c.nodes[node]
+	if !ok {
+		return Resources{}, false
+	}
+	used := Resources{}
+	for _, p := range c.pods {
+		if p.Node == node && p.Phase == PodRunning {
+			used = used.Add(p.Spec.Requests)
+		}
+	}
+	return Resources{CPU: n.Allocatable.CPU - used.CPU, MemMB: n.Allocatable.MemMB - used.MemMB}, true
+}
+
+// Bind places a pending pod on a specific node, bypassing the scheduler
+// (the hook the cognitive layer uses to impose its decisions).
+func (c *Cluster) Bind(podName, nodeName string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.pods[podName]
+	if !ok {
+		return fmt.Errorf("cluster: unknown pod %s", podName)
+	}
+	if p.Phase == PodRunning {
+		return fmt.Errorf("cluster: pod %s already running on %s", podName, p.Node)
+	}
+	n, ok := c.nodes[nodeName]
+	if !ok {
+		return fmt.Errorf("cluster: unknown node %s", nodeName)
+	}
+	if !n.Ready {
+		return fmt.Errorf("cluster: node %s not ready", nodeName)
+	}
+	if !n.supportsSecurity(p.Spec.SecurityLevel) {
+		return fmt.Errorf("cluster: node %s does not support security level %q", nodeName, p.Spec.SecurityLevel)
+	}
+	free, _ := c.freeLocked(nodeName)
+	if !p.Spec.Requests.Fits(free) {
+		return fmt.Errorf("cluster: pod %s does not fit node %s (free %.1f CPU / %.0f MB)",
+			podName, nodeName, free.CPU, free.MemMB)
+	}
+	p.Node = nodeName
+	p.Phase = PodRunning
+	c.eventLocked("Scheduled", "pod/"+podName, "bound to "+nodeName)
+	return nil
+}
+
+// Evict returns a running pod to Pending (used for re-allocation).
+func (c *Cluster) Evict(podName string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.pods[podName]
+	if !ok {
+		return fmt.Errorf("cluster: unknown pod %s", podName)
+	}
+	p.Node = ""
+	p.Phase = PodPending
+	c.eventLocked("Evicted", "pod/"+podName, "evicted for re-allocation")
+	return nil
+}
+
+// Schedule runs one scheduler pass: every pending or failed pod is
+// (re-)bound to the best feasible node under the active score function.
+// It returns the number of pods bound; pods with no feasible node remain
+// pending.
+func (c *Cluster) Schedule() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	bound := 0
+	for _, p := range c.podsLocked() {
+		if p.Phase == PodRunning {
+			continue
+		}
+		pod := c.pods[p.Name]
+		if pod.Phase == PodFailed {
+			pod.Phase = PodPending
+			pod.Node = ""
+		}
+		best, bestScore := "", math.Inf(-1)
+		var names []string
+		for name := range c.nodes {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			n := c.nodes[name]
+			if !n.Ready || !n.matchesSelector(pod.Spec.NodeSelector) || !n.supportsSecurity(pod.Spec.SecurityLevel) {
+				continue
+			}
+			free, _ := c.freeLocked(name)
+			if !pod.Spec.Requests.Fits(free) {
+				continue
+			}
+			if s := c.score(pod, n, free); s > bestScore {
+				best, bestScore = name, s
+			}
+		}
+		if best == "" {
+			continue
+		}
+		pod.Node = best
+		pod.Phase = PodRunning
+		bound++
+		c.eventLocked("Scheduled", "pod/"+pod.Name, "bound to "+best)
+	}
+	return bound
+}
+
+// Events returns the accumulated event log.
+func (c *Cluster) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Event(nil), c.events...)
+}
+
+func (c *Cluster) eventLocked(kind, object, msg string) {
+	c.events = append(c.events, Event{Kind: kind, Object: object, Message: msg})
+	if len(c.events) > 4096 {
+		c.events = c.events[len(c.events)-2048:]
+	}
+}

@@ -1,0 +1,388 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func twoNodes(t *testing.T) *Cluster {
+	t.Helper()
+	c := New("test")
+	for _, n := range []Node{
+		{Name: "edge-0", Allocatable: Resources{CPU: 4, MemMB: 4096}, Ready: true,
+			Labels: map[string]string{"layer": "edge"}, SecurityLevels: []string{"low", "medium"}},
+		{Name: "fog-0", Allocatable: Resources{CPU: 16, MemMB: 65536}, Ready: true,
+			Labels: map[string]string{"layer": "fog"}, SecurityLevels: []string{"low", "medium", "high"}},
+	} {
+		if err := c.AddNode(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func TestAddNodeValidation(t *testing.T) {
+	c := New("t")
+	if err := c.AddNode(Node{Allocatable: Resources{CPU: 1, MemMB: 1}}); err == nil {
+		t.Fatal("nameless node accepted")
+	}
+	if err := c.AddNode(Node{Name: "n", Allocatable: Resources{CPU: 0, MemMB: 1}}); err == nil {
+		t.Fatal("zero CPU accepted")
+	}
+	if err := c.AddNode(Node{Name: "n", Allocatable: Resources{CPU: 1, MemMB: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddNode(Node{Name: "n", Allocatable: Resources{CPU: 1, MemMB: 1}}); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+}
+
+func TestCreatePodValidation(t *testing.T) {
+	c := New("t")
+	if _, err := c.CreatePod(PodSpec{Requests: Resources{CPU: 1, MemMB: 1}}); err == nil {
+		t.Fatal("appless pod accepted")
+	}
+	if _, err := c.CreatePod(PodSpec{App: "a"}); err == nil {
+		t.Fatal("zero requests accepted")
+	}
+}
+
+func TestScheduleBasic(t *testing.T) {
+	c := twoNodes(t)
+	name, err := c.CreatePod(PodSpec{App: "cam", Requests: Resources{CPU: 1, MemMB: 512}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := c.Schedule(); n != 1 {
+		t.Fatalf("Schedule bound %d", n)
+	}
+	p, _ := c.Pod(name)
+	if p.Phase != PodRunning || p.Node == "" {
+		t.Fatalf("pod = %+v", p)
+	}
+}
+
+func TestScheduleRespectsSelectorAndSecurity(t *testing.T) {
+	c := twoNodes(t)
+	name, _ := c.CreatePod(PodSpec{
+		App: "secure", Requests: Resources{CPU: 1, MemMB: 512},
+		SecurityLevel: "high",
+	})
+	c.Schedule()
+	p, _ := c.Pod(name)
+	if p.Node != "fog-0" {
+		t.Fatalf("high-security pod on %s", p.Node)
+	}
+	name2, _ := c.CreatePod(PodSpec{
+		App: "edgy", Requests: Resources{CPU: 1, MemMB: 512},
+		NodeSelector: map[string]string{"layer": "edge"},
+	})
+	c.Schedule()
+	p2, _ := c.Pod(name2)
+	if p2.Node != "edge-0" {
+		t.Fatalf("selector pod on %s", p2.Node)
+	}
+	// Infeasible: edge selector + high security.
+	name3, _ := c.CreatePod(PodSpec{
+		App: "impossible", Requests: Resources{CPU: 1, MemMB: 512},
+		NodeSelector:  map[string]string{"layer": "edge"},
+		SecurityLevel: "high",
+	})
+	c.Schedule()
+	p3, _ := c.Pod(name3)
+	if p3.Phase != PodPending {
+		t.Fatalf("infeasible pod = %+v", p3)
+	}
+}
+
+func TestScheduleNeverOvercommits(t *testing.T) {
+	c := New("t")
+	c.AddNode(Node{Name: "n", Allocatable: Resources{CPU: 4, MemMB: 4096}, Ready: true}) //nolint:errcheck
+	for i := 0; i < 10; i++ {
+		c.CreatePod(PodSpec{App: "w", Requests: Resources{CPU: 1, MemMB: 512}}) //nolint:errcheck
+	}
+	c.Schedule()
+	running := 0
+	for _, p := range c.Pods() {
+		if p.Phase == PodRunning {
+			running++
+		}
+	}
+	if running != 4 {
+		t.Fatalf("running = %d, want 4 (CPU bound)", running)
+	}
+	free, _ := c.FreeOn("n")
+	if free.CPU < -1e-9 {
+		t.Fatalf("overcommitted: %v", free)
+	}
+}
+
+func TestOvercommitProperty(t *testing.T) {
+	// Arbitrary pod sizes: the scheduler must never exceed allocatable.
+	if err := quick.Check(func(sizes []uint8) bool {
+		c := New("t")
+		c.AddNode(Node{Name: "n", Allocatable: Resources{CPU: 8, MemMB: 8192}, Ready: true}) //nolint:errcheck
+		for _, s := range sizes {
+			cpu := float64(s%5) + 0.5
+			c.CreatePod(PodSpec{App: "w", Requests: Resources{CPU: cpu, MemMB: 256}}) //nolint:errcheck
+		}
+		c.Schedule()
+		free, _ := c.FreeOn("n")
+		return free.CPU >= -1e-9 && free.MemMB >= -1e-9
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinPackVsSpread(t *testing.T) {
+	mk := func(score ScoreFunc) map[string]int {
+		c := New("t")
+		c.AddNode(Node{Name: "a", Allocatable: Resources{CPU: 8, MemMB: 8192}, Ready: true}) //nolint:errcheck
+		c.AddNode(Node{Name: "b", Allocatable: Resources{CPU: 8, MemMB: 8192}, Ready: true}) //nolint:errcheck
+		c.SetScoreFunc(score)
+		for i := 0; i < 4; i++ {
+			c.CreatePod(PodSpec{App: "w", Requests: Resources{CPU: 1, MemMB: 256}}) //nolint:errcheck
+			c.Schedule()
+		}
+		counts := map[string]int{}
+		for _, p := range c.Pods() {
+			counts[p.Node]++
+		}
+		return counts
+	}
+	pack := mk(BinPackScore)
+	if pack["a"] != 4 {
+		t.Fatalf("binpack spread pods: %v", pack)
+	}
+	spread := mk(SpreadScore)
+	if spread["a"] != 2 || spread["b"] != 2 {
+		t.Fatalf("spread did not spread: %v", spread)
+	}
+}
+
+func TestBindAndEvict(t *testing.T) {
+	c := twoNodes(t)
+	name, _ := c.CreatePod(PodSpec{App: "w", Requests: Resources{CPU: 1, MemMB: 256}})
+	if err := c.Bind(name, "fog-0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Bind(name, "edge-0"); err == nil {
+		t.Fatal("double bind accepted")
+	}
+	if err := c.Evict(name); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := c.Pod(name)
+	if p.Phase != PodPending || p.Node != "" {
+		t.Fatalf("evicted pod = %+v", p)
+	}
+	if err := c.Bind("ghost", "fog-0"); err == nil {
+		t.Fatal("ghost pod bound")
+	}
+	if err := c.Bind(name, "ghost"); err == nil {
+		t.Fatal("ghost node bound")
+	}
+	if err := c.Evict("ghost"); err == nil {
+		t.Fatal("ghost evict accepted")
+	}
+}
+
+func TestBindChecksFeasibility(t *testing.T) {
+	c := twoNodes(t)
+	big, _ := c.CreatePod(PodSpec{App: "big", Requests: Resources{CPU: 100, MemMB: 256}})
+	if err := c.Bind(big, "edge-0"); err == nil {
+		t.Fatal("oversized bind accepted")
+	}
+	sec, _ := c.CreatePod(PodSpec{App: "sec", Requests: Resources{CPU: 1, MemMB: 256}, SecurityLevel: "high"})
+	if err := c.Bind(sec, "edge-0"); err == nil {
+		t.Fatal("security-violating bind accepted")
+	}
+	c.SetNodeReady("edge-0", false) //nolint:errcheck
+	ok2, _ := c.CreatePod(PodSpec{App: "w", Requests: Resources{CPU: 1, MemMB: 256}})
+	if err := c.Bind(ok2, "edge-0"); err == nil {
+		t.Fatal("bind to unready node accepted")
+	}
+}
+
+func TestNodeFailureEvictsPods(t *testing.T) {
+	c := twoNodes(t)
+	name, _ := c.CreatePod(PodSpec{App: "w", Requests: Resources{CPU: 1, MemMB: 256},
+		NodeSelector: map[string]string{"layer": "edge"}})
+	c.Schedule()
+	if err := c.SetNodeReady("edge-0", false); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := c.Pod(name)
+	if p.Phase != PodFailed {
+		t.Fatalf("pod after node failure = %+v", p)
+	}
+	if err := c.SetNodeReady("ghost", true); err == nil {
+		t.Fatal("ghost node readiness accepted")
+	}
+	// Reschedule lands nowhere (selector) until node returns.
+	c.Schedule()
+	p, _ = c.Pod(name)
+	if p.Phase == PodRunning {
+		t.Fatal("pod ran with selector unsatisfied")
+	}
+	c.SetNodeReady("edge-0", true) //nolint:errcheck
+	c.Schedule()
+	p, _ = c.Pod(name)
+	if p.Phase != PodRunning || p.Node != "edge-0" {
+		t.Fatalf("pod after recovery = %+v", p)
+	}
+}
+
+func TestRemoveNode(t *testing.T) {
+	c := twoNodes(t)
+	name, _ := c.CreatePod(PodSpec{App: "w", Requests: Resources{CPU: 1, MemMB: 256}})
+	c.Schedule()
+	p, _ := c.Pod(name)
+	c.RemoveNode(p.Node)
+	p, _ = c.Pod(name)
+	if p.Phase != PodFailed {
+		t.Fatalf("pod = %+v", p)
+	}
+	if _, ok := c.Node("fog-0"); ok && p.Node == "fog-0" {
+		t.Fatal("node not removed")
+	}
+}
+
+func TestDeploymentReconcile(t *testing.T) {
+	c := twoNodes(t)
+	err := c.ApplyDeployment(Deployment{
+		Name: "detector", Replicas: 3,
+		Template: PodSpec{App: "detector", Requests: Resources{CPU: 1, MemMB: 512}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	created, _, bound := c.Reconcile()
+	if created != 3 || bound != 3 {
+		t.Fatalf("created=%d bound=%d", created, bound)
+	}
+	// Scale down.
+	c.ApplyDeployment(Deployment{Name: "detector", Replicas: 1, //nolint:errcheck
+		Template: PodSpec{App: "detector", Requests: Resources{CPU: 1, MemMB: 512}}})
+	_, deleted, _ := c.Reconcile()
+	if deleted != 2 {
+		t.Fatalf("deleted = %d", deleted)
+	}
+	if !c.ReconcileUntilStable(10) {
+		t.Fatal("did not stabilize")
+	}
+	d, ok := c.Deployment("detector")
+	if !ok || d.Replicas != 1 {
+		t.Fatalf("deployment = %+v %v", d, ok)
+	}
+	if len(c.Deployments()) != 1 {
+		t.Fatal("Deployments list")
+	}
+}
+
+func TestDeploymentSelfHealing(t *testing.T) {
+	c := twoNodes(t)
+	c.ApplyDeployment(Deployment{Name: "svc", Replicas: 2, //nolint:errcheck
+		Template: PodSpec{App: "svc", Requests: Resources{CPU: 1, MemMB: 256}}})
+	c.ReconcileUntilStable(10)
+	// Kill a node: its pods fail, controller replaces them elsewhere.
+	c.SetNodeReady("edge-0", false) //nolint:errcheck
+	c.ReconcileUntilStable(10)
+	running := 0
+	for _, p := range c.Pods() {
+		if p.Phase == PodRunning {
+			if p.Node == "edge-0" {
+				t.Fatal("pod on dead node")
+			}
+			running++
+		}
+	}
+	if running != 2 {
+		t.Fatalf("running = %d after self-heal", running)
+	}
+}
+
+func TestDeploymentValidation(t *testing.T) {
+	c := New("t")
+	if err := c.ApplyDeployment(Deployment{Replicas: 1}); err == nil {
+		t.Fatal("nameless deployment accepted")
+	}
+	if err := c.ApplyDeployment(Deployment{Name: "d", Replicas: -1}); err == nil {
+		t.Fatal("negative replicas accepted")
+	}
+	if err := c.ApplyDeployment(Deployment{Name: "d", Replicas: 1}); err == nil {
+		t.Fatal("zero-request template accepted")
+	}
+	// App defaults to deployment name.
+	if err := c.ApplyDeployment(Deployment{Name: "d", Replicas: 0,
+		Template: PodSpec{Requests: Resources{CPU: 1, MemMB: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := c.Deployment("d")
+	if d.Template.App != "d" {
+		t.Fatal("app did not default")
+	}
+}
+
+func TestDeleteDeployment(t *testing.T) {
+	c := twoNodes(t)
+	c.ApplyDeployment(Deployment{Name: "svc", Replicas: 2, //nolint:errcheck
+		Template: PodSpec{App: "svc", Requests: Resources{CPU: 1, MemMB: 256}}})
+	c.ReconcileUntilStable(10)
+	c.DeleteDeployment("svc")
+	if len(c.Pods()) != 0 {
+		t.Fatalf("pods after delete = %v", c.Pods())
+	}
+	c.DeleteDeployment("ghost") // no-op
+}
+
+func TestEventsAndSummary(t *testing.T) {
+	c := twoNodes(t)
+	name, _ := c.CreatePod(PodSpec{App: "w", Requests: Resources{CPU: 1, MemMB: 256}})
+	c.Schedule()
+	c.DeletePod(name)
+	evs := c.Events()
+	kinds := map[string]bool{}
+	for _, e := range evs {
+		kinds[e.Kind] = true
+	}
+	for _, k := range []string{"Created", "Scheduled", "Deleted"} {
+		if !kinds[k] {
+			t.Fatalf("missing event kind %s in %v", k, evs)
+		}
+	}
+	s := c.Summary()
+	if !strings.Contains(s, "edge-0") || !strings.Contains(s, "fog-0") {
+		t.Fatalf("summary = %q", s)
+	}
+}
+
+func TestResourcesHelpers(t *testing.T) {
+	a := Resources{CPU: 1, MemMB: 2}
+	b := Resources{CPU: 3, MemMB: 4}
+	if got := a.Add(b); got.CPU != 4 || got.MemMB != 6 {
+		t.Fatalf("Add = %+v", got)
+	}
+	if !a.Fits(b) || b.Fits(a) {
+		t.Fatal("Fits wrong")
+	}
+}
+
+func TestPodsOnNodeAndFreeOn(t *testing.T) {
+	c := twoNodes(t)
+	name, _ := c.CreatePod(PodSpec{App: "w", Requests: Resources{CPU: 2, MemMB: 1024},
+		NodeSelector: map[string]string{"layer": "edge"}})
+	c.Schedule()
+	pods := c.PodsOnNode("edge-0")
+	if len(pods) != 1 || pods[0].Name != name {
+		t.Fatalf("PodsOnNode = %v", pods)
+	}
+	free, ok := c.FreeOn("edge-0")
+	if !ok || free.CPU != 2 || free.MemMB != 3072 {
+		t.Fatalf("FreeOn = %+v %v", free, ok)
+	}
+	if _, ok := c.FreeOn("ghost"); ok {
+		t.Fatal("ghost FreeOn")
+	}
+}

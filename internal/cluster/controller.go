@@ -1,0 +1,181 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Deployment is a declarative replica set: the controller converges the
+// number of live pods for the app to Replicas.
+type Deployment struct {
+	Name     string
+	Replicas int
+	Template PodSpec
+}
+
+// ApplyDeployment creates or updates a deployment.
+func (c *Cluster) ApplyDeployment(d Deployment) error {
+	if d.Name == "" {
+		return fmt.Errorf("cluster: deployment needs a name")
+	}
+	if d.Replicas < 0 {
+		return fmt.Errorf("cluster: deployment %s has negative replicas", d.Name)
+	}
+	if d.Template.App == "" {
+		d.Template.App = d.Name
+	}
+	if d.Template.Requests.CPU <= 0 || d.Template.Requests.MemMB <= 0 {
+		return fmt.Errorf("cluster: deployment %s template needs positive requests", d.Name)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cp := d
+	c.deps[d.Name] = &cp
+	return nil
+}
+
+// DeleteDeployment removes the deployment and all its pods.
+func (c *Cluster) DeleteDeployment(name string) {
+	c.mu.Lock()
+	d, ok := c.deps[name]
+	if !ok {
+		c.mu.Unlock()
+		return
+	}
+	delete(c.deps, name)
+	app := d.Template.App
+	var victims []string
+	for _, p := range c.pods {
+		if p.Spec.App == app {
+			victims = append(victims, p.Name)
+		}
+	}
+	for _, v := range victims {
+		delete(c.pods, v)
+		c.eventLocked("Deleted", "pod/"+v, "deployment deleted")
+	}
+	c.mu.Unlock()
+}
+
+// Deployment returns a copy of the named deployment.
+func (c *Cluster) Deployment(name string) (Deployment, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d, ok := c.deps[name]
+	if !ok {
+		return Deployment{}, false
+	}
+	return *d, true
+}
+
+// Deployments lists deployments sorted by name.
+func (c *Cluster) Deployments() []Deployment {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Deployment, 0, len(c.deps))
+	for _, d := range c.deps {
+		out = append(out, *d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Reconcile runs one controller pass:
+//
+//  1. replica control — create missing pods, delete surplus pods, and
+//     garbage-collect failed pods owned by a deployment (they respawn
+//     fresh);
+//  2. scheduling — bind whatever is pending.
+//
+// It returns how many pods were created, deleted, and bound. Calling it
+// repeatedly is how the control plane "runs"; MIRTO's MAPE-K loop invokes
+// it after editing desired state.
+func (c *Cluster) Reconcile() (created, deleted, bound int) {
+	c.mu.Lock()
+	var depNames []string
+	for name := range c.deps {
+		depNames = append(depNames, name)
+	}
+	sort.Strings(depNames)
+	for _, name := range depNames {
+		d := c.deps[name]
+		var live, dead []string
+		for _, p := range c.podsLocked() {
+			if p.Spec.App != d.Template.App {
+				continue
+			}
+			if p.Phase == PodFailed {
+				dead = append(dead, p.Name)
+			} else {
+				live = append(live, p.Name)
+			}
+		}
+		// Failed pods owned by a deployment are replaced, not resurrected.
+		for _, v := range dead {
+			delete(c.pods, v)
+			c.eventLocked("Deleted", "pod/"+v, "failed pod garbage-collected")
+			deleted++
+		}
+		for len(live) < d.Replicas {
+			c.nextID++
+			pn := fmt.Sprintf("%s-%d", d.Template.App, c.nextID)
+			c.pods[pn] = &Pod{Name: pn, Spec: d.Template, Phase: PodPending}
+			c.eventLocked("Created", "pod/"+pn, "replica control")
+			live = append(live, pn)
+			created++
+		}
+		for len(live) > d.Replicas {
+			victim := live[len(live)-1]
+			live = live[:len(live)-1]
+			delete(c.pods, victim)
+			c.eventLocked("Deleted", "pod/"+victim, "replica control")
+			deleted++
+		}
+	}
+	c.mu.Unlock()
+	bound = c.Schedule()
+	return created, deleted, bound
+}
+
+// ReconcileUntilStable reconciles until a pass makes no change (bounded
+// by maxPasses) and reports whether a fixed point was reached.
+func (c *Cluster) ReconcileUntilStable(maxPasses int) bool {
+	for i := 0; i < maxPasses; i++ {
+		created, deleted, bound := c.Reconcile()
+		if created == 0 && deleted == 0 && bound == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Summary renders a one-line-per-node placement overview.
+func (c *Cluster) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster %s\n", c.name)
+	for _, n := range c.Nodes() {
+		free, _ := c.FreeOn(n.Name)
+		ready := "Ready"
+		if !n.Ready {
+			ready = "NotReady"
+		}
+		if n.Virtual {
+			ready += " (virtual)"
+		}
+		var apps []string
+		for _, p := range c.PodsOnNode(n.Name) {
+			apps = append(apps, p.Name)
+		}
+		fmt.Fprintf(&b, "  %-16s %-10s free %.1fcpu/%.0fMB pods=[%s]\n",
+			n.Name, ready, free.CPU, free.MemMB, strings.Join(apps, " "))
+	}
+	pending := 0
+	for _, p := range c.Pods() {
+		if p.Phase != PodRunning {
+			pending++
+		}
+	}
+	fmt.Fprintf(&b, "  pending/failed pods: %d\n", pending)
+	return b.String()
+}

@@ -1,0 +1,212 @@
+package continuum
+
+import (
+	"bytes"
+	"fmt"
+
+	"myrtus/internal/cluster"
+	"myrtus/internal/security"
+	"myrtus/internal/sim"
+)
+
+// The EU-CEI reference architecture defines eight building blocks
+// (Table I); MYRTUS adds the DPE as a ninth (§II). Each BuildingBlock
+// here pairs the paper's mapping text with a live probe against this
+// continuum instance, so the regenerated Table I is backed by running
+// code rather than prose.
+
+// BuildingBlock is one EU-CEI building block with its MYRTUS realization.
+type BuildingBlock struct {
+	Name           string
+	EUCEIRole      string
+	Implementation string
+	// Probe exercises the block on a live continuum; nil error = the row
+	// is backed by working code.
+	Probe func(c *Continuum) error
+}
+
+// BuildingBlocks returns the Table I registry (eight EU-CEI blocks plus
+// the MYRTUS DPE addition).
+func BuildingBlocks() []BuildingBlock {
+	return []BuildingBlock{
+		{
+			Name:      "Security and Privacy",
+			EUCEIRole: "Mechanisms for secure data and transactions between components",
+			Implementation: "Three runnable security levels (Table II): ASCON-128/ECDSA/ECDH (low), " +
+				"AES-128-GCM/RSA (medium), AES-256-GCM + PQ-style Lamport/LWE (high); " +
+				"levels are placement constraints enforced by the schedulers",
+			Probe: probeSecurity,
+		},
+		{
+			Name:           "Trust and Reputation",
+			EUCEIRole:      "Models for users of a continuum platform to generate trust in providers",
+			Implementation: "Beta-reputation trust engine fed by interaction outcomes; reputation KPIs consumed by the Privacy & Security Manager",
+			Probe:          probeTrust,
+		},
+		{
+			Name:           "Data management",
+			EUCEIRole:      "Collection, storage, computation, and actions performed over data",
+			Implementation: "Layer-dependent storage/processing on the device models; MQTT-style broker at the smart gateway; historical batches under the KB history prefix",
+			Probe:          probeData,
+		},
+		{
+			Name:           "Resource management",
+			EUCEIRole:      "Management of physical infrastructures and individual devices",
+			Implementation: "Kubernetes-role per-layer clusters (nodes/pods/deployments/reconcilers) with Liqo-style virtual-node peering across layers",
+			Probe:          probeResources,
+		},
+		{
+			Name:           "Orchestration",
+			EUCEIRole:      "Distribution of workloads, data or resources for executing a given action",
+			Implementation: "Two-level: declarative cluster scheduling below, MIRTO cognitive placement and MAPE-K reallocation above (internal/mirto)",
+			Probe:          probeOrchestration,
+		},
+		{
+			Name:           "Network",
+			EUCEIRole:      "Connectivity considerations, including private networks and network slicing",
+			Implementation: "Simulated continuum topology with latency/bandwidth/loss, shortest-path routing, FIFO congestion, and bandwidth-reserving slices",
+			Probe:          probeNetwork,
+		},
+		{
+			Name:           "Monitoring and Observability",
+			EUCEIRole:      "Infrastructure-, telemetry-, and application-level monitoring",
+			Implementation: "Three monitor classes per component (internal/telemetry); observability via the shared KB Resource Registry/Status with heartbeat leases",
+			Probe:          probeMonitoring,
+		},
+		{
+			Name:           "Artificial Intelligence",
+			EUCEIRole:      "Expected to be embedded in most activities performed",
+			Implementation: "MIRTO strategies: federated operating-point predictors (internal/fl), evolved swarm rules (internal/swarm), MAPE-K loops (internal/mapek)",
+			Probe:          probeAI,
+		},
+		{
+			Name:           "Design & Programming Environment (MYRTUS addition)",
+			EUCEIRole:      "Not addressed by EU-CEI: turning applications into executable implementations",
+			Implementation: "TOSCA modeling + ADT threat analysis + MLIR-style node-level flow (dfg/base2/cgra dialects, HLS estimator) emitting CSAR + bitstreams (internal/dpe)",
+			Probe:          probeDPE,
+		},
+	}
+}
+
+func probeSecurity(c *Continuum) error {
+	for _, lvl := range security.Levels() {
+		s, err := security.SuiteFor(lvl)
+		if err != nil {
+			return err
+		}
+		key := bytes.Repeat([]byte{7}, s.KeySize())
+		nonce := bytes.Repeat([]byte{9}, s.NonceSize())
+		ct, err := s.Seal(key, nonce, nil, []byte("probe"))
+		if err != nil {
+			return err
+		}
+		pt, err := s.Open(key, nonce, nil, ct)
+		if err != nil || string(pt) != "probe" {
+			return fmt.Errorf("suite %s round-trip failed: %v", lvl, err)
+		}
+	}
+	return nil
+}
+
+func probeTrust(c *Continuum) error {
+	c.Trust.Observe("probe", "probe-subject", true)
+	if r := c.Trust.Reputation("probe-subject"); r <= 0.5 {
+		return fmt.Errorf("reputation did not respond to evidence: %v", r)
+	}
+	return nil
+}
+
+func probeData(c *Continuum) error {
+	if err := c.Registry.RecordHistory("probe/topic", 1, map[string]int{"x": 1}); err != nil {
+		return err
+	}
+	if got := c.Registry.History("probe/topic"); len(got) != 1 {
+		return fmt.Errorf("history round-trip failed")
+	}
+	delivered := false
+	c.Broker.Subscribe(c.Broker.Node(), "probe/#", "", func(string, []byte) { delivered = true })
+	if err := c.Broker.Publish(c.Broker.Node(), "probe/data", []byte("x"), ""); err != nil {
+		return err
+	}
+	c.Engine.RunFor(sim.Second)
+	if !delivered {
+		return fmt.Errorf("broker did not deliver")
+	}
+	return nil
+}
+
+func probeResources(c *Continuum) error {
+	if len(c.Edge.Nodes()) == 0 || len(c.Fog.Nodes()) == 0 || len(c.Cloud.Nodes()) == 0 {
+		return fmt.Errorf("missing layer nodes")
+	}
+	for _, p := range c.Peerings {
+		if !p.Active() {
+			return fmt.Errorf("inactive peering")
+		}
+	}
+	return nil
+}
+
+func probeOrchestration(c *Continuum) error {
+	name, err := c.Edge.CreatePod(cluster.PodSpec{App: "bb-probe", Requests: cluster.Resources{CPU: 0.1, MemMB: 64}})
+	if err != nil {
+		return err
+	}
+	defer c.Edge.DeletePod(name)
+	if c.Edge.Schedule() < 1 {
+		return fmt.Errorf("probe pod not scheduled")
+	}
+	return nil
+}
+
+func probeNetwork(c *Continuum) error {
+	names := c.DeviceNames()
+	_, _, err := c.Topo.Route(names[0], names[len(names)-1])
+	return err
+}
+
+func probeMonitoring(c *Continuum) error {
+	c.Heartbeat()
+	snap := c.Registry.Snapshot()
+	if len(snap) != len(c.Devices) {
+		return fmt.Errorf("registry sees %d of %d devices", len(snap), len(c.Devices))
+	}
+	for _, e := range snap {
+		if !e.Live {
+			return fmt.Errorf("device %s not live after heartbeat", e.Record.Name)
+		}
+	}
+	return nil
+}
+
+func probeAI(c *Continuum) error {
+	// The AI block is probed by its packages' own tests; here we check
+	// that the KB can carry a model (the FL exchange medium).
+	if err := c.Registry.RecordHistory("models/probe", 1, map[string]float64{"w0": 1}); err != nil {
+		return err
+	}
+	return nil
+}
+
+func probeDPE(c *Continuum) error {
+	if len(c.Bitstreams.Kernels()) == 0 {
+		return fmt.Errorf("no bitstreams registered")
+	}
+	return nil
+}
+
+// RenderTableI regenerates Table I, running every probe and appending a
+// live PASS/FAIL status column.
+func (c *Continuum) RenderTableI() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "TABLE I: EU-CEI building blocks vs MYRTUS implementation (live probes)\n")
+	fmt.Fprintf(&b, "%-52s | %-6s | %s\n", "EU-CEI BUILDING BLOCK", "PROBE", "MYRTUS IMPLEMENTATION")
+	for _, bb := range BuildingBlocks() {
+		status := "PASS"
+		if err := bb.Probe(c); err != nil {
+			status = "FAIL: " + err.Error()
+		}
+		fmt.Fprintf(&b, "%-52s | %-6s | %s\n", bb.Name, status, bb.Implementation)
+	}
+	return b.String()
+}

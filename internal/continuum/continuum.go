@@ -1,0 +1,364 @@
+// Package continuum assembles the MYRTUS reference infrastructure of
+// Fig. 2: a composable layered cloud–fog–edge continuum integrating the
+// heterogeneous device models, the network fabric, per-layer
+// Kubernetes-role clusters joined by Liqo-style peerings, the shared
+// Raft-replicated Knowledge Base, and the trust engine. It also hosts the
+// EU-CEI building-block registry that regenerates Table I from the live
+// system (internal/continuum/blocks.go).
+package continuum
+
+import (
+	"fmt"
+	"sort"
+
+	"myrtus/internal/cluster"
+	"myrtus/internal/device"
+	"myrtus/internal/fpga"
+	"myrtus/internal/images"
+	"myrtus/internal/kb"
+	"myrtus/internal/liqo"
+	"myrtus/internal/network"
+	"myrtus/internal/security"
+	"myrtus/internal/sim"
+)
+
+// Options size the built infrastructure.
+type Options struct {
+	Seed uint64
+	// Edge layer.
+	Multicores int
+	HMPSoCs    int
+	RISCVs     int
+	// Fog layer.
+	Gateways    int
+	FMDCServers int
+	// Cloud layer.
+	CloudServers int
+	// KBReplicas is the Raft replica count of the shared KB.
+	KBReplicas int
+	// HeartbeatTTL is the registry lease TTL in virtual nanoseconds.
+	HeartbeatTTL int64
+}
+
+// DefaultOptions returns a small but complete continuum: 6 edge devices,
+// a gateway plus two FMDC servers in the fog, two cloud servers, and a
+// 3-replica KB.
+func DefaultOptions() Options {
+	return Options{
+		Seed:       1,
+		Multicores: 2, HMPSoCs: 2, RISCVs: 2,
+		Gateways: 1, FMDCServers: 2,
+		CloudServers: 2,
+		KBReplicas:   3,
+		HeartbeatTTL: int64(10 * sim.Second),
+	}
+}
+
+// Continuum is one built infrastructure instance.
+type Continuum struct {
+	Engine *sim.Engine
+	Topo   *network.Topology
+	Fabric *network.Fabric
+	Broker *network.Broker
+
+	Devices map[string]*device.Device
+
+	// Clusters per layer; Liqo peerings chain edge→fog→cloud.
+	Edge, Fog, Cloud *cluster.Cluster
+	Peerings         []*liqo.Peering
+
+	KB       kb.Backend
+	Registry *kb.Registry
+	Trust    *security.TrustEngine
+
+	Bitstreams *fpga.Registry
+	// Images is the container image registry/repository (§VI), shared by
+	// all layers; MIRTO's Workload Manager performs admission against it.
+	Images *images.Registry
+
+	opts   Options
+	leases map[string]*kb.Lease
+}
+
+// Build constructs the continuum.
+func Build(opts Options) (*Continuum, error) {
+	if opts.Multicores+opts.HMPSoCs+opts.RISCVs < 1 {
+		return nil, fmt.Errorf("continuum: need at least one edge device")
+	}
+	if opts.Gateways < 1 || opts.FMDCServers < 1 || opts.CloudServers < 1 {
+		return nil, fmt.Errorf("continuum: need at least one gateway, FMDC server, and cloud server")
+	}
+	if opts.KBReplicas < 1 {
+		return nil, fmt.Errorf("continuum: need at least one KB replica")
+	}
+	if opts.HeartbeatTTL <= 0 {
+		opts.HeartbeatTTL = int64(10 * sim.Second)
+	}
+	c := &Continuum{
+		Engine:     sim.NewEngine(opts.Seed),
+		Topo:       network.NewTopology(opts.Seed),
+		Devices:    map[string]*device.Device{},
+		Edge:       cluster.New("edge"),
+		Fog:        cluster.New("fog"),
+		Cloud:      cluster.New("cloud"),
+		Bitstreams: fpga.NewRegistry(),
+		Images:     images.New(nil, nil),
+		opts:       opts,
+		leases:     map[string]*kb.Lease{},
+	}
+	c.Fabric = network.NewFabric(c.Engine, c.Topo)
+
+	var err error
+	if c.Trust, err = security.NewTrustEngine(0.98); err != nil {
+		return nil, err
+	}
+	// The one ontological KB: logically single, physically replicated.
+	if opts.KBReplicas == 1 {
+		c.KB = kb.NewStore()
+	} else {
+		c.KB = kb.NewCluster(opts.KBReplicas, opts.Seed)
+	}
+	c.Registry = kb.NewRegistry(c.KB)
+
+	// Devices.
+	var edgeDevices []*device.Device
+	for i := 0; i < opts.Multicores; i++ {
+		edgeDevices = append(edgeDevices, device.NewMulticore(fmt.Sprintf("edge-mc-%d", i)))
+	}
+	for i := 0; i < opts.HMPSoCs; i++ {
+		edgeDevices = append(edgeDevices, device.NewHMPSoC(fmt.Sprintf("edge-hmp-%d", i)))
+	}
+	for i := 0; i < opts.RISCVs; i++ {
+		edgeDevices = append(edgeDevices, device.NewRISCV(fmt.Sprintf("edge-rv-%d", i), "fft", "conv2d"))
+	}
+	// Edge devices sit in fanless enclosures: enable the thermal model so
+	// the infrastructure monitors report temperature (§III Monitoring).
+	for _, d := range edgeDevices {
+		d.EnableThermal(device.DefaultThermalSpec())
+	}
+	var fogDevices []*device.Device
+	var gateways []*device.Device
+	for i := 0; i < opts.Gateways; i++ {
+		g := device.NewGateway(fmt.Sprintf("fog-gw-%d", i))
+		gateways = append(gateways, g)
+		fogDevices = append(fogDevices, g)
+	}
+	for i := 0; i < opts.FMDCServers; i++ {
+		fogDevices = append(fogDevices, device.NewFMDCServer(fmt.Sprintf("fog-fmdc-%d", i)))
+	}
+	var cloudDevices []*device.Device
+	for i := 0; i < opts.CloudServers; i++ {
+		cloudDevices = append(cloudDevices, device.NewCloudServer(fmt.Sprintf("cloud-srv-%d", i)))
+	}
+
+	// Network: stars per layer, uplinks between layers (Fig. 2 shape).
+	gw := gateways[0].Name()
+	for _, d := range edgeDevices {
+		if err := c.Topo.AddDuplex(d.Name(), gw, 2*sim.Millisecond, 12.5e6, 0.001); err != nil {
+			return nil, err
+		}
+	}
+	for _, d := range fogDevices {
+		if d.Name() == gw {
+			continue
+		}
+		if err := c.Topo.AddDuplex(gw, d.Name(), 1*sim.Millisecond, 125e6, 0.0005); err != nil {
+			return nil, err
+		}
+	}
+	for _, d := range cloudDevices {
+		// Cloud reached through the first FMDC (fog is the edge–cloud bridge).
+		bridge := fogDevices[len(gateways)].Name()
+		if err := c.Topo.AddDuplex(bridge, d.Name(), 20*sim.Millisecond, 1.25e9, 0.0001); err != nil {
+			return nil, err
+		}
+	}
+	c.Broker = network.NewBroker(c.Fabric, gw)
+
+	// Register devices: KB registry + per-layer cluster nodes.
+	register := func(devs []*device.Device, cl *cluster.Cluster, layer string) error {
+		for _, d := range devs {
+			c.Devices[d.Name()] = d
+			spec := d.Spec()
+			var accels []string
+			if spec.Fabric != nil {
+				accels = append(accels, spec.Fabric.Name())
+			}
+			for k := range spec.CustomUnits {
+				accels = append(accels, "cu:"+k)
+			}
+			sort.Strings(accels)
+			lease, err := c.Registry.Register(kb.ComponentRecord{
+				Name: d.Name(), Layer: layer, Kind: string(spec.Kind), Cluster: cl.Name(),
+				CPUCapacity: float64(spec.Cores), MemCapacityMB: spec.MemMB,
+				Accelerators: accels, SecurityLevels: spec.SecurityLevels,
+				Protocols: spec.Protocols,
+			}, int64(c.Engine.Now()), opts.HeartbeatTTL)
+			if err != nil {
+				return err
+			}
+			c.leases[d.Name()] = lease
+			if err := cl.AddNode(cluster.Node{
+				Name:        d.Name(),
+				Allocatable: cluster.Resources{CPU: float64(spec.Cores), MemMB: spec.MemMB},
+				Labels: map[string]string{
+					"layer": layer, "kind": string(spec.Kind), "name": d.Name(),
+				},
+				SecurityLevels: spec.SecurityLevels,
+				Ready:          true,
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := register(edgeDevices, c.Edge, "edge"); err != nil {
+		return nil, err
+	}
+	if err := register(fogDevices, c.Fog, "fog"); err != nil {
+		return nil, err
+	}
+	if err := register(cloudDevices, c.Cloud, "cloud"); err != nil {
+		return nil, err
+	}
+
+	// Peerings: vertical composition edge→fog→cloud.
+	p1, err := liqo.Peer(c.Edge, c.Fog, "liqo-fog", map[string]string{"layer": "fog"})
+	if err != nil {
+		return nil, err
+	}
+	p2, err := liqo.Peer(c.Fog, c.Cloud, "liqo-cloud", map[string]string{"layer": "cloud"})
+	if err != nil {
+		return nil, err
+	}
+	c.Peerings = []*liqo.Peering{p1, p2}
+
+	// Standard DPE bitstreams available on the continuum.
+	for _, bs := range device.StandardBitstreams() {
+		if err := c.Bitstreams.Add(bs); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// ClusterFor returns the layer cluster hosting the named device.
+func (c *Continuum) ClusterFor(deviceName string) (*cluster.Cluster, bool) {
+	for _, cl := range []*cluster.Cluster{c.Edge, c.Fog, c.Cloud} {
+		if _, ok := cl.Node(deviceName); ok {
+			return cl, true
+		}
+	}
+	return nil, false
+}
+
+// Layers returns the three clusters in edge, fog, cloud order.
+func (c *Continuum) Layers() []*cluster.Cluster {
+	return []*cluster.Cluster{c.Edge, c.Fog, c.Cloud}
+}
+
+// Heartbeat refreshes every live device's registry status and lease at
+// the current virtual time, then expires lapsed leases. MIRTO agents call
+// this on their sensing cadence.
+func (c *Continuum) Heartbeat() {
+	now := int64(c.Engine.Now())
+	names := make([]string, 0, len(c.Devices))
+	for n := range c.Devices {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		d := c.Devices[n]
+		if d.Failed() {
+			continue // a dead device stops heartbeating; its lease lapses
+		}
+		if lease := c.leases[n]; lease != nil {
+			c.Registry.Leases().KeepAlive(lease.ID, now) //nolint:errcheck
+		}
+		_, scale := d.DVFS()
+		temp := d.ThermalStep(c.Engine.Now())
+		c.Registry.UpdateStatus(kb.ComponentStatus{ //nolint:errcheck
+			Name:        n,
+			Ready:       true,
+			CPUUsed:     d.Utilization(c.Engine.Now()) * float64(d.Spec().Cores),
+			MemUsedMB:   d.Spec().MemMB - d.MemFree(),
+			PowerWatts:  d.Spec().IdlePowerW + (d.Spec().MaxPowerW-d.Spec().IdlePowerW)*scale*d.Utilization(c.Engine.Now()),
+			Temperature: temp,
+			UpdatedAt:   now,
+		})
+	}
+	c.Registry.Leases().Tick(now)
+}
+
+// FailDevice takes a device down across all views: the device model, its
+// cluster node, and (by stopping heartbeats) the registry.
+func (c *Continuum) FailDevice(name string) error {
+	d, ok := c.Devices[name]
+	if !ok {
+		return fmt.Errorf("continuum: unknown device %s", name)
+	}
+	d.Fail()
+	if cl, ok := c.ClusterFor(name); ok {
+		cl.SetNodeReady(name, false) //nolint:errcheck
+	}
+	return nil
+}
+
+// RepairDevice brings a failed device back.
+func (c *Continuum) RepairDevice(name string) error {
+	d, ok := c.Devices[name]
+	if !ok {
+		return fmt.Errorf("continuum: unknown device %s", name)
+	}
+	d.Repair(c.Engine.Now())
+	if cl, ok := c.ClusterFor(name); ok {
+		cl.SetNodeReady(name, true) //nolint:errcheck
+	}
+	c.Heartbeat()
+	return nil
+}
+
+// SyncPeerings reconciles all Liqo peerings (edge→fog before fog→cloud so
+// offloads cascade downward in one call).
+func (c *Continuum) SyncPeerings() error {
+	for _, p := range c.Peerings {
+		if !p.Active() {
+			continue
+		}
+		if _, _, _, err := p.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Reconcile runs one full control-plane round: cluster controllers,
+// peering sync, then controllers again so reflected failures reschedule.
+func (c *Continuum) Reconcile() {
+	for _, cl := range c.Layers() {
+		cl.Reconcile()
+	}
+	c.SyncPeerings() //nolint:errcheck
+	for _, cl := range c.Layers() {
+		cl.Reconcile()
+	}
+}
+
+// TotalEnergy integrates energy over all devices up to virtual now.
+func (c *Continuum) TotalEnergy() float64 {
+	total := 0.0
+	for _, d := range c.Devices {
+		total += d.Energy(c.Engine.Now())
+	}
+	return total
+}
+
+// DeviceNames returns all device names sorted.
+func (c *Continuum) DeviceNames() []string {
+	out := make([]string, 0, len(c.Devices))
+	for n := range c.Devices {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,306 @@
+package continuum
+
+import (
+	"strings"
+	"testing"
+
+	"myrtus/internal/cluster"
+	"myrtus/internal/device"
+	"myrtus/internal/sim"
+)
+
+func deviceWork(gops float64) device.Work { return device.Work{GOps: gops} }
+
+func small(t *testing.T) *Continuum {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.KBReplicas = 1 // single-replica KB keeps unit tests fast
+	c, err := Build(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestBuildValidation(t *testing.T) {
+	bad := DefaultOptions()
+	bad.Multicores, bad.HMPSoCs, bad.RISCVs = 0, 0, 0
+	if _, err := Build(bad); err == nil {
+		t.Fatal("edge-less continuum accepted")
+	}
+	bad2 := DefaultOptions()
+	bad2.Gateways = 0
+	if _, err := Build(bad2); err == nil {
+		t.Fatal("gateway-less continuum accepted")
+	}
+	bad3 := DefaultOptions()
+	bad3.KBReplicas = 0
+	if _, err := Build(bad3); err == nil {
+		t.Fatal("KB-less continuum accepted")
+	}
+}
+
+func TestBuildShape(t *testing.T) {
+	c := small(t)
+	// 6 edge + 3 fog + 2 cloud devices.
+	if len(c.Devices) != 11 {
+		t.Fatalf("devices = %d", len(c.Devices))
+	}
+	// Edge cluster: 6 local nodes + 1 virtual.
+	if got := len(c.Edge.Nodes()); got != 7 {
+		t.Fatalf("edge nodes = %d", got)
+	}
+	if got := len(c.Fog.Nodes()); got != 4 { // 3 + virtual cloud
+		t.Fatalf("fog nodes = %d", got)
+	}
+	if got := len(c.Cloud.Nodes()); got != 2 {
+		t.Fatalf("cloud nodes = %d", got)
+	}
+	// Registry sees every device.
+	if got := len(c.Registry.List("")); got != 11 {
+		t.Fatalf("registry = %d", got)
+	}
+	if got := len(c.Registry.List("edge")); got != 6 {
+		t.Fatalf("edge registry = %d", got)
+	}
+	// Cross-layer route exists: edge device to cloud server.
+	if _, lat, err := c.Topo.Route("edge-mc-0", "cloud-srv-0"); err != nil || lat <= 0 {
+		t.Fatalf("route: %v %v", lat, err)
+	}
+	if len(c.Bitstreams.Kernels()) != 3 {
+		t.Fatalf("bitstreams = %v", c.Bitstreams.Kernels())
+	}
+}
+
+func TestHeartbeatAndLeaseLapse(t *testing.T) {
+	c := small(t)
+	c.Heartbeat()
+	snap := c.Registry.Snapshot()
+	for _, e := range snap {
+		if !e.Live {
+			t.Fatalf("%s not live", e.Record.Name)
+		}
+	}
+	// Fail a device; advance past TTL; heartbeat ticks leases.
+	if err := c.FailDevice("edge-mc-0"); err != nil {
+		t.Fatal(err)
+	}
+	c.Engine.RunFor(sim.Time(c.opts.HeartbeatTTL) * 2)
+	c.Heartbeat()
+	if _, ok := c.Registry.Status("edge-mc-0"); ok {
+		t.Fatal("failed device still has live status")
+	}
+	if st, ok := c.Registry.Status("edge-mc-1"); !ok || !st.Ready {
+		t.Fatal("healthy device lost status")
+	}
+	// Repair restores it.
+	if err := c.RepairDevice("edge-mc-0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Registry.Status("edge-mc-0"); !ok {
+		t.Fatal("repaired device missing status")
+	}
+	if err := c.FailDevice("ghost"); err == nil {
+		t.Fatal("ghost fail accepted")
+	}
+	if err := c.RepairDevice("ghost"); err == nil {
+		t.Fatal("ghost repair accepted")
+	}
+}
+
+func TestVerticalOffloadCascade(t *testing.T) {
+	c := small(t)
+	// A workload too large for any edge device must cascade via the
+	// virtual node into the fog.
+	if err := c.Edge.ApplyDeployment(cluster.Deployment{
+		Name: "analytics", Replicas: 1,
+		Template: cluster.PodSpec{App: "analytics", Requests: cluster.Resources{CPU: 12, MemMB: 32768}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.Reconcile()
+	pods := c.Edge.Pods()
+	if len(pods) != 1 || pods[0].Phase != cluster.PodRunning || pods[0].Node != "liqo-fog" {
+		t.Fatalf("pods = %+v", pods)
+	}
+	// Mirror landed on an FMDC server.
+	found := false
+	for _, p := range c.Fog.Pods() {
+		if p.Phase == cluster.PodRunning && strings.HasPrefix(p.Node, "fog-fmdc") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no mirror in fog: %+v", c.Fog.Pods())
+	}
+}
+
+func TestHorizontalAndVerticalCoexist(t *testing.T) {
+	c := small(t)
+	// Small pods fill edge nodes horizontally; the oversized one goes
+	// vertical.
+	for i := 0; i < 4; i++ {
+		c.Edge.CreatePod(cluster.PodSpec{App: "sensor", Requests: cluster.Resources{CPU: 0.5, MemMB: 128}}) //nolint:errcheck
+	}
+	c.Edge.CreatePod(cluster.PodSpec{App: "big", Requests: cluster.Resources{CPU: 10, MemMB: 16384}}) //nolint:errcheck
+	c.Reconcile()
+	onEdge, onVirtual := 0, 0
+	for _, p := range c.Edge.Pods() {
+		if p.Phase != cluster.PodRunning {
+			t.Fatalf("pod %s not running", p.Name)
+		}
+		if p.Node == "liqo-fog" {
+			onVirtual++
+		} else {
+			onEdge++
+		}
+	}
+	if onEdge != 4 || onVirtual != 1 {
+		t.Fatalf("edge=%d virtual=%d", onEdge, onVirtual)
+	}
+}
+
+func TestFailureSelfHealsAcrossLayers(t *testing.T) {
+	c := small(t)
+	c.Edge.ApplyDeployment(cluster.Deployment{ //nolint:errcheck
+		Name: "svc", Replicas: 2,
+		Template: cluster.PodSpec{App: "svc", Requests: cluster.Resources{CPU: 1, MemMB: 256}},
+	})
+	c.Reconcile()
+	// Fail every multicore so replicas must move.
+	c.FailDevice("edge-mc-0") //nolint:errcheck
+	c.FailDevice("edge-mc-1") //nolint:errcheck
+	for i := 0; i < 3; i++ {
+		c.Reconcile()
+	}
+	running := 0
+	for _, p := range c.Edge.Pods() {
+		if p.Phase == cluster.PodRunning {
+			if p.Node == "edge-mc-0" || p.Node == "edge-mc-1" {
+				t.Fatalf("pod on failed device %s", p.Node)
+			}
+			running++
+		}
+	}
+	if running != 2 {
+		t.Fatalf("running = %d after self-heal", running)
+	}
+}
+
+func TestBuildingBlocksAllProbesPass(t *testing.T) {
+	c := small(t)
+	blocks := BuildingBlocks()
+	if len(blocks) != 9 {
+		t.Fatalf("blocks = %d, want 8 EU-CEI + 1 DPE", len(blocks))
+	}
+	for _, bb := range blocks {
+		if err := bb.Probe(c); err != nil {
+			t.Fatalf("probe %q failed: %v", bb.Name, err)
+		}
+	}
+}
+
+func TestRenderTableI(t *testing.T) {
+	c := small(t)
+	out := c.RenderTableI()
+	if strings.Count(out, "PASS") != 9 {
+		t.Fatalf("not all probes pass:\n%s", out)
+	}
+	for _, want := range []string{"Orchestration", "Artificial Intelligence", "Design & Programming Environment"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q", want)
+		}
+	}
+}
+
+func TestRenderTopology(t *testing.T) {
+	c := small(t)
+	out := c.RenderTopology()
+	for _, want := range []string{"CLOUD LAYER", "FOG LAYER", "EDGE LAYER", "Liqo peering", "hmpsoc", "Shared ontological KB"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("topology missing %q:\n%s", want, out)
+		}
+	}
+	c.FailDevice("edge-mc-0") //nolint:errcheck
+	if !strings.Contains(c.RenderTopology(), "DOWN") {
+		t.Fatal("failed device not marked")
+	}
+}
+
+func TestRenderPillars(t *testing.T) {
+	out := RenderPillars()
+	for _, want := range []string{"PILLAR 1", "PILLAR 2", "PILLAR 3", "MIRTO Cognitive Engine", "internal/mlir"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("pillars missing %q", want)
+		}
+	}
+	if len(Pillars()) != 3 {
+		t.Fatal("pillar count")
+	}
+}
+
+func TestTotalEnergyGrowsWithTime(t *testing.T) {
+	c := small(t)
+	e0 := c.TotalEnergy()
+	c.Engine.RunFor(10 * sim.Second)
+	e1 := c.TotalEnergy()
+	if e1 <= e0 {
+		t.Fatalf("idle energy not integrating: %v → %v", e0, e1)
+	}
+}
+
+func TestClusterForAndDeviceNames(t *testing.T) {
+	c := small(t)
+	cl, ok := c.ClusterFor("fog-fmdc-0")
+	if !ok || cl.Name() != "fog" {
+		t.Fatalf("ClusterFor = %v %v", cl, ok)
+	}
+	if _, ok := c.ClusterFor("ghost"); ok {
+		t.Fatal("ghost cluster")
+	}
+	names := c.DeviceNames()
+	if len(names) != 11 || names[0] >= names[len(names)-1] {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestReplicatedKBContinuum(t *testing.T) {
+	// Smoke test with the real 3-replica Raft KB.
+	opts := DefaultOptions()
+	opts.Multicores, opts.HMPSoCs, opts.RISCVs = 1, 1, 0
+	opts.FMDCServers, opts.CloudServers = 1, 1
+	c, err := Build(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Heartbeat()
+	if got := len(c.Registry.List("")); got != 5 {
+		t.Fatalf("registry on raft KB = %d", got)
+	}
+}
+
+func TestHeartbeatReportsTemperature(t *testing.T) {
+	c := small(t)
+	// Load an edge device, advance time, heartbeat: the registry status
+	// must carry a temperature above ambient.
+	d := c.Devices["edge-rv-0"]
+	now := c.Engine.Now()
+	for i := 0; i < 5; i++ {
+		d.Run(deviceWork(20), now) //nolint:errcheck
+		now += 10 * sim.Second
+		c.Engine.RunUntil(now)
+		c.Heartbeat()
+	}
+	st, ok := c.Registry.Status("edge-rv-0")
+	if !ok {
+		t.Fatal("status missing")
+	}
+	if st.Temperature <= 25 {
+		t.Fatalf("temperature = %v, want above ambient", st.Temperature)
+	}
+	// Cloud servers have no thermal model: ambient reading.
+	stc, _ := c.Registry.Status("cloud-srv-0")
+	if stc.Temperature != 25 {
+		t.Fatalf("cloud temperature = %v", stc.Temperature)
+	}
+}

@@ -1,0 +1,131 @@
+package continuum
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderTopology draws the Fig. 2 layered infrastructure from the live
+// instance: cloud on top, fog (FMDC + smart gateway) in the middle, the
+// heterogeneous edge at the bottom, with the per-layer clusters and the
+// shared KB annotated.
+func (c *Continuum) RenderTopology() string {
+	var b strings.Builder
+	line := strings.Repeat("=", 76)
+	fmt.Fprintln(&b, line)
+	fmt.Fprintln(&b, "FIG. 2: MYRTUS layered computing continuum infrastructure (live instance)")
+	fmt.Fprintln(&b, line)
+	layer := func(title string, cl clusterView, kinds map[string]string) {
+		fmt.Fprintf(&b, "%s  [cluster %q, %d nodes]\n", title, cl.name, len(cl.nodes))
+		for _, n := range cl.nodes {
+			d := c.Devices[n]
+			if d == nil {
+				fmt.Fprintf(&b, "    %-16s (virtual node -> %s)\n", n, kinds[n])
+				continue
+			}
+			spec := d.Spec()
+			extra := ""
+			if spec.Fabric != nil {
+				extra = fmt.Sprintf(" fpga[%d regions]", spec.Fabric.Regions())
+			}
+			if len(spec.CustomUnits) > 0 {
+				extra += " custom-units"
+			}
+			status := ""
+			if d.Failed() {
+				status = " DOWN"
+			}
+			fmt.Fprintf(&b, "    %-16s %-12s %2d cores %6.0f MB  sec=%v%s%s\n",
+				n, spec.Kind, spec.Cores, spec.MemMB, spec.SecurityLevels, extra, status)
+		}
+	}
+	views := c.clusterViews()
+	layer("CLOUD LAYER", views[2], c.virtualTargets())
+	fmt.Fprintln(&b, "      |  (Liqo peering: fog sees cloud as virtual node)")
+	layer("FOG LAYER  ", views[1], c.virtualTargets())
+	fmt.Fprintln(&b, "      |  (Liqo peering: edge sees fog as virtual node; smart gateway is the data hub)")
+	layer("EDGE LAYER ", views[0], c.virtualTargets())
+	fmt.Fprintln(&b, line)
+	fmt.Fprintf(&b, "Shared ontological KB: %d-replica, revision %d, %d registered components\n",
+		c.opts.KBReplicas, c.KB.Revision(), len(c.Registry.List("")))
+	fmt.Fprintf(&b, "Network: %d endpoints; broker at %s; virtual clock %v\n",
+		len(c.Topo.Nodes()), c.Broker.Node(), c.Engine.Now())
+	return b.String()
+}
+
+type clusterView struct {
+	name  string
+	nodes []string
+}
+
+func (c *Continuum) clusterViews() []clusterView {
+	var out []clusterView
+	for _, cl := range c.Layers() {
+		v := clusterView{name: cl.Name()}
+		for _, n := range cl.Nodes() {
+			v.nodes = append(v.nodes, n.Name)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func (c *Continuum) virtualTargets() map[string]string {
+	out := map[string]string{}
+	for _, p := range c.Peerings {
+		if p.Active() {
+			out[p.VirtualNode()] = "remote cluster"
+		}
+	}
+	return out
+}
+
+// Pillar is one of the three MYRTUS technical pillars (Fig. 1).
+type Pillar struct {
+	Number      int
+	Name        string
+	Description string
+	Modules     []string
+}
+
+// Pillars regenerates the Fig. 1 pillar structure, mapped to the modules
+// of this repository instead of consortium partners.
+func Pillars() []Pillar {
+	return []Pillar{
+		{
+			Number: 1, Name: "MYRTUS Computing Continuum Infrastructure",
+			Description: "Key enabling technologies for horizontal and vertical composition and seamless execution of complex workloads",
+			Modules: []string{
+				"internal/device", "internal/fpga", "internal/network",
+				"internal/cluster", "internal/liqo", "internal/kb",
+				"internal/security", "internal/telemetry", "internal/continuum",
+			},
+		},
+		{
+			Number: 2, Name: "MIRTO Cognitive Engine",
+			Description: "High-level orchestration for continuous optimization of performance, energy, security and trust across the continuum",
+			Modules: []string{
+				"internal/mirto", "internal/mapek", "internal/swarm", "internal/fl",
+			},
+		},
+		{
+			Number: 3, Name: "MYRTUS Design and Programming Environment",
+			Description: "Interoperable model-based design: cross-layer modelling, threat analysis, DSE, component synthesis and code generation",
+			Modules: []string{
+				"internal/tosca", "internal/adt", "internal/mlir",
+				"internal/dataflow", "internal/dse", "internal/dpe",
+			},
+		},
+	}
+}
+
+// RenderPillars draws the Fig. 1 report.
+func RenderPillars() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "FIG. 1: MYRTUS technical pillars (mapped to repository modules)")
+	for _, p := range Pillars() {
+		fmt.Fprintf(&b, "\nPILLAR %d: %s\n  %s\n  modules: %s\n",
+			p.Number, p.Name, p.Description, strings.Join(p.Modules, ", "))
+	}
+	return b.String()
+}

@@ -1,0 +1,214 @@
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Multi-dataflow composition (the MDC tool's core idea): given N
+// application graphs, build one merged datapath in which actors with the
+// same name are instantiated once and shared. Where different graphs feed
+// the same consumer from different producers, a switching box (SBox) is
+// inserted; a per-graph configuration selects the SBox inputs at runtime,
+// so switching applications is a lightweight reconfiguration rather than a
+// full bitstream reload.
+
+// Config activates one original graph inside the composite.
+type Config struct {
+	Graph string
+	// ActiveActors are the merged-datapath actors this configuration uses.
+	ActiveActors []string
+	// SBoxSelect maps sbox actor name → selected producer actor.
+	SBoxSelect map[string]string
+}
+
+// Composite is the merged reconfigurable datapath.
+type Composite struct {
+	Merged  *Graph
+	Configs map[string]Config
+	// SharedActors are actors used by ≥2 configurations.
+	SharedActors []string
+}
+
+// Compose merges the given graphs. Actors sharing a name must agree on
+// latency and area (they are the same hardware block).
+func Compose(graphs ...*Graph) (*Composite, error) {
+	if len(graphs) == 0 {
+		return nil, fmt.Errorf("dataflow: nothing to compose")
+	}
+	merged := NewGraph("mdc-composite")
+	useCount := map[string]int{}
+	configs := make(map[string]Config, len(graphs))
+
+	// First pass: union of actors.
+	for _, g := range graphs {
+		if g == nil || len(g.order) == 0 {
+			return nil, fmt.Errorf("dataflow: empty graph in composition")
+		}
+		if _, dup := configs[g.Name]; dup {
+			return nil, fmt.Errorf("dataflow: duplicate graph name %q", g.Name)
+		}
+		configs[g.Name] = Config{Graph: g.Name, SBoxSelect: map[string]string{}}
+		for _, name := range g.order {
+			a := g.actors[name]
+			useCount[name]++
+			if existing, ok := merged.actors[name]; ok {
+				if existing.Latency != a.Latency || existing.AreaUnits != a.AreaUnits {
+					return nil, fmt.Errorf("dataflow: actor %q differs between graphs (cannot share)", name)
+				}
+				continue
+			}
+			if err := merged.AddActor(*a); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Second pass: union of edges; conflicting producers for one consumer
+	// get an SBox.
+	type feed struct {
+		src     string
+		graph   string
+		produce int
+		consume int
+		tokens  int
+	}
+	feeds := map[string][]feed{} // dst -> producers across graphs
+	for _, g := range graphs {
+		for _, e := range g.edges {
+			feeds[e.Dst] = append(feeds[e.Dst], feed{
+				src: e.Src, graph: g.Name,
+				produce: e.Produce, consume: e.Consume, tokens: e.InitialTokens,
+			})
+		}
+	}
+	dsts := make([]string, 0, len(feeds))
+	for d := range feeds {
+		dsts = append(dsts, d)
+	}
+	sort.Strings(dsts)
+	sboxN := 0
+	edgeSeen := map[string]bool{}
+	for _, dst := range dsts {
+		fs := feeds[dst]
+		srcs := map[string]bool{}
+		for _, f := range fs {
+			srcs[f.src] = true
+		}
+		if len(srcs) == 1 {
+			// Single producer: plain shared edge (dedup identical edges).
+			f := fs[0]
+			k := f.src + "->" + dst
+			if !edgeSeen[k] {
+				edgeSeen[k] = true
+				if err := merged.AddEdge(Edge{Src: f.src, Dst: dst, Produce: f.produce, Consume: f.consume, InitialTokens: f.tokens}); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+		// Multiple producers: insert an SBox in front of dst.
+		sboxN++
+		sbox := fmt.Sprintf("sbox%d_%s", sboxN, dst)
+		if err := merged.AddActor(Actor{Name: sbox, Kind: "sbox", AreaUnits: 1}); err != nil {
+			return nil, err
+		}
+		addedFromSrc := map[string]bool{}
+		for _, f := range fs {
+			if !addedFromSrc[f.src] {
+				addedFromSrc[f.src] = true
+				if err := merged.AddEdge(Edge{Src: f.src, Dst: sbox, Produce: f.produce, Consume: f.produce}); err != nil {
+					return nil, err
+				}
+			}
+			cfg := configs[f.graph]
+			cfg.SBoxSelect[sbox] = f.src
+			configs[f.graph] = cfg
+			k := sbox + "->" + dst
+			if !edgeSeen[k] {
+				edgeSeen[k] = true
+				if err := merged.AddEdge(Edge{Src: sbox, Dst: dst, Produce: f.produce, Consume: f.consume, InitialTokens: f.tokens}); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// Active actor sets per configuration.
+	for _, g := range graphs {
+		cfg := configs[g.Name]
+		cfg.ActiveActors = append([]string(nil), g.order...)
+		for sbox := range cfg.SBoxSelect {
+			cfg.ActiveActors = append(cfg.ActiveActors, sbox)
+		}
+		sort.Strings(cfg.ActiveActors)
+		configs[g.Name] = cfg
+	}
+	var shared []string
+	for name, n := range useCount {
+		if n >= 2 {
+			shared = append(shared, name)
+		}
+	}
+	sort.Strings(shared)
+	return &Composite{Merged: merged, Configs: configs, SharedActors: shared}, nil
+}
+
+// AreaSaving reports the composite's area versus instantiating every
+// graph separately: (separate, merged, saving fraction).
+func (c *Composite) AreaSaving(graphs ...*Graph) (separate, merged int, saving float64) {
+	for _, g := range graphs {
+		separate += g.TotalArea()
+	}
+	merged = c.Merged.TotalArea()
+	if separate > 0 {
+		saving = 1 - float64(merged)/float64(separate)
+	}
+	return separate, merged, saving
+}
+
+// ConfigGraph extracts the runnable subgraph for one configuration: the
+// active actors with SBoxes resolved to their selected producer, so the
+// result is analyzable as a plain SDF graph.
+func (c *Composite) ConfigGraph(name string) (*Graph, error) {
+	cfg, ok := c.Configs[name]
+	if !ok {
+		return nil, fmt.Errorf("dataflow: unknown configuration %q", name)
+	}
+	active := map[string]bool{}
+	for _, a := range cfg.ActiveActors {
+		active[a] = true
+	}
+	g := NewGraph(c.Merged.Name + "/" + name)
+	for _, a := range cfg.ActiveActors {
+		act := c.Merged.actors[a]
+		if act.Kind == "sbox" {
+			continue // sboxes are transparent in the resolved view
+		}
+		if err := g.AddActor(*act); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range c.Merged.edges {
+		src, dst := e.Src, e.Dst
+		if !active[src] || !active[dst] {
+			continue
+		}
+		sAct := c.Merged.actors[src]
+		dAct := c.Merged.actors[dst]
+		if dAct.Kind == "sbox" {
+			continue // handled from the sbox→consumer side
+		}
+		if sAct.Kind == "sbox" {
+			sel, ok := cfg.SBoxSelect[src]
+			if !ok {
+				return nil, fmt.Errorf("dataflow: config %q does not program sbox %q", name, src)
+			}
+			src = sel
+		}
+		if err := g.AddEdge(Edge{Src: src, Dst: dst, Produce: e.Produce, Consume: e.Consume, InitialTokens: e.InitialTokens}); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,343 @@
+// Package dataflow implements synchronous dataflow (SDF) process networks
+// — the model behind the multithread FPGA accelerators of [3] — and
+// MDC-style multi-dataflow composition: merging several application graphs
+// into one runtime-reconfigurable datapath with shared actors (the
+// Multi-Dataflow Composer role in the DPE's node-level step).
+//
+// The package provides consistency analysis (repetition vectors via
+// balance equations), deadlock-free static scheduling, and
+// latency/throughput estimation that the HLS estimator (internal/mlir)
+// turns into operating points.
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+
+	"myrtus/internal/sim"
+)
+
+// Actor is one dataflow node: it consumes tokens on its input edges and
+// produces tokens on its output edges each time it fires.
+type Actor struct {
+	Name string
+	// Latency is the firing duration on the target fabric.
+	Latency sim.Time
+	// AreaUnits is the hardware cost when synthesized.
+	AreaUnits int
+	// Kind tags functional class ("src", "sink", "kernel", "sbox", …).
+	Kind string
+}
+
+// Edge is a FIFO channel between two actors. Each firing of Src produces
+// Produce tokens; each firing of Dst consumes Consume tokens. Initial
+// tokens break cyclic dependencies.
+type Edge struct {
+	Src, Dst         string
+	Produce, Consume int
+	InitialTokens    int
+}
+
+func (e *Edge) key() string { return e.Src + "->" + e.Dst }
+
+// Graph is an SDF graph.
+type Graph struct {
+	Name   string
+	actors map[string]*Actor
+	order  []string // insertion order for deterministic iteration
+	edges  []*Edge
+}
+
+// NewGraph returns an empty graph.
+func NewGraph(name string) *Graph {
+	return &Graph{Name: name, actors: make(map[string]*Actor)}
+}
+
+// AddActor inserts an actor; re-adding a name is an error.
+func (g *Graph) AddActor(a Actor) error {
+	if a.Name == "" {
+		return fmt.Errorf("dataflow: actor needs a name")
+	}
+	if _, ok := g.actors[a.Name]; ok {
+		return fmt.Errorf("dataflow: duplicate actor %q", a.Name)
+	}
+	if a.Latency < 0 {
+		return fmt.Errorf("dataflow: actor %q has negative latency", a.Name)
+	}
+	cp := a
+	g.actors[a.Name] = &cp
+	g.order = append(g.order, a.Name)
+	return nil
+}
+
+// AddEdge inserts a channel. Rates must be positive.
+func (g *Graph) AddEdge(e Edge) error {
+	if _, ok := g.actors[e.Src]; !ok {
+		return fmt.Errorf("dataflow: edge source %q unknown", e.Src)
+	}
+	if _, ok := g.actors[e.Dst]; !ok {
+		return fmt.Errorf("dataflow: edge destination %q unknown", e.Dst)
+	}
+	if e.Produce <= 0 || e.Consume <= 0 {
+		return fmt.Errorf("dataflow: edge %s->%s rates must be positive", e.Src, e.Dst)
+	}
+	if e.InitialTokens < 0 {
+		return fmt.Errorf("dataflow: edge %s->%s negative initial tokens", e.Src, e.Dst)
+	}
+	cp := e
+	g.edges = append(g.edges, &cp)
+	return nil
+}
+
+// Actor returns the named actor.
+func (g *Graph) Actor(name string) (*Actor, bool) {
+	a, ok := g.actors[name]
+	return a, ok
+}
+
+// Actors returns actor names in insertion order.
+func (g *Graph) Actors() []string { return append([]string(nil), g.order...) }
+
+// Edges returns copies of all edges.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, len(g.edges))
+	for i, e := range g.edges {
+		out[i] = *e
+	}
+	return out
+}
+
+// TotalArea sums actor area units.
+func (g *Graph) TotalArea() int {
+	area := 0
+	for _, a := range g.actors {
+		area += a.AreaUnits
+	}
+	return area
+}
+
+// RepetitionVector solves the SDF balance equations: for every edge,
+// reps[src]·produce = reps[dst]·consume. It returns the minimal positive
+// integer solution, or an error for inconsistent (unschedulable) graphs.
+func (g *Graph) RepetitionVector() (map[string]int, error) {
+	if len(g.order) == 0 {
+		return nil, fmt.Errorf("dataflow: graph %q is empty", g.Name)
+	}
+	// Represent reps as rationals num/den, propagate via BFS over edges.
+	num := map[string]int64{}
+	den := map[string]int64{}
+	adj := map[string][]*Edge{}
+	for _, e := range g.edges {
+		adj[e.Src] = append(adj[e.Src], e)
+		adj[e.Dst] = append(adj[e.Dst], e)
+	}
+	for _, start := range g.order {
+		if _, ok := num[start]; ok {
+			continue
+		}
+		num[start], den[start] = 1, 1
+		queue := []string{start}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, e := range adj[cur] {
+				var other string
+				var on, od int64
+				if e.Src == cur {
+					// reps[dst] = reps[src]·produce/consume
+					other = e.Dst
+					on = num[cur] * int64(e.Produce)
+					od = den[cur] * int64(e.Consume)
+				} else {
+					other = e.Src
+					on = num[cur] * int64(e.Consume)
+					od = den[cur] * int64(e.Produce)
+				}
+				gcd := gcd64(on, od)
+				on, od = on/gcd, od/gcd
+				if n, ok := num[other]; ok {
+					if n*od != on*den[other] {
+						return nil, fmt.Errorf("dataflow: graph %q inconsistent at edge %s", g.Name, e.key())
+					}
+					continue
+				}
+				num[other], den[other] = on, od
+				queue = append(queue, other)
+			}
+		}
+	}
+	// Scale to integers: multiply by lcm of denominators, divide by gcd.
+	lcm := int64(1)
+	for _, d := range den {
+		lcm = lcm / gcd64(lcm, d) * d
+	}
+	reps := make(map[string]int, len(num))
+	g2 := int64(0)
+	vals := map[string]int64{}
+	for a, n := range num {
+		v := n * (lcm / den[a])
+		vals[a] = v
+		g2 = gcd64(g2, v)
+	}
+	for a, v := range vals {
+		reps[a] = int(v / g2)
+	}
+	return reps, nil
+}
+
+func gcd64(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return 1
+	}
+	return a
+}
+
+// Schedule computes a periodic admissible sequential schedule: a firing
+// sequence executing each actor exactly reps[a] times that never
+// underflows a FIFO. It returns an error on deadlock.
+func (g *Graph) Schedule() ([]string, error) {
+	reps, err := g.RepetitionVector()
+	if err != nil {
+		return nil, err
+	}
+	tokens := map[string]int{}
+	for _, e := range g.edges {
+		tokens[e.key()] += e.InitialTokens
+	}
+	remaining := map[string]int{}
+	total := 0
+	for a, r := range reps {
+		remaining[a] = r
+		total += r
+	}
+	in := map[string][]*Edge{}
+	out := map[string][]*Edge{}
+	for _, e := range g.edges {
+		in[e.Dst] = append(in[e.Dst], e)
+		out[e.Src] = append(out[e.Src], e)
+	}
+	canFire := func(a string) bool {
+		if remaining[a] == 0 {
+			return false
+		}
+		for _, e := range in[a] {
+			if tokens[e.key()] < e.Consume {
+				return false
+			}
+		}
+		return true
+	}
+	var sched []string
+	for len(sched) < total {
+		fired := false
+		for _, a := range g.order {
+			for canFire(a) {
+				for _, e := range in[a] {
+					tokens[e.key()] -= e.Consume
+				}
+				for _, e := range out[a] {
+					tokens[e.key()] += e.Produce
+				}
+				remaining[a]--
+				sched = append(sched, a)
+				fired = true
+			}
+		}
+		if !fired {
+			return nil, fmt.Errorf("dataflow: graph %q deadlocks (insufficient initial tokens)", g.Name)
+		}
+	}
+	return sched, nil
+}
+
+// BufferBounds returns, per edge ("src->dst"), the maximum token count
+// the FIFO reaches while executing the canonical schedule — the buffer
+// depth the HLS step must provision for a deadlock-free single-iteration
+// execution.
+func (g *Graph) BufferBounds() (map[string]int, error) {
+	sched, err := g.Schedule()
+	if err != nil {
+		return nil, err
+	}
+	tokens := map[string]int{}
+	bounds := map[string]int{}
+	for _, e := range g.edges {
+		tokens[e.key()] += e.InitialTokens
+		if tokens[e.key()] > bounds[e.key()] {
+			bounds[e.key()] = tokens[e.key()]
+		}
+	}
+	in := map[string][]*Edge{}
+	out := map[string][]*Edge{}
+	for _, e := range g.edges {
+		in[e.Dst] = append(in[e.Dst], e)
+		out[e.Src] = append(out[e.Src], e)
+	}
+	for _, a := range sched {
+		for _, e := range in[a] {
+			tokens[e.key()] -= e.Consume
+		}
+		for _, e := range out[a] {
+			tokens[e.key()] += e.Produce
+			if tokens[e.key()] > bounds[e.key()] {
+				bounds[e.key()] = tokens[e.key()]
+			}
+		}
+	}
+	return bounds, nil
+}
+
+// Analysis summarizes one iteration of the graph.
+type Analysis struct {
+	Repetitions map[string]int
+	// SequentialLatency is one iteration executed on a single processing
+	// element (sum of all firings).
+	SequentialLatency sim.Time
+	// IterationPeriod is the steady-state initiation interval with one
+	// dedicated PE per actor (pipelined): max over actors of
+	// reps·latency.
+	IterationPeriod sim.Time
+	// Bottleneck is the actor bounding the period.
+	Bottleneck string
+	// ThroughputHz is iterations per second in steady state.
+	ThroughputHz float64
+}
+
+// Analyze computes latency/throughput estimates for the graph.
+func (g *Graph) Analyze() (Analysis, error) {
+	reps, err := g.RepetitionVector()
+	if err != nil {
+		return Analysis{}, err
+	}
+	if _, err := g.Schedule(); err != nil {
+		return Analysis{}, err
+	}
+	a := Analysis{Repetitions: reps}
+	names := make([]string, 0, len(reps))
+	for n := range reps {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		r := reps[n]
+		lat := g.actors[n].Latency
+		a.SequentialLatency += sim.Time(r) * lat
+		if load := sim.Time(r) * lat; load > a.IterationPeriod {
+			a.IterationPeriod = load
+			a.Bottleneck = n
+		}
+	}
+	if a.IterationPeriod > 0 {
+		a.ThroughputHz = 1 / a.IterationPeriod.Seconds()
+	}
+	return a, nil
+}

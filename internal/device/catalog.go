@@ -1,0 +1,158 @@
+package device
+
+import (
+	"fmt"
+
+	"myrtus/internal/fpga"
+	"myrtus/internal/sim"
+)
+
+// This file provides calibrated constructors for the device families of
+// Fig. 2. Numbers are order-of-magnitude realistic (embedded multicore ≈
+// a few GOPS/core and watts; FMDC server ≈ tens of GOPS/core and ~200 W;
+// cloud server larger still); the experiments depend on the relative
+// ordering, not the absolute values.
+
+// NewMulticore builds a commercial edge multicore (e.g. quad-core ARM).
+func NewMulticore(name string) *Device {
+	d, err := New(Spec{
+		Name: name, Layer: Edge, Kind: Multicore,
+		Cores: 4, GOPSPerCore: 8, MemMB: 4096,
+		IdlePowerW: 2, MaxPowerW: 10,
+		DVFSLevels:     []float64{0.4, 0.6, 0.8, 1.0},
+		SecurityLevels: []string{"low", "medium"},
+		Protocols:      []string{"http", "mqtt"},
+	})
+	if err != nil {
+		panic(fmt.Sprintf("device: multicore catalog spec invalid: %v", err))
+	}
+	return d
+}
+
+// NewHMPSoC builds a heterogeneous MPSoC with an FPGA fabric of two
+// reconfigurable regions ([3]).
+func NewHMPSoC(name string) *Device {
+	fab := fpga.NewFabric(name+"/fpga", 1.5, 8, 4)
+	d, err := New(Spec{
+		Name: name, Layer: Edge, Kind: HMPSoC,
+		Cores: 2, GOPSPerCore: 6, MemMB: 2048,
+		IdlePowerW: 3, MaxPowerW: 12,
+		DVFSLevels:     []float64{0.5, 1.0},
+		Fabric:         fab,
+		SecurityLevels: []string{"low", "medium"},
+		Protocols:      []string{"http"},
+	})
+	if err != nil {
+		panic(fmt.Sprintf("device: hmpsoc catalog spec invalid: %v", err))
+	}
+	return d
+}
+
+// NewRISCV builds an adaptive RISC-V processor with multi-grain
+// reconfigurable overlay units for the given kernels ([4]).
+func NewRISCV(name string, acceleratedKernels ...string) *Device {
+	units := make(map[string]float64, len(acceleratedKernels))
+	for _, k := range acceleratedKernels {
+		units[k] = 6 // overlay speedup vs the scalar pipeline
+	}
+	d, err := New(Spec{
+		Name: name, Layer: Edge, Kind: RISCV,
+		Cores: 1, GOPSPerCore: 2, MemMB: 512,
+		IdlePowerW: 0.5, MaxPowerW: 3,
+		DVFSLevels:     []float64{0.5, 1.0},
+		CustomUnits:    units,
+		SecurityLevels: []string{"low"},
+		Protocols:      []string{"mqtt"},
+	})
+	if err != nil {
+		panic(fmt.Sprintf("device: riscv catalog spec invalid: %v", err))
+	}
+	return d
+}
+
+// NewGateway builds a multi-sensor smart gateway ([5]): modest compute,
+// flexible connectivity, light local processing.
+func NewGateway(name string) *Device {
+	d, err := New(Spec{
+		Name: name, Layer: Fog, Kind: Gateway,
+		Cores: 2, GOPSPerCore: 4, MemMB: 2048,
+		IdlePowerW: 3, MaxPowerW: 8,
+		DVFSLevels:     []float64{0.5, 1.0},
+		SecurityLevels: []string{"low", "medium"},
+		Protocols:      []string{"http", "mqtt", "coap", "custom"},
+	})
+	if err != nil {
+		panic(fmt.Sprintf("device: gateway catalog spec invalid: %v", err))
+	}
+	return d
+}
+
+// NewFMDCServer builds one disaggregated, hyper-converged FMDC server:
+// high-performing and energy-efficient fog compute.
+func NewFMDCServer(name string) *Device {
+	d, err := New(Spec{
+		Name: name, Layer: Fog, Kind: FMDC,
+		Cores: 16, GOPSPerCore: 25, MemMB: 65536,
+		IdlePowerW: 40, MaxPowerW: 220,
+		DVFSLevels:     []float64{0.5, 0.7, 0.85, 1.0},
+		SecurityLevels: []string{"low", "medium", "high"},
+		Protocols:      []string{"http", "mqtt", "coap"},
+	})
+	if err != nil {
+		panic(fmt.Sprintf("device: fmdc catalog spec invalid: %v", err))
+	}
+	return d
+}
+
+// NewCloudServer builds a cloud-layer server: abundant compute and
+// storage, highest idle cost, farthest from the data.
+func NewCloudServer(name string) *Device {
+	d, err := New(Spec{
+		Name: name, Layer: Cloud, Kind: CloudServer,
+		Cores: 64, GOPSPerCore: 40, MemMB: 262144,
+		IdlePowerW: 120, MaxPowerW: 600,
+		DVFSLevels:     []float64{0.6, 0.8, 1.0},
+		SecurityLevels: []string{"low", "medium", "high"},
+		Protocols:      []string{"http", "mqtt", "coap"},
+	})
+	if err != nil {
+		panic(fmt.Sprintf("device: cloud catalog spec invalid: %v", err))
+	}
+	return d
+}
+
+// StandardBitstreams returns DPE-produced bitstreams for the kernels the
+// use cases accelerate, ready to register and load on HMPSoC fabrics.
+func StandardBitstreams() []*fpga.Bitstream {
+	return []*fpga.Bitstream{
+		{
+			ID: "bs-conv2d", Kernel: "conv2d", AreaUnits: 6,
+			ReconfigTime: 8 * sim.Millisecond,
+			Points: []OperatingPointAlias{
+				{Name: "fast", ClockMHz: 300, Parallelism: 8, LatencyPerItem: 400 * sim.Microsecond, PowerWatts: 7},
+				{Name: "balanced", ClockMHz: 200, Parallelism: 4, LatencyPerItem: 900 * sim.Microsecond, PowerWatts: 3.5},
+				{Name: "eco", ClockMHz: 100, Parallelism: 2, LatencyPerItem: 2 * sim.Millisecond, PowerWatts: 1.2},
+			},
+		},
+		{
+			ID: "bs-fft", Kernel: "fft", AreaUnits: 4,
+			ReconfigTime: 6 * sim.Millisecond,
+			Points: []OperatingPointAlias{
+				{Name: "fast", ClockMHz: 250, Parallelism: 4, LatencyPerItem: 300 * sim.Microsecond, PowerWatts: 5},
+				{Name: "eco", ClockMHz: 125, Parallelism: 2, LatencyPerItem: 800 * sim.Microsecond, PowerWatts: 1.8},
+			},
+		},
+		{
+			ID: "bs-pose", Kernel: "pose-estimation", AreaUnits: 8,
+			ReconfigTime: 12 * sim.Millisecond,
+			Points: []OperatingPointAlias{
+				{Name: "fast", ClockMHz: 300, Parallelism: 4, LatencyPerItem: 1500 * sim.Microsecond, PowerWatts: 8},
+				{Name: "eco", ClockMHz: 150, Parallelism: 2, LatencyPerItem: 4 * sim.Millisecond, PowerWatts: 2.5},
+			},
+		},
+	}
+}
+
+// OperatingPointAlias re-exports fpga.OperatingPoint so catalog literals
+// read naturally.
+type OperatingPointAlias = fpga.OperatingPoint

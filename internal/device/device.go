@@ -1,0 +1,375 @@
+// Package device models the heterogeneous computing components of the
+// MYRTUS continuum (Fig. 2): commercial multicores, HMPSoC FPGA-based
+// accelerators, adaptive RISC-V processors with custom computing units,
+// smart gateways, Fog Micro Data Center (FMDC) servers, and cloud servers.
+//
+// Each device exposes the signals the MIRTO agents consume — latency,
+// energy, utilization, availability — computed on the virtual clock, plus
+// the actuation knobs they drive: DVFS level, FPGA reconfiguration, and
+// operating-point switches.
+package device
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"myrtus/internal/fpga"
+	"myrtus/internal/sim"
+	"myrtus/internal/telemetry"
+)
+
+// Layer names a continuum layer.
+type Layer string
+
+// The three MYRTUS layers.
+const (
+	Edge  Layer = "edge"
+	Fog   Layer = "fog"
+	Cloud Layer = "cloud"
+)
+
+// Kind names a device family from Fig. 2.
+type Kind string
+
+// Device kinds of the reference infrastructure.
+const (
+	Multicore   Kind = "multicore"
+	HMPSoC      Kind = "hmpsoc"
+	RISCV       Kind = "riscv"
+	Gateway     Kind = "gateway"
+	FMDC        Kind = "fmdc"
+	CloudServer Kind = "cloud-server"
+)
+
+// Spec is the static description of a device.
+type Spec struct {
+	Name  string
+	Layer Layer
+	Kind  Kind
+
+	Cores       int
+	GOPSPerCore float64 // giga-ops per second per core at full clock
+	MemMB       float64
+
+	IdlePowerW float64
+	MaxPowerW  float64
+
+	// DVFSLevels are the selectable frequency scales, ascending; the last
+	// entry should be 1.0. Empty means a single fixed level of 1.0.
+	DVFSLevels []float64
+
+	// Fabric is the attached FPGA (HMPSoC devices), nil otherwise.
+	Fabric *fpga.Fabric
+
+	// CustomUnits maps kernel names to the speedup of the RISC-V custom
+	// computing units ([4]) for that kernel.
+	CustomUnits map[string]float64
+
+	// SecurityLevels are the Table II suites the device can run.
+	SecurityLevels []string
+	// Protocols the device natively speaks (§III Network).
+	Protocols []string
+}
+
+// Validate checks the spec.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("device: spec needs a name")
+	}
+	if s.Cores <= 0 || s.GOPSPerCore <= 0 || s.MemMB <= 0 {
+		return fmt.Errorf("device %s: cores, GOPS and memory must be positive", s.Name)
+	}
+	if s.MaxPowerW < s.IdlePowerW || s.IdlePowerW < 0 {
+		return fmt.Errorf("device %s: power range invalid", s.Name)
+	}
+	for i, l := range s.DVFSLevels {
+		if l <= 0 || l > 1 {
+			return fmt.Errorf("device %s: DVFS level %v out of (0,1]", s.Name, l)
+		}
+		if i > 0 && l <= s.DVFSLevels[i-1] {
+			return fmt.Errorf("device %s: DVFS levels not ascending", s.Name)
+		}
+	}
+	return nil
+}
+
+// Work is one unit of computation submitted to a device.
+type Work struct {
+	Name  string
+	GOps  float64 // total giga-operations on a general-purpose core
+	MemMB float64 // resident memory while running
+	// Kernel optionally names an accelerable kernel; devices with a
+	// matching loaded bitstream or custom unit run it faster.
+	Kernel string
+	// Items is the accelerator batch size (defaults to 1).
+	Items int64
+}
+
+// Result reports one completed execution.
+type Result struct {
+	Finish       sim.Time
+	EnergyJoules float64
+	// Engine names what ran the work: "core", "custom-unit", "fpga".
+	Engine string
+}
+
+// Device is a running component instance.
+type Device struct {
+	mu   sync.Mutex
+	spec Spec
+
+	dvfs      int // index into DVFSLevels
+	coreBusy  []sim.Time
+	memUsed   float64
+	energy    float64 // dynamic energy accumulated (J)
+	busyTotal sim.Time
+	failed    bool
+
+	thermal *thermalState
+
+	metrics *telemetry.Registry
+}
+
+// New validates spec and returns a ready device at full clock.
+func New(spec Spec) (*Device, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if len(spec.DVFSLevels) == 0 {
+		spec.DVFSLevels = []float64{1.0}
+	}
+	d := &Device{
+		spec:     spec,
+		dvfs:     len(spec.DVFSLevels) - 1,
+		coreBusy: make([]sim.Time, spec.Cores),
+		metrics:  telemetry.NewRegistry(spec.Name),
+	}
+	return d, nil
+}
+
+// Spec returns the device's static description.
+func (d *Device) Spec() Spec { return d.spec }
+
+// Name returns the device name.
+func (d *Device) Name() string { return d.spec.Name }
+
+// Metrics returns the device's telemetry registry.
+func (d *Device) Metrics() *telemetry.Registry { return d.metrics }
+
+// Fabric returns the attached FPGA, nil if none.
+func (d *Device) Fabric() *fpga.Fabric { return d.spec.Fabric }
+
+// Failed reports whether the device is down.
+func (d *Device) Failed() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.failed
+}
+
+// Fail takes the device down: running work is lost and new work errors.
+func (d *Device) Fail() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.failed = true
+}
+
+// Repair brings the device back with idle cores.
+func (d *Device) Repair(now sim.Time) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.failed = false
+	for i := range d.coreBusy {
+		d.coreBusy[i] = now
+	}
+	d.memUsed = 0
+}
+
+// SetDVFS selects DVFS level i (index into Spec.DVFSLevels).
+func (d *Device) SetDVFS(i int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if i < 0 || i >= len(d.spec.DVFSLevels) {
+		return fmt.Errorf("device %s: DVFS level %d out of range [0,%d)", d.spec.Name, i, len(d.spec.DVFSLevels))
+	}
+	d.dvfs = i
+	return nil
+}
+
+// DVFS returns the active level index and frequency scale.
+func (d *Device) DVFS() (int, float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dvfs, d.spec.DVFSLevels[d.dvfs]
+}
+
+// activePowerLocked returns the dynamic power draw at the current DVFS
+// level (P_dyn ∝ f·V² ≈ f³ under voltage-frequency scaling).
+func (d *Device) activePowerLocked() float64 {
+	f := d.spec.DVFSLevels[d.dvfs]
+	return (d.spec.MaxPowerW - d.spec.IdlePowerW) * f * f * f
+}
+
+// AllocMem reserves MB of memory; used by the cluster layer at placement.
+func (d *Device) AllocMem(mb float64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.memUsed+mb > d.spec.MemMB {
+		return fmt.Errorf("device %s: memory exhausted (%.0f + %.0f > %.0f MB)",
+			d.spec.Name, d.memUsed, mb, d.spec.MemMB)
+	}
+	d.memUsed += mb
+	return nil
+}
+
+// FreeMem releases MB of memory.
+func (d *Device) FreeMem(mb float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.memUsed -= mb
+	if d.memUsed < 0 {
+		d.memUsed = 0
+	}
+}
+
+// MemFree returns the unreserved memory in MB.
+func (d *Device) MemFree() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.spec.MemMB - d.memUsed
+}
+
+// Run executes w starting no earlier than now and returns the completion
+// record. Dispatch preference: loaded FPGA bitstream for w.Kernel, then a
+// RISC-V custom unit, then a general-purpose core.
+func (d *Device) Run(w Work, now sim.Time) (Result, error) {
+	d.mu.Lock()
+	if d.failed {
+		d.mu.Unlock()
+		return Result{}, fmt.Errorf("device %s: failed", d.spec.Name)
+	}
+	if w.GOps <= 0 {
+		d.mu.Unlock()
+		return Result{}, fmt.Errorf("device %s: work %q has non-positive GOps", d.spec.Name, w.Name)
+	}
+	items := w.Items
+	if items <= 0 {
+		items = 1
+	}
+
+	// FPGA path.
+	if w.Kernel != "" && d.spec.Fabric != nil {
+		if idx := d.spec.Fabric.FindLoaded(w.Kernel); idx >= 0 {
+			d.mu.Unlock()
+			finish, energy, err := d.spec.Fabric.Execute(idx, w.Kernel, items, now)
+			if err == nil {
+				d.record("fpga", finish-now, energy)
+				return Result{Finish: finish, EnergyJoules: energy, Engine: "fpga"}, nil
+			}
+			d.mu.Lock() // fall through to CPU on accelerator error
+		}
+	}
+
+	speedup := 1.0
+	engine := "core"
+	if s, ok := d.spec.CustomUnits[w.Kernel]; ok && s > 1 {
+		speedup = s
+		engine = "custom-unit"
+	}
+
+	// Pick the earliest-free core.
+	core := 0
+	for i, b := range d.coreBusy {
+		if b < d.coreBusy[core] {
+			core = i
+		}
+	}
+	start := now
+	if d.coreBusy[core] > start {
+		start = d.coreBusy[core]
+	}
+	f := d.spec.DVFSLevels[d.dvfs]
+	seconds := w.GOps / (d.spec.GOPSPerCore * f * speedup)
+	dur := sim.Time(seconds * float64(sim.Second))
+	if dur <= 0 {
+		dur = 1
+	}
+	finish := start + dur
+	d.coreBusy[core] = finish
+	energy := d.activePowerLocked() / float64(d.spec.Cores) * dur.Seconds()
+	d.mu.Unlock()
+	d.record(engine, dur, energy)
+	return Result{Finish: finish, EnergyJoules: energy, Engine: engine}, nil
+}
+
+func (d *Device) record(engine string, dur sim.Time, energy float64) {
+	d.mu.Lock()
+	d.energy += energy
+	d.busyTotal += dur
+	d.mu.Unlock()
+	d.metrics.Counter(telemetry.Infrastructure, "work_completed").Inc()
+	d.metrics.Histogram(telemetry.Application, "work_latency_ms").Observe(dur.Seconds() * 1e3)
+	d.metrics.Counter(telemetry.Infrastructure, "energy_joules").Add(energy)
+	d.metrics.Counter(telemetry.Infrastructure, "engine_"+engine).Inc()
+}
+
+// Utilization reports the mean busy fraction over [0, now] across cores.
+func (d *Device) Utilization(now sim.Time) float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if now <= 0 {
+		return 0
+	}
+	u := float64(d.busyTotal) / (float64(now) * float64(d.spec.Cores))
+	return math.Min(u, 1)
+}
+
+// Energy reports total energy drawn over [0, now]: accumulated dynamic
+// energy plus idle power integrated over the interval.
+func (d *Device) Energy(now sim.Time) float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.energy + d.spec.IdlePowerW*now.Seconds()
+}
+
+// DynamicEnergy reports only the accumulated dynamic energy.
+func (d *Device) DynamicEnergy() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.energy
+}
+
+// QueueDelay reports how long new single-core work would wait before
+// starting at time now (load signal for orchestration).
+func (d *Device) QueueDelay(now sim.Time) sim.Time {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	best := sim.MaxTime
+	for _, b := range d.coreBusy {
+		wait := b - now
+		if wait < 0 {
+			wait = 0
+		}
+		if wait < best {
+			best = wait
+		}
+	}
+	return best
+}
+
+// SupportsSecurity reports whether the device can run the named suite.
+func (d *Device) SupportsSecurity(level string) bool {
+	for _, l := range d.spec.SecurityLevels {
+		if l == level {
+			return true
+		}
+	}
+	return false
+}
+
+// SortByName orders devices by name (stable helper for deterministic
+// iteration in orchestrators).
+func SortByName(ds []*Device) {
+	sort.Slice(ds, func(i, j int) bool { return ds[i].Name() < ds[j].Name() })
+}

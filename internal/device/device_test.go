@@ -1,0 +1,358 @@
+package device
+
+import (
+	"testing"
+	"testing/quick"
+
+	"myrtus/internal/sim"
+)
+
+func TestSpecValidate(t *testing.T) {
+	good := Spec{Name: "d", Cores: 1, GOPSPerCore: 1, MemMB: 1, MaxPowerW: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Spec{
+		{Cores: 1, GOPSPerCore: 1, MemMB: 1},
+		{Name: "d", Cores: 0, GOPSPerCore: 1, MemMB: 1},
+		{Name: "d", Cores: 1, GOPSPerCore: 0, MemMB: 1},
+		{Name: "d", Cores: 1, GOPSPerCore: 1, MemMB: 0},
+		{Name: "d", Cores: 1, GOPSPerCore: 1, MemMB: 1, IdlePowerW: 5, MaxPowerW: 2},
+		{Name: "d", Cores: 1, GOPSPerCore: 1, MemMB: 1, DVFSLevels: []float64{0.5, 0.5}},
+		{Name: "d", Cores: 1, GOPSPerCore: 1, MemMB: 1, DVFSLevels: []float64{1.5}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Fatalf("bad spec %d validated", i)
+		}
+	}
+	if _, err := New(bad[0]); err == nil {
+		t.Fatal("New accepted bad spec")
+	}
+}
+
+func TestRunOnCore(t *testing.T) {
+	d := NewMulticore("edge-0")
+	// 8 GOps at 8 GOPS/core → 1 virtual second.
+	res, err := d.Run(Work{Name: "w", GOps: 8}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Finish != sim.Second {
+		t.Fatalf("finish = %v, want 1s", res.Finish)
+	}
+	if res.Engine != "core" {
+		t.Fatalf("engine = %s", res.Engine)
+	}
+	// Energy = (10-2)/4 cores × 1s = 2 J at full DVFS.
+	if res.EnergyJoules < 1.9 || res.EnergyJoules > 2.1 {
+		t.Fatalf("energy = %v", res.EnergyJoules)
+	}
+}
+
+func TestRunSpreadsAcrossCores(t *testing.T) {
+	d := NewMulticore("edge-0") // 4 cores
+	var finishes []sim.Time
+	for i := 0; i < 4; i++ {
+		res, err := d.Run(Work{Name: "w", GOps: 8}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		finishes = append(finishes, res.Finish)
+	}
+	for _, f := range finishes {
+		if f != sim.Second {
+			t.Fatalf("parallel work serialized: %v", finishes)
+		}
+	}
+	// Fifth work queues.
+	res, _ := d.Run(Work{Name: "w", GOps: 8}, 0)
+	if res.Finish != 2*sim.Second {
+		t.Fatalf("queued finish = %v", res.Finish)
+	}
+	if qd := d.QueueDelay(0); qd != sim.Second {
+		t.Fatalf("QueueDelay = %v", qd)
+	}
+}
+
+func TestDVFSSlowsAndSaves(t *testing.T) {
+	d := NewMulticore("edge-0")
+	full, _ := d.Run(Work{GOps: 8}, 0)
+	if err := d.SetDVFS(0); err != nil { // 0.4 scale
+		t.Fatal(err)
+	}
+	idx, scale := d.DVFS()
+	if idx != 0 || scale != 0.4 {
+		t.Fatalf("DVFS = %d %v", idx, scale)
+	}
+	slow, _ := d.Run(Work{GOps: 8}, 10*sim.Second)
+	slowDur := slow.Finish - 10*sim.Second
+	if slowDur <= full.Finish {
+		t.Fatal("DVFS did not slow execution")
+	}
+	// Energy at 0.4³ power × 2.5 duration < full energy.
+	if slow.EnergyJoules >= full.EnergyJoules {
+		t.Fatalf("DVFS did not save energy: %v ≥ %v", slow.EnergyJoules, full.EnergyJoules)
+	}
+	if err := d.SetDVFS(99); err == nil {
+		t.Fatal("bad DVFS accepted")
+	}
+}
+
+func TestCustomUnitSpeedup(t *testing.T) {
+	d := NewRISCV("rv-0", "fft")
+	plain, _ := d.Run(Work{GOps: 2, Kernel: "other"}, 0)
+	// New device to avoid queueing effects.
+	d2 := NewRISCV("rv-1", "fft")
+	accel, _ := d2.Run(Work{GOps: 2, Kernel: "fft"}, 0)
+	if accel.Engine != "custom-unit" || plain.Engine != "core" {
+		t.Fatalf("engines = %s %s", accel.Engine, plain.Engine)
+	}
+	if accel.Finish*5 > plain.Finish {
+		t.Fatalf("speedup too small: %v vs %v", accel.Finish, plain.Finish)
+	}
+}
+
+func TestFPGAPath(t *testing.T) {
+	d := NewHMPSoC("hmp-0")
+	bs := StandardBitstreams()[0] // conv2d
+	ready, err := d.Fabric().Load(0, bs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run(Work{GOps: 50, Kernel: "conv2d", Items: 8}, ready)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Engine != "fpga" {
+		t.Fatalf("engine = %s", res.Engine)
+	}
+	// CPU would need 50/6 ≈ 8.3s; FPGA: 1 batch × 400µs.
+	if res.Finish-ready > 10*sim.Millisecond {
+		t.Fatalf("fpga path too slow: %v", res.Finish-ready)
+	}
+	// Kernel not loaded → falls back to core.
+	res2, err := d.Run(Work{GOps: 1, Kernel: "fft"}, ready)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Engine != "core" {
+		t.Fatalf("fallback engine = %s", res2.Engine)
+	}
+}
+
+func TestFailRepair(t *testing.T) {
+	d := NewMulticore("edge-0")
+	d.Fail()
+	if !d.Failed() {
+		t.Fatal("not failed")
+	}
+	if _, err := d.Run(Work{GOps: 1}, 0); err == nil {
+		t.Fatal("failed device ran work")
+	}
+	d.Repair(5 * sim.Second)
+	if d.Failed() {
+		t.Fatal("still failed")
+	}
+	res, err := d.Run(Work{GOps: 8}, 5*sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Finish != 6*sim.Second {
+		t.Fatalf("post-repair finish = %v", res.Finish)
+	}
+}
+
+func TestMemoryAccounting(t *testing.T) {
+	d := NewRISCV("rv-0") // 512 MB
+	if err := d.AllocMem(400); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AllocMem(200); err == nil {
+		t.Fatal("over-allocation accepted")
+	}
+	if got := d.MemFree(); got != 112 {
+		t.Fatalf("MemFree = %v", got)
+	}
+	d.FreeMem(400)
+	if got := d.MemFree(); got != 512 {
+		t.Fatalf("MemFree = %v", got)
+	}
+	d.FreeMem(9999) // clamps at zero used
+	if got := d.MemFree(); got != 512 {
+		t.Fatalf("MemFree = %v", got)
+	}
+}
+
+func TestEnergyAndUtilization(t *testing.T) {
+	d := NewMulticore("edge-0")
+	d.Run(Work{GOps: 8}, 0) //nolint:errcheck // 1s on one of 4 cores
+	u := d.Utilization(2 * sim.Second)
+	if u < 0.12 || u > 0.13 {
+		t.Fatalf("utilization = %v, want 0.125", u)
+	}
+	if d.Utilization(0) != 0 {
+		t.Fatal("zero-time utilization")
+	}
+	e := d.Energy(2 * sim.Second)
+	// idle 2W×2s + dynamic 2J = 6 J.
+	if e < 5.9 || e > 6.1 {
+		t.Fatalf("energy = %v", e)
+	}
+	if d.DynamicEnergy() < 1.9 {
+		t.Fatalf("dynamic = %v", d.DynamicEnergy())
+	}
+	if s, ok := d.Metrics().Find("work_completed"); !ok || s.Value != 1 {
+		t.Fatalf("metrics: %v %v", s, ok)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	d := NewMulticore("edge-0")
+	if _, err := d.Run(Work{GOps: 0}, 0); err == nil {
+		t.Fatal("zero GOps accepted")
+	}
+}
+
+func TestSecuritySupport(t *testing.T) {
+	fmdc := NewFMDCServer("fog-0")
+	rv := NewRISCV("rv-0")
+	if !fmdc.SupportsSecurity("high") || fmdc.SupportsSecurity("ghost") {
+		t.Fatal("fmdc security")
+	}
+	if rv.SupportsSecurity("high") || !rv.SupportsSecurity("low") {
+		t.Fatal("riscv security")
+	}
+}
+
+func TestCatalogOrdering(t *testing.T) {
+	// The layer hierarchy must hold: cloud > fmdc > multicore compute;
+	// riscv is the smallest and cheapest.
+	rv := NewRISCV("rv")
+	mc := NewMulticore("mc")
+	fmdc := NewFMDCServer("fmdc")
+	cloud := NewCloudServer("cloud")
+	gw := NewGateway("gw")
+	tot := func(d *Device) float64 { return float64(d.Spec().Cores) * d.Spec().GOPSPerCore }
+	if !(tot(cloud) > tot(fmdc) && tot(fmdc) > tot(mc) && tot(mc) > tot(rv)) {
+		t.Fatal("compute ordering broken")
+	}
+	if !(cloud.Spec().IdlePowerW > fmdc.Spec().IdlePowerW && fmdc.Spec().IdlePowerW > rv.Spec().IdlePowerW) {
+		t.Fatal("idle power ordering broken")
+	}
+	if gw.Spec().Layer != Fog || len(gw.Spec().Protocols) < 3 {
+		t.Fatal("gateway should be a flexible fog hub")
+	}
+	if NewHMPSoC("h").Fabric() == nil {
+		t.Fatal("hmpsoc needs a fabric")
+	}
+}
+
+func TestSortByName(t *testing.T) {
+	ds := []*Device{NewMulticore("c"), NewMulticore("a"), NewMulticore("b")}
+	SortByName(ds)
+	if ds[0].Name() != "a" || ds[2].Name() != "c" {
+		t.Fatal("sort broken")
+	}
+}
+
+func TestFIFOInvariantProperty(t *testing.T) {
+	// On a single-core device, completion times are strictly increasing.
+	if err := quick.Check(func(gops []uint8) bool {
+		d := NewRISCV("rv")
+		last := sim.Time(-1)
+		for _, g := range gops {
+			w := Work{GOps: float64(g%10) + 0.1}
+			res, err := d.Run(w, 0)
+			if err != nil || res.Finish <= last {
+				return false
+			}
+			last = res.Finish
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUtilizationBoundedProperty(t *testing.T) {
+	if err := quick.Check(func(gops []uint8, horizon uint16) bool {
+		d := NewMulticore("m")
+		for _, g := range gops {
+			d.Run(Work{GOps: float64(g) + 1}, 0) //nolint:errcheck
+		}
+		u := d.Utilization(sim.Time(horizon) * sim.Millisecond)
+		return u >= 0 && u <= 1
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThermalThrottleAndRecover(t *testing.T) {
+	d := NewMulticore("edge-0")
+	spec := DefaultThermalSpec()
+	// A tight enclosure: full load (≈10 W × 5 C/W + 25 = 75 C) crosses
+	// the throttle point; idle (2 W) settles at 35 C, below resume.
+	spec.ThrottleC = 70
+	spec.ResumeC = 45
+	d.EnableThermal(spec)
+	if d.Temperature() != spec.AmbientC {
+		t.Fatalf("initial temp = %v", d.Temperature())
+	}
+	// Saturate all cores continuously and step the model.
+	now := sim.Time(0)
+	for i := 0; i < 60; i++ {
+		for c := 0; c < 4; c++ {
+			d.Run(Work{GOps: 80}, now) //nolint:errcheck // 10s per core-chunk
+		}
+		now += 10 * sim.Second
+		d.ThermalStep(now)
+	}
+	if !d.Throttled() {
+		t.Fatalf("sustained full load did not throttle (T=%.1fC)", d.Temperature())
+	}
+	if idx, _ := d.DVFS(); idx != 0 {
+		t.Fatalf("throttle did not clamp DVFS: %d", idx)
+	}
+	// Long idle cools the device and restores DVFS. Jump far ahead so the
+	// cumulative-utilization approximation decays.
+	for i := 0; i < 200; i++ {
+		now += 30 * sim.Second
+		d.ThermalStep(now)
+	}
+	if d.Throttled() {
+		t.Fatalf("device never recovered (T=%.1fC)", d.Temperature())
+	}
+	if idx, _ := d.DVFS(); idx != len(d.Spec().DVFSLevels)-1 {
+		t.Fatalf("DVFS not restored: %d", idx)
+	}
+}
+
+func TestThermalDisabledByDefault(t *testing.T) {
+	d := NewMulticore("edge-0")
+	if d.Temperature() != 25 || d.Throttled() {
+		t.Fatal("thermal model active without enable")
+	}
+	if d.ThermalStep(sim.Second) != 25 {
+		t.Fatal("step without model")
+	}
+}
+
+func TestThermalMonotoneUnderLoad(t *testing.T) {
+	d := NewRISCV("rv")
+	d.EnableThermal(DefaultThermalSpec())
+	last := d.Temperature()
+	now := sim.Time(0)
+	for i := 0; i < 10; i++ {
+		d.Run(Work{GOps: 20}, now) //nolint:errcheck // 10 s of work on the 2-GOPS core
+		now += 10 * sim.Second
+		temp := d.ThermalStep(now)
+		if temp < last-1e-9 {
+			t.Fatalf("temperature fell under sustained load: %v -> %v", last, temp)
+		}
+		last = temp
+	}
+	if last <= DefaultThermalSpec().AmbientC {
+		t.Fatal("no heating under load")
+	}
+}

@@ -1,0 +1,117 @@
+package device
+
+import "myrtus/internal/sim"
+
+// Thermal model: junction temperature follows a first-order response to
+// dissipated power; above ThrottleC the device self-throttles to its
+// lowest DVFS level until it cools below ResumeC (hysteresis). This is
+// the physical constraint behind the paper's "optimal node
+// configuration" driver — an edge enclosure cannot run at the fast
+// operating point indefinitely.
+
+// ThermalSpec parameterizes the model.
+type ThermalSpec struct {
+	AmbientC float64
+	// CPerWatt is the steady-state temperature rise per dissipated watt.
+	CPerWatt float64
+	// TimeConstant is the first-order thermal time constant.
+	TimeConstant sim.Time
+	// ThrottleC triggers self-throttling; ResumeC clears it.
+	ThrottleC float64
+	ResumeC   float64
+}
+
+// DefaultThermalSpec suits a fanless edge enclosure.
+func DefaultThermalSpec() ThermalSpec {
+	return ThermalSpec{
+		AmbientC: 25, CPerWatt: 5,
+		TimeConstant: 20 * sim.Second,
+		ThrottleC:    85, ResumeC: 70,
+	}
+}
+
+type thermalState struct {
+	spec      ThermalSpec
+	tempC     float64
+	lastAt    sim.Time
+	throttled bool
+	savedDVFS int
+}
+
+// EnableThermal activates the thermal model (idempotent; temperature
+// starts at ambient).
+func (d *Device) EnableThermal(spec ThermalSpec) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.thermal == nil {
+		d.thermal = &thermalState{spec: spec, tempC: spec.AmbientC}
+	} else {
+		d.thermal.spec = spec
+	}
+}
+
+// Temperature returns the modeled junction temperature (ambient when the
+// model is disabled).
+func (d *Device) Temperature() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.thermal == nil {
+		return 25
+	}
+	return d.thermal.tempC
+}
+
+// Throttled reports whether thermal throttling is active.
+func (d *Device) Throttled() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.thermal != nil && d.thermal.throttled
+}
+
+// ThermalStep advances the thermal model to virtual time now, using the
+// device's recent utilization as the heat source, and applies or clears
+// throttling. The continuum heartbeat drives this. It returns the new
+// temperature.
+func (d *Device) ThermalStep(now sim.Time) float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	t := d.thermal
+	if t == nil {
+		return 25
+	}
+	dt := now - t.lastAt
+	if dt <= 0 {
+		return t.tempC
+	}
+	t.lastAt = now
+	// Heat source: idle power + dynamic power scaled by utilization over
+	// the whole interval (approximation: current cumulative utilization).
+	util := 0.0
+	if now > 0 {
+		util = float64(d.busyTotal) / (float64(now) * float64(d.spec.Cores))
+		if util > 1 {
+			util = 1
+		}
+	}
+	power := d.spec.IdlePowerW + d.activePowerLocked()*util
+	target := t.spec.AmbientC + t.spec.CPerWatt*power
+	// First-order step: T += (target - T) * (1 - e^{-dt/tau}) ≈ linear
+	// blend for dt ≤ tau.
+	alpha := float64(dt) / float64(t.spec.TimeConstant)
+	if alpha > 1 {
+		alpha = 1
+	}
+	t.tempC += (target - t.tempC) * alpha
+	// Hysteretic throttling.
+	if !t.throttled && t.tempC >= t.spec.ThrottleC {
+		t.throttled = true
+		t.savedDVFS = d.dvfs
+		d.dvfs = 0
+	} else if t.throttled && t.tempC <= t.spec.ResumeC {
+		t.throttled = false
+		if t.savedDVFS < len(d.spec.DVFSLevels) {
+			d.dvfs = t.savedDVFS
+		}
+	}
+	return t.tempC
+}

@@ -1,0 +1,336 @@
+// Package dpe implements the MYRTUS Design and Programming Environment —
+// technical pillar 3 (Fig. 4). It drives the three steps the paper
+// describes end-to-end:
+//
+//  1. continuum modeling, simulation and analysis: TOSCA service
+//     template validation (Modelio role) plus Attack-Defence-Tree threat
+//     analysis with countermeasure synthesis;
+//  2. model to implementation: partitioning the application, importing
+//     ML models (ONNX role) into the dfg dialect of the mini-MLIR;
+//  3. node-level optimization and deployment: the compilation pipeline
+//     (canonicalize, fusion, DCE, CGRA lowering), HLS estimation to
+//     bitstreams with operating points, and mapping DSE.
+//
+// The output is the deployment specification — a CSAR carrying the TOSCA
+// template and the design-time metadata (operating points, bitstream
+// manifests, countermeasures) the MIRTO Cognitive Engine consumes at
+// runtime, closing the Pillar 3 → Pillar 2 interface.
+package dpe
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"myrtus/internal/adt"
+	"myrtus/internal/dse"
+	"myrtus/internal/fpga"
+	"myrtus/internal/mlir"
+	"myrtus/internal/sim"
+	"myrtus/internal/tosca"
+)
+
+// Project is the designer's input to the DPE.
+type Project struct {
+	Name     string
+	Template *tosca.ServiceTemplate
+	// Threats optionally models the system's attack surface (step 1).
+	Threats *adt.Tree
+	// DefenceBudget bounds countermeasure synthesis cost.
+	DefenceBudget float64
+	// Models maps accelerated template nodes to their ML models (step 2).
+	Models map[string]*mlir.Model
+	// Platform optionally drives mapping DSE (step 3); nil skips it.
+	Platform *dse.Platform
+	// CGRAPEs sizes the CGRA lowering grid (0 skips CGRA lowering).
+	CGRAPEs int
+}
+
+// BitstreamManifest describes one synthesized accelerator artifact with
+// enough detail to reconstruct the loadable bitstream on the runtime
+// side of the Pillar 3 → Pillar 2 interface.
+type BitstreamManifest struct {
+	ID         string          `json:"id"`
+	Kernel     string          `json:"kernel"`
+	AreaUnits  int             `json:"areaUnits"`
+	ReconfigNs int64           `json:"reconfigNs"`
+	Points     []PointManifest `json:"operatingPoints"`
+	ForNode    string          `json:"templateNode"`
+}
+
+// PointManifest is one serialized operating point.
+type PointManifest struct {
+	Name        string  `json:"name"`
+	ClockMHz    float64 `json:"clockMHz"`
+	Parallelism int     `json:"parallelism"`
+	LatencyNs   int64   `json:"latencyPerItemNs"`
+	PowerWatts  float64 `json:"powerWatts"`
+}
+
+// Bitstream reconstructs the loadable artifact from the manifest.
+func (m BitstreamManifest) Bitstream() *fpga.Bitstream {
+	bs := &fpga.Bitstream{
+		ID: m.ID, Kernel: m.Kernel, AreaUnits: m.AreaUnits,
+		ReconfigTime: sim.Time(m.ReconfigNs),
+	}
+	for _, p := range m.Points {
+		bs.Points = append(bs.Points, fpga.OperatingPoint{
+			Name: p.Name, ClockMHz: p.ClockMHz, Parallelism: p.Parallelism,
+			LatencyPerItem: sim.Time(p.LatencyNs), PowerWatts: p.PowerWatts,
+		})
+	}
+	return bs
+}
+
+func manifestOf(bs *fpga.Bitstream, forNode string) BitstreamManifest {
+	m := BitstreamManifest{
+		ID: bs.ID, Kernel: bs.Kernel, AreaUnits: bs.AreaUnits,
+		ReconfigNs: int64(bs.ReconfigTime), ForNode: forNode,
+	}
+	for _, p := range bs.Points {
+		m.Points = append(m.Points, PointManifest{
+			Name: p.Name, ClockMHz: p.ClockMHz, Parallelism: p.Parallelism,
+			LatencyNs: int64(p.LatencyPerItem), PowerWatts: p.PowerWatts,
+		})
+	}
+	return m
+}
+
+// Result is the DPE build output.
+type Result struct {
+	CSAR       *tosca.CSAR
+	Bitstreams []*fpga.Bitstream
+	Manifests  []BitstreamManifest
+	// Synthesis records the threat countermeasures applied (step 1).
+	Synthesis adt.Synthesis
+	// MappingPoints are the DSE operating points ([29][30] metadata).
+	MappingPoints []dse.OperatingPoint
+	// KPIWarnings lists latency policies the reference platform cannot
+	// meet even at the fastest Pareto point (design-time KPI estimation).
+	KPIWarnings []string
+	// Report is the human-readable pipeline trace.
+	Report string
+}
+
+// Build runs the full DPE flow.
+func Build(p *Project) (*Result, error) {
+	if p == nil || p.Template == nil {
+		return nil, fmt.Errorf("dpe: project needs a template")
+	}
+	if p.Name == "" {
+		p.Name = p.Template.Name
+	}
+	var report strings.Builder
+	fmt.Fprintf(&report, "MYRTUS DPE build: %s\n", p.Name)
+	res := &Result{}
+
+	// ---- Step 1: modeling, simulation and analysis -------------------
+	if err := tosca.Validate(p.Template); err != nil {
+		return nil, fmt.Errorf("dpe: step 1 (validation): %w", err)
+	}
+	fmt.Fprintf(&report, "step 1: template %q valid (%d components, %d policies)\n",
+		p.Template.Name, len(p.Template.Nodes), len(p.Template.Policies))
+	if p.Threats != nil {
+		if err := p.Threats.Validate(); err != nil {
+			return nil, fmt.Errorf("dpe: step 1 (threat model): %w", err)
+		}
+		res.Synthesis = p.Threats.Synthesize(adt.StandardLibrary(), p.DefenceBudget)
+		fmt.Fprintf(&report, "step 1: threat analysis P(attack) %.3f -> %.3f with %d countermeasures (budget %.1f/%.1f)\n",
+			res.Synthesis.Before, res.Synthesis.After, len(res.Synthesis.Applied),
+			res.Synthesis.SpentBudget, p.DefenceBudget)
+	}
+
+	// ---- Step 2 + 3: model to implementation, node-level flow --------
+	var nodeNames []string
+	for n := range p.Models {
+		nodeNames = append(nodeNames, n)
+	}
+	sort.Strings(nodeNames)
+	for _, nodeName := range nodeNames {
+		model := p.Models[nodeName]
+		nt, ok := p.Template.Nodes[nodeName]
+		if !ok {
+			return nil, fmt.Errorf("dpe: model for unknown template node %q", nodeName)
+		}
+		if nt.Type != tosca.TypeAcceleratedKernel {
+			return nil, fmt.Errorf("dpe: node %q carries a model but is not an AcceleratedKernel", nodeName)
+		}
+		mod := mlir.NewModule(p.Name + "-" + nodeName)
+		if _, err := mlir.Import(model, mod); err != nil {
+			return nil, fmt.Errorf("dpe: step 2 (import %s): %w", nodeName, err)
+		}
+		pm := &mlir.PassManager{}
+		pm.AddPass(mlir.NewCanonicalizePass())
+		fuse := mlir.NewFuseDFGPass()
+		pm.AddPass(fuse)
+		pm.AddPass(mlir.NewDCEPass())
+		var lower *mlir.LowerToCGRAPass
+		if p.CGRAPEs > 0 {
+			lower = mlir.NewLowerToCGRAPass(p.CGRAPEs)
+			pm.AddPass(lower)
+		}
+		if err := pm.Run(mod); err != nil {
+			return nil, fmt.Errorf("dpe: step 3 (pipeline %s): %w", nodeName, err)
+		}
+		hls, err := mlir.EstimateHLS(mod, mlir.DefaultHLSOptions())
+		if err != nil {
+			return nil, fmt.Errorf("dpe: step 3 (HLS %s): %w", nodeName, err)
+		}
+		// The bitstream accelerates the template node's kernel.
+		hls.Bitstream.Kernel = nt.PropString("kernel", hls.Bitstream.Kernel)
+		res.Bitstreams = append(res.Bitstreams, hls.Bitstream)
+		res.Manifests = append(res.Manifests, manifestOf(hls.Bitstream, nodeName))
+		fmt.Fprintf(&report, "step 2: %s model %q imported (%d layers, %d fused)\n",
+			nodeName, model.Name, len(model.Layers), fuse.Fused)
+		fmt.Fprintf(&report, "step 3: %s\n", indent(hls.Report, "  "))
+		if lower != nil {
+			fmt.Fprintf(&report, "step 3: %s CGRA makespan %.3f GOps over %d PEs\n",
+				nodeName, lower.Makespan(mod), p.CGRAPEs)
+		}
+	}
+
+	// Mapping DSE over the whole application (step 3, Mocasin role).
+	if p.Platform != nil {
+		tg := templateTaskGraph(p.Template)
+		front, err := dse.ExploreGA(tg, p.Platform, dse.DefaultGAOptions())
+		if err != nil {
+			return nil, fmt.Errorf("dpe: step 3 (DSE): %w", err)
+		}
+		res.MappingPoints = dse.ExportOperatingPoints(tg, front)
+		fmt.Fprintf(&report, "step 3: mapping DSE found %d Pareto points\n", len(res.MappingPoints))
+
+		// Design-time KPI estimation (step 1's "model-based KPIs
+		// estimation", checked here where the mapping data exists): the
+		// best achievable latency on the reference platform is compared
+		// against every Latency policy; unreachable targets surface to the
+		// designer before anything is deployed.
+		res.KPIWarnings = checkLatencyPolicies(p.Template, res.MappingPoints)
+		for _, w := range res.KPIWarnings {
+			fmt.Fprintf(&report, "step 1 KPI check: %s\n", w)
+		}
+		if len(res.KPIWarnings) == 0 && len(p.Template.Policies) > 0 {
+			fmt.Fprintf(&report, "step 1 KPI check: all latency policies achievable on %s\n", p.Platform.Name)
+		}
+	}
+
+	// ---- Deployment specification (Pillar 3 → Pillar 2) --------------
+	csar := tosca.NewCSAR(p.Template)
+	if len(res.Manifests) > 0 {
+		data, err := json.MarshalIndent(res.Manifests, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		csar.AddArtifact("artifacts/bitstreams.json", data)
+	}
+	if len(res.MappingPoints) > 0 {
+		data, err := json.MarshalIndent(res.MappingPoints, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		csar.AddArtifact("artifacts/oppoints.json", data)
+	}
+	if p.Threats != nil {
+		csar.AddArtifact("artifacts/countermeasures.txt", []byte(renderSynthesis(res.Synthesis)))
+		csar.AddArtifact("artifacts/threat-model.txt", []byte(p.Threats.Render()))
+	}
+	res.Report = report.String()
+	csar.AddArtifact("reports/pipeline.txt", []byte(res.Report))
+	res.CSAR = csar
+	return res, nil
+}
+
+// checkLatencyPolicies compares each Latency policy's maxMs against the
+// best (fastest) mapping point's end-to-end latency.
+func checkLatencyPolicies(st *tosca.ServiceTemplate, points []dse.OperatingPoint) []string {
+	if len(points) == 0 {
+		return nil
+	}
+	best := points[0].LatencyMs
+	for _, pt := range points[1:] {
+		if pt.LatencyMs < best {
+			best = pt.LatencyMs
+		}
+	}
+	var out []string
+	for _, pol := range st.Policies {
+		if pol.Type != tosca.PolicyLatency {
+			continue
+		}
+		maxMs := propFloatAttr(pol.Properties, "maxMs")
+		if maxMs > 0 && best > maxMs {
+			out = append(out, fmt.Sprintf(
+				"latency policy %q demands %.0f ms but the fastest mapping achieves %.1f ms",
+				pol.Name, maxMs, best))
+		}
+	}
+	return out
+}
+
+func propFloatAttr(m map[string]any, key string) float64 {
+	switch v := m[key].(type) {
+	case int64:
+		return float64(v)
+	case float64:
+		return v
+	default:
+		return 0
+	}
+}
+
+// templateTaskGraph derives a DSE task graph from the service template.
+func templateTaskGraph(st *tosca.ServiceTemplate) *dse.TaskGraph {
+	g := &dse.TaskGraph{Name: st.Name}
+	for _, name := range st.NodeNames() {
+		nt := st.Nodes[name]
+		g.Tasks = append(g.Tasks, dse.Task{
+			Name: name, GOps: nt.PropFloat("gops", 1), Kernel: nt.PropString("kernel", ""),
+		})
+		for _, r := range nt.Requirements {
+			g.Edges = append(g.Edges, dse.Edge{
+				Src: r.Target, Dst: name, DataMB: st.Nodes[r.Target].PropFloat("outMB", 0.1),
+			})
+		}
+	}
+	return g
+}
+
+func renderSynthesis(s adt.Synthesis) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "threat countermeasures (P %.3f -> %.3f, budget spent %.1f)\n", s.Before, s.After, s.SpentBudget)
+	for _, a := range s.Applied {
+		fmt.Fprintf(&b, "  %s on %s (risk -%.4f)\n", a.Countermeasure, a.Leaf, a.RiskReduction)
+	}
+	return b.String()
+}
+
+func indent(s, prefix string) string {
+	return strings.ReplaceAll(strings.TrimRight(s, "\n"), "\n", "\n"+prefix)
+}
+
+// LoadResult re-reads a deployment specification CSAR (the MIRTO side of
+// the Pillar 3 → Pillar 2 interface) and returns the template plus the
+// parsed artifacts.
+func LoadResult(data []byte) (*tosca.ServiceTemplate, []BitstreamManifest, []dse.OperatingPoint, error) {
+	csar, err := tosca.ReadCSAR(data)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	st, err := csar.Template()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var manifests []BitstreamManifest
+	if raw, ok := csar.Files["artifacts/bitstreams.json"]; ok {
+		if err := json.Unmarshal(raw, &manifests); err != nil {
+			return nil, nil, nil, fmt.Errorf("dpe: bad bitstream manifest: %w", err)
+		}
+	}
+	var points []dse.OperatingPoint
+	if raw, ok := csar.Files["artifacts/oppoints.json"]; ok {
+		if err := json.Unmarshal(raw, &points); err != nil {
+			return nil, nil, nil, fmt.Errorf("dpe: bad operating points: %w", err)
+		}
+	}
+	return st, manifests, points, nil
+}

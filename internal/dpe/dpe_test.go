@@ -1,0 +1,272 @@
+package dpe
+
+import (
+	"strings"
+	"testing"
+
+	"myrtus/internal/adt"
+	"myrtus/internal/dse"
+	"myrtus/internal/mlir"
+	"myrtus/internal/tosca"
+)
+
+const projYAML = `
+tosca_definitions_version: tosca_2_0
+metadata:
+  template_name: telerehab
+topology_template:
+  node_templates:
+    sensor:
+      type: myrtus.nodes.Container
+      properties: {cpu: 0.5, memoryMB: 128, gops: 0.2, outMB: 1.5}
+    pose:
+      type: myrtus.nodes.AcceleratedKernel
+      properties: {cpu: 1, memoryMB: 1024, kernel: pose-estimation, gops: 8, outMB: 0.1}
+      requirements:
+        - source: sensor
+    therapist-ui:
+      type: myrtus.nodes.Container
+      properties: {cpu: 1, memoryMB: 512, gops: 0.5}
+      requirements:
+        - source: pose
+`
+
+func project(t *testing.T) *Project {
+	t.Helper()
+	st, err := tosca.Parse(projYAML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := &mlir.Model{Name: "pose-net"}
+	model.Conv("c1", "", 64, 64, 3, 8, 3)
+	model.Relu("r1", "c1", 64*64*8)
+	model.Conv("c2", "r1", 32, 32, 8, 16, 3)
+	model.Relu("r2", "c2", 32*32*16)
+	model.Gemm("fc", "r2", 4096, 34)
+	threats := &adt.Tree{
+		Name: "patient-data-exfiltration",
+		Root: &adt.Node{
+			Name: "exfiltrate", Gate: adt.Or,
+			Children: []*adt.Node{
+				{Name: "sniff-stream", Gate: adt.Leaf, Prob: 0.4, Cost: 3, Tags: []string{"network"}},
+				{Name: "dump-storage", Gate: adt.Leaf, Prob: 0.3, Cost: 5, Tags: []string{"storage"}},
+			},
+		},
+	}
+	return &Project{
+		Name:          "telerehab",
+		Template:      st,
+		Threats:       threats,
+		DefenceBudget: 6,
+		Models:        map[string]*mlir.Model{"pose": model},
+		Platform: &dse.Platform{
+			Name: "edge-soc",
+			PEs: []dse.PE{
+				{Name: "cpu", GOPS: 8, PowerW: 4},
+				{Name: "fpga", GOPS: 4, PowerW: 2, Accel: map[string]float64{"pose-estimation": 12}},
+			},
+			BandwidthMBps: 500, CommEnergyPerMB: 0.02,
+		},
+		CGRAPEs: 4,
+	}
+}
+
+func TestBuildFullFlow(t *testing.T) {
+	res, err := Build(project(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step 1: threats mitigated.
+	if res.Synthesis.After >= res.Synthesis.Before {
+		t.Fatal("no threat mitigation")
+	}
+	// Step 3: one bitstream for the pose kernel with ordered points.
+	if len(res.Bitstreams) != 1 || res.Bitstreams[0].Kernel != "pose-estimation" {
+		t.Fatalf("bitstreams = %+v", res.Bitstreams)
+	}
+	if len(res.Manifests) != 1 || res.Manifests[0].ForNode != "pose" {
+		t.Fatalf("manifests = %+v", res.Manifests)
+	}
+	if len(res.MappingPoints) == 0 {
+		t.Fatal("no DSE points")
+	}
+	// CSAR carries everything.
+	for _, path := range []string{
+		"definitions/service.yaml", "artifacts/bitstreams.json",
+		"artifacts/oppoints.json", "artifacts/countermeasures.txt",
+		"artifacts/threat-model.txt", "reports/pipeline.txt",
+		"TOSCA-Metadata/TOSCA.meta",
+	} {
+		if _, ok := res.CSAR.Files[path]; !ok {
+			t.Fatalf("csar missing %s (has %v)", path, res.CSAR.Paths())
+		}
+	}
+	for _, want := range []string{"step 1", "step 2", "step 3", "HLS estimate", "CGRA makespan", "Pareto points"} {
+		if !strings.Contains(res.Report, want) {
+			t.Fatalf("report missing %q:\n%s", want, res.Report)
+		}
+	}
+}
+
+func TestBuildRoundTripsThroughCSAR(t *testing.T) {
+	res, err := Build(project(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := res.CSAR.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, manifests, points, err := LoadResult(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Nodes) != 3 {
+		t.Fatalf("template nodes = %d", len(st.Nodes))
+	}
+	if len(manifests) != 1 || manifests[0].Kernel != "pose-estimation" {
+		t.Fatalf("manifests = %+v", manifests)
+	}
+	if len(points) != len(res.MappingPoints) {
+		t.Fatalf("points = %d vs %d", len(points), len(res.MappingPoints))
+	}
+	if err := tosca.Validate(st); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil); err == nil {
+		t.Fatal("nil project accepted")
+	}
+	if _, err := Build(&Project{}); err == nil {
+		t.Fatal("template-less project accepted")
+	}
+	p := project(t)
+	p.Models["ghost"] = &mlir.Model{Name: "x", Layers: []mlir.Layer{{Name: "l", Kernel: "k", GOps: 1}}}
+	if _, err := Build(p); err == nil {
+		t.Fatal("model for unknown node accepted")
+	}
+	p2 := project(t)
+	p2.Models = map[string]*mlir.Model{"sensor": p2.Models["pose"]}
+	if _, err := Build(p2); err == nil {
+		t.Fatal("model on non-accelerated node accepted")
+	}
+	p3 := project(t)
+	p3.Threats = &adt.Tree{Name: "broken"}
+	if _, err := Build(p3); err == nil {
+		t.Fatal("broken threat model accepted")
+	}
+	p4 := project(t)
+	p4.Template.Nodes["sensor"].Properties["cpu"] = int64(-1)
+	if _, err := Build(p4); err == nil {
+		t.Fatal("invalid template accepted")
+	}
+}
+
+func TestBuildWithoutOptionalParts(t *testing.T) {
+	st, _ := tosca.Parse(projYAML)
+	res, err := Build(&Project{Name: "minimal", Template: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bitstreams) != 0 || len(res.MappingPoints) != 0 {
+		t.Fatal("unexpected artifacts")
+	}
+	if _, ok := res.CSAR.Files["artifacts/bitstreams.json"]; ok {
+		t.Fatal("empty manifest written")
+	}
+	if _, ok := res.CSAR.Files["reports/pipeline.txt"]; !ok {
+		t.Fatal("missing report")
+	}
+}
+
+func TestTemplateTaskGraph(t *testing.T) {
+	st, _ := tosca.Parse(projYAML)
+	g := templateTaskGraph(st)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Tasks) != 3 || len(g.Edges) != 2 {
+		t.Fatalf("graph = %d tasks %d edges", len(g.Tasks), len(g.Edges))
+	}
+}
+
+func TestDesignTimeKPICheck(t *testing.T) {
+	p := project(t)
+	// An achievable latency policy produces no warning.
+	p.Template.Policies = append(p.Template.Policies, tosca.Policy{
+		Name: "generous", Type: tosca.PolicyLatency,
+		Targets:    []string{"pose"},
+		Properties: map[string]any{"maxMs": float64(1e9)},
+	})
+	res, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.KPIWarnings) != 0 {
+		t.Fatalf("unexpected warnings: %v", res.KPIWarnings)
+	}
+	if !strings.Contains(res.Report, "all latency policies achievable") {
+		t.Fatalf("report missing KPI confirmation:\n%s", res.Report)
+	}
+	// An impossible policy is flagged at design time.
+	p2 := project(t)
+	p2.Template.Policies = append(p2.Template.Policies, tosca.Policy{
+		Name: "impossible", Type: tosca.PolicyLatency,
+		Targets:    []string{"pose"},
+		Properties: map[string]any{"maxMs": float64(0.000001)},
+	})
+	res2, err := Build(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.KPIWarnings) != 1 || !strings.Contains(res2.KPIWarnings[0], "impossible") {
+		t.Fatalf("warnings = %v", res2.KPIWarnings)
+	}
+	if !strings.Contains(res2.Report, "KPI check") {
+		t.Fatalf("report missing KPI check:\n%s", res2.Report)
+	}
+}
+
+func TestManifestBitstreamRoundTrip(t *testing.T) {
+	res, err := Build(project(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := res.Bitstreams[0]
+	re := res.Manifests[0].Bitstream()
+	if err := re.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if re.ID != orig.ID || re.Kernel != orig.Kernel || re.AreaUnits != orig.AreaUnits ||
+		re.ReconfigTime != orig.ReconfigTime || len(re.Points) != len(orig.Points) {
+		t.Fatalf("reconstructed bitstream differs: %+v vs %+v", re, orig)
+	}
+	for i := range re.Points {
+		if re.Points[i] != orig.Points[i] {
+			t.Fatalf("point %d differs", i)
+		}
+	}
+}
+
+func TestLoadResultCorruptArtifacts(t *testing.T) {
+	res, err := Build(project(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.CSAR.AddArtifact("artifacts/oppoints.json", []byte("not json"))
+	data, _ := res.CSAR.Bytes()
+	if _, _, _, err := LoadResult(data); err == nil {
+		t.Fatal("corrupt oppoints accepted")
+	}
+	res2, _ := Build(project(t))
+	res2.CSAR.AddArtifact("artifacts/bitstreams.json", []byte("broken"))
+	data2, _ := res2.CSAR.Bytes()
+	if _, _, _, err := LoadResult(data2); err == nil {
+		t.Fatal("corrupt manifests accepted")
+	}
+	if _, _, _, err := LoadResult([]byte("junk")); err == nil {
+		t.Fatal("junk accepted")
+	}
+}

@@ -1,0 +1,466 @@
+// Package dse implements design-space exploration for mapping
+// applications onto heterogeneous platforms — the Mocasin role in the
+// MYRTUS DPE ([27]), extended with the energy-aware operating-point
+// export of [29][30]: the Pareto-optimal mappings become the runtime
+// metadata the MIRTO Cognitive Engine switches between.
+package dse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"myrtus/internal/sim"
+)
+
+// Task is one schedulable unit of an application.
+type Task struct {
+	Name   string
+	GOps   float64
+	Kernel string // optional accelerable kernel
+}
+
+// Edge is a data dependency carrying DataMB megabytes.
+type Edge struct {
+	Src, Dst string
+	DataMB   float64
+}
+
+// TaskGraph is a DAG of tasks.
+type TaskGraph struct {
+	Name  string
+	Tasks []Task
+	Edges []Edge
+}
+
+// Validate checks names, positivity, and acyclicity.
+func (g *TaskGraph) Validate() error {
+	if len(g.Tasks) == 0 {
+		return fmt.Errorf("dse: graph %q has no tasks", g.Name)
+	}
+	idx := map[string]int{}
+	for i, t := range g.Tasks {
+		if t.Name == "" {
+			return fmt.Errorf("dse: unnamed task in %q", g.Name)
+		}
+		if _, dup := idx[t.Name]; dup {
+			return fmt.Errorf("dse: duplicate task %q", t.Name)
+		}
+		if t.GOps <= 0 {
+			return fmt.Errorf("dse: task %q needs positive GOps", t.Name)
+		}
+		idx[t.Name] = i
+	}
+	for _, e := range g.Edges {
+		if _, ok := idx[e.Src]; !ok {
+			return fmt.Errorf("dse: edge source %q unknown", e.Src)
+		}
+		if _, ok := idx[e.Dst]; !ok {
+			return fmt.Errorf("dse: edge destination %q unknown", e.Dst)
+		}
+		if e.DataMB < 0 {
+			return fmt.Errorf("dse: edge %s->%s negative data", e.Src, e.Dst)
+		}
+	}
+	if _, err := g.topoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (g *TaskGraph) topoOrder() ([]int, error) {
+	idx := map[string]int{}
+	for i, t := range g.Tasks {
+		idx[t.Name] = i
+	}
+	indeg := make([]int, len(g.Tasks))
+	adj := make([][]int, len(g.Tasks))
+	for _, e := range g.Edges {
+		s, d := idx[e.Src], idx[e.Dst]
+		adj[s] = append(adj[s], d)
+		indeg[d]++
+	}
+	var queue []int
+	for i, d := range indeg {
+		if d == 0 {
+			queue = append(queue, i)
+		}
+	}
+	var order []int
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		order = append(order, n)
+		for _, m := range adj[n] {
+			indeg[m]--
+			if indeg[m] == 0 {
+				queue = append(queue, m)
+			}
+		}
+	}
+	if len(order) != len(g.Tasks) {
+		return nil, fmt.Errorf("dse: graph %q has a dependency cycle", g.Name)
+	}
+	return order, nil
+}
+
+// PE is one processing element of the platform.
+type PE struct {
+	Name   string
+	GOPS   float64
+	PowerW float64 // active power
+	// Accel maps kernel names to speedup factors on this PE.
+	Accel map[string]float64
+}
+
+// Platform is a set of PEs connected by a uniform interconnect.
+type Platform struct {
+	Name          string
+	PEs           []PE
+	BandwidthMBps float64
+	// CommEnergyPerMB is joules per megabyte moved between PEs.
+	CommEnergyPerMB float64
+}
+
+// Validate checks the platform.
+func (p *Platform) Validate() error {
+	if len(p.PEs) == 0 {
+		return fmt.Errorf("dse: platform %q has no PEs", p.Name)
+	}
+	for _, pe := range p.PEs {
+		if pe.GOPS <= 0 || pe.PowerW <= 0 {
+			return fmt.Errorf("dse: PE %q needs positive GOPS and power", pe.Name)
+		}
+	}
+	if p.BandwidthMBps <= 0 {
+		return fmt.Errorf("dse: platform %q needs positive bandwidth", p.Name)
+	}
+	return nil
+}
+
+// Mapping assigns task index → PE index.
+type Mapping []int
+
+// Cost is the bi-objective evaluation result.
+type Cost struct {
+	Latency sim.Time // makespan of one iteration
+	EnergyJ float64
+}
+
+// Dominates reports Pareto dominance (≤ in both, < in one).
+func (c Cost) Dominates(o Cost) bool {
+	if c.Latency > o.Latency || c.EnergyJ > o.EnergyJ {
+		return false
+	}
+	return c.Latency < o.Latency || c.EnergyJ < o.EnergyJ
+}
+
+// Evaluate schedules g on p under mapping (list scheduling honoring
+// dependencies and PE availability) and returns the makespan and energy.
+func Evaluate(g *TaskGraph, p *Platform, m Mapping) (Cost, error) {
+	if len(m) != len(g.Tasks) {
+		return Cost{}, fmt.Errorf("dse: mapping covers %d of %d tasks", len(m), len(g.Tasks))
+	}
+	for _, pe := range m {
+		if pe < 0 || pe >= len(p.PEs) {
+			return Cost{}, fmt.Errorf("dse: mapping references PE %d of %d", pe, len(p.PEs))
+		}
+	}
+	order, err := g.topoOrder()
+	if err != nil {
+		return Cost{}, err
+	}
+	idx := map[string]int{}
+	for i, t := range g.Tasks {
+		idx[t.Name] = i
+	}
+	inEdges := make([][]Edge, len(g.Tasks))
+	for _, e := range g.Edges {
+		inEdges[idx[e.Dst]] = append(inEdges[idx[e.Dst]], e)
+	}
+	peFree := make([]sim.Time, len(p.PEs))
+	finish := make([]sim.Time, len(g.Tasks))
+	energy := 0.0
+	for _, ti := range order {
+		task := g.Tasks[ti]
+		pe := p.PEs[m[ti]]
+		ready := sim.Time(0)
+		for _, e := range inEdges[ti] {
+			si := idx[e.Src]
+			arr := finish[si]
+			if m[si] != m[ti] && e.DataMB > 0 {
+				comm := sim.Time(e.DataMB / p.BandwidthMBps * float64(sim.Second))
+				arr += comm
+				energy += e.DataMB * p.CommEnergyPerMB
+			}
+			if arr > ready {
+				ready = arr
+			}
+		}
+		if peFree[m[ti]] > ready {
+			ready = peFree[m[ti]]
+		}
+		speed := pe.GOPS
+		if s, ok := pe.Accel[task.Kernel]; ok && s > 1 {
+			speed *= s
+		}
+		dur := sim.Time(task.GOps / speed * float64(sim.Second))
+		finish[ti] = ready + dur
+		peFree[m[ti]] = finish[ti]
+		energy += pe.PowerW * dur.Seconds()
+	}
+	makespan := sim.Time(0)
+	for _, f := range finish {
+		if f > makespan {
+			makespan = f
+		}
+	}
+	return Cost{Latency: makespan, EnergyJ: energy}, nil
+}
+
+// Candidate pairs a mapping with its evaluated cost.
+type Candidate struct {
+	Mapping Mapping
+	Cost    Cost
+}
+
+// ParetoFront filters the non-dominated candidates, sorted by latency.
+func ParetoFront(cands []Candidate) []Candidate {
+	var front []Candidate
+	for i, c := range cands {
+		dominated := false
+		for j, o := range cands {
+			if i != j && o.Cost.Dominates(c.Cost) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, c)
+		}
+	}
+	sort.Slice(front, func(i, j int) bool {
+		if front[i].Cost.Latency != front[j].Cost.Latency {
+			return front[i].Cost.Latency < front[j].Cost.Latency
+		}
+		return front[i].Cost.EnergyJ < front[j].Cost.EnergyJ
+	})
+	// Deduplicate identical costs.
+	var out []Candidate
+	for _, c := range front {
+		if len(out) > 0 && out[len(out)-1].Cost == c.Cost {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// scalarize folds a cost into a single objective for the heuristics:
+// normalized weighted sum.
+func scalarize(c Cost, wLatency float64) float64 {
+	return wLatency*c.Latency.Seconds() + (1-wLatency)*c.EnergyJ/100
+}
+
+// ExploreExhaustive enumerates every mapping (|PEs|^|tasks| — small
+// graphs only) and returns the full Pareto front.
+func ExploreExhaustive(g *TaskGraph, p *Platform) ([]Candidate, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n, k := len(g.Tasks), len(p.PEs)
+	total := math.Pow(float64(k), float64(n))
+	if total > 2_000_000 {
+		return nil, fmt.Errorf("dse: exhaustive space too large (%g mappings)", total)
+	}
+	m := make(Mapping, n)
+	var cands []Candidate
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == n {
+			cost, err := Evaluate(g, p, m)
+			if err != nil {
+				return err
+			}
+			cands = append(cands, Candidate{Mapping: append(Mapping(nil), m...), Cost: cost})
+			return nil
+		}
+		for pe := 0; pe < k; pe++ {
+			m[i] = pe
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	return ParetoFront(cands), nil
+}
+
+// GAOptions tune the genetic explorer.
+type GAOptions struct {
+	Population  int
+	Generations int
+	MutationP   float64
+	WLatency    float64 // scalarization weight ∈ [0,1]
+	Seed        uint64
+}
+
+// DefaultGAOptions returns a balanced configuration.
+func DefaultGAOptions() GAOptions {
+	return GAOptions{Population: 40, Generations: 60, MutationP: 0.15, WLatency: 0.5, Seed: 1}
+}
+
+// ExploreGA runs a genetic search and returns the Pareto front over all
+// evaluated individuals.
+func ExploreGA(g *TaskGraph, p *Platform, opts GAOptions) ([]Candidate, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Population < 4 || opts.Generations < 1 {
+		return nil, fmt.Errorf("dse: GA needs population ≥ 4 and generations ≥ 1")
+	}
+	rng := sim.NewRNG(opts.Seed)
+	n, k := len(g.Tasks), len(p.PEs)
+	pop := make([]Mapping, opts.Population)
+	for i := range pop {
+		pop[i] = randomMapping(rng, n, k)
+	}
+	var all []Candidate
+	evaluate := func(m Mapping) Candidate {
+		cost, _ := Evaluate(g, p, m)
+		c := Candidate{Mapping: append(Mapping(nil), m...), Cost: cost}
+		all = append(all, c)
+		return c
+	}
+	cur := make([]Candidate, len(pop))
+	for i, m := range pop {
+		cur[i] = evaluate(m)
+	}
+	for gen := 0; gen < opts.Generations; gen++ {
+		sort.Slice(cur, func(i, j int) bool {
+			return scalarize(cur[i].Cost, opts.WLatency) < scalarize(cur[j].Cost, opts.WLatency)
+		})
+		elite := cur[:len(cur)/2]
+		var next []Candidate
+		next = append(next, elite...)
+		for len(next) < opts.Population {
+			a := elite[rng.Intn(len(elite))].Mapping
+			b := elite[rng.Intn(len(elite))].Mapping
+			child := make(Mapping, n)
+			cut := rng.Intn(n)
+			copy(child, a[:cut])
+			copy(child[cut:], b[cut:])
+			for i := range child {
+				if rng.Bool(opts.MutationP) {
+					child[i] = rng.Intn(k)
+				}
+			}
+			next = append(next, evaluate(child))
+		}
+		cur = next
+	}
+	return ParetoFront(all), nil
+}
+
+// SAOptions tune simulated annealing.
+type SAOptions struct {
+	Iterations  int
+	T0, Cooling float64
+	WLatency    float64
+	Seed        uint64
+}
+
+// DefaultSAOptions returns a standard schedule.
+func DefaultSAOptions() SAOptions {
+	return SAOptions{Iterations: 2000, T0: 1.0, Cooling: 0.998, WLatency: 0.5, Seed: 1}
+}
+
+// ExploreSA runs simulated annealing and returns the Pareto front of the
+// visited states.
+func ExploreSA(g *TaskGraph, p *Platform, opts SAOptions) ([]Candidate, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Iterations < 1 || opts.T0 <= 0 || opts.Cooling <= 0 || opts.Cooling >= 1 {
+		return nil, fmt.Errorf("dse: bad SA options")
+	}
+	rng := sim.NewRNG(opts.Seed)
+	n, k := len(g.Tasks), len(p.PEs)
+	cur := randomMapping(rng, n, k)
+	curCost, err := Evaluate(g, p, cur)
+	if err != nil {
+		return nil, err
+	}
+	all := []Candidate{{Mapping: append(Mapping(nil), cur...), Cost: curCost}}
+	temp := opts.T0
+	for i := 0; i < opts.Iterations; i++ {
+		next := append(Mapping(nil), cur...)
+		next[rng.Intn(n)] = rng.Intn(k)
+		nextCost, err := Evaluate(g, p, next)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, Candidate{Mapping: next, Cost: nextCost})
+		d := scalarize(nextCost, opts.WLatency) - scalarize(curCost, opts.WLatency)
+		if d <= 0 || rng.Float64() < math.Exp(-d/temp) {
+			cur, curCost = next, nextCost
+		}
+		temp *= opts.Cooling
+	}
+	return ParetoFront(all), nil
+}
+
+func randomMapping(rng *sim.RNG, n, k int) Mapping {
+	m := make(Mapping, n)
+	for i := range m {
+		m[i] = rng.Intn(k)
+	}
+	return m
+}
+
+// OperatingPoint is the runtime metadata exported for one Pareto point
+// ([29][30]): the Node Manager switches between these at runtime.
+type OperatingPoint struct {
+	Name      string         `json:"name"`
+	Mapping   map[string]int `json:"mapping"` // task → PE index
+	LatencyMs float64        `json:"latencyMs"`
+	EnergyJ   float64        `json:"energyJ"`
+}
+
+// ExportOperatingPoints converts a Pareto front into named operating
+// points (fastest = "perf", most frugal = "eco", middle = "balanced-i").
+func ExportOperatingPoints(g *TaskGraph, front []Candidate) []OperatingPoint {
+	out := make([]OperatingPoint, 0, len(front))
+	for i, c := range front {
+		name := fmt.Sprintf("balanced-%d", i)
+		if i == 0 {
+			name = "perf"
+		}
+		if i == len(front)-1 && len(front) > 1 {
+			name = "eco"
+		}
+		mp := map[string]int{}
+		for ti, pe := range c.Mapping {
+			mp[g.Tasks[ti].Name] = pe
+		}
+		out = append(out, OperatingPoint{
+			Name:      name,
+			Mapping:   mp,
+			LatencyMs: c.Cost.Latency.Seconds() * 1e3,
+			EnergyJ:   c.Cost.EnergyJ,
+		})
+	}
+	return out
+}

@@ -1,0 +1,290 @@
+package dse
+
+import (
+	"testing"
+	"testing/quick"
+
+	"myrtus/internal/sim"
+)
+
+func pipelineGraph() *TaskGraph {
+	return &TaskGraph{
+		Name: "pipeline",
+		Tasks: []Task{
+			{Name: "capture", GOps: 1},
+			{Name: "detect", GOps: 20, Kernel: "conv2d"},
+			{Name: "track", GOps: 5},
+			{Name: "report", GOps: 1},
+		},
+		Edges: []Edge{
+			{Src: "capture", Dst: "detect", DataMB: 8},
+			{Src: "detect", Dst: "track", DataMB: 1},
+			{Src: "track", Dst: "report", DataMB: 0.1},
+		},
+	}
+}
+
+func heteroPlatform() *Platform {
+	return &Platform{
+		Name: "edge-soc",
+		PEs: []PE{
+			{Name: "big-core", GOPS: 10, PowerW: 4},
+			{Name: "little-core", GOPS: 3, PowerW: 1},
+			{Name: "fpga", GOPS: 5, PowerW: 2, Accel: map[string]float64{"conv2d": 10}},
+		},
+		BandwidthMBps:   1000,
+		CommEnergyPerMB: 0.01,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := pipelineGraph().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := heteroPlatform().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*TaskGraph{
+		{Name: "empty"},
+		{Name: "dup", Tasks: []Task{{Name: "a", GOps: 1}, {Name: "a", GOps: 1}}},
+		{Name: "zero", Tasks: []Task{{Name: "a"}}},
+		{Name: "ghost-edge", Tasks: []Task{{Name: "a", GOps: 1}}, Edges: []Edge{{Src: "a", Dst: "b"}}},
+		{Name: "cycle", Tasks: []Task{{Name: "a", GOps: 1}, {Name: "b", GOps: 1}},
+			Edges: []Edge{{Src: "a", Dst: "b"}, {Src: "b", Dst: "a"}}},
+	}
+	for _, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Fatalf("graph %q validated", g.Name)
+		}
+	}
+	if err := (&Platform{Name: "p"}).Validate(); err == nil {
+		t.Fatal("empty platform validated")
+	}
+	if err := (&Platform{Name: "p", PEs: []PE{{Name: "x", GOPS: 1, PowerW: 1}}}).Validate(); err == nil {
+		t.Fatal("no-bandwidth platform validated")
+	}
+}
+
+func TestEvaluateSequentialChain(t *testing.T) {
+	g := pipelineGraph()
+	p := heteroPlatform()
+	// Everything on the big core: latency = (1+20+5+1)/10 = 2.7 s, no comm.
+	cost, err := Evaluate(g, p, Mapping{0, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sim.Time(2.7 * float64(sim.Second))
+	if cost.Latency != want {
+		t.Fatalf("latency = %v, want %v", cost.Latency, want)
+	}
+	// Energy = 4W × 2.7s.
+	if cost.EnergyJ < 10.79 || cost.EnergyJ > 10.81 {
+		t.Fatalf("energy = %v", cost.EnergyJ)
+	}
+}
+
+func TestEvaluateAcceleratorWins(t *testing.T) {
+	g := pipelineGraph()
+	p := heteroPlatform()
+	allBig, _ := Evaluate(g, p, Mapping{0, 0, 0, 0})
+	// detect on FPGA: 20 GOps at 5×10 = 50 GOPS → 0.4 s.
+	fpga, _ := Evaluate(g, p, Mapping{0, 2, 0, 0})
+	if fpga.Latency >= allBig.Latency {
+		t.Fatalf("accelerator did not help: %v vs %v", fpga.Latency, allBig.Latency)
+	}
+}
+
+func TestEvaluateCommCost(t *testing.T) {
+	g := &TaskGraph{Name: "two", Tasks: []Task{{Name: "a", GOps: 1}, {Name: "b", GOps: 1}},
+		Edges: []Edge{{Src: "a", Dst: "b", DataMB: 100}}}
+	p := &Platform{Name: "p", PEs: []PE{{Name: "x", GOPS: 10, PowerW: 1}, {Name: "y", GOPS: 10, PowerW: 1}},
+		BandwidthMBps: 100, CommEnergyPerMB: 0.1}
+	same, _ := Evaluate(g, p, Mapping{0, 0})
+	split, _ := Evaluate(g, p, Mapping{0, 1})
+	// Split pays 1 s of transfer + 10 J of comm energy.
+	if split.Latency <= same.Latency {
+		t.Fatal("no comm latency on split mapping")
+	}
+	if split.EnergyJ <= same.EnergyJ {
+		t.Fatal("no comm energy on split mapping")
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	g := pipelineGraph()
+	p := heteroPlatform()
+	if _, err := Evaluate(g, p, Mapping{0}); err == nil {
+		t.Fatal("short mapping accepted")
+	}
+	if _, err := Evaluate(g, p, Mapping{0, 0, 0, 9}); err == nil {
+		t.Fatal("out-of-range PE accepted")
+	}
+}
+
+func TestParetoFront(t *testing.T) {
+	cands := []Candidate{
+		{Cost: Cost{Latency: 10, EnergyJ: 10}},
+		{Cost: Cost{Latency: 5, EnergyJ: 20}},
+		{Cost: Cost{Latency: 20, EnergyJ: 5}},
+		{Cost: Cost{Latency: 15, EnergyJ: 15}}, // dominated by (10,10)
+		{Cost: Cost{Latency: 10, EnergyJ: 10}}, // duplicate
+	}
+	front := ParetoFront(cands)
+	if len(front) != 3 {
+		t.Fatalf("front = %v", front)
+	}
+	for i := 1; i < len(front); i++ {
+		if front[i].Cost.Latency < front[i-1].Cost.Latency {
+			t.Fatal("front not sorted by latency")
+		}
+	}
+}
+
+func TestDominates(t *testing.T) {
+	a := Cost{Latency: 1, EnergyJ: 1}
+	b := Cost{Latency: 2, EnergyJ: 2}
+	if !a.Dominates(b) || b.Dominates(a) || a.Dominates(a) {
+		t.Fatal("dominance relation wrong")
+	}
+}
+
+func TestExhaustiveFindsAcceleratedMapping(t *testing.T) {
+	g := pipelineGraph()
+	p := heteroPlatform()
+	front, err := ExploreExhaustive(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(front) == 0 {
+		t.Fatal("empty front")
+	}
+	// The fastest point must put detect on the FPGA.
+	best := front[0]
+	if best.Mapping[1] != 2 {
+		t.Fatalf("fastest mapping = %v, detect not on fpga", best.Mapping)
+	}
+	// Front is mutually non-dominated.
+	for i, a := range front {
+		for j, b := range front {
+			if i != j && a.Cost.Dominates(b.Cost) {
+				t.Fatalf("front contains dominated point")
+			}
+		}
+	}
+}
+
+func TestExhaustiveTooLarge(t *testing.T) {
+	tasks := make([]Task, 30)
+	for i := range tasks {
+		tasks[i] = Task{Name: string(rune('a'+i%26)) + string(rune('0'+i/26)), GOps: 1}
+	}
+	g := &TaskGraph{Name: "big", Tasks: tasks}
+	if _, err := ExploreExhaustive(g, heteroPlatform()); err == nil {
+		t.Fatal("huge space accepted")
+	}
+}
+
+func TestGAApproachesExhaustive(t *testing.T) {
+	g := pipelineGraph()
+	p := heteroPlatform()
+	exact, _ := ExploreExhaustive(g, p)
+	front, err := ExploreGA(g, p, DefaultGAOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(front) == 0 {
+		t.Fatal("GA found nothing")
+	}
+	// GA's best latency within 25% of the optimum.
+	if float64(front[0].Cost.Latency) > 1.25*float64(exact[0].Cost.Latency) {
+		t.Fatalf("GA best %v far from optimum %v", front[0].Cost.Latency, exact[0].Cost.Latency)
+	}
+	if _, err := ExploreGA(g, p, GAOptions{Population: 1, Generations: 1}); err == nil {
+		t.Fatal("bad GA options accepted")
+	}
+}
+
+func TestSAApproachesExhaustive(t *testing.T) {
+	g := pipelineGraph()
+	p := heteroPlatform()
+	exact, _ := ExploreExhaustive(g, p)
+	front, err := ExploreSA(g, p, DefaultSAOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(front) == 0 {
+		t.Fatal("SA found nothing")
+	}
+	if float64(front[0].Cost.Latency) > 1.5*float64(exact[0].Cost.Latency) {
+		t.Fatalf("SA best %v far from optimum %v", front[0].Cost.Latency, exact[0].Cost.Latency)
+	}
+	if _, err := ExploreSA(g, p, SAOptions{}); err == nil {
+		t.Fatal("bad SA options accepted")
+	}
+}
+
+func TestFrontNonDominatedProperty(t *testing.T) {
+	// Any front returned by the explorers is mutually non-dominated.
+	if err := quick.Check(func(seed uint64) bool {
+		front, err := ExploreGA(pipelineGraph(), heteroPlatform(), GAOptions{
+			Population: 10, Generations: 5, MutationP: 0.3, WLatency: 0.5, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		for i, a := range front {
+			for j, b := range front {
+				if i != j && a.Cost.Dominates(b.Cost) {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExportOperatingPoints(t *testing.T) {
+	g := pipelineGraph()
+	front, _ := ExploreExhaustive(g, heteroPlatform())
+	pts := ExportOperatingPoints(g, front)
+	if len(pts) != len(front) {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].Name != "perf" {
+		t.Fatalf("first point = %q", pts[0].Name)
+	}
+	if len(front) > 1 && pts[len(pts)-1].Name != "eco" {
+		t.Fatalf("last point = %q", pts[len(pts)-1].Name)
+	}
+	for _, p := range pts {
+		if len(p.Mapping) != 4 || p.LatencyMs <= 0 || p.EnergyJ <= 0 {
+			t.Fatalf("bad point %+v", p)
+		}
+	}
+	// perf is fastest, eco most frugal.
+	if len(pts) > 1 {
+		if pts[0].LatencyMs > pts[len(pts)-1].LatencyMs {
+			t.Fatal("perf point slower than eco")
+		}
+		if pts[0].EnergyJ < pts[len(pts)-1].EnergyJ {
+			t.Fatal("eco point costs more energy than perf")
+		}
+	}
+}
+
+func TestDeterministicExplorers(t *testing.T) {
+	g := pipelineGraph()
+	p := heteroPlatform()
+	a, _ := ExploreGA(g, p, DefaultGAOptions())
+	b, _ := ExploreGA(g, p, DefaultGAOptions())
+	if len(a) != len(b) {
+		t.Fatal("GA not deterministic")
+	}
+	for i := range a {
+		if a[i].Cost != b[i].Cost {
+			t.Fatal("GA not deterministic")
+		}
+	}
+}

@@ -1,0 +1,215 @@
+// Package fl implements the federated-learning strategy of the MIRTO
+// Cognitive Engine (KCL's contribution): edge agents train local models
+// on their own telemetry and share only model weights, which a
+// coordinator aggregates with FedAvg — "combining learned models from
+// different agents … allowing MIRTO edge agents to evolve based on each
+// other's experiences" (§IV). The models are linear regressors trained by
+// SGD, used as operating-point performance predictors.
+package fl
+
+import (
+	"fmt"
+	"math"
+
+	"myrtus/internal/sim"
+)
+
+// Dataset is a supervised regression set: X rows of features, y targets.
+type Dataset struct {
+	X [][]float64
+	Y []float64
+}
+
+// Validate checks shape consistency.
+func (d *Dataset) Validate() error {
+	if len(d.X) == 0 || len(d.X) != len(d.Y) {
+		return fmt.Errorf("fl: dataset needs matching non-empty X (%d) and Y (%d)", len(d.X), len(d.Y))
+	}
+	dim := len(d.X[0])
+	if dim == 0 {
+		return fmt.Errorf("fl: dataset has zero-dimensional features")
+	}
+	for i, row := range d.X {
+		if len(row) != dim {
+			return fmt.Errorf("fl: row %d has %d features, want %d", i, len(row), dim)
+		}
+	}
+	return nil
+}
+
+// Len returns the sample count.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// Model is a linear regressor with bias: ŷ = w·x + b.
+type Model struct {
+	W []float64
+	B float64
+}
+
+// NewModel returns a zero model of the given feature dimension.
+func NewModel(dim int) *Model { return &Model{W: make([]float64, dim)} }
+
+// Clone deep-copies the model.
+func (m *Model) Clone() *Model {
+	return &Model{W: append([]float64(nil), m.W...), B: m.B}
+}
+
+// Predict evaluates the model on one feature vector.
+func (m *Model) Predict(x []float64) float64 {
+	s := m.B
+	for i, w := range m.W {
+		if i < len(x) {
+			s += w * x[i]
+		}
+	}
+	return s
+}
+
+// MSE returns the mean squared error over a dataset.
+func (m *Model) MSE(d *Dataset) float64 {
+	if d.Len() == 0 {
+		return 0
+	}
+	s := 0.0
+	for i, x := range d.X {
+		e := m.Predict(x) - d.Y[i]
+		s += e * e
+	}
+	return s / float64(d.Len())
+}
+
+// SGDOptions tune local training.
+type SGDOptions struct {
+	Epochs       int
+	LearningRate float64
+	L2           float64
+}
+
+// DefaultSGDOptions returns a stable configuration for normalized
+// features.
+func DefaultSGDOptions() SGDOptions {
+	return SGDOptions{Epochs: 20, LearningRate: 0.05, L2: 1e-4}
+}
+
+// TrainSGD runs mini-batch (batch = 1) gradient descent in place.
+func (m *Model) TrainSGD(d *Dataset, opts SGDOptions) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	if len(m.W) != len(d.X[0]) {
+		return fmt.Errorf("fl: model dim %d vs data dim %d", len(m.W), len(d.X[0]))
+	}
+	if opts.Epochs < 1 || opts.LearningRate <= 0 {
+		return fmt.Errorf("fl: bad SGD options")
+	}
+	for e := 0; e < opts.Epochs; e++ {
+		for i, x := range d.X {
+			err := m.Predict(x) - d.Y[i]
+			for j := range m.W {
+				m.W[j] -= opts.LearningRate * (err*x[j] + opts.L2*m.W[j])
+			}
+			m.B -= opts.LearningRate * err
+		}
+	}
+	for _, w := range m.W {
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			return fmt.Errorf("fl: training diverged (reduce learning rate)")
+		}
+	}
+	return nil
+}
+
+// Client is one federated participant: a device agent with private data.
+type Client struct {
+	Name string
+	Data *Dataset
+}
+
+// FedAvgOptions tune federated training.
+type FedAvgOptions struct {
+	Rounds int
+	Local  SGDOptions
+}
+
+// DefaultFedAvgOptions returns a standard configuration.
+func DefaultFedAvgOptions() FedAvgOptions {
+	return FedAvgOptions{Rounds: 10, Local: SGDOptions{Epochs: 5, LearningRate: 0.05, L2: 1e-4}}
+}
+
+// FedAvg trains a global model without moving any raw data: each round,
+// every client trains a copy of the global model locally, and the server
+// averages the resulting weights proportionally to sample counts.
+func FedAvg(clients []Client, dim int, opts FedAvgOptions) (*Model, error) {
+	if len(clients) == 0 {
+		return nil, fmt.Errorf("fl: no clients")
+	}
+	if opts.Rounds < 1 {
+		return nil, fmt.Errorf("fl: need at least one round")
+	}
+	for _, c := range clients {
+		if err := c.Data.Validate(); err != nil {
+			return nil, fmt.Errorf("fl: client %s: %w", c.Name, err)
+		}
+		if len(c.Data.X[0]) != dim {
+			return nil, fmt.Errorf("fl: client %s dim %d, want %d", c.Name, len(c.Data.X[0]), dim)
+		}
+	}
+	global := NewModel(dim)
+	for r := 0; r < opts.Rounds; r++ {
+		sumW := make([]float64, dim)
+		sumB := 0.0
+		total := 0.0
+		for _, c := range clients {
+			local := global.Clone()
+			if err := local.TrainSGD(c.Data, opts.Local); err != nil {
+				return nil, fmt.Errorf("fl: client %s round %d: %w", c.Name, r, err)
+			}
+			w := float64(c.Data.Len())
+			for j := range sumW {
+				sumW[j] += w * local.W[j]
+			}
+			sumB += w * local.B
+			total += w
+		}
+		for j := range global.W {
+			global.W[j] = sumW[j] / total
+		}
+		global.B = sumB / total
+	}
+	return global, nil
+}
+
+// OperatingPointSample is one telemetry observation: device features at
+// execution time and the measured latency of the active operating point.
+type OperatingPointSample struct {
+	Utilization float64 // device load ∈ [0,1]
+	BatchSize   float64 // normalized items per request
+	ClockScale  float64 // active DVFS/OP scale ∈ (0,1]
+	LatencyMs   float64
+}
+
+// SamplesToDataset converts telemetry to a training set.
+func SamplesToDataset(samples []OperatingPointSample) *Dataset {
+	d := &Dataset{}
+	for _, s := range samples {
+		d.X = append(d.X, []float64{s.Utilization, s.BatchSize, 1 / s.ClockScale})
+		d.Y = append(d.Y, s.LatencyMs)
+	}
+	return d
+}
+
+// SyntheticWorkload generates telemetry from a ground-truth latency model
+// latency = base + a·util + b·batch + c/clock + noise — the per-device
+// physics the predictors must learn. Different devices pass different
+// coefficients, giving the non-IID setting FL is designed for.
+func SyntheticWorkload(rng *sim.RNG, n int, base, a, b, c, noise float64) []OperatingPointSample {
+	out := make([]OperatingPointSample, n)
+	for i := range out {
+		u := rng.Float64()
+		bs := rng.Float64()
+		clk := 0.4 + 0.6*rng.Float64()
+		lat := base + a*u + b*bs + c/clk + rng.Norm(0, noise)
+		out[i] = OperatingPointSample{Utilization: u, BatchSize: bs, ClockScale: clk, LatencyMs: lat}
+	}
+	return out
+}

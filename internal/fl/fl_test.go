@@ -1,0 +1,213 @@
+package fl
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"myrtus/internal/sim"
+)
+
+func TestDatasetValidate(t *testing.T) {
+	good := &Dataset{X: [][]float64{{1, 2}}, Y: []float64{3}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Dataset{
+		{},
+		{X: [][]float64{{1}}, Y: []float64{1, 2}},
+		{X: [][]float64{{}}, Y: []float64{1}},
+		{X: [][]float64{{1, 2}, {1}}, Y: []float64{1, 2}},
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Fatalf("bad dataset %d validated", i)
+		}
+	}
+}
+
+func TestSGDLearnsLinearFunction(t *testing.T) {
+	rng := sim.NewRNG(1)
+	d := &Dataset{}
+	for i := 0; i < 300; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		d.X = append(d.X, x)
+		d.Y = append(d.Y, 3*x[0]-2*x[1]+0.5)
+	}
+	m := NewModel(2)
+	if err := m.TrainSGD(d, SGDOptions{Epochs: 200, LearningRate: 0.05}); err != nil {
+		t.Fatal(err)
+	}
+	if mse := m.MSE(d); mse > 1e-3 {
+		t.Fatalf("MSE = %v", mse)
+	}
+	if math.Abs(m.W[0]-3) > 0.1 || math.Abs(m.W[1]+2) > 0.1 || math.Abs(m.B-0.5) > 0.1 {
+		t.Fatalf("weights = %v b = %v", m.W, m.B)
+	}
+}
+
+func TestSGDValidation(t *testing.T) {
+	m := NewModel(2)
+	d := &Dataset{X: [][]float64{{1}}, Y: []float64{1}}
+	if err := m.TrainSGD(d, DefaultSGDOptions()); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+	d2 := &Dataset{X: [][]float64{{1, 2}}, Y: []float64{1}}
+	if err := m.TrainSGD(d2, SGDOptions{Epochs: 0, LearningRate: 0.1}); err == nil {
+		t.Fatal("zero epochs accepted")
+	}
+	if err := m.TrainSGD(&Dataset{}, DefaultSGDOptions()); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}
+
+func TestSGDDivergenceDetected(t *testing.T) {
+	d := &Dataset{}
+	for i := 0; i < 50; i++ {
+		d.X = append(d.X, []float64{100, 100})
+		d.Y = append(d.Y, 1e6)
+	}
+	m := NewModel(2)
+	if err := m.TrainSGD(d, SGDOptions{Epochs: 100, LearningRate: 10}); err == nil {
+		t.Fatal("divergence not detected")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := NewModel(2)
+	m.W[0] = 1
+	c := m.Clone()
+	c.W[0] = 9
+	if m.W[0] != 1 {
+		t.Fatal("clone aliases weights")
+	}
+}
+
+func TestFedAvgMatchesCentralizedShape(t *testing.T) {
+	// Three devices, same physics, disjoint data; FedAvg should learn
+	// the shared function without moving data.
+	rng := sim.NewRNG(2)
+	truth := func(x []float64) float64 { return 2*x[0] + x[1] - 1 }
+	mkClient := func(name string, n int) Client {
+		d := &Dataset{}
+		for i := 0; i < n; i++ {
+			x := []float64{rng.Float64(), rng.Float64()}
+			d.X = append(d.X, x)
+			d.Y = append(d.Y, truth(x))
+		}
+		return Client{Name: name, Data: d}
+	}
+	clients := []Client{mkClient("edge-0", 100), mkClient("edge-1", 100), mkClient("edge-2", 100)}
+	global, err := FedAvg(clients, 2, DefaultFedAvgOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := mkClient("test", 100).Data
+	if mse := global.MSE(test); mse > 0.01 {
+		t.Fatalf("federated MSE = %v", mse)
+	}
+}
+
+func TestFedAvgHelpsSparseClient(t *testing.T) {
+	// E3 shape: a device with few samples predicts better with the
+	// federated model than with its own isolated model.
+	rng := sim.NewRNG(3)
+	world := func(n int, r *sim.RNG) *Dataset {
+		return SamplesToDataset(SyntheticWorkload(r, n, 5, 10, 8, 3, 0.2))
+	}
+	rich1 := Client{Name: "rich1", Data: world(400, rng.Fork("r1"))}
+	rich2 := Client{Name: "rich2", Data: world(400, rng.Fork("r2"))}
+	sparse := Client{Name: "sparse", Data: world(6, rng.Fork("s"))}
+	test := world(300, rng.Fork("test"))
+
+	local := NewModel(3)
+	if err := local.TrainSGD(sparse.Data, SGDOptions{Epochs: 50, LearningRate: 0.03, L2: 1e-4}); err != nil {
+		t.Fatal(err)
+	}
+	global, err := FedAvg([]Client{rich1, rich2, sparse}, 3, FedAvgOptions{
+		Rounds: 20, Local: SGDOptions{Epochs: 5, LearningRate: 0.03, L2: 1e-4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lMSE, gMSE := local.MSE(test), global.MSE(test)
+	if gMSE >= lMSE {
+		t.Fatalf("FL did not help sparse client: federated %v vs local %v", gMSE, lMSE)
+	}
+}
+
+func TestFedAvgValidation(t *testing.T) {
+	if _, err := FedAvg(nil, 2, DefaultFedAvgOptions()); err == nil {
+		t.Fatal("no clients accepted")
+	}
+	c := Client{Name: "c", Data: &Dataset{X: [][]float64{{1}}, Y: []float64{1}}}
+	if _, err := FedAvg([]Client{c}, 2, DefaultFedAvgOptions()); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+	if _, err := FedAvg([]Client{c}, 1, FedAvgOptions{Rounds: 0}); err == nil {
+		t.Fatal("zero rounds accepted")
+	}
+}
+
+func TestPredictRobustToShortFeatures(t *testing.T) {
+	m := &Model{W: []float64{1, 2, 3}, B: 1}
+	if got := m.Predict([]float64{1}); got != 2 {
+		t.Fatalf("short predict = %v", got)
+	}
+}
+
+func TestMSEEmptyDataset(t *testing.T) {
+	if NewModel(1).MSE(&Dataset{}) != 0 {
+		t.Fatal("empty MSE")
+	}
+}
+
+func TestSyntheticWorkloadShape(t *testing.T) {
+	rng := sim.NewRNG(5)
+	samples := SyntheticWorkload(rng, 50, 5, 10, 8, 3, 0)
+	if len(samples) != 50 {
+		t.Fatal("count")
+	}
+	for _, s := range samples {
+		if s.ClockScale < 0.4 || s.ClockScale > 1 {
+			t.Fatalf("clock scale %v", s.ClockScale)
+		}
+		if s.LatencyMs <= 0 {
+			t.Fatalf("latency %v", s.LatencyMs)
+		}
+	}
+	d := SamplesToDataset(samples)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.X[0]) != 3 {
+		t.Fatal("feature dim")
+	}
+}
+
+func TestFedAvgWeightsBySampleCountProperty(t *testing.T) {
+	// With one client, FedAvg equals local training from zero for the
+	// same total epochs schedule (rounds × local epochs, weights reset
+	// each round is the same as continuing since averaging over one
+	// client is identity).
+	if err := quick.Check(func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		d := &Dataset{}
+		for i := 0; i < 40; i++ {
+			x := []float64{rng.Float64()}
+			d.X = append(d.X, x)
+			d.Y = append(d.Y, 2*x[0])
+		}
+		opts := FedAvgOptions{Rounds: 4, Local: SGDOptions{Epochs: 5, LearningRate: 0.05}}
+		g, err := FedAvg([]Client{{Name: "solo", Data: d}}, 1, opts)
+		if err != nil {
+			return false
+		}
+		l := NewModel(1)
+		if err := l.TrainSGD(d, SGDOptions{Epochs: 20, LearningRate: 0.05}); err != nil {
+			return false
+		}
+		return math.Abs(g.W[0]-l.W[0]) < 1e-9 && math.Abs(g.B-l.B) < 1e-9
+	}, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,289 @@
+// Package fpga models the reconfigurable edge accelerators of the MYRTUS
+// infrastructure: FPGA fabrics with dynamically reconfigurable regions,
+// bitstream registries, per-bitstream operating points (the design-time
+// metadata MIRTO Node Managers exploit at runtime, [29][30]), partial
+// reconfiguration cost, and the performance monitoring counters the paper
+// says edge devices are "already instrumented" with.
+package fpga
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"myrtus/internal/sim"
+)
+
+// OperatingPoint is one configuration of an accelerator: the clock /
+// parallelism trade-off chosen by the Node Manager to balance latency
+// against energy.
+type OperatingPoint struct {
+	Name        string
+	ClockMHz    float64
+	Parallelism int
+	// LatencyPerItem is the processing time per work item at this point.
+	LatencyPerItem sim.Time
+	// PowerWatts is the dynamic power drawn while processing.
+	PowerWatts float64
+}
+
+// EnergyPerItem returns joules consumed per item at this point.
+func (op OperatingPoint) EnergyPerItem() float64 {
+	return op.PowerWatts * op.LatencyPerItem.Seconds()
+}
+
+// Bitstream is a synthesized accelerator configuration for one kernel.
+// The DPE node-level step produces these (internal/mlir HLS estimator).
+type Bitstream struct {
+	ID     string
+	Kernel string // accelerated kernel name, e.g. "conv2d"
+	// AreaUnits is the reconfigurable-region area the design occupies.
+	AreaUnits int
+	// ReconfigTime is the partial reconfiguration latency to load it.
+	ReconfigTime sim.Time
+	// Points are the supported operating points, fastest first.
+	Points []OperatingPoint
+}
+
+// Validate checks internal consistency.
+func (b *Bitstream) Validate() error {
+	if b.ID == "" || b.Kernel == "" {
+		return fmt.Errorf("fpga: bitstream needs ID and kernel")
+	}
+	if b.AreaUnits <= 0 {
+		return fmt.Errorf("fpga: bitstream %s has non-positive area", b.ID)
+	}
+	if len(b.Points) == 0 {
+		return fmt.Errorf("fpga: bitstream %s has no operating points", b.ID)
+	}
+	for _, p := range b.Points {
+		if p.LatencyPerItem <= 0 || p.PowerWatts <= 0 {
+			return fmt.Errorf("fpga: bitstream %s point %s has non-positive cost", b.ID, p.Name)
+		}
+	}
+	return nil
+}
+
+// Registry stores bitstreams by kernel — the "container image registry"
+// analogue for hardware artifacts (§VI).
+type Registry struct {
+	mu sync.Mutex
+	by map[string][]*Bitstream
+}
+
+// NewRegistry returns an empty bitstream registry.
+func NewRegistry() *Registry { return &Registry{by: make(map[string][]*Bitstream)} }
+
+// Add validates and registers a bitstream.
+func (r *Registry) Add(b *Bitstream) error {
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.by[b.Kernel] = append(r.by[b.Kernel], b)
+	return nil
+}
+
+// ForKernel returns all bitstreams accelerating kernel.
+func (r *Registry) ForKernel(kernel string) []*Bitstream {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*Bitstream(nil), r.by[kernel]...)
+}
+
+// Kernels lists all kernels with at least one bitstream, sorted.
+func (r *Registry) Kernels() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.by))
+	for k := range r.by {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Counters are the performance monitoring counters of one region.
+type Counters struct {
+	Invocations  int64
+	Items        int64
+	BusyTime     sim.Time
+	EnergyJoules float64
+	Reconfigs    int64
+	ReconfigTime sim.Time
+}
+
+// Region is one dynamically reconfigurable partition of the fabric.
+type Region struct {
+	Index     int
+	AreaUnits int
+
+	loaded    *Bitstream
+	activeOP  int
+	busyUntil sim.Time
+	counters  Counters
+}
+
+// Loaded returns the currently loaded bitstream (nil when empty).
+func (r *Region) Loaded() *Bitstream { return r.loaded }
+
+// ActivePoint returns the active operating point. ok is false when the
+// region is empty.
+func (r *Region) ActivePoint() (OperatingPoint, bool) {
+	if r.loaded == nil {
+		return OperatingPoint{}, false
+	}
+	return r.loaded.Points[r.activeOP], true
+}
+
+// Counters returns a copy of the region's monitoring counters.
+func (r *Region) Counters() Counters { return r.counters }
+
+// Fabric is an FPGA with one or more reconfigurable regions.
+// Methods take the current virtual time explicitly so the fabric composes
+// with any scheduling discipline above it.
+type Fabric struct {
+	mu      sync.Mutex
+	name    string
+	regions []*Region
+	// StaticPowerWatts is drawn whenever the fabric is powered.
+	StaticPowerWatts float64
+}
+
+// NewFabric builds a fabric with the given region areas.
+func NewFabric(name string, staticPower float64, regionAreas ...int) *Fabric {
+	f := &Fabric{name: name, StaticPowerWatts: staticPower}
+	for i, a := range regionAreas {
+		f.regions = append(f.regions, &Region{Index: i, AreaUnits: a})
+	}
+	return f
+}
+
+// Name returns the fabric name.
+func (f *Fabric) Name() string { return f.name }
+
+// Regions returns the number of regions.
+func (f *Fabric) Regions() int { return len(f.regions) }
+
+// Region returns region i.
+func (f *Fabric) Region(i int) *Region {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.regions[i]
+}
+
+// FindLoaded returns the index of a region currently accelerating kernel,
+// or -1.
+func (f *Fabric) FindLoaded(kernel string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, r := range f.regions {
+		if r.loaded != nil && r.loaded.Kernel == kernel {
+			return r.Index
+		}
+	}
+	return -1
+}
+
+// Load partially reconfigures region idx with bitstream b, starting at
+// virtual time now. It returns the time at which the region becomes
+// usable. Loading fails when the design does not fit the region.
+func (f *Fabric) Load(idx int, b *Bitstream, now sim.Time) (sim.Time, error) {
+	if err := b.Validate(); err != nil {
+		return 0, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if idx < 0 || idx >= len(f.regions) {
+		return 0, fmt.Errorf("fpga: region %d out of range [0,%d)", idx, len(f.regions))
+	}
+	r := f.regions[idx]
+	if b.AreaUnits > r.AreaUnits {
+		return 0, fmt.Errorf("fpga: bitstream %s needs %d area units, region %d has %d",
+			b.ID, b.AreaUnits, idx, r.AreaUnits)
+	}
+	start := now
+	if r.busyUntil > start {
+		start = r.busyUntil // wait for in-flight work to drain
+	}
+	ready := start + b.ReconfigTime
+	r.loaded = b
+	r.activeOP = 0
+	r.busyUntil = ready
+	r.counters.Reconfigs++
+	r.counters.ReconfigTime += b.ReconfigTime
+	return ready, nil
+}
+
+// SetOperatingPoint switches region idx to the named point. The switch is
+// immediate (clock scaling, no reconfiguration).
+func (f *Fabric) SetOperatingPoint(idx int, name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if idx < 0 || idx >= len(f.regions) {
+		return fmt.Errorf("fpga: region %d out of range", idx)
+	}
+	r := f.regions[idx]
+	if r.loaded == nil {
+		return fmt.Errorf("fpga: region %d is empty", idx)
+	}
+	for i, p := range r.loaded.Points {
+		if p.Name == name {
+			r.activeOP = i
+			return nil
+		}
+	}
+	return fmt.Errorf("fpga: bitstream %s has no operating point %q", r.loaded.ID, name)
+}
+
+// Execute runs items work items of kernel on region idx starting no
+// earlier than now. It returns the completion time and the energy drawn.
+// Work queues FIFO behind whatever the region is already doing.
+func (f *Fabric) Execute(idx int, kernel string, items int64, now sim.Time) (sim.Time, float64, error) {
+	if items <= 0 {
+		return 0, 0, fmt.Errorf("fpga: non-positive item count %d", items)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if idx < 0 || idx >= len(f.regions) {
+		return 0, 0, fmt.Errorf("fpga: region %d out of range", idx)
+	}
+	r := f.regions[idx]
+	if r.loaded == nil || r.loaded.Kernel != kernel {
+		return 0, 0, fmt.Errorf("fpga: region %d does not accelerate %q", idx, kernel)
+	}
+	op := r.loaded.Points[r.activeOP]
+	start := now
+	if r.busyUntil > start {
+		start = r.busyUntil
+	}
+	// Parallelism processes ⌈items/parallelism⌉ batches.
+	batches := (items + int64(op.Parallelism) - 1) / int64(op.Parallelism)
+	dur := sim.Time(batches) * op.LatencyPerItem
+	finish := start + dur
+	r.busyUntil = finish
+	energy := op.PowerWatts * dur.Seconds()
+	r.counters.Invocations++
+	r.counters.Items += items
+	r.counters.BusyTime += dur
+	r.counters.EnergyJoules += energy
+	return finish, energy, nil
+}
+
+// Utilization reports the busy fraction of each region over [0, now].
+func (f *Fabric) Utilization(now sim.Time) []float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]float64, len(f.regions))
+	if now <= 0 {
+		return out
+	}
+	for i, r := range f.regions {
+		out[i] = float64(r.counters.BusyTime) / float64(now)
+		if out[i] > 1 {
+			out[i] = 1
+		}
+	}
+	return out
+}

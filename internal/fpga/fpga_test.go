@@ -1,0 +1,231 @@
+package fpga
+
+import (
+	"testing"
+	"testing/quick"
+
+	"myrtus/internal/sim"
+)
+
+func convBitstream() *Bitstream {
+	return &Bitstream{
+		ID: "bs-conv-v1", Kernel: "conv2d", AreaUnits: 4,
+		ReconfigTime: 10 * sim.Millisecond,
+		Points: []OperatingPoint{
+			{Name: "fast", ClockMHz: 300, Parallelism: 4, LatencyPerItem: 1 * sim.Millisecond, PowerWatts: 8},
+			{Name: "eco", ClockMHz: 100, Parallelism: 2, LatencyPerItem: 3 * sim.Millisecond, PowerWatts: 2},
+		},
+	}
+}
+
+func TestBitstreamValidate(t *testing.T) {
+	b := convBitstream()
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Bitstream{
+		{Kernel: "k", AreaUnits: 1, Points: convBitstream().Points},
+		{ID: "x", AreaUnits: 1, Points: convBitstream().Points},
+		{ID: "x", Kernel: "k", AreaUnits: 0, Points: convBitstream().Points},
+		{ID: "x", Kernel: "k", AreaUnits: 1},
+		{ID: "x", Kernel: "k", AreaUnits: 1, Points: []OperatingPoint{{Name: "p", LatencyPerItem: 0, PowerWatts: 1}}},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Fatalf("case %d validated", i)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Add(convBitstream()); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add(&Bitstream{}); err == nil {
+		t.Fatal("invalid bitstream accepted")
+	}
+	if got := r.ForKernel("conv2d"); len(got) != 1 {
+		t.Fatalf("ForKernel = %d", len(got))
+	}
+	if got := r.ForKernel("ghost"); len(got) != 0 {
+		t.Fatal("ghost kernel")
+	}
+	if ks := r.Kernels(); len(ks) != 1 || ks[0] != "conv2d" {
+		t.Fatalf("Kernels = %v", ks)
+	}
+}
+
+func TestLoadAndExecute(t *testing.T) {
+	f := NewFabric("edge-fpga", 1.0, 8, 2)
+	if f.Name() != "edge-fpga" || f.Regions() != 2 {
+		t.Fatal("fabric metadata")
+	}
+	b := convBitstream()
+	ready, err := f.Load(0, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ready != 10*sim.Millisecond {
+		t.Fatalf("ready = %v", ready)
+	}
+	// 8 items at parallelism 4 → 2 batches × 1ms.
+	finish, energy, err := f.Execute(0, "conv2d", 8, ready)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finish != ready+2*sim.Millisecond {
+		t.Fatalf("finish = %v", finish)
+	}
+	wantE := 8.0 * 0.002
+	if energy < wantE-1e-9 || energy > wantE+1e-9 {
+		t.Fatalf("energy = %v, want %v", energy, wantE)
+	}
+	c := f.Region(0).Counters()
+	if c.Invocations != 1 || c.Items != 8 || c.Reconfigs != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestExecuteQueuesFIFO(t *testing.T) {
+	f := NewFabric("x", 1, 8)
+	ready, _ := f.Load(0, convBitstream(), 0)
+	f1, _, err := f.Execute(0, "conv2d", 4, ready)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Submitted at the same time: must queue behind the first.
+	f2, _, err := f.Execute(0, "conv2d", 4, ready)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2 != f1+1*sim.Millisecond {
+		t.Fatalf("f1=%v f2=%v", f1, f2)
+	}
+}
+
+func TestOperatingPointSwitch(t *testing.T) {
+	f := NewFabric("x", 1, 8)
+	ready, _ := f.Load(0, convBitstream(), 0)
+	if err := f.SetOperatingPoint(0, "eco"); err != nil {
+		t.Fatal(err)
+	}
+	op, ok := f.Region(0).ActivePoint()
+	if !ok || op.Name != "eco" {
+		t.Fatalf("active = %+v %v", op, ok)
+	}
+	// 4 items at parallelism 2 → 2 batches × 3ms; power 2W.
+	finish, energy, err := f.Execute(0, "conv2d", 4, ready)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finish != ready+6*sim.Millisecond {
+		t.Fatalf("finish = %v", finish)
+	}
+	if e := 2.0 * 0.006; energy < e-1e-9 || energy > e+1e-9 {
+		t.Fatalf("energy = %v", energy)
+	}
+	if err := f.SetOperatingPoint(0, "ghost"); err == nil {
+		t.Fatal("unknown OP accepted")
+	}
+	if err := f.SetOperatingPoint(1, "eco"); err == nil {
+		t.Fatal("out-of-range region accepted")
+	}
+}
+
+func TestEcoPointTradesLatencyForEnergy(t *testing.T) {
+	b := convBitstream()
+	fast, eco := b.Points[0], b.Points[1]
+	if fast.EnergyPerItem() <= eco.EnergyPerItem() {
+		t.Fatalf("eco point should be cheaper: fast=%v eco=%v", fast.EnergyPerItem(), eco.EnergyPerItem())
+	}
+	if fast.LatencyPerItem >= eco.LatencyPerItem {
+		t.Fatal("fast point should be faster")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	f := NewFabric("x", 1, 2) // small region
+	b := convBitstream()      // needs 4 units
+	if _, err := f.Load(0, b, 0); err == nil {
+		t.Fatal("oversized bitstream accepted")
+	}
+	if _, err := f.Load(5, b, 0); err == nil {
+		t.Fatal("bad region accepted")
+	}
+	if _, err := f.Load(0, &Bitstream{}, 0); err == nil {
+		t.Fatal("invalid bitstream accepted")
+	}
+}
+
+func TestExecuteErrors(t *testing.T) {
+	f := NewFabric("x", 1, 8)
+	if _, _, err := f.Execute(0, "conv2d", 1, 0); err == nil {
+		t.Fatal("empty region executed")
+	}
+	f.Load(0, convBitstream(), 0) //nolint:errcheck
+	if _, _, err := f.Execute(0, "matmul", 1, 0); err == nil {
+		t.Fatal("wrong kernel executed")
+	}
+	if _, _, err := f.Execute(0, "conv2d", 0, 0); err == nil {
+		t.Fatal("zero items executed")
+	}
+	if _, _, err := f.Execute(9, "conv2d", 1, 0); err == nil {
+		t.Fatal("bad region executed")
+	}
+}
+
+func TestReconfigWaitsForDrain(t *testing.T) {
+	f := NewFabric("x", 1, 8)
+	ready, _ := f.Load(0, convBitstream(), 0)
+	finish, _, _ := f.Execute(0, "conv2d", 40, ready) // 10 batches → busy 10ms
+	b2 := convBitstream()
+	b2.ID = "bs-conv-v2"
+	ready2, err := f.Load(0, b2, ready)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ready2 != finish+b2.ReconfigTime {
+		t.Fatalf("reconfig did not wait: ready2=%v finish=%v", ready2, finish)
+	}
+	if idx := f.FindLoaded("conv2d"); idx != 0 {
+		t.Fatalf("FindLoaded = %d", idx)
+	}
+	if idx := f.FindLoaded("ghost"); idx != -1 {
+		t.Fatalf("FindLoaded(ghost) = %d", idx)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	f := NewFabric("x", 1, 8)
+	ready, _ := f.Load(0, convBitstream(), 0)
+	f.Execute(0, "conv2d", 40, ready) //nolint:errcheck // busy 10ms
+	u := f.Utilization(ready + 20*sim.Millisecond)
+	if u[0] < 0.3 || u[0] > 0.4 {
+		t.Fatalf("utilization = %v, want ≈1/3", u[0])
+	}
+	if z := f.Utilization(0); z[0] != 0 {
+		t.Fatal("zero-time utilization")
+	}
+}
+
+func TestExecuteMonotoneProperty(t *testing.T) {
+	// Completion times on one region are non-decreasing in submission
+	// order (FIFO invariant), regardless of item counts.
+	if err := quick.Check(func(itemCounts []uint8) bool {
+		f := NewFabric("x", 1, 8)
+		now, _ := f.Load(0, convBitstream(), 0)
+		last := sim.Time(0)
+		for _, n := range itemCounts {
+			items := int64(n%16) + 1
+			finish, _, err := f.Execute(0, "conv2d", items, now)
+			if err != nil || finish < last {
+				return false
+			}
+			last = finish
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,235 @@
+// Package images implements the Container Image Registry and Repository
+// the paper lists as an ongoing Pillar 1 activity (§VI): digest-addressed
+// image storage "easily accessible by all layers" with the security
+// guarantees it requires — access controls, signature verification, and
+// image scanning. MIRTO's Workload Manager consults it before admitting
+// a deployment whose components reference images.
+package images
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Role is an access-control role.
+type Role string
+
+// Registry roles.
+const (
+	RolePush Role = "push" // may push and pull
+	RolePull Role = "pull" // may only pull
+)
+
+// Finding is one scanner result.
+type Finding struct {
+	Severity string // "critical", "warning"
+	Detail   string
+}
+
+// Scanner inspects image content before it becomes pullable.
+type Scanner func(name string, blob []byte) []Finding
+
+// DefaultScanner flags embedded test malware signatures and implausibly
+// large images. (A stand-in for CVE scanning — the contract, not the
+// database, is what the architecture needs.)
+func DefaultScanner(name string, blob []byte) []Finding {
+	var out []Finding
+	if strings.Contains(string(blob), "MALWARE-TEST-SIGNATURE") {
+		out = append(out, Finding{Severity: "critical", Detail: "known malware signature"})
+	}
+	if len(blob) > 64<<20 {
+		out = append(out, Finding{Severity: "warning", Detail: "image exceeds 64 MiB edge budget"})
+	}
+	return out
+}
+
+// Verifier checks an image signature against a public key. It decouples
+// the registry from the signing suite (any Table II level works).
+type Verifier func(pub, payload, sig []byte) bool
+
+// Manifest describes one stored image version.
+type Manifest struct {
+	Name      string
+	Tag       string
+	Digest    string // sha256 of the blob
+	SizeBytes int
+	SignedBy  []byte // signer public key ("" = unsigned)
+	Findings  []Finding
+}
+
+// Quarantined reports whether the image is blocked from pulling.
+func (m Manifest) Quarantined() bool {
+	for _, f := range m.Findings {
+		if f.Severity == "critical" {
+			return true
+		}
+	}
+	return false
+}
+
+// Registry is the image store.
+type Registry struct {
+	mu        sync.Mutex
+	blobs     map[string][]byte   // digest → content
+	manifests map[string]Manifest // "name:tag" → manifest
+	tokens    map[string]Role
+	scanner   Scanner
+	verify    Verifier
+}
+
+// New returns a registry with the default scanner. verify may be nil to
+// accept unsigned images.
+func New(scanner Scanner, verify Verifier) *Registry {
+	if scanner == nil {
+		scanner = DefaultScanner
+	}
+	return &Registry{
+		blobs:     map[string][]byte{},
+		manifests: map[string]Manifest{},
+		tokens:    map[string]Role{},
+		scanner:   scanner,
+		verify:    verify,
+	}
+}
+
+// GrantToken registers an access token.
+func (r *Registry) GrantToken(token string, role Role) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tokens[token] = role
+}
+
+func (r *Registry) roleOf(token string) (Role, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	role, ok := r.tokens[token]
+	return role, ok
+}
+
+func ref(name, tag string) string { return name + ":" + tag }
+
+// Push stores an image version. If the registry has a Verifier, a valid
+// signature over the blob is mandatory. The blob is scanned; critical
+// findings quarantine it (stored but not pullable).
+func (r *Registry) Push(token, name, tag string, blob, signerPub, sig []byte) (Manifest, error) {
+	role, ok := r.roleOf(token)
+	if !ok || role != RolePush {
+		return Manifest{}, fmt.Errorf("images: token lacks push access")
+	}
+	if name == "" || tag == "" || len(blob) == 0 {
+		return Manifest{}, fmt.Errorf("images: push needs name, tag and content")
+	}
+	if r.verify != nil {
+		if len(signerPub) == 0 || len(sig) == 0 {
+			return Manifest{}, fmt.Errorf("images: registry requires signed images")
+		}
+		if !r.verify(signerPub, blob, sig) {
+			return Manifest{}, fmt.Errorf("images: signature of %s does not verify", ref(name, tag))
+		}
+	}
+	sum := sha256.Sum256(blob)
+	digest := hex.EncodeToString(sum[:])
+	m := Manifest{
+		Name: name, Tag: tag, Digest: digest, SizeBytes: len(blob),
+		SignedBy: append([]byte(nil), signerPub...),
+		Findings: r.scanner(name, blob),
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.blobs[digest] = append([]byte(nil), blob...)
+	r.manifests[ref(name, tag)] = m
+	return m, nil
+}
+
+// Pull retrieves an image. Quarantined images are refused; blob
+// integrity is re-checked against the manifest digest.
+func (r *Registry) Pull(token, name, tag string) ([]byte, Manifest, error) {
+	if _, ok := r.roleOf(token); !ok {
+		return nil, Manifest{}, fmt.Errorf("images: unknown token")
+	}
+	r.mu.Lock()
+	m, ok := r.manifests[ref(name, tag)]
+	var blob []byte
+	if ok {
+		blob = r.blobs[m.Digest]
+	}
+	r.mu.Unlock()
+	if !ok {
+		return nil, Manifest{}, fmt.Errorf("images: %s not found", ref(name, tag))
+	}
+	if m.Quarantined() {
+		return nil, m, fmt.Errorf("images: %s is quarantined: %v", ref(name, tag), m.Findings)
+	}
+	sum := sha256.Sum256(blob)
+	if hex.EncodeToString(sum[:]) != m.Digest {
+		return nil, m, fmt.Errorf("images: %s blob corrupted (digest mismatch)", ref(name, tag))
+	}
+	return append([]byte(nil), blob...), m, nil
+}
+
+// Resolve returns the manifest without transferring the blob — what the
+// Workload Manager uses for admission ("is this image pullable?").
+func (r *Registry) Resolve(name, tag string) (Manifest, error) {
+	r.mu.Lock()
+	m, ok := r.manifests[ref(name, tag)]
+	r.mu.Unlock()
+	if !ok {
+		return Manifest{}, fmt.Errorf("images: %s not found", ref(name, tag))
+	}
+	if m.Quarantined() {
+		return m, fmt.Errorf("images: %s is quarantined", ref(name, tag))
+	}
+	return m, nil
+}
+
+// Tags lists stored tags of an image name, sorted.
+func (r *Registry) Tags(name string) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []string
+	for k, m := range r.manifests {
+		if m.Name == name {
+			out = append(out, strings.TrimPrefix(k, name+":"))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Delete removes an image version; its blob is garbage-collected when no
+// other tag references it.
+func (r *Registry) Delete(token, name, tag string) error {
+	role, ok := r.roleOf(token)
+	if !ok || role != RolePush {
+		return fmt.Errorf("images: token lacks push access")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.manifests[ref(name, tag)]
+	if !ok {
+		return fmt.Errorf("images: %s not found", ref(name, tag))
+	}
+	delete(r.manifests, ref(name, tag))
+	inUse := false
+	for _, other := range r.manifests {
+		if other.Digest == m.Digest {
+			inUse = true
+			break
+		}
+	}
+	if !inUse {
+		delete(r.blobs, m.Digest)
+	}
+	return nil
+}
+
+// Len reports the number of stored manifests.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.manifests)
+}

@@ -1,0 +1,188 @@
+package images
+
+import (
+	"strings"
+	"testing"
+
+	"myrtus/internal/security"
+)
+
+func openRegistry(t *testing.T) *Registry {
+	t.Helper()
+	r := New(nil, nil)
+	r.GrantToken("dev", RolePush)
+	r.GrantToken("node", RolePull)
+	return r
+}
+
+func TestPushPullRoundTrip(t *testing.T) {
+	r := openRegistry(t)
+	blob := []byte("layer-data-v1")
+	m, err := r.Push("dev", "detector", "v1", blob, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Digest == "" || m.SizeBytes != len(blob) || m.Quarantined() {
+		t.Fatalf("manifest = %+v", m)
+	}
+	got, m2, err := r.Pull("node", "detector", "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(blob) || m2.Digest != m.Digest {
+		t.Fatal("pull mismatch")
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+func TestAccessControl(t *testing.T) {
+	r := openRegistry(t)
+	if _, err := r.Push("node", "x", "v1", []byte("b"), nil, nil); err == nil {
+		t.Fatal("pull token pushed")
+	}
+	if _, err := r.Push("ghost", "x", "v1", []byte("b"), nil, nil); err == nil {
+		t.Fatal("unknown token pushed")
+	}
+	r.Push("dev", "x", "v1", []byte("b"), nil, nil) //nolint:errcheck
+	if _, _, err := r.Pull("ghost", "x", "v1"); err == nil {
+		t.Fatal("unknown token pulled")
+	}
+	if err := r.Delete("node", "x", "v1"); err == nil {
+		t.Fatal("pull token deleted")
+	}
+}
+
+func TestPushValidation(t *testing.T) {
+	r := openRegistry(t)
+	for _, c := range []struct{ name, tag, blob string }{
+		{"", "v1", "b"}, {"x", "", "b"}, {"x", "v1", ""},
+	} {
+		if _, err := r.Push("dev", c.name, c.tag, []byte(c.blob), nil, nil); err == nil {
+			t.Fatalf("bad push accepted: %+v", c)
+		}
+	}
+}
+
+func TestScanQuarantinesMalware(t *testing.T) {
+	r := openRegistry(t)
+	m, err := r.Push("dev", "evil", "latest", []byte("xx MALWARE-TEST-SIGNATURE xx"), nil, nil)
+	if err != nil {
+		t.Fatal(err) // push succeeds, image is quarantined
+	}
+	if !m.Quarantined() {
+		t.Fatalf("not quarantined: %+v", m)
+	}
+	if _, _, err := r.Pull("node", "evil", "latest"); err == nil {
+		t.Fatal("quarantined image pulled")
+	}
+	if _, err := r.Resolve("evil", "latest"); err == nil {
+		t.Fatal("quarantined image resolved")
+	}
+}
+
+func TestSignatureEnforcement(t *testing.T) {
+	suite, err := security.SuiteFor(security.LevelLow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(nil, suite.Verify)
+	r.GrantToken("dev", RolePush)
+	r.GrantToken("node", RolePull)
+	blob := []byte("signed-layer")
+	signer, err := suite.NewSigner(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := signer.Sign(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unsigned push refused.
+	if _, err := r.Push("dev", "app", "v1", blob, nil, nil); err == nil {
+		t.Fatal("unsigned image accepted by signing registry")
+	}
+	// Bad signature refused.
+	bad := append([]byte(nil), sig...)
+	bad[4] ^= 1
+	if _, err := r.Push("dev", "app", "v1", blob, signer.PublicKey(), bad); err == nil {
+		t.Fatal("bad signature accepted")
+	}
+	// Good signature accepted and recorded.
+	m, err := r.Push("dev", "app", "v1", blob, signer.PublicKey(), sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.SignedBy) == 0 {
+		t.Fatal("signer not recorded")
+	}
+	if _, _, err := r.Pull("node", "app", "v1"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagsAndDelete(t *testing.T) {
+	r := openRegistry(t)
+	r.Push("dev", "app", "v1", []byte("one"), nil, nil)  //nolint:errcheck
+	r.Push("dev", "app", "v2", []byte("two"), nil, nil)  //nolint:errcheck
+	r.Push("dev", "app", "dup", []byte("one"), nil, nil) //nolint:errcheck // same blob as v1
+	if tags := r.Tags("app"); len(tags) != 3 || tags[0] != "dup" {
+		t.Fatalf("tags = %v", tags)
+	}
+	// Deleting v1 keeps the shared blob alive for dup.
+	if err := r.Delete("dev", "app", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Pull("node", "app", "dup"); err != nil {
+		t.Fatalf("shared blob GC'd too early: %v", err)
+	}
+	if err := r.Delete("dev", "app", "dup"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Delete("dev", "app", "ghost"); err == nil {
+		t.Fatal("ghost delete accepted")
+	}
+	if _, _, err := r.Pull("node", "app", "v1"); err == nil {
+		t.Fatal("deleted image pulled")
+	}
+}
+
+func TestCustomScanner(t *testing.T) {
+	called := false
+	scanner := func(name string, blob []byte) []Finding {
+		called = true
+		if strings.HasPrefix(name, "blocked/") {
+			return []Finding{{Severity: "critical", Detail: "namespace policy"}}
+		}
+		return nil
+	}
+	r := New(scanner, nil)
+	r.GrantToken("dev", RolePush)
+	m, _ := r.Push("dev", "blocked/app", "v1", []byte("b"), nil, nil)
+	if !called || !m.Quarantined() {
+		t.Fatal("custom scanner not applied")
+	}
+}
+
+func TestDefaultScannerSizeWarning(t *testing.T) {
+	big := make([]byte, 65<<20)
+	fs := DefaultScanner("huge", big)
+	if len(fs) != 1 || fs[0].Severity != "warning" {
+		t.Fatalf("findings = %v", fs)
+	}
+	// Warnings do not quarantine.
+	if (Manifest{Findings: fs}).Quarantined() {
+		t.Fatal("warning quarantined")
+	}
+}
+
+func TestPullNotFound(t *testing.T) {
+	r := openRegistry(t)
+	if _, _, err := r.Pull("node", "nope", "v1"); err == nil {
+		t.Fatal("missing image pulled")
+	}
+	if _, err := r.Resolve("nope", "v1"); err == nil {
+		t.Fatal("missing image resolved")
+	}
+}

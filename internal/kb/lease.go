@@ -1,0 +1,128 @@
+package kb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Lease binds keys to a liveness contract: when the lease expires, the
+// keys vanish. The Resource Registry uses leases as heartbeats so that a
+// dead component disappears from the registry automatically.
+//
+// Time is supplied by the caller (virtual nanoseconds) so the KB works on
+// the simulation clock without owning a timer.
+type Lease struct {
+	ID       int64
+	TTL      int64 // nanoseconds
+	Deadline int64 // absolute expiry, nanoseconds
+}
+
+// LeaseManager tracks leases for a Store.
+type LeaseManager struct {
+	mu     sync.Mutex
+	store  Backend
+	nextID int64
+	leases map[int64]*Lease
+	keys   map[int64]map[string]struct{}
+}
+
+// NewLeaseManager returns a manager bound to store.
+func NewLeaseManager(store Backend) *LeaseManager {
+	return &LeaseManager{
+		store:  store,
+		leases: make(map[int64]*Lease),
+		keys:   make(map[int64]map[string]struct{}),
+	}
+}
+
+// Grant creates a lease with the given TTL starting at now.
+func (m *LeaseManager) Grant(now, ttl int64) *Lease {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextID++
+	l := &Lease{ID: m.nextID, TTL: ttl, Deadline: now + ttl}
+	m.leases[l.ID] = l
+	m.keys[l.ID] = make(map[string]struct{})
+	return l
+}
+
+// KeepAlive refreshes the lease deadline to now+TTL.
+func (m *LeaseManager) KeepAlive(id, now int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l, ok := m.leases[id]
+	if !ok {
+		return fmt.Errorf("kb: lease %d not found", id)
+	}
+	l.Deadline = now + l.TTL
+	return nil
+}
+
+// Revoke deletes the lease and all attached keys immediately.
+func (m *LeaseManager) Revoke(id int64) error {
+	m.mu.Lock()
+	keys, ok := m.keys[id]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("kb: lease %d not found", id)
+	}
+	delete(m.leases, id)
+	delete(m.keys, id)
+	var ks []string
+	for k := range keys {
+		ks = append(ks, k)
+	}
+	m.mu.Unlock()
+	sort.Strings(ks)
+	for _, k := range ks {
+		m.store.Delete(k)
+	}
+	return nil
+}
+
+// Attach binds key to the lease and writes value through the store.
+func (m *LeaseManager) Attach(id int64, key string, value []byte) error {
+	m.mu.Lock()
+	if _, ok := m.leases[id]; !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("kb: lease %d not found", id)
+	}
+	m.keys[id][key] = struct{}{}
+	m.mu.Unlock()
+	m.store.PutLease(key, value, id)
+	return nil
+}
+
+// Tick expires every lease whose deadline has passed, deleting attached
+// keys. It returns the IDs of expired leases.
+func (m *LeaseManager) Tick(now int64) []int64 {
+	m.mu.Lock()
+	var expired []int64
+	for id, l := range m.leases {
+		if l.Deadline <= now {
+			expired = append(expired, id)
+		}
+	}
+	m.mu.Unlock()
+	sort.Slice(expired, func(i, j int) bool { return expired[i] < expired[j] })
+	for _, id := range expired {
+		m.Revoke(id) //nolint:errcheck // cannot race: only Tick removes these
+	}
+	return expired
+}
+
+// Alive reports whether the lease exists (not expired, not revoked).
+func (m *LeaseManager) Alive(id int64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.leases[id]
+	return ok
+}
+
+// Len reports the number of live leases.
+func (m *LeaseManager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.leases)
+}

@@ -1,0 +1,200 @@
+package kb
+
+import (
+	"encoding/json"
+	"fmt"
+	"path"
+	"sort"
+)
+
+// The Resource Registry / Status is the KB section the paper reserves for
+// "a snapshot of the components availability and their status" (§III
+// Monitoring & Observability, §VI). MIRTO Workload Managers read it when
+// establishing deployment or reallocation directives.
+
+// Key prefixes of the one ontological KB. All layers share these.
+const (
+	PrefixRegistry  = "/myrtus/registry/components/"
+	PrefixStatus    = "/myrtus/registry/status/"
+	PrefixHistory   = "/myrtus/kb/history/"
+	PrefixDeploy    = "/myrtus/deployments/"
+	PrefixModels    = "/myrtus/kb/models/"
+	PrefixTrust     = "/myrtus/kb/trust/"
+	PrefixOpPoints  = "/myrtus/kb/oppoints/"
+	PrefixTelemetry = "/myrtus/kb/telemetry/"
+)
+
+// ComponentRecord describes one continuum component in the registry.
+type ComponentRecord struct {
+	Name           string   `json:"name"`
+	Layer          string   `json:"layer"` // "edge", "fog", "cloud"
+	Kind           string   `json:"kind"`  // e.g. "hmpsoc", "fmdc", "gateway"
+	Cluster        string   `json:"cluster,omitempty"`
+	CPUCapacity    float64  `json:"cpuCapacity"` // cores
+	MemCapacityMB  float64  `json:"memCapacityMB"`
+	Accelerators   []string `json:"accelerators,omitempty"`
+	SecurityLevels []string `json:"securityLevels,omitempty"` // supported suite names
+	Protocols      []string `json:"protocols,omitempty"`      // e.g. "http", "mqtt", "coap"
+}
+
+// ComponentStatus is the frequently-updated half of the registry entry.
+type ComponentStatus struct {
+	Name        string  `json:"name"`
+	Ready       bool    `json:"ready"`
+	CPUUsed     float64 `json:"cpuUsed"`
+	MemUsedMB   float64 `json:"memUsedMB"`
+	PowerWatts  float64 `json:"powerWatts"`
+	Temperature float64 `json:"temperatureC,omitempty"`
+	SecurityLvl string  `json:"securityLevel,omitempty"` // active suite
+	UpdatedAt   int64   `json:"updatedAtNanos"`
+}
+
+// Registry is the typed facade over the KB's resource section.
+type Registry struct {
+	kv     Backend
+	leases *LeaseManager
+}
+
+// NewRegistry wraps a KB backend.
+func NewRegistry(kv Backend) *Registry {
+	return &Registry{kv: kv, leases: NewLeaseManager(kv)}
+}
+
+// Leases exposes the lease manager (heartbeat ticks come from the owner).
+func (r *Registry) Leases() *LeaseManager { return r.leases }
+
+// Register writes the static record and returns a heartbeat lease bound to
+// the status key. The caller must KeepAlive the lease; if it stops, the
+// status entry vanishes and the component reads as gone.
+func (r *Registry) Register(rec ComponentRecord, now, ttl int64) (*Lease, error) {
+	if rec.Name == "" {
+		return nil, fmt.Errorf("kb: component record needs a name")
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	r.kv.Put(PrefixRegistry+rec.Name, data)
+	lease := r.leases.Grant(now, ttl)
+	st := ComponentStatus{Name: rec.Name, Ready: true, UpdatedAt: now}
+	sdata, err := json.Marshal(st)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.leases.Attach(lease.ID, PrefixStatus+rec.Name, sdata); err != nil {
+		return nil, err
+	}
+	return lease, nil
+}
+
+// Deregister removes a component entirely.
+func (r *Registry) Deregister(name string) {
+	r.kv.Delete(PrefixRegistry + name)
+	r.kv.Delete(PrefixStatus + name)
+}
+
+// UpdateStatus writes a fresh status snapshot for the named component.
+func (r *Registry) UpdateStatus(st ComponentStatus) error {
+	if st.Name == "" {
+		return fmt.Errorf("kb: status needs a name")
+	}
+	data, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	r.kv.Put(PrefixStatus+st.Name, data)
+	return nil
+}
+
+// Component returns the static record for name.
+func (r *Registry) Component(name string) (ComponentRecord, bool) {
+	kv, ok := r.kv.Get(PrefixRegistry + name)
+	if !ok {
+		return ComponentRecord{}, false
+	}
+	var rec ComponentRecord
+	if err := json.Unmarshal(kv.Value, &rec); err != nil {
+		return ComponentRecord{}, false
+	}
+	return rec, true
+}
+
+// Status returns the latest status for name. A missing status (expired
+// heartbeat) reports ok=false: the component is considered gone.
+func (r *Registry) Status(name string) (ComponentStatus, bool) {
+	kv, ok := r.kv.Get(PrefixStatus + name)
+	if !ok {
+		return ComponentStatus{}, false
+	}
+	var st ComponentStatus
+	if err := json.Unmarshal(kv.Value, &st); err != nil {
+		return ComponentStatus{}, false
+	}
+	return st, true
+}
+
+// List returns all registered components, optionally filtered by layer
+// (empty means all), sorted by name.
+func (r *Registry) List(layer string) []ComponentRecord {
+	var out []ComponentRecord
+	for _, kv := range r.kv.Range(PrefixRegistry) {
+		var rec ComponentRecord
+		if err := json.Unmarshal(kv.Value, &rec); err != nil {
+			continue
+		}
+		if layer != "" && rec.Layer != layer {
+			continue
+		}
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Snapshot pairs a record with its live status.
+type SnapshotEntry struct {
+	Record ComponentRecord
+	Status ComponentStatus
+	Live   bool
+}
+
+// Snapshot returns the full registry view: every record plus its status
+// (Live=false when the heartbeat lapsed).
+func (r *Registry) Snapshot() []SnapshotEntry {
+	recs := r.List("")
+	out := make([]SnapshotEntry, 0, len(recs))
+	for _, rec := range recs {
+		st, ok := r.Status(rec.Name)
+		out = append(out, SnapshotEntry{Record: rec, Status: st, Live: ok && st.Ready})
+	}
+	return out
+}
+
+// WatchStatus watches status changes for all components.
+func (r *Registry) WatchStatus() *Watcher {
+	return r.kv.Watch(PrefixStatus, 256)
+}
+
+// RecordHistory appends a historical observation batch under the given
+// topic (e.g. "edge-0/latency"); the Network Manager's RL strategies read
+// these back (§VI).
+func (r *Registry) RecordHistory(topic string, seq int64, payload any) error {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return err
+	}
+	key := path.Join(PrefixHistory, topic, fmt.Sprintf("%012d", seq))
+	r.kv.Put(key, data)
+	return nil
+}
+
+// History returns the payloads recorded under topic in sequence order.
+func (r *Registry) History(topic string) [][]byte {
+	prefix := path.Join(PrefixHistory, topic) + "/"
+	kvs := r.kv.Range(prefix)
+	out := make([][]byte, 0, len(kvs))
+	for _, kv := range kvs {
+		out = append(out, kv.Value)
+	}
+	return out
+}

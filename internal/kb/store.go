@@ -1,0 +1,303 @@
+// Package kb implements the MYRTUS shared ontological Knowledge Base: a
+// strongly-consistent, distributed, revisioned key-value store in the role
+// the paper assigns to etcd (§III, footnote 3). It provides:
+//
+//   - an MVCC store with monotonically increasing revisions, historical
+//     reads, prefix ranges, and compaction (store.go);
+//   - watches over key prefixes (watch.go);
+//   - leases for liveness-bound keys such as Resource Registry heartbeats
+//     (lease.go);
+//   - Raft consensus for replication across continuum layers (raft.go,
+//     cluster.go);
+//   - a typed Resource Registry / Status API used by MIRTO agents
+//     (registry.go).
+//
+// The logical view is a single KB; the implementation view is a replica
+// set distributed over the layers, exactly as the paper prescribes.
+package kb
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// KV is one key-value pair at a revision.
+type KV struct {
+	Key            string
+	Value          []byte
+	CreateRevision int64
+	ModRevision    int64
+	Version        int64 // number of writes to this key since creation
+	Lease          int64 // owning lease ID, 0 if none
+}
+
+type keyVersion struct {
+	rev       int64
+	value     []byte
+	tombstone bool
+	createRev int64
+	version   int64
+	lease     int64
+}
+
+// Store is a single-replica MVCC store. It is safe for concurrent use.
+// The zero value is not ready; use NewStore.
+type Store struct {
+	mu        sync.RWMutex
+	rev       int64
+	compacted int64
+	keys      map[string][]keyVersion
+	watchers  *watchHub
+}
+
+// NewStore returns an empty store at revision 0.
+func NewStore() *Store {
+	return &Store{
+		keys:     make(map[string][]keyVersion),
+		watchers: newWatchHub(),
+	}
+}
+
+// Revision returns the current store revision.
+func (s *Store) Revision() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.rev
+}
+
+// Put writes value under key and returns the new revision.
+func (s *Store) Put(key string, value []byte) int64 {
+	return s.PutLease(key, value, 0)
+}
+
+// PutLease writes value under key, attached to the given lease ID
+// (0 for none), and returns the new revision.
+func (s *Store) PutLease(key string, value []byte, lease int64) int64 {
+	s.mu.Lock()
+	s.rev++
+	rev := s.rev
+	hist := s.keys[key]
+	createRev := rev
+	version := int64(1)
+	if n := len(hist); n > 0 && !hist[n-1].tombstone {
+		createRev = hist[n-1].createRev
+		version = hist[n-1].version + 1
+	}
+	v := make([]byte, len(value))
+	copy(v, value)
+	s.keys[key] = append(hist, keyVersion{rev: rev, value: v, createRev: createRev, version: version, lease: lease})
+	ev := Event{Type: EventPut, KV: KV{Key: key, Value: v, CreateRevision: createRev, ModRevision: rev, Version: version, Lease: lease}}
+	// Notify while holding the store lock so WatchFrom can atomically
+	// replay history and attach without missing or duplicating events.
+	s.watchers.notify(ev)
+	s.mu.Unlock()
+	return rev
+}
+
+// Delete removes key. It returns the new revision and whether the key
+// existed.
+func (s *Store) Delete(key string) (int64, bool) {
+	s.mu.Lock()
+	hist := s.keys[key]
+	n := len(hist)
+	if n == 0 || hist[n-1].tombstone {
+		rev := s.rev
+		s.mu.Unlock()
+		return rev, false
+	}
+	s.rev++
+	rev := s.rev
+	s.keys[key] = append(hist, keyVersion{rev: rev, tombstone: true})
+	ev := Event{Type: EventDelete, KV: KV{Key: key, ModRevision: rev}}
+	s.watchers.notify(ev)
+	s.mu.Unlock()
+	return rev, true
+}
+
+// CAS writes value only if the key's current ModRevision equals
+// expectRev (0 = key must not exist). It returns the new revision and
+// whether the swap happened — the primitive agents use to claim
+// leadership of a shared decision without a separate lock service.
+func (s *Store) CAS(key string, expectRev int64, value []byte) (int64, bool) {
+	s.mu.Lock()
+	cur, ok := s.getLocked(key, s.rev)
+	switch {
+	case !ok && expectRev != 0:
+		rev := s.rev
+		s.mu.Unlock()
+		return rev, false
+	case ok && cur.ModRevision != expectRev:
+		rev := s.rev
+		s.mu.Unlock()
+		return rev, false
+	}
+	s.rev++
+	rev := s.rev
+	hist := s.keys[key]
+	createRev := rev
+	version := int64(1)
+	if n := len(hist); n > 0 && !hist[n-1].tombstone {
+		createRev = hist[n-1].createRev
+		version = hist[n-1].version + 1
+	}
+	v := make([]byte, len(value))
+	copy(v, value)
+	s.keys[key] = append(hist, keyVersion{rev: rev, value: v, createRev: createRev, version: version})
+	ev := Event{Type: EventPut, KV: KV{Key: key, Value: v, CreateRevision: createRev, ModRevision: rev, Version: version}}
+	s.watchers.notify(ev)
+	s.mu.Unlock()
+	return rev, true
+}
+
+// Get returns the latest value of key.
+func (s *Store) Get(key string) (KV, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.getLocked(key, s.rev)
+}
+
+// GetAt returns the value of key as of revision rev. It reports an error
+// when rev has been compacted away.
+func (s *Store) GetAt(key string, rev int64) (KV, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if rev < s.compacted {
+		return KV{}, false, fmt.Errorf("kb: revision %d compacted (compact revision %d)", rev, s.compacted)
+	}
+	kv, ok := s.getLocked(key, rev)
+	return kv, ok, nil
+}
+
+func (s *Store) getLocked(key string, rev int64) (KV, bool) {
+	hist := s.keys[key]
+	// Latest version with version.rev ≤ rev.
+	idx := sort.Search(len(hist), func(i int) bool { return hist[i].rev > rev }) - 1
+	if idx < 0 {
+		return KV{}, false
+	}
+	v := hist[idx]
+	if v.tombstone {
+		return KV{}, false
+	}
+	val := make([]byte, len(v.value))
+	copy(val, v.value)
+	return KV{Key: key, Value: val, CreateRevision: v.createRev, ModRevision: v.rev, Version: v.version, Lease: v.lease}, true
+}
+
+// Range returns all live keys with the given prefix, sorted by key.
+func (s *Store) Range(prefix string) []KV {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []KV
+	for key := range s.keys {
+		if !strings.HasPrefix(key, prefix) {
+			continue
+		}
+		if kv, ok := s.getLocked(key, s.rev); ok {
+			out = append(out, kv)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Count returns the number of live keys under prefix.
+func (s *Store) Count(prefix string) int { return len(s.Range(prefix)) }
+
+// Compact discards history older than rev, keeping the latest version of
+// each key at or before rev so current reads are unaffected.
+func (s *Store) Compact(rev int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rev > s.rev {
+		return fmt.Errorf("kb: compact revision %d beyond current %d", rev, s.rev)
+	}
+	if rev < s.compacted {
+		return fmt.Errorf("kb: compact revision %d already compacted (at %d)", rev, s.compacted)
+	}
+	for key, hist := range s.keys {
+		// Keep the last version ≤ rev plus everything after rev.
+		idx := sort.Search(len(hist), func(i int) bool { return hist[i].rev > rev }) - 1
+		if idx <= 0 {
+			continue
+		}
+		kept := hist[idx:]
+		if kept[0].tombstone && len(kept) == 1 {
+			delete(s.keys, key)
+			continue
+		}
+		s.keys[key] = append([]keyVersion(nil), kept...)
+	}
+	s.compacted = rev
+	return nil
+}
+
+// CompactedRevision returns the compaction floor.
+func (s *Store) CompactedRevision() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.compacted
+}
+
+// Serialize renders the store's live state (latest version of every key
+// plus the revision counter) for snapshot transfer. History is not
+// carried — a snapshot is a compaction by definition.
+func (s *Store) Serialize() []byte {
+	s.mu.RLock()
+	snap := storeImage{Revision: s.rev, Compacted: s.rev}
+	for key := range s.keys {
+		if kv, ok := s.getLocked(key, s.rev); ok {
+			snap.KVs = append(snap.KVs, kv)
+		}
+	}
+	s.mu.RUnlock()
+	sort.Slice(snap.KVs, func(i, j int) bool { return snap.KVs[i].Key < snap.KVs[j].Key })
+	data, err := json.Marshal(snap)
+	if err != nil {
+		// All fields are plain data; marshalling cannot fail in practice.
+		panic(fmt.Sprintf("kb: serializing store: %v", err))
+	}
+	return data
+}
+
+// Restore replaces the store's contents with a Serialize image,
+// preserving per-key revisions and the revision counter so replicas stay
+// aligned.
+func (s *Store) Restore(data []byte) error {
+	var snap storeImage
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("kb: corrupt store snapshot: %w", err)
+	}
+	s.mu.Lock()
+	s.keys = make(map[string][]keyVersion, len(snap.KVs))
+	for _, kv := range snap.KVs {
+		s.keys[kv.Key] = []keyVersion{{
+			rev: kv.ModRevision, value: append([]byte(nil), kv.Value...),
+			createRev: kv.CreateRevision, version: kv.Version, lease: kv.Lease,
+		}}
+	}
+	s.rev = snap.Revision
+	s.compacted = snap.Compacted
+	s.mu.Unlock()
+	return nil
+}
+
+// storeImage is the snapshot wire format.
+type storeImage struct {
+	Revision  int64 `json:"revision"`
+	Compacted int64 `json:"compacted"`
+	KVs       []KV  `json:"kvs"`
+}
+
+// Keys returns all live keys (sorted), mainly for diagnostics.
+func (s *Store) Keys() []string {
+	kvs := s.Range("")
+	out := make([]string, len(kvs))
+	for i, kv := range kvs {
+		out[i] = kv.Key
+	}
+	return out
+}

@@ -1,0 +1,490 @@
+package kb
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestStorePutGet(t *testing.T) {
+	s := NewStore()
+	rev := s.Put("a", []byte("1"))
+	if rev != 1 {
+		t.Fatalf("rev = %d, want 1", rev)
+	}
+	kv, ok := s.Get("a")
+	if !ok || string(kv.Value) != "1" {
+		t.Fatalf("Get = %v %v", kv, ok)
+	}
+	if kv.CreateRevision != 1 || kv.ModRevision != 1 || kv.Version != 1 {
+		t.Fatalf("metadata = %+v", kv)
+	}
+}
+
+func TestStoreVersioning(t *testing.T) {
+	s := NewStore()
+	s.Put("a", []byte("1"))
+	s.Put("b", []byte("x"))
+	s.Put("a", []byte("2"))
+	kv, _ := s.Get("a")
+	if kv.CreateRevision != 1 || kv.ModRevision != 3 || kv.Version != 2 {
+		t.Fatalf("metadata = %+v", kv)
+	}
+}
+
+func TestStoreHistoricalReads(t *testing.T) {
+	s := NewStore()
+	s.Put("k", []byte("v1")) // rev 1
+	s.Put("k", []byte("v2")) // rev 2
+	s.Delete("k")            // rev 3
+	s.Put("k", []byte("v4")) // rev 4
+
+	for _, tc := range []struct {
+		rev  int64
+		want string
+		ok   bool
+	}{
+		{1, "v1", true}, {2, "v2", true}, {3, "", false}, {4, "v4", true},
+	} {
+		kv, ok, err := s.GetAt("k", tc.rev)
+		if err != nil {
+			t.Fatalf("GetAt(%d): %v", tc.rev, err)
+		}
+		if ok != tc.ok || (ok && string(kv.Value) != tc.want) {
+			t.Fatalf("GetAt(%d) = %q %v, want %q %v", tc.rev, kv.Value, ok, tc.want, tc.ok)
+		}
+	}
+	// Re-creation resets create revision and version.
+	kv, _ := s.Get("k")
+	if kv.CreateRevision != 4 || kv.Version != 1 {
+		t.Fatalf("recreated metadata = %+v", kv)
+	}
+}
+
+func TestStoreDelete(t *testing.T) {
+	s := NewStore()
+	s.Put("a", []byte("1"))
+	rev, existed := s.Delete("a")
+	if !existed || rev != 2 {
+		t.Fatalf("Delete = %d %v", rev, existed)
+	}
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("deleted key still readable")
+	}
+	// Deleting a missing key does not bump the revision.
+	rev2, existed := s.Delete("a")
+	if existed || rev2 != 2 {
+		t.Fatalf("double delete = %d %v", rev2, existed)
+	}
+}
+
+func TestStoreRange(t *testing.T) {
+	s := NewStore()
+	s.Put("/app/b", []byte("2"))
+	s.Put("/app/a", []byte("1"))
+	s.Put("/other/c", []byte("3"))
+	s.Put("/app/deleted", []byte("x"))
+	s.Delete("/app/deleted")
+	got := s.Range("/app/")
+	if len(got) != 2 || got[0].Key != "/app/a" || got[1].Key != "/app/b" {
+		t.Fatalf("Range = %+v", got)
+	}
+	if s.Count("/app/") != 2 || s.Count("") != 3 {
+		t.Fatalf("Count wrong")
+	}
+	keys := s.Keys()
+	if len(keys) != 3 || keys[0] != "/app/a" {
+		t.Fatalf("Keys = %v", keys)
+	}
+}
+
+func TestStoreCompact(t *testing.T) {
+	s := NewStore()
+	s.Put("k", []byte("v1")) // 1
+	s.Put("k", []byte("v2")) // 2
+	s.Put("k", []byte("v3")) // 3
+	s.Put("dead", []byte("x"))
+	s.Delete("dead")
+	if err := s.Compact(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.GetAt("k", 1); err == nil {
+		t.Fatal("compacted read should error")
+	}
+	kv, ok, err := s.GetAt("k", 3)
+	if err != nil || !ok || string(kv.Value) != "v3" {
+		t.Fatalf("post-compact read = %v %v %v", kv, ok, err)
+	}
+	if kv, ok := s.Get("k"); !ok || string(kv.Value) != "v3" {
+		t.Fatal("current read broken by compaction")
+	}
+	// Fully-dead keys are garbage collected.
+	if _, ok := s.Get("dead"); ok {
+		t.Fatal("dead key resurrected")
+	}
+	if err := s.Compact(1); err == nil {
+		t.Fatal("compacting backwards should error")
+	}
+	if err := s.Compact(1000); err == nil {
+		t.Fatal("compacting future should error")
+	}
+	if s.CompactedRevision() != 3 {
+		t.Fatalf("CompactedRevision = %d", s.CompactedRevision())
+	}
+}
+
+func TestStoreValueIsolation(t *testing.T) {
+	s := NewStore()
+	buf := []byte("abc")
+	s.Put("k", buf)
+	buf[0] = 'X' // caller mutates its slice after Put
+	kv, _ := s.Get("k")
+	if string(kv.Value) != "abc" {
+		t.Fatalf("store aliased caller buffer: %q", kv.Value)
+	}
+	kv.Value[0] = 'Y' // reader mutates the returned slice
+	kv2, _ := s.Get("k")
+	if string(kv2.Value) != "abc" {
+		t.Fatalf("reader mutated store state: %q", kv2.Value)
+	}
+}
+
+func TestStoreRevisionMonotonicProperty(t *testing.T) {
+	type op struct {
+		Del bool
+		Key uint8
+		Val uint8
+	}
+	if err := quick.Check(func(ops []op) bool {
+		s := NewStore()
+		last := int64(0)
+		for _, o := range ops {
+			key := fmt.Sprintf("k%d", o.Key%8)
+			var rev int64
+			if o.Del {
+				rev, _ = s.Delete(key)
+			} else {
+				rev = s.Put(key, []byte{o.Val})
+			}
+			if rev < last {
+				return false
+			}
+			last = rev
+		}
+		return s.Revision() == last || len(ops) == 0
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreHistoricalConsistencyProperty(t *testing.T) {
+	// Writing a sequence and replaying GetAt at each recorded revision
+	// must reproduce the value written at that revision.
+	if err := quick.Check(func(vals []uint8) bool {
+		s := NewStore()
+		type snap struct {
+			rev int64
+			val byte
+		}
+		var snaps []snap
+		for _, v := range vals {
+			rev := s.Put("k", []byte{v})
+			snaps = append(snaps, snap{rev, v})
+		}
+		for _, sn := range snaps {
+			kv, ok, err := s.GetAt("k", sn.rev)
+			if err != nil || !ok || !bytes.Equal(kv.Value, []byte{sn.val}) {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWatchDelivery(t *testing.T) {
+	s := NewStore()
+	w := s.Watch("/a/", 0)
+	defer w.Cancel()
+	s.Put("/a/x", []byte("1"))
+	s.Put("/b/y", []byte("2")) // outside prefix
+	s.Delete("/a/x")
+
+	ev := <-w.Events()
+	if ev.Type != EventPut || ev.KV.Key != "/a/x" || string(ev.KV.Value) != "1" {
+		t.Fatalf("first event = %+v", ev)
+	}
+	ev = <-w.Events()
+	if ev.Type != EventDelete || ev.KV.Key != "/a/x" {
+		t.Fatalf("second event = %+v", ev)
+	}
+	select {
+	case ev := <-w.Events():
+		t.Fatalf("unexpected event %+v", ev)
+	default:
+	}
+}
+
+func TestWatchCancel(t *testing.T) {
+	s := NewStore()
+	w := s.Watch("", 0)
+	w.Cancel()
+	w.Cancel() // double cancel is fine
+	if _, open := <-w.Events(); open {
+		t.Fatal("channel should be closed")
+	}
+	s.Put("k", []byte("v")) // must not panic on cancelled watcher
+}
+
+func TestWatchOverflowDropsOldest(t *testing.T) {
+	s := NewStore()
+	w := s.Watch("", 2)
+	for i := 0; i < 5; i++ {
+		s.Put("k", []byte{byte('0' + i)})
+	}
+	if w.Dropped() != 3 {
+		t.Fatalf("Dropped = %d, want 3", w.Dropped())
+	}
+	// The two retained events are the newest.
+	ev := <-w.Events()
+	if string(ev.KV.Value) != "3" {
+		t.Fatalf("retained oldest = %q, want 3", ev.KV.Value)
+	}
+}
+
+func TestEventTypeString(t *testing.T) {
+	if EventPut.String() != "PUT" || EventDelete.String() != "DELETE" {
+		t.Fatal("event type names")
+	}
+}
+
+func TestLeaseLifecycle(t *testing.T) {
+	s := NewStore()
+	m := NewLeaseManager(s)
+	l := m.Grant(0, 100)
+	if l.ID == 0 || !m.Alive(l.ID) {
+		t.Fatal("grant failed")
+	}
+	if err := m.Attach(l.ID, "hb", []byte("alive")); err != nil {
+		t.Fatal(err)
+	}
+	kv, ok := s.Get("hb")
+	if !ok || kv.Lease != l.ID {
+		t.Fatalf("attached kv = %+v %v", kv, ok)
+	}
+	// Keepalive extends the deadline.
+	if err := m.KeepAlive(l.ID, 90); err != nil {
+		t.Fatal(err)
+	}
+	if exp := m.Tick(100); len(exp) != 0 {
+		t.Fatalf("expired early: %v", exp)
+	}
+	exp := m.Tick(190)
+	if len(exp) != 1 || exp[0] != l.ID {
+		t.Fatalf("expired = %v", exp)
+	}
+	if _, ok := s.Get("hb"); ok {
+		t.Fatal("lease key survived expiry")
+	}
+	if m.Alive(l.ID) || m.Len() != 0 {
+		t.Fatal("lease survived expiry")
+	}
+	if err := m.KeepAlive(l.ID, 0); err == nil {
+		t.Fatal("keepalive of dead lease should error")
+	}
+	if err := m.Attach(l.ID, "x", nil); err == nil {
+		t.Fatal("attach to dead lease should error")
+	}
+	if err := m.Revoke(l.ID); err == nil {
+		t.Fatal("revoking dead lease should error")
+	}
+}
+
+func TestLeaseRevoke(t *testing.T) {
+	s := NewStore()
+	m := NewLeaseManager(s)
+	l := m.Grant(0, 1000)
+	m.Attach(l.ID, "a", []byte("1")) //nolint:errcheck
+	m.Attach(l.ID, "b", []byte("2")) //nolint:errcheck
+	if err := m.Revoke(l.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("a survived revoke")
+	}
+	if _, ok := s.Get("b"); ok {
+		t.Fatal("b survived revoke")
+	}
+}
+
+func TestWatchFromReplaysHistory(t *testing.T) {
+	s := NewStore()
+	s.Put("/a/x", []byte("1")) // rev 1
+	s.Put("/a/y", []byte("2")) // rev 2
+	s.Put("/b/z", []byte("3")) // rev 3 (outside prefix)
+	s.Delete("/a/x")           // rev 4
+	w, err := s.WatchFrom("/a/", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Cancel()
+	// Replay: rev 2 put, rev 4 delete (rev 1 excluded, rev 3 filtered).
+	ev := <-w.Events()
+	if ev.Type != EventPut || ev.KV.Key != "/a/y" || ev.KV.ModRevision != 2 {
+		t.Fatalf("first replay = %+v", ev)
+	}
+	ev = <-w.Events()
+	if ev.Type != EventDelete || ev.KV.Key != "/a/x" || ev.KV.ModRevision != 4 {
+		t.Fatalf("second replay = %+v", ev)
+	}
+	// Live events continue seamlessly.
+	s.Put("/a/x", []byte("again"))
+	ev = <-w.Events()
+	if ev.Type != EventPut || ev.KV.Key != "/a/x" || ev.KV.ModRevision != 5 {
+		t.Fatalf("live event = %+v", ev)
+	}
+	select {
+	case ev := <-w.Events():
+		t.Fatalf("unexpected event %+v", ev)
+	default:
+	}
+}
+
+func TestWatchFromZeroReplaysEverything(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 5; i++ {
+		s.Put("k", []byte{byte(i)})
+	}
+	w, err := s.WatchFrom("", 0, 2) // small buffer must auto-grow
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Cancel()
+	for i := 0; i < 5; i++ {
+		ev := <-w.Events()
+		if ev.KV.ModRevision != int64(i+1) {
+			t.Fatalf("event %d revision = %d", i, ev.KV.ModRevision)
+		}
+	}
+	if w.Dropped() != 0 {
+		t.Fatalf("replay dropped %d events", w.Dropped())
+	}
+}
+
+func TestWatchFromCompactedFails(t *testing.T) {
+	s := NewStore()
+	s.Put("k", []byte("1"))
+	s.Put("k", []byte("2"))
+	s.Put("k", []byte("3"))
+	if err := s.Compact(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WatchFrom("", 1, 0); err == nil {
+		t.Fatal("compacted watch accepted")
+	}
+	if w, err := s.WatchFrom("", 2, 0); err != nil {
+		t.Fatal(err)
+	} else {
+		ev := <-w.Events()
+		if ev.KV.ModRevision != 3 {
+			t.Fatalf("post-compaction replay = %+v", ev)
+		}
+		w.Cancel()
+	}
+}
+
+func TestWatchFromOrderingProperty(t *testing.T) {
+	// Replayed revisions are strictly increasing for any write pattern.
+	if err := quick.Check(func(ops []uint8) bool {
+		s := NewStore()
+		for _, o := range ops {
+			key := fmt.Sprintf("k%d", o%5)
+			if o%7 == 0 {
+				s.Delete(key)
+			} else {
+				s.Put(key, []byte{o})
+			}
+		}
+		w, err := s.WatchFrom("", 0, 0)
+		if err != nil {
+			return false
+		}
+		defer w.Cancel()
+		last := int64(0)
+		for {
+			select {
+			case ev := <-w.Events():
+				if ev.KV.ModRevision <= last {
+					return false
+				}
+				last = ev.KV.ModRevision
+			default:
+				return last == s.Revision()
+			}
+		}
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCASCreateAndUpdate(t *testing.T) {
+	s := NewStore()
+	// Create-if-absent.
+	rev, ok := s.CAS("lock", 0, []byte("owner-a"))
+	if !ok || rev != 1 {
+		t.Fatalf("create CAS = %d %v", rev, ok)
+	}
+	// Second create-if-absent loses.
+	if _, ok := s.CAS("lock", 0, []byte("owner-b")); ok {
+		t.Fatal("double create succeeded")
+	}
+	kv, _ := s.Get("lock")
+	if string(kv.Value) != "owner-a" {
+		t.Fatalf("value = %q", kv.Value)
+	}
+	// Update with correct revision wins; stale revision loses.
+	if _, ok := s.CAS("lock", kv.ModRevision, []byte("owner-a2")); !ok {
+		t.Fatal("correct-rev CAS failed")
+	}
+	if _, ok := s.CAS("lock", kv.ModRevision, []byte("owner-b")); ok {
+		t.Fatal("stale-rev CAS succeeded")
+	}
+	kv2, _ := s.Get("lock")
+	if string(kv2.Value) != "owner-a2" || kv2.Version != 2 {
+		t.Fatalf("final = %+v", kv2)
+	}
+	// Expecting a revision on a missing key fails.
+	if _, ok := s.CAS("ghost", 7, []byte("x")); ok {
+		t.Fatal("CAS on missing key with rev succeeded")
+	}
+}
+
+func TestCASEmitsWatchEvent(t *testing.T) {
+	s := NewStore()
+	w := s.Watch("", 0)
+	defer w.Cancel()
+	s.CAS("k", 0, []byte("v"))
+	ev := <-w.Events()
+	if ev.Type != EventPut || string(ev.KV.Value) != "v" {
+		t.Fatalf("event = %+v", ev)
+	}
+}
+
+func TestCASMutualExclusionProperty(t *testing.T) {
+	// Of N contenders doing create-if-absent, exactly one wins.
+	if err := quick.Check(func(n uint8) bool {
+		s := NewStore()
+		contenders := int(n%8) + 2
+		wins := 0
+		for i := 0; i < contenders; i++ {
+			if _, ok := s.CAS("leader", 0, []byte{byte(i)}); ok {
+				wins++
+			}
+		}
+		return wins == 1
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

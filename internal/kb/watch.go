@@ -1,0 +1,175 @@
+package kb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// EventType distinguishes put and delete watch events.
+type EventType int
+
+const (
+	// EventPut reports a key write.
+	EventPut EventType = iota
+	// EventDelete reports a key deletion.
+	EventDelete
+)
+
+func (t EventType) String() string {
+	if t == EventPut {
+		return "PUT"
+	}
+	return "DELETE"
+}
+
+// Event is one change observed by a watcher.
+type Event struct {
+	Type EventType
+	KV   KV
+}
+
+// Watcher delivers events for keys under a prefix. Events are buffered;
+// when a slow consumer overflows the buffer the oldest events are dropped
+// and Dropped() reports how many (observability beats blocking the store).
+type Watcher struct {
+	prefix string
+	ch     chan Event
+	hub    *watchHub
+
+	mu      sync.Mutex
+	dropped int
+	closed  bool
+}
+
+// Events returns the delivery channel. It is closed by Cancel.
+func (w *Watcher) Events() <-chan Event { return w.ch }
+
+// Dropped reports how many events were discarded due to a full buffer.
+func (w *Watcher) Dropped() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.dropped
+}
+
+// Cancel detaches the watcher and closes its channel.
+func (w *Watcher) Cancel() { w.hub.cancel(w) }
+
+type watchHub struct {
+	mu       sync.Mutex
+	watchers map[*Watcher]struct{}
+}
+
+func newWatchHub() *watchHub {
+	return &watchHub{watchers: make(map[*Watcher]struct{})}
+}
+
+// Watch registers a watcher for keys under prefix with the given buffer
+// size (≤0 selects a default of 128).
+func (s *Store) Watch(prefix string, buffer int) *Watcher {
+	if buffer <= 0 {
+		buffer = 128
+	}
+	w := &Watcher{prefix: prefix, ch: make(chan Event, buffer), hub: s.watchers}
+	s.watchers.mu.Lock()
+	s.watchers.watchers[w] = struct{}{}
+	s.watchers.mu.Unlock()
+	return w
+}
+
+// WatchFrom registers a watcher that first replays every event with
+// ModRevision > fromRev (oldest first), then streams live changes — the
+// etcd-style "watch from revision" MIRTO agents use to catch up on
+// registry changes after a restart. It fails when fromRev predates the
+// compaction floor.
+func (s *Store) WatchFrom(prefix string, fromRev int64, buffer int) (*Watcher, error) {
+	if buffer <= 0 {
+		buffer = 128
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if fromRev < s.compacted {
+		return nil, fmt.Errorf("kb: revision %d compacted (compact revision %d)", fromRev, s.compacted)
+	}
+	// Collect historical events across keys, ordered by revision.
+	var replay []Event
+	for key, hist := range s.keys {
+		if !hasPrefix(key, prefix) {
+			continue
+		}
+		for _, v := range hist {
+			if v.rev <= fromRev {
+				continue
+			}
+			if v.tombstone {
+				replay = append(replay, Event{Type: EventDelete, KV: KV{Key: key, ModRevision: v.rev}})
+				continue
+			}
+			val := append([]byte(nil), v.value...)
+			replay = append(replay, Event{Type: EventPut, KV: KV{
+				Key: key, Value: val, CreateRevision: v.createRev,
+				ModRevision: v.rev, Version: v.version, Lease: v.lease,
+			}})
+		}
+	}
+	sort.Slice(replay, func(i, j int) bool { return replay[i].KV.ModRevision < replay[j].KV.ModRevision })
+	if need := len(replay) + 16; buffer < need {
+		buffer = need
+	}
+	w := &Watcher{prefix: prefix, ch: make(chan Event, buffer), hub: s.watchers}
+	for _, ev := range replay {
+		w.ch <- ev
+	}
+	// Attach for live events while still holding s.mu: mutators notify
+	// under the same lock, so there is no gap or duplication window.
+	s.watchers.mu.Lock()
+	s.watchers.watchers[w] = struct{}{}
+	s.watchers.mu.Unlock()
+	return w, nil
+}
+
+func (h *watchHub) notify(ev Event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for w := range h.watchers {
+		if !hasPrefix(ev.KV.Key, w.prefix) {
+			continue
+		}
+		select {
+		case w.ch <- ev:
+		default:
+			// Buffer full: drop the oldest, then retry once.
+			select {
+			case <-w.ch:
+				w.mu.Lock()
+				w.dropped++
+				w.mu.Unlock()
+			default:
+			}
+			select {
+			case w.ch <- ev:
+			default:
+				w.mu.Lock()
+				w.dropped++
+				w.mu.Unlock()
+			}
+		}
+	}
+}
+
+func (h *watchHub) cancel(w *Watcher) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return
+	}
+	w.closed = true
+	delete(h.watchers, w)
+	close(w.ch)
+}
+
+func hasPrefix(s, prefix string) bool {
+	return len(s) >= len(prefix) && s[:len(prefix)] == prefix
+}

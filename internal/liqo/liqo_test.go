@@ -1,0 +1,164 @@
+package liqo
+
+import (
+	"testing"
+
+	"myrtus/internal/cluster"
+)
+
+func clusters(t *testing.T) (home, remote *cluster.Cluster) {
+	t.Helper()
+	home = cluster.New("edge")
+	remote = cluster.New("fog")
+	if err := home.AddNode(cluster.Node{
+		Name: "edge-0", Allocatable: cluster.Resources{CPU: 2, MemMB: 2048},
+		Labels: map[string]string{"layer": "edge"}, SecurityLevels: []string{"low"}, Ready: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := remote.AddNode(cluster.Node{
+		Name: "fmdc-0", Allocatable: cluster.Resources{CPU: 16, MemMB: 65536},
+		Labels: map[string]string{"layer": "fog"}, SecurityLevels: []string{"low", "medium", "high"}, Ready: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return
+}
+
+func TestPeerCreatesVirtualNode(t *testing.T) {
+	home, remote := clusters(t)
+	p, err := Peer(home, remote, "", map[string]string{"layer": "fog"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Active() {
+		t.Fatal("not active")
+	}
+	n, ok := home.Node(p.VirtualNode())
+	if !ok || !n.Virtual || !n.Ready {
+		t.Fatalf("virtual node = %+v %v", n, ok)
+	}
+	if n.Allocatable.CPU != 16 || n.Labels["liqo.io/remote"] != "fog" {
+		t.Fatalf("virtual node caps = %+v", n)
+	}
+	// Security levels aggregated from remote.
+	if len(n.SecurityLevels) != 3 {
+		t.Fatalf("levels = %v", n.SecurityLevels)
+	}
+}
+
+func TestPeerValidation(t *testing.T) {
+	home, remote := clusters(t)
+	if _, err := Peer(nil, remote, "", nil); err == nil {
+		t.Fatal("nil home accepted")
+	}
+	empty := cluster.New("empty")
+	if _, err := Peer(home, empty, "", nil); err == nil {
+		t.Fatal("capacity-less remote accepted")
+	}
+}
+
+func TestOffloadThroughVirtualNode(t *testing.T) {
+	home, remote := clusters(t)
+	p, _ := Peer(home, remote, "vfog", map[string]string{"layer": "fog"})
+	// A pod too big for edge-0 must land on the virtual node.
+	name, _ := home.CreatePod(cluster.PodSpec{App: "analytics", Requests: cluster.Resources{CPU: 8, MemMB: 8192}})
+	home.Schedule()
+	hp, _ := home.Pod(name)
+	if hp.Node != "vfog" {
+		t.Fatalf("pod on %q, want virtual node", hp.Node)
+	}
+	mirrored, _, _, err := p.Sync()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mirrored != 1 {
+		t.Fatalf("mirrored = %d", mirrored)
+	}
+	// The mirror runs on the real remote node.
+	mirrors := p.Mirrors()
+	rp, ok := remote.Pod(mirrors[name])
+	if !ok || rp.Phase != cluster.PodRunning || rp.Node != "fmdc-0" {
+		t.Fatalf("mirror = %+v %v", rp, ok)
+	}
+	// Sync is idempotent.
+	m2, r2, f2, _ := p.Sync()
+	if m2 != 0 || r2 != 0 || f2 != 0 {
+		t.Fatalf("second sync = %d %d %d", m2, r2, f2)
+	}
+}
+
+func TestReclaimOrphanMirror(t *testing.T) {
+	home, remote := clusters(t)
+	p, _ := Peer(home, remote, "vfog", nil)
+	name, _ := home.CreatePod(cluster.PodSpec{App: "w", Requests: cluster.Resources{CPU: 8, MemMB: 1024}})
+	home.Schedule()
+	p.Sync() //nolint:errcheck
+	home.DeletePod(name)
+	_, reclaimed, _, _ := p.Sync()
+	if reclaimed != 1 {
+		t.Fatalf("reclaimed = %d", reclaimed)
+	}
+	if len(remote.Pods()) != 0 {
+		t.Fatal("orphan mirror survived")
+	}
+}
+
+func TestRemoteFailureReflects(t *testing.T) {
+	home, remote := clusters(t)
+	p, _ := Peer(home, remote, "vfog", nil)
+	name, _ := home.CreatePod(cluster.PodSpec{App: "w", Requests: cluster.Resources{CPU: 8, MemMB: 1024}})
+	home.Schedule()
+	p.Sync() //nolint:errcheck
+	// Remote node dies.
+	remote.SetNodeReady("fmdc-0", false) //nolint:errcheck
+	_, _, reflected, _ := p.Sync()
+	if reflected != 1 {
+		t.Fatalf("reflected = %d", reflected)
+	}
+	hp, _ := home.Pod(name)
+	if hp.Phase == cluster.PodRunning {
+		t.Fatalf("home pod still running after remote failure: %+v", hp)
+	}
+}
+
+func TestUnpeer(t *testing.T) {
+	home, remote := clusters(t)
+	p, _ := Peer(home, remote, "vfog", nil)
+	name, _ := home.CreatePod(cluster.PodSpec{App: "w", Requests: cluster.Resources{CPU: 8, MemMB: 1024}})
+	home.Schedule()
+	p.Sync() //nolint:errcheck
+	p.Unpeer()
+	if p.Active() {
+		t.Fatal("still active")
+	}
+	if _, ok := home.Node("vfog"); ok {
+		t.Fatal("virtual node survived unpeer")
+	}
+	if len(remote.Pods()) != 0 {
+		t.Fatal("mirror survived unpeer")
+	}
+	// Home pod failed and can be rescheduled locally (if it fits).
+	hp, _ := home.Pod(name)
+	if hp.Phase == cluster.PodRunning {
+		t.Fatal("home pod still running")
+	}
+	if _, _, _, err := p.Sync(); err == nil {
+		t.Fatal("sync after unpeer accepted")
+	}
+	p.Unpeer() // idempotent
+}
+
+func TestSecurityConstraintTravelsToVirtualNode(t *testing.T) {
+	home, remote := clusters(t)
+	Peer(home, remote, "vfog", nil) //nolint:errcheck
+	// edge-0 only supports low; a high-security pod must go to the
+	// virtual node (remote supports high).
+	name, _ := home.CreatePod(cluster.PodSpec{
+		App: "secure", Requests: cluster.Resources{CPU: 1, MemMB: 512}, SecurityLevel: "high"})
+	home.Schedule()
+	hp, _ := home.Pod(name)
+	if hp.Node != "vfog" {
+		t.Fatalf("secure pod on %q", hp.Node)
+	}
+}

@@ -1,0 +1,211 @@
+// Package mapek implements the MAPE-K feedback loop ([17], [18]) that
+// structures MIRTO's dynamic orchestration: the four steps the paper
+// lists — 1) sensing of triggers, 2) evaluation of aggregated
+// information, 3) decision for resource allocation/configuration, and
+// 4) reconfiguration/reallocation — map onto Monitor, Analyze, Plan, and
+// Execute over a shared Knowledge store.
+package mapek
+
+import (
+	"fmt"
+	"sync"
+)
+
+// KPI is one sensed indicator with its goal.
+type KPI struct {
+	Name   string
+	Value  float64
+	Target float64
+	// HigherIsBetter: true for throughput-like KPIs, false for
+	// latency/energy-like KPIs.
+	HigherIsBetter bool
+}
+
+// Violated reports whether the KPI misses its target.
+func (k KPI) Violated() bool {
+	if k.HigherIsBetter {
+		return k.Value < k.Target
+	}
+	return k.Value > k.Target
+}
+
+// Severity is the relative miss magnitude (0 when satisfied).
+func (k KPI) Severity() float64 {
+	if !k.Violated() || k.Target == 0 {
+		if k.Target == 0 && k.Violated() {
+			return 1
+		}
+		return 0
+	}
+	d := (k.Value - k.Target) / k.Target
+	if k.HigherIsBetter {
+		d = -d
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// Violation is one analyzed problem.
+type Violation struct {
+	KPI      KPI
+	Severity float64
+}
+
+// Action is one planned adaptation.
+type Action struct {
+	Kind   string // e.g. "scale-up", "offload", "set-operating-point"
+	Target string
+	Args   map[string]any
+}
+
+// Monitor senses the managed system.
+type Monitor func() []KPI
+
+// Planner turns violations into actions.
+type Planner func(violations []Violation, k *Knowledge) []Action
+
+// Executor applies one action; errors are recorded, not fatal.
+type Executor func(Action) error
+
+// Knowledge is the shared K of MAPE-K: a thread-safe blackboard the four
+// phases read and write (backed by the distributed KB in the full stack).
+type Knowledge struct {
+	mu   sync.Mutex
+	data map[string]any
+}
+
+// NewKnowledge returns an empty store.
+func NewKnowledge() *Knowledge { return &Knowledge{data: map[string]any{}} }
+
+// Put stores a fact.
+func (k *Knowledge) Put(key string, v any) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.data[key] = v
+}
+
+// Get reads a fact.
+func (k *Knowledge) Get(key string) (any, bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	v, ok := k.data[key]
+	return v, ok
+}
+
+// GetFloat reads a numeric fact with default.
+func (k *Knowledge) GetFloat(key string, def float64) float64 {
+	if v, ok := k.Get(key); ok {
+		if f, ok := v.(float64); ok {
+			return f
+		}
+	}
+	return def
+}
+
+// Loop is one MAPE-K instance.
+type Loop struct {
+	Name     string
+	Monitor  Monitor
+	Planner  Planner
+	Executor Executor
+	K        *Knowledge
+
+	mu      sync.Mutex
+	iters   int
+	actions int
+	failed  int
+	history []IterationRecord
+}
+
+// IterationRecord captures one loop pass for observability.
+type IterationRecord struct {
+	Iteration  int
+	KPIs       []KPI
+	Violations []Violation
+	Actions    []Action
+	ExecErrors []string
+}
+
+// NewLoop wires a loop; all three hooks are required.
+func NewLoop(name string, m Monitor, p Planner, e Executor) (*Loop, error) {
+	if m == nil || p == nil || e == nil {
+		return nil, fmt.Errorf("mapek: loop %q needs monitor, planner and executor", name)
+	}
+	return &Loop{Name: name, Monitor: m, Planner: p, Executor: e, K: NewKnowledge()}, nil
+}
+
+// Analyze is the default analysis: every violated KPI becomes a
+// violation ranked by severity.
+func Analyze(kpis []KPI) []Violation {
+	var out []Violation
+	for _, k := range kpis {
+		if k.Violated() {
+			out = append(out, Violation{KPI: k, Severity: k.Severity()})
+		}
+	}
+	return out
+}
+
+// Iterate runs one M-A-P-E pass and returns its record.
+func (l *Loop) Iterate() IterationRecord {
+	l.mu.Lock()
+	l.iters++
+	rec := IterationRecord{Iteration: l.iters}
+	l.mu.Unlock()
+
+	rec.KPIs = l.Monitor()
+	rec.Violations = Analyze(rec.KPIs)
+	for _, k := range rec.KPIs {
+		l.K.Put("kpi/"+k.Name, k.Value)
+	}
+	if len(rec.Violations) > 0 {
+		rec.Actions = l.Planner(rec.Violations, l.K)
+	}
+	for _, a := range rec.Actions {
+		if err := l.Executor(a); err != nil {
+			rec.ExecErrors = append(rec.ExecErrors, err.Error())
+			l.mu.Lock()
+			l.failed++
+			l.mu.Unlock()
+			continue
+		}
+		l.mu.Lock()
+		l.actions++
+		l.mu.Unlock()
+	}
+	l.mu.Lock()
+	l.history = append(l.history, rec)
+	if len(l.history) > 1024 {
+		l.history = l.history[len(l.history)-512:]
+	}
+	l.mu.Unlock()
+	return rec
+}
+
+// RunUntilStable iterates until a pass has no violations (or maxIters),
+// returning the number of passes used and whether it stabilized.
+func (l *Loop) RunUntilStable(maxIters int) (int, bool) {
+	for i := 1; i <= maxIters; i++ {
+		rec := l.Iterate()
+		if len(rec.Violations) == 0 {
+			return i, true
+		}
+	}
+	return maxIters, false
+}
+
+// Stats reports loop counters: iterations, successful actions, failures.
+func (l *Loop) Stats() (iters, actions, failed int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.iters, l.actions, l.failed
+}
+
+// History returns the retained iteration records.
+func (l *Loop) History() []IterationRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]IterationRecord(nil), l.history...)
+}

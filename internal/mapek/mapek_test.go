@@ -1,0 +1,174 @@
+package mapek
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestKPIViolated(t *testing.T) {
+	cases := []struct {
+		k    KPI
+		want bool
+	}{
+		{KPI{Name: "lat", Value: 10, Target: 20, HigherIsBetter: false}, false},
+		{KPI{Name: "lat", Value: 30, Target: 20, HigherIsBetter: false}, true},
+		{KPI{Name: "thr", Value: 10, Target: 20, HigherIsBetter: true}, true},
+		{KPI{Name: "thr", Value: 30, Target: 20, HigherIsBetter: true}, false},
+	}
+	for _, c := range cases {
+		if c.k.Violated() != c.want {
+			t.Fatalf("%+v violated = %v", c.k, c.k.Violated())
+		}
+	}
+}
+
+func TestKPISeverity(t *testing.T) {
+	k := KPI{Name: "lat", Value: 30, Target: 20}
+	if s := k.Severity(); s < 0.49 || s > 0.51 {
+		t.Fatalf("severity = %v", s)
+	}
+	ok := KPI{Name: "lat", Value: 10, Target: 20}
+	if ok.Severity() != 0 {
+		t.Fatal("satisfied KPI has severity")
+	}
+	zt := KPI{Name: "x", Value: 1, Target: 0}
+	if zt.Severity() != 1 {
+		t.Fatalf("zero-target severity = %v", zt.Severity())
+	}
+	// Higher-is-better severity is positive too.
+	hb := KPI{Name: "thr", Value: 10, Target: 20, HigherIsBetter: true}
+	if s := hb.Severity(); s < 0.49 || s > 0.51 {
+		t.Fatalf("hb severity = %v", s)
+	}
+}
+
+func TestSeverityNonNegativeProperty(t *testing.T) {
+	if err := quick.Check(func(v, tg float64, hb bool) bool {
+		k := KPI{Name: "x", Value: v, Target: tg, HigherIsBetter: hb}
+		return k.Severity() >= 0
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewLoopValidation(t *testing.T) {
+	if _, err := NewLoop("l", nil, nil, nil); err == nil {
+		t.Fatal("nil hooks accepted")
+	}
+}
+
+func TestLoopConvergesOnViolation(t *testing.T) {
+	// Managed system: latency starts at 100ms, each "scale-up" action
+	// halves it; target 20ms.
+	latency := 100.0
+	monitor := func() []KPI {
+		return []KPI{{Name: "latency_ms", Value: latency, Target: 20}}
+	}
+	planner := func(v []Violation, k *Knowledge) []Action {
+		if len(v) == 0 {
+			return nil
+		}
+		return []Action{{Kind: "scale-up", Target: "detector"}}
+	}
+	executor := func(a Action) error {
+		if a.Kind == "scale-up" {
+			latency /= 2
+		}
+		return nil
+	}
+	loop, err := NewLoop("wl-manager", monitor, planner, executor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iters, stable := loop.RunUntilStable(20)
+	if !stable {
+		t.Fatal("loop did not stabilize")
+	}
+	// 100 → 50 → 25 → 12.5: three actions, stable on the 4th check.
+	if iters != 4 {
+		t.Fatalf("iters = %d", iters)
+	}
+	_, actions, failed := loop.Stats()
+	if actions != 3 || failed != 0 {
+		t.Fatalf("actions=%d failed=%d", actions, failed)
+	}
+	// Knowledge carries the last sensed KPI.
+	if got := loop.K.GetFloat("kpi/latency_ms", -1); got != 12.5 {
+		t.Fatalf("knowledge = %v", got)
+	}
+	if len(loop.History()) != 4 {
+		t.Fatalf("history = %d", len(loop.History()))
+	}
+}
+
+func TestLoopRecordsExecutorErrors(t *testing.T) {
+	monitor := func() []KPI { return []KPI{{Name: "x", Value: 2, Target: 1}} }
+	planner := func(v []Violation, k *Knowledge) []Action {
+		return []Action{{Kind: "broken"}}
+	}
+	executor := func(a Action) error { return fmt.Errorf("actuator offline") }
+	loop, _ := NewLoop("l", monitor, planner, executor)
+	rec := loop.Iterate()
+	if len(rec.ExecErrors) != 1 {
+		t.Fatalf("errors = %v", rec.ExecErrors)
+	}
+	_, actions, failed := loop.Stats()
+	if actions != 0 || failed != 1 {
+		t.Fatalf("actions=%d failed=%d", actions, failed)
+	}
+}
+
+func TestLoopNoActionsWhenHealthy(t *testing.T) {
+	called := false
+	monitor := func() []KPI { return []KPI{{Name: "x", Value: 1, Target: 10}} }
+	planner := func(v []Violation, k *Knowledge) []Action { called = true; return nil }
+	executor := func(a Action) error { return nil }
+	loop, _ := NewLoop("l", monitor, planner, executor)
+	rec := loop.Iterate()
+	if called {
+		t.Fatal("planner invoked without violations")
+	}
+	if len(rec.Violations) != 0 || len(rec.Actions) != 0 {
+		t.Fatalf("rec = %+v", rec)
+	}
+}
+
+func TestLoopUnstableReported(t *testing.T) {
+	monitor := func() []KPI { return []KPI{{Name: "x", Value: 5, Target: 1}} }
+	planner := func(v []Violation, k *Knowledge) []Action { return nil }
+	executor := func(a Action) error { return nil }
+	loop, _ := NewLoop("l", monitor, planner, executor)
+	iters, stable := loop.RunUntilStable(5)
+	if stable || iters != 5 {
+		t.Fatalf("iters=%d stable=%v", iters, stable)
+	}
+}
+
+func TestKnowledge(t *testing.T) {
+	k := NewKnowledge()
+	k.Put("a", 1.5)
+	k.Put("b", "str")
+	if v, ok := k.Get("a"); !ok || v != 1.5 {
+		t.Fatal("Get")
+	}
+	if k.GetFloat("a", 0) != 1.5 {
+		t.Fatal("GetFloat")
+	}
+	if k.GetFloat("b", 7) != 7 || k.GetFloat("ghost", 7) != 7 {
+		t.Fatal("GetFloat defaults")
+	}
+	if _, ok := k.Get("ghost"); ok {
+		t.Fatal("ghost key")
+	}
+}
+
+func TestAnalyzeRanksBySeverity(t *testing.T) {
+	vs := Analyze([]KPI{
+		{Name: "ok", Value: 1, Target: 10},
+		{Name: "bad", Value: 30, Target: 10},
+	})
+	if len(vs) != 1 || vs[0].KPI.Name != "bad" || vs[0].Severity != 2 {
+		t.Fatalf("violations = %+v", vs)
+	}
+}

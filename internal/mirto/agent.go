@@ -1,0 +1,274 @@
+package mirto
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"myrtus/internal/cluster"
+	"myrtus/internal/swarm"
+	"myrtus/internal/tosca"
+)
+
+// Agent is the MIRTO API Daemon of Fig. 3: it defines the MIRTO agent as
+// a (web-)service with a REST-like API through which users request
+// orchestration activities using the TOSCA object model. It contains the
+// Authentication Module and the TOSCA Validation Processor, and forwards
+// admitted requests to the MIRTO Manager via the Orchestrator.
+type Agent struct {
+	o *Orchestrator
+
+	mu     sync.Mutex
+	tokens map[string]Role
+
+	mux *http.ServeMux
+}
+
+// Role is an authorization role of the Authentication Module.
+type Role string
+
+// Agent roles.
+const (
+	RoleAdmin  Role = "admin"  // may deploy and undeploy
+	RoleViewer Role = "viewer" // read-only access
+)
+
+// NewAgent builds the API daemon. tokens maps bearer tokens to roles.
+func NewAgent(o *Orchestrator, tokens map[string]Role) *Agent {
+	a := &Agent{o: o, tokens: map[string]Role{}}
+	for t, r := range tokens {
+		a.tokens[t] = r
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", a.handleHealth)
+	mux.HandleFunc("POST /v1/deployments", a.requireRole(RoleAdmin, a.handleDeploy))
+	mux.HandleFunc("GET /v1/deployments", a.requireRole(RoleViewer, a.handleList))
+	mux.HandleFunc("GET /v1/deployments/{app}", a.requireRole(RoleViewer, a.handleGet))
+	mux.HandleFunc("DELETE /v1/deployments/{app}", a.requireRole(RoleAdmin, a.handleDelete))
+	mux.HandleFunc("GET /v1/registry", a.requireRole(RoleViewer, a.handleRegistry))
+	mux.HandleFunc("GET /v1/kpis/{app}", a.requireRole(RoleViewer, a.handleKPIs))
+	mux.HandleFunc("POST /v1/rebalance/{layer}", a.requireRole(RoleAdmin, a.handleRebalance))
+	a.mux = mux
+	return a
+}
+
+// ServeHTTP implements http.Handler.
+func (a *Agent) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	a.mux.ServeHTTP(w, r)
+}
+
+// GrantToken registers a token at runtime.
+func (a *Agent) GrantToken(token string, role Role) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.tokens[token] = role
+}
+
+// authenticate resolves the caller's role from the Authorization header.
+func (a *Agent) authenticate(r *http.Request) (Role, bool) {
+	h := r.Header.Get("Authorization")
+	if !strings.HasPrefix(h, "Bearer ") {
+		return "", false
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	role, ok := a.tokens[strings.TrimPrefix(h, "Bearer ")]
+	return role, ok
+}
+
+func (a *Agent) requireRole(min Role, next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		role, ok := a.authenticate(r)
+		if !ok {
+			writeError(w, http.StatusUnauthorized, "missing or unknown bearer token")
+			return
+		}
+		if min == RoleAdmin && role != RoleAdmin {
+			writeError(w, http.StatusForbidden, "admin role required")
+			return
+		}
+		next(w, r)
+	}
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg}) //nolint:errcheck
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck
+}
+
+func (a *Agent) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"deployments": len(a.o.Plans()),
+		"virtualTime": a.o.M.C.Engine.Now().String(),
+	})
+}
+
+// deploymentView is the JSON shape of a plan.
+type deploymentView struct {
+	App          string            `json:"app"`
+	Assignments  map[string]string `json:"assignments"` // component → device
+	Layers       map[string]string `json:"layers"`
+	Score        float64           `json:"score"`
+	Negotiations int               `json:"negotiations"`
+}
+
+func viewOf(p *Plan) deploymentView {
+	v := deploymentView{
+		App:          p.App,
+		Assignments:  map[string]string{},
+		Layers:       map[string]string{},
+		Score:        p.Score,
+		Negotiations: p.Negotiations,
+	}
+	for _, as := range p.Assignments {
+		v.Assignments[as.TemplateNode] = as.Device
+		v.Layers[as.TemplateNode] = as.Layer
+	}
+	return v
+}
+
+// handleDeploy accepts a TOSCA service template as YAML
+// (Content-Type application/x-yaml or text/plain) or packaged in a CSAR
+// zip (application/zip), validates it, and orchestrates it.
+func (a *Agent) handleDeploy(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return
+	}
+	var st *tosca.ServiceTemplate
+	switch ct := r.Header.Get("Content-Type"); {
+	case strings.Contains(ct, "zip"):
+		csar, err := tosca.ReadCSAR(body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		st, err = csar.Template()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	default:
+		st, err = tosca.Parse(string(body))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
+	// TOSCA Validation Processor.
+	if err := tosca.Validate(st); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	plan, err := a.o.Deploy(st)
+	if err != nil {
+		writeError(w, http.StatusConflict, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusCreated, viewOf(plan))
+}
+
+func (a *Agent) handleList(w http.ResponseWriter, r *http.Request) {
+	var out []deploymentView
+	for _, p := range a.o.Plans() {
+		out = append(out, viewOf(p))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (a *Agent) handleGet(w http.ResponseWriter, r *http.Request) {
+	app := r.PathValue("app")
+	p, ok := a.o.PlanFor(app)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("app %q not deployed", app))
+		return
+	}
+	writeJSON(w, http.StatusOK, viewOf(p))
+}
+
+func (a *Agent) handleDelete(w http.ResponseWriter, r *http.Request) {
+	app := r.PathValue("app")
+	if err := a.o.Undeploy(app); err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": app})
+}
+
+func (a *Agent) handleRegistry(w http.ResponseWriter, r *http.Request) {
+	type entry struct {
+		Name      string   `json:"name"`
+		Layer     string   `json:"layer"`
+		Kind      string   `json:"kind"`
+		Live      bool     `json:"live"`
+		CPUUsed   float64  `json:"cpuUsed"`
+		PowerW    float64  `json:"powerWatts"`
+		Levels    []string `json:"securityLevels,omitempty"`
+		Protocols []string `json:"protocols,omitempty"`
+	}
+	var out []entry
+	for _, e := range a.o.M.C.Registry.Snapshot() {
+		out = append(out, entry{
+			Name: e.Record.Name, Layer: e.Record.Layer, Kind: e.Record.Kind,
+			Live: e.Live, CPUUsed: e.Status.CPUUsed, PowerW: e.Status.PowerWatts,
+			Levels: e.Record.SecurityLevels, Protocols: e.Record.Protocols,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleRebalance triggers the swarm-flavored agent on one layer.
+func (a *Agent) handleRebalance(w http.ResponseWriter, r *http.Request) {
+	var cl *cluster.Cluster
+	switch layer := r.PathValue("layer"); layer {
+	case "edge":
+		cl = a.o.M.C.Edge
+	case "fog":
+		cl = a.o.M.C.Fog
+	case "cloud":
+		cl = a.o.M.C.Cloud
+	default:
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown layer %q", layer))
+		return
+	}
+	res, err := a.o.M.SwarmRebalance(cl, swarm.Rule{OffloadThreshold: 0.3, Hysteresis: 0.05}, 50)
+	if err != nil {
+		writeError(w, http.StatusConflict, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"migrations":       res.Migrations,
+		"rounds":           res.Rounds,
+		"maxRelLoadBefore": res.MaxRelLoadBefore,
+		"maxRelLoadAfter":  res.MaxRelLoadAfter,
+	})
+}
+
+func (a *Agent) handleKPIs(w http.ResponseWriter, r *http.Request) {
+	app := r.PathValue("app")
+	k, ok := a.o.R.KPIs(app)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("app %q not deployed", app))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"app":          k.App,
+		"requests":     k.Requests,
+		"failed":       k.Failed,
+		"p50LatencyMs": k.LatencyMs.P50,
+		"p95LatencyMs": k.LatencyMs.P95,
+		"energyJoules": k.EnergyJoules,
+	})
+}

@@ -1,0 +1,256 @@
+package mirto
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"myrtus/internal/cluster"
+	"myrtus/internal/tosca"
+)
+
+func newTestAgent(t *testing.T) (*Agent, *httptest.Server) {
+	t.Helper()
+	c := testContinuum(t)
+	o := NewOrchestrator(NewManager(c, BalancedGoal()))
+	a := NewAgent(o, map[string]Role{
+		"admin-token":  RoleAdmin,
+		"viewer-token": RoleViewer,
+	})
+	srv := httptest.NewServer(a)
+	t.Cleanup(srv.Close)
+	return a, srv
+}
+
+func doReq(t *testing.T, method, url, token, contentType string, body []byte) (*http.Response, map[string]any) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var decoded map[string]any
+	dec := json.NewDecoder(resp.Body)
+	dec.Decode(&decoded) //nolint:errcheck // some bodies are arrays
+	return resp, decoded
+}
+
+func TestAgentHealthNoAuth(t *testing.T) {
+	_, srv := newTestAgent(t)
+	resp, body := doReq(t, "GET", srv.URL+"/v1/healthz", "", "", nil)
+	if resp.StatusCode != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("health = %d %v", resp.StatusCode, body)
+	}
+}
+
+func TestAgentAuth(t *testing.T) {
+	_, srv := newTestAgent(t)
+	// No token.
+	resp, _ := doReq(t, "GET", srv.URL+"/v1/deployments", "", "", nil)
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("no token = %d", resp.StatusCode)
+	}
+	// Unknown token.
+	resp, _ = doReq(t, "GET", srv.URL+"/v1/deployments", "bogus", "", nil)
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("bad token = %d", resp.StatusCode)
+	}
+	// Viewer cannot deploy.
+	resp, _ = doReq(t, "POST", srv.URL+"/v1/deployments", "viewer-token", "application/x-yaml", []byte(appYAML))
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("viewer deploy = %d", resp.StatusCode)
+	}
+	// Viewer can read.
+	resp, _ = doReq(t, "GET", srv.URL+"/v1/deployments", "viewer-token", "", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("viewer list = %d", resp.StatusCode)
+	}
+}
+
+func TestAgentDeployFlow(t *testing.T) {
+	_, srv := newTestAgent(t)
+	resp, body := doReq(t, "POST", srv.URL+"/v1/deployments", "admin-token", "application/x-yaml", []byte(appYAML))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("deploy = %d %v", resp.StatusCode, body)
+	}
+	if body["app"] != "mobility" {
+		t.Fatalf("app = %v", body["app"])
+	}
+	asg := body["assignments"].(map[string]any)
+	if len(asg) != 3 {
+		t.Fatalf("assignments = %v", asg)
+	}
+	// Duplicate deploy conflicts.
+	resp, _ = doReq(t, "POST", srv.URL+"/v1/deployments", "admin-token", "application/x-yaml", []byte(appYAML))
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("dup deploy = %d", resp.StatusCode)
+	}
+	// Get by name.
+	resp, body = doReq(t, "GET", srv.URL+"/v1/deployments/mobility", "viewer-token", "", nil)
+	if resp.StatusCode != http.StatusOK || body["app"] != "mobility" {
+		t.Fatalf("get = %d %v", resp.StatusCode, body)
+	}
+	// KPIs exist (zero traffic so far).
+	resp, body = doReq(t, "GET", srv.URL+"/v1/kpis/mobility", "viewer-token", "", nil)
+	if resp.StatusCode != http.StatusOK || body["requests"].(float64) != 0 {
+		t.Fatalf("kpis = %d %v", resp.StatusCode, body)
+	}
+	// Delete.
+	resp, _ = doReq(t, "DELETE", srv.URL+"/v1/deployments/mobility", "admin-token", "", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete = %d", resp.StatusCode)
+	}
+	resp, _ = doReq(t, "GET", srv.URL+"/v1/deployments/mobility", "viewer-token", "", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("get after delete = %d", resp.StatusCode)
+	}
+	resp, _ = doReq(t, "DELETE", srv.URL+"/v1/deployments/mobility", "admin-token", "", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("double delete = %d", resp.StatusCode)
+	}
+}
+
+func TestAgentDeployCSAR(t *testing.T) {
+	_, srv := newTestAgent(t)
+	st, err := tosca.Parse(appYAML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csar := tosca.NewCSAR(st)
+	data, err := csar.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body := doReq(t, "POST", srv.URL+"/v1/deployments", "admin-token", "application/zip", data)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("csar deploy = %d %v", resp.StatusCode, body)
+	}
+	// Garbage zip rejected.
+	resp, _ = doReq(t, "POST", srv.URL+"/v1/deployments", "admin-token", "application/zip", []byte("junk"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage csar = %d", resp.StatusCode)
+	}
+}
+
+func TestAgentRejectsInvalidTemplates(t *testing.T) {
+	_, srv := newTestAgent(t)
+	// Unparseable YAML.
+	resp, _ := doReq(t, "POST", srv.URL+"/v1/deployments", "admin-token", "application/x-yaml", []byte("not tosca"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage yaml = %d", resp.StatusCode)
+	}
+	// Parseable but semantically invalid (validation processor).
+	bad := `
+tosca_definitions_version: tosca_2_0
+topology_template:
+  node_templates:
+    w:
+      type: bogus.Type
+      properties:
+        cpu: 1
+        memoryMB: 64
+`
+	resp, body := doReq(t, "POST", srv.URL+"/v1/deployments", "admin-token", "application/x-yaml", []byte(bad))
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("invalid template = %d %v", resp.StatusCode, body)
+	}
+	if !strings.Contains(body["error"].(string), "unknown type") {
+		t.Fatalf("error = %v", body["error"])
+	}
+}
+
+func TestAgentRegistryEndpoint(t *testing.T) {
+	a, srv := newTestAgent(t)
+	a.o.M.C.Heartbeat()
+	req, _ := http.NewRequest("GET", srv.URL+"/v1/registry", nil)
+	req.Header.Set("Authorization", "Bearer viewer-token")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var entries []map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&entries); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 11 {
+		t.Fatalf("registry entries = %d", len(entries))
+	}
+	live := 0
+	for _, e := range entries {
+		if e["live"].(bool) {
+			live++
+		}
+	}
+	if live != 11 {
+		t.Fatalf("live = %d", live)
+	}
+}
+
+func TestAgentGrantToken(t *testing.T) {
+	a, srv := newTestAgent(t)
+	a.GrantToken("late-token", RoleViewer)
+	resp, _ := doReq(t, "GET", srv.URL+"/v1/deployments", "late-token", "", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("granted token = %d", resp.StatusCode)
+	}
+}
+
+func TestAgentKPIsNotFound(t *testing.T) {
+	_, srv := newTestAgent(t)
+	resp, _ := doReq(t, "GET", srv.URL+"/v1/kpis/ghost", "viewer-token", "", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("ghost kpis = %d", resp.StatusCode)
+	}
+}
+
+func TestAgentRebalanceEndpoint(t *testing.T) {
+	a, srv := newTestAgent(t)
+	// Pile pods onto one fog server so the swarm has something to do.
+	fog := a.o.M.C.Fog
+	for i := 0; i < 8; i++ {
+		name, err := fog.CreatePod(clusterPodSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fog.Bind(name, "fog-fmdc-0"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, body := doReq(t, "POST", srv.URL+"/v1/rebalance/fog", "admin-token", "", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("rebalance = %d %v", resp.StatusCode, body)
+	}
+	if body["migrations"].(float64) == 0 {
+		t.Fatalf("no migrations: %v", body)
+	}
+	if body["maxRelLoadAfter"].(float64) >= body["maxRelLoadBefore"].(float64) {
+		t.Fatalf("load not improved: %v", body)
+	}
+	// Viewer may not rebalance; unknown layer 404s.
+	resp, _ = doReq(t, "POST", srv.URL+"/v1/rebalance/fog", "viewer-token", "", nil)
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("viewer rebalance = %d", resp.StatusCode)
+	}
+	resp, _ = doReq(t, "POST", srv.URL+"/v1/rebalance/mars", "admin-token", "", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown layer = %d", resp.StatusCode)
+	}
+}
+
+func clusterPodSpec() cluster.PodSpec {
+	return cluster.PodSpec{App: "batch", Requests: cluster.Resources{CPU: 1, MemMB: 256}}
+}

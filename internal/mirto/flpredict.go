@@ -1,0 +1,123 @@
+package mirto
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"myrtus/internal/fl"
+	"myrtus/internal/fpga"
+	"myrtus/internal/kb"
+)
+
+// Federated operating-point prediction (§IV: "the possibility of
+// combining learned models from different agents using FL techniques,
+// allowing MIRTO edge agents to evolve based on each other's
+// experiences"). Edge agents publish locally-trained predictor weights to
+// the KB models prefix — never their raw telemetry — and any agent can
+// aggregate the published models with FedAvg and use the result to pick
+// the cheapest operating point that still meets a latency target.
+
+// modelRecord is the KB wire format for published weights.
+type modelRecord struct {
+	Agent   string    `json:"agent"`
+	Samples int       `json:"samples"`
+	W       []float64 `json:"w"`
+	B       float64   `json:"b"`
+}
+
+// PublishModel stores an agent's trained predictor in the KB under
+// PrefixModels/<topic>/<agent>. Only weights travel; telemetry stays on
+// the device.
+func PublishModel(reg *kb.Registry, topic, agent string, m *fl.Model, samples int) error {
+	if m == nil || len(m.W) == 0 {
+		return fmt.Errorf("mirto: nothing to publish for %s", agent)
+	}
+	if samples <= 0 {
+		return fmt.Errorf("mirto: sample count must be positive")
+	}
+	data, err := json.Marshal(modelRecord{Agent: agent, Samples: samples, W: m.W, B: m.B})
+	if err != nil {
+		return err
+	}
+	return reg.RecordHistory("models/"+topic+"/"+agent, 1, json.RawMessage(data))
+}
+
+// AggregateModels fetches every model published under the topic and
+// returns the sample-weighted FedAvg aggregate.
+func AggregateModels(reg *kb.Registry, topic string, agents []string) (*fl.Model, error) {
+	type entry struct {
+		rec modelRecord
+	}
+	var entries []entry
+	sorted := append([]string(nil), agents...)
+	sort.Strings(sorted)
+	for _, agent := range sorted {
+		batches := reg.History("models/" + topic + "/" + agent)
+		if len(batches) == 0 {
+			continue
+		}
+		var raw json.RawMessage
+		if err := json.Unmarshal(batches[len(batches)-1], &raw); err != nil {
+			return nil, fmt.Errorf("mirto: corrupt model batch for %s: %w", agent, err)
+		}
+		var rec modelRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("mirto: corrupt model record for %s: %w", agent, err)
+		}
+		entries = append(entries, entry{rec: rec})
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("mirto: no models published under %q", topic)
+	}
+	dim := len(entries[0].rec.W)
+	agg := fl.NewModel(dim)
+	total := 0.0
+	for _, e := range entries {
+		if len(e.rec.W) != dim {
+			return nil, fmt.Errorf("mirto: model dimension mismatch under %q", topic)
+		}
+		w := float64(e.rec.Samples)
+		for j := range agg.W {
+			agg.W[j] += w * e.rec.W[j]
+		}
+		agg.B += w * e.rec.B
+		total += w
+	}
+	for j := range agg.W {
+		agg.W[j] /= total
+	}
+	agg.B /= total
+	return agg, nil
+}
+
+// ChooseOperatingPoint picks the lowest-power point of bs whose predicted
+// latency (via the federated model, features = [utilization, batch,
+// 1/clockScale]) meets targetMs; when none does, the fastest point is
+// returned. This is the runtime decision of [29][30] driven by learned
+// models instead of static tables.
+func ChooseOperatingPoint(m *fl.Model, bs *fpga.Bitstream, utilization, batch float64, targetMs float64) (fpga.OperatingPoint, error) {
+	if m == nil || bs == nil || len(bs.Points) == 0 {
+		return fpga.OperatingPoint{}, fmt.Errorf("mirto: model and bitstream required")
+	}
+	baseClock := bs.Points[0].ClockMHz
+	best := bs.Points[0]
+	found := false
+	bestPower := 0.0
+	for _, p := range bs.Points {
+		scale := 1.0
+		if baseClock > 0 {
+			scale = p.ClockMHz / baseClock
+		}
+		pred := m.Predict([]float64{utilization, batch, 1 / scale})
+		if pred <= targetMs {
+			if !found || p.PowerWatts < bestPower {
+				best, bestPower, found = p, p.PowerWatts, true
+			}
+		}
+	}
+	if !found {
+		return bs.Points[0], nil // nothing meets the target: run flat out
+	}
+	return best, nil
+}

@@ -1,0 +1,116 @@
+package mirto
+
+import (
+	"testing"
+
+	"myrtus/internal/device"
+	"myrtus/internal/fl"
+	"myrtus/internal/kb"
+	"myrtus/internal/sim"
+)
+
+func TestPublishAggregateThroughKB(t *testing.T) {
+	reg := kb.NewRegistry(kb.NewStore())
+	rng := sim.NewRNG(1)
+	// Three edge agents train on local telemetry from the same physics.
+	agents := []string{"edge-hmp-0", "edge-hmp-1", "edge-mc-0"}
+	for i, agent := range agents {
+		data := fl.SamplesToDataset(fl.SyntheticWorkload(rng.Fork(agent), 200+i*50, 5, 10, 8, 3, 0.2))
+		m := fl.NewModel(3)
+		if err := m.TrainSGD(data, fl.DefaultSGDOptions()); err != nil {
+			t.Fatal(err)
+		}
+		if err := PublishModel(reg, "oppoint-latency", agent, m, data.Len()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	global, err := AggregateModels(reg, "oppoint-latency", agents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := fl.SamplesToDataset(fl.SyntheticWorkload(rng.Fork("test"), 200, 5, 10, 8, 3, 0.2))
+	if mse := global.MSE(test); mse > 2 {
+		t.Fatalf("aggregated MSE = %v", mse)
+	}
+	// Unknown agents in the roster are skipped, not fatal.
+	g2, err := AggregateModels(reg, "oppoint-latency", append(agents, "ghost"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.MSE(test) != global.MSE(test) {
+		t.Fatal("ghost agent changed the aggregate")
+	}
+}
+
+func TestAggregateModelsErrors(t *testing.T) {
+	reg := kb.NewRegistry(kb.NewStore())
+	if _, err := AggregateModels(reg, "empty", []string{"a"}); err == nil {
+		t.Fatal("empty topic aggregated")
+	}
+	reg.RecordHistory("models/bad/a", 1, "garbage") //nolint:errcheck
+	if _, err := AggregateModels(reg, "bad", []string{"a"}); err == nil {
+		t.Fatal("corrupt record accepted")
+	}
+	// Dimension mismatch.
+	m1, m2 := fl.NewModel(2), fl.NewModel(3)
+	PublishModel(reg, "dim", "a", mustTrain(t, m1, 2), 10) //nolint:errcheck
+	PublishModel(reg, "dim", "b", mustTrain(t, m2, 3), 10) //nolint:errcheck
+	if _, err := AggregateModels(reg, "dim", []string{"a", "b"}); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+func mustTrain(t *testing.T, m *fl.Model, dim int) *fl.Model {
+	t.Helper()
+	d := &fl.Dataset{}
+	for i := 0; i < 10; i++ {
+		row := make([]float64, dim)
+		row[0] = float64(i)
+		d.X = append(d.X, row)
+		d.Y = append(d.Y, float64(i))
+	}
+	if err := m.TrainSGD(d, fl.SGDOptions{Epochs: 2, LearningRate: 0.01}); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestPublishModelValidation(t *testing.T) {
+	reg := kb.NewRegistry(kb.NewStore())
+	if err := PublishModel(reg, "t", "a", nil, 1); err == nil {
+		t.Fatal("nil model published")
+	}
+	if err := PublishModel(reg, "t", "a", fl.NewModel(2), 0); err == nil {
+		t.Fatal("zero samples published")
+	}
+}
+
+func TestChooseOperatingPoint(t *testing.T) {
+	bs := device.StandardBitstreams()[0] // conv2d: fast/balanced/eco
+	// Ground-truth-ish model: latency ≈ 2·(1/scale) ms at zero load.
+	m := &fl.Model{W: []float64{5, 1, 2}, B: 0}
+	// Loose target: the eco point (lowest power) qualifies.
+	pt, err := ChooseOperatingPoint(m, bs, 0.1, 0.2, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Name != "eco" {
+		t.Fatalf("loose target chose %s", pt.Name)
+	}
+	// Tight target: only the fast point (scale 1) predicts ≤ 2.8 ms.
+	pt, err = ChooseOperatingPoint(m, bs, 0.1, 0.2, 2.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Name != "fast" {
+		t.Fatalf("tight target chose %s", pt.Name)
+	}
+	// Impossible target: fastest point as fallback.
+	pt, _ = ChooseOperatingPoint(m, bs, 0.9, 0.9, 0.0001)
+	if pt.Name != "fast" {
+		t.Fatalf("impossible target chose %s", pt.Name)
+	}
+	if _, err := ChooseOperatingPoint(nil, bs, 0, 0, 1); err == nil {
+		t.Fatal("nil model accepted")
+	}
+}

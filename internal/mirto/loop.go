@@ -1,0 +1,252 @@
+package mirto
+
+import (
+	"fmt"
+	"sync"
+
+	"myrtus/internal/mapek"
+	"myrtus/internal/tosca"
+)
+
+// Orchestrator ties the MIRTO Manager (decisions), the Runtime (KPIs),
+// and the MAPE-K loops (continuous optimization) into the engine the
+// Agent API exposes. It handles both orchestration moments the paper
+// distinguishes: deployment time (Deploy) and execution time (the loops).
+type Orchestrator struct {
+	M *Manager
+	R *Runtime
+
+	mu    sync.Mutex
+	plans map[string]*Plan
+	loops map[string]*mapek.Loop
+}
+
+// NewOrchestrator builds the full cognitive engine over a continuum.
+func NewOrchestrator(m *Manager) *Orchestrator {
+	return &Orchestrator{
+		M:     m,
+		R:     NewRuntime(m),
+		plans: map[string]*Plan{},
+		loops: map[string]*mapek.Loop{},
+	}
+}
+
+// Deploy validates, plans, and executes a TOSCA service template, making
+// it runnable. The returned plan records the decisions.
+func (o *Orchestrator) Deploy(st *tosca.ServiceTemplate) (*Plan, error) {
+	plan, err := o.M.Plan(st)
+	if err != nil {
+		return nil, err
+	}
+	if err := o.M.Execute(plan); err != nil {
+		return nil, err
+	}
+	o.mu.Lock()
+	if _, dup := o.plans[plan.App]; dup {
+		o.mu.Unlock()
+		o.M.Teardown(plan)
+		return nil, fmt.Errorf("mirto: app %q already deployed", plan.App)
+	}
+	o.plans[plan.App] = plan
+	o.mu.Unlock()
+	o.R.Register(plan)
+	return plan, nil
+}
+
+// Undeploy tears an application down.
+func (o *Orchestrator) Undeploy(app string) error {
+	o.mu.Lock()
+	plan, ok := o.plans[app]
+	delete(o.plans, app)
+	delete(o.loops, app)
+	o.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("mirto: app %q not deployed", app)
+	}
+	o.R.Deregister(app)
+	o.M.Teardown(plan)
+	return nil
+}
+
+// Plans lists deployed plans sorted by app name.
+func (o *Orchestrator) Plans() []*Plan {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	var out []*Plan
+	for _, app := range sortedKeys(o.plans) {
+		out = append(out, o.plans[app])
+	}
+	return out
+}
+
+// PlanFor returns the live plan of an app.
+func (o *Orchestrator) PlanFor(app string) (*Plan, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	p, ok := o.plans[app]
+	return p, ok
+}
+
+func sortedKeys(m map[string]*Plan) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// SLO is the per-app service-level objective driving the runtime loop.
+type SLO struct {
+	P95LatencyMs float64
+	// MaxFailureRate bounds failed/total requests.
+	MaxFailureRate float64
+}
+
+// AttachLoop wires a MAPE-K loop for a deployed app: Monitor reads the
+// runtime KPIs, the Planner requests reallocation on SLO violations, and
+// the Executor invokes the Manager's Replan — the sensing → evaluation →
+// decision → reconfiguration cycle of §IV.
+func (o *Orchestrator) AttachLoop(app string, slo SLO) (*mapek.Loop, error) {
+	o.mu.Lock()
+	_, ok := o.plans[app]
+	o.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("mirto: app %q not deployed", app)
+	}
+	// The failure-rate KPI is windowed: each monitoring pass senses only
+	// the traffic since the previous pass, so one historical incident
+	// does not trigger reallocation forever.
+	var lastOK, lastFailed int64
+	monitor := func() []mapek.KPI {
+		k, ok := o.R.KPIs(app)
+		if !ok {
+			return nil
+		}
+		var kpis []mapek.KPI
+		if slo.P95LatencyMs > 0 && k.LatencyMs.Count > 0 {
+			kpis = append(kpis, mapek.KPI{
+				Name: "p95_latency_ms", Value: k.LatencyMs.P95, Target: slo.P95LatencyMs,
+			})
+		}
+		if slo.MaxFailureRate > 0 {
+			dOK := k.Requests - lastOK
+			dFail := k.Failed - lastFailed
+			lastOK, lastFailed = k.Requests, k.Failed
+			rate := 0.0
+			if total := dOK + dFail; total > 0 {
+				rate = float64(dFail) / float64(total)
+			}
+			kpis = append(kpis, mapek.KPI{
+				Name: "failure_rate", Value: rate, Target: slo.MaxFailureRate,
+			})
+		}
+		return kpis
+	}
+	// Escalation policy ([29][30]-style): a pure latency violation is
+	// first answered by switching the placed devices to their fastest
+	// operating points and DVFS levels (cheap reconfiguration); only if
+	// that was already tried — or requests are failing — does the loop
+	// reallocate.
+	planner := func(violations []mapek.Violation, k *mapek.Knowledge) []mapek.Action {
+		if len(violations) == 0 {
+			return nil
+		}
+		failing := false
+		for _, v := range violations {
+			if v.KPI.Name == "failure_rate" {
+				failing = true
+			}
+		}
+		boosted := k.GetFloat("boosted/"+app, 0) > 0
+		if !failing && !boosted {
+			k.Put("boosted/"+app, 1.0)
+			return []mapek.Action{{Kind: "boost", Target: app}}
+		}
+		return []mapek.Action{{Kind: "replan", Target: app}}
+	}
+	executor := func(a mapek.Action) error {
+		switch a.Kind {
+		case "boost":
+			return o.boost(a.Target)
+		case "replan":
+			return o.replan(a.Target)
+		default:
+			return fmt.Errorf("mirto: unknown action %q", a.Kind)
+		}
+	}
+	loop, err := mapek.NewLoop("mirto/"+app, monitor, planner, executor)
+	if err != nil {
+		return nil, err
+	}
+	o.mu.Lock()
+	o.loops[app] = loop
+	o.mu.Unlock()
+	return loop, nil
+}
+
+// replan reallocates an app with fresh system state and rebinds the
+// runtime to the new plan.
+func (o *Orchestrator) replan(app string) error {
+	o.mu.Lock()
+	plan, ok := o.plans[app]
+	o.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("mirto: app %q not deployed", app)
+	}
+	np, err := o.M.Replan(plan)
+	if err != nil {
+		return err
+	}
+	o.mu.Lock()
+	o.plans[app] = np
+	o.mu.Unlock()
+	o.R.Register(np)
+	return nil
+}
+
+// boost is the Node Manager's runtime reconfiguration: every device
+// hosting the app switches to its fastest DVFS level and its loaded
+// accelerators to their fastest operating point — trading energy for
+// latency without moving any workload.
+func (o *Orchestrator) boost(app string) error {
+	o.mu.Lock()
+	plan, ok := o.plans[app]
+	o.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("mirto: app %q not deployed", app)
+	}
+	for _, a := range plan.Assignments {
+		d := o.M.C.Devices[a.Device]
+		if d == nil {
+			continue
+		}
+		if n := len(d.Spec().DVFSLevels); n > 0 {
+			d.SetDVFS(n - 1) //nolint:errcheck
+		}
+		if fab := d.Fabric(); fab != nil {
+			kernel := plan.Template.Nodes[a.TemplateNode].PropString("kernel", "")
+			if kernel == "" {
+				continue
+			}
+			if idx := fab.FindLoaded(kernel); idx >= 0 {
+				if bss := o.M.C.Bitstreams.ForKernel(kernel); len(bss) > 0 && len(bss[0].Points) > 0 {
+					fab.SetOperatingPoint(idx, bss[0].Points[0].Name) //nolint:errcheck
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Loop returns the attached loop for an app.
+func (o *Orchestrator) Loop(app string) (*mapek.Loop, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	l, ok := o.loops[app]
+	return l, ok
+}

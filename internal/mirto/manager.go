@@ -1,0 +1,523 @@
+// Package mirto implements the MIRTO Cognitive Engine — MYRTUS technical
+// pillar 2 and the core contribution of the paper. It provides, per
+// Fig. 3:
+//
+//   - the MIRTO Agent: an API daemon exposing a REST-like interface that
+//     accepts orchestration requests as TOSCA object models, with an
+//     authentication module and a TOSCA validation processor (agent.go);
+//   - the MIRTO Manager unifying the four optimization drivers —
+//     Workload, Node, Network, and Privacy & Security management
+//     (manager.go);
+//   - proxies to the Knowledge Base and to the Liqo/Kubernetes deployment
+//     mechanism (the continuum clusters);
+//   - the runtime MAPE-K orchestration loop for continuous optimization
+//     (loop.go) and the request execution engine measuring the KPIs the
+//     loop senses (runtime.go).
+package mirto
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"myrtus/internal/cluster"
+	"myrtus/internal/continuum"
+	"myrtus/internal/sim"
+	"myrtus/internal/tosca"
+)
+
+// Goal weighs the four optimization drivers when scoring placements.
+type Goal struct {
+	WLatency float64 // optimal workload execution
+	WEnergy  float64 // optimal node configuration
+	WNetwork float64 // optimal network usage
+	// TrustThreshold is the minimum component reputation the Privacy &
+	// Security Manager accepts.
+	TrustThreshold float64
+}
+
+// BalancedGoal returns equal latency/energy/network weights with a
+// permissive trust threshold.
+func BalancedGoal() Goal {
+	return Goal{WLatency: 1, WEnergy: 1, WNetwork: 1, TrustThreshold: 0.25}
+}
+
+// LatencyGoal prioritizes end-to-end latency.
+func LatencyGoal() Goal {
+	return Goal{WLatency: 3, WEnergy: 0.5, WNetwork: 1.5, TrustThreshold: 0.25}
+}
+
+// EnergyGoal prioritizes energy efficiency.
+func EnergyGoal() Goal {
+	return Goal{WLatency: 0.5, WEnergy: 3, WNetwork: 0.5, TrustThreshold: 0.25}
+}
+
+// Offer is one candidate hosting proposal returned by a layer agent
+// during inter-agent negotiation.
+type Offer struct {
+	Device  string
+	Layer   string
+	Cluster *cluster.Cluster
+	FreeCPU float64
+	FreeMem float64
+	// EffGOPS is the effective compute rate for the workload's kernel on
+	// this device (accelerators included).
+	EffGOPS float64
+	// PowerPerCore is the marginal active power per core.
+	PowerPerCore float64
+	// QueueDelay is the device's current backlog.
+	QueueDelay sim.Time
+}
+
+// LayerAgent is the layer-/component-specific MIRTO agent of §III: it
+// owns one layer's devices and answers capacity negotiations from peers.
+type LayerAgent struct {
+	Layer string
+	c     *continuum.Continuum
+	cl    *cluster.Cluster
+
+	// NegotiationCount tallies inter-agent requests (observability).
+	NegotiationCount int
+}
+
+// NewLayerAgent builds the agent for one layer cluster.
+func NewLayerAgent(c *continuum.Continuum, cl *cluster.Cluster, layer string) *LayerAgent {
+	return &LayerAgent{Layer: layer, c: c, cl: cl}
+}
+
+// Offers answers a negotiation: candidate devices in this layer able to
+// host a workload with the given requests, kernel, and security level.
+func (a *LayerAgent) Offers(req cluster.Resources, kernel, secLevel string) []Offer {
+	a.NegotiationCount++
+	var out []Offer
+	freeAll := a.cl.FreeAll()
+	for _, n := range a.cl.Nodes() {
+		if !n.Ready || n.Virtual {
+			continue
+		}
+		d, ok := a.c.Devices[n.Name]
+		if !ok || d.Failed() {
+			continue
+		}
+		if secLevel != "" && !d.SupportsSecurity(secLevel) {
+			continue
+		}
+		free := freeAll[n.Name]
+		if !req.Fits(free) {
+			continue
+		}
+		spec := d.Spec()
+		eff := spec.GOPSPerCore
+		if s, ok := spec.CustomUnits[kernel]; ok && s > 1 {
+			eff *= s
+		}
+		if kernel != "" && spec.Fabric != nil && len(a.c.Bitstreams.ForKernel(kernel)) > 0 {
+			// A loadable bitstream makes the fabric the execution engine;
+			// approximate its effective rate from the fastest point.
+			bs := a.c.Bitstreams.ForKernel(kernel)[0]
+			perItem := bs.Points[0].LatencyPerItem.Seconds()
+			if perItem > 0 {
+				eff = math.Max(eff, 1.0/perItem) // items/s as pseudo-GOPS
+			}
+		}
+		out = append(out, Offer{
+			Device: n.Name, Layer: a.Layer, Cluster: a.cl,
+			FreeCPU: free.CPU, FreeMem: free.MemMB,
+			EffGOPS:      eff,
+			PowerPerCore: (spec.MaxPowerW - spec.IdlePowerW) / float64(spec.Cores),
+			QueueDelay:   d.QueueDelay(a.c.Engine.Now()),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Device < out[j].Device })
+	return out
+}
+
+// Assignment is one template-node → device decision.
+type Assignment struct {
+	TemplateNode string
+	Device       string
+	Layer        string
+	Cluster      *cluster.Cluster
+	PodName      string
+	SecurityLvl  string
+}
+
+// Plan is the output of deployment-time orchestration.
+type Plan struct {
+	App         string
+	Template    *tosca.ServiceTemplate
+	Assignments []Assignment
+	// Score is the planner's objective value (lower is better).
+	Score float64
+	// Negotiations counts inter-agent capacity exchanges.
+	Negotiations int
+}
+
+// Assignment returns the assignment for a template node.
+func (p *Plan) Assignment(node string) (Assignment, bool) {
+	for _, a := range p.Assignments {
+		if a.TemplateNode == node {
+			return a, true
+		}
+	}
+	return Assignment{}, false
+}
+
+// Manager is the MIRTO Manager: the cognitive block unifying the four
+// drivers. It decides; the deployment proxy (continuum clusters) obeys.
+type Manager struct {
+	C     *continuum.Continuum
+	Goal  Goal
+	Edge  *LayerAgent
+	Fog   *LayerAgent
+	Cloud *LayerAgent
+
+	// routeMu guards routeLat, a memo of pairwise route latencies
+	// (seconds; negative = unreachable). The physical topology is static
+	// for the life of a continuum, so entries never invalidate; call
+	// FlushRouteCache after editing the topology in tests.
+	routeMu  sync.Mutex
+	routeLat map[string]float64
+}
+
+// NewManager wires a manager over a built continuum.
+func NewManager(c *continuum.Continuum, goal Goal) *Manager {
+	return &Manager{
+		C:     c,
+		Goal:  goal,
+		Edge:  NewLayerAgent(c, c.Edge, "edge"),
+		Fog:   NewLayerAgent(c, c.Fog, "fog"),
+		Cloud: NewLayerAgent(c, c.Cloud, "cloud"),
+	}
+}
+
+func (m *Manager) agents() []*LayerAgent { return []*LayerAgent{m.Edge, m.Fog, m.Cloud} }
+
+// Plan runs deployment-time orchestration for a validated template:
+// for every node template (in dependency order) the WL Manager gathers
+// offers from the layer agents, the Privacy & Security Manager filters
+// them, and the scoring blends the four drivers. The plan is not yet
+// applied — Execute does that through the deployment proxy.
+func (m *Manager) Plan(st *tosca.ServiceTemplate) (*Plan, error) {
+	if err := tosca.Validate(st); err != nil {
+		return nil, err
+	}
+	plan := &Plan{App: appName(st), Template: st}
+	// reserved tracks resources this plan will consume per device, so
+	// multi-component apps don't over-commit a node they already chose.
+	reserved := map[string]cluster.Resources{}
+	placedAt := map[string]string{} // template node → device
+
+	for _, nodeName := range topoOrder(st) {
+		nt := st.Nodes[nodeName]
+		// Image admission (§VI Container Image Registry): a component
+		// referencing an image must resolve to a pullable, non-quarantined
+		// version before any placement happens.
+		if img := nt.PropString("image", ""); img != "" && m.C.Images != nil {
+			name, tag := splitImageRef(img)
+			if _, err := m.C.Images.Resolve(name, tag); err != nil {
+				return nil, fmt.Errorf("mirto: admission of %q failed: %w", nodeName, err)
+			}
+		}
+		req := cluster.Resources{
+			CPU:   nt.PropFloat("cpu", 0.5),
+			MemMB: nt.PropFloat("memoryMB", 128),
+		}
+		kernel := nt.PropString("kernel", "")
+		secLevel := st.SecurityLevelFor(nodeName)
+		layerWant := placementLayer(st, nodeName)
+
+		// 1. Negotiation: collect offers across layers.
+		var offers []Offer
+		for _, ag := range m.agents() {
+			if layerWant != "" && ag.Layer != layerWant {
+				continue
+			}
+			for _, o := range ag.Offers(req, kernel, secLevel) {
+				r := reserved[o.Device]
+				if !req.Fits(cluster.Resources{CPU: o.FreeCPU - r.CPU, MemMB: o.FreeMem - r.MemMB}) {
+					continue
+				}
+				offers = append(offers, o)
+			}
+			plan.Negotiations++
+		}
+		// Sensor-attached components may pin themselves to the device the
+		// data originates at ("device" property).
+		if pin := nt.PropString("device", ""); pin != "" {
+			var pinned []Offer
+			for _, o := range offers {
+				if o.Device == pin {
+					pinned = append(pinned, o)
+				}
+			}
+			offers = pinned
+		}
+		// 2. Privacy & Security Manager: trust filter.
+		offers = m.filterTrusted(offers)
+		if len(offers) == 0 {
+			return nil, fmt.Errorf("mirto: no feasible component for %q (layer=%q security=%q cpu=%.1f)",
+				nodeName, layerWant, secLevel, req.CPU)
+		}
+		// 3. Score: latency + energy + network drivers.
+		best, bestScore := offers[0], math.Inf(1)
+		gops := nt.PropFloat("gops", 1)
+		for _, o := range offers {
+			s := m.score(o, st, nodeName, gops, placedAt)
+			if s < bestScore {
+				best, bestScore = o, s
+			}
+		}
+		plan.Score += bestScore
+		placedAt[nodeName] = best.Device
+		r := reserved[best.Device]
+		reserved[best.Device] = r.Add(req)
+		plan.Assignments = append(plan.Assignments, Assignment{
+			TemplateNode: nodeName,
+			Device:       best.Device,
+			Layer:        best.Layer,
+			Cluster:      best.Cluster,
+			SecurityLvl:  secLevel,
+		})
+	}
+	return plan, nil
+}
+
+// score blends the four drivers for one offer.
+func (m *Manager) score(o Offer, st *tosca.ServiceTemplate, node string, gops float64, placedAt map[string]string) float64 {
+	// Workload driver: estimated compute latency incl. backlog.
+	compute := gops/o.EffGOPS + o.QueueDelay.Seconds()
+	// Network driver: route latency from already-placed upstreams.
+	netCost := 0.0
+	for _, r := range st.Nodes[node].Requirements {
+		up, ok := placedAt[r.Target]
+		if !ok || up == o.Device {
+			continue
+		}
+		if lat := m.routeSeconds(up, o.Device); lat >= 0 {
+			netCost += lat
+		} else {
+			netCost += 1 // unreachable upstream is very expensive
+		}
+	}
+	// Node/energy driver: marginal joules for the work.
+	energy := o.PowerPerCore * (gops / o.EffGOPS)
+	s := m.Goal.WLatency*compute + m.Goal.WNetwork*netCost + m.Goal.WEnergy*energy/10
+	// Data-management driver: DataStore components hold medium/long-term
+	// state; edge devices only offer "local storage in main memory"
+	// (§III Data Management), so the edge is heavily discouraged and the
+	// fog — the designated edge–cloud bridge for analytics — preferred.
+	if st.Nodes[node].Type == tosca.TypeDataStore {
+		switch o.Layer {
+		case "edge":
+			s += 5
+		case "fog":
+			s -= 0.01
+		}
+	}
+	return s
+}
+
+// routeSeconds returns the memoized route latency (negative when
+// unreachable).
+func (m *Manager) routeSeconds(from, to string) float64 {
+	key := from + "\x00" + to
+	m.routeMu.Lock()
+	if m.routeLat == nil {
+		m.routeLat = map[string]float64{}
+	}
+	if v, ok := m.routeLat[key]; ok {
+		m.routeMu.Unlock()
+		return v
+	}
+	m.routeMu.Unlock()
+	v := -1.0
+	if _, lat, err := m.C.Topo.Route(from, to); err == nil {
+		v = lat.Seconds()
+	}
+	m.routeMu.Lock()
+	m.routeLat[key] = v
+	m.routeMu.Unlock()
+	return v
+}
+
+// FlushRouteCache clears the memoized route latencies (needed only when
+// the topology is edited mid-run).
+func (m *Manager) FlushRouteCache() {
+	m.routeMu.Lock()
+	m.routeLat = nil
+	m.routeMu.Unlock()
+}
+
+func (m *Manager) filterTrusted(offers []Offer) []Offer {
+	if m.Goal.TrustThreshold <= 0 {
+		return offers
+	}
+	var out []Offer
+	for _, o := range offers {
+		if m.C.Trust.Reputation(o.Device) >= m.Goal.TrustThreshold {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Execute applies a plan through the deployment proxy: pods are created
+// in each assignment's layer cluster and bound to the chosen device; the
+// Node Manager then configures accelerators and operating points.
+func (m *Manager) Execute(plan *Plan) error {
+	for i := range plan.Assignments {
+		a := &plan.Assignments[i]
+		nt := plan.Template.Nodes[a.TemplateNode]
+		spec := cluster.PodSpec{
+			App:           plan.App + "-" + a.TemplateNode,
+			Requests:      cluster.Resources{CPU: nt.PropFloat("cpu", 0.5), MemMB: nt.PropFloat("memoryMB", 128)},
+			SecurityLevel: a.SecurityLvl,
+			Kernel:        nt.PropString("kernel", ""),
+			Labels:        map[string]string{"myrtus/app": plan.App, "myrtus/component": a.TemplateNode},
+		}
+		name, err := a.Cluster.CreatePod(spec)
+		if err != nil {
+			return fmt.Errorf("mirto: creating pod for %s: %w", a.TemplateNode, err)
+		}
+		if err := a.Cluster.Bind(name, a.Device); err != nil {
+			a.Cluster.DeletePod(name)
+			return fmt.Errorf("mirto: binding %s to %s: %w", name, a.Device, err)
+		}
+		a.PodName = name
+	}
+	return m.configureNodes(plan)
+}
+
+// configureNodes is the Node Manager: it loads bitstreams for
+// accelerated kernels on FPGA devices and selects operating points /
+// DVFS levels according to the goal.
+func (m *Manager) configureNodes(plan *Plan) error {
+	ecoBias := m.Goal.WEnergy > m.Goal.WLatency
+	for _, a := range plan.Assignments {
+		nt := plan.Template.Nodes[a.TemplateNode]
+		kernel := nt.PropString("kernel", "")
+		d := m.C.Devices[a.Device]
+		if d == nil {
+			continue
+		}
+		if fab := d.Fabric(); fab != nil && kernel != "" {
+			if fab.FindLoaded(kernel) < 0 {
+				if bss := m.C.Bitstreams.ForKernel(kernel); len(bss) > 0 {
+					// Load into the first region that fits.
+					for r := 0; r < fab.Regions(); r++ {
+						if _, err := fab.Load(r, bss[0], m.C.Engine.Now()); err == nil {
+							break
+						}
+					}
+				}
+			}
+			if idx := fab.FindLoaded(kernel); idx >= 0 {
+				point := "fast"
+				if ecoBias {
+					point = lastPointName(m.C, kernel)
+				}
+				fab.SetOperatingPoint(idx, point) //nolint:errcheck
+			}
+		}
+		// DVFS: energy goal parks unconstrained devices at a lower level.
+		if ecoBias && len(d.Spec().DVFSLevels) > 1 {
+			d.SetDVFS(len(d.Spec().DVFSLevels) - 2) //nolint:errcheck
+		}
+	}
+	return nil
+}
+
+func lastPointName(c *continuum.Continuum, kernel string) string {
+	bss := c.Bitstreams.ForKernel(kernel)
+	if len(bss) == 0 || len(bss[0].Points) == 0 {
+		return "fast"
+	}
+	return bss[0].Points[len(bss[0].Points)-1].Name
+}
+
+// Teardown removes a plan's pods.
+func (m *Manager) Teardown(plan *Plan) {
+	for _, a := range plan.Assignments {
+		if a.PodName != "" && a.Cluster != nil {
+			a.Cluster.DeletePod(a.PodName)
+		}
+	}
+}
+
+// Replan tears a plan down and re-plans with current system state —
+// the reallocation step of the MAPE-K loop. If no feasible new plan
+// exists, the old placement is restored (best effort) and the error
+// reported, so a transient infeasibility does not destroy the app.
+func (m *Manager) Replan(plan *Plan) (*Plan, error) {
+	m.Teardown(plan)
+	np, err := m.Plan(plan.Template)
+	if err == nil {
+		if execErr := m.Execute(np); execErr == nil {
+			return np, nil
+		} else {
+			err = execErr
+		}
+	}
+	// Restore: re-execute the old assignments where devices still live.
+	restored := &Plan{App: plan.App, Template: plan.Template, Assignments: append([]Assignment(nil), plan.Assignments...)}
+	for i := range restored.Assignments {
+		restored.Assignments[i].PodName = ""
+	}
+	m.Execute(restored) //nolint:errcheck // best effort
+	return nil, err
+}
+
+// appName derives the application name from the template.
+func appName(st *tosca.ServiceTemplate) string {
+	if st.Name != "" {
+		return st.Name
+	}
+	return "app"
+}
+
+// topoOrder orders template nodes so requirements come before dependents.
+func topoOrder(st *tosca.ServiceTemplate) []string {
+	visited := map[string]bool{}
+	var out []string
+	var visit func(string)
+	visit = func(n string) {
+		if visited[n] {
+			return
+		}
+		visited[n] = true
+		for _, r := range st.Nodes[n].Requirements {
+			if _, ok := st.Nodes[r.Target]; ok {
+				visit(r.Target)
+			}
+		}
+		out = append(out, n)
+	}
+	for _, n := range st.NodeNames() {
+		visit(n)
+	}
+	return out
+}
+
+// splitImageRef splits "name:tag" ("latest" when untagged).
+func splitImageRef(ref string) (name, tag string) {
+	for i := len(ref) - 1; i >= 0; i-- {
+		if ref[i] == ':' {
+			return ref[:i], ref[i+1:]
+		}
+	}
+	return ref, "latest"
+}
+
+// placementLayer resolves a Placement policy targeting node, if any.
+func placementLayer(st *tosca.ServiceTemplate, node string) string {
+	for _, p := range st.PoliciesFor(node) {
+		if p.Type == tosca.PolicyPlacement {
+			if l, ok := p.Properties["layer"].(string); ok {
+				return l
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,168 @@
+package mirto
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"myrtus/internal/kb"
+	"myrtus/internal/sim"
+)
+
+// NetworkManager is the RL-flavored network driver the paper's §VI calls
+// out ("historical batch data needed to implement, for example, a
+// Reinforcement Learning-based strategy within the Network Manager"): a
+// tabular Q-learner that decides, per observed congestion regime,
+// whether an application's traffic should ride a reserved network slice
+// or best-effort. Rewards are negative latency minus a reservation cost,
+// so the policy converges to "slice only when congestion makes it pay".
+//
+// The learner's experience persists as historical batches in the KB
+// (PrefixHistory), exactly where the paper says such data lives.
+type NetworkManager struct {
+	Alpha   float64 // learning rate
+	Gamma   float64 // discount (0 = contextual bandit, our episodic use)
+	Epsilon float64 // exploration probability
+	// SliceCost is the per-request reward penalty of holding a
+	// reservation (encourages best-effort when the link is quiet).
+	SliceCost float64
+
+	q   map[string]map[string]float64
+	n   map[string]map[string]int
+	rng *sim.RNG
+}
+
+// Network actions.
+const (
+	ActionBestEffort = "best-effort"
+	ActionSlice      = "slice"
+)
+
+var netActions = []string{ActionBestEffort, ActionSlice}
+
+// NewNetworkManager returns a learner with standard hyper-parameters.
+func NewNetworkManager(seed uint64) *NetworkManager {
+	return &NetworkManager{
+		Alpha: 0.2, Gamma: 0, Epsilon: 0.1, SliceCost: 0.05,
+		q:   map[string]map[string]float64{},
+		n:   map[string]map[string]int{},
+		rng: sim.NewRNG(seed).Fork("rlnet"),
+	}
+}
+
+// CongestionState buckets a congestion signal (e.g. mean queue delay in
+// seconds) into the discrete state space.
+func CongestionState(queueDelaySeconds float64) string {
+	switch {
+	case queueDelaySeconds < 0.01:
+		return "quiet"
+	case queueDelaySeconds < 0.2:
+		return "busy"
+	default:
+		return "congested"
+	}
+}
+
+// Choose picks an action for the state (ε-greedy).
+func (nm *NetworkManager) Choose(state string) string {
+	if nm.rng.Bool(nm.Epsilon) {
+		return netActions[nm.rng.Intn(len(netActions))]
+	}
+	return nm.Best(state)
+}
+
+// Best returns the greedy action for the state.
+func (nm *NetworkManager) Best(state string) string {
+	qs := nm.q[state]
+	best := ActionBestEffort
+	bestQ := qs[ActionBestEffort]
+	for _, a := range netActions {
+		if qs[a] > bestQ {
+			best, bestQ = a, qs[a]
+		}
+	}
+	return best
+}
+
+// Observe records one outcome: the measured request latency (seconds)
+// for the action taken in state. Lower latency = higher reward.
+func (nm *NetworkManager) Observe(state, action string, latencySeconds float64) {
+	reward := -latencySeconds
+	if action == ActionSlice {
+		reward -= nm.SliceCost
+	}
+	if nm.q[state] == nil {
+		nm.q[state] = map[string]float64{}
+		nm.n[state] = map[string]int{}
+	}
+	old := nm.q[state][action]
+	nm.q[state][action] = old + nm.Alpha*(reward-old)
+	nm.n[state][action]++
+}
+
+// Q returns the learned value for (state, action).
+func (nm *NetworkManager) Q(state, action string) float64 { return nm.q[state][action] }
+
+// Visits returns how often (state, action) was trained.
+func (nm *NetworkManager) Visits(state, action string) int { return nm.n[state][action] }
+
+// Policy renders the greedy policy per visited state, sorted.
+func (nm *NetworkManager) Policy() map[string]string {
+	out := map[string]string{}
+	for s := range nm.q {
+		out[s] = nm.Best(s)
+	}
+	return out
+}
+
+// qSnapshot is the serialized learner state.
+type qSnapshot struct {
+	Q map[string]map[string]float64 `json:"q"`
+	N map[string]map[string]int     `json:"n"`
+}
+
+// Persist stores the learner's experience as a historical batch in the
+// KB under topic (seq distinguishes successive batches).
+func (nm *NetworkManager) Persist(reg *kb.Registry, topic string, seq int64) error {
+	return reg.RecordHistory(topic, seq, qSnapshot{Q: nm.q, N: nm.n})
+}
+
+// Restore loads the latest batch recorded under topic, if any.
+func (nm *NetworkManager) Restore(reg *kb.Registry, topic string) error {
+	batches := reg.History(topic)
+	if len(batches) == 0 {
+		return fmt.Errorf("mirto: no RL history under %q", topic)
+	}
+	var snap qSnapshot
+	if err := json.Unmarshal(batches[len(batches)-1], &snap); err != nil {
+		return fmt.Errorf("mirto: corrupt RL history: %w", err)
+	}
+	if snap.Q != nil {
+		nm.q = snap.Q
+	}
+	if snap.N != nil {
+		nm.n = snap.N
+	}
+	return nil
+}
+
+// Render prints the Q-table for reports.
+func (nm *NetworkManager) Render() string {
+	var states []string
+	for s := range nm.q {
+		states = append(states, s)
+	}
+	sort.Strings(states)
+	out := "network manager Q-table (greedy action starred):\n"
+	for _, s := range states {
+		best := nm.Best(s)
+		for _, a := range netActions {
+			star := " "
+			if a == best {
+				star = "*"
+			}
+			out += fmt.Sprintf("  %-10s %-12s%s Q=%+.4f (n=%d)\n", s, a, star, nm.q[s][a], nm.n[s][a])
+		}
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package mirto
+
+import (
+	"strings"
+	"testing"
+
+	"myrtus/internal/kb"
+	"myrtus/internal/network"
+	"myrtus/internal/sim"
+)
+
+func TestCongestionState(t *testing.T) {
+	if CongestionState(0.001) != "quiet" || CongestionState(0.05) != "busy" || CongestionState(1.0) != "congested" {
+		t.Fatal("bucketing wrong")
+	}
+}
+
+// trainOnLink runs episodes against a real fabric: under heavy background
+// load the sliced path is much faster; when quiet, best-effort wins by
+// the reservation cost. The learner must discover both.
+func trainOnLink(t *testing.T, nm *NetworkManager, episodes int) {
+	t.Helper()
+	for ep := 0; ep < episodes; ep++ {
+		congested := ep%2 == 0
+		eng := sim.NewEngine(uint64(ep))
+		topo := network.NewTopology(uint64(ep))
+		if err := topo.AddLink("a", "b", sim.Millisecond, 10e6, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := topo.DefineSlice("critical", 0.4, "a->b"); err != nil {
+			t.Fatal(err)
+		}
+		f := network.NewFabric(eng, topo)
+		background := 0
+		if congested {
+			background = 20
+		}
+		for i := 0; i < background; i++ {
+			f.Send("a", "b", 1_000_000, network.Options{}, nil) //nolint:errcheck
+		}
+		// Congestion signal: pending best-effort backlog.
+		state := CongestionState(float64(background) * 0.1)
+		action := nm.Choose(state)
+		slice := ""
+		if action == ActionSlice {
+			slice = "critical"
+		}
+		var lat sim.Time
+		f.Send("a", "b", 500_000, network.Options{Slice: slice}, func(error) { lat = eng.Now() }) //nolint:errcheck
+		eng.Run()
+		nm.Observe(state, action, lat.Seconds())
+	}
+}
+
+func TestNetworkManagerLearnsSlicingPolicy(t *testing.T) {
+	nm := NewNetworkManager(1)
+	trainOnLink(t, nm, 300)
+	policy := nm.Policy()
+	if policy["congested"] != ActionSlice {
+		t.Fatalf("policy under congestion = %q, want slice\n%s", policy["congested"], nm.Render())
+	}
+	if policy["quiet"] != ActionBestEffort {
+		t.Fatalf("policy when quiet = %q, want best-effort\n%s", policy["quiet"], nm.Render())
+	}
+	if nm.Visits("congested", ActionSlice) == 0 {
+		t.Fatal("no training visits recorded")
+	}
+	out := nm.Render()
+	if !strings.Contains(out, "congested") || !strings.Contains(out, "*") {
+		t.Fatalf("render = %q", out)
+	}
+}
+
+func TestNetworkManagerQUpdates(t *testing.T) {
+	nm := NewNetworkManager(2)
+	nm.Epsilon = 0
+	nm.Observe("busy", ActionSlice, 1.0) // terrible first outcome
+	q1 := nm.Q("busy", ActionSlice)
+	if q1 >= 0 {
+		t.Fatalf("Q after negative reward = %v", q1)
+	}
+	// Repeated better outcomes pull Q up.
+	for i := 0; i < 50; i++ {
+		nm.Observe("busy", ActionSlice, 0.01)
+	}
+	if nm.Q("busy", ActionSlice) <= q1 {
+		t.Fatal("Q did not improve with better outcomes")
+	}
+	// Unvisited state defaults to best-effort.
+	if nm.Best("never-seen") != ActionBestEffort {
+		t.Fatal("default action wrong")
+	}
+}
+
+func TestNetworkManagerPersistRestore(t *testing.T) {
+	reg := kb.NewRegistry(kb.NewStore())
+	nm := NewNetworkManager(3)
+	trainOnLink(t, nm, 100)
+	if err := nm.Persist(reg, "netmgr/q", 1); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh learner restores the learned policy from the KB history.
+	nm2 := NewNetworkManager(99)
+	if err := nm2.Restore(reg, "netmgr/q"); err != nil {
+		t.Fatal(err)
+	}
+	if nm2.Best("congested") != nm.Best("congested") {
+		t.Fatal("restored policy differs")
+	}
+	if nm2.Visits("congested", nm.Best("congested")) == 0 {
+		t.Fatal("visit counts not restored")
+	}
+	if err := nm2.Restore(reg, "ghost/topic"); err == nil {
+		t.Fatal("ghost restore accepted")
+	}
+	// Corrupt history detected.
+	reg.RecordHistory("bad/topic", 1, "not-a-snapshot") //nolint:errcheck
+	if err := nm2.Restore(reg, "bad/topic"); err == nil {
+		t.Fatal("corrupt restore accepted")
+	}
+}
+
+func TestNetworkManagerExploration(t *testing.T) {
+	nm := NewNetworkManager(4)
+	nm.Epsilon = 1 // always explore
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		seen[nm.Choose("s")] = true
+	}
+	if !seen[ActionSlice] || !seen[ActionBestEffort] {
+		t.Fatalf("exploration did not cover actions: %v", seen)
+	}
+}

@@ -1,0 +1,358 @@
+package mirto
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"myrtus/internal/device"
+	"myrtus/internal/network"
+	"myrtus/internal/sim"
+	"myrtus/internal/telemetry"
+)
+
+// Runtime executes application requests over a deployed plan on the
+// simulated data plane, producing the KPIs (end-to-end latency, energy)
+// that the MAPE-K loop senses. A request flows through the template DAG:
+// each component runs on its assigned device, and inter-component data
+// rides the network fabric with real queuing.
+type Runtime struct {
+	engine  *sim.Engine
+	fabric  *network.Fabric
+	devices map[string]*device.Device
+
+	mu      sync.Mutex
+	plans   map[string]*Plan
+	metrics map[string]*telemetry.Registry
+
+	ok     map[string]*telemetry.Counter
+	failed map[string]*telemetry.Counter
+}
+
+// NewRuntime builds a runtime over the manager's continuum.
+func NewRuntime(m *Manager) *Runtime {
+	return &Runtime{
+		engine:  m.C.Engine,
+		fabric:  m.C.Fabric,
+		devices: m.C.Devices,
+		plans:   map[string]*Plan{},
+		metrics: map[string]*telemetry.Registry{},
+		ok:      map[string]*telemetry.Counter{},
+		failed:  map[string]*telemetry.Counter{},
+	}
+}
+
+// Register makes an executed plan runnable.
+func (r *Runtime) Register(plan *Plan) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.plans[plan.App] = plan
+	if r.metrics[plan.App] == nil {
+		reg := telemetry.NewRegistry(plan.App)
+		r.metrics[plan.App] = reg
+		r.ok[plan.App] = reg.Counter(telemetry.Application, "requests_ok")
+		r.failed[plan.App] = reg.Counter(telemetry.Application, "requests_failed")
+	}
+}
+
+// Deregister removes an app.
+func (r *Runtime) Deregister(app string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.plans, app)
+}
+
+// Apps lists registered app names, sorted.
+func (r *Runtime) Apps() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.plans))
+	for a := range r.plans {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Plan returns the registered plan for app.
+func (r *Runtime) Plan(app string) (*Plan, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.plans[app]
+	return p, ok
+}
+
+// Metrics returns the app's telemetry registry.
+func (r *Runtime) Metrics(app string) (*telemetry.Registry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.metrics[app]
+	return m, ok
+}
+
+var errNoPlan = fmt.Errorf("mirto: app not registered")
+
+// Submit schedules one request through the app's pipeline starting at
+// the current virtual time. done (optional) fires in virtual time with
+// the end-to-end latency and energy. The caller drives the engine.
+func (r *Runtime) Submit(app string, items int64, done func(lat sim.Time, energy float64, err error)) error {
+	return r.SubmitFrom(app, "", items, done)
+}
+
+// SubmitFrom is Submit with an explicit ingress: the request's input data
+// (source stages' "inMB" property) physically originates at the ingress
+// device, so source stages placed elsewhere pay the transfer — this is
+// what makes edge placement of sensor-adjacent stages pay off.
+func (r *Runtime) SubmitFrom(app, ingress string, items int64, done func(lat sim.Time, energy float64, err error)) error {
+	r.mu.Lock()
+	plan := r.plans[app]
+	reg := r.metrics[app]
+	okC, failC := r.ok[app], r.failed[app]
+	r.mu.Unlock()
+	if plan == nil {
+		return errNoPlan
+	}
+	if items <= 0 {
+		items = 1
+	}
+	st := plan.Template
+	order := topoOrder(st)
+	consumers := map[string][]string{}
+	indeg := map[string]int{}
+	for _, n := range order {
+		indeg[n] = 0
+	}
+	for _, n := range order {
+		for _, req := range st.Nodes[n].Requirements {
+			consumers[req.Target] = append(consumers[req.Target], n)
+			indeg[n]++
+		}
+	}
+	start := r.engine.Now()
+	latHist := reg.Histogram(telemetry.Application, "latency_ms")
+	energyC := reg.Counter(telemetry.Application, "energy_joules")
+
+	type state struct {
+		arrived int
+		ready   sim.Time
+		failed  bool
+	}
+	states := map[string]*state{}
+	for _, n := range order {
+		states[n] = &state{}
+	}
+	totalEnergy := 0.0
+	sinks := 0
+	for _, n := range order {
+		if len(consumers[n]) == 0 {
+			sinks++
+		}
+	}
+	remainingSinks := sinks
+	var finishAll sim.Time
+	// finished guards the request's terminal state: a multi-branch
+	// request may hit several failures (or a failure plus surviving
+	// sinks), but done and the counters fire exactly once.
+	finished := false
+	failDone := func(err error) {
+		if finished {
+			return
+		}
+		finished = true
+		failC.Inc()
+		if done != nil {
+			done(0, 0, err)
+		}
+	}
+
+	var runStage func(n string)
+	runStage = func(n string) {
+		stv := states[n]
+		if stv.failed {
+			return
+		}
+		a, ok := plan.Assignment(n)
+		if !ok {
+			failDone(fmt.Errorf("mirto: stage %s unassigned", n))
+			return
+		}
+		dev := r.devices[a.Device]
+		if dev == nil || dev.Failed() {
+			failDone(fmt.Errorf("mirto: device %s down for stage %s", a.Device, n))
+			return
+		}
+		nt := st.Nodes[n]
+		at := stv.ready
+		if now := r.engine.Now(); at < now {
+			at = now
+		}
+		res, err := dev.Run(device.Work{
+			Name:   plan.App + "/" + n,
+			GOps:   nt.PropFloat("gops", 1),
+			Kernel: nt.PropString("kernel", ""),
+			Items:  items,
+		}, at)
+		if err != nil {
+			failDone(err)
+			return
+		}
+		totalEnergy += res.EnergyJoules
+		outMB := nt.PropFloat("outMB", 0.1)
+		if len(consumers[n]) == 0 {
+			// Sink stage: request complete when it finishes.
+			r.engine.At(res.Finish, func() {
+				if finished {
+					return
+				}
+				if res.Finish > finishAll {
+					finishAll = res.Finish
+				}
+				remainingSinks--
+				if remainingSinks == 0 {
+					finished = true
+					lat := finishAll - start
+					latHist.Observe(lat.Seconds() * 1e3)
+					energyC.Add(totalEnergy)
+					okC.Inc()
+					if done != nil {
+						done(lat, totalEnergy, nil)
+					}
+				}
+			})
+			return
+		}
+		for _, consumer := range consumers[n] {
+			consumer := consumer
+			ca, ok := plan.Assignment(consumer)
+			if !ok {
+				failDone(fmt.Errorf("mirto: consumer %s unassigned", consumer))
+				return
+			}
+			deliver := func(err error) {
+				if err != nil {
+					states[consumer].failed = true
+					failDone(fmt.Errorf("mirto: transfer %s->%s: %w", n, consumer, err))
+					return
+				}
+				cs := states[consumer]
+				if t := r.engine.Now(); t > cs.ready {
+					cs.ready = t
+				}
+				cs.arrived++
+				if cs.arrived == indeg[consumer] {
+					runStage(consumer)
+				}
+			}
+			if ca.Device == a.Device {
+				r.engine.At(res.Finish, func() { deliver(nil) })
+				continue
+			}
+			size := int64(outMB * 1e6)
+			r.engine.At(res.Finish, func() {
+				if err := r.fabric.Send(a.Device, ca.Device, size, network.Options{Retries: 3}, deliver); err != nil {
+					deliver(err)
+				}
+			})
+		}
+	}
+	for _, n := range order {
+		if indeg[n] != 0 {
+			continue
+		}
+		n := n
+		a, ok := plan.Assignment(n)
+		if !ok {
+			failDone(fmt.Errorf("mirto: stage %s unassigned", n))
+			continue
+		}
+		inMB := st.Nodes[n].PropFloat("inMB", 0)
+		if ingress == "" || ingress == a.Device || inMB <= 0 {
+			runStage(n)
+			continue
+		}
+		// Input data must travel from the ingress device first.
+		err := r.fabric.Send(ingress, a.Device, int64(inMB*1e6), network.Options{Retries: 3}, func(err error) {
+			if err != nil {
+				failDone(fmt.Errorf("mirto: ingress transfer to %s: %w", n, err))
+				return
+			}
+			states[n].ready = r.engine.Now()
+			runStage(n)
+		})
+		if err != nil {
+			failDone(err)
+		}
+	}
+	return nil
+}
+
+// ServeRequestFrom is the synchronous form of SubmitFrom.
+func (r *Runtime) ServeRequestFrom(app, ingress string, items int64) (sim.Time, float64, error) {
+	var lat sim.Time
+	var energy float64
+	var rerr error
+	doneFired := false
+	if err := r.SubmitFrom(app, ingress, items, func(l sim.Time, e float64, err error) {
+		lat, energy, rerr = l, e, err
+		doneFired = true
+	}); err != nil {
+		return 0, 0, err
+	}
+	r.engine.Run()
+	if !doneFired {
+		return 0, 0, fmt.Errorf("mirto: request to %s never completed", app)
+	}
+	return lat, energy, rerr
+}
+
+// ServeRequest submits a request and drives the simulation until it
+// completes, returning its latency and energy — the synchronous
+// convenience used by the examples.
+func (r *Runtime) ServeRequest(app string, items int64) (sim.Time, float64, error) {
+	var lat sim.Time
+	var energy float64
+	var rerr error
+	doneFired := false
+	if err := r.Submit(app, items, func(l sim.Time, e float64, err error) {
+		lat, energy, rerr = l, e, err
+		doneFired = true
+	}); err != nil {
+		return 0, 0, err
+	}
+	r.engine.Run()
+	if !doneFired {
+		return 0, 0, fmt.Errorf("mirto: request to %s never completed", app)
+	}
+	return lat, energy, rerr
+}
+
+// KPIs summarizes an app's recent performance.
+type KPIs struct {
+	App          string
+	Requests     int64
+	Failed       int64
+	LatencyMs    telemetry.Snapshot
+	EnergyJoules float64
+}
+
+// KPIs returns current indicators for an app.
+func (r *Runtime) KPIs(app string) (KPIs, bool) {
+	reg, ok := r.Metrics(app)
+	if !ok {
+		return KPIs{}, false
+	}
+	k := KPIs{App: app}
+	if s, ok := reg.Find("latency_ms"); ok {
+		k.LatencyMs = s.Hist
+	}
+	if s, ok := reg.Find("requests_ok"); ok {
+		k.Requests = int64(s.Value)
+	}
+	if s, ok := reg.Find("requests_failed"); ok {
+		k.Failed = int64(s.Value)
+	}
+	if s, ok := reg.Find("energy_joules"); ok {
+		k.EnergyJoules = s.Value
+	}
+	return k, true
+}

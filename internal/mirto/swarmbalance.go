@@ -1,0 +1,144 @@
+package mirto
+
+import (
+	"fmt"
+	"sort"
+
+	"myrtus/internal/cluster"
+	"myrtus/internal/swarm"
+)
+
+// Swarm-flavored MIRTO agent (§IV: "variants of MIRTO agents will be
+// developed using strategies based on swarm-like intelligence … different
+// flavors of MIRTO agents, capable of operating under different AI-based
+// algorithms"). SwarmRebalance runs the decentralized local rule over one
+// layer's devices and applies the resulting migrations through the
+// deployment proxy — workload balancing without any global optimizer.
+
+// SwarmRebalanceResult reports one rebalancing pass.
+type SwarmRebalanceResult struct {
+	Migrations int
+	Rounds     int
+	// MaxRelLoadBefore/After are CPU load / capacity extremes.
+	MaxRelLoadBefore float64
+	MaxRelLoadAfter  float64
+}
+
+// SwarmRebalance balances running pods across the physical nodes of cl
+// using the evolved local rule: each device observes only its ring
+// neighbors and sheds its smallest pod when overloaded. Migrations are
+// applied as evict+bind through the cluster (the Kubernetes role).
+func (m *Manager) SwarmRebalance(cl *cluster.Cluster, rule swarm.Rule, maxRounds int) (SwarmRebalanceResult, error) {
+	if err := rule.Validate(); err != nil {
+		return SwarmRebalanceResult{}, err
+	}
+	// Snapshot physical, ready nodes in deterministic order.
+	var nodeNames []string
+	capacity := map[string]float64{}
+	for _, n := range cl.Nodes() {
+		if n.Virtual || !n.Ready {
+			continue
+		}
+		nodeNames = append(nodeNames, n.Name)
+		capacity[n.Name] = n.Allocatable.CPU
+	}
+	sort.Strings(nodeNames)
+	if len(nodeNames) < 2 {
+		return SwarmRebalanceResult{}, fmt.Errorf("mirto: swarm rebalance needs at least two nodes")
+	}
+	// pods[node] = movable pods (no selector/pin constraints).
+	type podRef struct {
+		name string
+		cpu  float64
+		spec cluster.PodSpec
+	}
+	pods := map[string][]podRef{}
+	for _, name := range nodeNames {
+		for _, p := range cl.PodsOnNode(name) {
+			if len(p.Spec.NodeSelector) > 0 {
+				continue // constrained pods stay put
+			}
+			pods[name] = append(pods[name], podRef{name: p.Name, cpu: p.Spec.Requests.CPU, spec: p.Spec})
+		}
+	}
+	relLoad := func(n string) float64 {
+		load := 0.0
+		for _, p := range pods[n] {
+			load += p.cpu
+		}
+		return load / capacity[n]
+	}
+	maxRel := func() float64 {
+		best := 0.0
+		for _, n := range nodeNames {
+			if l := relLoad(n); l > best {
+				best = l
+			}
+		}
+		return best
+	}
+	res := SwarmRebalanceResult{MaxRelLoadBefore: maxRel()}
+
+	neighbor := func(i, d int) string {
+		return nodeNames[((i+d)%len(nodeNames)+len(nodeNames))%len(nodeNames)]
+	}
+	for round := 0; round < maxRounds; round++ {
+		res.Rounds = round + 1
+		type move struct {
+			from, to string
+			podIdx   int
+		}
+		var moves []move
+		for i, name := range nodeNames {
+			if relLoad(name) <= rule.OffloadThreshold || len(pods[name]) == 0 {
+				continue
+			}
+			// Least-loaded ring neighbor (2 hops each way, like NewRing k=2).
+			best, bestLoad := "", 10e9
+			for _, d := range []int{-2, -1, 1, 2} {
+				nb := neighbor(i, d)
+				if nb == name {
+					continue
+				}
+				if l := relLoad(nb); l < bestLoad {
+					best, bestLoad = nb, l
+				}
+			}
+			if best == "" || relLoad(name)-bestLoad < rule.Hysteresis {
+				continue
+			}
+			smallest := 0
+			for pi, p := range pods[name] {
+				if p.cpu < pods[name][smallest].cpu {
+					smallest = pi
+				}
+			}
+			// The target must actually fit the pod (feasibility check the
+			// abstract swarm model does not need, but the proxy does).
+			free, _ := cl.FreeOn(best)
+			if !pods[name][smallest].spec.Requests.Fits(free) {
+				continue
+			}
+			moves = append(moves, move{from: name, to: best, podIdx: smallest})
+		}
+		if len(moves) == 0 {
+			break
+		}
+		for _, mv := range moves {
+			p := pods[mv.from][mv.podIdx]
+			if err := cl.Evict(p.name); err != nil {
+				continue
+			}
+			if err := cl.Bind(p.name, mv.to); err != nil {
+				// Put it back where it was.
+				cl.Bind(p.name, mv.from) //nolint:errcheck
+				continue
+			}
+			pods[mv.from] = append(pods[mv.from][:mv.podIdx], pods[mv.from][mv.podIdx+1:]...)
+			pods[mv.to] = append(pods[mv.to], p)
+			res.Migrations++
+		}
+	}
+	res.MaxRelLoadAfter = maxRel()
+	return res, nil
+}

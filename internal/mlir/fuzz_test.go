@@ -1,0 +1,25 @@
+package mlir
+
+import "testing"
+
+// FuzzParse checks the IR parser never panics and that accepted modules
+// reach a print/parse fixed point.
+func FuzzParse(f *testing.F) {
+	f.Add("module @m {\n}\n")
+	f.Add("module @m {\n  %1 = base2.const {value = 2} : () -> (i8)\n}\n")
+	f.Add("module @m {\n  dfg.graph {\n  }\n}\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := Parse(src)
+		if err != nil {
+			return
+		}
+		text := m.String()
+		m2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("printed module does not re-parse: %v\n%s", err, text)
+		}
+		if m2.String() != text {
+			t.Fatal("print/parse not a fixed point")
+		}
+	})
+}

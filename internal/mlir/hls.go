@@ -1,0 +1,176 @@
+package mlir
+
+import (
+	"fmt"
+	"strings"
+
+	"myrtus/internal/dataflow"
+	"myrtus/internal/fpga"
+	"myrtus/internal/sim"
+)
+
+// The HLS estimation step (CIRCT-hls / Vitis-HLS role): turn a dfg.graph
+// into (a) an analyzable SDF graph and (b) an FPGA bitstream artifact
+// with operating points — the design-time metadata MIRTO exploits at
+// runtime ([29][30]).
+
+// HLSOptions tune the estimator.
+type HLSOptions struct {
+	// BaseClockMHz is the synthesis clock of the fastest point.
+	BaseClockMHz float64
+	// OpsPerCyclePerLane is the datapath width (fused MACs per cycle).
+	OpsPerCyclePerLane float64
+	// Parallelisms are the lane counts to emit as operating points,
+	// fastest (largest) first.
+	Parallelisms []int
+	// WattsPerAreaUnitGHz scales dynamic power with area × clock.
+	WattsPerAreaUnitGHz float64
+}
+
+// DefaultHLSOptions returns a 200 MHz, 2-ops/cycle/lane estimator with
+// fast/balanced/eco points.
+func DefaultHLSOptions() HLSOptions {
+	return HLSOptions{
+		BaseClockMHz:        200,
+		OpsPerCyclePerLane:  2,
+		Parallelisms:        []int{8, 4, 2},
+		WattsPerAreaUnitGHz: 2.5,
+	}
+}
+
+// HLSResult is the estimator output.
+type HLSResult struct {
+	Bitstream *fpga.Bitstream
+	Graph     *dataflow.Graph
+	TotalGOps float64
+	Report    string
+}
+
+// EstimateHLS synthesizes the first dfg.graph in mod.
+func EstimateHLS(mod *Module, opts HLSOptions) (*HLSResult, error) {
+	var graph *Op
+	mod.Walk(func(op *Op) {
+		if graph == nil && op.FullName() == "dfg.graph" {
+			graph = op
+		}
+	})
+	if graph == nil {
+		return nil, fmt.Errorf("mlir: module has no dfg.graph to synthesize")
+	}
+	if opts.BaseClockMHz <= 0 || opts.OpsPerCyclePerLane <= 0 || len(opts.Parallelisms) == 0 {
+		return nil, fmt.Errorf("mlir: invalid HLS options")
+	}
+
+	// Build the SDF graph from SSA structure.
+	g := dataflow.NewGraph(graph.AttrString("model", mod.Name))
+	totalGOps := 0.0
+	totalArea := int64(0)
+	valueActor := map[*Value]string{}
+	kernelName := ""
+	for _, op := range graph.Body.LiveOps() {
+		switch op.FullName() {
+		case "dfg.input":
+			if err := g.AddActor(dataflow.Actor{Name: "input", Kind: "src", Latency: 10 * sim.Microsecond, AreaUnits: 1}); err != nil {
+				return nil, err
+			}
+			valueActor[op.Results[0]] = "input"
+		case "dfg.node":
+			name := op.AttrString("layer", op.AttrString("kernel", "node"))
+			gops := op.AttrFloat("gops", 0)
+			area := op.AttrInt("area", 1)
+			totalGOps += gops
+			totalArea += area
+			// gops×1e9 ops at clock×1e6 Hz × ops/cycle → seconds; ×1e9 → ns.
+			lat := sim.Time(gops * 1e3 / (opts.BaseClockMHz * opts.OpsPerCyclePerLane) * 1e9)
+			if lat <= 0 {
+				lat = sim.Microsecond
+			}
+			if err := g.AddActor(dataflow.Actor{Name: name, Kind: "kernel", Latency: lat, AreaUnits: int(area)}); err != nil {
+				return nil, err
+			}
+			for _, in := range op.Operands {
+				src, ok := valueActor[in]
+				if !ok {
+					return nil, fmt.Errorf("mlir: dfg.node %q consumes a value with no actor", name)
+				}
+				if err := g.AddEdge(dataflow.Edge{Src: src, Dst: name, Produce: 1, Consume: 1}); err != nil {
+					return nil, err
+				}
+			}
+			valueActor[op.Results[0]] = name
+			if kernelName == "" {
+				kernelName = op.AttrString("kernel", name)
+			}
+		case "dfg.output":
+			if err := g.AddActor(dataflow.Actor{Name: "output", Kind: "sink", Latency: 10 * sim.Microsecond, AreaUnits: 1}); err != nil {
+				return nil, err
+			}
+			for _, in := range op.Operands {
+				src, ok := valueActor[in]
+				if !ok {
+					return nil, fmt.Errorf("mlir: dfg.output consumes a value with no actor")
+				}
+				if err := g.AddEdge(dataflow.Edge{Src: src, Dst: "output", Produce: 1, Consume: 1}); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if totalGOps == 0 {
+		return nil, fmt.Errorf("mlir: dfg.graph has no compute nodes")
+	}
+	analysis, err := g.Analyze()
+	if err != nil {
+		return nil, fmt.Errorf("mlir: synthesized graph unschedulable: %w", err)
+	}
+
+	// Operating points: parallelism scales throughput; clock scales with
+	// a modest derate at higher parallelism; power scales with
+	// area × lanes × clock.
+	bs := &fpga.Bitstream{
+		ID:           "bs-" + sanitize(g.Name),
+		Kernel:       kernelName,
+		AreaUnits:    int(totalArea),
+		ReconfigTime: sim.Time(totalArea) * sim.Millisecond / 2,
+	}
+	names := []string{"fast", "balanced", "eco", "eco2", "eco3"}
+	for i, par := range opts.Parallelisms {
+		clock := opts.BaseClockMHz * (1 - 0.05*float64(i))
+		perItemNs := totalGOps * 1e3 / (clock * opts.OpsPerCyclePerLane * float64(par)) * 1e9
+		power := opts.WattsPerAreaUnitGHz * float64(totalArea) * float64(par) / float64(opts.Parallelisms[0]) * clock / 1000
+		name := fmt.Sprintf("op%d", i)
+		if i < len(names) {
+			name = names[i]
+		}
+		bs.Points = append(bs.Points, fpga.OperatingPoint{
+			Name:           name,
+			ClockMHz:       clock,
+			Parallelism:    par,
+			LatencyPerItem: sim.Time(perItemNs),
+			PowerWatts:     power,
+		})
+	}
+	if err := bs.Validate(); err != nil {
+		return nil, fmt.Errorf("mlir: estimator produced invalid bitstream: %w", err)
+	}
+
+	var rep strings.Builder
+	fmt.Fprintf(&rep, "HLS estimate for %s\n", g.Name)
+	fmt.Fprintf(&rep, "  total compute: %.3f GOps, area: %d units\n", totalGOps, totalArea)
+	fmt.Fprintf(&rep, "  pipeline bottleneck: %s (period %v, %.1f iter/s)\n",
+		analysis.Bottleneck, analysis.IterationPeriod, analysis.ThroughputHz)
+	for _, p := range bs.Points {
+		fmt.Fprintf(&rep, "  point %-9s clock=%.0fMHz lanes=%d latency/item=%v power=%.2fW energy/item=%.4fJ\n",
+			p.Name, p.ClockMHz, p.Parallelism, p.LatencyPerItem, p.PowerWatts, p.EnergyPerItem())
+	}
+	return &HLSResult{Bitstream: bs, Graph: g, TotalGOps: totalGOps, Report: rep.String()}, nil
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '-' {
+			return r
+		}
+		return '-'
+	}, s)
+}

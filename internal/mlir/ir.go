@@ -1,0 +1,285 @@
+// Package mlir implements the miniature multi-level IR at the heart of
+// the MYRTUS DPE node-level step (§V): an SSA-based, dialect-extensible
+// IR in the image of MLIR, with a textual format, a verifier, rewrite
+// passes, the dialects the paper names (dfg for dataflow, base2 for
+// binary numeral types, cgra for coarse-grained reconfigurable arrays),
+// an ONNX-style model importer, and an HLS estimator that lowers dfg
+// graphs to FPGA bitstream artifacts with operating points.
+package mlir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Type is a textual IR type ("f32", "i32", "tensor<1x224x224xf32>",
+// "base2.fixed<8,4>", "none").
+type Type string
+
+// Value is one SSA value.
+type Value struct {
+	ID   int
+	Type Type
+	// def is the op producing this value (nil for block arguments).
+	def *Op
+	// uses counts consuming ops (maintained by the builder/passes).
+	uses int
+}
+
+// Op is one operation instance.
+type Op struct {
+	Dialect string
+	Name    string
+	// Operands are consumed SSA values.
+	Operands []*Value
+	// Results are produced SSA values.
+	Results []*Value
+	// Attrs are named constants (string, int64, float64, bool).
+	Attrs map[string]any
+	// Body is the optional nested region (single-block, like dfg.graph).
+	Body *Block
+
+	erased bool
+}
+
+// FullName returns "dialect.name".
+func (o *Op) FullName() string { return o.Dialect + "." + o.Name }
+
+// AttrString reads a string attribute with default.
+func (o *Op) AttrString(key, def string) string {
+	if v, ok := o.Attrs[key].(string); ok {
+		return v
+	}
+	return def
+}
+
+// AttrInt reads an integer attribute with default.
+func (o *Op) AttrInt(key string, def int64) int64 {
+	switch v := o.Attrs[key].(type) {
+	case int64:
+		return v
+	case float64:
+		return int64(v)
+	default:
+		return def
+	}
+}
+
+// AttrFloat reads a float attribute with default.
+func (o *Op) AttrFloat(key string, def float64) float64 {
+	switch v := o.Attrs[key].(type) {
+	case int64:
+		return float64(v)
+	case float64:
+		return v
+	default:
+		return def
+	}
+}
+
+// Block is a sequence of ops with optional arguments.
+type Block struct {
+	Args []*Value
+	Ops  []*Op
+}
+
+// LiveOps returns non-erased ops.
+func (b *Block) LiveOps() []*Op {
+	var out []*Op
+	for _, op := range b.Ops {
+		if !op.erased {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// Module is the IR root: one top-level block.
+type Module struct {
+	Name   string
+	Top    *Block
+	nextID int
+}
+
+// NewModule returns an empty module.
+func NewModule(name string) *Module {
+	return &Module{Name: name, Top: &Block{}}
+}
+
+// NewValue mints a fresh SSA value of the given type.
+func (m *Module) NewValue(t Type) *Value {
+	m.nextID++
+	return &Value{ID: m.nextID, Type: t}
+}
+
+// Builder appends ops to a block.
+type Builder struct {
+	mod   *Module
+	block *Block
+}
+
+// NewBuilder returns a builder appending to the module's top block.
+func NewBuilder(m *Module) *Builder { return &Builder{mod: m, block: m.Top} }
+
+// InBlock returns a builder appending to b.
+func (b *Builder) InBlock(blk *Block) *Builder { return &Builder{mod: b.mod, block: blk} }
+
+// Module returns the underlying module.
+func (b *Builder) Module() *Module { return b.mod }
+
+// Create appends an op producing results of the given types.
+func (b *Builder) Create(dialect, name string, operands []*Value, resultTypes []Type, attrs map[string]any) *Op {
+	op := &Op{Dialect: dialect, Name: name, Operands: operands, Attrs: attrs}
+	if op.Attrs == nil {
+		op.Attrs = map[string]any{}
+	}
+	for _, rt := range resultTypes {
+		v := b.mod.NewValue(rt)
+		v.def = op
+		op.Results = append(op.Results, v)
+	}
+	for _, o := range operands {
+		o.uses++
+	}
+	b.block.Ops = append(b.block.Ops, op)
+	return op
+}
+
+// CreateWithBody appends an op with a nested region.
+func (b *Builder) CreateWithBody(dialect, name string, attrs map[string]any) (*Op, *Builder) {
+	op := b.Create(dialect, name, nil, nil, attrs)
+	op.Body = &Block{}
+	return op, b.InBlock(op.Body)
+}
+
+// Erase marks op dead and releases its operand uses.
+func (op *Op) Erase() {
+	if op.erased {
+		return
+	}
+	op.erased = true
+	for _, o := range op.Operands {
+		o.uses--
+	}
+}
+
+// ReplaceAllUses rewires every use of old to new within the block tree.
+func (m *Module) ReplaceAllUses(old, new *Value) {
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		for _, op := range b.Ops {
+			if op.erased {
+				continue
+			}
+			for i, o := range op.Operands {
+				if o == old {
+					op.Operands[i] = new
+					old.uses--
+					new.uses++
+				}
+			}
+			if op.Body != nil {
+				walk(op.Body)
+			}
+		}
+	}
+	walk(m.Top)
+}
+
+// Walk visits every live op depth-first.
+func (m *Module) Walk(fn func(*Op)) {
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		for _, op := range b.Ops {
+			if op.erased {
+				continue
+			}
+			fn(op)
+			if op.Body != nil {
+				walk(op.Body)
+			}
+		}
+	}
+	walk(m.Top)
+}
+
+// OpCount returns the number of live ops.
+func (m *Module) OpCount() int {
+	n := 0
+	m.Walk(func(*Op) { n++ })
+	return n
+}
+
+// String prints the module in the textual format.
+func (m *Module) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "module @%s {\n", m.Name)
+	printBlock(&b, m.Top, 1)
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func printBlock(b *strings.Builder, blk *Block, depth int) {
+	indent := strings.Repeat("  ", depth)
+	for _, op := range blk.LiveOps() {
+		b.WriteString(indent)
+		if len(op.Results) > 0 {
+			var rs []string
+			for _, r := range op.Results {
+				rs = append(rs, fmt.Sprintf("%%%d", r.ID))
+			}
+			b.WriteString(strings.Join(rs, ", ") + " = ")
+		}
+		b.WriteString(op.FullName())
+		if len(op.Operands) > 0 {
+			var os []string
+			for _, o := range op.Operands {
+				os = append(os, fmt.Sprintf("%%%d", o.ID))
+			}
+			b.WriteString("(" + strings.Join(os, ", ") + ")")
+		}
+		if len(op.Attrs) > 0 {
+			var keys []string
+			for k := range op.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			var kvs []string
+			for _, k := range keys {
+				kvs = append(kvs, k+" = "+printAttr(op.Attrs[k]))
+			}
+			b.WriteString(" {" + strings.Join(kvs, ", ") + "}")
+		}
+		// Type signature.
+		var ins, outs []string
+		for _, o := range op.Operands {
+			ins = append(ins, string(o.Type))
+		}
+		for _, r := range op.Results {
+			outs = append(outs, string(r.Type))
+		}
+		fmt.Fprintf(b, " : (%s) -> (%s)", strings.Join(ins, ", "), strings.Join(outs, ", "))
+		if op.Body != nil {
+			b.WriteString(" {\n")
+			printBlock(b, op.Body, depth+1)
+			b.WriteString(indent + "}")
+		}
+		b.WriteString("\n")
+	}
+}
+
+func printAttr(v any) string {
+	switch x := v.(type) {
+	case string:
+		return fmt.Sprintf("%q", x)
+	case bool:
+		return fmt.Sprintf("%v", x)
+	case int64:
+		return fmt.Sprintf("%d", x)
+	case float64:
+		return fmt.Sprintf("%g", x)
+	default:
+		return fmt.Sprintf("%v", x)
+	}
+}

@@ -1,0 +1,471 @@
+package mlir
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func buildSimpleModule(t *testing.T) *Module {
+	t.Helper()
+	m := NewModule("test")
+	b := NewBuilder(m)
+	c1 := b.Create("base2", "const", nil, []Type{"base2.fixed<8,4>"}, map[string]any{"value": 2.0})
+	c2 := b.Create("base2", "const", nil, []Type{"base2.fixed<8,4>"}, map[string]any{"value": 3.0})
+	add := b.Create("base2", "add", []*Value{c1.Results[0], c2.Results[0]}, []Type{"base2.fixed<8,4>"}, nil)
+	b.Create("func", "return", []*Value{add.Results[0]}, nil, nil)
+	return m
+}
+
+func smallModel() *Model {
+	mdl := &Model{Name: "tiny-cnn"}
+	mdl.Conv("conv1", "", 32, 32, 3, 16, 3)
+	mdl.Relu("relu1", "conv1", 32*32*16)
+	mdl.MaxPool("pool1", "relu1", 32*32*16)
+	mdl.Conv("conv2", "pool1", 16, 16, 16, 32, 3)
+	mdl.Relu("relu2", "conv2", 16*16*32)
+	mdl.Gemm("fc", "relu2", 8192, 10)
+	return mdl
+}
+
+func TestBuilderAndPrint(t *testing.T) {
+	m := buildSimpleModule(t)
+	if m.OpCount() != 4 {
+		t.Fatalf("ops = %d", m.OpCount())
+	}
+	text := m.String()
+	for _, want := range []string{"module @test {", "base2.const", "value = 2", "base2.add", "func.return"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("print missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestVerifyGoodAndBad(t *testing.T) {
+	m := buildSimpleModule(t)
+	if err := Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	// Use-before-def: swap op order.
+	m2 := buildSimpleModule(t)
+	ops := m2.Top.Ops
+	ops[0], ops[2] = ops[2], ops[0]
+	if err := Verify(m2); err == nil {
+		t.Fatal("use-before-def accepted")
+	}
+	// dfg.node without kernel.
+	m3 := NewModule("bad")
+	NewBuilder(m3).Create("dfg", "node", nil, []Type{"tensor"}, map[string]any{"gops": 1.0})
+	if err := Verify(m3); err == nil {
+		t.Fatal("kernel-less dfg.node accepted")
+	}
+	// base2.add type mismatch.
+	m4 := NewModule("bad2")
+	b4 := NewBuilder(m4)
+	a := b4.Create("base2", "const", nil, []Type{"i8"}, map[string]any{"value": 1.0})
+	c := b4.Create("base2", "const", nil, []Type{"i16"}, map[string]any{"value": 1.0})
+	b4.Create("base2", "add", []*Value{a.Results[0], c.Results[0]}, []Type{"i8"}, nil)
+	if err := Verify(m4); err == nil {
+		t.Fatal("mixed-width base2.add accepted")
+	}
+	// cgra.place without pe.
+	m5 := NewModule("bad3")
+	NewBuilder(m5).Create("cgra", "place", nil, nil, nil)
+	if err := Verify(m5); err == nil {
+		t.Fatal("pe-less cgra.place accepted")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	m := buildSimpleModule(t)
+	text := m.String()
+	m2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, text)
+	}
+	if m2.Name != "test" || m2.OpCount() != 4 {
+		t.Fatalf("round trip: name=%q ops=%d", m2.Name, m2.OpCount())
+	}
+	if err := Verify(m2); err != nil {
+		t.Fatal(err)
+	}
+	// Second round-trip is a fixed point.
+	if m2.String() != text {
+		t.Fatalf("not a fixed point:\n%s\nvs\n%s", m2.String(), text)
+	}
+}
+
+func TestParseRoundTripWithRegions(t *testing.T) {
+	mdl := smallModel()
+	m := NewModule("cnn")
+	if _, err := Import(mdl, m); err != nil {
+		t.Fatal(err)
+	}
+	text := m.String()
+	m2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, text)
+	}
+	if m2.OpCount() != m.OpCount() {
+		t.Fatalf("ops %d vs %d", m2.OpCount(), m.OpCount())
+	}
+	if m2.String() != text {
+		t.Fatal("region round trip not a fixed point")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"not a module",
+		"module @x {\n", // unterminated
+		"module @x {\n%1 = foo(%9) : (i8) -> (i8)\n}",                                  // undefined operand
+		"module @x {\nfoo : () -> ()\n}",                                               // no dialect dot
+		"module @x {\n%1 = base2.const : () -> (i8)\n%1 = base2.const : () -> (i8)\n}", // redef
+		"module @x {\nbase2.const\n}",                                                  // no signature
+		"module @x {\n%1 = base2.const {v = @} : () -> (i8)\n}",                        // bad attr
+	}
+	for i, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestDCEPass(t *testing.T) {
+	m := NewModule("dce")
+	b := NewBuilder(m)
+	dead := b.Create("base2", "const", nil, []Type{"i8"}, map[string]any{"value": 9.0})
+	live := b.Create("base2", "const", nil, []Type{"i8"}, map[string]any{"value": 1.0})
+	b.Create("func", "return", []*Value{live.Results[0]}, nil, nil)
+	_ = dead
+	if err := NewDCEPass().Run(m); err != nil {
+		t.Fatal(err)
+	}
+	if m.OpCount() != 2 {
+		t.Fatalf("ops after DCE = %d", m.OpCount())
+	}
+}
+
+func TestCanonicalizeFoldsConstants(t *testing.T) {
+	m := buildSimpleModule(t)
+	pm := &PassManager{}
+	pm.AddPass(NewCanonicalizePass())
+	pm.AddPass(NewDCEPass())
+	if err := pm.Run(m); err != nil {
+		t.Fatal(err)
+	}
+	// add(2,3) → const 5; DCE removes the two source constants.
+	var folded *Op
+	m.Walk(func(op *Op) {
+		if op.FullName() == "base2.const" {
+			folded = op
+		}
+		if op.FullName() == "base2.add" {
+			t.Fatal("add survived folding")
+		}
+	})
+	if folded == nil || folded.AttrFloat("value", 0) != 5 {
+		t.Fatalf("folded = %+v", folded)
+	}
+	if m.OpCount() != 2 {
+		t.Fatalf("ops = %d", m.OpCount())
+	}
+	if len(pm.Trace) != 2 {
+		t.Fatalf("trace = %v", pm.Trace)
+	}
+}
+
+func TestCanonicalizeFoldProperty(t *testing.T) {
+	if err := quick.Check(func(a, b int8, mul bool) bool {
+		m := NewModule("p")
+		bd := NewBuilder(m)
+		c1 := bd.Create("base2", "const", nil, []Type{"i8"}, map[string]any{"value": float64(a)})
+		c2 := bd.Create("base2", "const", nil, []Type{"i8"}, map[string]any{"value": float64(b)})
+		name := "add"
+		want := float64(a) + float64(b)
+		if mul {
+			name = "mul"
+			want = float64(a) * float64(b)
+		}
+		op := bd.Create("base2", name, []*Value{c1.Results[0], c2.Results[0]}, []Type{"i8"}, nil)
+		bd.Create("func", "return", []*Value{op.Results[0]}, nil, nil)
+		pm := &PassManager{}
+		pm.AddPass(NewCanonicalizePass())
+		pm.AddPass(NewDCEPass())
+		if err := pm.Run(m); err != nil {
+			return false
+		}
+		got := -1e18
+		m.Walk(func(o *Op) {
+			if o.FullName() == "base2.const" {
+				got = o.AttrFloat("value", 0)
+			}
+		})
+		return got == want
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	if err := smallModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Model{Name: "b", Layers: []Layer{{Name: "x", Kernel: "k", GOps: 1, Inputs: []string{"ghost"}}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("dangling input accepted")
+	}
+	if err := (&Model{}).Validate(); err == nil {
+		t.Fatal("nameless model accepted")
+	}
+	if err := (&Model{Name: "m"}).Validate(); err == nil {
+		t.Fatal("empty model accepted")
+	}
+	dup := &Model{Name: "d", Layers: []Layer{
+		{Name: "x", Kernel: "k", GOps: 1}, {Name: "x", Kernel: "k", GOps: 1}}}
+	if err := dup.Validate(); err == nil {
+		t.Fatal("duplicate layer accepted")
+	}
+}
+
+func TestImportBuildsDFG(t *testing.T) {
+	m := NewModule("cnn")
+	graph, err := Import(smallModel(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	nodes := 0
+	for _, op := range graph.Body.LiveOps() {
+		if op.FullName() == "dfg.node" {
+			nodes++
+		}
+	}
+	if nodes != 6 {
+		t.Fatalf("dfg nodes = %d", nodes)
+	}
+}
+
+func TestFuseDFGPass(t *testing.T) {
+	m := NewModule("cnn")
+	if _, err := Import(smallModel(), m); err != nil {
+		t.Fatal(err)
+	}
+	before := m.OpCount()
+	fuse := NewFuseDFGPass()
+	pm := &PassManager{}
+	pm.AddPass(fuse)
+	if err := pm.Run(m); err != nil {
+		t.Fatal(err)
+	}
+	// relu1+pool1 fuse (both fusable, single-use chain); relu2 fuses into
+	// nothing downstream (fc not fusable) but pool1 absorbs relu1.
+	if fuse.Fused == 0 {
+		t.Fatal("nothing fused")
+	}
+	if m.OpCount() >= before {
+		t.Fatalf("op count did not shrink: %d → %d", before, m.OpCount())
+	}
+	fusedKernel := false
+	m.Walk(func(op *Op) {
+		if op.FullName() == "dfg.node" && strings.Contains(op.AttrString("kernel", ""), "+") {
+			fusedKernel = true
+		}
+	})
+	if !fusedKernel {
+		t.Fatal("no fused kernel name")
+	}
+}
+
+func TestLowerToCGRA(t *testing.T) {
+	m := NewModule("cnn")
+	if _, err := Import(smallModel(), m); err != nil {
+		t.Fatal(err)
+	}
+	lower := NewLowerToCGRAPass(4)
+	pm := &PassManager{}
+	pm.AddPass(lower)
+	if err := pm.Run(m); err != nil {
+		t.Fatal(err)
+	}
+	if len(lower.Placements) != 6 {
+		t.Fatalf("placements = %v", lower.Placements)
+	}
+	places := 0
+	m.Walk(func(op *Op) {
+		if op.FullName() == "cgra.place" {
+			places++
+			if pe := op.AttrInt("pe", -1); pe < 0 || pe >= 4 {
+				t.Fatalf("pe out of range: %d", pe)
+			}
+		}
+	})
+	if places != 6 {
+		t.Fatalf("cgra.place ops = %d", places)
+	}
+	if lower.Makespan(m) <= 0 {
+		t.Fatal("zero makespan")
+	}
+	// More PEs → no worse makespan.
+	m2 := NewModule("cnn2")
+	Import(smallModel(), m2) //nolint:errcheck
+	lower8 := NewLowerToCGRAPass(8)
+	if err := lower8.Run(m2); err != nil {
+		t.Fatal(err)
+	}
+	if lower8.Makespan(m2) > lower.Makespan(m)+1e-9 {
+		t.Fatalf("more PEs increased makespan: %v vs %v", lower8.Makespan(m2), lower.Makespan(m))
+	}
+	if err := NewLowerToCGRAPass(0).Run(NewModule("x")); err == nil {
+		t.Fatal("0 PEs accepted")
+	}
+}
+
+func TestEstimateHLS(t *testing.T) {
+	m := NewModule("cnn")
+	if _, err := Import(smallModel(), m); err != nil {
+		t.Fatal(err)
+	}
+	res, err := EstimateHLS(m, DefaultHLSOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bitstream.Kernel == "" || len(res.Bitstream.Points) != 3 {
+		t.Fatalf("bitstream = %+v", res.Bitstream)
+	}
+	// Operating points: fastest has lowest latency and highest power.
+	pts := res.Bitstream.Points
+	for i := 1; i < len(pts); i++ {
+		if pts[i].LatencyPerItem <= pts[i-1].LatencyPerItem {
+			t.Fatalf("latency not increasing across points: %v", pts)
+		}
+		if pts[i].PowerWatts >= pts[i-1].PowerWatts {
+			t.Fatalf("power not decreasing across points: %v", pts)
+		}
+	}
+	if _, err := res.Graph.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Report, "HLS estimate") {
+		t.Fatalf("report = %q", res.Report)
+	}
+	if res.TotalGOps <= 0 {
+		t.Fatal("no compute")
+	}
+}
+
+func TestEstimateHLSErrors(t *testing.T) {
+	if _, err := EstimateHLS(NewModule("empty"), DefaultHLSOptions()); err == nil {
+		t.Fatal("empty module synthesized")
+	}
+	m := NewModule("cnn")
+	Import(smallModel(), m) //nolint:errcheck
+	bad := DefaultHLSOptions()
+	bad.Parallelisms = nil
+	if _, err := EstimateHLS(m, bad); err == nil {
+		t.Fatal("bad options accepted")
+	}
+}
+
+func TestFullPipelineEndToEnd(t *testing.T) {
+	// import → fuse → cgra lower → hls estimate: the DPE node-level step.
+	m := NewModule("pipeline")
+	if _, err := Import(smallModel(), m); err != nil {
+		t.Fatal(err)
+	}
+	pm := &PassManager{}
+	pm.AddPass(NewCanonicalizePass())
+	pm.AddPass(NewFuseDFGPass())
+	pm.AddPass(NewDCEPass())
+	pm.AddPass(NewLowerToCGRAPass(4))
+	if err := pm.Run(m); err != nil {
+		t.Fatal(err)
+	}
+	res, err := EstimateHLS(m, DefaultHLSOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bitstream.AreaUnits <= 0 {
+		t.Fatal("no area")
+	}
+}
+
+func TestAttrAccessors(t *testing.T) {
+	op := &Op{Attrs: map[string]any{"s": "x", "i": int64(3), "f": 2.5}}
+	if op.AttrString("s", "") != "x" || op.AttrString("missing", "d") != "d" {
+		t.Fatal("AttrString")
+	}
+	if op.AttrInt("i", 0) != 3 || op.AttrInt("f", 0) != 2 || op.AttrInt("missing", 7) != 7 {
+		t.Fatal("AttrInt")
+	}
+	if op.AttrFloat("f", 0) != 2.5 || op.AttrFloat("i", 0) != 3 || op.AttrFloat("missing", 1) != 1 {
+		t.Fatal("AttrFloat")
+	}
+}
+
+func TestCanonicalizeIdentities(t *testing.T) {
+	build := func(opName string, constVal float64) *Module {
+		m := NewModule("id")
+		b := NewBuilder(m)
+		// An opaque (non-const) operand: result of an unfoldable op.
+		src := b.Create("base2", "load", nil, []Type{"i8"}, map[string]any{"addr": int64(0)})
+		cst := b.Create("base2", "const", nil, []Type{"i8"}, map[string]any{"value": constVal})
+		op := b.Create("base2", opName, []*Value{src.Results[0], cst.Results[0]}, []Type{"i8"}, nil)
+		b.Create("func", "return", []*Value{op.Results[0]}, nil, nil)
+		pm := &PassManager{}
+		pm.AddPass(NewCanonicalizePass())
+		pm.AddPass(NewDCEPass())
+		if err := pm.Run(m); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	// x + 0 → x: the add disappears, return consumes the load directly.
+	m := build("add", 0)
+	m.Walk(func(op *Op) {
+		if op.FullName() == "base2.add" {
+			t.Fatal("x+0 not folded")
+		}
+	})
+	// x · 1 → x.
+	m = build("mul", 1)
+	m.Walk(func(op *Op) {
+		if op.FullName() == "base2.mul" {
+			t.Fatal("x·1 not folded")
+		}
+	})
+	// x · 0 → 0: mul gone, a zero constant feeds return, load is dead.
+	m = build("mul", 0)
+	hasLoad := false
+	var zero *Op
+	m.Walk(func(op *Op) {
+		switch op.FullName() {
+		case "base2.mul":
+			t.Fatal("x·0 not folded")
+		case "base2.load":
+			hasLoad = true
+		case "base2.const":
+			zero = op
+		}
+	})
+	if hasLoad {
+		t.Fatal("dead load survived DCE")
+	}
+	if zero == nil || zero.AttrFloat("value", -1) != 0 {
+		t.Fatalf("zero constant missing: %+v", zero)
+	}
+	// x + 5 (non-identity) is left alone.
+	m = build("add", 5)
+	found := false
+	m.Walk(func(op *Op) {
+		if op.FullName() == "base2.add" {
+			found = true
+		}
+	})
+	if !found {
+		t.Fatal("non-identity add folded incorrectly")
+	}
+}

@@ -1,0 +1,130 @@
+package mlir
+
+import "fmt"
+
+// ONNX-style model import (the "ML models in ONNX format" entry path of
+// the DPE). A Model is a layer DAG with compute/area estimates; Import
+// lowers it to a dfg.graph in the IR, from where the normal pipeline
+// (fusion, CGRA lowering, HLS estimation) takes over — the ONNX-to-
+// hardware flow of [26].
+
+// Layer is one model operator.
+type Layer struct {
+	Name   string
+	Kernel string // operator class: "conv2d", "relu", "maxpool", "gemm", …
+	Inputs []string
+	GOps   float64 // compute per inference
+	Area   int64   // synthesized area units
+	// Fusable marks element-wise layers the fusion pass may merge.
+	Fusable bool
+}
+
+// Model is an ONNX-like inference graph.
+type Model struct {
+	Name   string
+	Layers []Layer
+}
+
+// Conv adds a 2-D convolution layer (HWC input, square kernel).
+func (m *Model) Conv(name, input string, h, w, cin, cout, k int) {
+	gops := 2 * float64(h) * float64(w) * float64(cin) * float64(cout) * float64(k*k) / 1e9
+	m.Layers = append(m.Layers, Layer{
+		Name: name, Kernel: "conv2d", Inputs: inputs(input),
+		GOps: gops, Area: int64(2 + k), Fusable: false,
+	})
+}
+
+// Relu adds an element-wise activation.
+func (m *Model) Relu(name, input string, elems int) {
+	m.Layers = append(m.Layers, Layer{
+		Name: name, Kernel: "relu", Inputs: inputs(input),
+		GOps: float64(elems) / 1e9, Area: 1, Fusable: true,
+	})
+}
+
+// MaxPool adds a pooling layer.
+func (m *Model) MaxPool(name, input string, elems int) {
+	m.Layers = append(m.Layers, Layer{
+		Name: name, Kernel: "maxpool", Inputs: inputs(input),
+		GOps: float64(elems) / 1e9, Area: 1, Fusable: true,
+	})
+}
+
+// Gemm adds a fully-connected layer.
+func (m *Model) Gemm(name, input string, in, out int) {
+	m.Layers = append(m.Layers, Layer{
+		Name: name, Kernel: "gemm", Inputs: inputs(input),
+		GOps: 2 * float64(in) * float64(out) / 1e9, Area: 4, Fusable: false,
+	})
+}
+
+func inputs(in string) []string {
+	if in == "" {
+		return nil
+	}
+	return []string{in}
+}
+
+// Validate checks layer references.
+func (m *Model) Validate() error {
+	if m.Name == "" {
+		return fmt.Errorf("mlir: model needs a name")
+	}
+	if len(m.Layers) == 0 {
+		return fmt.Errorf("mlir: model %s has no layers", m.Name)
+	}
+	seen := map[string]bool{}
+	for _, l := range m.Layers {
+		if l.Name == "" || l.Kernel == "" {
+			return fmt.Errorf("mlir: model %s has an unnamed layer", m.Name)
+		}
+		if seen[l.Name] {
+			return fmt.Errorf("mlir: model %s duplicates layer %q", m.Name, l.Name)
+		}
+		if l.GOps <= 0 {
+			return fmt.Errorf("mlir: layer %q needs positive gops", l.Name)
+		}
+		for _, in := range l.Inputs {
+			if !seen[in] {
+				return fmt.Errorf("mlir: layer %q input %q not yet defined (layers must be topological)", l.Name, in)
+			}
+		}
+		seen[l.Name] = true
+	}
+	return nil
+}
+
+// Import lowers the model into mod as a dfg.graph region containing one
+// dfg.input, one dfg.node per layer, and one dfg.output. It returns the
+// graph op.
+func Import(model *Model, mod *Module) (*Op, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	b := NewBuilder(mod)
+	graph, gb := b.CreateWithBody("dfg", "graph", map[string]any{"model": model.Name})
+	in := gb.Create("dfg", "input", nil, []Type{"tensor"}, map[string]any{"name": "input"})
+	values := map[string]*Value{}
+	var last *Value
+	for _, l := range model.Layers {
+		var operands []*Value
+		if len(l.Inputs) == 0 {
+			operands = []*Value{in.Results[0]}
+		} else {
+			for _, name := range l.Inputs {
+				operands = append(operands, values[name])
+			}
+		}
+		node := gb.Create("dfg", "node", operands, []Type{"tensor"}, map[string]any{
+			"kernel":  l.Kernel,
+			"layer":   l.Name,
+			"gops":    l.GOps,
+			"area":    l.Area,
+			"fusable": l.Fusable,
+		})
+		values[l.Name] = node.Results[0]
+		last = node.Results[0]
+	}
+	gb.Create("dfg", "output", []*Value{last}, nil, map[string]any{"name": "output"})
+	return graph, nil
+}

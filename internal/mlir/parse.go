@@ -1,0 +1,271 @@
+package mlir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads the textual format produced by Module.String, so modules
+// round-trip. It is line-oriented: one op per line, nested regions
+// between "{" and a line containing only "}".
+func Parse(src string) (*Module, error) {
+	var lines []string
+	for _, l := range strings.Split(src, "\n") {
+		t := strings.TrimSpace(l)
+		if t != "" && !strings.HasPrefix(t, "//") {
+			lines = append(lines, t)
+		}
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("mlir: empty module text")
+	}
+	head := lines[0]
+	if !strings.HasPrefix(head, "module @") || !strings.HasSuffix(head, "{") {
+		return nil, fmt.Errorf("mlir: expected 'module @name {', got %q", head)
+	}
+	name := strings.TrimSpace(strings.TrimSuffix(strings.TrimPrefix(head, "module @"), "{"))
+	if lines[len(lines)-1] != "}" {
+		return nil, fmt.Errorf("mlir: module not closed")
+	}
+	m := NewModule(name)
+	vals := map[int]*Value{}
+	p := &irParser{lines: lines, pos: 1, mod: m, vals: vals}
+	if err := p.parseBlock(m.Top); err != nil {
+		return nil, err
+	}
+	if p.pos != len(lines) {
+		return nil, fmt.Errorf("mlir: trailing content at line %d", p.pos)
+	}
+	return m, nil
+}
+
+type irParser struct {
+	lines []string
+	pos   int
+	mod   *Module
+	vals  map[int]*Value
+}
+
+// parseBlock consumes ops until the closing "}" (which it consumes too).
+func (p *irParser) parseBlock(blk *Block) error {
+	for p.pos < len(p.lines) {
+		line := p.lines[p.pos]
+		if line == "}" {
+			p.pos++
+			return nil
+		}
+		op, hasBody, err := p.parseOp(line)
+		if err != nil {
+			return fmt.Errorf("mlir: line %d: %w", p.pos+1, err)
+		}
+		p.pos++
+		if hasBody {
+			op.Body = &Block{}
+			if err := p.parseBlock(op.Body); err != nil {
+				return err
+			}
+		}
+		blk.Ops = append(blk.Ops, op)
+	}
+	return fmt.Errorf("mlir: unterminated block")
+}
+
+func (p *irParser) parseOp(line string) (*Op, bool, error) {
+	hasBody := false
+	if strings.HasSuffix(line, "{") {
+		hasBody = true
+		line = strings.TrimSpace(strings.TrimSuffix(line, "{"))
+	}
+	// Results.
+	var resultIDs []int
+	if eq := strings.Index(line, " = "); eq >= 0 && strings.HasPrefix(line, "%") {
+		for _, r := range strings.Split(line[:eq], ",") {
+			r = strings.TrimSpace(r)
+			id, err := parseValueRef(r)
+			if err != nil {
+				return nil, false, err
+			}
+			resultIDs = append(resultIDs, id)
+		}
+		line = line[eq+3:]
+	}
+	// Type signature " : (...) -> (...)" from the right.
+	sig := strings.LastIndex(line, " : ")
+	if sig < 0 {
+		return nil, false, fmt.Errorf("missing type signature in %q", line)
+	}
+	sigText := line[sig+3:]
+	line = line[:sig]
+	inTypes, outTypes, err := parseSignature(sigText)
+	if err != nil {
+		return nil, false, err
+	}
+	// Attributes "{...}".
+	attrs := map[string]any{}
+	if i := strings.Index(line, " {"); i >= 0 {
+		attrText := strings.TrimSpace(line[i+1:])
+		if !strings.HasPrefix(attrText, "{") || !strings.HasSuffix(attrText, "}") {
+			return nil, false, fmt.Errorf("malformed attributes in %q", line)
+		}
+		attrs, err = parseAttrs(attrText[1 : len(attrText)-1])
+		if err != nil {
+			return nil, false, err
+		}
+		line = strings.TrimSpace(line[:i])
+	}
+	// Operands "(...)".
+	var operandIDs []int
+	if i := strings.Index(line, "("); i >= 0 {
+		if !strings.HasSuffix(line, ")") {
+			return nil, false, fmt.Errorf("malformed operands in %q", line)
+		}
+		inner := line[i+1 : len(line)-1]
+		if strings.TrimSpace(inner) != "" {
+			for _, oref := range strings.Split(inner, ",") {
+				id, err := parseValueRef(strings.TrimSpace(oref))
+				if err != nil {
+					return nil, false, err
+				}
+				operandIDs = append(operandIDs, id)
+			}
+		}
+		line = line[:i]
+	}
+	full := strings.TrimSpace(line)
+	dot := strings.Index(full, ".")
+	if dot <= 0 || dot == len(full)-1 {
+		return nil, false, fmt.Errorf("op name %q is not dialect.name", full)
+	}
+	op := &Op{Dialect: full[:dot], Name: full[dot+1:], Attrs: attrs}
+	if len(operandIDs) != len(inTypes) {
+		return nil, false, fmt.Errorf("operand/type count mismatch (%d vs %d)", len(operandIDs), len(inTypes))
+	}
+	if len(resultIDs) != len(outTypes) {
+		return nil, false, fmt.Errorf("result/type count mismatch (%d vs %d)", len(resultIDs), len(outTypes))
+	}
+	for i, id := range operandIDs {
+		v, ok := p.vals[id]
+		if !ok {
+			return nil, false, fmt.Errorf("use of undefined value %%%d", id)
+		}
+		if v.Type != inTypes[i] {
+			return nil, false, fmt.Errorf("type mismatch on %%%d: %s vs %s", id, v.Type, inTypes[i])
+		}
+		v.uses++
+		op.Operands = append(op.Operands, v)
+	}
+	for i, id := range resultIDs {
+		if _, dup := p.vals[id]; dup {
+			return nil, false, fmt.Errorf("redefinition of %%%d", id)
+		}
+		v := &Value{ID: id, Type: outTypes[i], def: op}
+		p.vals[id] = v
+		op.Results = append(op.Results, v)
+		if id > p.mod.nextID {
+			p.mod.nextID = id
+		}
+	}
+	return op, hasBody, nil
+}
+
+func parseValueRef(s string) (int, error) {
+	if !strings.HasPrefix(s, "%") {
+		return 0, fmt.Errorf("bad value reference %q", s)
+	}
+	return strconv.Atoi(s[1:])
+}
+
+func parseSignature(s string) (ins, outs []Type, err error) {
+	parts := strings.Split(s, " -> ")
+	if len(parts) != 2 {
+		return nil, nil, fmt.Errorf("bad signature %q", s)
+	}
+	parse := func(p string) ([]Type, error) {
+		p = strings.TrimSpace(p)
+		if !strings.HasPrefix(p, "(") || !strings.HasSuffix(p, ")") {
+			return nil, fmt.Errorf("bad type list %q", p)
+		}
+		inner := strings.TrimSpace(p[1 : len(p)-1])
+		if inner == "" {
+			return nil, nil
+		}
+		var out []Type
+		depth := 0
+		start := 0
+		for i := 0; i < len(inner); i++ {
+			switch inner[i] {
+			case '<':
+				depth++
+			case '>':
+				depth--
+			case ',':
+				if depth == 0 {
+					out = append(out, Type(strings.TrimSpace(inner[start:i])))
+					start = i + 1
+				}
+			}
+		}
+		out = append(out, Type(strings.TrimSpace(inner[start:])))
+		return out, nil
+	}
+	if ins, err = parse(parts[0]); err != nil {
+		return nil, nil, err
+	}
+	if outs, err = parse(parts[1]); err != nil {
+		return nil, nil, err
+	}
+	return ins, outs, nil
+}
+
+func parseAttrs(s string) (map[string]any, error) {
+	attrs := map[string]any{}
+	if strings.TrimSpace(s) == "" {
+		return attrs, nil
+	}
+	// Split on top-level commas (respecting quotes).
+	var parts []string
+	inQuote := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			inQuote = !inQuote
+		case ',':
+			if !inQuote {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	parts = append(parts, s[start:])
+	for _, part := range parts {
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad attribute %q", part)
+		}
+		key := strings.TrimSpace(kv[0])
+		val := strings.TrimSpace(kv[1])
+		switch {
+		case strings.HasPrefix(val, "\"") && strings.HasSuffix(val, "\""):
+			unq, err := strconv.Unquote(val)
+			if err != nil {
+				return nil, err
+			}
+			attrs[key] = unq
+		case val == "true":
+			attrs[key] = true
+		case val == "false":
+			attrs[key] = false
+		default:
+			if i, err := strconv.ParseInt(val, 10, 64); err == nil {
+				attrs[key] = i
+			} else if f, err := strconv.ParseFloat(val, 64); err == nil {
+				attrs[key] = f
+			} else {
+				return nil, fmt.Errorf("bad attribute value %q", val)
+			}
+		}
+	}
+	return attrs, nil
+}

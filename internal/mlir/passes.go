@@ -1,0 +1,382 @@
+package mlir
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Pass is one module transformation or analysis.
+type Pass interface {
+	Name() string
+	Run(m *Module) error
+}
+
+// PassManager runs a pipeline of passes, verifying after each.
+type PassManager struct {
+	passes []Pass
+	// Trace records pass names and op counts for pipeline reports.
+	Trace []string
+}
+
+// AddPass appends a pass to the pipeline.
+func (pm *PassManager) AddPass(p Pass) { pm.passes = append(pm.passes, p) }
+
+// Run executes the pipeline.
+func (pm *PassManager) Run(m *Module) error {
+	if err := Verify(m); err != nil {
+		return fmt.Errorf("mlir: pre-pipeline verification: %w", err)
+	}
+	for _, p := range pm.passes {
+		if err := p.Run(m); err != nil {
+			return fmt.Errorf("mlir: pass %s: %w", p.Name(), err)
+		}
+		if err := Verify(m); err != nil {
+			return fmt.Errorf("mlir: after pass %s: %w", p.Name(), err)
+		}
+		pm.Trace = append(pm.Trace, fmt.Sprintf("%s (ops=%d)", p.Name(), m.OpCount()))
+	}
+	return nil
+}
+
+// Verify checks SSA and dialect invariants: every operand defined, no
+// erased defs in use, dfg.node has kernel+latency attributes, base2
+// arithmetic has matching widths.
+func Verify(m *Module) error {
+	defined := map[*Value]bool{}
+	var verifyBlock func(b *Block) error
+	verifyBlock = func(b *Block) error {
+		for _, a := range b.Args {
+			defined[a] = true
+		}
+		for _, op := range b.LiveOps() {
+			for _, o := range op.Operands {
+				if !defined[o] {
+					return fmt.Errorf("op %s uses %%%d before definition", op.FullName(), o.ID)
+				}
+			}
+			for _, r := range op.Results {
+				if defined[r] {
+					return fmt.Errorf("op %s redefines %%%d", op.FullName(), r.ID)
+				}
+				defined[r] = true
+			}
+			switch op.FullName() {
+			case "dfg.node":
+				if op.AttrString("kernel", "") == "" {
+					return fmt.Errorf("dfg.node without kernel attribute")
+				}
+				if op.AttrFloat("gops", 0) <= 0 {
+					return fmt.Errorf("dfg.node %q needs positive gops", op.AttrString("kernel", ""))
+				}
+			case "base2.add", "base2.mul":
+				if len(op.Operands) != 2 || len(op.Results) != 1 {
+					return fmt.Errorf("%s must be binary", op.FullName())
+				}
+				if op.Operands[0].Type != op.Operands[1].Type || op.Operands[0].Type != op.Results[0].Type {
+					return fmt.Errorf("%s operand/result types disagree", op.FullName())
+				}
+			case "cgra.place":
+				if op.AttrInt("pe", -1) < 0 {
+					return fmt.Errorf("cgra.place needs a pe attribute")
+				}
+			}
+			if op.Body != nil {
+				if err := verifyBlock(op.Body); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	return verifyBlock(m.Top)
+}
+
+// verifyPass wraps Verify as a Pass.
+type verifyPass struct{}
+
+func (verifyPass) Name() string        { return "verify" }
+func (verifyPass) Run(m *Module) error { return Verify(m) }
+
+// NewVerifyPass returns a standalone verification pass.
+func NewVerifyPass() Pass { return verifyPass{} }
+
+// dcePass erases ops with no used results and no side effects.
+type dcePass struct{}
+
+// NewDCEPass returns a dead-code-elimination pass. Ops whose dialect is
+// "func" or whose name ends in "return"/"output" are roots.
+func NewDCEPass() Pass { return dcePass{} }
+
+func (dcePass) Name() string { return "dce" }
+
+func (dcePass) Run(m *Module) error {
+	changed := true
+	for changed {
+		changed = false
+		var walk func(b *Block)
+		walk = func(b *Block) {
+			for _, op := range b.LiveOps() {
+				if op.Body != nil {
+					walk(op.Body)
+				}
+				if isRoot(op) {
+					continue
+				}
+				live := false
+				for _, r := range op.Results {
+					if r.uses > 0 {
+						live = true
+						break
+					}
+				}
+				if !live {
+					op.Erase()
+					changed = true
+				}
+			}
+		}
+		walk(m.Top)
+	}
+	return nil
+}
+
+func isRoot(op *Op) bool {
+	if op.Body != nil {
+		return true
+	}
+	switch op.Name {
+	case "return", "output", "func":
+		return true
+	}
+	return op.Dialect == "func"
+}
+
+// canonicalizePass folds base2 constant arithmetic.
+type canonicalizePass struct{}
+
+// NewCanonicalizePass returns the base2 constant-folding pass.
+func NewCanonicalizePass() Pass { return canonicalizePass{} }
+
+func (canonicalizePass) Name() string { return "canonicalize" }
+
+func (canonicalizePass) Run(m *Module) error {
+	constOf := func(v *Value) (float64, bool) {
+		if v.def == nil || v.def.erased || v.def.FullName() != "base2.const" {
+			return 0, false
+		}
+		return v.def.AttrFloat("value", 0), true
+	}
+	var walk func(b *Block, builder *Builder)
+	walk = func(b *Block, builder *Builder) {
+		for _, op := range b.LiveOps() {
+			if op.Body != nil {
+				walk(op.Body, builder.InBlock(op.Body))
+			}
+			if op.Dialect != "base2" || (op.Name != "add" && op.Name != "mul") {
+				continue
+			}
+			a, okA := constOf(op.Operands[0])
+			c, okC := constOf(op.Operands[1])
+			switch {
+			case okA && okC:
+				// Full fold: new const op inserted in place, uses rewired.
+				val := a + c
+				if op.Name == "mul" {
+					val = a * c
+				}
+				folded := &Op{Dialect: "base2", Name: "const", Attrs: map[string]any{"value": val}}
+				res := builder.mod.NewValue(op.Results[0].Type)
+				res.def = folded
+				folded.Results = []*Value{res}
+				insertBefore(b, op, folded)
+				builder.mod.ReplaceAllUses(op.Results[0], res)
+				op.Erase()
+			case okA || okC:
+				// Identity/absorber patterns: x+0, x·1 → x; x·0 → 0.
+				cv, other := a, op.Operands[1]
+				if okC {
+					cv, other = c, op.Operands[0]
+				}
+				switch {
+				case op.Name == "add" && cv == 0, op.Name == "mul" && cv == 1:
+					builder.mod.ReplaceAllUses(op.Results[0], other)
+					op.Erase()
+				case op.Name == "mul" && cv == 0:
+					zero := &Op{Dialect: "base2", Name: "const", Attrs: map[string]any{"value": 0.0}}
+					res := builder.mod.NewValue(op.Results[0].Type)
+					res.def = zero
+					zero.Results = []*Value{res}
+					insertBefore(b, op, zero)
+					builder.mod.ReplaceAllUses(op.Results[0], res)
+					op.Erase()
+				}
+			}
+		}
+	}
+	walk(m.Top, NewBuilder(m))
+	return nil
+}
+
+func insertBefore(b *Block, anchor, newOp *Op) {
+	for i, op := range b.Ops {
+		if op == anchor {
+			b.Ops = append(b.Ops[:i], append([]*Op{newOp}, b.Ops[i:]...)...)
+			return
+		}
+	}
+	b.Ops = append(b.Ops, newOp)
+}
+
+// fuseDFGPass merges producer→consumer dfg.node pairs when the producer
+// has a single use and both are marked fusable — the classic kernel
+// fusion that removes intermediate buffers on the accelerator.
+type fuseDFGPass struct{ fused int }
+
+// NewFuseDFGPass returns the dataflow fusion pass.
+func NewFuseDFGPass() *FuseDFGPass { return &FuseDFGPass{} }
+
+// FuseDFGPass exposes the fusion count for pipeline reports.
+type FuseDFGPass struct{ Fused int }
+
+// Name implements Pass.
+func (*FuseDFGPass) Name() string { return "dfg-fuse" }
+
+// Run implements Pass.
+func (p *FuseDFGPass) Run(m *Module) error {
+	changed := true
+	for changed {
+		changed = false
+		var walk func(b *Block)
+		walk = func(b *Block) {
+			for _, op := range b.LiveOps() {
+				if op.Body != nil {
+					walk(op.Body)
+				}
+				if op.FullName() != "dfg.node" || !attrBool(op, "fusable") {
+					continue
+				}
+				// Single producer operand that is itself a fusable node
+				// with exactly one use.
+				for _, in := range op.Operands {
+					prod := in.def
+					if prod == nil || prod.erased || prod.FullName() != "dfg.node" {
+						continue
+					}
+					if !attrBool(prod, "fusable") || in.uses != 1 || len(prod.Results) != 1 {
+						continue
+					}
+					// Fuse: op absorbs prod's cost and operands.
+					op.Attrs["kernel"] = prod.AttrString("kernel", "") + "+" + op.AttrString("kernel", "")
+					op.Attrs["gops"] = prod.AttrFloat("gops", 0) + op.AttrFloat("gops", 0)
+					op.Attrs["area"] = prod.AttrInt("area", 0) + op.AttrInt("area", 0)
+					// Replace the fused operand with prod's operands.
+					var newOperands []*Value
+					for _, o := range op.Operands {
+						if o == in {
+							newOperands = append(newOperands, prod.Operands...)
+							for _, po := range prod.Operands {
+								po.uses++
+							}
+							in.uses--
+						} else {
+							newOperands = append(newOperands, o)
+						}
+					}
+					op.Operands = newOperands
+					prod.Erase()
+					p.Fused++
+					changed = true
+					break
+				}
+			}
+		}
+		walk(m.Top)
+	}
+	return nil
+}
+
+func attrBool(op *Op, key string) bool {
+	v, ok := op.Attrs[key].(bool)
+	return ok && v
+}
+
+// LowerToCGRAPass assigns dfg nodes to CGRA processing elements
+// (round-robin over a PE grid, heaviest nodes first) and materializes
+// cgra.place ops — the cgra-mlir role.
+type LowerToCGRAPass struct {
+	PEs int
+	// Placements maps kernel → PE after the run.
+	Placements map[string]int
+}
+
+// NewLowerToCGRAPass returns the lowering pass for a grid of n PEs.
+func NewLowerToCGRAPass(n int) *LowerToCGRAPass {
+	return &LowerToCGRAPass{PEs: n, Placements: map[string]int{}}
+}
+
+// Name implements Pass.
+func (*LowerToCGRAPass) Name() string { return "lower-to-cgra" }
+
+// Run implements Pass.
+func (p *LowerToCGRAPass) Run(m *Module) error {
+	if p.PEs <= 0 {
+		return fmt.Errorf("cgra grid needs at least one PE")
+	}
+	type nodeCost struct {
+		op   *Op
+		gops float64
+	}
+	var nodes []nodeCost
+	m.Walk(func(op *Op) {
+		if op.FullName() == "dfg.node" {
+			nodes = append(nodes, nodeCost{op, op.AttrFloat("gops", 0)})
+		}
+	})
+	// Longest-processing-time assignment: heaviest first onto the least
+	// loaded PE.
+	sort.Slice(nodes, func(i, j int) bool {
+		if nodes[i].gops != nodes[j].gops {
+			return nodes[i].gops > nodes[j].gops
+		}
+		return nodes[i].op.AttrString("layer", nodes[i].op.AttrString("kernel", "")) < nodes[j].op.AttrString("layer", nodes[j].op.AttrString("kernel", ""))
+	})
+	load := make([]float64, p.PEs)
+	b := NewBuilder(m)
+	for _, n := range nodes {
+		pe := 0
+		for i := 1; i < p.PEs; i++ {
+			if load[i] < load[pe] {
+				pe = i
+			}
+		}
+		load[pe] += n.gops
+		n.op.Attrs["pe"] = int64(pe)
+		layer := n.op.AttrString("layer", n.op.AttrString("kernel", ""))
+		b.Create("cgra", "place", nil, nil, map[string]any{
+			"pe":     int64(pe),
+			"kernel": layer,
+		})
+		p.Placements[layer] = pe
+	}
+	return nil
+}
+
+// Makespan returns the max PE load after lowering (giga-ops).
+func (p *LowerToCGRAPass) Makespan(m *Module) float64 {
+	load := make([]float64, p.PEs)
+	m.Walk(func(op *Op) {
+		if op.FullName() == "dfg.node" {
+			pe := int(op.AttrInt("pe", 0))
+			if pe >= 0 && pe < p.PEs {
+				load[pe] += op.AttrFloat("gops", 0)
+			}
+		}
+	})
+	best := 0.0
+	for _, l := range load {
+		if l > best {
+			best = l
+		}
+	}
+	return best
+}

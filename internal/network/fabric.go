@@ -1,0 +1,174 @@
+package network
+
+import (
+	"fmt"
+
+	"myrtus/internal/sim"
+)
+
+// Fabric simulates message transfers over a Topology on a sim.Engine.
+// It is the delivery layer under the protocol endpoints (pub/sub broker,
+// MIRTO agent RPC). Fabric is not safe for concurrent use: it belongs to
+// the simulation goroutine, like the engine itself.
+type Fabric struct {
+	engine *sim.Engine
+	topo   *Topology
+
+	delivered int64
+	lost      int64
+	retries   int64
+	latency   latencyAgg
+}
+
+type latencyAgg struct {
+	n   int64
+	sum sim.Time
+	max sim.Time
+}
+
+func (a *latencyAgg) add(d sim.Time) {
+	a.n++
+	a.sum += d
+	if d > a.max {
+		a.max = d
+	}
+}
+
+// NewFabric binds a topology to an engine.
+func NewFabric(engine *sim.Engine, topo *Topology) *Fabric {
+	return &Fabric{engine: engine, topo: topo}
+}
+
+// Engine returns the underlying simulation engine.
+func (f *Fabric) Engine() *sim.Engine { return f.engine }
+
+// Topology returns the underlying topology.
+func (f *Fabric) Topology() *Topology { return f.topo }
+
+// Options tune one transfer.
+type Options struct {
+	// Slice assigns the transfer to a network slice ("" = best effort).
+	Slice string
+	// Retries is how many times a lost packet is retransmitted before the
+	// transfer fails (each retry re-traverses the lossy link).
+	Retries int
+}
+
+// Send schedules the transfer of size bytes from src to dst and invokes
+// done(err) in virtual time when the last byte arrives (or delivery
+// definitively fails). The returned error covers immediate routing
+// failures only.
+func (f *Fabric) Send(src, dst string, size int64, opts Options, done func(err error)) error {
+	path, _, err := f.topo.Route(src, dst)
+	if err != nil {
+		return err
+	}
+	if len(path) == 1 { // local delivery
+		f.engine.After(0, func() {
+			f.delivered++
+			f.latency.add(0)
+			if done != nil {
+				done(nil)
+			}
+		})
+		return nil
+	}
+	start := f.engine.Now()
+	f.hop(path, 0, size, opts, start, done)
+	return nil
+}
+
+// hop simulates traversal of path[idx] → path[idx+1], then recurses.
+func (f *Fabric) hop(path []string, idx int, size int64, opts Options, start sim.Time, done func(error)) {
+	if idx == len(path)-1 {
+		f.delivered++
+		f.latency.add(f.engine.Now() - start)
+		if done != nil {
+			done(nil)
+		}
+		return
+	}
+	from, to := path[idx], path[idx+1]
+	f.topo.mu.Lock()
+	link, ok := f.topo.links[from][to]
+	if !ok {
+		f.topo.mu.Unlock()
+		f.fail(done, fmt.Errorf("network: link %s->%s vanished mid-route", from, to))
+		return
+	}
+	key := from + "->" + to
+	share := f.topo.sliceShare(key, opts.Slice)
+	bw := link.Bandwidth * share
+	now := f.engine.Now()
+	free := link.nextFree[opts.Slice]
+	if free < now {
+		free = now
+	}
+	wait := free - now
+	ser := serialization(size, bw)
+	link.nextFree[opts.Slice] = free + ser
+	link.queueTotal += wait
+	link.transfers++
+	lost := link.LossP > 0 && f.topo.rng.Bool(link.LossP)
+	arrival := free + ser + link.Latency
+	f.topo.mu.Unlock()
+
+	f.engine.At(arrival, func() {
+		if lost {
+			f.lost++
+			if opts.Retries > 0 {
+				f.retries++
+				o := opts
+				o.Retries--
+				f.hop(path, idx, size, o, start, done)
+				return
+			}
+			f.fail(done, fmt.Errorf("network: packet lost on %s->%s", from, to))
+			return
+		}
+		f.hop(path, idx+1, size, opts, start, done)
+	})
+}
+
+func (f *Fabric) fail(done func(error), err error) {
+	f.engine.After(0, func() {
+		if done != nil {
+			done(err)
+		}
+	})
+}
+
+// FabricStats summarizes fabric activity.
+type FabricStats struct {
+	Delivered   int64
+	Lost        int64
+	Retries     int64
+	MeanLatency sim.Time
+	MaxLatency  sim.Time
+}
+
+// Stats returns cumulative transfer statistics.
+func (f *Fabric) Stats() FabricStats {
+	s := FabricStats{Delivered: f.delivered, Lost: f.lost, Retries: f.retries, MaxLatency: f.latency.max}
+	if f.latency.n > 0 {
+		s.MeanLatency = f.latency.sum / sim.Time(f.latency.n)
+	}
+	return s
+}
+
+// RequestReply models an HTTP-like exchange: send a request of reqSize
+// from src to dst, then a reply of respSize back, invoking done with the
+// total round-trip error status.
+func (f *Fabric) RequestReply(src, dst string, reqSize, respSize int64, opts Options, done func(err error)) error {
+	return f.Send(src, dst, reqSize, opts, func(err error) {
+		if err != nil {
+			if done != nil {
+				done(err)
+			}
+			return
+		}
+		if err := f.Send(dst, src, respSize, opts, done); err != nil && done != nil {
+			done(err)
+		}
+	})
+}

@@ -1,0 +1,364 @@
+package network
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"myrtus/internal/sim"
+)
+
+func star(t *testing.T) *Topology {
+	t.Helper()
+	topo := NewTopology(1)
+	// edge-0, edge-1 — gateway — fmdc — cloud
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(topo.AddDuplex("edge-0", "gateway", 2*sim.Millisecond, 10e6, 0))
+	must(topo.AddDuplex("edge-1", "gateway", 2*sim.Millisecond, 10e6, 0))
+	must(topo.AddDuplex("gateway", "fmdc", 5*sim.Millisecond, 100e6, 0))
+	must(topo.AddDuplex("fmdc", "cloud", 20*sim.Millisecond, 1000e6, 0))
+	return topo
+}
+
+func TestTopologyValidation(t *testing.T) {
+	topo := NewTopology(1)
+	if err := topo.AddLink("a", "a", 1, 1, 0); err == nil {
+		t.Fatal("self-link accepted")
+	}
+	if err := topo.AddLink("a", "b", 1, 0, 0); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+	if err := topo.AddLink("a", "b", 1, 1, 1.0); err == nil {
+		t.Fatal("loss=1 accepted")
+	}
+	if err := topo.AddLink("a", "b", 1, 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := topo.Link("a", "b"); !ok {
+		t.Fatal("link missing")
+	}
+	topo.RemoveLink("a", "b")
+	if _, ok := topo.Link("a", "b"); ok {
+		t.Fatal("link survived removal")
+	}
+}
+
+func TestRouteShortestLatency(t *testing.T) {
+	topo := star(t)
+	path, lat, err := topo.Route("edge-0", "cloud")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"edge-0", "gateway", "fmdc", "cloud"}
+	if len(path) != 4 {
+		t.Fatalf("path = %v", path)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+	if lat != 27*sim.Millisecond {
+		t.Fatalf("latency = %v, want 27ms", lat)
+	}
+}
+
+func TestRoutePrefersLowLatency(t *testing.T) {
+	topo := NewTopology(1)
+	topo.AddLink("a", "b", 10*sim.Millisecond, 1e6, 0) //nolint:errcheck
+	topo.AddLink("a", "c", 1*sim.Millisecond, 1e6, 0)  //nolint:errcheck
+	topo.AddLink("c", "b", 2*sim.Millisecond, 1e6, 0)  //nolint:errcheck
+	path, lat, err := topo.Route("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 3 || lat != 3*sim.Millisecond {
+		t.Fatalf("path=%v lat=%v", path, lat)
+	}
+}
+
+func TestRouteErrors(t *testing.T) {
+	topo := star(t)
+	if _, _, err := topo.Route("ghost", "cloud"); err == nil {
+		t.Fatal("unknown src accepted")
+	}
+	if _, _, err := topo.Route("cloud", "ghost"); err == nil {
+		t.Fatal("unknown dst accepted")
+	}
+	topo.AddNode("island")
+	if _, _, err := topo.Route("island", "cloud"); err == nil {
+		t.Fatal("unreachable route accepted")
+	}
+	path, lat, err := topo.Route("cloud", "cloud")
+	if err != nil || len(path) != 1 || lat != 0 {
+		t.Fatalf("self route = %v %v %v", path, lat, err)
+	}
+}
+
+func TestRouteSymmetryProperty(t *testing.T) {
+	// On a duplex topology, latency a→b equals b→a.
+	topo := star(t)
+	nodes := topo.Nodes()
+	if err := quick.Check(func(i, j uint8) bool {
+		a := nodes[int(i)%len(nodes)]
+		b := nodes[int(j)%len(nodes)]
+		_, l1, e1 := topo.Route(a, b)
+		_, l2, e2 := topo.Route(b, a)
+		if (e1 == nil) != (e2 == nil) {
+			return false
+		}
+		return e1 != nil || l1 == l2
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFabricDeliveryTiming(t *testing.T) {
+	eng := sim.NewEngine(1)
+	topo := star(t)
+	f := NewFabric(eng, topo)
+	var arrived sim.Time
+	err := f.Send("edge-0", "gateway", 10_000_000, Options{}, func(err error) {
+		if err != nil {
+			t.Errorf("send: %v", err)
+		}
+		arrived = eng.Now()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	// 10 MB at 10 MB/s = 1s serialization + 2ms propagation.
+	want := sim.Second + 2*sim.Millisecond
+	if arrived != want {
+		t.Fatalf("arrived at %v, want %v", arrived, want)
+	}
+}
+
+func TestFabricQueuingCongestion(t *testing.T) {
+	eng := sim.NewEngine(1)
+	topo := star(t)
+	f := NewFabric(eng, topo)
+	var t1, t2 sim.Time
+	f.Send("edge-0", "gateway", 10_000_000, Options{}, func(error) { t1 = eng.Now() }) //nolint:errcheck
+	f.Send("edge-0", "gateway", 10_000_000, Options{}, func(error) { t2 = eng.Now() }) //nolint:errcheck
+	eng.Run()
+	if t2 <= t1 {
+		t.Fatalf("second transfer not queued: t1=%v t2=%v", t1, t2)
+	}
+	if t2 < 2*sim.Second {
+		t.Fatalf("t2 = %v, want ≥ 2s (FIFO serialization)", t2)
+	}
+	stats := topo.Stats()
+	foundWait := false
+	for _, s := range stats {
+		if s.From == "edge-0" && s.MeanQueueWait > 0 {
+			foundWait = true
+		}
+	}
+	if !foundWait {
+		t.Fatal("no queue wait recorded")
+	}
+}
+
+func TestFabricLocalDelivery(t *testing.T) {
+	eng := sim.NewEngine(1)
+	f := NewFabric(eng, star(t))
+	ok := false
+	if err := f.Send("cloud", "cloud", 100, Options{}, func(err error) { ok = err == nil }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if !ok {
+		t.Fatal("local delivery failed")
+	}
+}
+
+func TestFabricLossAndRetry(t *testing.T) {
+	eng := sim.NewEngine(1)
+	topo := NewTopology(7)
+	topo.AddLink("a", "b", sim.Millisecond, 1e9, 0.5) //nolint:errcheck
+	f := NewFabric(eng, topo)
+	okCount, failCount := 0, 0
+	for i := 0; i < 200; i++ {
+		f.Send("a", "b", 100, Options{Retries: 5}, func(err error) { //nolint:errcheck
+			if err == nil {
+				okCount++
+			} else {
+				failCount++
+			}
+		})
+	}
+	eng.Run()
+	// P(fail) = 0.5^6 ≈ 1.6%; nearly all should succeed.
+	if okCount < 180 {
+		t.Fatalf("ok=%d fail=%d, retries not working", okCount, failCount)
+	}
+	st := f.Stats()
+	if st.Lost == 0 || st.Retries == 0 {
+		t.Fatalf("loss stats empty: %+v", st)
+	}
+
+	// Without retries, ~half fail.
+	eng2 := sim.NewEngine(2)
+	topo2 := NewTopology(8)
+	topo2.AddLink("a", "b", sim.Millisecond, 1e9, 0.5) //nolint:errcheck
+	f2 := NewFabric(eng2, topo2)
+	fail2 := 0
+	for i := 0; i < 200; i++ {
+		f2.Send("a", "b", 100, Options{}, func(err error) { //nolint:errcheck
+			if err != nil {
+				fail2++
+			}
+		})
+	}
+	eng2.Run()
+	if fail2 < 50 || fail2 > 150 {
+		t.Fatalf("fail2 = %d, want ≈100", fail2)
+	}
+}
+
+func TestSliceReservationBoundsLatency(t *testing.T) {
+	// A sliced flow must not be delayed by best-effort congestion.
+	mk := func(withSlice bool) sim.Time {
+		eng := sim.NewEngine(1)
+		topo := NewTopology(1)
+		topo.AddLink("a", "b", sim.Millisecond, 10e6, 0) //nolint:errcheck
+		if withSlice {
+			if err := topo.DefineSlice("critical", 0.5, "a->b"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		f := NewFabric(eng, topo)
+		// Congest with 20 best-effort transfers.
+		for i := 0; i < 20; i++ {
+			f.Send("a", "b", 1_000_000, Options{}, nil) //nolint:errcheck
+		}
+		var done sim.Time
+		slice := ""
+		if withSlice {
+			slice = "critical"
+		}
+		f.Send("a", "b", 1_000_000, Options{Slice: slice}, func(error) { done = eng.Now() }) //nolint:errcheck
+		eng.Run()
+		return done
+	}
+	without := mk(false)
+	with := mk(true)
+	if with >= without {
+		t.Fatalf("slice did not isolate: with=%v without=%v", with, without)
+	}
+	// Sliced flow sees only its own serialization: 1MB at 5MB/s = 200ms.
+	if with > 250*sim.Millisecond {
+		t.Fatalf("sliced latency %v too high", with)
+	}
+}
+
+func TestSliceValidation(t *testing.T) {
+	topo := star(t)
+	if err := topo.DefineSlice("bad", 0); err == nil {
+		t.Fatal("share 0 accepted")
+	}
+	if err := topo.DefineSlice("bad", 1); err == nil {
+		t.Fatal("share 1 accepted")
+	}
+	if err := topo.DefineSlice("s1", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.DefineSlice("s2", 0.6); err == nil {
+		t.Fatal("over-reservation accepted")
+	}
+	if err := topo.DefineSlice("s3", 0.3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequestReply(t *testing.T) {
+	eng := sim.NewEngine(1)
+	f := NewFabric(eng, star(t))
+	var rtt sim.Time
+	err := f.RequestReply("edge-0", "fmdc", 1000, 5000, Options{}, func(err error) {
+		if err != nil {
+			t.Errorf("rr: %v", err)
+		}
+		rtt = eng.Now()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if rtt < 14*sim.Millisecond { // 2×(2ms+5ms) propagation minimum
+		t.Fatalf("rtt = %v, too fast", rtt)
+	}
+}
+
+func TestBrokerPubSub(t *testing.T) {
+	eng := sim.NewEngine(1)
+	f := NewFabric(eng, star(t))
+	b := NewBroker(f, "gateway")
+	if b.Node() != "gateway" {
+		t.Fatal("broker node")
+	}
+	var got []string
+	b.Subscribe("fmdc", "sensors/#", "", func(topic string, payload []byte) {
+		got = append(got, topic+":"+string(payload))
+	})
+	b.Subscribe("cloud", "sensors/cam0/frame", "", func(topic string, payload []byte) {
+		got = append(got, "cloud:"+topic)
+	})
+	b.Subscribe("edge-1", "other", "", func(string, []byte) {
+		t.Error("wrong topic delivered")
+	})
+	if err := b.Publish("edge-0", "sensors/cam0/frame", []byte("img"), ""); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if len(got) != 2 {
+		t.Fatalf("deliveries = %v", got)
+	}
+	joined := strings.Join(got, "|")
+	if !strings.Contains(joined, "sensors/cam0/frame:img") || !strings.Contains(joined, "cloud:sensors/cam0/frame") {
+		t.Fatalf("got %v", got)
+	}
+	if b.Published() != 1 || b.Fanout() != 2 {
+		t.Fatalf("counters: pub=%d fan=%d", b.Published(), b.Fanout())
+	}
+}
+
+func TestTopicMatch(t *testing.T) {
+	cases := []struct {
+		pattern, topic string
+		want           bool
+	}{
+		{"a/b", "a/b", true},
+		{"a/b", "a/c", false},
+		{"#", "anything/at/all", true},
+		{"a/#", "a", true},
+		{"a/#", "a/b/c", true},
+		{"a/#", "ab", false},
+		{"a/#", "b/a", false},
+	}
+	for _, c := range cases {
+		if got := topicMatch(c.pattern, c.topic); got != c.want {
+			t.Errorf("topicMatch(%q, %q) = %v, want %v", c.pattern, c.topic, got, c.want)
+		}
+	}
+}
+
+func TestNodesSorted(t *testing.T) {
+	topo := star(t)
+	nodes := topo.Nodes()
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i-1] >= nodes[i] {
+			t.Fatalf("not sorted: %v", nodes)
+		}
+	}
+	if len(nodes) != 5 {
+		t.Fatalf("nodes = %v", nodes)
+	}
+}

@@ -1,0 +1,97 @@
+package network
+
+import (
+	"sort"
+	"strings"
+)
+
+// Broker is an MQTT-style topic broker hosted at a fabric endpoint — the
+// role the smart gateway plays in the paper ("a hub for data exchange
+// among a diversity of actors at the edge and the cloud"). Publishers
+// send to the broker node; the broker fans out to subscriber nodes, each
+// delivery incurring the simulated network cost.
+type Broker struct {
+	fabric *Fabric
+	node   string // endpoint hosting the broker
+	subs   map[string][]subscription
+
+	published int64
+	fanout    int64
+}
+
+type subscription struct {
+	node    string
+	pattern string
+	fn      func(topic string, payload []byte)
+	slice   string
+}
+
+// NewBroker hosts a broker at the named endpoint.
+func NewBroker(fabric *Fabric, node string) *Broker {
+	return &Broker{fabric: fabric, node: node, subs: make(map[string][]subscription)}
+}
+
+// Node returns the hosting endpoint name.
+func (b *Broker) Node() string { return b.node }
+
+// Subscribe registers fn for topics matching pattern at the given
+// endpoint. Patterns support a trailing "#" wildcard segment
+// ("sensors/#" matches "sensors/cam0/frame").
+func (b *Broker) Subscribe(node, pattern, slice string, fn func(topic string, payload []byte)) {
+	b.subs[pattern] = append(b.subs[pattern], subscription{node: node, pattern: pattern, fn: fn, slice: slice})
+}
+
+// Publish sends payload from the publisher endpoint to the broker, which
+// then forwards to every matching subscriber. Delivery callbacks run in
+// virtual time.
+func (b *Broker) Publish(publisher, topic string, payload []byte, slice string) error {
+	b.published++
+	return b.fabric.Send(publisher, b.node, int64(len(payload))+64, Options{Slice: slice, Retries: 3}, func(err error) {
+		if err != nil {
+			return
+		}
+		for _, sub := range b.matches(topic) {
+			sub := sub
+			b.fanout++
+			p := append([]byte(nil), payload...)
+			//nolint:errcheck // fan-out best effort; loss shows in stats
+			b.fabric.Send(b.node, sub.node, int64(len(payload))+64, Options{Slice: sub.slice, Retries: 3}, func(err error) {
+				if err == nil {
+					sub.fn(topic, p)
+				}
+			})
+		}
+	})
+}
+
+func (b *Broker) matches(topic string) []subscription {
+	var out []subscription
+	var patterns []string
+	for p := range b.subs {
+		patterns = append(patterns, p)
+	}
+	sort.Strings(patterns)
+	for _, p := range patterns {
+		if topicMatch(p, topic) {
+			out = append(out, b.subs[p]...)
+		}
+	}
+	return out
+}
+
+// Published and Fanout report broker counters.
+func (b *Broker) Published() int64 { return b.published }
+
+// Fanout reports the number of subscriber deliveries attempted.
+func (b *Broker) Fanout() int64 { return b.fanout }
+
+func topicMatch(pattern, topic string) bool {
+	if pattern == topic || pattern == "#" {
+		return true
+	}
+	if strings.HasSuffix(pattern, "/#") {
+		prefix := strings.TrimSuffix(pattern, "/#")
+		return topic == prefix || strings.HasPrefix(topic, prefix+"/")
+	}
+	return false
+}

@@ -1,0 +1,317 @@
+// Package network models the MYRTUS connectivity substrate (EU-CEI
+// "Network" building block): a continuum-wide topology of links with
+// latency, bandwidth, and loss; shortest-path routing; FIFO link queuing
+// (congestion); network slices reserving bandwidth shares; and a
+// lightweight pub/sub message fabric in the role of the MQTT/CoAP/HTTP
+// protocols the paper lists for edge–gateway–FMDC communication.
+//
+// All timing runs on the discrete-event kernel in internal/sim, so
+// end-to-end latency and congestion are measurable and reproducible.
+package network
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"myrtus/internal/sim"
+)
+
+// Link is a unidirectional connection between two named endpoints.
+type Link struct {
+	From, To  string
+	Latency   sim.Time // propagation delay
+	Bandwidth float64  // bytes per virtual second
+	LossP     float64  // i.i.d. packet loss probability
+
+	// nextFree[sliceID] is when the slice's share of the link is next
+	// available; sliceID "" is best-effort.
+	nextFree map[string]sim.Time
+	// queueTotal accumulates queuing delay for congestion metrics.
+	queueTotal sim.Time
+	transfers  int64
+}
+
+// Utilization metrics for one link.
+type LinkStats struct {
+	From, To      string
+	Transfers     int64
+	MeanQueueWait sim.Time
+}
+
+// Topology is the graph of endpoints and links plus slice definitions.
+// It is safe for concurrent use.
+type Topology struct {
+	mu     sync.Mutex
+	nodes  map[string]bool
+	links  map[string]map[string]*Link
+	slices map[string]*Slice
+	rng    *sim.RNG
+}
+
+// Slice reserves a bandwidth share on a set of links for a traffic class
+// (EU-CEI network slicing). Share is the fraction of each member link's
+// bandwidth reserved exclusively for the slice.
+type Slice struct {
+	Name  string
+	Share float64
+	// Links: "from->to" members; empty means every link.
+	Links map[string]bool
+}
+
+// NewTopology returns an empty topology.
+func NewTopology(seed uint64) *Topology {
+	return &Topology{
+		nodes:  make(map[string]bool),
+		links:  make(map[string]map[string]*Link),
+		slices: make(map[string]*Slice),
+		rng:    sim.NewRNG(seed).Fork("network"),
+	}
+}
+
+// AddNode registers an endpoint.
+func (t *Topology) AddNode(name string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nodes[name] = true
+}
+
+// Nodes returns all endpoint names, sorted.
+func (t *Topology) Nodes() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, 0, len(t.nodes))
+	for n := range t.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddLink creates a unidirectional link. Both endpoints are registered
+// implicitly.
+func (t *Topology) AddLink(from, to string, latency sim.Time, bandwidth float64, lossP float64) error {
+	if from == to {
+		return fmt.Errorf("network: self-link on %q", from)
+	}
+	if bandwidth <= 0 {
+		return fmt.Errorf("network: non-positive bandwidth on %s->%s", from, to)
+	}
+	if lossP < 0 || lossP >= 1 {
+		return fmt.Errorf("network: loss probability %v out of [0,1)", lossP)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nodes[from] = true
+	t.nodes[to] = true
+	if t.links[from] == nil {
+		t.links[from] = make(map[string]*Link)
+	}
+	t.links[from][to] = &Link{
+		From: from, To: to,
+		Latency: latency, Bandwidth: bandwidth, LossP: lossP,
+		nextFree: make(map[string]sim.Time),
+	}
+	return nil
+}
+
+// AddDuplex creates links in both directions with identical parameters.
+func (t *Topology) AddDuplex(a, b string, latency sim.Time, bandwidth float64, lossP float64) error {
+	if err := t.AddLink(a, b, latency, bandwidth, lossP); err != nil {
+		return err
+	}
+	return t.AddLink(b, a, latency, bandwidth, lossP)
+}
+
+// RemoveLink severs from→to (e.g. connectivity failure injection).
+func (t *Topology) RemoveLink(from, to string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if m := t.links[from]; m != nil {
+		delete(m, to)
+	}
+}
+
+// Link returns the link from→to.
+func (t *Topology) Link(from, to string) (*Link, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	l, ok := t.links[from][to]
+	return l, ok
+}
+
+// DefineSlice reserves share of bandwidth on the listed links (empty list
+// means all links) for the named traffic class. Total reservations on any
+// link must stay below 1.
+func (t *Topology) DefineSlice(name string, share float64, links ...string) error {
+	if share <= 0 || share >= 1 {
+		return fmt.Errorf("network: slice share %v out of (0,1)", share)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	member := make(map[string]bool, len(links))
+	for _, l := range links {
+		member[l] = true
+	}
+	// Validate cumulative reservation per link.
+	check := func(linkKey string) error {
+		total := share
+		for _, s := range t.slices {
+			if len(s.Links) == 0 || s.Links[linkKey] {
+				total += s.Share
+			}
+		}
+		if total >= 1 {
+			return fmt.Errorf("network: cumulative slice reservation %.2f ≥ 1 on %s", total, linkKey)
+		}
+		return nil
+	}
+	if len(member) == 0 {
+		for from, m := range t.links {
+			for to := range m {
+				if err := check(from + "->" + to); err != nil {
+					return err
+				}
+			}
+		}
+	} else {
+		for l := range member {
+			if err := check(l); err != nil {
+				return err
+			}
+		}
+	}
+	t.slices[name] = &Slice{Name: name, Share: share, Links: member}
+	return nil
+}
+
+// sliceShare returns the bandwidth fraction available to sliceID on link
+// key: its reservation if sliced, otherwise whatever is unreserved.
+func (t *Topology) sliceShare(linkKey, sliceID string) float64 {
+	if sliceID != "" {
+		if s, ok := t.slices[sliceID]; ok && (len(s.Links) == 0 || s.Links[linkKey]) {
+			return s.Share
+		}
+	}
+	reserved := 0.0
+	for _, s := range t.slices {
+		if len(s.Links) == 0 || s.Links[linkKey] {
+			reserved += s.Share
+		}
+	}
+	free := 1 - reserved
+	if free < 0.01 {
+		free = 0.01
+	}
+	return free
+}
+
+// Route returns the minimum-latency path from src to dst (inclusive of
+// both) using Dijkstra over link latencies.
+func (t *Topology) Route(src, dst string) ([]string, sim.Time, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.nodes[src] {
+		return nil, 0, fmt.Errorf("network: unknown source %q", src)
+	}
+	if !t.nodes[dst] {
+		return nil, 0, fmt.Errorf("network: unknown destination %q", dst)
+	}
+	if src == dst {
+		return []string{src}, 0, nil
+	}
+	dist := map[string]sim.Time{src: 0}
+	prev := map[string]string{}
+	pq := &routeQueue{{node: src, dist: 0}}
+	visited := map[string]bool{}
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(routeItem)
+		if visited[cur.node] {
+			continue
+		}
+		visited[cur.node] = true
+		if cur.node == dst {
+			break
+		}
+		// Deterministic neighbor order.
+		var nbrs []string
+		for to := range t.links[cur.node] {
+			nbrs = append(nbrs, to)
+		}
+		sort.Strings(nbrs)
+		for _, to := range nbrs {
+			l := t.links[cur.node][to]
+			nd := cur.dist + l.Latency
+			if old, ok := dist[to]; !ok || nd < old {
+				dist[to] = nd
+				prev[to] = cur.node
+				heap.Push(pq, routeItem{node: to, dist: nd})
+			}
+		}
+	}
+	if _, ok := dist[dst]; !ok {
+		return nil, 0, fmt.Errorf("network: no route %s -> %s", src, dst)
+	}
+	var path []string
+	for at := dst; ; at = prev[at] {
+		path = append(path, at)
+		if at == src {
+			break
+		}
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, dist[dst], nil
+}
+
+type routeItem struct {
+	node string
+	dist sim.Time
+}
+
+type routeQueue []routeItem
+
+func (q routeQueue) Len() int           { return len(q) }
+func (q routeQueue) Less(i, j int) bool { return q[i].dist < q[j].dist }
+func (q routeQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *routeQueue) Push(x any)        { *q = append(*q, x.(routeItem)) }
+func (q *routeQueue) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+
+// Stats returns per-link congestion statistics, sorted by from/to.
+func (t *Topology) Stats() []LinkStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []LinkStats
+	for _, m := range t.links {
+		for _, l := range m {
+			s := LinkStats{From: l.From, To: l.To, Transfers: l.transfers}
+			if l.transfers > 0 {
+				s.MeanQueueWait = l.queueTotal / sim.Time(l.transfers)
+			}
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// serialization computes the time to push size bytes at bw bytes/sec.
+func serialization(size int64, bw float64) sim.Time {
+	if size <= 0 {
+		return 0
+	}
+	sec := float64(size) / bw
+	ns := sec * float64(sim.Second)
+	if ns > float64(math.MaxInt64)/2 {
+		return sim.MaxTime / 2
+	}
+	return sim.Time(ns)
+}

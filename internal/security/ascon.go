@@ -1,0 +1,238 @@
+// Package security implements the MYRTUS Security & Privacy and Trust &
+// Reputation building blocks: the three security levels of Table II as
+// runnable cipher suites, plus the runtime trust/reputation scoring the
+// paper envisions ("trust-related KPIs to implement trust and reputation
+// schemes at runtime").
+//
+// Primitive provenance:
+//
+//   - AES-GCM, SHA-256/512, RSA, ECDSA, ECDH come from the Go standard
+//     library (real, production cryptography);
+//   - ASCON-128 AEAD and ASCON-Hash (the NIST lightweight-cryptography
+//     winner Table II selects for the Low level) are implemented here from
+//     the specification;
+//   - the PQC primitives of the High level (CRYSTALS-Kyber/Dilithium in
+//     the paper) are substituted by a Regev-style LWE KEM and Lamport
+//     one-time signatures — genuinely post-quantum constructions that are
+//     implementable without external dependencies and preserve the cost
+//     shape Table II implies (larger keys/signatures, heavier arithmetic).
+//     They are simulation-grade: parameterized for the experiments, not
+//     for production use. See DESIGN.md.
+package security
+
+import (
+	"crypto/subtle"
+	"encoding/binary"
+	"errors"
+	"math/bits"
+)
+
+// ASCON-128 parameters (NIST LWC): 128-bit key/nonce/tag, 64-bit rate,
+// 12 initialization/finalization rounds, 6 processing rounds.
+const (
+	AsconKeySize   = 16
+	AsconNonceSize = 16
+	AsconTagSize   = 16
+)
+
+const (
+	asconAEADIV = 0x80400c0600000000
+	asconHashIV = 0x00400c0000000100
+)
+
+type asconState [5]uint64
+
+func (s *asconState) round(c uint64) {
+	x0, x1, x2, x3, x4 := s[0], s[1], s[2], s[3], s[4]
+	// Addition of round constant.
+	x2 ^= c
+	// Substitution layer (bitsliced 5-bit S-box).
+	x0 ^= x4
+	x4 ^= x3
+	x2 ^= x1
+	t0 := ^x0 & x1
+	t1 := ^x1 & x2
+	t2 := ^x2 & x3
+	t3 := ^x3 & x4
+	t4 := ^x4 & x0
+	x0 ^= t1
+	x1 ^= t2
+	x2 ^= t3
+	x3 ^= t4
+	x4 ^= t0
+	x1 ^= x0
+	x0 ^= x4
+	x3 ^= x2
+	x2 = ^x2
+	// Linear diffusion layer.
+	x0 ^= bits.RotateLeft64(x0, -19) ^ bits.RotateLeft64(x0, -28)
+	x1 ^= bits.RotateLeft64(x1, -61) ^ bits.RotateLeft64(x1, -39)
+	x2 ^= bits.RotateLeft64(x2, -1) ^ bits.RotateLeft64(x2, -6)
+	x3 ^= bits.RotateLeft64(x3, -10) ^ bits.RotateLeft64(x3, -17)
+	x4 ^= bits.RotateLeft64(x4, -7) ^ bits.RotateLeft64(x4, -41)
+	s[0], s[1], s[2], s[3], s[4] = x0, x1, x2, x3, x4
+}
+
+var asconRC = [12]uint64{0xf0, 0xe1, 0xd2, 0xc3, 0xb4, 0xa5, 0x96, 0x87, 0x78, 0x69, 0x5a, 0x4b}
+
+// permute applies rounds of the ASCON permutation (rounds ∈ {6, 8, 12}).
+func (s *asconState) permute(rounds int) {
+	for _, c := range asconRC[12-rounds:] {
+		s.round(c)
+	}
+}
+
+// AsconEncrypt seals plaintext with associated data under key/nonce and
+// returns ciphertext||tag.
+func AsconEncrypt(key, nonce, ad, plaintext []byte) ([]byte, error) {
+	if len(key) != AsconKeySize {
+		return nil, errors.New("security: ascon key must be 16 bytes")
+	}
+	if len(nonce) != AsconNonceSize {
+		return nil, errors.New("security: ascon nonce must be 16 bytes")
+	}
+	k0 := binary.BigEndian.Uint64(key[0:8])
+	k1 := binary.BigEndian.Uint64(key[8:16])
+	s := asconInit(k0, k1, nonce)
+	asconAbsorbAD(&s, ad)
+
+	out := make([]byte, 0, len(plaintext)+AsconTagSize)
+	// Full plaintext blocks.
+	pt := plaintext
+	for len(pt) >= 8 {
+		s[0] ^= binary.BigEndian.Uint64(pt[:8])
+		var cb [8]byte
+		binary.BigEndian.PutUint64(cb[:], s[0])
+		out = append(out, cb[:]...)
+		s.permute(6)
+		pt = pt[8:]
+	}
+	// Final (partial) block with 10* padding.
+	var last [8]byte
+	copy(last[:], pt)
+	last[len(pt)] = 0x80
+	s[0] ^= binary.BigEndian.Uint64(last[:])
+	var cb [8]byte
+	binary.BigEndian.PutUint64(cb[:], s[0])
+	out = append(out, cb[:len(pt)]...)
+
+	// Finalization.
+	s[1] ^= k0
+	s[2] ^= k1
+	s.permute(12)
+	var tag [16]byte
+	binary.BigEndian.PutUint64(tag[0:8], s[3]^k0)
+	binary.BigEndian.PutUint64(tag[8:16], s[4]^k1)
+	return append(out, tag[:]...), nil
+}
+
+// AsconDecrypt opens ciphertext||tag; it returns an error on any
+// authentication failure.
+func AsconDecrypt(key, nonce, ad, sealed []byte) ([]byte, error) {
+	if len(key) != AsconKeySize {
+		return nil, errors.New("security: ascon key must be 16 bytes")
+	}
+	if len(nonce) != AsconNonceSize {
+		return nil, errors.New("security: ascon nonce must be 16 bytes")
+	}
+	if len(sealed) < AsconTagSize {
+		return nil, errors.New("security: ascon ciphertext shorter than tag")
+	}
+	ct := sealed[:len(sealed)-AsconTagSize]
+	wantTag := sealed[len(sealed)-AsconTagSize:]
+	k0 := binary.BigEndian.Uint64(key[0:8])
+	k1 := binary.BigEndian.Uint64(key[8:16])
+	s := asconInit(k0, k1, nonce)
+	asconAbsorbAD(&s, ad)
+
+	out := make([]byte, 0, len(ct))
+	for len(ct) >= 8 {
+		c := binary.BigEndian.Uint64(ct[:8])
+		var pb [8]byte
+		binary.BigEndian.PutUint64(pb[:], s[0]^c)
+		out = append(out, pb[:]...)
+		s[0] = c
+		s.permute(6)
+		ct = ct[8:]
+	}
+	// Final partial block.
+	l := len(ct)
+	var cb [8]byte
+	binary.BigEndian.PutUint64(cb[:], s[0])
+	for i := 0; i < l; i++ {
+		p := ct[i] ^ cb[i]
+		out = append(out, p)
+		cb[i] = ct[i]
+	}
+	cb[l] ^= 0x80
+	s[0] = binary.BigEndian.Uint64(cb[:])
+
+	s[1] ^= k0
+	s[2] ^= k1
+	s.permute(12)
+	var tag [16]byte
+	binary.BigEndian.PutUint64(tag[0:8], s[3]^k0)
+	binary.BigEndian.PutUint64(tag[8:16], s[4]^k1)
+	if subtle.ConstantTimeCompare(tag[:], wantTag) != 1 {
+		return nil, errors.New("security: ascon authentication failed")
+	}
+	return out, nil
+}
+
+func asconInit(k0, k1 uint64, nonce []byte) asconState {
+	var s asconState
+	s[0] = asconAEADIV
+	s[1] = k0
+	s[2] = k1
+	s[3] = binary.BigEndian.Uint64(nonce[0:8])
+	s[4] = binary.BigEndian.Uint64(nonce[8:16])
+	s.permute(12)
+	s[3] ^= k0
+	s[4] ^= k1
+	return s
+}
+
+func asconAbsorbAD(s *asconState, ad []byte) {
+	if len(ad) > 0 {
+		for len(ad) >= 8 {
+			s[0] ^= binary.BigEndian.Uint64(ad[:8])
+			s.permute(6)
+			ad = ad[8:]
+		}
+		var last [8]byte
+		copy(last[:], ad)
+		last[len(ad)] = 0x80
+		s[0] ^= binary.BigEndian.Uint64(last[:])
+		s.permute(6)
+	}
+	s[4] ^= 1 // domain separation
+}
+
+// AsconHashSize is the ASCON-Hash digest length.
+const AsconHashSize = 32
+
+// AsconHash computes the 256-bit ASCON-Hash digest of msg.
+func AsconHash(msg []byte) [AsconHashSize]byte {
+	var s asconState
+	s[0] = asconHashIV
+	s.permute(12)
+	for len(msg) >= 8 {
+		s[0] ^= binary.BigEndian.Uint64(msg[:8])
+		s.permute(12)
+		msg = msg[8:]
+	}
+	var last [8]byte
+	copy(last[:], msg)
+	last[len(msg)] = 0x80
+	s[0] ^= binary.BigEndian.Uint64(last[:])
+	s.permute(12)
+
+	var out [AsconHashSize]byte
+	for i := 0; i < 4; i++ {
+		binary.BigEndian.PutUint64(out[i*8:], s[0])
+		if i < 3 {
+			s.permute(12)
+		}
+	}
+	return out
+}

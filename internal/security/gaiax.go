@@ -1,0 +1,230 @@
+package security
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Gaia-X trust model (§III: "on the cloud side, adherence to the Gaia-X
+// trust model will be guaranteed"). The Gaia-X Trust Framework rests on
+// signed self-descriptions: every participant publishes a machine-
+// readable description of itself and its services, signed with a key
+// endorsed by a trust anchor; a compliance service verifies signature
+// chains and mandatory attributes. This file implements that contract:
+//
+//	TrustAnchor ──endorses──▶ Participant ──signs──▶ SelfDescription
+//	                                │
+//	     ComplianceService.Verify ◀─┘  (chain + mandatory attributes)
+
+// Claims are the self-description attributes (Gaia-X calls these the
+// credential subject).
+type Claims map[string]string
+
+// Mandatory Gaia-X-style attributes a compliant self-description carries.
+var mandatoryClaims = []string{"legalName", "headquarterCountry", "termsAndConditions"}
+
+// SelfDescription is a signed participant/service description.
+type SelfDescription struct {
+	Issuer    string `json:"issuer"` // participant name
+	Subject   string `json:"subject"`
+	Claims    Claims `json:"claims"`
+	IssuedAt  int64  `json:"issuedAt"`
+	Signature []byte `json:"signature,omitempty"`
+}
+
+// payload returns the canonical signing payload (claims sorted).
+func (sd *SelfDescription) payload() []byte {
+	keys := make([]string, 0, len(sd.Claims))
+	for k := range sd.Claims {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|%s|%d", sd.Issuer, sd.Subject, sd.IssuedAt)
+	for _, k := range keys {
+		fmt.Fprintf(h, "|%s=%s", k, sd.Claims[k])
+	}
+	return h.Sum(nil)
+}
+
+// Participant is one Gaia-X participant with its signing identity.
+type Participant struct {
+	Name string
+	key  *ecdsa.PrivateKey
+	// endorsement is the anchor's signature over the participant key.
+	endorsement []byte
+	anchor      string
+}
+
+// NewParticipant creates a participant identity (rng nil = crypto/rand).
+func NewParticipant(name string, rng io.Reader) (*Participant, error) {
+	if name == "" {
+		return nil, fmt.Errorf("security: participant needs a name")
+	}
+	if rng == nil {
+		rng = rand.Reader
+	}
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rng)
+	if err != nil {
+		return nil, err
+	}
+	return &Participant{Name: name, key: key}, nil
+}
+
+// PublicKey returns the participant's compressed public key.
+func (p *Participant) PublicKey() []byte {
+	return elliptic.MarshalCompressed(elliptic.P256(), p.key.X, p.key.Y)
+}
+
+// SignSelfDescription issues and signs a self-description.
+func (p *Participant) SignSelfDescription(subject string, claims Claims) (*SelfDescription, error) {
+	sd := &SelfDescription{
+		Issuer:   p.Name,
+		Subject:  subject,
+		Claims:   claims,
+		IssuedAt: time.Now().UnixNano(),
+	}
+	sig, err := ecdsa.SignASN1(rand.Reader, p.key, sd.payload())
+	if err != nil {
+		return nil, err
+	}
+	sd.Signature = sig
+	return sd, nil
+}
+
+// TrustAnchor endorses participant keys (the federation's root of trust).
+type TrustAnchor struct {
+	Name string
+	key  *ecdsa.PrivateKey
+}
+
+// NewTrustAnchor creates a federation trust anchor.
+func NewTrustAnchor(name string, rng io.Reader) (*TrustAnchor, error) {
+	if rng == nil {
+		rng = rand.Reader
+	}
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rng)
+	if err != nil {
+		return nil, err
+	}
+	return &TrustAnchor{Name: name, key: key}, nil
+}
+
+// Endorse signs the participant's public key, chaining it to the anchor.
+func (a *TrustAnchor) Endorse(p *Participant) error {
+	digest := sha256.Sum256(append([]byte(p.Name+"|"), p.PublicKey()...))
+	sig, err := ecdsa.SignASN1(rand.Reader, a.key, digest[:])
+	if err != nil {
+		return err
+	}
+	p.endorsement = sig
+	p.anchor = a.Name
+	return nil
+}
+
+func (a *TrustAnchor) publicKey() *ecdsa.PublicKey { return &a.key.PublicKey }
+
+// ComplianceService verifies self-descriptions against the federation's
+// trust anchors — the Gaia-X compliance role.
+type ComplianceService struct {
+	mu           sync.Mutex
+	anchors      map[string]*ecdsa.PublicKey
+	participants map[string]*participantRecord
+}
+
+type participantRecord struct {
+	pub         []byte
+	endorsement []byte
+	anchor      string
+}
+
+// NewComplianceService returns an empty federation.
+func NewComplianceService() *ComplianceService {
+	return &ComplianceService{
+		anchors:      map[string]*ecdsa.PublicKey{},
+		participants: map[string]*participantRecord{},
+	}
+}
+
+// AddAnchor registers a trust anchor.
+func (c *ComplianceService) AddAnchor(a *TrustAnchor) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.anchors[a.Name] = a.publicKey()
+}
+
+// Register records an endorsed participant. Unendorsed participants are
+// rejected.
+func (c *ComplianceService) Register(p *Participant) error {
+	if p.endorsement == nil {
+		return fmt.Errorf("security: participant %s has no anchor endorsement", p.Name)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.participants[p.Name] = &participantRecord{
+		pub: p.PublicKey(), endorsement: p.endorsement, anchor: p.anchor,
+	}
+	return nil
+}
+
+// Verify checks the full chain: issuer registered, issuer key endorsed
+// by a known anchor, signature valid, mandatory claims present.
+func (c *ComplianceService) Verify(sd *SelfDescription) error {
+	c.mu.Lock()
+	rec := c.participants[sd.Issuer]
+	var anchorKey *ecdsa.PublicKey
+	if rec != nil {
+		anchorKey = c.anchors[rec.anchor]
+	}
+	c.mu.Unlock()
+	if rec == nil {
+		return fmt.Errorf("security: issuer %q not registered with the federation", sd.Issuer)
+	}
+	if anchorKey == nil {
+		return fmt.Errorf("security: issuer %q endorsed by unknown anchor %q", sd.Issuer, rec.anchor)
+	}
+	// 1. Anchor endorsement of the issuer key.
+	digest := sha256.Sum256(append([]byte(sd.Issuer+"|"), rec.pub...))
+	if !ecdsa.VerifyASN1(anchorKey, digest[:], rec.endorsement) {
+		return fmt.Errorf("security: endorsement of %q does not verify", sd.Issuer)
+	}
+	// 2. Issuer signature over the self-description.
+	x, y := elliptic.UnmarshalCompressed(elliptic.P256(), rec.pub)
+	if x == nil {
+		return fmt.Errorf("security: issuer %q has a malformed key", sd.Issuer)
+	}
+	pub := &ecdsa.PublicKey{Curve: elliptic.P256(), X: x, Y: y}
+	if !ecdsa.VerifyASN1(pub, sd.payload(), sd.Signature) {
+		return fmt.Errorf("security: self-description signature of %q does not verify", sd.Subject)
+	}
+	// 3. Mandatory attributes.
+	for _, k := range mandatoryClaims {
+		if sd.Claims[k] == "" {
+			return fmt.Errorf("security: self-description of %q missing mandatory claim %q", sd.Subject, k)
+		}
+	}
+	return nil
+}
+
+// Compliant is the boolean convenience over Verify.
+func (c *ComplianceService) Compliant(sd *SelfDescription) bool { return c.Verify(sd) == nil }
+
+// MarshalSelfDescription serializes a self-description for exchange.
+func MarshalSelfDescription(sd *SelfDescription) ([]byte, error) { return json.Marshal(sd) }
+
+// UnmarshalSelfDescription parses a serialized self-description.
+func UnmarshalSelfDescription(data []byte) (*SelfDescription, error) {
+	var sd SelfDescription
+	if err := json.Unmarshal(data, &sd); err != nil {
+		return nil, err
+	}
+	return &sd, nil
+}

@@ -1,0 +1,150 @@
+package security
+
+import (
+	"strings"
+	"testing"
+)
+
+func federation(t *testing.T) (*ComplianceService, *TrustAnchor, *Participant) {
+	t.Helper()
+	anchor, err := NewTrustAnchor("gaia-x-eu", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewParticipant("hiro-fmdc", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := anchor.Endorse(p); err != nil {
+		t.Fatal(err)
+	}
+	cs := NewComplianceService()
+	cs.AddAnchor(anchor)
+	if err := cs.Register(p); err != nil {
+		t.Fatal(err)
+	}
+	return cs, anchor, p
+}
+
+func compliantClaims() Claims {
+	return Claims{
+		"legalName":          "HIRO MicroDataCenters B.V.",
+		"headquarterCountry": "NL",
+		"termsAndConditions": "sha256:abcd",
+		"service":            "fog-micro-datacenter",
+	}
+}
+
+func TestGaiaXHappyPath(t *testing.T) {
+	cs, _, p := federation(t)
+	sd, err := p.SignSelfDescription("fmdc-0", compliantClaims())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Verify(sd); err != nil {
+		t.Fatal(err)
+	}
+	if !cs.Compliant(sd) {
+		t.Fatal("Compliant = false")
+	}
+}
+
+func TestGaiaXRejectsUnregisteredIssuer(t *testing.T) {
+	cs, _, _ := federation(t)
+	stranger, _ := NewParticipant("stranger", nil)
+	anchor2, _ := NewTrustAnchor("rogue", nil)
+	anchor2.Endorse(stranger) //nolint:errcheck
+	sd, _ := stranger.SignSelfDescription("svc", compliantClaims())
+	if err := cs.Verify(sd); err == nil || !strings.Contains(err.Error(), "not registered") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGaiaXRejectsUnknownAnchor(t *testing.T) {
+	cs := NewComplianceService()
+	rogue, _ := NewTrustAnchor("rogue", nil)
+	p, _ := NewParticipant("p", nil)
+	rogue.Endorse(p) //nolint:errcheck
+	if err := cs.Register(p); err != nil {
+		t.Fatal(err)
+	}
+	sd, _ := p.SignSelfDescription("svc", compliantClaims())
+	if err := cs.Verify(sd); err == nil || !strings.Contains(err.Error(), "unknown anchor") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGaiaXRejectsUnendorsedRegistration(t *testing.T) {
+	cs := NewComplianceService()
+	p, _ := NewParticipant("p", nil)
+	if err := cs.Register(p); err == nil {
+		t.Fatal("unendorsed participant registered")
+	}
+}
+
+func TestGaiaXRejectsTamperedClaims(t *testing.T) {
+	cs, _, p := federation(t)
+	sd, _ := p.SignSelfDescription("fmdc-0", compliantClaims())
+	sd.Claims["legalName"] = "Mallory Inc."
+	if cs.Compliant(sd) {
+		t.Fatal("tampered self-description accepted")
+	}
+}
+
+func TestGaiaXRejectsForgedSignature(t *testing.T) {
+	cs, _, p := federation(t)
+	sd, _ := p.SignSelfDescription("fmdc-0", compliantClaims())
+	sd.Signature[8] ^= 1
+	if cs.Compliant(sd) {
+		t.Fatal("forged signature accepted")
+	}
+}
+
+func TestGaiaXRejectsMissingMandatoryClaims(t *testing.T) {
+	cs, _, p := federation(t)
+	claims := compliantClaims()
+	delete(claims, "headquarterCountry")
+	sd, _ := p.SignSelfDescription("fmdc-0", claims)
+	err := cs.Verify(sd)
+	if err == nil || !strings.Contains(err.Error(), "mandatory claim") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGaiaXImpersonationFails(t *testing.T) {
+	// A registered participant cannot sign as another registered one.
+	cs, anchor, p1 := federation(t)
+	p2, _ := NewParticipant("canon-edge", nil)
+	anchor.Endorse(p2) //nolint:errcheck
+	cs.Register(p2)    //nolint:errcheck
+	sd, _ := p2.SignSelfDescription("svc", compliantClaims())
+	sd.Issuer = p1.Name // claim to be p1
+	if cs.Compliant(sd) {
+		t.Fatal("impersonation accepted")
+	}
+}
+
+func TestGaiaXSerializationRoundTrip(t *testing.T) {
+	cs, _, p := federation(t)
+	sd, _ := p.SignSelfDescription("fmdc-0", compliantClaims())
+	data, err := MarshalSelfDescription(sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd2, err := UnmarshalSelfDescription(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Verify(sd2); err != nil {
+		t.Fatalf("round-tripped SD rejected: %v", err)
+	}
+	if _, err := UnmarshalSelfDescription([]byte("junk")); err == nil {
+		t.Fatal("junk parsed")
+	}
+}
+
+func TestGaiaXValidation(t *testing.T) {
+	if _, err := NewParticipant("", nil); err == nil {
+		t.Fatal("nameless participant accepted")
+	}
+}

@@ -1,0 +1,106 @@
+package security
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/subtle"
+	"errors"
+	"io"
+)
+
+// Lamport one-time signatures: the hash-based construction standing in
+// for the NIST lattice signatures (CRYSTALS-Dilithium, FALCON) of the
+// High level. Hash-based signatures are post-quantum secure; like the
+// lattice schemes they exhibit the Table II cost shape — kilobyte-scale
+// keys and signatures, cheap verification. One key signs ONE message.
+
+const lamportChunks = 256 // one secret pair per digest bit
+
+// LamportPrivateKey holds the 2×256 secret preimages.
+type LamportPrivateKey struct {
+	secrets [2][lamportChunks][32]byte
+	pub     LamportPublicKey
+	used    bool
+}
+
+// LamportPublicKey holds the 2×256 hashed commitments.
+type LamportPublicKey struct {
+	hashes [2][lamportChunks][32]byte
+}
+
+// GenerateLamportKey draws a fresh one-time key pair from rng
+// (crypto/rand.Reader in production; a deterministic reader in tests).
+func GenerateLamportKey(rng io.Reader) (*LamportPrivateKey, error) {
+	if rng == nil {
+		rng = rand.Reader
+	}
+	priv := &LamportPrivateKey{}
+	for b := 0; b < 2; b++ {
+		for i := 0; i < lamportChunks; i++ {
+			if _, err := io.ReadFull(rng, priv.secrets[b][i][:]); err != nil {
+				return nil, err
+			}
+			priv.pub.hashes[b][i] = sha256.Sum256(priv.secrets[b][i][:])
+		}
+	}
+	return priv, nil
+}
+
+// PublicKey returns the verification key.
+func (k *LamportPrivateKey) PublicKey() LamportPublicKey { return k.pub }
+
+// Bytes serializes the public key (16 KiB — the PQC size shape).
+func (p LamportPublicKey) Bytes() []byte {
+	out := make([]byte, 0, 2*lamportChunks*32)
+	for b := 0; b < 2; b++ {
+		for i := 0; i < lamportChunks; i++ {
+			out = append(out, p.hashes[b][i][:]...)
+		}
+	}
+	return out
+}
+
+// ParseLamportPublicKey deserializes Bytes output.
+func ParseLamportPublicKey(data []byte) (LamportPublicKey, error) {
+	var p LamportPublicKey
+	if len(data) != 2*lamportChunks*32 {
+		return p, errors.New("security: bad lamport public key length")
+	}
+	for b := 0; b < 2; b++ {
+		for i := 0; i < lamportChunks; i++ {
+			copy(p.hashes[b][i][:], data[(b*lamportChunks+i)*32:])
+		}
+	}
+	return p, nil
+}
+
+// Sign produces the one-time signature of msg. Signing twice with the
+// same key is refused: revealing two signatures breaks the scheme.
+func (k *LamportPrivateKey) Sign(msg []byte) ([]byte, error) {
+	if k.used {
+		return nil, errors.New("security: lamport key already used (one-time signature)")
+	}
+	k.used = true
+	digest := sha256.Sum256(msg)
+	sig := make([]byte, 0, lamportChunks*32)
+	for i := 0; i < lamportChunks; i++ {
+		bit := (digest[i/8] >> (7 - uint(i%8))) & 1
+		sig = append(sig, k.secrets[bit][i][:]...)
+	}
+	return sig, nil
+}
+
+// Verify checks sig over msg against the public key.
+func (p LamportPublicKey) Verify(msg, sig []byte) bool {
+	if len(sig) != lamportChunks*32 {
+		return false
+	}
+	digest := sha256.Sum256(msg)
+	ok := 1
+	for i := 0; i < lamportChunks; i++ {
+		bit := (digest[i/8] >> (7 - uint(i%8))) & 1
+		h := sha256.Sum256(sig[i*32 : (i+1)*32])
+		ok &= subtle.ConstantTimeCompare(h[:], p.hashes[bit][i][:])
+	}
+	return ok == 1
+}

@@ -1,0 +1,143 @@
+package security
+
+import (
+	"crypto/rand"
+	"crypto/sha512"
+	"encoding/binary"
+	"errors"
+	"io"
+)
+
+// Regev-style LWE key encapsulation, standing in for CRYSTALS-Kyber in
+// the High suite. Post-quantum by construction (learning-with-errors);
+// simulation-grade parameters — see the package comment.
+//
+// Parameters: n = 256 dimensions, m = 256 samples, q = 4096, error
+// e ∈ [-2, 2]. Each encapsulated bit adds a subset of ≤ m rows, so the
+// accumulated error stays below q/4 and decryption is exact.
+
+const (
+	lweN = 256
+	lweM = 256
+	lweQ = 4096
+)
+
+// LWEPrivateKey is the LWE secret vector plus the public matrix.
+type LWEPrivateKey struct {
+	s   [lweN]uint16
+	pub LWEPublicKey
+}
+
+// LWEPublicKey is (A, b = A·s + e).
+type LWEPublicKey struct {
+	a [lweM][lweN]uint16
+	b [lweM]uint16
+}
+
+// GenerateLWEKey draws a key pair from rng (nil = crypto/rand).
+func GenerateLWEKey(rng io.Reader) (*LWEPrivateKey, error) {
+	if rng == nil {
+		rng = rand.Reader
+	}
+	priv := &LWEPrivateKey{}
+	buf := make([]byte, 2*lweN)
+	if _, err := io.ReadFull(rng, buf); err != nil {
+		return nil, err
+	}
+	for i := 0; i < lweN; i++ {
+		priv.s[i] = binary.LittleEndian.Uint16(buf[2*i:]) % lweQ
+	}
+	rowBuf := make([]byte, 2*lweN+1)
+	for r := 0; r < lweM; r++ {
+		if _, err := io.ReadFull(rng, rowBuf); err != nil {
+			return nil, err
+		}
+		var acc uint64
+		for c := 0; c < lweN; c++ {
+			v := binary.LittleEndian.Uint16(rowBuf[2*c:]) % lweQ
+			priv.pub.a[r][c] = v
+			acc += uint64(v) * uint64(priv.s[c])
+		}
+		e := int(rowBuf[2*lweN]%5) - 2 // error in [-2, 2]
+		priv.pub.b[r] = uint16((acc + uint64(lweQ+e)) % lweQ)
+	}
+	return priv, nil
+}
+
+// PublicKey returns the encapsulation key.
+func (k *LWEPrivateKey) PublicKey() *LWEPublicKey { return &k.pub }
+
+// SharedSecretSize is the KEM output length (a SHA-512 digest).
+const SharedSecretSize = 64
+
+// lweSeedBits is the number of encapsulated seed bits.
+const lweSeedBits = 128
+
+// Encapsulate derives a fresh shared secret for the public key. It
+// returns the ciphertext and the shared secret.
+func (p *LWEPublicKey) Encapsulate(rng io.Reader) (ct []byte, shared []byte, err error) {
+	if rng == nil {
+		rng = rand.Reader
+	}
+	seed := make([]byte, lweSeedBits/8)
+	if _, err := io.ReadFull(rng, seed); err != nil {
+		return nil, nil, err
+	}
+	// ct = 128 × (u ∈ Z_q^n, v ∈ Z_q): 2 bytes per coefficient.
+	ct = make([]byte, lweSeedBits*(lweN+1)*2)
+	sel := make([]byte, lweM/8)
+	off := 0
+	for bit := 0; bit < lweSeedBits; bit++ {
+		if _, err := io.ReadFull(rng, sel); err != nil {
+			return nil, nil, err
+		}
+		var u [lweN]uint32
+		var v uint32
+		for r := 0; r < lweM; r++ {
+			if sel[r/8]&(1<<(r%8)) == 0 {
+				continue
+			}
+			for c := 0; c < lweN; c++ {
+				u[c] += uint32(p.a[r][c])
+			}
+			v += uint32(p.b[r])
+		}
+		if seed[bit/8]&(1<<(bit%8)) != 0 {
+			v += lweQ / 2
+		}
+		for c := 0; c < lweN; c++ {
+			binary.LittleEndian.PutUint16(ct[off:], uint16(u[c]%lweQ))
+			off += 2
+		}
+		binary.LittleEndian.PutUint16(ct[off:], uint16(v%lweQ))
+		off += 2
+	}
+	sum := sha512.Sum512(seed)
+	return ct, sum[:], nil
+}
+
+// Decapsulate recovers the shared secret from ct.
+func (k *LWEPrivateKey) Decapsulate(ct []byte) ([]byte, error) {
+	if len(ct) != lweSeedBits*(lweN+1)*2 {
+		return nil, errors.New("security: bad LWE ciphertext length")
+	}
+	seed := make([]byte, lweSeedBits/8)
+	off := 0
+	for bit := 0; bit < lweSeedBits; bit++ {
+		var dot uint64
+		for c := 0; c < lweN; c++ {
+			u := binary.LittleEndian.Uint16(ct[off:])
+			off += 2
+			dot += uint64(u) * uint64(k.s[c])
+		}
+		v := binary.LittleEndian.Uint16(ct[off:])
+		off += 2
+		diff := (uint64(v) + uint64(lweQ)*lweN*lweQ - dot) % lweQ
+		// diff ≈ 0 → bit 0, diff ≈ q/2 → bit 1 (within q/4).
+		if diff > lweQ/4 && diff < 3*lweQ/4 {
+			seed[bit/8] |= 1 << (bit % 8)
+		}
+	}
+	sum := sha512.Sum512(seed)
+	return sum[:], nil
+}

@@ -1,0 +1,489 @@
+package security
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// detReader is a deterministic io.Reader for reproducible key material.
+type detReader struct{ state uint64 }
+
+func (d *detReader) Read(p []byte) (int, error) {
+	for i := range p {
+		d.state = d.state*6364136223846793005 + 1442695040888963407
+		p[i] = byte(d.state >> 56)
+	}
+	return len(p), nil
+}
+
+func asconKeyNonce() (key, nonce []byte) {
+	key = bytes.Repeat([]byte{0x42}, 16)
+	nonce = bytes.Repeat([]byte{0x17}, 16)
+	return
+}
+
+func TestAsconRoundTrip(t *testing.T) {
+	key, nonce := asconKeyNonce()
+	for _, n := range []int{0, 1, 7, 8, 9, 15, 16, 17, 63, 64, 100, 1000} {
+		pt := make([]byte, n)
+		for i := range pt {
+			pt[i] = byte(i)
+		}
+		ad := []byte("associated")
+		ct, err := AsconEncrypt(key, nonce, ad, pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ct) != n+AsconTagSize {
+			t.Fatalf("len(ct) = %d, want %d", len(ct), n+AsconTagSize)
+		}
+		got, err := AsconDecrypt(key, nonce, ad, ct)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !bytes.Equal(got, pt) {
+			t.Fatalf("n=%d: round-trip mismatch", n)
+		}
+	}
+}
+
+func TestAsconEmptyADAndEmptyPT(t *testing.T) {
+	key, nonce := asconKeyNonce()
+	ct, err := AsconEncrypt(key, nonce, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ct) != AsconTagSize {
+		t.Fatalf("empty pt ct length = %d", len(ct))
+	}
+	if _, err := AsconDecrypt(key, nonce, nil, ct); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAsconTamperDetection(t *testing.T) {
+	key, nonce := asconKeyNonce()
+	pt := []byte("the continuum of computing resources")
+	ad := []byte("hdr")
+	ct, _ := AsconEncrypt(key, nonce, ad, pt)
+	for _, i := range []int{0, len(pt) / 2, len(ct) - 1} {
+		bad := append([]byte(nil), ct...)
+		bad[i] ^= 0x01
+		if _, err := AsconDecrypt(key, nonce, ad, bad); err == nil {
+			t.Fatalf("tamper at byte %d undetected", i)
+		}
+	}
+	// Wrong AD.
+	if _, err := AsconDecrypt(key, nonce, []byte("other"), ct); err == nil {
+		t.Fatal("wrong AD undetected")
+	}
+	// Wrong key.
+	k2 := append([]byte(nil), key...)
+	k2[0] ^= 1
+	if _, err := AsconDecrypt(k2, nonce, ad, ct); err == nil {
+		t.Fatal("wrong key undetected")
+	}
+	// Wrong nonce.
+	n2 := append([]byte(nil), nonce...)
+	n2[0] ^= 1
+	if _, err := AsconDecrypt(key, n2, ad, ct); err == nil {
+		t.Fatal("wrong nonce undetected")
+	}
+}
+
+func TestAsconInputValidation(t *testing.T) {
+	if _, err := AsconEncrypt([]byte("short"), make([]byte, 16), nil, nil); err == nil {
+		t.Fatal("short key accepted")
+	}
+	if _, err := AsconEncrypt(make([]byte, 16), []byte("short"), nil, nil); err == nil {
+		t.Fatal("short nonce accepted")
+	}
+	if _, err := AsconDecrypt([]byte("short"), make([]byte, 16), nil, make([]byte, 16)); err == nil {
+		t.Fatal("short key accepted")
+	}
+	if _, err := AsconDecrypt(make([]byte, 16), []byte("x"), nil, make([]byte, 16)); err == nil {
+		t.Fatal("short nonce accepted")
+	}
+	if _, err := AsconDecrypt(make([]byte, 16), make([]byte, 16), nil, []byte("tiny")); err == nil {
+		t.Fatal("short ciphertext accepted")
+	}
+}
+
+func TestAsconNonceChangesCiphertext(t *testing.T) {
+	key, nonce := asconKeyNonce()
+	pt := []byte("same plaintext")
+	ct1, _ := AsconEncrypt(key, nonce, nil, pt)
+	n2 := append([]byte(nil), nonce...)
+	n2[15] ^= 1
+	ct2, _ := AsconEncrypt(key, n2, nil, pt)
+	if bytes.Equal(ct1, ct2) {
+		t.Fatal("nonce did not change ciphertext")
+	}
+}
+
+func TestAsconRoundTripProperty(t *testing.T) {
+	key, nonce := asconKeyNonce()
+	if err := quick.Check(func(pt, ad []byte) bool {
+		ct, err := AsconEncrypt(key, nonce, ad, pt)
+		if err != nil {
+			return false
+		}
+		got, err := AsconDecrypt(key, nonce, ad, ct)
+		return err == nil && bytes.Equal(got, pt)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAsconHash(t *testing.T) {
+	h1 := AsconHash([]byte("abc"))
+	h2 := AsconHash([]byte("abc"))
+	if h1 != h2 {
+		t.Fatal("hash not deterministic")
+	}
+	h3 := AsconHash([]byte("abd"))
+	if h1 == h3 {
+		t.Fatal("collision on trivially different input")
+	}
+	// Avalanche: flipping one input bit flips ~half the output bits.
+	diff := 0
+	for i := range h1 {
+		x := h1[i] ^ h3[i]
+		for x != 0 {
+			diff += int(x & 1)
+			x >>= 1
+		}
+	}
+	if diff < 80 || diff > 176 {
+		t.Fatalf("avalanche weak: %d/256 bits differ", diff)
+	}
+	// Length-extension resistance shape: empty and 8-byte boundary inputs.
+	if AsconHash(nil) == AsconHash(make([]byte, 8)) {
+		t.Fatal("padding ambiguity")
+	}
+}
+
+func TestLamportSignVerify(t *testing.T) {
+	k, err := GenerateLamportKey(&detReader{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("deploy request")
+	sig, err := k.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub := k.PublicKey()
+	if !pub.Verify(msg, sig) {
+		t.Fatal("valid signature rejected")
+	}
+	if pub.Verify([]byte("other"), sig) {
+		t.Fatal("forged message accepted")
+	}
+	bad := append([]byte(nil), sig...)
+	bad[100] ^= 1
+	if pub.Verify(msg, bad) {
+		t.Fatal("tampered signature accepted")
+	}
+	if pub.Verify(msg, sig[:64]) {
+		t.Fatal("truncated signature accepted")
+	}
+	// One-time property.
+	if _, err := k.Sign(msg); err == nil {
+		t.Fatal("double signing allowed")
+	}
+}
+
+func TestLamportSerialization(t *testing.T) {
+	k, _ := GenerateLamportKey(&detReader{2})
+	data := k.PublicKey().Bytes()
+	if len(data) != 2*256*32 {
+		t.Fatalf("pub key size = %d", len(data))
+	}
+	p, err := ParseLamportPublicKey(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("m")
+	sig, _ := k.Sign(msg)
+	if !p.Verify(msg, sig) {
+		t.Fatal("parsed key rejects valid signature")
+	}
+	if _, err := ParseLamportPublicKey(data[:100]); err == nil {
+		t.Fatal("short key accepted")
+	}
+}
+
+func TestLWEKEMRoundTrip(t *testing.T) {
+	k, err := GenerateLWEKey(&detReader{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, shared, err := k.PublicKey().Encapsulate(&detReader{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shared) != SharedSecretSize {
+		t.Fatalf("shared size = %d", len(shared))
+	}
+	got, err := k.Decapsulate(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, shared) {
+		t.Fatal("KEM round-trip mismatch")
+	}
+	if _, err := k.Decapsulate(ct[:100]); err == nil {
+		t.Fatal("short ciphertext accepted")
+	}
+}
+
+func TestLWEKEMRepeatedCorrectness(t *testing.T) {
+	// Error accumulation must never flip a bit: run several encaps.
+	k, _ := GenerateLWEKey(&detReader{5})
+	for i := uint64(0); i < 5; i++ {
+		ct, shared, err := k.PublicKey().Encapsulate(&detReader{100 + i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := k.Decapsulate(ct)
+		if err != nil || !bytes.Equal(got, shared) {
+			t.Fatalf("iteration %d failed", i)
+		}
+	}
+}
+
+func TestLWESerialization(t *testing.T) {
+	k, _ := GenerateLWEKey(&detReader{6})
+	data := serializeLWEPub(k.PublicKey())
+	p, err := parseLWEPub(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, shared, _ := p.Encapsulate(&detReader{7})
+	got, _ := k.Decapsulate(ct)
+	if !bytes.Equal(got, shared) {
+		t.Fatal("serialized key round-trip failed")
+	}
+	if _, err := parseLWEPub(data[:10]); err == nil {
+		t.Fatal("short key accepted")
+	}
+}
+
+func TestLevelOrdering(t *testing.T) {
+	if !(LevelHigh.Rank() > LevelMedium.Rank() && LevelMedium.Rank() > LevelLow.Rank()) {
+		t.Fatal("rank ordering")
+	}
+	if !LevelHigh.Satisfies(LevelLow) || LevelLow.Satisfies(LevelHigh) {
+		t.Fatal("Satisfies")
+	}
+	if !LevelLow.Satisfies("") {
+		t.Fatal("empty requirement")
+	}
+	if Level("bogus").Rank() != 0 {
+		t.Fatal("bogus level rank")
+	}
+	if len(Levels()) != 3 {
+		t.Fatal("Levels")
+	}
+}
+
+func TestSuiteForAndTableII(t *testing.T) {
+	for _, l := range Levels() {
+		s, err := SuiteFor(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Level() != l {
+			t.Fatalf("level = %v", s.Level())
+		}
+	}
+	if _, err := SuiteFor("bogus"); err == nil {
+		t.Fatal("bogus suite")
+	}
+	rows := TableII()
+	if len(rows) != 3 || rows[0].Level != LevelHigh || rows[2].Level != LevelLow {
+		t.Fatalf("TableII = %+v", rows)
+	}
+	// The table's qualitative claims.
+	if rows[0].Encryption != "AES-256-GCM" || rows[1].Encryption != "AES-128-GCM" || rows[2].Encryption != "ASCON-128" {
+		t.Fatal("encryption column")
+	}
+}
+
+func TestSuiteAEADAllLevels(t *testing.T) {
+	for _, l := range Levels() {
+		s, _ := SuiteFor(l)
+		key := make([]byte, s.KeySize())
+		nonce := make([]byte, s.NonceSize())
+		(&detReader{8}).Read(key)   //nolint:errcheck
+		(&detReader{9}).Read(nonce) //nolint:errcheck
+		pt := []byte("continuum payload")
+		ad := []byte("meta")
+		ct, err := s.Seal(key, nonce, ad, pt)
+		if err != nil {
+			t.Fatalf("%s seal: %v", l, err)
+		}
+		got, err := s.Open(key, nonce, ad, ct)
+		if err != nil || !bytes.Equal(got, pt) {
+			t.Fatalf("%s open: %v", l, err)
+		}
+		ct[0] ^= 1
+		if _, err := s.Open(key, nonce, ad, ct); err == nil {
+			t.Fatalf("%s tamper undetected", l)
+		}
+		if len(s.Hash([]byte("x"))) < 32 {
+			t.Fatalf("%s hash too short", l)
+		}
+	}
+}
+
+func TestSuiteSignAllLevels(t *testing.T) {
+	for _, l := range Levels() {
+		s, _ := SuiteFor(l)
+		signer, err := s.NewSigner(&detReader{10})
+		if err != nil {
+			t.Fatalf("%s signer: %v", l, err)
+		}
+		msg := []byte("orchestrate")
+		sig, err := signer.Sign(msg)
+		if err != nil {
+			t.Fatalf("%s sign: %v", l, err)
+		}
+		if !s.Verify(signer.PublicKey(), msg, sig) {
+			t.Fatalf("%s valid signature rejected", l)
+		}
+		if s.Verify(signer.PublicKey(), []byte("forged"), sig) {
+			t.Fatalf("%s forgery accepted", l)
+		}
+		if signer.Algorithm() == "" {
+			t.Fatalf("%s empty algorithm", l)
+		}
+	}
+}
+
+func TestSuiteKEMAllLevels(t *testing.T) {
+	for _, l := range Levels() {
+		s, _ := SuiteFor(l)
+		decap, pub, err := s.NewKEM(&detReader{11})
+		if err != nil {
+			t.Fatalf("%s kem gen: %v", l, err)
+		}
+		ct, shared, err := s.Encapsulate(pub, &detReader{12})
+		if err != nil {
+			t.Fatalf("%s encap: %v", l, err)
+		}
+		got, err := decap(ct)
+		if err != nil {
+			t.Fatalf("%s decap: %v", l, err)
+		}
+		if !bytes.Equal(got, shared) {
+			t.Fatalf("%s shared secret mismatch", l)
+		}
+	}
+}
+
+func TestHighLevelHasPQCSizeShape(t *testing.T) {
+	high, _ := SuiteFor(LevelHigh)
+	low, _ := SuiteFor(LevelLow)
+	hs, _ := high.NewSigner(&detReader{13})
+	ls, _ := low.NewSigner(&detReader{14})
+	if len(hs.PublicKey()) <= len(ls.PublicKey())*10 {
+		t.Fatalf("PQC keys should dwarf ECC keys: %d vs %d", len(hs.PublicKey()), len(ls.PublicKey()))
+	}
+	_, hpub, _ := high.NewKEM(&detReader{15})
+	_, lpub, _ := low.NewKEM(&detReader{16})
+	if len(hpub) <= len(lpub)*10 {
+		t.Fatalf("PQC KEM keys should dwarf ECDH: %d vs %d", len(hpub), len(lpub))
+	}
+}
+
+func TestTrustEngine(t *testing.T) {
+	if _, err := NewTrustEngine(0); err == nil {
+		t.Fatal("decay 0 accepted")
+	}
+	if _, err := NewTrustEngine(1.5); err == nil {
+		t.Fatal("decay >1 accepted")
+	}
+	te, err := NewTrustEngine(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := te.Trust("a", "b"); got != 0.5 {
+		t.Fatalf("neutral trust = %v", got)
+	}
+	if got := te.Reputation("b"); got != 0.5 {
+		t.Fatalf("neutral reputation = %v", got)
+	}
+	for i := 0; i < 10; i++ {
+		te.Observe("a", "good", true)
+		te.Observe("a", "bad", false)
+	}
+	if tg := te.Trust("a", "good"); tg < 0.85 {
+		t.Fatalf("good trust = %v", tg)
+	}
+	if tb := te.Trust("a", "bad"); tb > 0.15 {
+		t.Fatalf("bad trust = %v", tb)
+	}
+	if !te.Trusted("good", 0.8) || te.Trusted("bad", 0.5) {
+		t.Fatal("Trusted thresholds")
+	}
+	subs := te.Subjects()
+	if len(subs) != 2 || subs[0] != "bad" {
+		t.Fatalf("Subjects = %v", subs)
+	}
+}
+
+func TestTrustBoundsProperty(t *testing.T) {
+	if err := quick.Check(func(outcomes []bool) bool {
+		te, _ := NewTrustEngine(0.95)
+		for _, o := range outcomes {
+			te.Observe("r", "s", o)
+		}
+		tr := te.Trust("r", "s")
+		rep := te.Reputation("s")
+		return tr >= 0 && tr <= 1 && rep >= 0 && rep <= 1
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrustDecayForgets(t *testing.T) {
+	te, _ := NewTrustEngine(0.5)
+	for i := 0; i < 20; i++ {
+		te.Observe("r", "s", false)
+	}
+	// A streak of successes should overcome old failures quickly.
+	for i := 0; i < 20; i++ {
+		te.Observe("r", "s", true)
+	}
+	if tr := te.Trust("r", "s"); tr < 0.7 {
+		t.Fatalf("decayed trust = %v, old failures dominating", tr)
+	}
+}
+
+func TestTrustReputationAggregation(t *testing.T) {
+	te, _ := NewTrustEngine(1)
+	// Heavy-evidence rater says good; light-evidence rater says bad.
+	for i := 0; i < 30; i++ {
+		te.Observe("heavy", "s", true)
+	}
+	te.Observe("light", "s", false)
+	if rep := te.Reputation("s"); rep < 0.7 {
+		t.Fatalf("reputation = %v, evidence weighting broken", rep)
+	}
+	if te.Confidence("s") < 0.7 {
+		t.Fatalf("confidence = %v", te.Confidence("s"))
+	}
+	if te.Confidence("ghost") != 0 {
+		t.Fatal("ghost confidence")
+	}
+	// Disagreement raises entropy.
+	if te.Entropy("s") <= 0 {
+		t.Fatal("entropy should be positive with disagreeing raters")
+	}
+	if te.Entropy("ghost") != 0 {
+		t.Fatal("ghost entropy")
+	}
+}

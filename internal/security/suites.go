@@ -1,0 +1,421 @@
+package security
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"crypto/sha512"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Level is one of the Table II security levels.
+type Level string
+
+// The three MYRTUS security levels.
+const (
+	LevelHigh   Level = "high"   // PQC resistant
+	LevelMedium Level = "medium" // non-PQC but suitable for current threats
+	LevelLow    Level = "low"    // lightweight, for constrained components
+)
+
+// Levels lists all levels strongest-first.
+func Levels() []Level { return []Level{LevelHigh, LevelMedium, LevelLow} }
+
+// Rank orders levels: higher rank = stronger.
+func (l Level) Rank() int {
+	switch l {
+	case LevelHigh:
+		return 3
+	case LevelMedium:
+		return 2
+	case LevelLow:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Satisfies reports whether level l meets requirement req (stronger
+// levels satisfy weaker requirements).
+func (l Level) Satisfies(req Level) bool {
+	if req == "" {
+		return true
+	}
+	return l.Rank() >= req.Rank()
+}
+
+// Info describes a suite for Table II rendering.
+type Info struct {
+	Level          Level
+	Encryption     string
+	Authentication string
+	KeyExchange    string
+	Hashing        string
+}
+
+// Signer produces signatures.
+type Signer interface {
+	Sign(msg []byte) ([]byte, error)
+	PublicKey() []byte
+	Algorithm() string
+}
+
+// Suite is one runnable security level: AEAD + signature + KEM + hash.
+type Suite struct {
+	info    Info
+	keySize int
+
+	seal   func(key, nonce, ad, pt []byte) ([]byte, error)
+	open   func(key, nonce, ad, ct []byte) ([]byte, error)
+	hash   func(msg []byte) []byte
+	signer func(rng io.Reader) (Signer, error)
+	verify func(pub, msg, sig []byte) bool
+	// kemGen returns (decapsulate, publicKey).
+	kemGen func(rng io.Reader) (func(ct []byte) ([]byte, error), []byte, error)
+	encap  func(pub []byte, rng io.Reader) (ct, shared []byte, err error)
+}
+
+// Info returns the Table II row for the suite.
+func (s *Suite) Info() Info { return s.info }
+
+// Level returns the suite's level.
+func (s *Suite) Level() Level { return s.info.Level }
+
+// KeySize returns the AEAD key length in bytes.
+func (s *Suite) KeySize() int { return s.keySize }
+
+// NonceSize returns the AEAD nonce length in bytes.
+func (s *Suite) NonceSize() int {
+	if s.info.Level == LevelLow {
+		return AsconNonceSize
+	}
+	return 12 // GCM standard nonce
+}
+
+// Seal encrypts-and-authenticates plaintext.
+func (s *Suite) Seal(key, nonce, ad, plaintext []byte) ([]byte, error) {
+	return s.seal(key, nonce, ad, plaintext)
+}
+
+// Open verifies-and-decrypts sealed data.
+func (s *Suite) Open(key, nonce, ad, sealed []byte) ([]byte, error) {
+	return s.open(key, nonce, ad, sealed)
+}
+
+// Hash digests msg with the suite's hash.
+func (s *Suite) Hash(msg []byte) []byte { return s.hash(msg) }
+
+// NewSigner creates a signing key (rng nil = crypto/rand).
+func (s *Suite) NewSigner(rng io.Reader) (Signer, error) { return s.signer(rng) }
+
+// Verify checks a signature against a serialized public key.
+func (s *Suite) Verify(pub, msg, sig []byte) bool { return s.verify(pub, msg, sig) }
+
+// NewKEM creates a decapsulation key; it returns the decapsulate closure
+// and the serialized public key.
+func (s *Suite) NewKEM(rng io.Reader) (func(ct []byte) ([]byte, error), []byte, error) {
+	return s.kemGen(rng)
+}
+
+// Encapsulate derives a shared secret for a serialized KEM public key.
+func (s *Suite) Encapsulate(pub []byte, rng io.Reader) (ct, shared []byte, err error) {
+	return s.encap(pub, rng)
+}
+
+func gcmSeal(key, nonce, ad, pt []byte) ([]byte, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	g, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	return g.Seal(nil, nonce, pt, ad), nil
+}
+
+func gcmOpen(key, nonce, ad, ct []byte) ([]byte, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	g, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	return g.Open(nil, nonce, ct, ad)
+}
+
+type lamportSigner struct{ key *LamportPrivateKey }
+
+func (l *lamportSigner) Sign(msg []byte) ([]byte, error) { return l.key.Sign(msg) }
+func (l *lamportSigner) PublicKey() []byte               { return l.key.PublicKey().Bytes() }
+func (l *lamportSigner) Algorithm() string               { return "Lamport-OTS" }
+
+type ecdsaSigner struct{ key *ecdsa.PrivateKey }
+
+func (e *ecdsaSigner) Sign(msg []byte) ([]byte, error) {
+	digest := sha256.Sum256(msg)
+	return ecdsa.SignASN1(rand.Reader, e.key, digest[:])
+}
+func (e *ecdsaSigner) PublicKey() []byte {
+	return elliptic.MarshalCompressed(elliptic.P256(), e.key.X, e.key.Y)
+}
+func (e *ecdsaSigner) Algorithm() string { return "ECDSA-P256" }
+
+type rsaSigner struct{ key *rsa.PrivateKey }
+
+func (r *rsaSigner) Sign(msg []byte) ([]byte, error) {
+	digest := sha256.Sum256(msg)
+	return rsa.SignPKCS1v15(rand.Reader, r.key, 0, digest[:])
+}
+func (r *rsaSigner) PublicKey() []byte {
+	return r.key.PublicKey.N.Bytes() // modulus; e fixed at 65537
+}
+func (r *rsaSigner) Algorithm() string { return "RSA-2048" }
+
+var suites = map[Level]*Suite{}
+
+func init() {
+	suites[LevelHigh] = &Suite{
+		info: Info{
+			Level:          LevelHigh,
+			Encryption:     "AES-256-GCM",
+			Authentication: "Lamport-OTS (for CRYSTALS-Dilithium/FALCON)",
+			KeyExchange:    "Regev-LWE KEM (for CRYSTALS-KYBER)",
+			Hashing:        "SHA-512",
+		},
+		keySize: 32,
+		seal:    gcmSeal,
+		open:    gcmOpen,
+		hash:    func(m []byte) []byte { d := sha512.Sum512(m); return d[:] },
+		signer: func(rng io.Reader) (Signer, error) {
+			k, err := GenerateLamportKey(rng)
+			if err != nil {
+				return nil, err
+			}
+			return &lamportSigner{key: k}, nil
+		},
+		verify: func(pub, msg, sig []byte) bool {
+			p, err := ParseLamportPublicKey(pub)
+			if err != nil {
+				return false
+			}
+			return p.Verify(msg, sig)
+		},
+		kemGen: func(rng io.Reader) (func([]byte) ([]byte, error), []byte, error) {
+			k, err := GenerateLWEKey(rng)
+			if err != nil {
+				return nil, nil, err
+			}
+			return k.Decapsulate, serializeLWEPub(k.PublicKey()), nil
+		},
+		encap: func(pub []byte, rng io.Reader) ([]byte, []byte, error) {
+			p, err := parseLWEPub(pub)
+			if err != nil {
+				return nil, nil, err
+			}
+			return p.Encapsulate(rng)
+		},
+	}
+
+	suites[LevelMedium] = &Suite{
+		info: Info{
+			Level:          LevelMedium,
+			Encryption:     "AES-128-GCM",
+			Authentication: "RSA-2048 / ECDSA-P256",
+			KeyExchange:    "RSA-2048-OAEP",
+			Hashing:        "SHA-256",
+		},
+		keySize: 16,
+		seal:    gcmSeal,
+		open:    gcmOpen,
+		hash:    func(m []byte) []byte { d := sha256.Sum256(m); return d[:] },
+		signer: func(rng io.Reader) (Signer, error) {
+			if rng == nil {
+				rng = rand.Reader
+			}
+			k, err := rsa.GenerateKey(rng, 2048)
+			if err != nil {
+				return nil, err
+			}
+			return &rsaSigner{key: k}, nil
+		},
+		verify: func(pub, msg, sig []byte) bool {
+			k, err := parseRSAPub(pub)
+			if err != nil {
+				return false
+			}
+			digest := sha256.Sum256(msg)
+			return rsa.VerifyPKCS1v15(k, 0, digest[:], sig) == nil
+		},
+		kemGen: func(rng io.Reader) (func([]byte) ([]byte, error), []byte, error) {
+			if rng == nil {
+				rng = rand.Reader
+			}
+			k, err := rsa.GenerateKey(rng, 2048)
+			if err != nil {
+				return nil, nil, err
+			}
+			decap := func(ct []byte) ([]byte, error) {
+				return rsa.DecryptOAEP(sha256.New(), nil, k, ct, nil)
+			}
+			return decap, k.PublicKey.N.Bytes(), nil
+		},
+		encap: func(pub []byte, rng io.Reader) ([]byte, []byte, error) {
+			if rng == nil {
+				rng = rand.Reader
+			}
+			k, err := parseRSAPub(pub)
+			if err != nil {
+				return nil, nil, err
+			}
+			shared := make([]byte, 32)
+			if _, err := io.ReadFull(rng, shared); err != nil {
+				return nil, nil, err
+			}
+			ct, err := rsa.EncryptOAEP(sha256.New(), rng, k, shared, nil)
+			if err != nil {
+				return nil, nil, err
+			}
+			return ct, shared, nil
+		},
+	}
+
+	suites[LevelLow] = &Suite{
+		info: Info{
+			Level:          LevelLow,
+			Encryption:     "ASCON-128",
+			Authentication: "ECDSA-P256",
+			KeyExchange:    "ECDH-P256",
+			Hashing:        "ASCON-Hash",
+		},
+		keySize: AsconKeySize,
+		seal:    AsconEncrypt,
+		open:    AsconDecrypt,
+		hash:    func(m []byte) []byte { d := AsconHash(m); return d[:] },
+		signer: func(rng io.Reader) (Signer, error) {
+			if rng == nil {
+				rng = rand.Reader
+			}
+			k, err := ecdsa.GenerateKey(elliptic.P256(), rng)
+			if err != nil {
+				return nil, err
+			}
+			return &ecdsaSigner{key: k}, nil
+		},
+		verify: func(pub, msg, sig []byte) bool {
+			x, y := elliptic.UnmarshalCompressed(elliptic.P256(), pub)
+			if x == nil {
+				return false
+			}
+			k := &ecdsa.PublicKey{Curve: elliptic.P256(), X: x, Y: y}
+			digest := sha256.Sum256(msg)
+			return ecdsa.VerifyASN1(k, digest[:], sig)
+		},
+		kemGen: func(rng io.Reader) (func([]byte) ([]byte, error), []byte, error) {
+			if rng == nil {
+				rng = rand.Reader
+			}
+			k, err := ecdh.P256().GenerateKey(rng)
+			if err != nil {
+				return nil, nil, err
+			}
+			decap := func(ct []byte) ([]byte, error) {
+				peer, err := ecdh.P256().NewPublicKey(ct)
+				if err != nil {
+					return nil, err
+				}
+				return k.ECDH(peer)
+			}
+			return decap, k.PublicKey().Bytes(), nil
+		},
+		encap: func(pub []byte, rng io.Reader) ([]byte, []byte, error) {
+			if rng == nil {
+				rng = rand.Reader
+			}
+			peer, err := ecdh.P256().NewPublicKey(pub)
+			if err != nil {
+				return nil, nil, err
+			}
+			eph, err := ecdh.P256().GenerateKey(rng)
+			if err != nil {
+				return nil, nil, err
+			}
+			shared, err := eph.ECDH(peer)
+			if err != nil {
+				return nil, nil, err
+			}
+			return eph.PublicKey().Bytes(), shared, nil
+		},
+	}
+}
+
+// SuiteFor returns the suite implementing the given level.
+func SuiteFor(level Level) (*Suite, error) {
+	s, ok := suites[level]
+	if !ok {
+		return nil, fmt.Errorf("security: unknown level %q", level)
+	}
+	return s, nil
+}
+
+// TableII returns all suite rows, strongest first — the regenerated
+// Table II of the paper.
+func TableII() []Info {
+	out := make([]Info, 0, len(suites))
+	for _, s := range suites {
+		out = append(out, s.info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Level.Rank() > out[j].Level.Rank() })
+	return out
+}
+
+func serializeLWEPub(p *LWEPublicKey) []byte {
+	out := make([]byte, 0, lweM*(lweN+1)*2)
+	var b [2]byte
+	for r := 0; r < lweM; r++ {
+		for c := 0; c < lweN; c++ {
+			b[0] = byte(p.a[r][c])
+			b[1] = byte(p.a[r][c] >> 8)
+			out = append(out, b[0], b[1])
+		}
+		b[0] = byte(p.b[r])
+		b[1] = byte(p.b[r] >> 8)
+		out = append(out, b[0], b[1])
+	}
+	return out
+}
+
+func parseLWEPub(data []byte) (*LWEPublicKey, error) {
+	if len(data) != lweM*(lweN+1)*2 {
+		return nil, fmt.Errorf("security: bad LWE public key length %d", len(data))
+	}
+	p := &LWEPublicKey{}
+	off := 0
+	for r := 0; r < lweM; r++ {
+		for c := 0; c < lweN; c++ {
+			p.a[r][c] = uint16(data[off]) | uint16(data[off+1])<<8
+			off += 2
+		}
+		p.b[r] = uint16(data[off]) | uint16(data[off+1])<<8
+		off += 2
+	}
+	return p, nil
+}
+
+func parseRSAPub(n []byte) (*rsa.PublicKey, error) {
+	if len(n) < 128 {
+		return nil, fmt.Errorf("security: RSA modulus too short")
+	}
+	k := &rsa.PublicKey{E: 65537}
+	k.N = newBigInt(n)
+	return k, nil
+}

@@ -1,0 +1,162 @@
+package security
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"sort"
+	"sync"
+)
+
+func newBigInt(b []byte) *big.Int { return new(big.Int).SetBytes(b) }
+
+// TrustEngine implements the Trust & Reputation building block: per-
+// component trust scores derived from observed interaction outcomes
+// (beta-reputation), combined with cross-rater reputation aggregation.
+// Scores are in [0, 1]; MIRTO's Privacy & Security Manager treats them as
+// trust-related KPIs when (re)allocating workloads.
+type TrustEngine struct {
+	mu sync.Mutex
+	// obs[rater][subject] = (successes, failures), exponentially decayed.
+	obs map[string]map[string]*betaRecord
+	// decay per Observe on the same (rater, subject) pair.
+	decay float64
+}
+
+type betaRecord struct {
+	s, f float64
+}
+
+// NewTrustEngine returns an engine with the given memory decay factor in
+// (0, 1]; 1 means no forgetting. Typical: 0.98.
+func NewTrustEngine(decay float64) (*TrustEngine, error) {
+	if decay <= 0 || decay > 1 {
+		return nil, fmt.Errorf("security: trust decay %v out of (0,1]", decay)
+	}
+	return &TrustEngine{obs: make(map[string]map[string]*betaRecord), decay: decay}, nil
+}
+
+// Observe records an interaction outcome between rater and subject.
+func (t *TrustEngine) Observe(rater, subject string, success bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m := t.obs[rater]
+	if m == nil {
+		m = make(map[string]*betaRecord)
+		t.obs[rater] = m
+	}
+	r := m[subject]
+	if r == nil {
+		r = &betaRecord{}
+		m[subject] = r
+	}
+	r.s *= t.decay
+	r.f *= t.decay
+	if success {
+		r.s++
+	} else {
+		r.f++
+	}
+}
+
+// Trust returns rater's direct trust in subject: the beta-reputation
+// expected value (s+1)/(s+f+2). With no history it is the neutral 0.5.
+func (t *TrustEngine) Trust(rater, subject string) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if r := t.obs[rater][subject]; r != nil {
+		return (r.s + 1) / (r.s + r.f + 2)
+	}
+	return 0.5
+}
+
+// Reputation aggregates all raters' direct trust in subject, weighting
+// each rater by its observation mass (raters with more evidence count
+// more). No evidence yields the neutral 0.5.
+func (t *TrustEngine) Reputation(subject string) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	num, den := 0.0, 0.0
+	for _, m := range t.obs {
+		r := m[subject]
+		if r == nil {
+			continue
+		}
+		w := r.s + r.f
+		if w == 0 {
+			continue
+		}
+		trust := (r.s + 1) / (r.s + r.f + 2)
+		num += w * trust
+		den += w
+	}
+	if den == 0 {
+		return 0.5
+	}
+	return num / den
+}
+
+// Trusted reports whether subject's reputation clears threshold.
+func (t *TrustEngine) Trusted(subject string, threshold float64) bool {
+	return t.Reputation(subject) >= threshold
+}
+
+// Subjects returns every subject with recorded evidence, sorted.
+func (t *TrustEngine) Subjects() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	set := map[string]bool{}
+	for _, m := range t.obs {
+		for s := range m {
+			set[s] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Confidence returns how much evidence backs subject's reputation,
+// normalized to [0, 1) via mass/(mass+10).
+func (t *TrustEngine) Confidence(subject string) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	mass := 0.0
+	for _, m := range t.obs {
+		if r := m[subject]; r != nil {
+			mass += r.s + r.f
+		}
+	}
+	return mass / (mass + 10)
+}
+
+// Entropy summarizes how divided raters are about subject (0 = raters
+// agree, 1 = maximal disagreement). Diagnostic for Sybil-ish behaviour.
+func (t *TrustEngine) Entropy(subject string) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var vals []float64
+	for _, m := range t.obs {
+		if r := m[subject]; r != nil && r.s+r.f > 0 {
+			vals = append(vals, (r.s+1)/(r.s+r.f+2))
+		}
+	}
+	if len(vals) < 2 {
+		return 0
+	}
+	mean := 0.0
+	for _, v := range vals {
+		mean += v
+	}
+	mean /= float64(len(vals))
+	variance := 0.0
+	for _, v := range vals {
+		variance += (v - mean) * (v - mean)
+	}
+	variance /= float64(len(vals))
+	// Max variance of values in [0,1] is 0.25.
+	return math.Min(variance/0.25, 1)
+}

@@ -1,0 +1,248 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("clock = %v, want 30", e.Now())
+	}
+}
+
+func TestEngineFIFOAtSameTime(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.At(10, func() { fired = true })
+	ev.Cancel()
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+}
+
+func TestEngineSchedulePastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.At(10, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling in the past")
+		}
+	}()
+	e.At(5, func() {})
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	var fired []Time
+	for _, at := range []Time{5, 15, 25} {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	e.RunUntil(15)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want events at 5 and 15", fired)
+	}
+	if e.Now() != 15 {
+		t.Fatalf("clock = %v, want 15", e.Now())
+	}
+	e.RunUntil(100)
+	if len(fired) != 3 || e.Now() != 100 {
+		t.Fatalf("fired=%v now=%v", fired, e.Now())
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 5 {
+			e.After(10, tick)
+		}
+	}
+	e.After(0, tick)
+	e.Run()
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if e.Now() != 40 {
+		t.Fatalf("now = %v, want 40", e.Now())
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func() []uint64 {
+		e := NewEngine(42)
+		var draws []uint64
+		for i := 0; i < 8; i++ {
+			e.After(Time(i)*Millisecond, func() { draws = append(draws, e.RNG().Uint64()) })
+		}
+		e.Run()
+		return draws
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic draw %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	root := NewRNG(7)
+	a := root.Fork("a")
+	b := root.Fork("b")
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("forked streams identical on first draw")
+	}
+	// Fork must be order-independent: same label from same parent state.
+	root2 := NewRNG(7)
+	b2 := root2.Fork("b")
+	a2 := root2.Fork("a")
+	if a2.Uint64() != NewRNG(7).Fork("a").Uint64() {
+		t.Fatal("fork depends on call order")
+	}
+	_ = b2
+}
+
+func TestRNGFloat64Bounds(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := NewRNG(seed)
+		for i := 0; i < 100; i++ {
+			f := r.Float64()
+			if f < 0 || f >= 1 {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := NewRNG(seed)
+		n := 1 + r.Intn(50)
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGPick(t *testing.T) {
+	r := NewRNG(3)
+	if got := r.Pick(nil); got != -1 {
+		t.Fatalf("Pick(nil) = %d, want -1", got)
+	}
+	if got := r.Pick([]float64{0, 0}); got != -1 {
+		t.Fatalf("Pick(zeros) = %d, want -1", got)
+	}
+	counts := [3]int{}
+	for i := 0; i < 3000; i++ {
+		counts[r.Pick([]float64{1, 0, 3})]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight index picked %d times", counts[1])
+	}
+	if counts[2] < counts[0] {
+		t.Fatalf("weights not respected: %v", counts)
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(9)
+	sum := 0.0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += r.Exp(5)
+	}
+	mean := sum / n
+	if mean < 4.5 || mean > 5.5 {
+		t.Fatalf("Exp mean = %v, want ≈5", mean)
+	}
+}
+
+func TestRNGNormMoments(t *testing.T) {
+	r := NewRNG(11)
+	sum, sq := 0.0, 0.0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		x := r.Norm(10, 2)
+		sum += x
+		sq += x * x
+	}
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if mean < 9.8 || mean > 10.2 {
+		t.Fatalf("Norm mean = %v", mean)
+	}
+	if variance < 3.2 || variance > 4.8 {
+		t.Fatalf("Norm variance = %v, want ≈4", variance)
+	}
+}
+
+func TestPendingAndFired(t *testing.T) {
+	e := NewEngine(1)
+	e.At(1, func() {})
+	ev := e.At(2, func() {})
+	ev.Cancel()
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if e.Fired() != 1 {
+		t.Fatalf("Fired = %d, want 1", e.Fired())
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	if Second != 1_000_000_000 {
+		t.Fatal("Second wrong")
+	}
+	if (2 * Second).Seconds() != 2.0 {
+		t.Fatal("Seconds wrong")
+	}
+	if (1500 * Millisecond).String() != "1.5s" {
+		t.Fatalf("String = %q", (1500 * Millisecond).String())
+	}
+}

@@ -1,0 +1,296 @@
+// Package swarm implements the swarm-intelligence orchestration strategy
+// of the MIRTO Cognitive Engine (LAKE's contribution in the paper):
+// decentralized workload balancing driven by evolved local rules. FREVO's
+// role — evolutionary design of the local rules — is reproduced by
+// Evolve, and DynAA's role — simulating the effect of rule changes on
+// system KPIs — by Network.Run.
+package swarm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"myrtus/internal/sim"
+)
+
+// Rule is the local decision rule every swarm agent executes. An agent
+// offloads its smallest task to its least-loaded neighbor when its own
+// relative load exceeds OffloadThreshold and the neighbor is at least
+// Hysteresis less loaded.
+type Rule struct {
+	// OffloadThreshold is the relative load (load/capacity) above which
+	// an agent tries to shed work.
+	OffloadThreshold float64
+	// Hysteresis is the minimum relative-load gap to a neighbor before
+	// migrating (prevents thrashing).
+	Hysteresis float64
+}
+
+// Validate checks rule ranges.
+func (r Rule) Validate() error {
+	if r.OffloadThreshold < 0 || r.OffloadThreshold > 2 {
+		return fmt.Errorf("swarm: offload threshold %v out of [0,2]", r.OffloadThreshold)
+	}
+	if r.Hysteresis < 0 || r.Hysteresis > 1 {
+		return fmt.Errorf("swarm: hysteresis %v out of [0,1]", r.Hysteresis)
+	}
+	return nil
+}
+
+// Node is one swarm agent with a capacity and a bag of task sizes.
+type Node struct {
+	Name     string
+	Capacity float64
+	Tasks    []float64
+	// neighbors by index.
+	neighbors []int
+}
+
+// Load returns the node's total assigned work.
+func (n *Node) Load() float64 {
+	s := 0.0
+	for _, t := range n.Tasks {
+		s += t
+	}
+	return s
+}
+
+// RelLoad returns load normalized by capacity.
+func (n *Node) RelLoad() float64 { return n.Load() / n.Capacity }
+
+// Network is the agent population with its neighborhood graph.
+type Network struct {
+	Nodes []*Node
+	rng   *sim.RNG
+}
+
+// NewRing builds n identical-capacity nodes in a ring with degree 2k
+// (each node sees k neighbors on each side).
+func NewRing(n, k int, capacity float64, seed uint64) (*Network, error) {
+	if n < 2 || k < 1 || capacity <= 0 {
+		return nil, fmt.Errorf("swarm: ring needs n ≥ 2, k ≥ 1, positive capacity")
+	}
+	net := &Network{rng: sim.NewRNG(seed).Fork("swarm")}
+	for i := 0; i < n; i++ {
+		net.Nodes = append(net.Nodes, &Node{Name: fmt.Sprintf("fog-%d", i), Capacity: capacity})
+	}
+	for i := range net.Nodes {
+		for d := 1; d <= k; d++ {
+			net.Nodes[i].neighbors = append(net.Nodes[i].neighbors, (i+d)%n, (i-d+n)%n)
+		}
+	}
+	return net, nil
+}
+
+// AssignRandom scatters tasks uniformly over the nodes.
+func (net *Network) AssignRandom(tasks []float64) {
+	for _, t := range tasks {
+		n := net.Nodes[net.rng.Intn(len(net.Nodes))]
+		n.Tasks = append(n.Tasks, t)
+	}
+}
+
+// AssignTo puts all tasks on one node (hotspot scenario).
+func (net *Network) AssignTo(idx int, tasks []float64) {
+	net.Nodes[idx].Tasks = append(net.Nodes[idx].Tasks, tasks...)
+}
+
+// Step runs one synchronous round of the local rule on every agent and
+// returns the number of migrations. Agents only observe their neighbors —
+// no global state, which is the point of the swarm approach.
+func (net *Network) Step(rule Rule) int {
+	migrations := 0
+	type move struct {
+		from, to int
+		taskIdx  int
+	}
+	var moves []move
+	for i, n := range net.Nodes {
+		if n.RelLoad() <= rule.OffloadThreshold || len(n.Tasks) == 0 {
+			continue
+		}
+		// Least-loaded neighbor.
+		best := -1
+		bestLoad := math.Inf(1)
+		for _, j := range n.neighbors {
+			if l := net.Nodes[j].RelLoad(); l < bestLoad {
+				best, bestLoad = j, l
+			}
+		}
+		if best < 0 || n.RelLoad()-bestLoad < rule.Hysteresis {
+			continue
+		}
+		// Shed the smallest task (cheapest migration).
+		smallest := 0
+		for ti, t := range n.Tasks {
+			if t < n.Tasks[smallest] {
+				smallest = ti
+			}
+		}
+		moves = append(moves, move{from: i, to: best, taskIdx: smallest})
+	}
+	// Apply moves after the observation phase (synchronous update).
+	sort.Slice(moves, func(a, b int) bool { return moves[a].from < moves[b].from })
+	for _, mv := range moves {
+		n := net.Nodes[mv.from]
+		t := n.Tasks[mv.taskIdx]
+		n.Tasks = append(n.Tasks[:mv.taskIdx], n.Tasks[mv.taskIdx+1:]...)
+		net.Nodes[mv.to].Tasks = append(net.Nodes[mv.to].Tasks, t)
+		migrations++
+	}
+	return migrations
+}
+
+// Stats summarizes a placement.
+type Stats struct {
+	MaxRelLoad  float64
+	MeanRelLoad float64
+	StdDev      float64
+	Migrations  int
+	Rounds      int
+}
+
+// Run executes up to maxRounds of the rule, stopping early when a round
+// makes no migration.
+func (net *Network) Run(rule Rule, maxRounds int) (Stats, error) {
+	if err := rule.Validate(); err != nil {
+		return Stats{}, err
+	}
+	st := Stats{}
+	for r := 0; r < maxRounds; r++ {
+		m := net.Step(rule)
+		st.Migrations += m
+		st.Rounds = r + 1
+		if m == 0 {
+			break
+		}
+	}
+	st.MaxRelLoad, st.MeanRelLoad, st.StdDev = net.balance()
+	return st, nil
+}
+
+func (net *Network) balance() (maxL, mean, std float64) {
+	for _, n := range net.Nodes {
+		l := n.RelLoad()
+		mean += l
+		if l > maxL {
+			maxL = l
+		}
+	}
+	mean /= float64(len(net.Nodes))
+	for _, n := range net.Nodes {
+		d := n.RelLoad() - mean
+		std += d * d
+	}
+	std = math.Sqrt(std / float64(len(net.Nodes)))
+	return
+}
+
+// GreedyCentral is the centralized baseline: longest-processing-time
+// assignment with global knowledge. It returns the resulting stats for
+// the same tasks and node count.
+func GreedyCentral(tasks []float64, n int, capacity float64) Stats {
+	sorted := append([]float64(nil), tasks...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	loads := make([]float64, n)
+	for _, t := range sorted {
+		min := 0
+		for i := range loads {
+			if loads[i] < loads[min] {
+				min = i
+			}
+		}
+		loads[min] += t
+	}
+	st := Stats{}
+	for _, l := range loads {
+		rel := l / capacity
+		st.MeanRelLoad += rel
+		if rel > st.MaxRelLoad {
+			st.MaxRelLoad = rel
+		}
+	}
+	st.MeanRelLoad /= float64(n)
+	for _, l := range loads {
+		d := l/capacity - st.MeanRelLoad
+		st.StdDev += d * d
+	}
+	st.StdDev = math.Sqrt(st.StdDev / float64(n))
+	return st
+}
+
+// EvolveOptions tune rule evolution (the FREVO role).
+type EvolveOptions struct {
+	Population  int
+	Generations int
+	Rounds      int // simulation rounds per fitness evaluation
+	Seed        uint64
+	// MigrationPenalty weights migration count in the fitness.
+	MigrationPenalty float64
+}
+
+// DefaultEvolveOptions returns a small but effective configuration.
+func DefaultEvolveOptions() EvolveOptions {
+	return EvolveOptions{Population: 24, Generations: 30, Rounds: 50, Seed: 7, MigrationPenalty: 0.001}
+}
+
+// Evolve searches for the rule minimizing post-convergence load imbalance
+// (std dev + migration penalty) on the given scenario builder. The
+// builder must return a fresh identical scenario each call.
+func Evolve(scenario func() *Network, opts EvolveOptions) (Rule, float64, error) {
+	if opts.Population < 4 || opts.Generations < 1 {
+		return Rule{}, 0, fmt.Errorf("swarm: evolve needs population ≥ 4 and generations ≥ 1")
+	}
+	rng := sim.NewRNG(opts.Seed).Fork("evolve")
+	random := func() Rule {
+		return Rule{OffloadThreshold: rng.Range(0, 1.5), Hysteresis: rng.Range(0, 0.5)}
+	}
+	fitness := func(r Rule) float64 {
+		net := scenario()
+		st, err := net.Run(r, opts.Rounds)
+		if err != nil {
+			return math.Inf(1)
+		}
+		return st.StdDev + opts.MigrationPenalty*float64(st.Migrations)
+	}
+	type indiv struct {
+		r Rule
+		f float64
+	}
+	pop := make([]indiv, opts.Population)
+	for i := range pop {
+		r := random()
+		pop[i] = indiv{r, fitness(r)}
+	}
+	for g := 0; g < opts.Generations; g++ {
+		sort.Slice(pop, func(i, j int) bool { return pop[i].f < pop[j].f })
+		for i := opts.Population / 2; i < opts.Population; i++ {
+			a := pop[rng.Intn(opts.Population/2)].r
+			b := pop[rng.Intn(opts.Population/2)].r
+			child := Rule{
+				OffloadThreshold: (a.OffloadThreshold + b.OffloadThreshold) / 2,
+				Hysteresis:       (a.Hysteresis + b.Hysteresis) / 2,
+			}
+			if rng.Bool(0.3) {
+				child.OffloadThreshold = clamp(child.OffloadThreshold+rng.Norm(0, 0.1), 0, 1.5)
+			}
+			if rng.Bool(0.3) {
+				child.Hysteresis = clamp(child.Hysteresis+rng.Norm(0, 0.05), 0, 0.5)
+			}
+			pop[i] = indiv{child, fitness(child)}
+		}
+	}
+	sort.Slice(pop, func(i, j int) bool { return pop[i].f < pop[j].f })
+	return pop[0].r, pop[0].f, nil
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

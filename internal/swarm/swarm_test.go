@@ -1,0 +1,173 @@
+package swarm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"myrtus/internal/sim"
+)
+
+func tasks(n int, size float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = size
+	}
+	return out
+}
+
+func TestRuleValidate(t *testing.T) {
+	if err := (Rule{OffloadThreshold: 0.8, Hysteresis: 0.1}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Rule{OffloadThreshold: 3}).Validate(); err == nil {
+		t.Fatal("bad threshold accepted")
+	}
+	if err := (Rule{Hysteresis: 2}).Validate(); err == nil {
+		t.Fatal("bad hysteresis accepted")
+	}
+}
+
+func TestNewRingValidation(t *testing.T) {
+	if _, err := NewRing(1, 1, 1, 0); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	if _, err := NewRing(4, 0, 1, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := NewRing(4, 1, 0, 0); err == nil {
+		t.Fatal("capacity=0 accepted")
+	}
+	net, err := NewRing(6, 1, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Nodes) != 6 || len(net.Nodes[0].neighbors) != 2 {
+		t.Fatalf("ring shape wrong")
+	}
+}
+
+func TestHotspotDiffuses(t *testing.T) {
+	net, _ := NewRing(10, 2, 10, 1)
+	net.AssignTo(0, tasks(40, 1)) // node 0 at 4× capacity
+	rule := Rule{OffloadThreshold: 0.5, Hysteresis: 0.05}
+	st, err := net.Run(rule, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Migrations == 0 {
+		t.Fatal("no migrations from hotspot")
+	}
+	if st.MaxRelLoad > 1.0 {
+		t.Fatalf("hotspot not diffused: max rel load %v", st.MaxRelLoad)
+	}
+	if st.StdDev > 0.2 {
+		t.Fatalf("poor balance: std %v", st.StdDev)
+	}
+}
+
+func TestNoMigrationWhenBalanced(t *testing.T) {
+	net, _ := NewRing(4, 1, 10, 2)
+	for i := range net.Nodes {
+		net.AssignTo(i, tasks(2, 1))
+	}
+	st, _ := net.Run(Rule{OffloadThreshold: 0.5, Hysteresis: 0.1}, 50)
+	if st.Migrations != 0 {
+		t.Fatalf("balanced network migrated %d tasks", st.Migrations)
+	}
+	if st.Rounds != 1 {
+		t.Fatalf("did not stop early: %d rounds", st.Rounds)
+	}
+}
+
+func TestHysteresisPreventsThrashing(t *testing.T) {
+	mk := func(h float64) int {
+		net, _ := NewRing(6, 1, 10, 3)
+		net.AssignTo(0, tasks(30, 1))
+		st, _ := net.Run(Rule{OffloadThreshold: 0.3, Hysteresis: h}, 300)
+		return st.Migrations
+	}
+	low := mk(0.0)
+	high := mk(0.2)
+	if high >= low {
+		t.Fatalf("hysteresis did not reduce migrations: %d vs %d", high, low)
+	}
+}
+
+func TestWorkConservedProperty(t *testing.T) {
+	// Total load is invariant under any number of steps of any rule.
+	if err := quick.Check(func(seed uint64, th, hy uint8) bool {
+		net, _ := NewRing(8, 2, 10, seed)
+		rng := sim.NewRNG(seed)
+		var ts []float64
+		total := 0.0
+		for i := 0; i < 30; i++ {
+			v := 0.5 + rng.Float64()
+			ts = append(ts, v)
+			total += v
+		}
+		net.AssignRandom(ts)
+		rule := Rule{OffloadThreshold: float64(th%20) / 10, Hysteresis: float64(hy%10) / 20}
+		net.Run(rule, 50) //nolint:errcheck
+		sum := 0.0
+		for _, n := range net.Nodes {
+			sum += n.Load()
+		}
+		return sum > total-1e-9 && sum < total+1e-9
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSwarmNearGreedy(t *testing.T) {
+	// E4 shape: decentralized swarm ends within a reasonable factor of
+	// the centralized LPT baseline on balance quality.
+	ts := make([]float64, 0, 120)
+	rng := sim.NewRNG(4)
+	for i := 0; i < 120; i++ {
+		ts = append(ts, 0.2+rng.Float64())
+	}
+	greedy := GreedyCentral(ts, 16, 10)
+	net, _ := NewRing(16, 2, 10, 4)
+	net.AssignRandom(ts)
+	st, _ := net.Run(Rule{OffloadThreshold: 0.3, Hysteresis: 0.02}, 300)
+	if st.MaxRelLoad > greedy.MaxRelLoad*1.8+0.05 {
+		t.Fatalf("swarm max load %v vs greedy %v", st.MaxRelLoad, greedy.MaxRelLoad)
+	}
+}
+
+func TestEvolveImprovesOverRandomRule(t *testing.T) {
+	scenario := func() *Network {
+		net, _ := NewRing(12, 2, 10, 9)
+		net.AssignTo(0, tasks(30, 1))
+		net.AssignTo(5, tasks(20, 1))
+		return net
+	}
+	best, fit, err := Evolve(scenario, DefaultEvolveOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := best.Validate(); err != nil {
+		t.Fatalf("evolved rule invalid: %v", err)
+	}
+	// A deliberately bad rule (never offload) must be worse.
+	net := scenario()
+	badStats, _ := net.Run(Rule{OffloadThreshold: 1.9, Hysteresis: 0.5}, 50)
+	if fit >= badStats.StdDev {
+		t.Fatalf("evolution did not beat the do-nothing rule: %v vs %v", fit, badStats.StdDev)
+	}
+	if _, _, err := Evolve(scenario, EvolveOptions{Population: 1}); err == nil {
+		t.Fatal("bad options accepted")
+	}
+}
+
+func TestGreedyCentral(t *testing.T) {
+	st := GreedyCentral([]float64{5, 3, 3, 3}, 2, 10)
+	// LPT: [5,3] and [3,3] → max 0.8... wait: 5 then 3→other, 3→lighter(3)=6, 3→(5+3=8 vs 6)→6+3=9? LPT: sorted 5,3,3,3.
+	// loads: 5|0 → 5|3 → 5+? min is 3 → 5|6 → min 5 → 8|6. max rel = 0.8.
+	if st.MaxRelLoad != 0.8 {
+		t.Fatalf("greedy max = %v", st.MaxRelLoad)
+	}
+	if st.MeanRelLoad != 0.7 {
+		t.Fatalf("greedy mean = %v", st.MeanRelLoad)
+	}
+}

@@ -1,0 +1,155 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Class identifies one of the three EU-CEI monitor classes MYRTUS adopts.
+type Class int
+
+const (
+	// Application monitoring: status of the application, to identify
+	// underperformance issues not related to network or devices.
+	Application Class = iota
+	// Telemetry monitoring: connectivity status and information loss.
+	Telemetry
+	// Infrastructure monitoring: status of the components themselves.
+	Infrastructure
+)
+
+func (c Class) String() string {
+	switch c {
+	case Application:
+		return "application"
+	case Telemetry:
+		return "telemetry"
+	case Infrastructure:
+		return "infrastructure"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Registry is a namespace of metrics, keyed by (class, name). A registry
+// per component feeds the component's MIRTO agent; a merged export feeds
+// the Knowledge Base.
+type Registry struct {
+	mu         sync.Mutex
+	component  string
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	classes    map[string]Class
+}
+
+// NewRegistry returns an empty registry for the named component.
+func NewRegistry(component string) *Registry {
+	return &Registry{
+		component:  component,
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+		classes:    make(map[string]Class),
+	}
+}
+
+// Component returns the owning component name.
+func (r *Registry) Component() string { return r.component }
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(class Class, name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{}
+	r.counters[name] = c
+	r.classes[name] = class
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(class Class, name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{}
+	r.gauges[name] = g
+	r.classes[name] = class
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram.
+func (r *Registry) Histogram(class Class, name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.histograms[name]; ok {
+		return h
+	}
+	h := NewHistogram(0)
+	r.histograms[name] = h
+	r.classes[name] = class
+	return h
+}
+
+// Sample is one exported metric value.
+type Sample struct {
+	Component string
+	Class     Class
+	Name      string
+	Kind      string // "counter", "gauge", "histogram"
+	Value     float64
+	Hist      Snapshot // populated for histograms
+}
+
+// Export returns all metrics, sorted by name, suitable for publication to
+// the Knowledge Base.
+func (r *Registry) Export() []Sample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Sample
+	for name, c := range r.counters {
+		out = append(out, Sample{r.component, r.classes[name], name, "counter", c.Value(), Snapshot{}})
+	}
+	for name, g := range r.gauges {
+		out = append(out, Sample{r.component, r.classes[name], name, "gauge", g.Value(), Snapshot{}})
+	}
+	for name, h := range r.histograms {
+		snap := h.Snapshot()
+		out = append(out, Sample{r.component, r.classes[name], name, "histogram", snap.Mean, snap})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Find returns the exported sample with the given name, if present.
+func (r *Registry) Find(name string) (Sample, bool) {
+	for _, s := range r.Export() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Sample{}, false
+}
+
+// Render returns a human-readable dump of the registry, one metric per
+// line, for the observability reports.
+func (r *Registry) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# component %s\n", r.component)
+	for _, s := range r.Export() {
+		switch s.Kind {
+		case "histogram":
+			fmt.Fprintf(&b, "%-14s %-32s %s\n", s.Class, s.Name, s.Hist)
+		default:
+			fmt.Fprintf(&b, "%-14s %-32s %.6g\n", s.Class, s.Name, s.Value)
+		}
+	}
+	return b.String()
+}

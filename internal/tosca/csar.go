@@ -1,0 +1,126 @@
+package tosca
+
+import (
+	"archive/zip"
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// CSAR (Cloud Service ARchive) packaging: the zip format Modelio's TOSCA
+// Designer exports. A MYRTUS CSAR carries the service template, the
+// deployment metadata, and the design-time artifacts (operating points,
+// bitstream manifests, threat countermeasures) the runtime consumes.
+
+// CSAR is an in-memory archive.
+type CSAR struct {
+	// EntryTemplate is the path of the main service template.
+	EntryTemplate string
+	// Files maps archive paths to contents.
+	Files map[string][]byte
+}
+
+// NewCSAR builds an archive around a service template.
+func NewCSAR(t *ServiceTemplate) *CSAR {
+	entry := "definitions/service.yaml"
+	c := &CSAR{EntryTemplate: entry, Files: map[string][]byte{}}
+	c.Files[entry] = []byte(t.Render())
+	c.Files["TOSCA-Metadata/TOSCA.meta"] = []byte(
+		"TOSCA-Meta-File-Version: 1.1\n" +
+			"CSAR-Version: 1.1\n" +
+			"Created-By: MYRTUS DPE\n" +
+			"Entry-Definitions: " + entry + "\n")
+	return c
+}
+
+// AddArtifact stores an extra file (metadata, bitstream manifest, …).
+func (c *CSAR) AddArtifact(path string, data []byte) {
+	c.Files[path] = append([]byte(nil), data...)
+}
+
+// Template parses and returns the entry service template.
+func (c *CSAR) Template() (*ServiceTemplate, error) {
+	data, ok := c.Files[c.EntryTemplate]
+	if !ok {
+		return nil, fmt.Errorf("tosca: csar missing entry template %q", c.EntryTemplate)
+	}
+	return Parse(string(data))
+}
+
+// Paths lists archive paths, sorted.
+func (c *CSAR) Paths() []string {
+	out := make([]string, 0, len(c.Files))
+	for p := range c.Files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteTo serializes the archive as a zip.
+func (c *CSAR) WriteTo(w io.Writer) (int64, error) {
+	var buf bytes.Buffer
+	zw := zip.NewWriter(&buf)
+	for _, path := range c.Paths() {
+		f, err := zw.Create(path)
+		if err != nil {
+			return 0, err
+		}
+		if _, err := f.Write(c.Files[path]); err != nil {
+			return 0, err
+		}
+	}
+	if err := zw.Close(); err != nil {
+		return 0, err
+	}
+	return buf.WriteTo(w)
+}
+
+// Bytes serializes the archive to a byte slice.
+func (c *CSAR) Bytes() ([]byte, error) {
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// ReadCSAR parses a zip archive produced by WriteTo (or any
+// TOSCA-compliant packager using TOSCA-Metadata/TOSCA.meta).
+func ReadCSAR(data []byte) (*CSAR, error) {
+	zr, err := zip.NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		return nil, fmt.Errorf("tosca: not a csar: %w", err)
+	}
+	c := &CSAR{Files: map[string][]byte{}}
+	for _, f := range zr.File {
+		rc, err := f.Open()
+		if err != nil {
+			return nil, err
+		}
+		content, err := io.ReadAll(rc)
+		rc.Close() //nolint:errcheck
+		if err != nil {
+			return nil, err
+		}
+		c.Files[f.Name] = content
+	}
+	meta, ok := c.Files["TOSCA-Metadata/TOSCA.meta"]
+	if !ok {
+		return nil, fmt.Errorf("tosca: csar missing TOSCA-Metadata/TOSCA.meta")
+	}
+	for _, line := range strings.Split(string(meta), "\n") {
+		if strings.HasPrefix(line, "Entry-Definitions:") {
+			c.EntryTemplate = strings.TrimSpace(strings.TrimPrefix(line, "Entry-Definitions:"))
+		}
+	}
+	if c.EntryTemplate == "" {
+		return nil, fmt.Errorf("tosca: csar metadata missing Entry-Definitions")
+	}
+	if _, ok := c.Files[c.EntryTemplate]; !ok {
+		return nil, fmt.Errorf("tosca: csar entry %q not in archive", c.EntryTemplate)
+	}
+	return c, nil
+}

@@ -1,0 +1,26 @@
+package tosca
+
+import "testing"
+
+// FuzzParseYAML checks the parser never panics and that any template it
+// accepts renders back to a parseable document.
+func FuzzParseYAML(f *testing.F) {
+	f.Add("a: 1\nb:\n  - x\n  - y: 2\n")
+	f.Add(sampleTemplate)
+	f.Add("k: [1, {a: b}, \"q\"]\n")
+	f.Add(": :\n- -\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		v, err := ParseYAML(src)
+		if err != nil {
+			return
+		}
+		_ = v
+		st, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if _, err := Parse(st.Render()); err != nil {
+			t.Fatalf("accepted template does not round-trip: %v", err)
+		}
+	})
+}

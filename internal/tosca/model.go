@@ -1,0 +1,301 @@
+package tosca
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The MYRTUS TOSCA profile: node and policy types the DPE emits and the
+// MIRTO agents understand.
+const (
+	// TypeContainer is a software container workload.
+	TypeContainer = "myrtus.nodes.Container"
+	// TypeAcceleratedKernel is a workload with an FPGA/CGRA-accelerable
+	// kernel; its properties carry the kernel name.
+	TypeAcceleratedKernel = "myrtus.nodes.AcceleratedKernel"
+	// TypeDataStore is a stateful storage workload.
+	TypeDataStore = "myrtus.nodes.DataStore"
+
+	// PolicyPlacement constrains target layers/labels.
+	PolicyPlacement = "myrtus.policies.Placement"
+	// PolicySecurity demands a minimum Table II level.
+	PolicySecurity = "myrtus.policies.Security"
+	// PolicyLatency bounds end-to-end latency (ms) between two nodes.
+	PolicyLatency = "myrtus.policies.Latency"
+	// PolicyEnergy asks the orchestrator to minimize energy for targets.
+	PolicyEnergy = "myrtus.policies.Energy"
+)
+
+// NodeTemplate is one workload component of a service template.
+type NodeTemplate struct {
+	Name       string
+	Type       string
+	Properties map[string]any
+	// Requirements are dependency edges to other node templates
+	// (data flows from the requirement target to this node).
+	Requirements []Requirement
+}
+
+// Requirement names a dependency on another node template.
+type Requirement struct {
+	Name   string // e.g. "source", "storage"
+	Target string // node template name
+}
+
+// Policy attaches non-functional requirements to target nodes.
+type Policy struct {
+	Name       string
+	Type       string
+	Targets    []string
+	Properties map[string]any
+}
+
+// ServiceTemplate is the topology_template of a TOSCA document.
+type ServiceTemplate struct {
+	Name        string
+	Description string
+	Version     string
+	Nodes       map[string]*NodeTemplate
+	Policies    []Policy
+}
+
+// PropFloat reads a numeric property with a default.
+func (n *NodeTemplate) PropFloat(key string, def float64) float64 {
+	switch v := n.Properties[key].(type) {
+	case int64:
+		return float64(v)
+	case float64:
+		return v
+	default:
+		return def
+	}
+}
+
+// PropString reads a string property with a default.
+func (n *NodeTemplate) PropString(key, def string) string {
+	if v, ok := n.Properties[key].(string); ok {
+		return v
+	}
+	return def
+}
+
+// PropInt reads an integer property with a default.
+func (n *NodeTemplate) PropInt(key string, def int) int {
+	switch v := n.Properties[key].(type) {
+	case int64:
+		return int(v)
+	case float64:
+		return int(v)
+	default:
+		return def
+	}
+}
+
+// NodeNames returns template names, sorted.
+func (t *ServiceTemplate) NodeNames() []string {
+	out := make([]string, 0, len(t.Nodes))
+	for n := range t.Nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PoliciesFor returns the policies targeting the named node (or with no
+// explicit target, which apply to all).
+func (t *ServiceTemplate) PoliciesFor(node string) []Policy {
+	var out []Policy
+	for _, p := range t.Policies {
+		if len(p.Targets) == 0 {
+			out = append(out, p)
+			continue
+		}
+		for _, tg := range p.Targets {
+			if tg == node {
+				out = append(out, p)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// SecurityLevelFor resolves the strongest security requirement on node.
+func (t *ServiceTemplate) SecurityLevelFor(node string) string {
+	best := ""
+	rank := map[string]int{"low": 1, "medium": 2, "high": 3}
+	for _, p := range t.PoliciesFor(node) {
+		if p.Type != PolicySecurity {
+			continue
+		}
+		if lvl, ok := p.Properties["level"].(string); ok && rank[lvl] > rank[best] {
+			best = lvl
+		}
+	}
+	return best
+}
+
+// Parse decodes a TOSCA YAML document into a ServiceTemplate.
+func Parse(src string) (*ServiceTemplate, error) {
+	root, err := ParseYAML(src)
+	if err != nil {
+		return nil, err
+	}
+	doc, ok := root.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("tosca: document is not a mapping")
+	}
+	version, _ := doc["tosca_definitions_version"].(string)
+	if version == "" {
+		return nil, fmt.Errorf("tosca: missing tosca_definitions_version")
+	}
+	tt, ok := doc["topology_template"].(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("tosca: missing topology_template")
+	}
+	st := &ServiceTemplate{
+		Version: version,
+		Nodes:   map[string]*NodeTemplate{},
+	}
+	if md, ok := doc["metadata"].(map[string]any); ok {
+		if n, ok := md["template_name"].(string); ok {
+			st.Name = n
+		}
+	}
+	if d, ok := doc["description"].(string); ok {
+		st.Description = d
+	}
+	nts, ok := tt["node_templates"].(map[string]any)
+	if !ok || len(nts) == 0 {
+		return nil, fmt.Errorf("tosca: topology_template has no node_templates")
+	}
+	for name, raw := range nts {
+		nm, ok := raw.(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("tosca: node template %q is not a mapping", name)
+		}
+		nt := &NodeTemplate{Name: name, Properties: map[string]any{}}
+		nt.Type, _ = nm["type"].(string)
+		if props, ok := nm["properties"].(map[string]any); ok {
+			nt.Properties = props
+		}
+		if reqs, ok := nm["requirements"].([]any); ok {
+			for _, r := range reqs {
+				rm, ok := r.(map[string]any)
+				if !ok {
+					return nil, fmt.Errorf("tosca: node %q requirement is not a mapping", name)
+				}
+				for rname, rv := range rm {
+					switch target := rv.(type) {
+					case string:
+						nt.Requirements = append(nt.Requirements, Requirement{Name: rname, Target: target})
+					case map[string]any:
+						tgt, _ := target["node"].(string)
+						nt.Requirements = append(nt.Requirements, Requirement{Name: rname, Target: tgt})
+					default:
+						return nil, fmt.Errorf("tosca: node %q requirement %q malformed", name, rname)
+					}
+				}
+			}
+		}
+		sort.Slice(nt.Requirements, func(i, j int) bool { return nt.Requirements[i].Name < nt.Requirements[j].Name })
+		st.Nodes[name] = nt
+	}
+	if pols, ok := tt["policies"].([]any); ok {
+		for _, p := range pols {
+			pm, ok := p.(map[string]any)
+			if !ok {
+				return nil, fmt.Errorf("tosca: policy is not a mapping")
+			}
+			for pname, pv := range pm {
+				body, ok := pv.(map[string]any)
+				if !ok {
+					return nil, fmt.Errorf("tosca: policy %q malformed", pname)
+				}
+				pol := Policy{Name: pname, Properties: map[string]any{}}
+				pol.Type, _ = body["type"].(string)
+				if props, ok := body["properties"].(map[string]any); ok {
+					pol.Properties = props
+				}
+				if tgts, ok := body["targets"].([]any); ok {
+					for _, tg := range tgts {
+						if s, ok := tg.(string); ok {
+							pol.Targets = append(pol.Targets, s)
+						}
+					}
+				}
+				st.Policies = append(st.Policies, pol)
+			}
+		}
+		sort.Slice(st.Policies, func(i, j int) bool { return st.Policies[i].Name < st.Policies[j].Name })
+	}
+	return st, nil
+}
+
+// Render serializes the template back to TOSCA YAML (round-trippable by
+// Parse); this is what the DPE writes into the CSAR.
+func (t *ServiceTemplate) Render() string {
+	var b strings.Builder
+	b.WriteString("tosca_definitions_version: " + t.Version + "\n")
+	if t.Name != "" {
+		b.WriteString("metadata:\n  template_name: " + t.Name + "\n")
+	}
+	if t.Description != "" {
+		fmt.Fprintf(&b, "description: %q\n", t.Description)
+	}
+	b.WriteString("topology_template:\n  node_templates:\n")
+	for _, name := range t.NodeNames() {
+		n := t.Nodes[name]
+		fmt.Fprintf(&b, "    %s:\n      type: %s\n", name, n.Type)
+		if len(n.Properties) > 0 {
+			b.WriteString("      properties:\n")
+			var keys []string
+			for k := range n.Properties {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(&b, "        %s: %s\n", k, renderScalar(n.Properties[k]))
+			}
+		}
+		if len(n.Requirements) > 0 {
+			b.WriteString("      requirements:\n")
+			for _, r := range n.Requirements {
+				fmt.Fprintf(&b, "        - %s: %s\n", r.Name, r.Target)
+			}
+		}
+	}
+	if len(t.Policies) > 0 {
+		b.WriteString("  policies:\n")
+		for _, p := range t.Policies {
+			fmt.Fprintf(&b, "    - %s:\n        type: %s\n", p.Name, p.Type)
+			if len(p.Targets) > 0 {
+				fmt.Fprintf(&b, "        targets: [%s]\n", strings.Join(p.Targets, ", "))
+			}
+			if len(p.Properties) > 0 {
+				b.WriteString("        properties:\n")
+				var keys []string
+				for k := range p.Properties {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				for _, k := range keys {
+					fmt.Fprintf(&b, "          %s: %s\n", k, renderScalar(p.Properties[k]))
+				}
+			}
+		}
+	}
+	return b.String()
+}
+
+func renderScalar(v any) string {
+	switch x := v.(type) {
+	case string:
+		return fmt.Sprintf("%q", x)
+	case nil:
+		return "null"
+	default:
+		return fmt.Sprintf("%v", x)
+	}
+}

@@ -1,0 +1,360 @@
+package tosca
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const sampleTemplate = `
+tosca_definitions_version: tosca_2_0
+metadata:
+  template_name: smart-mobility
+description: "camera pipeline across the continuum"
+topology_template:
+  node_templates:
+    camera-feed:
+      type: myrtus.nodes.Container
+      properties:
+        cpu: 0.5
+        memoryMB: 256
+        replicas: 2
+    detector:
+      type: myrtus.nodes.AcceleratedKernel
+      properties:
+        cpu: 1.0
+        memoryMB: 1024
+        kernel: conv2d
+      requirements:
+        - source: camera-feed
+    aggregator:
+      type: myrtus.nodes.Container
+      properties:
+        cpu: 2
+        memoryMB: 4096
+      requirements:
+        - source: detector
+    history:
+      type: myrtus.nodes.DataStore
+      properties:
+        cpu: 1
+        memoryMB: 8192
+      requirements:
+        - source: aggregator
+  policies:
+    - secure-detector:
+        type: myrtus.policies.Security
+        targets: [detector, aggregator]
+        properties:
+          level: medium
+    - low-latency:
+        type: myrtus.policies.Latency
+        targets: [camera-feed, detector]
+        properties:
+          maxMs: 50
+    - edge-camera:
+        type: myrtus.policies.Placement
+        targets: [camera-feed]
+        properties:
+          layer: edge
+`
+
+func TestParseYAMLScalars(t *testing.T) {
+	v, err := ParseYAML("a: 1\nb: 2.5\nc: hello\nd: true\ne: null\nf: \"quoted: str\"\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := v.(map[string]any)
+	if m["a"] != int64(1) || m["b"] != 2.5 || m["c"] != "hello" || m["d"] != true || m["e"] != nil {
+		t.Fatalf("scalars = %#v", m)
+	}
+	if m["f"] != "quoted: str" {
+		t.Fatalf("quoted = %#v", m["f"])
+	}
+}
+
+func TestParseYAMLNesting(t *testing.T) {
+	src := `
+top:
+  mid:
+    leaf: 42
+  list:
+    - one
+    - two
+flow: [1, 2, 3]
+fmap: {x: 1, y: "z"}
+`
+	v, err := ParseYAML(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := v.(map[string]any)
+	mid := m["top"].(map[string]any)["mid"].(map[string]any)
+	if mid["leaf"] != int64(42) {
+		t.Fatalf("leaf = %v", mid["leaf"])
+	}
+	list := m["top"].(map[string]any)["list"].([]any)
+	if len(list) != 2 || list[0] != "one" {
+		t.Fatalf("list = %v", list)
+	}
+	flow := m["flow"].([]any)
+	if len(flow) != 3 || flow[2] != int64(3) {
+		t.Fatalf("flow = %v", flow)
+	}
+	fmap := m["fmap"].(map[string]any)
+	if fmap["x"] != int64(1) || fmap["y"] != "z" {
+		t.Fatalf("fmap = %v", fmap)
+	}
+}
+
+func TestParseYAMLListOfMappings(t *testing.T) {
+	src := `
+items:
+  - name: a
+    value: 1
+  - name: b
+    value: 2
+`
+	v, err := ParseYAML(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := v.(map[string]any)["items"].([]any)
+	if len(items) != 2 {
+		t.Fatalf("items = %v", items)
+	}
+	first := items[0].(map[string]any)
+	if first["name"] != "a" || first["value"] != int64(1) {
+		t.Fatalf("first = %v", first)
+	}
+}
+
+func TestParseYAMLComments(t *testing.T) {
+	v, err := ParseYAML("# header\na: 1 # trailing\nb: \"has # inside\"\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := v.(map[string]any)
+	if m["a"] != int64(1) || m["b"] != "has # inside" {
+		t.Fatalf("m = %#v", m)
+	}
+}
+
+func TestParseYAMLErrors(t *testing.T) {
+	for _, src := range []string{
+		"a: 1\n\tb: 2",   // tab
+		"a: 1\na: 2",     // duplicate key
+		"key\nother: 1",  // not key: value
+		"a: 1\n  b: 2\n", // bad indent under scalar... actually a:1 consumes; "  b: 2" deeper
+	} {
+		if _, err := ParseYAML(src); err == nil {
+			t.Fatalf("accepted %q", src)
+		}
+	}
+	if v, err := ParseYAML("   \n# only comments\n"); err != nil || v != nil {
+		t.Fatalf("empty doc = %v %v", v, err)
+	}
+}
+
+func TestParseServiceTemplate(t *testing.T) {
+	st, err := Parse(sampleTemplate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Name != "smart-mobility" || st.Version != "tosca_2_0" {
+		t.Fatalf("meta = %q %q", st.Name, st.Version)
+	}
+	if len(st.Nodes) != 4 {
+		t.Fatalf("nodes = %v", st.NodeNames())
+	}
+	det := st.Nodes["detector"]
+	if det.Type != TypeAcceleratedKernel || det.PropString("kernel", "") != "conv2d" {
+		t.Fatalf("detector = %+v", det)
+	}
+	if det.PropFloat("cpu", 0) != 1.0 || det.PropFloat("memoryMB", 0) != 1024 {
+		t.Fatalf("detector resources wrong")
+	}
+	if len(det.Requirements) != 1 || det.Requirements[0].Target != "camera-feed" {
+		t.Fatalf("detector reqs = %v", det.Requirements)
+	}
+	if st.Nodes["camera-feed"].PropInt("replicas", 1) != 2 {
+		t.Fatal("replicas")
+	}
+	if len(st.Policies) != 3 {
+		t.Fatalf("policies = %v", st.Policies)
+	}
+	if lvl := st.SecurityLevelFor("detector"); lvl != "medium" {
+		t.Fatalf("security level = %q", lvl)
+	}
+	if lvl := st.SecurityLevelFor("history"); lvl != "" {
+		t.Fatalf("unconstrained level = %q", lvl)
+	}
+	pols := st.PoliciesFor("camera-feed")
+	if len(pols) != 2 {
+		t.Fatalf("camera policies = %v", pols)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"not: tosca",
+		"tosca_definitions_version: tosca_2_0\n",
+		"tosca_definitions_version: tosca_2_0\ntopology_template:\n  node_templates:\n",
+	}
+	for i, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestValidateGood(t *testing.T) {
+	st, _ := Parse(sampleTemplate)
+	if err := Validate(st); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesProblems(t *testing.T) {
+	st, _ := Parse(sampleTemplate)
+	st.Nodes["detector"].Type = "bogus.Type"
+	st.Nodes["detector"].Properties["cpu"] = int64(-1)
+	st.Nodes["camera-feed"].Requirements = []Requirement{{Name: "x", Target: "ghost"}}
+	st.Policies = append(st.Policies, Policy{
+		Name: "bad-sec", Type: PolicySecurity, Targets: []string{"ghost2"},
+		Properties: map[string]any{"level": "ultra"},
+	})
+	err := Validate(st)
+	if err == nil {
+		t.Fatal("invalid template accepted")
+	}
+	ve := err.(*ValidationError)
+	if len(ve.Problems) < 5 {
+		t.Fatalf("problems = %v", ve.Problems)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "problem") {
+		t.Fatalf("error = %q", msg)
+	}
+}
+
+func TestValidateCycle(t *testing.T) {
+	st, _ := Parse(sampleTemplate)
+	st.Nodes["camera-feed"].Requirements = []Requirement{{Name: "loop", Target: "history"}}
+	err := Validate(st)
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("cycle undetected: %v", err)
+	}
+}
+
+func TestValidateKernelRequired(t *testing.T) {
+	st, _ := Parse(sampleTemplate)
+	delete(st.Nodes["detector"].Properties, "kernel")
+	err := Validate(st)
+	if err == nil || !strings.Contains(err.Error(), "kernel") {
+		t.Fatalf("missing kernel undetected: %v", err)
+	}
+}
+
+func TestRenderRoundTrip(t *testing.T) {
+	st, _ := Parse(sampleTemplate)
+	rendered := st.Render()
+	st2, err := Parse(rendered)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, rendered)
+	}
+	if len(st2.Nodes) != len(st.Nodes) || len(st2.Policies) != len(st.Policies) {
+		t.Fatalf("round trip lost content: %d/%d nodes, %d/%d policies",
+			len(st2.Nodes), len(st.Nodes), len(st2.Policies), len(st.Policies))
+	}
+	if st2.SecurityLevelFor("detector") != "medium" {
+		t.Fatal("policy semantics lost in round trip")
+	}
+	if st2.Nodes["detector"].PropString("kernel", "") != "conv2d" {
+		t.Fatal("property lost in round trip")
+	}
+	if err := Validate(st2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderRoundTripProperty(t *testing.T) {
+	// Arbitrary cpu/mem values survive a render+parse cycle.
+	if err := quick.Check(func(cpu, mem uint16) bool {
+		st := &ServiceTemplate{
+			Version: "tosca_2_0",
+			Nodes: map[string]*NodeTemplate{
+				"n": {Name: "n", Type: TypeContainer, Properties: map[string]any{
+					"cpu":      float64(cpu%64) + 0.5,
+					"memoryMB": int64(mem) + 1,
+				}},
+			},
+		}
+		st2, err := Parse(st.Render())
+		if err != nil {
+			return false
+		}
+		return st2.Nodes["n"].PropFloat("cpu", 0) == float64(cpu%64)+0.5 &&
+			st2.Nodes["n"].PropFloat("memoryMB", 0) == float64(mem)+1
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSARRoundTrip(t *testing.T) {
+	st, _ := Parse(sampleTemplate)
+	c := NewCSAR(st)
+	c.AddArtifact("artifacts/oppoints.json", []byte(`{"detector":["fast","eco"]}`))
+	data, err := c.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ReadCSAR(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.EntryTemplate != "definitions/service.yaml" {
+		t.Fatalf("entry = %q", c2.EntryTemplate)
+	}
+	st2, err := c2.Template()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st2.Nodes) != 4 {
+		t.Fatalf("csar template nodes = %d", len(st2.Nodes))
+	}
+	if string(c2.Files["artifacts/oppoints.json"]) != `{"detector":["fast","eco"]}` {
+		t.Fatal("artifact lost")
+	}
+	if len(c2.Paths()) != 3 {
+		t.Fatalf("paths = %v", c2.Paths())
+	}
+}
+
+func TestReadCSARErrors(t *testing.T) {
+	if _, err := ReadCSAR([]byte("not a zip")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Zip without metadata.
+	st, _ := Parse(sampleTemplate)
+	c := NewCSAR(st)
+	delete(c.Files, "TOSCA-Metadata/TOSCA.meta")
+	data, _ := c.Bytes()
+	if _, err := ReadCSAR(data); err == nil {
+		t.Fatal("metadata-less csar accepted")
+	}
+	// Metadata pointing to a missing entry.
+	c2 := NewCSAR(st)
+	delete(c2.Files, c2.EntryTemplate)
+	data2, _ := c2.Bytes()
+	if _, err := ReadCSAR(data2); err == nil {
+		t.Fatal("dangling entry accepted")
+	}
+}
+
+func TestCSARTemplateMissing(t *testing.T) {
+	c := &CSAR{EntryTemplate: "nope", Files: map[string][]byte{}}
+	if _, err := c.Template(); err == nil {
+		t.Fatal("missing template accepted")
+	}
+}

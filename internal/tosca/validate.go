@@ -1,0 +1,158 @@
+package tosca
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The TOSCA Validation Processor of the MIRTO agent (Fig. 3): structural
+// and semantic checks a deployment request must pass before reaching the
+// MIRTO Manager.
+
+var knownNodeTypes = map[string]bool{
+	TypeContainer:         true,
+	TypeAcceleratedKernel: true,
+	TypeDataStore:         true,
+}
+
+var knownPolicyTypes = map[string]bool{
+	PolicyPlacement: true,
+	PolicySecurity:  true,
+	PolicyLatency:   true,
+	PolicyEnergy:    true,
+}
+
+var validSecurityLevels = map[string]bool{"low": true, "medium": true, "high": true}
+
+// ValidationError aggregates all problems found in a template.
+type ValidationError struct {
+	Problems []string
+}
+
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("tosca: template invalid: %d problem(s): %v", len(e.Problems), e.Problems)
+}
+
+// Validate runs the full validation pass. It returns nil or a
+// *ValidationError listing every problem.
+func Validate(t *ServiceTemplate) error {
+	var problems []string
+	add := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+	if len(t.Nodes) == 0 {
+		add("no node templates")
+	}
+	for _, name := range t.NodeNames() {
+		n := t.Nodes[name]
+		if !knownNodeTypes[n.Type] {
+			add("node %q has unknown type %q", name, n.Type)
+		}
+		if cpu := n.PropFloat("cpu", 0); cpu <= 0 {
+			add("node %q needs positive cpu", name)
+		}
+		if mem := n.PropFloat("memoryMB", 0); mem <= 0 {
+			add("node %q needs positive memoryMB", name)
+		}
+		if n.Type == TypeAcceleratedKernel && n.PropString("kernel", "") == "" {
+			add("accelerated node %q missing kernel property", name)
+		}
+		if reps := n.PropInt("replicas", 1); reps < 1 {
+			add("node %q has non-positive replicas", name)
+		}
+		for _, r := range n.Requirements {
+			if r.Target == "" {
+				add("node %q requirement %q has no target", name, r.Name)
+			} else if _, ok := t.Nodes[r.Target]; !ok {
+				add("node %q requirement %q targets unknown node %q", name, r.Name, r.Target)
+			}
+		}
+	}
+	// Dependency cycles.
+	if cyc := findCycle(t); cyc != "" {
+		add("requirement cycle through %s", cyc)
+	}
+	for _, p := range t.Policies {
+		if !knownPolicyTypes[p.Type] {
+			add("policy %q has unknown type %q", p.Name, p.Type)
+		}
+		for _, tg := range p.Targets {
+			if _, ok := t.Nodes[tg]; !ok {
+				add("policy %q targets unknown node %q", p.Name, tg)
+			}
+		}
+		switch p.Type {
+		case PolicySecurity:
+			lvl, _ := p.Properties["level"].(string)
+			if !validSecurityLevels[lvl] {
+				add("policy %q has invalid security level %q", p.Name, lvl)
+			}
+		case PolicyLatency:
+			if ms := propFloat(p.Properties, "maxMs"); ms <= 0 {
+				add("policy %q needs positive maxMs", p.Name)
+			}
+		case PolicyPlacement:
+			if _, ok := p.Properties["layer"].(string); !ok {
+				if _, ok := p.Properties["labels"]; !ok {
+					add("policy %q needs layer or labels", p.Name)
+				}
+			}
+		}
+	}
+	if problems != nil {
+		sort.Strings(problems)
+		return &ValidationError{Problems: problems}
+	}
+	return nil
+}
+
+func propFloat(m map[string]any, key string) float64 {
+	switch v := m[key].(type) {
+	case int64:
+		return float64(v)
+	case float64:
+		return v
+	default:
+		return 0
+	}
+}
+
+// findCycle returns the name of a node on a requirements cycle, or "".
+func findCycle(t *ServiceTemplate) string {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var visit func(string) string
+	visit = func(n string) string {
+		color[n] = grey
+		node := t.Nodes[n]
+		if node != nil {
+			for _, r := range node.Requirements {
+				if _, ok := t.Nodes[r.Target]; !ok {
+					continue
+				}
+				switch color[r.Target] {
+				case grey:
+					return r.Target
+				case white:
+					if c := visit(r.Target); c != "" {
+						return c
+					}
+				}
+			}
+		}
+		color[n] = black
+		return ""
+	}
+	for _, n := range t.NodeNames() {
+		if color[n] == white {
+			if c := visit(n); c != "" {
+				return c
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,317 @@
+// Package tosca implements the subset of the OASIS TOSCA standard MYRTUS
+// uses as its orchestration lingua franca: a YAML-subset parser (TOSCA
+// documents are YAML; the stdlib has no YAML, so we parse the subset
+// TOSCA service templates need), the object model (service templates,
+// node templates, requirements, policies), the validation processor that
+// sits inside every MIRTO agent (Fig. 3), and CSAR packaging — the .csar
+// archives Modelio's TOSCA Designer exports for deployment (§V).
+package tosca
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseYAML parses a YAML-subset document into nested
+// map[string]any / []any / scalar values.
+//
+// Supported: block mappings and sequences by indentation, inline scalars
+// (string, int, float, bool, null), quoted strings, "- " list items
+// (including inline "key: value" heads), comments, empty lines flow
+// mappings/sequences like {a: 1} and [1, 2]. Not supported: anchors,
+// multi-line block scalars, tabs for indentation.
+func ParseYAML(src string) (any, error) {
+	p := &yamlParser{}
+	for _, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.Contains(line, "\t") {
+			return nil, fmt.Errorf("tosca: yaml line %q uses tabs", raw)
+		}
+		indent := len(line) - len(strings.TrimLeft(line, " "))
+		p.lines = append(p.lines, yamlLine{indent: indent, text: strings.TrimSpace(line)})
+	}
+	if len(p.lines) == 0 {
+		return nil, nil
+	}
+	v, next, err := p.parseBlock(0, p.lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if next != len(p.lines) {
+		return nil, fmt.Errorf("tosca: yaml trailing content at line %d (%q)", next, p.lines[next].text)
+	}
+	return v, nil
+}
+
+type yamlLine struct {
+	indent int
+	text   string
+}
+
+type yamlParser struct {
+	lines []yamlLine
+}
+
+// parseBlock parses the block starting at line i with the given indent,
+// returning the value and the index of the first unconsumed line.
+func (p *yamlParser) parseBlock(i, indent int) (any, int, error) {
+	if i >= len(p.lines) {
+		return nil, i, fmt.Errorf("tosca: yaml unexpected end of input")
+	}
+	if strings.HasPrefix(p.lines[i].text, "- ") || p.lines[i].text == "-" {
+		return p.parseSequence(i, indent)
+	}
+	return p.parseMapping(i, indent)
+}
+
+func (p *yamlParser) parseSequence(i, indent int) (any, int, error) {
+	var seq []any
+	for i < len(p.lines) {
+		ln := p.lines[i]
+		if ln.indent != indent || (!strings.HasPrefix(ln.text, "- ") && ln.text != "-") {
+			break
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(ln.text, "-"))
+		if rest == "" {
+			// Nested block follows.
+			if i+1 < len(p.lines) && p.lines[i+1].indent > indent {
+				v, next, err := p.parseBlock(i+1, p.lines[i+1].indent)
+				if err != nil {
+					return nil, 0, err
+				}
+				seq = append(seq, v)
+				i = next
+				continue
+			}
+			seq = append(seq, nil)
+			i++
+			continue
+		}
+		if k, v, isMap := splitKeyValue(rest); isMap {
+			// "- key: value" starts an inline mapping whose further keys
+			// sit indented under the dash.
+			m := map[string]any{}
+			if v == "" {
+				if i+1 < len(p.lines) && p.lines[i+1].indent > indent+2 {
+					sub, next, err := p.parseBlock(i+1, p.lines[i+1].indent)
+					if err != nil {
+						return nil, 0, err
+					}
+					m[k] = sub
+					i = next
+				} else {
+					m[k] = nil
+					i++
+				}
+			} else {
+				m[k] = scalar(v)
+				i++
+			}
+			// Continuation keys of the same item.
+			for i < len(p.lines) && p.lines[i].indent == indent+2 && !strings.HasPrefix(p.lines[i].text, "- ") {
+				sub, next, err := p.parseMapping(i, indent+2)
+				if err != nil {
+					return nil, 0, err
+				}
+				for kk, vv := range sub.(map[string]any) {
+					m[kk] = vv
+				}
+				i = next
+			}
+			seq = append(seq, m)
+			continue
+		}
+		seq = append(seq, scalar(rest))
+		i++
+	}
+	return seq, i, nil
+}
+
+func (p *yamlParser) parseMapping(i, indent int) (any, int, error) {
+	m := map[string]any{}
+	for i < len(p.lines) {
+		ln := p.lines[i]
+		if ln.indent != indent {
+			if ln.indent > indent {
+				return nil, 0, fmt.Errorf("tosca: yaml unexpected indent at %q", ln.text)
+			}
+			break
+		}
+		if strings.HasPrefix(ln.text, "- ") || ln.text == "-" {
+			break
+		}
+		k, v, isMap := splitKeyValue(ln.text)
+		if !isMap {
+			return nil, 0, fmt.Errorf("tosca: yaml expected key: value, got %q", ln.text)
+		}
+		if _, dup := m[k]; dup {
+			return nil, 0, fmt.Errorf("tosca: yaml duplicate key %q", k)
+		}
+		if v != "" {
+			m[k] = scalar(v)
+			i++
+			continue
+		}
+		// Value is a nested block (or null).
+		if i+1 < len(p.lines) && p.lines[i+1].indent > indent {
+			sub, next, err := p.parseBlock(i+1, p.lines[i+1].indent)
+			if err != nil {
+				return nil, 0, err
+			}
+			m[k] = sub
+			i = next
+			continue
+		}
+		// Sequences may sit at the same indent as their key.
+		if i+1 < len(p.lines) && p.lines[i+1].indent == indent &&
+			(strings.HasPrefix(p.lines[i+1].text, "- ") || p.lines[i+1].text == "-") {
+			sub, next, err := p.parseSequence(i+1, indent)
+			if err != nil {
+				return nil, 0, err
+			}
+			m[k] = sub
+			i = next
+			continue
+		}
+		m[k] = nil
+		i++
+	}
+	return m, i, nil
+}
+
+// splitKeyValue splits "key: value" outside quotes. isMap is false when
+// the line has no unquoted ": ".
+func splitKeyValue(s string) (key, value string, isMap bool) {
+	inQuote := byte(0)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if inQuote != 0 {
+			if c == inQuote {
+				inQuote = 0
+			}
+			continue
+		}
+		if c == '"' || c == '\'' {
+			inQuote = c
+			continue
+		}
+		if c == ':' {
+			if i == len(s)-1 {
+				return strings.TrimSpace(s[:i]), "", true
+			}
+			if s[i+1] == ' ' {
+				return strings.TrimSpace(s[:i]), strings.TrimSpace(s[i+2:]), true
+			}
+		}
+	}
+	return "", "", false
+}
+
+func stripComment(s string) string {
+	inQuote := byte(0)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if inQuote != 0 {
+			if c == inQuote {
+				inQuote = 0
+			}
+			continue
+		}
+		switch c {
+		case '"', '\'':
+			inQuote = c
+		case '#':
+			if i == 0 || s[i-1] == ' ' {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+// scalar interprets an inline YAML value.
+func scalar(s string) any {
+	if len(s) >= 2 {
+		if (s[0] == '"' && s[len(s)-1] == '"') || (s[0] == '\'' && s[len(s)-1] == '\'') {
+			return s[1 : len(s)-1]
+		}
+	}
+	// Flow collections.
+	if strings.HasPrefix(s, "[") && strings.HasSuffix(s, "]") {
+		inner := strings.TrimSpace(s[1 : len(s)-1])
+		if inner == "" {
+			return []any{}
+		}
+		var out []any
+		for _, part := range splitFlow(inner) {
+			out = append(out, scalar(strings.TrimSpace(part)))
+		}
+		return out
+	}
+	if strings.HasPrefix(s, "{") && strings.HasSuffix(s, "}") {
+		inner := strings.TrimSpace(s[1 : len(s)-1])
+		m := map[string]any{}
+		if inner == "" {
+			return m
+		}
+		for _, part := range splitFlow(inner) {
+			kv := strings.SplitN(part, ":", 2)
+			if len(kv) != 2 {
+				return s // not valid flow mapping; treat as string
+			}
+			m[strings.TrimSpace(kv[0])] = scalar(strings.TrimSpace(kv[1]))
+		}
+		return m
+	}
+	switch s {
+	case "null", "~":
+		return nil
+	case "true", "True":
+		return true
+	case "false", "False":
+		return false
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return i
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f
+	}
+	return s
+}
+
+// splitFlow splits flow-collection content on top-level commas.
+func splitFlow(s string) []string {
+	var out []string
+	depth := 0
+	start := 0
+	inQuote := byte(0)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if inQuote != 0 {
+			if c == inQuote {
+				inQuote = 0
+			}
+			continue
+		}
+		switch c {
+		case '"', '\'':
+			inQuote = c
+		case '[', '{':
+			depth++
+		case ']', '}':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}

@@ -1,0 +1,95 @@
+// Package workload provides open-loop arrival generators for driving
+// applications on the continuum: the request patterns the use cases
+// exhibit (steady sensor sampling, Poisson user traffic, bursty camera
+// triggers). Generators schedule arrivals on the virtual clock, so load
+// tests are deterministic per seed.
+package workload
+
+import (
+	"fmt"
+
+	"myrtus/internal/sim"
+)
+
+// Pattern produces successive inter-arrival gaps.
+type Pattern interface {
+	// Next returns the gap before the next arrival.
+	Next(rng *sim.RNG) sim.Time
+}
+
+// Uniform emits arrivals at a fixed period.
+type Uniform struct{ Period sim.Time }
+
+// Next implements Pattern.
+func (u Uniform) Next(*sim.RNG) sim.Time { return u.Period }
+
+// Poisson emits arrivals with exponential gaps at RatePerSec.
+type Poisson struct{ RatePerSec float64 }
+
+// Next implements Pattern.
+func (p Poisson) Next(rng *sim.RNG) sim.Time {
+	return sim.Time(rng.Exp(1/p.RatePerSec) * float64(sim.Second))
+}
+
+// Bursty emits BurstLen arrivals spaced by InBurst, then pauses for
+// BetweenBursts — the camera-trigger shape of the mobility use case.
+type Bursty struct {
+	BurstLen      int
+	InBurst       sim.Time
+	BetweenBursts sim.Time
+
+	pos int
+}
+
+// Next implements Pattern.
+func (b *Bursty) Next(*sim.RNG) sim.Time {
+	b.pos++
+	if b.BurstLen > 0 && b.pos%b.BurstLen == 0 {
+		return b.BetweenBursts
+	}
+	return b.InBurst
+}
+
+// Schedule plans n arrivals on the engine starting after the first gap;
+// fire(i) runs at each arrival's virtual time. It returns the scheduled
+// arrival times. The caller drives the engine.
+func Schedule(eng *sim.Engine, rng *sim.RNG, p Pattern, n int, fire func(i int)) ([]sim.Time, error) {
+	if eng == nil || p == nil {
+		return nil, fmt.Errorf("workload: engine and pattern required")
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: need a positive arrival count")
+	}
+	if rng == nil {
+		rng = sim.NewRNG(1)
+	}
+	at := eng.Now()
+	times := make([]sim.Time, 0, n)
+	for i := 0; i < n; i++ {
+		gap := p.Next(rng)
+		if gap < 0 {
+			gap = 0
+		}
+		at += gap
+		times = append(times, at)
+		i := i
+		eng.At(at, func() {
+			if fire != nil {
+				fire(i)
+			}
+		})
+	}
+	return times, nil
+}
+
+// OfferedLoad reports the mean arrival rate (per second) of a schedule.
+func OfferedLoad(times []sim.Time) float64 {
+	if len(times) < 2 {
+		return 0
+	}
+	span := (times[len(times)-1] - times[0]).Seconds()
+	if span <= 0 {
+		return 0
+	}
+	return float64(len(times)-1) / span
+}

@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"myrtus/internal/sim"
+)
+
+func TestUniformPattern(t *testing.T) {
+	eng := sim.NewEngine(1)
+	var fired []int
+	times, err := Schedule(eng, nil, Uniform{Period: 10 * sim.Millisecond}, 5, func(i int) {
+		fired = append(fired, i)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if len(fired) != 5 {
+		t.Fatalf("fired = %v", fired)
+	}
+	for i, at := range times {
+		want := sim.Time(i+1) * 10 * sim.Millisecond
+		if at != want {
+			t.Fatalf("arrival %d at %v, want %v", i, at, want)
+		}
+	}
+	// In-order delivery.
+	for i, v := range fired {
+		if v != i {
+			t.Fatalf("out of order: %v", fired)
+		}
+	}
+}
+
+func TestPoissonRate(t *testing.T) {
+	eng := sim.NewEngine(2)
+	rng := sim.NewRNG(2)
+	times, err := Schedule(eng, rng, Poisson{RatePerSec: 100}, 2000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := OfferedLoad(times)
+	if math.Abs(rate-100) > 10 {
+		t.Fatalf("offered load = %v, want ≈100", rate)
+	}
+	eng.Run()
+}
+
+func TestBurstyPattern(t *testing.T) {
+	eng := sim.NewEngine(3)
+	b := &Bursty{BurstLen: 3, InBurst: sim.Millisecond, BetweenBursts: 100 * sim.Millisecond}
+	times, err := Schedule(eng, nil, b, 6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gaps: 1,1,100,1,1,100 ms.
+	gaps := []sim.Time{}
+	prev := sim.Time(0)
+	for _, at := range times {
+		gaps = append(gaps, at-prev)
+		prev = at
+	}
+	want := []sim.Time{sim.Millisecond, sim.Millisecond, 100 * sim.Millisecond,
+		sim.Millisecond, sim.Millisecond, 100 * sim.Millisecond}
+	for i := range want {
+		if gaps[i] != want[i] {
+			t.Fatalf("gaps = %v", gaps)
+		}
+	}
+	eng.Run()
+}
+
+func TestScheduleValidation(t *testing.T) {
+	eng := sim.NewEngine(1)
+	if _, err := Schedule(nil, nil, Uniform{Period: 1}, 1, nil); err == nil {
+		t.Fatal("nil engine accepted")
+	}
+	if _, err := Schedule(eng, nil, nil, 1, nil); err == nil {
+		t.Fatal("nil pattern accepted")
+	}
+	if _, err := Schedule(eng, nil, Uniform{Period: 1}, 0, nil); err == nil {
+		t.Fatal("zero count accepted")
+	}
+}
+
+func TestOfferedLoadDegenerate(t *testing.T) {
+	if OfferedLoad(nil) != 0 || OfferedLoad([]sim.Time{5}) != 0 {
+		t.Fatal("degenerate load")
+	}
+	if OfferedLoad([]sim.Time{5, 5}) != 0 {
+		t.Fatal("zero-span load")
+	}
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	mk := func() []sim.Time {
+		eng := sim.NewEngine(7)
+		times, _ := Schedule(eng, sim.NewRNG(7), Poisson{RatePerSec: 50}, 100, nil)
+		return times
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("non-deterministic schedule")
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Package myrtus is the public facade of the MYRTUS cognitive computing
+// continuum reproduction: one call builds the layered edge–fog–cloud
+// reference infrastructure (Fig. 2), wires the MIRTO Cognitive Engine
+// over it (Fig. 3), and exposes deployment, execution, and observability
+// entry points. The Design and Programming Environment (Fig. 4) is
+// available through BuildProject.
+//
+// Quick start:
+//
+//	sys, err := myrtus.New(myrtus.DefaultOptions())
+//	plan, err := sys.DeployYAML(toscaDocument)
+//	lat, energy, err := sys.ServeRequest(plan.App, "", 1)
+package myrtus
+
+import (
+	"fmt"
+	"net/http"
+
+	"myrtus/internal/continuum"
+	"myrtus/internal/dpe"
+	"myrtus/internal/fpga"
+	"myrtus/internal/mirto"
+	"myrtus/internal/sim"
+	"myrtus/internal/tosca"
+)
+
+// Options configure a System.
+type Options struct {
+	// Infrastructure sizes the continuum (see DefaultOptions).
+	Infrastructure continuum.Options
+	// Goal weighs the MIRTO optimization drivers.
+	Goal mirto.Goal
+}
+
+// DefaultOptions returns a small complete continuum with a balanced goal.
+func DefaultOptions() Options {
+	return Options{Infrastructure: continuum.DefaultOptions(), Goal: mirto.BalancedGoal()}
+}
+
+// Goal constructors, re-exported for callers of the facade.
+var (
+	BalancedGoal = mirto.BalancedGoal
+	LatencyGoal  = mirto.LatencyGoal
+	EnergyGoal   = mirto.EnergyGoal
+)
+
+// System is one running MYRTUS instance.
+type System struct {
+	Continuum    *continuum.Continuum
+	Manager      *mirto.Manager
+	Orchestrator *mirto.Orchestrator
+}
+
+// New builds the infrastructure and the cognitive engine.
+func New(opts Options) (*System, error) {
+	c, err := continuum.Build(opts.Infrastructure)
+	if err != nil {
+		return nil, err
+	}
+	m := mirto.NewManager(c, opts.Goal)
+	return &System{
+		Continuum:    c,
+		Manager:      m,
+		Orchestrator: mirto.NewOrchestrator(m),
+	}, nil
+}
+
+// DeployYAML validates and orchestrates a TOSCA service template.
+func (s *System) DeployYAML(doc string) (*mirto.Plan, error) {
+	st, err := tosca.Parse(doc)
+	if err != nil {
+		return nil, err
+	}
+	return s.Orchestrator.Deploy(st)
+}
+
+// DeployCSAR orchestrates a DPE-produced deployment specification,
+// registering any bitstream artifacts it carries so the Node Manager can
+// load them onto FPGA devices.
+func (s *System) DeployCSAR(data []byte) (*mirto.Plan, error) {
+	res, err := BuildFromCSAR(data)
+	if err != nil {
+		return nil, err
+	}
+	for _, bs := range res.Bitstreams {
+		// Best effort: duplicate kernels are fine, the registry keeps both.
+		if err := s.Continuum.Bitstreams.Add(bs); err != nil {
+			return nil, fmt.Errorf("myrtus: registering bitstream %s: %w", bs.ID, err)
+		}
+	}
+	return s.Orchestrator.Deploy(res.Template)
+}
+
+// Undeploy removes an application.
+func (s *System) Undeploy(app string) error { return s.Orchestrator.Undeploy(app) }
+
+// ServeRequest pushes one request through a deployed application's
+// pipeline (ingress "" = data already at the source stage) and returns
+// end-to-end latency and energy in virtual time.
+func (s *System) ServeRequest(app, ingress string, items int64) (sim.Time, float64, error) {
+	return s.Orchestrator.R.ServeRequestFrom(app, ingress, items)
+}
+
+// KPIs returns an application's live indicators.
+func (s *System) KPIs(app string) (mirto.KPIs, bool) { return s.Orchestrator.R.KPIs(app) }
+
+// AttachSLO wires a MAPE-K loop enforcing the SLO on a deployed app.
+func (s *System) AttachSLO(app string, slo mirto.SLO) error {
+	_, err := s.Orchestrator.AttachLoop(app, slo)
+	return err
+}
+
+// IterateLoops runs one MAPE-K pass for every attached loop.
+func (s *System) IterateLoops() {
+	for _, p := range s.Orchestrator.Plans() {
+		if loop, ok := s.Orchestrator.Loop(p.App); ok {
+			loop.Iterate()
+		}
+	}
+}
+
+// Handler returns the MIRTO agent REST API over this system.
+func (s *System) Handler(tokens map[string]mirto.Role) http.Handler {
+	return mirto.NewAgent(s.Orchestrator, tokens)
+}
+
+// CSARResult is a parsed deployment specification: the TOSCA template
+// plus the reconstructed accelerator bitstreams.
+type CSARResult struct {
+	Template   *tosca.ServiceTemplate
+	Bitstreams []*fpga.Bitstream
+}
+
+// BuildFromCSAR parses a deployment specification produced by the DPE.
+func BuildFromCSAR(data []byte) (*CSARResult, error) {
+	st, manifests, _, err := dpe.LoadResult(data)
+	if err != nil {
+		return nil, err
+	}
+	out := &CSARResult{Template: st}
+	for _, m := range manifests {
+		out.Bitstreams = append(out.Bitstreams, m.Bitstream())
+	}
+	return out, nil
+}
+
+// BuildProject runs the DPE (Fig. 4) and returns the deployment
+// specification CSAR plus artifacts.
+func BuildProject(p *dpe.Project) (*dpe.Result, error) { return dpe.Build(p) }
