@@ -32,6 +32,7 @@ import (
 	"myrtus/internal/sim"
 	"myrtus/internal/swarm"
 	"myrtus/internal/tosca"
+	"myrtus/internal/trace"
 	"myrtus/internal/workload"
 )
 
@@ -1135,3 +1136,108 @@ func nowNs() int64 { return timeNowNano() }
 
 // timeNowNano isolates the wall-clock dependency of A5's summary line.
 func timeNowNano() int64 { return time.Now().UnixNano() }
+
+// ---------------------------------------------------------------------
+// T3 — Tracing overhead: instrumented vs. uninstrumented hot paths.
+// With sampling off the tracer must cost a few nil-checks (<5% on the
+// fabric send and device run paths); with sampling on, the cost of full
+// span recording is visible in the traced-on series.
+// ---------------------------------------------------------------------
+
+func BenchmarkTraceOverhead(b *testing.B) {
+	printExperiment("T3 Trace overhead",
+		"series: {fabric-send, device-run} x {bare, traced-off, traced-on}\n"+
+			"bare = no tracer attached; traced-off = tracer attached, sampling disabled\n"+
+			"(the production hot-path config); traced-on = every request sampled.\n"+
+			"Claim under test: traced-off is within 5% of bare ns/op.")
+
+	benchTopo := func(b *testing.B) (*sim.Engine, *network.Fabric) {
+		b.Helper()
+		eng := sim.NewEngine(1)
+		topo := network.NewTopology(1)
+		if err := topo.AddDuplex("a", "b", sim.Millisecond, 125e6, 0); err != nil {
+			b.Fatal(err)
+		}
+		return eng, network.NewFabric(eng, topo)
+	}
+
+	b.Run("fabric-send/bare", func(b *testing.B) {
+		eng, f := benchTopo(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := f.Send("a", "b", 1000, network.Options{}, nil); err != nil {
+				b.Fatal(err)
+			}
+			eng.Run()
+		}
+	})
+	b.Run("fabric-send/traced-off", func(b *testing.B) {
+		eng, f := benchTopo(b)
+		tr := trace.NewTracer(eng)
+		tr.SetSampleEvery(0)
+		f.SetTracer(tr)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// With sampling off no root exists, so the context is always
+			// invalid and SendCtx degrades to Send plus one nil span check.
+			if _, err := f.SendCtx(trace.SpanContext{}, "a", "b", 1000, network.Options{}, nil); err != nil {
+				b.Fatal(err)
+			}
+			eng.Run()
+		}
+	})
+	b.Run("fabric-send/traced-on", func(b *testing.B) {
+		eng, f := benchTopo(b)
+		tr := trace.NewTracer(eng)
+		f.SetTracer(tr)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			root := tr.StartRoot("bench", trace.LayerAgent)
+			if _, err := f.SendCtx(root.Context(), "a", "b", 1000, network.Options{}, nil); err != nil {
+				b.Fatal(err)
+			}
+			eng.Run()
+			root.EndNow()
+		}
+	})
+
+	benchWork := device.Work{Name: "bench", GOps: 1}
+	b.Run("device-run/bare", func(b *testing.B) {
+		dev := device.NewMulticore("bench-dev")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := dev.Run(benchWork, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("device-run/traced-off", func(b *testing.B) {
+		eng := sim.NewEngine(1)
+		dev := device.NewMulticore("bench-dev")
+		tr := trace.NewTracer(eng)
+		tr.SetSampleEvery(0)
+		dev.SetTracer(tr)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := dev.Run(benchWork, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("device-run/traced-on", func(b *testing.B) {
+		eng := sim.NewEngine(1)
+		dev := device.NewMulticore("bench-dev")
+		tr := trace.NewTracer(eng)
+		dev.SetTracer(tr)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			root := tr.StartRoot("bench", trace.LayerAgent)
+			w := benchWork
+			w.Ctx = root.Context()
+			if _, err := dev.Run(w, 0); err != nil {
+				b.Fatal(err)
+			}
+			root.EndNow()
+		}
+	})
+}

@@ -22,6 +22,7 @@ import (
 	"myrtus"
 	"myrtus/internal/mirto"
 	"myrtus/internal/sim"
+	"myrtus/internal/trace"
 )
 
 const mobilityApp = `
@@ -128,6 +129,13 @@ func main() {
 	for _, a := range np.Assignments {
 		fmt.Printf("  %-12s -> %s\n", a.TemplateNode, a.Device)
 	}
+
+	// Per-layer latency attribution over all recorded request traces.
+	// Deterministic for a fixed seed: spans are stamped in virtual time.
+	sum := sys.PublishTraces()
+	fmt.Println()
+	fmt.Print(trace.RenderSummary(sum))
+
 	if k.Failed > int64(*requests)/2 {
 		os.Exit(1)
 	}

@@ -12,6 +12,8 @@
 //	delete APP      undeploy an application
 //	kpis APP        show an application's KPIs
 //	registry        dump the Resource Registry snapshot
+//	trace [ID]      list recorded request traces, or print one trace's
+//	                span tree and critical path
 //	health          agent health
 //
 // Pair it with `continuum-sim -serve :8080`.
@@ -27,6 +29,8 @@ import (
 	"net/http"
 	"os"
 	"strings"
+
+	"myrtus/internal/trace"
 )
 
 func main() {
@@ -65,6 +69,12 @@ func main() {
 		err = cli.get("/v1/kpis/" + args[1])
 	case "registry":
 		err = cli.get("/v1/registry")
+	case "trace":
+		if len(args) == 1 {
+			err = cli.get("/v1/traces")
+			break
+		}
+		err = cli.trace(args[1])
 	case "health":
 		err = cli.get("/v1/healthz")
 	default:
@@ -92,6 +102,52 @@ func (c *client) deploy(path string) error {
 }
 
 func (c *client) get(path string) error { return c.do("GET", path, "", nil) }
+
+// trace fetches one trace and renders its span tree plus critical path
+// locally (the agent serves raw spans; the analysis is client-side).
+func (c *client) trace(id string) error {
+	raw, err := c.fetch("/v1/traces/" + id)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		ID    string        `json:"id"`
+		Spans []*trace.Span `json:"spans"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("decoding trace: %w", err)
+	}
+	tr, err := trace.FromSpans(doc.Spans)
+	if err != nil {
+		return err
+	}
+	fmt.Print(trace.RenderTree(tr))
+	segs, total := tr.CriticalPath()
+	fmt.Print(trace.RenderCriticalPath(segs, total))
+	return nil
+}
+
+// fetch GETs a path and returns the raw body (unlike do, which prints).
+func (c *client) fetch(path string) ([]byte, error) {
+	req, err := http.NewRequest("GET", c.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Authorization", "Bearer "+c.token)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 400 {
+		return nil, fmt.Errorf("request failed with %s: %s", resp.Status, raw)
+	}
+	return raw, nil
+}
 
 func (c *client) do(method, path, contentType string, body []byte) error {
 	req, err := http.NewRequest(method, c.base+path, bytes.NewReader(body))

@@ -1,0 +1,44 @@
+package myrtus
+
+import (
+	"context"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExamplesVet keeps every package — including the examples — clean
+// under go vet, so example drift fails tier-1 instead of rotting
+// silently.
+func TestExamplesVet(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go binary not on PATH")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	out, err := exec.CommandContext(ctx, goBin, "vet", "./...").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go vet ./...: %v\n%s", err, out)
+	}
+}
+
+// TestExampleQuickstartRuns executes examples/quickstart end to end with
+// a deadline: the smallest full-stack scenario must build, run, and
+// serve a request.
+func TestExampleQuickstartRuns(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go binary not on PATH")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	out, err := exec.CommandContext(ctx, goBin, "run", "./examples/quickstart").CombinedOutput()
+	if err != nil {
+		t.Fatalf("examples/quickstart: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "request served") {
+		t.Fatalf("quickstart output missing served request:\n%s", out)
+	}
+}

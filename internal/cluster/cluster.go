@@ -12,7 +12,10 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"sync"
+
+	"myrtus/internal/trace"
 )
 
 // Resources is a resource quantity vector.
@@ -145,6 +148,7 @@ type Cluster struct {
 	events []Event
 	nextID int
 	score  ScoreFunc
+	tracer *trace.Tracer
 }
 
 // New returns an empty cluster using the default bin-packing score.
@@ -160,6 +164,14 @@ func New(name string) *Cluster {
 
 // Name returns the cluster name.
 func (c *Cluster) Name() string { return c.name }
+
+// SetTracer attaches a tracer; scheduler passes that bind pods then
+// record instant spans for attribution.
+func (c *Cluster) SetTracer(t *trace.Tracer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tracer = t
+}
 
 // SetScoreFunc replaces the scheduler scoring policy.
 func (c *Cluster) SetScoreFunc(f ScoreFunc) {
@@ -406,7 +418,21 @@ func (c *Cluster) Evict(podName string) error {
 // pending.
 func (c *Cluster) Schedule() int {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	bound := c.scheduleLocked()
+	tracer := c.tracer
+	c.mu.Unlock()
+	// Span creation happens outside c.mu: the tracer has its own lock and
+	// must never nest inside the cluster's.
+	if bound > 0 {
+		if sp := tracer.StartRoot("cluster.schedule/"+c.name, trace.LayerCluster); sp != nil {
+			sp.SetAttr("bound", strconv.Itoa(bound))
+			sp.EndNow()
+		}
+	}
+	return bound
+}
+
+func (c *Cluster) scheduleLocked() int {
 	bound := 0
 	for _, p := range c.podsLocked() {
 		if p.Phase == PodRunning {

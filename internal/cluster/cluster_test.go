@@ -4,6 +4,9 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"myrtus/internal/sim"
+	"myrtus/internal/trace"
 )
 
 func twoNodes(t *testing.T) *Cluster {
@@ -384,5 +387,32 @@ func TestPodsOnNodeAndFreeOn(t *testing.T) {
 	}
 	if _, ok := c.FreeOn("ghost"); ok {
 		t.Fatal("ghost FreeOn")
+	}
+}
+
+func TestScheduleRecordsSpan(t *testing.T) {
+	c := twoNodes(t)
+	tr := trace.NewTracer(sim.NewEngine(1))
+	c.SetTracer(tr)
+	if _, err := c.CreatePod(PodSpec{App: "web", Requests: Resources{CPU: 1, MemMB: 256}}); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.Schedule(); n != 1 {
+		t.Fatalf("bound = %d", n)
+	}
+	traces := tr.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("traces = %d, want 1", len(traces))
+	}
+	sp := traces[0].Root
+	if sp.Name != "cluster.schedule/test" || sp.Layer != trace.LayerCluster || sp.Attrs["bound"] != "1" {
+		t.Fatalf("span = %+v attrs = %v", sp, sp.Attrs)
+	}
+	// An idle pass (nothing to bind) must not record a span.
+	if n := c.Schedule(); n != 0 {
+		t.Fatalf("idle bound = %d", n)
+	}
+	if len(tr.Traces()) != 1 {
+		t.Fatal("idle scheduler pass recorded a span")
 	}
 }

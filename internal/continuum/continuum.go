@@ -20,6 +20,8 @@ import (
 	"myrtus/internal/network"
 	"myrtus/internal/security"
 	"myrtus/internal/sim"
+	"myrtus/internal/telemetry"
+	"myrtus/internal/trace"
 )
 
 // Options size the built infrastructure.
@@ -71,6 +73,12 @@ type Continuum struct {
 	Registry *kb.Registry
 	Trust    *security.TrustEngine
 
+	// Tracer records virtual-time spans across every layer; TraceMetrics
+	// receives exported trace attribution (span histograms, critical-path
+	// counters) for the agents.
+	Tracer       *trace.Tracer
+	TraceMetrics *telemetry.Registry
+
 	Bitstreams *fpga.Registry
 	// Images is the container image registry/repository (§VI), shared by
 	// all layers; MIRTO's Workload Manager performs admission against it.
@@ -107,6 +115,12 @@ func Build(opts Options) (*Continuum, error) {
 		leases:     map[string]*kb.Lease{},
 	}
 	c.Fabric = network.NewFabric(c.Engine, c.Topo)
+	c.Tracer = trace.NewTracer(c.Engine)
+	c.TraceMetrics = telemetry.NewRegistry("trace")
+	c.Fabric.SetTracer(c.Tracer)
+	for _, cl := range []*cluster.Cluster{c.Edge, c.Fog, c.Cloud} {
+		cl.SetTracer(c.Tracer)
+	}
 
 	var err error
 	if c.Trust, err = security.NewTrustEngine(0.98); err != nil {
@@ -174,11 +188,13 @@ func Build(opts Options) (*Continuum, error) {
 		}
 	}
 	c.Broker = network.NewBroker(c.Fabric, gw)
+	c.Broker.SetTracer(c.Tracer)
 
 	// Register devices: KB registry + per-layer cluster nodes.
 	register := func(devs []*device.Device, cl *cluster.Cluster, layer string) error {
 		for _, d := range devs {
 			c.Devices[d.Name()] = d
+			d.SetTracer(c.Tracer)
 			spec := d.Spec()
 			var accels []string
 			if spec.Fabric != nil {

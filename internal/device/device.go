@@ -18,6 +18,7 @@ import (
 	"myrtus/internal/fpga"
 	"myrtus/internal/sim"
 	"myrtus/internal/telemetry"
+	"myrtus/internal/trace"
 )
 
 // Layer names a continuum layer.
@@ -105,6 +106,9 @@ type Work struct {
 	Kernel string
 	// Items is the accelerator batch size (defaults to 1).
 	Items int64
+	// Ctx is the trace context of the operation that made this work
+	// runnable (e.g. the network transfer that delivered its input).
+	Ctx trace.SpanContext
 }
 
 // Result reports one completed execution.
@@ -113,6 +117,9 @@ type Result struct {
 	EnergyJoules float64
 	// Engine names what ran the work: "core", "custom-unit", "fpga".
 	Engine string
+	// Ctx references the execution span (zero when unsampled), so
+	// downstream transfers can be parented on this execution.
+	Ctx trace.SpanContext
 }
 
 // Device is a running component instance.
@@ -130,6 +137,7 @@ type Device struct {
 	thermal *thermalState
 
 	metrics *telemetry.Registry
+	tracer  *trace.Tracer
 }
 
 // New validates spec and returns a ready device at full clock.
@@ -157,6 +165,14 @@ func (d *Device) Name() string { return d.spec.Name }
 
 // Metrics returns the device's telemetry registry.
 func (d *Device) Metrics() *telemetry.Registry { return d.metrics }
+
+// SetTracer attaches a tracer; Run then records an execution span for
+// work carrying a sampled trace context.
+func (d *Device) SetTracer(t *trace.Tracer) {
+	d.mu.Lock()
+	d.tracer = t
+	d.mu.Unlock()
+}
 
 // Fabric returns the attached FPGA, nil if none.
 func (d *Device) Fabric() *fpga.Fabric { return d.spec.Fabric }
@@ -265,7 +281,8 @@ func (d *Device) Run(w Work, now sim.Time) (Result, error) {
 			finish, energy, err := d.spec.Fabric.Execute(idx, w.Kernel, items, now)
 			if err == nil {
 				d.record("fpga", finish-now, energy)
-				return Result{Finish: finish, EnergyJoules: energy, Engine: "fpga"}, nil
+				ctx := d.traceExec(w, "fpga", now, finish)
+				return Result{Finish: finish, EnergyJoules: energy, Engine: "fpga", Ctx: ctx}, nil
 			}
 			d.mu.Lock() // fall through to CPU on accelerator error
 		}
@@ -300,7 +317,27 @@ func (d *Device) Run(w Work, now sim.Time) (Result, error) {
 	energy := d.activePowerLocked() / float64(d.spec.Cores) * dur.Seconds()
 	d.mu.Unlock()
 	d.record(engine, dur, energy)
-	return Result{Finish: finish, EnergyJoules: energy, Engine: engine}, nil
+	ctx := d.traceExec(w, engine, now, finish)
+	return Result{Finish: finish, EnergyJoules: energy, Engine: engine, Ctx: ctx}, nil
+}
+
+// traceExec records the execution span for sampled work. The span opens
+// at the work's ready time (so core queueing shows inside it) and closes
+// at the virtual finish — called only after d.mu is released, since the
+// tracer takes its own lock.
+func (d *Device) traceExec(w Work, engine string, ready, finish sim.Time) trace.SpanContext {
+	d.mu.Lock()
+	tr := d.tracer
+	d.mu.Unlock()
+	sp := tr.StartSpanAt(w.Ctx, "exec/"+w.Name, trace.LayerDevice, ready)
+	if sp == nil {
+		return trace.SpanContext{}
+	}
+	sp.SetAttr("device", d.spec.Name)
+	sp.SetAttr("engine", engine)
+	ctx := sp.Context()
+	sp.EndAt(finish)
+	return ctx
 }
 
 func (d *Device) record(engine string, dur sim.Time, energy float64) {

@@ -22,6 +22,7 @@ const (
 	PrefixTrust     = "/myrtus/kb/trust/"
 	PrefixOpPoints  = "/myrtus/kb/oppoints/"
 	PrefixTelemetry = "/myrtus/kb/telemetry/"
+	PrefixTraces    = "/myrtus/kb/traces/"
 )
 
 // ComponentRecord describes one continuum component in the registry.

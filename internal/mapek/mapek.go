@@ -8,7 +8,11 @@ package mapek
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
+
+	"myrtus/internal/trace"
 )
 
 // KPI is one sensed indicator with its goal.
@@ -117,6 +121,7 @@ type Loop struct {
 	actions int
 	failed  int
 	history []IterationRecord
+	tracer  *trace.Tracer
 }
 
 // IterationRecord captures one loop pass for observability.
@@ -134,6 +139,14 @@ func NewLoop(name string, m Monitor, p Planner, e Executor) (*Loop, error) {
 		return nil, fmt.Errorf("mapek: loop %q needs monitor, planner and executor", name)
 	}
 	return &Loop{Name: name, Monitor: m, Planner: p, Executor: e, K: NewKnowledge()}, nil
+}
+
+// SetTracer attaches a tracer; Iterate then records a decision span per
+// pass so loop activity appears in layer attribution.
+func (l *Loop) SetTracer(t *trace.Tracer) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.tracer = t
 }
 
 // Analyze is the default analysis: every violated KPI becomes a
@@ -180,7 +193,20 @@ func (l *Loop) Iterate() IterationRecord {
 	if len(l.history) > 1024 {
 		l.history = l.history[len(l.history)-512:]
 	}
+	tracer := l.tracer
 	l.mu.Unlock()
+
+	if sp := tracer.StartRoot("mapek/"+l.Name, trace.LayerAgent); sp != nil {
+		sp.SetAttr("violations", strconv.Itoa(len(rec.Violations)))
+		if len(rec.Actions) > 0 {
+			kinds := make([]string, len(rec.Actions))
+			for i, a := range rec.Actions {
+				kinds[i] = a.Kind
+			}
+			sp.SetAttr("actions", strings.Join(kinds, ","))
+		}
+		sp.EndNow()
+	}
 	return rec
 }
 

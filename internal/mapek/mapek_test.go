@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"testing"
 	"testing/quick"
+
+	"myrtus/internal/sim"
+	"myrtus/internal/trace"
 )
 
 func TestKPIViolated(t *testing.T) {
@@ -170,5 +173,30 @@ func TestAnalyzeRanksBySeverity(t *testing.T) {
 	})
 	if len(vs) != 1 || vs[0].KPI.Name != "bad" || vs[0].Severity != 2 {
 		t.Fatalf("violations = %+v", vs)
+	}
+}
+
+func TestIterateRecordsSpan(t *testing.T) {
+	l, err := NewLoop("test",
+		func() []KPI { return []KPI{{Name: "lat", Value: 10, Target: 5}} },
+		func(v []Violation, _ *Knowledge) []Action { return []Action{{Kind: "scale-up"}} },
+		func(Action) error { return nil },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.NewTracer(sim.NewEngine(1))
+	l.SetTracer(tr)
+	l.Iterate()
+	traces := tr.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("traces = %d, want 1", len(traces))
+	}
+	sp := traces[0].Root
+	if sp.Name != "mapek/test" || sp.Layer != trace.LayerAgent {
+		t.Fatalf("span = %+v", sp)
+	}
+	if sp.Attrs["violations"] != "1" || sp.Attrs["actions"] != "scale-up" {
+		t.Fatalf("attrs = %v", sp.Attrs)
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"myrtus/internal/cluster"
 	"myrtus/internal/swarm"
 	"myrtus/internal/tosca"
+	"myrtus/internal/trace"
 )
 
 // Agent is the MIRTO API Daemon of Fig. 3: it defines the MIRTO agent as
@@ -51,6 +52,8 @@ func NewAgent(o *Orchestrator, tokens map[string]Role) *Agent {
 	mux.HandleFunc("GET /v1/registry", a.requireRole(RoleViewer, a.handleRegistry))
 	mux.HandleFunc("GET /v1/kpis/{app}", a.requireRole(RoleViewer, a.handleKPIs))
 	mux.HandleFunc("POST /v1/rebalance/{layer}", a.requireRole(RoleAdmin, a.handleRebalance))
+	mux.HandleFunc("GET /v1/traces", a.requireRole(RoleViewer, a.handleTraces))
+	mux.HandleFunc("GET /v1/traces/{id}", a.requireRole(RoleViewer, a.handleTrace))
 	a.mux = mux
 	return a
 }
@@ -254,6 +257,24 @@ func (a *Agent) handleRebalance(w http.ResponseWriter, r *http.Request) {
 		"maxRelLoadBefore": res.MaxRelLoadBefore,
 		"maxRelLoadAfter":  res.MaxRelLoadAfter,
 	})
+}
+
+func (a *Agent) handleTraces(w http.ResponseWriter, r *http.Request) {
+	infos := a.o.M.C.Tracer.Infos()
+	if infos == nil {
+		infos = []trace.Info{}
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (a *Agent) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := trace.TraceID(r.PathValue("id"))
+	tr, ok := a.o.M.C.Tracer.Find(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("trace %q not found", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": tr.ID, "spans": tr.Spans})
 }
 
 func (a *Agent) handleKPIs(w http.ResponseWriter, r *http.Request) {

@@ -9,7 +9,9 @@ import (
 	"testing"
 
 	"myrtus/internal/cluster"
+	"myrtus/internal/sim"
 	"myrtus/internal/tosca"
+	"myrtus/internal/trace"
 )
 
 func newTestAgent(t *testing.T) (*Agent, *httptest.Server) {
@@ -253,4 +255,80 @@ func TestAgentRebalanceEndpoint(t *testing.T) {
 
 func clusterPodSpec() cluster.PodSpec {
 	return cluster.PodSpec{App: "batch", Requests: cluster.Resources{CPU: 1, MemMB: 256}}
+}
+
+func TestAgentTraceEndpoints(t *testing.T) {
+	a, srv := newTestAgent(t)
+	resp, _ := doReq(t, "GET", srv.URL+"/v1/traces", "viewer-token", "", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("empty trace list = %d", resp.StatusCode)
+	}
+	// Deploy and serve one request so a trace exists.
+	resp, _ = doReq(t, "POST", srv.URL+"/v1/deployments", "admin-token", "application/x-yaml", []byte(appYAML))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("deploy = %d", resp.StatusCode)
+	}
+	lat, _, err := a.o.R.ServeRequest("mobility", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req, _ := http.NewRequest("GET", srv.URL+"/v1/traces", nil)
+	req.Header.Set("Authorization", "Bearer viewer-token")
+	lresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lresp.Body.Close()
+	var infos []trace.Info
+	if err := json.NewDecoder(lresp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	var reqInfo *trace.Info
+	for i := range infos {
+		if strings.HasPrefix(string(infos[i].Name), "request/") {
+			reqInfo = &infos[i]
+		}
+	}
+	if reqInfo == nil {
+		t.Fatalf("no request trace in %v", infos)
+	}
+
+	// Fetch the trace the way mirtoctl does and check the critical path
+	// sums exactly to the request's end-to-end virtual-time latency.
+	req, _ = http.NewRequest("GET", srv.URL+"/v1/traces/"+string(reqInfo.ID), nil)
+	req.Header.Set("Authorization", "Bearer viewer-token")
+	tresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tresp.Body.Close()
+	var doc struct {
+		ID    string        `json:"id"`
+		Spans []*trace.Span `json:"spans"`
+	}
+	if err := json.NewDecoder(tresp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.FromSpans(doc.Spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs, total := tr.CriticalPath()
+	if total != lat {
+		t.Fatalf("trace total %v != request latency %v", total, lat)
+	}
+	var explained sim.Time
+	for _, seg := range segs {
+		explained += seg.Wait + seg.Span.Duration()
+	}
+	if explained != total {
+		t.Fatalf("critical path explains %v of %v", explained, total)
+	}
+
+	// Unknown trace ID 404s.
+	resp, _ = doReq(t, "GET", srv.URL+"/v1/traces/t999999", "viewer-token", "", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown trace = %d", resp.StatusCode)
+	}
 }

@@ -183,6 +183,7 @@ func (o *Orchestrator) AttachLoop(app string, slo SLO) (*mapek.Loop, error) {
 	if err != nil {
 		return nil, err
 	}
+	loop.SetTracer(o.M.C.Tracer)
 	o.mu.Lock()
 	o.loops[app] = loop
 	o.mu.Unlock()

@@ -9,6 +9,7 @@ import (
 	"myrtus/internal/network"
 	"myrtus/internal/sim"
 	"myrtus/internal/telemetry"
+	"myrtus/internal/trace"
 )
 
 // Runtime executes application requests over a deployed plan on the
@@ -20,6 +21,7 @@ type Runtime struct {
 	engine  *sim.Engine
 	fabric  *network.Fabric
 	devices map[string]*device.Device
+	tracer  *trace.Tracer
 
 	mu      sync.Mutex
 	plans   map[string]*Plan
@@ -35,6 +37,7 @@ func NewRuntime(m *Manager) *Runtime {
 		engine:  m.C.Engine,
 		fabric:  m.C.Fabric,
 		devices: m.C.Devices,
+		tracer:  m.C.Tracer,
 		plans:   map[string]*Plan{},
 		metrics: map[string]*telemetry.Registry{},
 		ok:      map[string]*telemetry.Counter{},
@@ -132,10 +135,23 @@ func (r *Runtime) SubmitFrom(app, ingress string, items int64, done func(lat sim
 	latHist := reg.Histogram(telemetry.Application, "latency_ms")
 	energyC := reg.Counter(telemetry.Application, "energy_joules")
 
+	// Request root span. Every operation the request causally touches —
+	// ingress transfer, stage execution, inter-stage transfer — parents
+	// its span on the operation that enabled it, so the terminal span's
+	// ancestry is exactly the critical path and its segments telescope to
+	// the end-to-end latency.
+	root := r.tracer.StartRoot("request/"+app, trace.LayerAgent)
+	root.SetAttr("ingress", ingress)
+	rootCtx := root.Context()
+
 	type state struct {
 		arrived int
 		ready   sim.Time
 		failed  bool
+		// ctx references the operation whose completion made this stage
+		// runnable (last arrival wins: events fire in time order, so the
+		// final writer is the critical input).
+		ctx trace.SpanContext
 	}
 	states := map[string]*state{}
 	for _, n := range order {
@@ -160,6 +176,8 @@ func (r *Runtime) SubmitFrom(app, ingress string, items int64, done func(lat sim
 		}
 		finished = true
 		failC.Inc()
+		root.SetError(err)
+		root.EndNow()
 		if done != nil {
 			done(0, 0, err)
 		}
@@ -186,11 +204,16 @@ func (r *Runtime) SubmitFrom(app, ingress string, items int64, done func(lat sim
 		if now := r.engine.Now(); at < now {
 			at = now
 		}
+		pctx := stv.ctx
+		if !pctx.Valid() {
+			pctx = rootCtx
+		}
 		res, err := dev.Run(device.Work{
 			Name:   plan.App + "/" + n,
 			GOps:   nt.PropFloat("gops", 1),
 			Kernel: nt.PropString("kernel", ""),
 			Items:  items,
+			Ctx:    pctx,
 		}, at)
 		if err != nil {
 			failDone(err)
@@ -214,6 +237,8 @@ func (r *Runtime) SubmitFrom(app, ingress string, items int64, done func(lat sim
 					latHist.Observe(lat.Seconds() * 1e3)
 					energyC.Add(totalEnergy)
 					okC.Inc()
+					root.SetAttr("latency", lat.String())
+					root.EndAt(finishAll)
 					if done != nil {
 						done(lat, totalEnergy, nil)
 					}
@@ -228,7 +253,7 @@ func (r *Runtime) SubmitFrom(app, ingress string, items int64, done func(lat sim
 				failDone(fmt.Errorf("mirto: consumer %s unassigned", consumer))
 				return
 			}
-			deliver := func(err error) {
+			deliver := func(arrCtx trace.SpanContext, err error) {
 				if err != nil {
 					states[consumer].failed = true
 					failDone(fmt.Errorf("mirto: transfer %s->%s: %w", n, consumer, err))
@@ -238,19 +263,28 @@ func (r *Runtime) SubmitFrom(app, ingress string, items int64, done func(lat sim
 				if t := r.engine.Now(); t > cs.ready {
 					cs.ready = t
 				}
+				cs.ctx = arrCtx
 				cs.arrived++
 				if cs.arrived == indeg[consumer] {
 					runStage(consumer)
 				}
 			}
 			if ca.Device == a.Device {
-				r.engine.At(res.Finish, func() { deliver(nil) })
+				r.engine.At(res.Finish, func() { deliver(res.Ctx, nil) })
 				continue
 			}
 			size := int64(outMB * 1e6)
 			r.engine.At(res.Finish, func() {
-				if err := r.fabric.Send(a.Device, ca.Device, size, network.Options{Retries: 3}, deliver); err != nil {
-					deliver(err)
+				// tctx is captured by the done closure; SendCtx returns
+				// before any delivery event can fire, so the assignment
+				// is always visible to the callback.
+				var tctx trace.SpanContext
+				var serr error
+				tctx, serr = r.fabric.SendCtx(res.Ctx, a.Device, ca.Device, size, network.Options{Retries: 3}, func(err error) {
+					deliver(tctx, err)
+				})
+				if serr != nil {
+					deliver(trace.SpanContext{}, serr)
 				}
 			})
 		}
@@ -271,16 +305,19 @@ func (r *Runtime) SubmitFrom(app, ingress string, items int64, done func(lat sim
 			continue
 		}
 		// Input data must travel from the ingress device first.
-		err := r.fabric.Send(ingress, a.Device, int64(inMB*1e6), network.Options{Retries: 3}, func(err error) {
+		var ictx trace.SpanContext
+		var serr error
+		ictx, serr = r.fabric.SendCtx(rootCtx, ingress, a.Device, int64(inMB*1e6), network.Options{Retries: 3}, func(err error) {
 			if err != nil {
 				failDone(fmt.Errorf("mirto: ingress transfer to %s: %w", n, err))
 				return
 			}
 			states[n].ready = r.engine.Now()
+			states[n].ctx = ictx
 			runStage(n)
 		})
-		if err != nil {
-			failDone(err)
+		if serr != nil {
+			failDone(serr)
 		}
 	}
 	return nil

@@ -2,8 +2,10 @@ package network
 
 import (
 	"fmt"
+	"strconv"
 
 	"myrtus/internal/sim"
+	"myrtus/internal/trace"
 )
 
 // Fabric simulates message transfers over a Topology on a sim.Engine.
@@ -13,6 +15,7 @@ import (
 type Fabric struct {
 	engine *sim.Engine
 	topo   *Topology
+	tracer *trace.Tracer
 
 	delivered int64
 	lost      int64
@@ -41,6 +44,10 @@ func NewFabric(engine *sim.Engine, topo *Topology) *Fabric {
 
 // Engine returns the underlying simulation engine.
 func (f *Fabric) Engine() *sim.Engine { return f.engine }
+
+// SetTracer attaches a tracer; SendCtx transfers then record network
+// spans for sampled traces. A nil tracer disables tracing.
+func (f *Fabric) SetTracer(t *trace.Tracer) { f.tracer = t }
 
 // Topology returns the underlying topology.
 func (f *Fabric) Topology() *Topology { return f.topo }
@@ -154,6 +161,35 @@ func (f *Fabric) Stats() FabricStats {
 		s.MeanLatency = f.latency.sum / sim.Time(f.latency.n)
 	}
 	return s
+}
+
+// SendCtx is Send with trace propagation: when the parent context
+// belongs to a sampled trace, the transfer is wrapped in a "net.send"
+// span ending at the virtual time the last byte arrives (or the failure
+// is final). The returned context references the transfer span so the
+// receiver's work can be parented on it, preserving the causal chain
+// that critical-path extraction walks.
+func (f *Fabric) SendCtx(parent trace.SpanContext, src, dst string, size int64, opts Options, done func(err error)) (trace.SpanContext, error) {
+	sp := f.tracer.StartSpan(parent, "net.send", trace.LayerNetwork)
+	if sp == nil {
+		return trace.SpanContext{}, f.Send(src, dst, size, opts, done)
+	}
+	sp.SetAttr("src", src)
+	sp.SetAttr("dst", dst)
+	sp.SetAttr("bytes", strconv.FormatInt(size, 10))
+	err := f.Send(src, dst, size, opts, func(serr error) {
+		sp.SetError(serr)
+		sp.EndNow()
+		if done != nil {
+			done(serr)
+		}
+	})
+	if err != nil {
+		sp.SetError(err)
+		sp.EndNow()
+		return trace.SpanContext{}, err
+	}
+	return sp.Context(), nil
 }
 
 // RequestReply models an HTTP-like exchange: send a request of reqSize

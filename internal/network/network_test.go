@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"myrtus/internal/sim"
+	"myrtus/internal/trace"
 )
 
 func star(t *testing.T) *Topology {
@@ -360,5 +361,166 @@ func TestNodesSorted(t *testing.T) {
 	}
 	if len(nodes) != 5 {
 		t.Fatalf("nodes = %v", nodes)
+	}
+}
+
+func TestBrokerDroppedOnFailedLink(t *testing.T) {
+	eng := sim.NewEngine(1)
+	topo := star(t)
+	f := NewFabric(eng, topo)
+	b := NewBroker(f, "gateway")
+	delivered := 0
+	b.Subscribe("cloud", "sensors/#", "", func(string, []byte) { delivered++ })
+	if err := b.Publish("edge-0", "sensors/cam0", []byte("img"), ""); err != nil {
+		t.Fatal(err)
+	}
+	// Cut the broker's only path to the subscriber before the fan-out
+	// fires: the delivery must fail and be counted, not swallowed.
+	topo.RemoveLink("gateway", "fmdc")
+	topo.RemoveLink("fmdc", "gateway")
+	eng.Run()
+	if delivered != 0 {
+		t.Fatal("delivery succeeded over a removed link")
+	}
+	if b.Published() != 1 || b.Fanout() != 1 {
+		t.Fatalf("counters: pub=%d fan=%d", b.Published(), b.Fanout())
+	}
+	if b.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", b.Dropped())
+	}
+}
+
+func TestBrokerDroppedOnPublisherLeg(t *testing.T) {
+	eng := sim.NewEngine(1)
+	f := NewFabric(eng, star(t))
+	b := NewBroker(f, "gateway")
+	// "nowhere" has no route to the broker: the publisher leg fails
+	// immediately and is counted.
+	if err := b.Publish("nowhere", "sensors/cam0", []byte("x"), ""); err == nil {
+		t.Fatal("publish from unrouted node succeeded")
+	}
+	if b.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", b.Dropped())
+	}
+}
+
+func TestBrokerUnsubscribe(t *testing.T) {
+	eng := sim.NewEngine(1)
+	f := NewFabric(eng, star(t))
+	b := NewBroker(f, "gateway")
+	var got []string
+	b.Subscribe("fmdc", "sensors/#", "", func(topic string, _ []byte) { got = append(got, "fmdc") })
+	b.Subscribe("cloud", "sensors/#", "", func(topic string, _ []byte) { got = append(got, "cloud") })
+	if n := b.Unsubscribe("fmdc", "sensors/#"); n != 1 {
+		t.Fatalf("Unsubscribe removed %d, want 1", n)
+	}
+	if n := b.Unsubscribe("fmdc", "sensors/#"); n != 0 {
+		t.Fatalf("second Unsubscribe removed %d, want 0", n)
+	}
+	if n := b.Unsubscribe("cloud", "no/such/pattern"); n != 0 {
+		t.Fatalf("unknown pattern removed %d, want 0", n)
+	}
+	if err := b.Publish("edge-0", "sensors/cam0", []byte("x"), ""); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if len(got) != 1 || got[0] != "cloud" {
+		t.Fatalf("deliveries = %v, want only cloud", got)
+	}
+	// Removing the last subscriber of a pattern clears the entry.
+	if n := b.Unsubscribe("cloud", "sensors/#"); n != 1 {
+		t.Fatalf("Unsubscribe removed %d, want 1", n)
+	}
+	if len(b.subs) != 0 {
+		t.Fatalf("subs map not cleaned: %v", b.subs)
+	}
+}
+
+func TestSendCtxRecordsNetworkSpan(t *testing.T) {
+	eng := sim.NewEngine(1)
+	f := NewFabric(eng, star(t))
+	tr := trace.NewTracer(eng)
+	f.SetTracer(tr)
+	root := tr.StartRoot("request/test", trace.LayerAgent)
+	ctx, err := f.SendCtx(root.Context(), "edge-0", "fmdc", 1000, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ctx.Valid() {
+		t.Fatal("SendCtx returned invalid context for sampled trace")
+	}
+	eng.Run()
+	root.EndNow()
+	traces := tr.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("traces = %d", len(traces))
+	}
+	var net *trace.Span
+	for _, s := range traces[0].Spans {
+		if s.Name == "net.send" {
+			net = s
+		}
+	}
+	if net == nil {
+		t.Fatal("no net.send span recorded")
+	}
+	if net.Layer != trace.LayerNetwork || net.Parent != root.ID {
+		t.Fatalf("span = %+v", net)
+	}
+	if net.Duration() < 7*sim.Millisecond { // 2ms + 5ms propagation minimum
+		t.Fatalf("span duration %v too short", net.Duration())
+	}
+	if net.Attrs["src"] != "edge-0" || net.Attrs["dst"] != "fmdc" || net.Attrs["bytes"] != "1000" {
+		t.Fatalf("attrs = %v", net.Attrs)
+	}
+	// Without a sampled parent, SendCtx degrades to plain Send.
+	zctx, err := f.SendCtx(trace.SpanContext{}, "edge-0", "fmdc", 10, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zctx.Valid() {
+		t.Fatal("unsampled SendCtx returned a valid context")
+	}
+}
+
+func TestPublishCtxRecordsBrokerSpan(t *testing.T) {
+	eng := sim.NewEngine(1)
+	f := NewFabric(eng, star(t))
+	tr := trace.NewTracer(eng)
+	f.SetTracer(tr)
+	b := NewBroker(f, "gateway")
+	b.SetTracer(tr)
+	done := 0
+	b.Subscribe("fmdc", "sensors/#", "", func(string, []byte) { done++ })
+	b.Subscribe("cloud", "sensors/#", "", func(string, []byte) { done++ })
+	root := tr.StartRoot("request/test", trace.LayerAgent)
+	if err := b.PublishCtx(root.Context(), "edge-0", "sensors/cam0", []byte("img"), ""); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	root.EndNow()
+	if done != 2 {
+		t.Fatalf("deliveries = %d", done)
+	}
+	traces := tr.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("traces = %d", len(traces))
+	}
+	var pub *trace.Span
+	for _, s := range traces[0].Spans {
+		if s.Name == "broker.publish/sensors/cam0" {
+			pub = s
+		}
+	}
+	if pub == nil {
+		t.Fatal("no broker.publish span recorded")
+	}
+	if pub.Layer != trace.LayerBroker || pub.Attrs["subscribers"] != "2" {
+		t.Fatalf("span = %+v attrs = %v", pub, pub.Attrs)
+	}
+	// The span covers the full fan-out: it must end no earlier than the
+	// slowest subscriber delivery completes.
+	if pub.Duration() < 9*sim.Millisecond { // edge→gw (2ms) + gw→fmdc→cloud (5+20ms) legs
+		t.Fatalf("span duration %v too short for full fan-out", pub.Duration())
 	}
 }

@@ -2,7 +2,10 @@ package network
 
 import (
 	"sort"
+	"strconv"
 	"strings"
+
+	"myrtus/internal/trace"
 )
 
 // Broker is an MQTT-style topic broker hosted at a fabric endpoint — the
@@ -14,9 +17,11 @@ type Broker struct {
 	fabric *Fabric
 	node   string // endpoint hosting the broker
 	subs   map[string][]subscription
+	tracer *trace.Tracer
 
 	published int64
 	fanout    int64
+	dropped   int64
 }
 
 type subscription struct {
@@ -34,6 +39,10 @@ func NewBroker(fabric *Fabric, node string) *Broker {
 // Node returns the hosting endpoint name.
 func (b *Broker) Node() string { return b.node }
 
+// SetTracer attaches a tracer; PublishCtx calls then record broker
+// fan-out spans for sampled traces.
+func (b *Broker) SetTracer(t *trace.Tracer) { b.tracer = t }
+
 // Subscribe registers fn for topics matching pattern at the given
 // endpoint. Patterns support a trailing "#" wildcard segment
 // ("sensors/#" matches "sensors/cam0/frame").
@@ -41,27 +50,94 @@ func (b *Broker) Subscribe(node, pattern, slice string, fn func(topic string, pa
 	b.subs[pattern] = append(b.subs[pattern], subscription{node: node, pattern: pattern, fn: fn, slice: slice})
 }
 
+// Unsubscribe removes every subscription the endpoint holds on the exact
+// pattern, so long-running scenarios can detach components without
+// leaking fan-out work. It returns how many subscriptions were removed.
+func (b *Broker) Unsubscribe(node, pattern string) int {
+	subs, ok := b.subs[pattern]
+	if !ok {
+		return 0
+	}
+	kept := subs[:0]
+	removed := 0
+	for _, sub := range subs {
+		if sub.node == node {
+			removed++
+			continue
+		}
+		kept = append(kept, sub)
+	}
+	if len(kept) == 0 {
+		delete(b.subs, pattern)
+	} else {
+		b.subs[pattern] = kept
+	}
+	return removed
+}
+
 // Publish sends payload from the publisher endpoint to the broker, which
 // then forwards to every matching subscriber. Delivery callbacks run in
 // virtual time.
 func (b *Broker) Publish(publisher, topic string, payload []byte, slice string) error {
+	return b.publish(trace.SpanContext{}, publisher, topic, payload, slice)
+}
+
+// PublishCtx is Publish with trace propagation: for a sampled trace the
+// whole exchange — publisher→broker leg plus every subscriber delivery —
+// is one "broker.publish/<topic>" span, ending at the virtual time the
+// last fan-out delivery settles.
+func (b *Broker) PublishCtx(parent trace.SpanContext, publisher, topic string, payload []byte, slice string) error {
+	return b.publish(parent, publisher, topic, payload, slice)
+}
+
+func (b *Broker) publish(parent trace.SpanContext, publisher, topic string, payload []byte, slice string) error {
 	b.published++
-	return b.fabric.Send(publisher, b.node, int64(len(payload))+64, Options{Slice: slice, Retries: 3}, func(err error) {
+	sp := b.tracer.StartSpan(parent, "broker.publish/"+topic, trace.LayerBroker)
+	sp.SetAttr("publisher", publisher)
+	err := b.fabric.Send(publisher, b.node, int64(len(payload))+64, Options{Slice: slice, Retries: 3}, func(err error) {
 		if err != nil {
+			b.dropped++
+			sp.SetError(err)
+			sp.EndNow()
 			return
 		}
-		for _, sub := range b.matches(topic) {
+		matched := b.matches(topic)
+		sp.SetAttr("subscribers", strconv.Itoa(len(matched)))
+		if len(matched) == 0 {
+			sp.EndNow()
+			return
+		}
+		pending := len(matched)
+		for _, sub := range matched {
 			sub := sub
 			b.fanout++
 			p := append([]byte(nil), payload...)
-			//nolint:errcheck // fan-out best effort; loss shows in stats
-			b.fabric.Send(b.node, sub.node, int64(len(payload))+64, Options{Slice: sub.slice, Retries: 3}, func(err error) {
+			ferr := b.fabric.Send(b.node, sub.node, int64(len(payload))+64, Options{Slice: sub.slice, Retries: 3}, func(err error) {
 				if err == nil {
 					sub.fn(topic, p)
+				} else {
+					b.dropped++
+				}
+				pending--
+				if pending == 0 {
+					sp.EndNow()
 				}
 			})
+			if ferr != nil { // routing failed before any event was scheduled
+				b.dropped++
+				pending--
+				if pending == 0 {
+					sp.EndNow()
+				}
+			}
 		}
 	})
+	if err != nil {
+		b.dropped++
+		sp.SetError(err)
+		sp.EndNow()
+	}
+	return err
 }
 
 func (b *Broker) matches(topic string) []subscription {
@@ -84,6 +160,10 @@ func (b *Broker) Published() int64 { return b.published }
 
 // Fanout reports the number of subscriber deliveries attempted.
 func (b *Broker) Fanout() int64 { return b.fanout }
+
+// Dropped reports deliveries (publisher→broker or broker→subscriber)
+// that definitively failed.
+func (b *Broker) Dropped() int64 { return b.dropped }
 
 func topicMatch(pattern, topic string) bool {
 	if pattern == topic || pattern == "#" {

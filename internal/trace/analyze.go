@@ -1,0 +1,189 @@
+package trace
+
+import (
+	"sort"
+
+	"myrtus/internal/sim"
+	"myrtus/internal/telemetry"
+)
+
+// PathSegment is one hop on a critical path: the span itself plus the
+// virtual time the request waited between the previous segment's end and
+// this span's start (queueing/scheduling gaps).
+type PathSegment struct {
+	Span *Span
+	Wait sim.Time
+}
+
+// CriticalPath extracts the chain of spans that determined the trace's
+// end-to-end latency: starting from the terminal span (the latest-ending
+// non-root span, ties broken by start time then span ID so the result is
+// deterministic), it walks parent links back to the root. The returned
+// segments are ordered root-first; total is the root span's duration.
+// For a causally-parented trace — every span's parent is the operation
+// whose completion enabled it — Σ(Wait+Duration) over the segments equals
+// total.
+func (t *Trace) CriticalPath() ([]PathSegment, sim.Time) {
+	if t == nil || t.Root == nil {
+		return nil, 0
+	}
+	byID := make(map[SpanID]*Span, len(t.Spans))
+	var terminal *Span
+	for _, s := range t.Spans {
+		byID[s.ID] = s
+		if s == t.Root {
+			continue
+		}
+		if terminal == nil ||
+			s.End > terminal.End ||
+			(s.End == terminal.End && s.Start > terminal.Start) ||
+			(s.End == terminal.End && s.Start == terminal.Start && s.ID > terminal.ID) {
+			terminal = s
+		}
+	}
+	total := t.Root.Duration()
+	if terminal == nil {
+		return nil, total
+	}
+	// Walk back to the root, guarding against malformed parent cycles.
+	var chain []*Span
+	seen := make(map[SpanID]bool)
+	for cur := terminal; cur != nil && cur != t.Root && !seen[cur.ID]; cur = byID[cur.Parent] {
+		seen[cur.ID] = true
+		chain = append(chain, cur)
+	}
+	segs := make([]PathSegment, 0, len(chain))
+	prevEnd := t.Root.Start
+	for i := len(chain) - 1; i >= 0; i-- {
+		s := chain[i]
+		wait := s.Start - prevEnd
+		if wait < 0 {
+			wait = 0
+		}
+		segs = append(segs, PathSegment{Span: s, Wait: wait})
+		prevEnd = s.End
+	}
+	return segs, total
+}
+
+// OnCriticalPath returns the set of span IDs on the trace's critical
+// path (excluding the root).
+func (t *Trace) OnCriticalPath() map[SpanID]bool {
+	segs, _ := t.CriticalPath()
+	out := make(map[SpanID]bool, len(segs))
+	for _, seg := range segs {
+		out[seg.Span.ID] = true
+	}
+	return out
+}
+
+// LayerStat is the virtual time one layer contributed to a critical path
+// (or to a set of them). Wait before a span is attributed to the span's
+// own layer: the gap exists because that layer had not yet served it.
+type LayerStat struct {
+	Layer Layer    `json:"layer"`
+	Time  sim.Time `json:"time"`
+	Spans int      `json:"spans"`
+	Share float64  `json:"share"` // fraction of total critical-path time
+}
+
+// LayerBreakdown attributes the trace's critical-path time to layers, in
+// canonical layer order (layers with no contribution omitted).
+func (t *Trace) LayerBreakdown() []LayerStat {
+	segs, total := t.CriticalPath()
+	acc := make(map[Layer]*LayerStat)
+	for _, seg := range segs {
+		ls := acc[seg.Span.Layer]
+		if ls == nil {
+			ls = &LayerStat{Layer: seg.Span.Layer}
+			acc[seg.Span.Layer] = ls
+		}
+		ls.Time += seg.Wait + seg.Span.Duration()
+		ls.Spans++
+	}
+	var out []LayerStat
+	for _, l := range CanonicalLayers() {
+		if ls, ok := acc[l]; ok {
+			if total > 0 {
+				ls.Share = float64(ls.Time) / float64(total)
+			}
+			out = append(out, *ls)
+		}
+	}
+	return out
+}
+
+// NameStat summarizes span durations for one span name across traces.
+type NameStat struct {
+	Name   string  `json:"name"`
+	Count  int64   `json:"count"`
+	MeanMs float64 `json:"meanMs"`
+	P50Ms  float64 `json:"p50Ms"`
+	P95Ms  float64 `json:"p95Ms"`
+	P99Ms  float64 `json:"p99Ms"`
+}
+
+// Summary aggregates attribution over a set of finished traces: total
+// critical-path time per layer and duration percentiles per span name.
+type Summary struct {
+	Traces int         `json:"traces"`
+	Spans  int         `json:"spans"`
+	Layers []LayerStat `json:"layers"`
+	Names  []NameStat  `json:"names"`
+}
+
+// Summarize aggregates the traces. Layers appear in canonical order,
+// span names alphabetically, so the output is deterministic for
+// deterministic inputs.
+func Summarize(traces []*Trace) *Summary {
+	sum := &Summary{Traces: len(traces)}
+	layerAcc := make(map[Layer]*LayerStat)
+	hists := make(map[string]*telemetry.Histogram)
+	var totalPath sim.Time
+	for _, tr := range traces {
+		sum.Spans += len(tr.Spans)
+		for _, ls := range tr.LayerBreakdown() {
+			acc := layerAcc[ls.Layer]
+			if acc == nil {
+				acc = &LayerStat{Layer: ls.Layer}
+				layerAcc[ls.Layer] = acc
+			}
+			acc.Time += ls.Time
+			acc.Spans += ls.Spans
+			totalPath += ls.Time
+		}
+		for _, s := range tr.Spans {
+			h := hists[s.Name]
+			if h == nil {
+				h = telemetry.NewHistogram(0)
+				hists[s.Name] = h
+			}
+			h.Observe(s.Duration().Seconds() * 1e3)
+		}
+	}
+	for _, l := range CanonicalLayers() {
+		if acc, ok := layerAcc[l]; ok {
+			if totalPath > 0 {
+				acc.Share = float64(acc.Time) / float64(totalPath)
+			}
+			sum.Layers = append(sum.Layers, *acc)
+		}
+	}
+	names := make([]string, 0, len(hists))
+	for name := range hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		snap := hists[name].Snapshot()
+		sum.Names = append(sum.Names, NameStat{
+			Name:   name,
+			Count:  snap.Count,
+			MeanMs: snap.Mean,
+			P50Ms:  snap.P50,
+			P95Ms:  snap.P95,
+			P99Ms:  snap.P99,
+		})
+	}
+	return sum
+}

@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"encoding/json"
+
+	"myrtus/internal/kb"
+	"myrtus/internal/telemetry"
+)
+
+// ExportTelemetry feeds span durations and critical-path attribution
+// into a telemetry registry, so MIRTO agents consume trace signals
+// through the same metric plane as every other monitor:
+//
+//	span_ms:<name>        histogram of span durations (ms)
+//	critpath_ns:<layer>   counter of critical-path virtual ns per layer
+func ExportTelemetry(traces []*Trace, reg *telemetry.Registry) {
+	for _, tr := range traces {
+		for _, s := range tr.Spans {
+			reg.Histogram(telemetry.Application, "span_ms:"+s.Name).
+				Observe(s.Duration().Seconds() * 1e3)
+		}
+		for _, ls := range tr.LayerBreakdown() {
+			reg.Counter(telemetry.Application, "critpath_ns:"+string(ls.Layer)).
+				Add(float64(ls.Time))
+		}
+	}
+}
+
+// kbSummary is the JSON document published to the Knowledge Base.
+type kbSummary struct {
+	UpdatedAtNanos int64    `json:"updatedAtNanos"`
+	Summary        *Summary `json:"summary"`
+}
+
+// PublishKB stores the aggregated summary under the traces section of
+// the KB, returning the resulting revision. MIRTO planners read it to
+// attribute SLO violations to a continuum layer.
+func PublishKB(kv kb.Backend, s *Summary, nowNanos int64) int64 {
+	doc, err := json.Marshal(kbSummary{UpdatedAtNanos: nowNanos, Summary: s})
+	if err != nil {
+		return 0
+	}
+	return kv.Put(kb.PrefixTraces+"summary", doc)
+}
+
+// LoadKB reads back the last published summary, if any.
+func LoadKB(kv kb.Backend) (*Summary, int64, bool) {
+	rec, ok := kv.Get(kb.PrefixTraces + "summary")
+	if !ok {
+		return nil, 0, false
+	}
+	var doc kbSummary
+	if err := json.Unmarshal(rec.Value, &doc); err != nil {
+		return nil, 0, false
+	}
+	return doc.Summary, doc.UpdatedAtNanos, true
+}

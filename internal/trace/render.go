@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"myrtus/internal/sim"
+)
+
+// RenderTree renders the trace as an indented span tree. Children are
+// ordered by start time (ties by span ID); spans on the critical path
+// are marked with '*'. Offsets are relative to the root span's start.
+func RenderTree(t *Trace) string {
+	if t == nil || t.Root == nil {
+		return "(empty trace)\n"
+	}
+	children := make(map[SpanID][]*Span)
+	for _, s := range t.Spans {
+		if s == t.Root {
+			continue
+		}
+		children[s.Parent] = append(children[s.Parent], s)
+	}
+	for _, kids := range children {
+		sort.Slice(kids, func(i, j int) bool {
+			if kids[i].Start != kids[j].Start {
+				return kids[i].Start < kids[j].Start
+			}
+			return kids[i].ID < kids[j].ID
+		})
+	}
+	crit := t.OnCriticalPath()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s  %s  total=%v  spans=%d\n",
+		t.ID, t.Root.Name, t.Root.Duration(), len(t.Spans))
+	var walk func(s *Span, depth int)
+	walk = func(s *Span, depth int) {
+		mark := " "
+		if crit[s.ID] {
+			mark = "*"
+		}
+		line := fmt.Sprintf("%s %s%s [%s] +%v %v",
+			mark, strings.Repeat("  ", depth), s.Name, s.Layer,
+			s.Start-t.Root.Start, s.Duration())
+		if s.Error != "" {
+			line += "  ERROR: " + s.Error
+		}
+		b.WriteString(line + "\n")
+		for _, kid := range children[s.ID] {
+			walk(kid, depth+1)
+		}
+	}
+	walk(t.Root, 0)
+	return b.String()
+}
+
+// RenderCriticalPath renders critical-path segments as one line per hop
+// with wait and service time, ending with the total and the fraction of
+// the end-to-end latency the path explains.
+func RenderCriticalPath(segs []PathSegment, total sim.Time) string {
+	var b strings.Builder
+	b.WriteString("critical path:\n")
+	var explained sim.Time
+	for _, seg := range segs {
+		explained += seg.Wait + seg.Span.Duration()
+		fmt.Fprintf(&b, "  %-32s [%-7s] wait=%-10v serve=%v\n",
+			seg.Span.Name, seg.Span.Layer, seg.Wait, seg.Span.Duration())
+	}
+	share := 0.0
+	if total > 0 {
+		share = float64(explained) / float64(total)
+	}
+	fmt.Fprintf(&b, "  path=%v of total=%v (%.1f%%)\n", explained, total, share*100)
+	return b.String()
+}
+
+// RenderSummary renders the cross-trace summary: a per-layer breakdown
+// table followed by per-span-name percentiles.
+func RenderSummary(s *Summary) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace summary: %d traces, %d spans\n", s.Traces, s.Spans)
+	b.WriteString("per-layer critical-path breakdown:\n")
+	fmt.Fprintf(&b, "  %-8s %-14s %6s %7s\n", "layer", "time", "spans", "share")
+	for _, ls := range s.Layers {
+		fmt.Fprintf(&b, "  %-8s %-14v %6d %6.1f%%\n", ls.Layer, ls.Time, ls.Spans, ls.Share*100)
+	}
+	b.WriteString("per-span latency (ms):\n")
+	fmt.Fprintf(&b, "  %-32s %6s %9s %9s %9s %9s\n", "span", "count", "mean", "p50", "p95", "p99")
+	for _, ns := range s.Names {
+		fmt.Fprintf(&b, "  %-32s %6d %9.3f %9.3f %9.3f %9.3f\n",
+			ns.Name, ns.Count, ns.MeanMs, ns.P50Ms, ns.P95Ms, ns.P99Ms)
+	}
+	return b.String()
+}

@@ -1,0 +1,415 @@
+// Package trace implements virtual-time distributed tracing across the
+// MYRTUS continuum. A request that crosses a device, the network fabric,
+// the MQTT-style broker, a cluster scheduler, and a MIRTO decision loop
+// is recorded as one trace: a tree of spans stamped in virtual time from
+// the owning sim.Engine, so two seeded runs produce bit-identical traces.
+//
+// On top of the raw spans the package provides the analysis the MIRTO
+// agents need for latency attribution: per-trace critical-path
+// extraction, per-layer breakdowns, and cross-trace percentile summaries
+// (analyze.go), human-readable rendering for the CLIs (render.go), and
+// export into telemetry registries and the Knowledge Base (export.go).
+//
+// Sampling is head-based and deterministic: the tracer keeps every Nth
+// started trace, decided at trace start from a monotonic counter rather
+// than a random draw, so sampled runs are reproducible too.
+package trace
+
+import (
+	"fmt"
+	"sync"
+
+	"myrtus/internal/sim"
+)
+
+// TraceID identifies one trace; SpanID one span within it. Both are
+// generated from deterministic counters.
+type (
+	TraceID string
+	SpanID  string
+)
+
+// Layer names the continuum layer a span is attributed to in breakdowns.
+type Layer string
+
+// The five attribution layers of the continuum.
+const (
+	LayerDevice  Layer = "device"  // operating-point execution on a device
+	LayerNetwork Layer = "network" // fabric transfers
+	LayerBroker  Layer = "broker"  // pub/sub fan-out
+	LayerCluster Layer = "cluster" // pod scheduling
+	LayerAgent   Layer = "agent"   // MIRTO / MAPE-K decisions and request roots
+)
+
+// CanonicalLayers returns the fixed layer order used in breakdown tables.
+func CanonicalLayers() []Layer {
+	return []Layer{LayerDevice, LayerNetwork, LayerBroker, LayerCluster, LayerAgent}
+}
+
+// SpanContext is the propagated reference to a span: it travels through
+// network options, device work units, and broker publishes. The zero
+// value means "not traced" and makes every tracing call a no-op.
+type SpanContext struct {
+	Trace TraceID `json:"traceId"`
+	Span  SpanID  `json:"spanId"`
+}
+
+// Valid reports whether the context references a live sampled trace.
+func (c SpanContext) Valid() bool { return c.Trace != "" && c.Span != "" }
+
+// Span is one timed operation within a trace. Exported fields are the
+// wire format served by the MIRTO agent; a span is immutable once ended.
+// All Span methods are nil-safe so unsampled call sites stay branch-free.
+type Span struct {
+	TraceID TraceID           `json:"traceId"`
+	ID      SpanID            `json:"id"`
+	Parent  SpanID            `json:"parent,omitempty"`
+	Name    string            `json:"name"`
+	Layer   Layer             `json:"layer"`
+	Start   sim.Time          `json:"start"`
+	End     sim.Time          `json:"end"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+	Error   string            `json:"error,omitempty"`
+
+	tracer *Tracer
+	ended  bool
+}
+
+// Context returns the propagatable reference to this span.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{Trace: s.TraceID, Span: s.ID}
+}
+
+// Duration is End-Start (0 for a nil or unfinished span).
+func (s *Span) Duration() sim.Time {
+	if s == nil || s.End < s.Start {
+		return 0
+	}
+	return s.End - s.Start
+}
+
+// SetAttr records a key/value attribute. No-op after EndAt.
+func (s *Span) SetAttr(k, v string) {
+	if s == nil || s.ended {
+		return
+	}
+	if s.Attrs == nil {
+		s.Attrs = make(map[string]string, 4)
+	}
+	s.Attrs[k] = v
+}
+
+// SetError stamps the span with a failure. No-op for nil errors.
+func (s *Span) SetError(err error) {
+	if s == nil || s.ended || err == nil {
+		return
+	}
+	s.Error = err.Error()
+}
+
+// EndNow finishes the span at the engine's current virtual time.
+func (s *Span) EndNow() {
+	if s == nil {
+		return
+	}
+	s.EndAt(s.tracer.engine.Now())
+}
+
+// EndAt finishes the span at an explicit virtual time (clamped to Start)
+// and records it into its trace. Ending twice is a no-op; after EndAt the
+// span must not be mutated — readers may hold it concurrently.
+func (s *Span) EndAt(at sim.Time) {
+	if s == nil || s.ended {
+		return
+	}
+	if at < s.Start {
+		at = s.Start
+	}
+	s.End = at
+	s.ended = true
+	s.tracer.record(s)
+}
+
+// Trace is the recorded span set of one request (or one standalone
+// decision). Spans appear in record order; Root is the span that opened
+// the trace and whose end completes it.
+type Trace struct {
+	ID    TraceID `json:"id"`
+	Root  *Span   `json:"-"`
+	Spans []*Span `json:"spans"`
+
+	complete bool
+}
+
+// Complete reports whether the root span has ended.
+func (t *Trace) Complete() bool { return t != nil && t.complete }
+
+// FromSpans reconstructs a Trace from a decoded span set (the shape
+// served by GET /v1/traces/{id}): the unique parentless span is the root.
+func FromSpans(spans []*Span) (*Trace, error) {
+	var root *Span
+	for _, s := range spans {
+		if s.Parent != "" {
+			continue
+		}
+		if root != nil {
+			return nil, fmt.Errorf("trace: multiple root spans (%s, %s)", root.ID, s.ID)
+		}
+		root = s
+	}
+	if root == nil {
+		return nil, fmt.Errorf("trace: no root span among %d spans", len(spans))
+	}
+	return &Trace{ID: root.TraceID, Root: root, Spans: spans, complete: true}, nil
+}
+
+// Tracer mints spans stamped from one engine's virtual clock and retains
+// the most recent finished traces in a bounded ring. It is safe for
+// concurrent use: the simulation goroutine records while control-plane
+// readers (the agent REST API) snapshot.
+type Tracer struct {
+	engine *sim.Engine
+
+	mu       sync.Mutex
+	spanSeq  uint64
+	traceSeq uint64
+	every    int // sample 1-in-every roots; 0 disables tracing
+	max      int // finished traces retained
+	traces   map[TraceID]*Trace
+	order    []TraceID // finished traces, completion order
+
+	rootsStarted  uint64
+	rootsSampled  uint64
+	spansRecorded uint64
+	spansDropped  uint64
+}
+
+// NewTracer returns a tracer over the engine's clock that samples every
+// trace and retains the last 256 finished ones.
+func NewTracer(engine *sim.Engine) *Tracer {
+	return &Tracer{
+		engine: engine,
+		every:  1,
+		max:    256,
+		traces: make(map[TraceID]*Trace),
+	}
+}
+
+// SetSampleEvery configures deterministic head sampling: keep one of
+// every n started traces (1 = all). n <= 0 disables tracing entirely,
+// which is the zero-overhead production setting for the hot path.
+func (t *Tracer) SetSampleEvery(n int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.every = n
+	t.mu.Unlock()
+}
+
+// SampleEvery returns the sampling modulus (0 = disabled).
+func (t *Tracer) SampleEvery() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.every
+}
+
+// SetMaxTraces bounds the finished-trace ring (minimum 1).
+func (t *Tracer) SetMaxTraces(n int) {
+	if t == nil {
+		return
+	}
+	if n < 1 {
+		n = 1
+	}
+	t.mu.Lock()
+	t.max = n
+	t.evictLocked()
+	t.mu.Unlock()
+}
+
+// StartRoot opens a new trace if the head sampler elects it, returning
+// the root span (nil when unsampled — safe to use anyway).
+func (t *Tracer) StartRoot(name string, layer Layer) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rootsStarted++
+	t.traceSeq++
+	if t.every <= 0 || (t.traceSeq-1)%uint64(t.every) != 0 {
+		return nil
+	}
+	t.rootsSampled++
+	id := TraceID(fmt.Sprintf("t%06d", t.traceSeq))
+	t.spanSeq++
+	sp := &Span{
+		tracer:  t,
+		TraceID: id,
+		ID:      SpanID(fmt.Sprintf("s%06d", t.spanSeq)),
+		Name:    name,
+		Layer:   layer,
+		Start:   t.engine.Now(),
+	}
+	t.traces[id] = &Trace{ID: id, Root: sp}
+	return sp
+}
+
+// StartSpan opens a child span at the current virtual time. An invalid
+// parent (unsampled trace) yields nil.
+func (t *Tracer) StartSpan(parent SpanContext, name string, layer Layer) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.StartSpanAt(parent, name, layer, t.engine.Now())
+}
+
+// StartSpanAt opens a child span with an explicit virtual start time —
+// used when the start (e.g. a stage's ready time) precedes the call.
+func (t *Tracer) StartSpanAt(parent SpanContext, name string, layer Layer, at sim.Time) *Span {
+	if t == nil || !parent.Valid() {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.traces[parent.Trace]; !ok {
+		t.spansDropped++ // trace evicted or never sampled
+		return nil
+	}
+	t.spanSeq++
+	return &Span{
+		tracer:  t,
+		TraceID: parent.Trace,
+		ID:      SpanID(fmt.Sprintf("s%06d", t.spanSeq)),
+		Parent:  parent.Span,
+		Name:    name,
+		Layer:   layer,
+		Start:   at,
+	}
+}
+
+func (t *Tracer) record(s *Span) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tr, ok := t.traces[s.TraceID]
+	if !ok {
+		t.spansDropped++
+		return
+	}
+	tr.Spans = append(tr.Spans, s)
+	t.spansRecorded++
+	if s == tr.Root {
+		tr.complete = true
+		t.order = append(t.order, tr.ID)
+		t.evictLocked()
+	}
+}
+
+func (t *Tracer) evictLocked() {
+	for len(t.order) > t.max {
+		delete(t.traces, t.order[0])
+		t.order = t.order[1:]
+	}
+}
+
+// Traces returns the finished traces in completion order. Each returned
+// Trace is a snapshot header with a copied span slice, so late spans
+// appended afterwards do not race with the reader.
+func (t *Tracer) Traces() []*Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Trace, 0, len(t.order))
+	for _, id := range t.order {
+		tr := t.traces[id]
+		if tr == nil {
+			continue
+		}
+		out = append(out, &Trace{
+			ID:       tr.ID,
+			Root:     tr.Root,
+			Spans:    append([]*Span(nil), tr.Spans...),
+			complete: tr.complete,
+		})
+	}
+	return out
+}
+
+// Find returns a snapshot of the identified trace (finished or active).
+func (t *Tracer) Find(id TraceID) (*Trace, bool) {
+	if t == nil {
+		return nil, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tr, ok := t.traces[id]
+	if !ok {
+		return nil, false
+	}
+	return &Trace{
+		ID:       tr.ID,
+		Root:     tr.Root,
+		Spans:    append([]*Span(nil), tr.Spans...),
+		complete: tr.complete,
+	}, true
+}
+
+// Info is one row of the trace listing served by GET /v1/traces.
+type Info struct {
+	ID        TraceID  `json:"id"`
+	Name      string   `json:"name"`
+	Start     sim.Time `json:"start"`
+	LatencyMs float64  `json:"latencyMs"`
+	Spans     int      `json:"spans"`
+	Error     string   `json:"error,omitempty"`
+}
+
+// Infos lists the finished traces, completion-ordered.
+func (t *Tracer) Infos() []Info {
+	var out []Info
+	for _, tr := range t.Traces() {
+		out = append(out, Info{
+			ID:        tr.ID,
+			Name:      tr.Root.Name,
+			Start:     tr.Root.Start,
+			LatencyMs: tr.Root.Duration().Seconds() * 1e3,
+			Spans:     len(tr.Spans),
+			Error:     tr.Root.Error,
+		})
+	}
+	return out
+}
+
+// Stats are cumulative tracer counters.
+type Stats struct {
+	RootsStarted  uint64
+	RootsSampled  uint64
+	SpansRecorded uint64
+	SpansDropped  uint64
+	Finished      int
+}
+
+// Stats returns cumulative counters.
+func (t *Tracer) Stats() Stats {
+	if t == nil {
+		return Stats{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return Stats{
+		RootsStarted:  t.rootsStarted,
+		RootsSampled:  t.rootsSampled,
+		SpansRecorded: t.spansRecorded,
+		SpansDropped:  t.spansDropped,
+		Finished:      len(t.order),
+	}
+}

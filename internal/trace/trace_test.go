@@ -1,0 +1,241 @@
+package trace
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"myrtus/internal/kb"
+	"myrtus/internal/sim"
+	"myrtus/internal/telemetry"
+)
+
+// buildTrace constructs a three-hop causal chain on a fresh engine:
+//
+//	root request/test [0, 14ms]
+//	  net.in  [network]  0..4ms
+//	    exec/a [device]  4..10ms   (child branch: exec/side 4..6ms)
+//	      net.out [network] 10..14ms   <- terminal
+func buildTrace(t *testing.T) (*Tracer, *Trace) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	tr := NewTracer(eng)
+	root := tr.StartRoot("request/test", LayerAgent)
+	if root == nil {
+		t.Fatal("root not sampled at every=1")
+	}
+	netIn := tr.StartSpan(root.Context(), "net.in", LayerNetwork)
+	side := tr.StartSpanAt(netIn.Context(), "exec/side", LayerDevice, 4*sim.Millisecond)
+	exec := tr.StartSpanAt(netIn.Context(), "exec/a", LayerDevice, 4*sim.Millisecond)
+	netOut := tr.StartSpanAt(exec.Context(), "net.out", LayerNetwork, 10*sim.Millisecond)
+	netIn.EndAt(4 * sim.Millisecond)
+	side.EndAt(6 * sim.Millisecond)
+	exec.SetAttr("device", "edge-hmp-0")
+	exec.EndAt(10 * sim.Millisecond)
+	netOut.EndAt(14 * sim.Millisecond)
+	root.EndAt(14 * sim.Millisecond)
+	traces := tr.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("finished traces = %d, want 1", len(traces))
+	}
+	return tr, traces[0]
+}
+
+func TestSpanLifecycleAndDeterministicIDs(t *testing.T) {
+	_, trc := buildTrace(t)
+	if trc.ID != "t000001" {
+		t.Fatalf("trace ID = %q, want t000001", trc.ID)
+	}
+	if trc.Root.ID != "s000001" {
+		t.Fatalf("root span ID = %q, want s000001", trc.Root.ID)
+	}
+	if !trc.Complete() {
+		t.Fatal("trace should be complete after root end")
+	}
+	if got := trc.Root.Duration(); got != 14*sim.Millisecond {
+		t.Fatalf("root duration = %v, want 14ms", got)
+	}
+	// Two independently built traces must be bit-identical.
+	_, again := buildTrace(t)
+	if RenderTree(trc) != RenderTree(again) {
+		t.Fatal("seeded trace rendering is not deterministic")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	sp := tr.StartRoot("x", LayerAgent)
+	if sp != nil {
+		t.Fatal("nil tracer must return nil span")
+	}
+	sp.SetAttr("k", "v")
+	sp.SetError(errors.New("boom"))
+	sp.EndAt(5)
+	if sp.Context().Valid() {
+		t.Fatal("nil span context must be invalid")
+	}
+	if tr.StartSpan(SpanContext{}, "y", LayerDevice) != nil {
+		t.Fatal("invalid parent must yield nil span")
+	}
+}
+
+func TestCriticalPathSumsToTotal(t *testing.T) {
+	_, trc := buildTrace(t)
+	segs, total := trc.CriticalPath()
+	if total != 14*sim.Millisecond {
+		t.Fatalf("total = %v, want 14ms", total)
+	}
+	names := make([]string, 0, len(segs))
+	var explained sim.Time
+	for _, seg := range segs {
+		names = append(names, seg.Span.Name)
+		explained += seg.Wait + seg.Span.Duration()
+	}
+	if got, want := strings.Join(names, ","), "net.in,exec/a,net.out"; got != want {
+		t.Fatalf("critical path = %s, want %s", got, want)
+	}
+	if explained != total {
+		t.Fatalf("critical path explains %v of %v", explained, total)
+	}
+	// The side branch must not be on the path.
+	if trc.OnCriticalPath()["s000003"] {
+		t.Fatal("side branch should be off the critical path")
+	}
+}
+
+func TestLayerBreakdown(t *testing.T) {
+	_, trc := buildTrace(t)
+	bd := trc.LayerBreakdown()
+	byLayer := make(map[Layer]LayerStat)
+	for _, ls := range bd {
+		byLayer[ls.Layer] = ls
+	}
+	if got := byLayer[LayerNetwork].Time; got != 8*sim.Millisecond {
+		t.Fatalf("network time = %v, want 8ms", got)
+	}
+	if got := byLayer[LayerDevice].Time; got != 6*sim.Millisecond {
+		t.Fatalf("device time = %v, want 6ms", got)
+	}
+	var sum sim.Time
+	for _, ls := range bd {
+		sum += ls.Time
+	}
+	if sum != 14*sim.Millisecond {
+		t.Fatalf("breakdown sums to %v, want 14ms", sum)
+	}
+}
+
+func TestHeadSamplingIsDeterministic(t *testing.T) {
+	eng := sim.NewEngine(1)
+	tr := NewTracer(eng)
+	tr.SetSampleEvery(3)
+	var sampled []int
+	for i := 0; i < 9; i++ {
+		sp := tr.StartRoot("r", LayerAgent)
+		if sp != nil {
+			sampled = append(sampled, i)
+			sp.EndAt(sim.Time(i))
+		}
+	}
+	if len(sampled) != 3 || sampled[0] != 0 || sampled[1] != 3 || sampled[2] != 6 {
+		t.Fatalf("sampled roots = %v, want [0 3 6]", sampled)
+	}
+	st := tr.Stats()
+	if st.RootsStarted != 9 || st.RootsSampled != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Sampling off: everything is a no-op.
+	tr.SetSampleEvery(0)
+	if tr.StartRoot("r", LayerAgent) != nil {
+		t.Fatal("sampling off must not create spans")
+	}
+}
+
+func TestMaxTracesEviction(t *testing.T) {
+	eng := sim.NewEngine(1)
+	tr := NewTracer(eng)
+	tr.SetMaxTraces(2)
+	var ids []TraceID
+	for i := 0; i < 4; i++ {
+		sp := tr.StartRoot("r", LayerAgent)
+		ids = append(ids, sp.Context().Trace)
+		sp.EndAt(sim.Time(i))
+	}
+	got := tr.Traces()
+	if len(got) != 2 || got[0].ID != ids[2] || got[1].ID != ids[3] {
+		t.Fatalf("retained traces wrong: %d retained", len(got))
+	}
+	if _, ok := tr.Find(ids[0]); ok {
+		t.Fatal("evicted trace still findable")
+	}
+	// Spans for evicted traces are counted as dropped, not recorded.
+	if tr.StartSpan(SpanContext{Trace: ids[0], Span: "s000001"}, "late", LayerDevice) != nil {
+		t.Fatal("span on evicted trace should be nil")
+	}
+	if tr.Stats().SpansDropped == 0 {
+		t.Fatal("expected dropped span accounting")
+	}
+}
+
+func TestFromSpansRoundTrip(t *testing.T) {
+	_, trc := buildTrace(t)
+	rebuilt, err := FromSpans(trc.Spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt.Root.ID != trc.Root.ID {
+		t.Fatalf("rebuilt root = %s, want %s", rebuilt.Root.ID, trc.Root.ID)
+	}
+	segs, total := rebuilt.CriticalPath()
+	if total != 14*sim.Millisecond || len(segs) != 3 {
+		t.Fatalf("rebuilt critical path: %d segs, total %v", len(segs), total)
+	}
+	if _, err := FromSpans(nil); err == nil {
+		t.Fatal("FromSpans(nil) should fail")
+	}
+}
+
+func TestSummarizeAndRender(t *testing.T) {
+	_, trc := buildTrace(t)
+	sum := Summarize([]*Trace{trc})
+	if sum.Traces != 1 || sum.Spans != 5 {
+		t.Fatalf("summary = %d traces %d spans", sum.Traces, sum.Spans)
+	}
+	out := RenderSummary(sum)
+	for _, want := range []string{"per-layer", "network", "device", "exec/a"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary render missing %q:\n%s", want, out)
+		}
+	}
+	tree := RenderTree(trc)
+	if !strings.Contains(tree, "* ") || !strings.Contains(tree, "exec/side") {
+		t.Fatalf("tree render unexpected:\n%s", tree)
+	}
+	segs, total := trc.CriticalPath()
+	cp := RenderCriticalPath(segs, total)
+	if !strings.Contains(cp, "100.0%") {
+		t.Fatalf("critical path should explain 100%%:\n%s", cp)
+	}
+}
+
+func TestExportTelemetryAndKB(t *testing.T) {
+	_, trc := buildTrace(t)
+	reg := telemetry.NewRegistry("trace")
+	ExportTelemetry([]*Trace{trc}, reg)
+	if s, ok := reg.Find("span_ms:exec/a"); !ok || s.Hist.Count != 1 {
+		t.Fatalf("span histogram not exported: %+v ok=%v", s, ok)
+	}
+	if s, ok := reg.Find("critpath_ns:network"); !ok || s.Value != float64(8*sim.Millisecond) {
+		t.Fatalf("critpath counter = %+v ok=%v", s, ok)
+	}
+
+	store := kb.NewStore()
+	sum := Summarize([]*Trace{trc})
+	if rev := PublishKB(store, sum, 14_000_000); rev == 0 {
+		t.Fatal("PublishKB returned revision 0")
+	}
+	back, at, ok := LoadKB(store)
+	if !ok || at != 14_000_000 || back.Traces != 1 {
+		t.Fatalf("LoadKB = %+v at=%d ok=%v", back, at, ok)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"myrtus/internal/mirto"
 	"myrtus/internal/sim"
 	"myrtus/internal/tosca"
+	"myrtus/internal/trace"
 )
 
 // Options configure a System.
@@ -117,6 +118,21 @@ func (s *System) IterateLoops() {
 			loop.Iterate()
 		}
 	}
+}
+
+// Traces returns the finished request traces recorded so far.
+func (s *System) Traces() []*trace.Trace { return s.Continuum.Tracer.Traces() }
+
+// PublishTraces aggregates all finished traces into a per-layer /
+// per-span summary, exports it into the trace telemetry registry, and
+// publishes it to the Knowledge Base so MIRTO agents can consume
+// attribution signals. It returns the summary for rendering.
+func (s *System) PublishTraces() *trace.Summary {
+	traces := s.Continuum.Tracer.Traces()
+	sum := trace.Summarize(traces)
+	trace.ExportTelemetry(traces, s.Continuum.TraceMetrics)
+	trace.PublishKB(s.Continuum.KB, sum, int64(s.Continuum.Engine.Now()))
+	return sum
 }
 
 // Handler returns the MIRTO agent REST API over this system.

@@ -8,7 +8,9 @@ import (
 	"myrtus/internal/dpe"
 	"myrtus/internal/mirto"
 	"myrtus/internal/mlir"
+	"myrtus/internal/sim"
 	"myrtus/internal/tosca"
+	"myrtus/internal/trace"
 )
 
 const demoApp = `
@@ -162,5 +164,85 @@ func TestFacadeHandler(t *testing.T) {
 func TestBuildFromCSARErrors(t *testing.T) {
 	if _, err := BuildFromCSAR([]byte("junk")); err == nil {
 		t.Fatal("junk accepted")
+	}
+}
+
+func TestTraceCriticalPathMatchesLatency(t *testing.T) {
+	sys := newSystem(t)
+	if _, err := sys.DeployYAML(demoApp); err != nil {
+		t.Fatal(err)
+	}
+	// Ingress elsewhere forces a real network transfer into the pipeline.
+	lat, _, err := sys.ServeRequest("demo", "edge-hmp-0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reqTrace *trace.Trace
+	for _, tr := range sys.Traces() {
+		if tr.Root.Name == "request/demo" {
+			reqTrace = tr
+		}
+	}
+	if reqTrace == nil {
+		t.Fatal("no request trace recorded")
+	}
+	segs, total := reqTrace.CriticalPath()
+	if total != lat {
+		t.Fatalf("trace total %v != served latency %v", total, lat)
+	}
+	var explained sim.Time
+	for _, seg := range segs {
+		explained += seg.Wait + seg.Span.Duration()
+	}
+	if explained != total {
+		t.Fatalf("critical path explains %v of total %v", explained, total)
+	}
+	// The path must traverse at least one device span and, with a remote
+	// ingress, at least one network span.
+	layers := map[trace.Layer]bool{}
+	for _, seg := range segs {
+		layers[seg.Span.Layer] = true
+	}
+	if !layers[trace.LayerDevice] || !layers[trace.LayerNetwork] {
+		t.Fatalf("critical path layers = %v", layers)
+	}
+}
+
+func TestPublishTraces(t *testing.T) {
+	sys := newSystem(t)
+	if _, err := sys.DeployYAML(demoApp); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, err := sys.ServeRequest("demo", "edge-hmp-0", 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sum := sys.PublishTraces()
+	if sum.Traces < 3 || len(sum.Layers) == 0 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	// Telemetry export: per-span histograms and critical-path counters.
+	if s, ok := sys.Continuum.TraceMetrics.Find("span_ms:request/demo"); !ok || s.Hist.Count != 3 {
+		t.Fatalf("span histogram = %+v ok=%v", s, ok)
+	}
+	// KB export: the summary round-trips.
+	back, _, ok := trace.LoadKB(sys.Continuum.KB)
+	if !ok || back.Traces != sum.Traces {
+		t.Fatalf("KB summary = %+v ok=%v", back, ok)
+	}
+}
+
+func TestTraceSamplingOffNoTraces(t *testing.T) {
+	sys := newSystem(t)
+	sys.Continuum.Tracer.SetSampleEvery(0)
+	if _, err := sys.DeployYAML(demoApp); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sys.ServeRequest("demo", "edge-hmp-0", 1); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(sys.Traces()); n != 0 {
+		t.Fatalf("sampling off recorded %d traces", n)
 	}
 }
