@@ -13,7 +13,6 @@ import (
 	"fmt"
 	"sync"
 	"testing"
-	"time"
 
 	"myrtus/internal/adt"
 	"myrtus/internal/cluster"
@@ -1075,53 +1074,87 @@ func BenchmarkA4OpenLoopLoad(b *testing.B) {
 // A5 — orchestrator scalability: plan time vs continuum size.
 // ---------------------------------------------------------------------
 
+// buildScaleContinuum builds a continuum with ~edge edge devices for
+// the scalability benchmarks.
+func buildScaleContinuum(b *testing.B, edge int) *continuum.Continuum {
+	b.Helper()
+	opts := continuum.DefaultOptions()
+	opts.KBReplicas = 1
+	opts.Multicores = edge / 3
+	opts.HMPSoCs = edge / 3
+	opts.RISCVs = edge / 3
+	opts.FMDCServers = 2 + edge/10
+	c, err := continuum.Build(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// a5Measured records each size's harness-measured µs/plan and device
+// count so the A5 summary can print the benchmark's own numbers instead
+// of a separate wall-clock measurement loop.
+var a5Measured sync.Map
+
 func BenchmarkA5Scale(b *testing.B) {
-	sizes := []int{6, 30, 90}
-	var body bytes.Buffer
-	body.WriteString("deployment-time orchestration vs continuum size (same template):\n")
+	sizes := []int{6, 30, 90, 300, 1000}
 	st, err := tosca.Parse(benchApp)
 	if err != nil {
 		b.Fatal(err)
 	}
 	for _, edge := range sizes {
-		opts := continuum.DefaultOptions()
-		opts.KBReplicas = 1
-		opts.Multicores = edge / 3
-		opts.HMPSoCs = edge / 3
-		opts.RISCVs = edge / 3
-		opts.FMDCServers = 2 + edge/10
-		c, err := continuum.Build(opts)
-		if err != nil {
-			b.Fatal(err)
-		}
-		m := mirto.NewManager(c, mirto.LatencyGoal())
-		start := nowNs()
-		const plans = 20
-		for i := 0; i < plans; i++ {
-			if _, err := m.Plan(st); err != nil {
-				b.Fatal(err)
-			}
-		}
-		perPlan := float64(nowNs()-start) / plans / 1e3
-		fmt.Fprintf(&body, "  %3d edge devices (%d total): %8.1f µs/plan\n",
-			edge, len(c.Devices), perPlan)
-	}
-	body.WriteString("shape: planning stays sub-millisecond into hundreds of devices (linear in candidates)")
-	printExperiment("A5 scalability", body.String())
-
-	for _, edge := range sizes {
 		b.Run(fmt.Sprintf("edge-%d", edge), func(b *testing.B) {
-			opts := continuum.DefaultOptions()
-			opts.KBReplicas = 1
-			opts.Multicores = edge / 3
-			opts.HMPSoCs = edge / 3
-			opts.RISCVs = edge / 3
-			opts.FMDCServers = 2 + edge/10
-			c, err := continuum.Build(opts)
-			if err != nil {
-				b.Fatal(err)
-			}
+			c := buildScaleContinuum(b, edge)
 			m := mirto.NewManager(c, mirto.LatencyGoal())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Plan(st); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			perPlanUs := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / 1e3
+			a5Measured.Store(edge, [2]float64{perPlanUs, float64(len(c.Devices))})
+		})
+	}
+	// Sub-benchmarks run in declaration order, so by the time "summary"
+	// executes each size's slot holds its final (highest-N) measurement —
+	// the same timer testing reports as ns/op, not a wall-clock re-run.
+	b.Run("summary", func(b *testing.B) {
+		var body bytes.Buffer
+		body.WriteString("deployment-time orchestration vs continuum size (same template):\n")
+		for _, edge := range sizes {
+			v, ok := a5Measured.Load(edge)
+			if !ok {
+				continue
+			}
+			r := v.([2]float64)
+			fmt.Fprintf(&body, "  %4d edge devices (%d total): %8.1f µs/plan\n",
+				edge, int(r[1]), r[0])
+		}
+		body.WriteString("shape: planning stays sub-millisecond into a thousand devices (indexed candidates, precomputed routes)")
+		printExperiment("A5 scalability", body.String())
+	})
+}
+
+// BenchmarkPlanParallel compares sequential and parallel offer scoring
+// on a large continuum; the plans must be identical (see the
+// determinism test in internal/mirto), only the latency differs.
+func BenchmarkPlanParallel(b *testing.B) {
+	st, err := tosca.Parse(benchApp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{{"sequential", 1}, {"parallel", 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			c := buildScaleContinuum(b, 300)
+			m := mirto.NewManager(c, mirto.LatencyGoal())
+			m.ScoreWorkers = mode.workers
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := m.Plan(st); err != nil {
@@ -1132,10 +1165,27 @@ func BenchmarkA5Scale(b *testing.B) {
 	}
 }
 
-func nowNs() int64 { return timeNowNano() }
-
-// timeNowNano isolates the wall-clock dependency of A5's summary line.
-func timeNowNano() int64 { return time.Now().UnixNano() }
+// BenchmarkServeSteadyState measures the per-request serve path over an
+// already-deployed plan — the hot loop a long-lived continuum spends its
+// life in. Allocations here are the metric that matters.
+func BenchmarkServeSteadyState(b *testing.B) {
+	c := smallContinuum(b)
+	o := mirto.NewOrchestrator(mirto.NewManager(c, mirto.LatencyGoal()))
+	st, err := tosca.Parse(benchApp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := o.Deploy(st); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := o.R.ServeRequestFrom(st.Name, "edge-rv-0", 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // ---------------------------------------------------------------------
 // T3 — Tracing overhead: instrumented vs. uninstrumented hot paths.

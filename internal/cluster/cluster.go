@@ -138,17 +138,25 @@ func SpreadScore(pod *Pod, node *Node, free Resources) float64 {
 	return s
 }
 
+// NodeListener observes node-affecting cluster changes: node add/remove,
+// readiness flips, and pod bind/unbind events that alter a node's free
+// resources. Listeners fire after the mutation commits, outside the
+// cluster lock, with the affected node's name — the hook incremental
+// schedulers (MIRTO's candidate index) use to avoid full rescans.
+type NodeListener func(node string)
+
 // Cluster is one Kubernetes-role cluster instance.
 type Cluster struct {
-	mu     sync.Mutex
-	name   string
-	nodes  map[string]*Node
-	pods   map[string]*Pod
-	deps   map[string]*Deployment
-	events []Event
-	nextID int
-	score  ScoreFunc
-	tracer *trace.Tracer
+	mu        sync.Mutex
+	name      string
+	nodes     map[string]*Node
+	pods      map[string]*Pod
+	deps      map[string]*Deployment
+	events    []Event
+	nextID    int
+	score     ScoreFunc
+	tracer    *trace.Tracer
+	listeners []NodeListener
 }
 
 // New returns an empty cluster using the default bin-packing score.
@@ -183,6 +191,30 @@ func (c *Cluster) SetScoreFunc(f ScoreFunc) {
 	c.score = f
 }
 
+// Subscribe registers a listener for node-affecting changes.
+func (c *Cluster) Subscribe(fn NodeListener) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.listeners = append(c.listeners, fn)
+}
+
+// notify fires every listener for each named node, outside c.mu.
+func (c *Cluster) notify(nodes ...string) {
+	if len(nodes) == 0 {
+		return
+	}
+	c.mu.Lock()
+	ls := c.listeners
+	c.mu.Unlock()
+	for _, fn := range ls {
+		for _, n := range nodes {
+			if n != "" {
+				fn(n)
+			}
+		}
+	}
+}
+
 // AddNode registers a node.
 func (c *Cluster) AddNode(n Node) error {
 	if n.Name == "" {
@@ -192,13 +224,15 @@ func (c *Cluster) AddNode(n Node) error {
 		return fmt.Errorf("cluster: node %s needs positive allocatable resources", n.Name)
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if _, ok := c.nodes[n.Name]; ok {
+		c.mu.Unlock()
 		return fmt.Errorf("cluster: node %s already exists", n.Name)
 	}
 	cp := n
 	c.nodes[n.Name] = &cp
 	c.eventLocked("Created", "node/"+n.Name, "node registered")
+	c.mu.Unlock()
+	c.notify(n.Name)
 	return nil
 }
 
@@ -206,7 +240,6 @@ func (c *Cluster) AddNode(n Node) error {
 // controllers).
 func (c *Cluster) RemoveNode(name string) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	delete(c.nodes, name)
 	for _, p := range c.pods {
 		if p.Node == name && p.Phase == PodRunning {
@@ -214,15 +247,17 @@ func (c *Cluster) RemoveNode(name string) {
 			c.eventLocked("Evicted", "pod/"+p.Name, "node removed")
 		}
 	}
+	c.mu.Unlock()
+	c.notify(name)
 }
 
 // SetNodeReady flips a node's readiness. Marking a node unready fails its
 // running pods, modelling a crashed device.
 func (c *Cluster) SetNodeReady(name string, ready bool) error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	n, ok := c.nodes[name]
 	if !ok {
+		c.mu.Unlock()
 		return fmt.Errorf("cluster: unknown node %s", name)
 	}
 	n.Ready = ready
@@ -234,6 +269,8 @@ func (c *Cluster) SetNodeReady(name string, ready bool) error {
 			}
 		}
 	}
+	c.mu.Unlock()
+	c.notify(name)
 	return nil
 }
 
@@ -280,11 +317,16 @@ func (c *Cluster) CreatePod(spec PodSpec) (string, error) {
 // DeletePod removes a pod.
 func (c *Cluster) DeletePod(name string) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, ok := c.pods[name]; ok {
+	var freed string
+	if p, ok := c.pods[name]; ok {
+		if p.Phase == PodRunning {
+			freed = p.Node
+		}
 		delete(c.pods, name)
 		c.eventLocked("Deleted", "pod/"+name, "pod deleted")
 	}
+	c.mu.Unlock()
+	c.notify(freed)
 }
 
 // Pod returns a copy of the named pod.
@@ -368,6 +410,14 @@ func (c *Cluster) freeLocked(node string) (Resources, bool) {
 // Bind places a pending pod on a specific node, bypassing the scheduler
 // (the hook the cognitive layer uses to impose its decisions).
 func (c *Cluster) Bind(podName, nodeName string) error {
+	if err := c.bind(podName, nodeName); err != nil {
+		return err
+	}
+	c.notify(nodeName)
+	return nil
+}
+
+func (c *Cluster) bind(podName, nodeName string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	p, ok := c.pods[podName]
@@ -401,14 +451,17 @@ func (c *Cluster) Bind(podName, nodeName string) error {
 // Evict returns a running pod to Pending (used for re-allocation).
 func (c *Cluster) Evict(podName string) error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	p, ok := c.pods[podName]
 	if !ok {
+		c.mu.Unlock()
 		return fmt.Errorf("cluster: unknown pod %s", podName)
 	}
+	was := p.Node
 	p.Node = ""
 	p.Phase = PodPending
 	c.eventLocked("Evicted", "pod/"+podName, "evicted for re-allocation")
+	c.mu.Unlock()
+	c.notify(was)
 	return nil
 }
 
@@ -418,9 +471,10 @@ func (c *Cluster) Evict(podName string) error {
 // pending.
 func (c *Cluster) Schedule() int {
 	c.mu.Lock()
-	bound := c.scheduleLocked()
+	touched := c.scheduleLocked()
 	tracer := c.tracer
 	c.mu.Unlock()
+	bound := len(touched)
 	// Span creation happens outside c.mu: the tracer has its own lock and
 	// must never nest inside the cluster's.
 	if bound > 0 {
@@ -429,11 +483,13 @@ func (c *Cluster) Schedule() int {
 			sp.EndNow()
 		}
 	}
+	c.notify(touched...)
 	return bound
 }
 
-func (c *Cluster) scheduleLocked() int {
-	bound := 0
+// scheduleLocked binds pending pods and returns the nodes it bound to.
+func (c *Cluster) scheduleLocked() []string {
+	var touched []string
 	for _, p := range c.podsLocked() {
 		if p.Phase == PodRunning {
 			continue
@@ -467,10 +523,10 @@ func (c *Cluster) scheduleLocked() int {
 		}
 		pod.Node = best
 		pod.Phase = PodRunning
-		bound++
+		touched = append(touched, best)
 		c.eventLocked("Scheduled", "pod/"+pod.Name, "bound to "+best)
 	}
-	return bound
+	return touched
 }
 
 // Events returns the accumulated event log.

@@ -45,10 +45,13 @@ func (c *Cluster) DeleteDeployment(name string) {
 	}
 	delete(c.deps, name)
 	app := d.Template.App
-	var victims []string
+	var victims, freed []string
 	for _, p := range c.pods {
 		if p.Spec.App == app {
 			victims = append(victims, p.Name)
+			if p.Phase == PodRunning {
+				freed = append(freed, p.Node)
+			}
 		}
 	}
 	for _, v := range victims {
@@ -56,6 +59,7 @@ func (c *Cluster) DeleteDeployment(name string) {
 		c.eventLocked("Deleted", "pod/"+v, "deployment deleted")
 	}
 	c.mu.Unlock()
+	c.notify(freed...)
 }
 
 // Deployment returns a copy of the named deployment.
@@ -93,6 +97,7 @@ func (c *Cluster) Deployments() []Deployment {
 // it after editing desired state.
 func (c *Cluster) Reconcile() (created, deleted, bound int) {
 	c.mu.Lock()
+	var freed []string
 	var depNames []string
 	for name := range c.deps {
 		depNames = append(depNames, name)
@@ -128,12 +133,16 @@ func (c *Cluster) Reconcile() (created, deleted, bound int) {
 		for len(live) > d.Replicas {
 			victim := live[len(live)-1]
 			live = live[:len(live)-1]
+			if p := c.pods[victim]; p != nil && p.Phase == PodRunning {
+				freed = append(freed, p.Node)
+			}
 			delete(c.pods, victim)
 			c.eventLocked("Deleted", "pod/"+victim, "replica control")
 			deleted++
 		}
 	}
 	c.mu.Unlock()
+	c.notify(freed...)
 	bound = c.Schedule()
 	return created, deleted, bound
 }

@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"testing"
+)
+
+// record collects node-change notifications for assertions.
+func record(c *Cluster) *[]string {
+	events := &[]string{}
+	c.Subscribe(func(node string) { *events = append(*events, node) })
+	return events
+}
+
+func drain(events *[]string) []string {
+	out := *events
+	*events = nil
+	return out
+}
+
+func TestSubscribeNodeLifecycleEvents(t *testing.T) {
+	c := twoNodes(t)
+	events := record(c)
+
+	if err := c.AddNode(Node{Name: "late-0", Allocatable: Resources{CPU: 2, MemMB: 1024}, Ready: true}); err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(events); len(got) != 1 || got[0] != "late-0" {
+		t.Fatalf("AddNode events = %v", got)
+	}
+
+	if err := c.SetNodeReady("late-0", false); err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(events); len(got) != 1 || got[0] != "late-0" {
+		t.Fatalf("SetNodeReady events = %v", got)
+	}
+
+	c.RemoveNode("late-0")
+	if got := drain(events); len(got) != 1 || got[0] != "late-0" {
+		t.Fatalf("RemoveNode events = %v", got)
+	}
+}
+
+func TestSubscribeBindAndFreeEvents(t *testing.T) {
+	c := twoNodes(t)
+	events := record(c)
+
+	pod, err := c.CreatePod(PodSpec{App: "cam", Requests: Resources{CPU: 1, MemMB: 512}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Creating an unbound pod consumes nothing — no notification.
+	if got := drain(events); len(got) != 0 {
+		t.Fatalf("CreatePod events = %v", got)
+	}
+
+	if err := c.Bind(pod, "edge-0"); err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(events); len(got) != 1 || got[0] != "edge-0" {
+		t.Fatalf("Bind events = %v", got)
+	}
+
+	// Deleting the running pod frees edge-0's resources.
+	c.DeletePod(pod)
+	if got := drain(events); len(got) != 1 || got[0] != "edge-0" {
+		t.Fatalf("DeletePod events = %v", got)
+	}
+
+	// Scheduling notifies each node that received a pod.
+	if _, err := c.CreatePod(PodSpec{App: "det", Requests: Resources{CPU: 1, MemMB: 512}}); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.Schedule(); n != 1 {
+		t.Fatalf("Schedule bound %d", n)
+	}
+	if got := drain(events); len(got) != 1 {
+		t.Fatalf("Schedule events = %v", got)
+	}
+}
+
+func TestSubscribeEvictAndDeploymentEvents(t *testing.T) {
+	c := twoNodes(t)
+	events := record(c)
+
+	if err := c.ApplyDeployment(Deployment{
+		Name: "det", Replicas: 2,
+		Template: PodSpec{App: "det", Requests: Resources{CPU: 1, MemMB: 256}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.Reconcile()
+	if got := drain(events); len(got) != 2 {
+		t.Fatalf("Reconcile bind events = %v", got)
+	}
+
+	// Scaling down frees the victim's node.
+	if err := c.ApplyDeployment(Deployment{
+		Name: "det", Replicas: 1,
+		Template: PodSpec{App: "det", Requests: Resources{CPU: 1, MemMB: 256}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.Reconcile()
+	if got := drain(events); len(got) != 1 {
+		t.Fatalf("scale-down events = %v", got)
+	}
+
+	// Deleting the deployment frees the remaining pod's node.
+	c.DeleteDeployment("det")
+	if got := drain(events); len(got) != 1 {
+		t.Fatalf("DeleteDeployment events = %v", got)
+	}
+}

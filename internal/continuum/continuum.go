@@ -86,6 +86,9 @@ type Continuum struct {
 
 	opts   Options
 	leases map[string]*kb.Lease
+	// names caches the sorted device names; Devices is only populated
+	// during Build, so the cache never goes stale.
+	names []string
 }
 
 // Build constructs the continuum.
@@ -255,6 +258,12 @@ func Build(opts Options) (*Continuum, error) {
 			return nil, err
 		}
 	}
+
+	c.names = make([]string, 0, len(c.Devices))
+	for n := range c.Devices {
+		c.names = append(c.names, n)
+	}
+	sort.Strings(c.names)
 	return c, nil
 }
 
@@ -278,12 +287,7 @@ func (c *Continuum) Layers() []*cluster.Cluster {
 // this on their sensing cadence.
 func (c *Continuum) Heartbeat() {
 	now := int64(c.Engine.Now())
-	names := make([]string, 0, len(c.Devices))
-	for n := range c.Devices {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	for _, n := range names {
+	for _, n := range c.names {
 		d := c.Devices[n]
 		if d.Failed() {
 			continue // a dead device stops heartbeating; its lease lapses
@@ -371,10 +375,7 @@ func (c *Continuum) TotalEnergy() float64 {
 
 // DeviceNames returns all device names sorted.
 func (c *Continuum) DeviceNames() []string {
-	out := make([]string, 0, len(c.Devices))
-	for n := range c.Devices {
-		out = append(out, n)
-	}
-	sort.Strings(out)
+	out := make([]string, len(c.names))
+	copy(out, c.names)
 	return out
 }

@@ -14,6 +14,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"myrtus/internal/fpga"
 	"myrtus/internal/sim"
@@ -132,7 +133,9 @@ type Device struct {
 	memUsed   float64
 	energy    float64 // dynamic energy accumulated (J)
 	busyTotal sim.Time
-	failed    bool
+	// failed is atomic so orchestration hot paths can poll liveness
+	// across thousands of candidates without taking the device lock.
+	failed atomic.Bool
 
 	thermal *thermalState
 
@@ -177,25 +180,21 @@ func (d *Device) SetTracer(t *trace.Tracer) {
 // Fabric returns the attached FPGA, nil if none.
 func (d *Device) Fabric() *fpga.Fabric { return d.spec.Fabric }
 
-// Failed reports whether the device is down.
+// Failed reports whether the device is down (lock-free).
 func (d *Device) Failed() bool {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.failed
+	return d.failed.Load()
 }
 
 // Fail takes the device down: running work is lost and new work errors.
 func (d *Device) Fail() {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.failed = true
+	d.failed.Store(true)
 }
 
 // Repair brings the device back with idle cores.
 func (d *Device) Repair(now sim.Time) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.failed = false
+	d.failed.Store(false)
 	for i := range d.coreBusy {
 		d.coreBusy[i] = now
 	}
@@ -261,7 +260,7 @@ func (d *Device) MemFree() float64 {
 // RISC-V custom unit, then a general-purpose core.
 func (d *Device) Run(w Work, now sim.Time) (Result, error) {
 	d.mu.Lock()
-	if d.failed {
+	if d.failed.Load() {
 		d.mu.Unlock()
 		return Result{}, fmt.Errorf("device %s: failed", d.spec.Name)
 	}

@@ -1,0 +1,168 @@
+package mirto
+
+import (
+	"sort"
+	"sync"
+
+	"myrtus/internal/cluster"
+	"myrtus/internal/device"
+)
+
+// candEntry is one device in a layer agent's candidate index. Static
+// facts (compute rate, power, supported suites) are captured once from
+// the device spec; the free-resource watermark is refreshed
+// incrementally by cluster change events instead of per-negotiation
+// full scans.
+type candEntry struct {
+	name  string
+	dev   *device.Device
+	ready bool
+	// free is the node's free-resource watermark, maintained by
+	// deploy/teardown/failure events.
+	free cluster.Resources
+
+	gopsPerCore  float64
+	custom       map[string]float64 // kernel → custom-unit speedup
+	hasFabric    bool
+	powerPerCore float64
+}
+
+// candIndex indexes a layer's ready devices by security level so Offers
+// answers negotiations from pre-bucketed, pre-sorted candidate lists.
+// It builds lazily on the first negotiation and stays current through
+// cluster NodeListener events; buckets are sorted by device name, which
+// keeps offer order (and therefore plans) deterministic.
+type candIndex struct {
+	mu      sync.RWMutex
+	built   bool
+	entries map[string]*candEntry
+	// bySec buckets entries by supported suite; key "" holds every
+	// entry (negotiations without a security requirement).
+	bySec map[string][]*candEntry
+	// maxFreeCPU/maxFreeMem are upper bounds on any entry's free
+	// resources (raised on updates, tightened on rebuild) so oversized
+	// requests exit before touching a single candidate.
+	maxFreeCPU, maxFreeMem float64
+}
+
+func newCandIndex() *candIndex {
+	return &candIndex{
+		entries: map[string]*candEntry{},
+		bySec:   map[string][]*candEntry{},
+	}
+}
+
+// onNodeChange is the cluster NodeListener: it refreshes exactly the
+// touched device's entry. Before the first build there is nothing to
+// maintain — the build scan will observe current state.
+func (a *LayerAgent) onNodeChange(node string) {
+	a.idx.mu.Lock()
+	defer a.idx.mu.Unlock()
+	if !a.idx.built {
+		return
+	}
+	a.refreshLocked(node)
+}
+
+// refreshLocked re-reads one node from the cluster and updates its
+// index entry (adding or removing it as needed).
+func (a *LayerAgent) refreshLocked(node string) {
+	n, ok := a.cl.Node(node)
+	if !ok || n.Virtual {
+		a.removeLocked(node)
+		return
+	}
+	e := a.idx.entries[node]
+	if e == nil {
+		d := a.c.Devices[node]
+		if d == nil {
+			return // virtual or foreign node: never indexed
+		}
+		e = newEntry(node, d)
+		a.idx.entries[node] = e
+		a.insertLocked(e, n.SecurityLevels)
+	}
+	e.ready = n.Ready
+	if free, ok := a.cl.FreeOn(node); ok {
+		e.free = free
+		if free.CPU > a.idx.maxFreeCPU {
+			a.idx.maxFreeCPU = free.CPU
+		}
+		if free.MemMB > a.idx.maxFreeMem {
+			a.idx.maxFreeMem = free.MemMB
+		}
+	}
+}
+
+func newEntry(name string, d *device.Device) *candEntry {
+	spec := d.Spec()
+	return &candEntry{
+		name:         name,
+		dev:          d,
+		gopsPerCore:  spec.GOPSPerCore,
+		custom:       spec.CustomUnits,
+		hasFabric:    spec.Fabric != nil,
+		powerPerCore: (spec.MaxPowerW - spec.IdlePowerW) / float64(spec.Cores),
+	}
+}
+
+// insertLocked places an entry into the "" bucket and one bucket per
+// supported suite, preserving name order.
+func (a *LayerAgent) insertLocked(e *candEntry, levels []string) {
+	keys := append([]string{""}, levels...)
+	for _, k := range keys {
+		b := a.idx.bySec[k]
+		i := sort.Search(len(b), func(i int) bool { return b[i].name >= e.name })
+		if i < len(b) && b[i].name == e.name {
+			continue
+		}
+		b = append(b, nil)
+		copy(b[i+1:], b[i:])
+		b[i] = e
+		a.idx.bySec[k] = b
+	}
+}
+
+func (a *LayerAgent) removeLocked(node string) {
+	if _, ok := a.idx.entries[node]; !ok {
+		return
+	}
+	delete(a.idx.entries, node)
+	for k, b := range a.idx.bySec {
+		for i, e := range b {
+			if e.name == node {
+				a.idx.bySec[k] = append(b[:i], b[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// buildLocked scans the cluster once and constructs the index.
+func (a *LayerAgent) buildLocked() {
+	a.idx.entries = map[string]*candEntry{}
+	a.idx.bySec = map[string][]*candEntry{}
+	a.idx.maxFreeCPU, a.idx.maxFreeMem = 0, 0
+	freeAll := a.cl.FreeAll()
+	for _, n := range a.cl.Nodes() { // sorted by name
+		if n.Virtual {
+			continue
+		}
+		d := a.c.Devices[n.Name]
+		if d == nil {
+			continue
+		}
+		e := newEntry(n.Name, d)
+		e.ready = n.Ready
+		e.free = freeAll[n.Name]
+		a.idx.entries[n.Name] = e
+		a.insertLocked(e, n.SecurityLevels)
+		if e.free.CPU > a.idx.maxFreeCPU {
+			a.idx.maxFreeCPU = e.free.CPU
+		}
+		if e.free.MemMB > a.idx.maxFreeMem {
+			a.idx.maxFreeMem = e.free.MemMB
+		}
+	}
+	a.idx.built = true
+}

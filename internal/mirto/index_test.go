@@ -1,0 +1,220 @@
+package mirto
+
+import (
+	"reflect"
+	"testing"
+
+	"myrtus/internal/cluster"
+	"myrtus/internal/sim"
+)
+
+func offerDevices(offers []Offer) []string {
+	out := make([]string, len(offers))
+	for i, o := range offers {
+		out[i] = o.Device
+	}
+	return out
+}
+
+func TestCandidateIndexTracksDeployments(t *testing.T) {
+	c := testContinuum(t)
+	m := NewManager(c, LatencyGoal())
+	req := cluster.Resources{CPU: 1, MemMB: 256}
+
+	before := m.Edge.Offers(req, "", "")
+	if len(before) == 0 {
+		t.Fatal("no edge offers")
+	}
+	victim := before[0].Device
+
+	// Consume almost all of the victim's CPU; the index must drop it
+	// from subsequent negotiations without a rebuild.
+	free, ok := c.Edge.FreeOn(victim)
+	if !ok {
+		t.Fatalf("FreeOn(%s)", victim)
+	}
+	pod, err := c.Edge.CreatePod(cluster.PodSpec{
+		App:      "hog",
+		Requests: cluster.Resources{CPU: free.CPU - 0.5, MemMB: 128},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Edge.Bind(pod, victim); err != nil {
+		t.Fatal(err)
+	}
+	after := m.Edge.Offers(req, "", "")
+	for _, o := range after {
+		if o.Device == victim {
+			t.Fatalf("%s still offered with %.1f CPU free", victim, o.FreeCPU)
+		}
+	}
+	if len(after) != len(before)-1 {
+		t.Fatalf("offers %d → %d, want exactly one fewer", len(before), len(after))
+	}
+
+	// Freeing the pod restores the candidate with its original capacity.
+	c.Edge.DeletePod(pod)
+	restored := m.Edge.Offers(req, "", "")
+	if !reflect.DeepEqual(offerDevices(restored), offerDevices(before)) {
+		t.Fatalf("offers after delete = %v, want %v", offerDevices(restored), offerDevices(before))
+	}
+}
+
+func TestCandidateIndexTracksFailures(t *testing.T) {
+	c := testContinuum(t)
+	m := NewManager(c, LatencyGoal())
+	req := cluster.Resources{CPU: 0.5, MemMB: 128}
+
+	before := m.Edge.Offers(req, "", "")
+	if len(before) < 2 {
+		t.Fatalf("need ≥2 edge offers, got %d", len(before))
+	}
+	victim := before[0].Device
+
+	if err := c.FailDevice(victim); err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range m.Edge.Offers(req, "", "") {
+		if o.Device == victim {
+			t.Fatalf("failed device %s still offered", victim)
+		}
+	}
+
+	if err := c.RepairDevice(victim); err != nil {
+		t.Fatal(err)
+	}
+	restored := m.Edge.Offers(req, "", "")
+	if !reflect.DeepEqual(offerDevices(restored), offerDevices(before)) {
+		t.Fatalf("offers after repair = %v, want %v", offerDevices(restored), offerDevices(before))
+	}
+}
+
+func TestCandidateIndexSecurityBuckets(t *testing.T) {
+	c := testContinuum(t)
+	m := NewManager(c, LatencyGoal())
+	req := cluster.Resources{CPU: 0.5, MemMB: 128}
+
+	all := m.Edge.Offers(req, "", "")
+	high := m.Edge.Offers(req, "", "high")
+	if len(high) >= len(all) {
+		t.Fatalf("high bucket (%d) should be smaller than unrestricted (%d)", len(high), len(all))
+	}
+	// Every high offer must actually support the suite.
+	for _, o := range high {
+		if !c.Devices[o.Device].SupportsSecurity("high") {
+			t.Fatalf("%s offered for high without support", o.Device)
+		}
+	}
+	// Offers stay sorted by device name (determinism contract).
+	for _, offers := range [][]Offer{all, high} {
+		for i := 1; i < len(offers); i++ {
+			if offers[i-1].Device >= offers[i].Device {
+				t.Fatalf("offers out of order: %v", offerDevices(offers))
+			}
+		}
+	}
+}
+
+func TestParallelScoringMatchesSequential(t *testing.T) {
+	c := testContinuum(t)
+	st := parseApp(t)
+
+	seq := NewManager(c, LatencyGoal())
+	seq.ScoreWorkers = 1
+	par := NewManager(c, LatencyGoal())
+	par.ScoreWorkers = 8
+	par.scoreThreshold = 2 // force the parallel path on this small continuum
+
+	p1, err := seq.Plan(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := par.Plan(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p1.Assignments, p2.Assignments) {
+		t.Fatalf("parallel assignments diverge:\nseq: %+v\npar: %+v", p1.Assignments, p2.Assignments)
+	}
+	if p1.Score != p2.Score {
+		t.Fatalf("parallel score %v != sequential %v", p2.Score, p1.Score)
+	}
+}
+
+func TestPlanSeesTopologyEdits(t *testing.T) {
+	// Satellite check: a topology edit between two Plan calls must be
+	// visible to the second plan's network-cost scoring. The camera is
+	// pinned to edge-mc-0, whose only uplink goes through the gateway;
+	// making that uplink brutally slow must worsen the optimum (either
+	// the pipeline pays the slow route or it co-locates on the weak
+	// edge device — both score worse than before).
+	c := testContinuum(t)
+	m := NewManager(c, LatencyGoal())
+	st := parseApp(t)
+	st.Nodes["camera"].Properties["device"] = "edge-mc-0"
+
+	p1, err := m.Plan(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := "fog-gw-0"
+	if _, ok := c.Topo.Link("edge-mc-0", gw); !ok {
+		t.Fatalf("expected edge-mc-0 ↔ %s uplink", gw)
+	}
+	c.Topo.RemoveLink("edge-mc-0", gw)
+	c.Topo.RemoveLink(gw, "edge-mc-0")
+	if err := c.Topo.AddDuplex("edge-mc-0", gw, 10*sim.Second, 12.5e6, 0); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := m.Plan(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Score <= p1.Score {
+		t.Fatalf("plan ignored the topology edit: score %v → %v", p1.Score, p2.Score)
+	}
+}
+
+func TestConcurrentPlansWithTopologyChurn(t *testing.T) {
+	// Plans raced against topology edits must stay internally
+	// consistent; under -race this exercises the lock-free route reads
+	// and the shared candidate index.
+	c := testContinuum(t)
+	m := NewManager(c, LatencyGoal())
+	st := parseApp(t)
+
+	done := make(chan error, 4)
+	stop := make(chan struct{})
+	for g := 0; g < 3; g++ {
+		go func() {
+			for i := 0; i < 50; i++ {
+				if _, err := m.Plan(st); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	go func() {
+		for {
+			select {
+			case <-stop:
+				done <- nil
+				return
+			default:
+			}
+			c.Topo.AddDuplex("edge-mc-0", "cloud-srv-0", 1*sim.Millisecond, 10e6, 0) //nolint:errcheck
+			c.Topo.RemoveLink("edge-mc-0", "cloud-srv-0")
+			c.Topo.RemoveLink("cloud-srv-0", "edge-mc-0")
+		}
+	}()
+	for g := 0; g < 3; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	<-done
+}

@@ -17,12 +17,12 @@ package mirto
 
 import (
 	"fmt"
-	"math"
-	"sort"
 	"sync"
+	"sync/atomic"
 
 	"myrtus/internal/cluster"
 	"myrtus/internal/continuum"
+	"myrtus/internal/network"
 	"myrtus/internal/sim"
 	"myrtus/internal/tosca"
 )
@@ -72,65 +72,84 @@ type Offer struct {
 
 // LayerAgent is the layer-/component-specific MIRTO agent of §III: it
 // owns one layer's devices and answers capacity negotiations from peers.
+// Candidates come from an incrementally-maintained index (index.go)
+// rather than per-negotiation cluster scans.
 type LayerAgent struct {
 	Layer string
 	c     *continuum.Continuum
 	cl    *cluster.Cluster
+	idx   *candIndex
 
-	// NegotiationCount tallies inter-agent requests (observability).
-	NegotiationCount int
+	// NegotiationCount tallies inter-agent requests (observability);
+	// read with atomic.LoadInt64 when agents negotiate concurrently.
+	NegotiationCount int64
 }
 
-// NewLayerAgent builds the agent for one layer cluster.
+// NewLayerAgent builds the agent for one layer cluster and subscribes
+// its candidate index to the cluster's change feed.
 func NewLayerAgent(c *continuum.Continuum, cl *cluster.Cluster, layer string) *LayerAgent {
-	return &LayerAgent{Layer: layer, c: c, cl: cl}
+	a := &LayerAgent{Layer: layer, c: c, cl: cl, idx: newCandIndex()}
+	cl.Subscribe(a.onNodeChange)
+	return a
 }
 
 // Offers answers a negotiation: candidate devices in this layer able to
-// host a workload with the given requests, kernel, and security level.
+// host a workload with the given requests, kernel, and security level,
+// sorted by device name.
 func (a *LayerAgent) Offers(req cluster.Resources, kernel, secLevel string) []Offer {
-	a.NegotiationCount++
-	var out []Offer
-	freeAll := a.cl.FreeAll()
-	for _, n := range a.cl.Nodes() {
-		if !n.Ready || n.Virtual {
-			continue
+	return a.OffersAppend(nil, req, kernel, secLevel)
+}
+
+// OffersAppend is Offers appending into dst — the allocation-free form
+// the planner uses with a reused buffer.
+func (a *LayerAgent) OffersAppend(dst []Offer, req cluster.Resources, kernel, secLevel string) []Offer {
+	atomic.AddInt64(&a.NegotiationCount, 1)
+	a.idx.mu.RLock()
+	if !a.idx.built {
+		a.idx.mu.RUnlock()
+		a.idx.mu.Lock()
+		if !a.idx.built {
+			a.buildLocked()
 		}
-		d, ok := a.c.Devices[n.Name]
-		if !ok || d.Failed() {
-			continue
-		}
-		if secLevel != "" && !d.SupportsSecurity(secLevel) {
-			continue
-		}
-		free := freeAll[n.Name]
-		if !req.Fits(free) {
-			continue
-		}
-		spec := d.Spec()
-		eff := spec.GOPSPerCore
-		if s, ok := spec.CustomUnits[kernel]; ok && s > 1 {
-			eff *= s
-		}
-		if kernel != "" && spec.Fabric != nil && len(a.c.Bitstreams.ForKernel(kernel)) > 0 {
+		a.idx.mu.Unlock()
+		a.idx.mu.RLock()
+	}
+	defer a.idx.mu.RUnlock()
+	if req.CPU > a.idx.maxFreeCPU || req.MemMB > a.idx.maxFreeMem {
+		return dst // nothing in this layer can fit the request
+	}
+	// Kernel-wide facts hoisted out of the candidate loop.
+	bsEff := 0.0
+	if kernel != "" {
+		if bss := a.c.Bitstreams.ForKernel(kernel); len(bss) > 0 {
 			// A loadable bitstream makes the fabric the execution engine;
 			// approximate its effective rate from the fastest point.
-			bs := a.c.Bitstreams.ForKernel(kernel)[0]
-			perItem := bs.Points[0].LatencyPerItem.Seconds()
-			if perItem > 0 {
-				eff = math.Max(eff, 1.0/perItem) // items/s as pseudo-GOPS
+			if perItem := bss[0].Points[0].LatencyPerItem.Seconds(); perItem > 0 {
+				bsEff = 1.0 / perItem // items/s as pseudo-GOPS
 			}
 		}
-		out = append(out, Offer{
-			Device: n.Name, Layer: a.Layer, Cluster: a.cl,
-			FreeCPU: free.CPU, FreeMem: free.MemMB,
+	}
+	now := a.c.Engine.Now()
+	for _, e := range a.idx.bySec[secLevel] {
+		if !e.ready || !req.Fits(e.free) || e.dev.Failed() {
+			continue
+		}
+		eff := e.gopsPerCore
+		if s, ok := e.custom[kernel]; ok && s > 1 {
+			eff *= s
+		}
+		if e.hasFabric && bsEff > eff {
+			eff = bsEff
+		}
+		dst = append(dst, Offer{
+			Device: e.name, Layer: a.Layer, Cluster: a.cl,
+			FreeCPU: e.free.CPU, FreeMem: e.free.MemMB,
 			EffGOPS:      eff,
-			PowerPerCore: (spec.MaxPowerW - spec.IdlePowerW) / float64(spec.Cores),
-			QueueDelay:   d.QueueDelay(a.c.Engine.Now()),
+			PowerPerCore: e.powerPerCore,
+			QueueDelay:   e.dev.QueueDelay(now),
 		})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Device < out[j].Device })
-	return out
+	return dst
 }
 
 // Assignment is one template-node → device decision.
@@ -152,20 +171,75 @@ type Plan struct {
 	Score float64
 	// Negotiations counts inter-agent capacity exchanges.
 	Negotiations int
+
+	// lookupOnce builds byNode for O(1) Assignment lookups on the serve
+	// path; it works for hand-built plans too, but Assignments must not
+	// be re-keyed after the first lookup.
+	lookupOnce sync.Once
+	byNode     map[string]int
+
+	// shapeOnce caches the template's pipeline shape (topological order,
+	// consumer lists, in-degrees) so the runtime does not rebuild it on
+	// every request.
+	shapeOnce sync.Once
+	shape     *planShape
 }
 
-// Assignment returns the assignment for a template node.
+// planShape is the static dataflow shape of a plan's template.
+type planShape struct {
+	order     []string
+	consumers map[string][]string
+	indeg     map[string]int
+	sinks     int
+}
+
+// Assignment returns the assignment for a template node in O(1).
 func (p *Plan) Assignment(node string) (Assignment, bool) {
-	for _, a := range p.Assignments {
-		if a.TemplateNode == node {
-			return a, true
+	p.lookupOnce.Do(func() {
+		p.byNode = make(map[string]int, len(p.Assignments))
+		for i, a := range p.Assignments {
+			p.byNode[a.TemplateNode] = i
 		}
+	})
+	i, ok := p.byNode[node]
+	if !ok {
+		return Assignment{}, false
 	}
-	return Assignment{}, false
+	return p.Assignments[i], true
+}
+
+// pipelineShape returns the cached dataflow shape of the template.
+func (p *Plan) pipelineShape() *planShape {
+	p.shapeOnce.Do(func() {
+		s := &planShape{order: topoOrder(p.Template)}
+		s.consumers = make(map[string][]string, len(s.order))
+		s.indeg = make(map[string]int, len(s.order))
+		for _, n := range s.order {
+			s.indeg[n] = 0
+		}
+		for _, n := range s.order {
+			for _, req := range p.Template.Nodes[n].Requirements {
+				s.consumers[req.Target] = append(s.consumers[req.Target], n)
+				s.indeg[n]++
+			}
+		}
+		for _, n := range s.order {
+			if len(s.consumers[n]) == 0 {
+				s.sinks++
+			}
+		}
+		p.shape = s
+	})
+	return p.shape
 }
 
 // Manager is the MIRTO Manager: the cognitive block unifying the four
 // drivers. It decides; the deployment proxy (continuum clusters) obeys.
+//
+// Route latencies come straight from the topology's epoch-cached
+// all-pairs table (lock-free reads, automatic invalidation on topology
+// edits), so planning holds no route lock and plans always see current
+// latencies.
 type Manager struct {
 	C     *continuum.Continuum
 	Goal  Goal
@@ -173,12 +247,13 @@ type Manager struct {
 	Fog   *LayerAgent
 	Cloud *LayerAgent
 
-	// routeMu guards routeLat, a memo of pairwise route latencies
-	// (seconds; negative = unreachable). The physical topology is static
-	// for the life of a continuum, so entries never invalidate; call
-	// FlushRouteCache after editing the topology in tests.
-	routeMu  sync.Mutex
-	routeLat map[string]float64
+	// ScoreWorkers caps the offer-scoring worker pool: 0 sizes it from
+	// GOMAXPROCS, 1 forces sequential scoring. Parallel and sequential
+	// scoring produce byte-identical plans (ties break on offer order).
+	ScoreWorkers int
+	// scoreThreshold is the candidate-set size at which scoring fans
+	// out; 0 means defaultScoreThreshold (tests lower it).
+	scoreThreshold int
 }
 
 // NewManager wires a manager over a built continuum.
@@ -204,12 +279,15 @@ func (m *Manager) Plan(st *tosca.ServiceTemplate) (*Plan, error) {
 		return nil, err
 	}
 	plan := &Plan{App: appName(st), Template: st}
+	order := plan.pipelineShape().order
+	plan.Assignments = make([]Assignment, 0, len(order))
 	// reserved tracks resources this plan will consume per device, so
 	// multi-component apps don't over-commit a node they already chose.
-	reserved := map[string]cluster.Resources{}
-	placedAt := map[string]string{} // template node → device
+	reserved := make(map[string]cluster.Resources, len(order))
+	placedAt := make(map[string]string, len(order)) // template node → device
+	var offerBuf []Offer                            // reused across template nodes
 
-	for _, nodeName := range topoOrder(st) {
+	for _, nodeName := range order {
 		nt := st.Nodes[nodeName]
 		// Image admission (§VI Container Image Registry): a component
 		// referencing an image must resolve to a pullable, non-quarantined
@@ -228,25 +306,32 @@ func (m *Manager) Plan(st *tosca.ServiceTemplate) (*Plan, error) {
 		secLevel := st.SecurityLevelFor(nodeName)
 		layerWant := placementLayer(st, nodeName)
 
-		// 1. Negotiation: collect offers across layers.
-		var offers []Offer
+		// 1. Negotiation: collect offers across layers into the reused
+		// buffer, dropping candidates this plan already over-commits.
+		offers := offerBuf[:0]
 		for _, ag := range m.agents() {
 			if layerWant != "" && ag.Layer != layerWant {
 				continue
 			}
-			for _, o := range ag.Offers(req, kernel, secLevel) {
-				r := reserved[o.Device]
-				if !req.Fits(cluster.Resources{CPU: o.FreeCPU - r.CPU, MemMB: o.FreeMem - r.MemMB}) {
-					continue
+			from := len(offers)
+			offers = ag.OffersAppend(offers, req, kernel, secLevel)
+			if len(reserved) > 0 {
+				kept := offers[:from]
+				for _, o := range offers[from:] {
+					r := reserved[o.Device]
+					if !req.Fits(cluster.Resources{CPU: o.FreeCPU - r.CPU, MemMB: o.FreeMem - r.MemMB}) {
+						continue
+					}
+					kept = append(kept, o)
 				}
-				offers = append(offers, o)
+				offers = kept
 			}
 			plan.Negotiations++
 		}
 		// Sensor-attached components may pin themselves to the device the
 		// data originates at ("device" property).
 		if pin := nt.PropString("device", ""); pin != "" {
-			var pinned []Offer
+			pinned := offers[:0]
 			for _, o := range offers {
 				if o.Device == pin {
 					pinned = append(pinned, o)
@@ -256,19 +341,17 @@ func (m *Manager) Plan(st *tosca.ServiceTemplate) (*Plan, error) {
 		}
 		// 2. Privacy & Security Manager: trust filter.
 		offers = m.filterTrusted(offers)
+		offerBuf = offers[:0]
 		if len(offers) == 0 {
 			return nil, fmt.Errorf("mirto: no feasible component for %q (layer=%q security=%q cpu=%.1f)",
 				nodeName, layerWant, secLevel, req.CPU)
 		}
-		// 3. Score: latency + energy + network drivers.
-		best, bestScore := offers[0], math.Inf(1)
+		// 3. Score: latency + energy + network drivers (fans out across
+		// workers for large candidate sets; ties break on offer order so
+		// the winner is identical either way).
 		gops := nt.PropFloat("gops", 1)
-		for _, o := range offers {
-			s := m.score(o, st, nodeName, gops, placedAt)
-			if s < bestScore {
-				best, bestScore = o, s
-			}
-		}
+		bi, bestScore := m.pickBest(offers, st, nodeName, gops, placedAt)
+		best := offers[bi]
 		plan.Score += bestScore
 		placedAt[nodeName] = best.Device
 		r := reserved[best.Device]
@@ -284,31 +367,73 @@ func (m *Manager) Plan(st *tosca.ServiceTemplate) (*Plan, error) {
 	return plan, nil
 }
 
+// scoreEnv is the per-stage context shared by every offer scored for
+// one template node: the upstream devices this stage pulls data from
+// are resolved to route-table indices once, so scoring an offer costs
+// one name lookup instead of one per upstream.
+type scoreEnv struct {
+	gops      float64
+	dataStore bool
+	rr        network.RouteReader
+	// upNames/upIdx are the already-placed upstream devices; upIdx is -1
+	// when the device is absent from the topology (unreachable).
+	upNames []string
+	upIdx   []int
+}
+
+func (m *Manager) newScoreEnv(st *tosca.ServiceTemplate, node string, gops float64, placedAt map[string]string) scoreEnv {
+	env := scoreEnv{gops: gops, dataStore: st.Nodes[node].Type == tosca.TypeDataStore}
+	reqs := st.Nodes[node].Requirements
+	if len(reqs) == 0 {
+		return env
+	}
+	env.rr = m.C.Topo.RouteReader()
+	for _, r := range reqs {
+		up, ok := placedAt[r.Target]
+		if !ok {
+			continue // unplaced upstream carries no network cost yet
+		}
+		i, ok := env.rr.NodeIndex(up)
+		if !ok {
+			i = -1
+		}
+		env.upNames = append(env.upNames, up)
+		env.upIdx = append(env.upIdx, i)
+	}
+	return env
+}
+
 // score blends the four drivers for one offer.
-func (m *Manager) score(o Offer, st *tosca.ServiceTemplate, node string, gops float64, placedAt map[string]string) float64 {
+func (m *Manager) score(o *Offer, env *scoreEnv) float64 {
 	// Workload driver: estimated compute latency incl. backlog.
-	compute := gops/o.EffGOPS + o.QueueDelay.Seconds()
+	compute := env.gops/o.EffGOPS + o.QueueDelay.Seconds()
 	// Network driver: route latency from already-placed upstreams.
 	netCost := 0.0
-	for _, r := range st.Nodes[node].Requirements {
-		up, ok := placedAt[r.Target]
-		if !ok || up == o.Device {
-			continue
-		}
-		if lat := m.routeSeconds(up, o.Device); lat >= 0 {
-			netCost += lat
-		} else {
-			netCost += 1 // unreachable upstream is very expensive
+	if len(env.upIdx) > 0 {
+		oi, oiOK := env.rr.NodeIndex(o.Device)
+		for k, ui := range env.upIdx {
+			if env.upNames[k] == o.Device {
+				continue
+			}
+			if ui < 0 || !oiOK {
+				netCost += 1 // unreachable upstream is very expensive
+				continue
+			}
+			if lat, ok := env.rr.LatencyAt(ui, oi); ok {
+				netCost += lat.Seconds()
+			} else {
+				netCost += 1
+			}
 		}
 	}
 	// Node/energy driver: marginal joules for the work.
-	energy := o.PowerPerCore * (gops / o.EffGOPS)
+	energy := o.PowerPerCore * (env.gops / o.EffGOPS)
 	s := m.Goal.WLatency*compute + m.Goal.WNetwork*netCost + m.Goal.WEnergy*energy/10
 	// Data-management driver: DataStore components hold medium/long-term
 	// state; edge devices only offer "local storage in main memory"
 	// (§III Data Management), so the edge is heavily discouraged and the
 	// fog — the designated edge–cloud bridge for analytics — preferred.
-	if st.Nodes[node].Type == tosca.TypeDataStore {
+	if env.dataStore {
 		switch o.Layer {
 		case "edge":
 			s += 5
@@ -319,42 +444,32 @@ func (m *Manager) score(o Offer, st *tosca.ServiceTemplate, node string, gops fl
 	return s
 }
 
-// routeSeconds returns the memoized route latency (negative when
-// unreachable).
+// routeSeconds returns the route latency from the topology's all-pairs
+// table (negative when unreachable). Lock-free; always epoch-current.
 func (m *Manager) routeSeconds(from, to string) float64 {
-	key := from + "\x00" + to
-	m.routeMu.Lock()
-	if m.routeLat == nil {
-		m.routeLat = map[string]float64{}
+	if lat, ok := m.C.Topo.RouteLatency(from, to); ok {
+		return lat.Seconds()
 	}
-	if v, ok := m.routeLat[key]; ok {
-		m.routeMu.Unlock()
-		return v
-	}
-	m.routeMu.Unlock()
-	v := -1.0
-	if _, lat, err := m.C.Topo.Route(from, to); err == nil {
-		v = lat.Seconds()
-	}
-	m.routeMu.Lock()
-	m.routeLat[key] = v
-	m.routeMu.Unlock()
-	return v
+	return -1
 }
 
-// FlushRouteCache clears the memoized route latencies (needed only when
-// the topology is edited mid-run).
-func (m *Manager) FlushRouteCache() {
-	m.routeMu.Lock()
-	m.routeLat = nil
-	m.routeMu.Unlock()
-}
+// FlushRouteCache is a no-op kept for compatibility: route invalidation
+// is automatic — topology edits bump an epoch that refreshes the shared
+// all-pairs table before the next read.
+func (m *Manager) FlushRouteCache() {}
 
+// filterTrusted compacts offers in place to those above the trust
+// threshold (the offer buffer is reused across template nodes).
 func (m *Manager) filterTrusted(offers []Offer) []Offer {
 	if m.Goal.TrustThreshold <= 0 {
 		return offers
 	}
-	var out []Offer
+	// With no recorded evidence every reputation is the neutral 0.5, so a
+	// threshold at or below neutral cannot reject anyone.
+	if m.Goal.TrustThreshold <= 0.5 && !m.C.Trust.HasEvidence() {
+		return offers
+	}
+	out := offers[:0]
 	for _, o := range offers {
 		if m.C.Trust.Reputation(o.Device) >= m.Goal.TrustThreshold {
 			out = append(out, o)

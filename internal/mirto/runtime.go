@@ -119,18 +119,8 @@ func (r *Runtime) SubmitFrom(app, ingress string, items int64, done func(lat sim
 		items = 1
 	}
 	st := plan.Template
-	order := topoOrder(st)
-	consumers := map[string][]string{}
-	indeg := map[string]int{}
-	for _, n := range order {
-		indeg[n] = 0
-	}
-	for _, n := range order {
-		for _, req := range st.Nodes[n].Requirements {
-			consumers[req.Target] = append(consumers[req.Target], n)
-			indeg[n]++
-		}
-	}
+	shape := plan.pipelineShape()
+	order, consumers, indeg := shape.order, shape.consumers, shape.indeg
 	start := r.engine.Now()
 	latHist := reg.Histogram(telemetry.Application, "latency_ms")
 	energyC := reg.Counter(telemetry.Application, "energy_joules")
@@ -153,18 +143,12 @@ func (r *Runtime) SubmitFrom(app, ingress string, items int64, done func(lat sim
 		// final writer is the critical input).
 		ctx trace.SpanContext
 	}
-	states := map[string]*state{}
+	states := make(map[string]*state, len(order))
 	for _, n := range order {
 		states[n] = &state{}
 	}
 	totalEnergy := 0.0
-	sinks := 0
-	for _, n := range order {
-		if len(consumers[n]) == 0 {
-			sinks++
-		}
-	}
-	remainingSinks := sinks
+	remainingSinks := shape.sinks
 	var finishAll sim.Time
 	// finished guards the request's terminal state: a multi-branch
 	// request may hit several failures (or a failure plus surviving

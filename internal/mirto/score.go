@@ -1,0 +1,85 @@
+package mirto
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"myrtus/internal/tosca"
+)
+
+// defaultScoreThreshold is the candidate-set size beyond which Plan
+// scores offers on a worker pool. Below it the fan-out overhead
+// (goroutine wake-ups) exceeds the scoring work itself.
+const defaultScoreThreshold = 96
+
+// pickBest returns the index and score of the winning offer: lowest
+// score, ties broken by lowest index. The tie-break makes the parallel
+// and sequential paths choose identically — chunks are merged in index
+// order and a later chunk replaces the incumbent only on a strictly
+// lower score — so plans are byte-identical across runs and modes.
+func (m *Manager) pickBest(offers []Offer, st *tosca.ServiceTemplate, node string, gops float64, placedAt map[string]string) (int, float64) {
+	env := m.newScoreEnv(st, node, gops, placedAt)
+	threshold := m.scoreThreshold
+	if threshold <= 0 {
+		threshold = defaultScoreThreshold
+	}
+	workers := m.ScoreWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if len(offers) < threshold || workers < 2 {
+		return m.pickBestRange(offers, 0, len(offers), &env)
+	}
+	// Keep every worker busy with a meaningful slice of candidates.
+	if max := len(offers) / 32; workers > max {
+		workers = max
+	}
+	if workers < 2 {
+		return m.pickBestRange(offers, 0, len(offers), &env)
+	}
+	type result struct {
+		idx   int
+		score float64
+	}
+	results := make([]result, workers)
+	chunk := (len(offers) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(offers) {
+			hi = len(offers)
+		}
+		if lo >= hi {
+			results[w] = result{idx: -1, score: math.Inf(1)}
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			i, s := m.pickBestRange(offers, lo, hi, &env)
+			results[w] = result{idx: i, score: s}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	best, bestScore := -1, math.Inf(1)
+	for _, r := range results { // chunks are in index order
+		if r.idx >= 0 && r.score < bestScore {
+			best, bestScore = r.idx, r.score
+		}
+	}
+	return best, bestScore
+}
+
+// pickBestRange scores offers[lo:hi] sequentially; the first strictly
+// lowest score wins.
+func (m *Manager) pickBestRange(offers []Offer, lo, hi int, env *scoreEnv) (int, float64) {
+	best, bestScore := -1, math.Inf(1)
+	for i := lo; i < hi; i++ {
+		if s := m.score(&offers[i], env); s < bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best, bestScore
+}

@@ -1,0 +1,199 @@
+package network
+
+import (
+	"container/heap"
+	"sort"
+
+	"myrtus/internal/sim"
+)
+
+// routeTable is an immutable all-pairs shortest-path snapshot of the
+// topology: per-pair latency plus the first hop of each minimum-latency
+// path. It is built once per topology epoch by single-source Dijkstra
+// from every node and shared lock-free through an atomic.Pointer, so the
+// routing read path (Route, RouteLatency, every Fabric send) never takes
+// the topology mutex and never re-runs Dijkstra.
+//
+// The relaxation order (neighbors sorted by name, strict-less distance
+// updates) is identical to the historical per-pair Dijkstra, so the
+// paths the table yields are byte-identical to the ones Route computed
+// before the table existed.
+type routeTable struct {
+	epoch uint64
+	names []string       // sorted node names; index = node id
+	idx   map[string]int // name → id
+	n     int
+	// dist[i*n+j] is the latency i→j; negative means unreachable.
+	dist []sim.Time
+	// next[i*n+j] is the first hop on the minimum-latency path i→j;
+	// -1 when unreachable or i == j.
+	next []int32
+}
+
+// graphSnapshot is the adjacency copied out under the topology lock so
+// the table build runs without holding it.
+type graphSnapshot struct {
+	epoch uint64
+	names []string
+	idx   map[string]int
+	// adj[i] lists i's out-links sorted by neighbor name.
+	adj [][]nbr
+}
+
+type nbr struct {
+	to  int
+	lat sim.Time
+}
+
+// snapshot copies the node set and adjacency under t.mu.
+func (t *Topology) snapshot() *graphSnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := &graphSnapshot{epoch: t.epoch.Load()}
+	s.names = make([]string, 0, len(t.nodes))
+	for n := range t.nodes {
+		s.names = append(s.names, n)
+	}
+	sort.Strings(s.names)
+	s.idx = make(map[string]int, len(s.names))
+	for i, n := range s.names {
+		s.idx[n] = i
+	}
+	s.adj = make([][]nbr, len(s.names))
+	for from, links := range t.links {
+		i := s.idx[from]
+		tos := make([]string, 0, len(links))
+		for to := range links {
+			tos = append(tos, to)
+		}
+		sort.Strings(tos)
+		out := make([]nbr, 0, len(tos))
+		for _, to := range tos {
+			out = append(out, nbr{to: s.idx[to], lat: links[to].Latency})
+		}
+		s.adj[i] = out
+	}
+	return s
+}
+
+// routes returns the table for the current epoch, building it if the
+// topology changed since the last build. The fast path is two atomic
+// loads; builds are serialized on buildMu so concurrent readers never
+// duplicate the all-pairs work.
+func (t *Topology) routes() *routeTable {
+	for {
+		tab := t.table.Load()
+		if tab != nil && tab.epoch == t.epoch.Load() {
+			return tab
+		}
+		t.buildMu.Lock()
+		tab = t.table.Load()
+		if tab != nil && tab.epoch == t.epoch.Load() {
+			t.buildMu.Unlock()
+			return tab
+		}
+		tab = buildRouteTable(t.snapshot())
+		t.table.Store(tab)
+		t.buildMu.Unlock()
+		// Loop: a concurrent edit during the build invalidates it.
+	}
+}
+
+// buildRouteTable runs Dijkstra from every source over the snapshot.
+func buildRouteTable(s *graphSnapshot) *routeTable {
+	n := len(s.names)
+	tab := &routeTable{
+		epoch: s.epoch, names: s.names, idx: s.idx, n: n,
+		dist: make([]sim.Time, n*n),
+		next: make([]int32, n*n),
+	}
+	for i := range tab.dist {
+		tab.dist[i] = -1
+		tab.next[i] = -1
+	}
+	// Reusable per-source scratch.
+	dist := make([]sim.Time, n)
+	prev := make([]int32, n)
+	visited := make([]bool, n)
+	var pq intRouteQueue
+	var chain []int32
+	for src := 0; src < n; src++ {
+		for i := 0; i < n; i++ {
+			dist[i] = -1
+			prev[i] = -1
+			visited[i] = false
+		}
+		dist[src] = 0
+		pq = pq[:0]
+		pq = append(pq, intRouteItem{node: int32(src)})
+		for len(pq) > 0 {
+			cur := heap.Pop(&pq).(intRouteItem)
+			if visited[cur.node] {
+				continue
+			}
+			visited[cur.node] = true
+			for _, e := range s.adj[cur.node] {
+				nd := cur.dist + e.lat
+				if dist[e.to] < 0 || nd < dist[e.to] {
+					dist[e.to] = nd
+					prev[e.to] = cur.node
+					heap.Push(&pq, intRouteItem{node: int32(e.to), dist: nd})
+				}
+			}
+		}
+		row := src * n
+		for dst := 0; dst < n; dst++ {
+			if dst == src || dist[dst] < 0 {
+				if dst == src {
+					tab.dist[row+dst] = 0
+				}
+				continue
+			}
+			tab.dist[row+dst] = dist[dst]
+		}
+		// First hops: every node on the shortest path src→v shares v's
+		// first hop, so one memoized upward walk resolves a whole chain.
+		for dst := 0; dst < n; dst++ {
+			if dst == src || dist[dst] < 0 || tab.next[row+dst] >= 0 {
+				continue
+			}
+			chain = chain[:0]
+			hop := int32(-1)
+			for u := int32(dst); ; {
+				if nxt := tab.next[row+int(u)]; nxt >= 0 {
+					hop = nxt // u's first hop is already known
+					break
+				}
+				chain = append(chain, u)
+				if prev[u] == int32(src) {
+					hop = u // u is src's direct neighbor on the path
+					break
+				}
+				u = prev[u]
+			}
+			for _, v := range chain {
+				tab.next[row+int(v)] = hop
+			}
+		}
+	}
+	return tab
+}
+
+type intRouteItem struct {
+	node int32
+	dist sim.Time
+}
+
+type intRouteQueue []intRouteItem
+
+func (q intRouteQueue) Len() int           { return len(q) }
+func (q intRouteQueue) Less(i, j int) bool { return q[i].dist < q[j].dist }
+func (q intRouteQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *intRouteQueue) Push(x any)        { *q = append(*q, x.(intRouteItem)) }
+func (q *intRouteQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}

@@ -1,0 +1,155 @@
+package network
+
+import (
+	"sync"
+	"testing"
+
+	"myrtus/internal/sim"
+)
+
+func TestRouteTableEpochInvalidation(t *testing.T) {
+	topo := star(t)
+	e0 := topo.Epoch()
+	lat, ok := topo.RouteLatency("edge-0", "cloud")
+	if !ok || lat != 27*sim.Millisecond {
+		t.Fatalf("initial latency = %v %v", lat, ok)
+	}
+	if topo.Epoch() != e0 {
+		t.Fatal("reads must not bump the epoch")
+	}
+
+	// A faster parallel path must be visible on the very next read.
+	if err := topo.AddDuplex("edge-0", "fmdc", 1*sim.Millisecond, 10e6, 0); err != nil {
+		t.Fatal(err)
+	}
+	if topo.Epoch() == e0 {
+		t.Fatal("AddDuplex must bump the epoch")
+	}
+	lat, ok = topo.RouteLatency("edge-0", "cloud")
+	if !ok || lat != 21*sim.Millisecond {
+		t.Fatalf("latency after shortcut = %v, want 21ms", lat)
+	}
+	path, _, err := topo.Route("edge-0", "cloud")
+	if err != nil || len(path) != 3 || path[1] != "fmdc" {
+		t.Fatalf("path after shortcut = %v (%v)", path, err)
+	}
+
+	// Severing the shortcut restores the old route.
+	topo.RemoveLink("edge-0", "fmdc")
+	topo.RemoveLink("fmdc", "edge-0")
+	lat, ok = topo.RouteLatency("edge-0", "cloud")
+	if !ok || lat != 27*sim.Millisecond {
+		t.Fatalf("latency after cut = %v, want 27ms", lat)
+	}
+
+	// Removing a nonexistent link must not bump the epoch (no rebuild).
+	e1 := topo.Epoch()
+	topo.RemoveLink("ghost", "cloud")
+	if topo.Epoch() != e1 {
+		t.Fatal("no-op RemoveLink bumped the epoch")
+	}
+}
+
+func TestRouteTableFirstHopPaths(t *testing.T) {
+	// Route must reconstruct full multi-hop paths from the first-hop
+	// matrix, for every pair.
+	topo := star(t)
+	for _, tc := range []struct {
+		src, dst string
+		hops     int
+		lat      sim.Time
+	}{
+		{"edge-0", "edge-1", 3, 4 * sim.Millisecond},
+		{"edge-1", "cloud", 4, 27 * sim.Millisecond},
+		{"cloud", "edge-0", 4, 27 * sim.Millisecond},
+		{"gateway", "fmdc", 2, 5 * sim.Millisecond},
+	} {
+		path, lat, err := topo.Route(tc.src, tc.dst)
+		if err != nil {
+			t.Fatalf("%s->%s: %v", tc.src, tc.dst, err)
+		}
+		if len(path) != tc.hops || lat != tc.lat {
+			t.Fatalf("%s->%s: path=%v lat=%v, want %d hops %v",
+				tc.src, tc.dst, path, lat, tc.hops, tc.lat)
+		}
+		if path[0] != tc.src || path[len(path)-1] != tc.dst {
+			t.Fatalf("%s->%s: endpoints %v", tc.src, tc.dst, path)
+		}
+	}
+}
+
+func TestRouteReaderSnapshot(t *testing.T) {
+	topo := star(t)
+	rr := topo.RouteReader()
+	i, ok := rr.NodeIndex("edge-0")
+	if !ok {
+		t.Fatal("edge-0 missing")
+	}
+	j, ok := rr.NodeIndex("cloud")
+	if !ok {
+		t.Fatal("cloud missing")
+	}
+	lat, ok := rr.LatencyAt(i, j)
+	if !ok || lat != 27*sim.Millisecond {
+		t.Fatalf("reader latency = %v %v", lat, ok)
+	}
+	// The pinned snapshot keeps answering consistently even after an
+	// edit; a fresh reader sees the new graph.
+	if err := topo.AddDuplex("edge-0", "cloud", 1*sim.Millisecond, 10e6, 0); err != nil {
+		t.Fatal(err)
+	}
+	if lat, ok := rr.LatencyAt(i, j); !ok || lat != 27*sim.Millisecond {
+		t.Fatalf("pinned reader drifted: %v %v", lat, ok)
+	}
+	rr2 := topo.RouteReader()
+	i2, _ := rr2.NodeIndex("edge-0")
+	j2, _ := rr2.NodeIndex("cloud")
+	if lat, ok := rr2.LatencyAt(i2, j2); !ok || lat != 1*sim.Millisecond {
+		t.Fatalf("fresh reader latency = %v %v, want 1ms", lat, ok)
+	}
+}
+
+func TestRouteTableConcurrentReadersAndEdits(t *testing.T) {
+	// Hammer Route/RouteLatency from many goroutines while another
+	// goroutine keeps editing the topology. Under -race this proves the
+	// lock-free read path never observes a torn table; functionally it
+	// proves readers always get either the old or the new latency, never
+	// garbage.
+	topo := star(t)
+	const readers = 4
+	const rounds = 300
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				lat, ok := topo.RouteLatency("edge-0", "cloud")
+				if ok && lat != 27*sim.Millisecond && lat != 21*sim.Millisecond {
+					t.Errorf("torn latency %v", lat)
+					return
+				}
+				if path, _, err := topo.Route("edge-1", "cloud"); err == nil && len(path) < 2 {
+					t.Errorf("torn path %v", path)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < rounds; i++ {
+		if err := topo.AddDuplex("edge-0", "fmdc", 1*sim.Millisecond, 10e6, 0); err != nil {
+			t.Error(err)
+			break
+		}
+		topo.RemoveLink("edge-0", "fmdc")
+		topo.RemoveLink("fmdc", "edge-0")
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -10,11 +10,11 @@
 package network
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"myrtus/internal/sim"
 )
@@ -43,12 +43,25 @@ type LinkStats struct {
 
 // Topology is the graph of endpoints and links plus slice definitions.
 // It is safe for concurrent use.
+//
+// Routing is served from an all-pairs latency/next-hop table built once
+// per topology epoch (see routetable.go): every graph edit bumps epoch,
+// and the next routing call rebuilds the table outside the lock. Reads
+// are two atomic loads — Route and RouteLatency never hold t.mu while
+// computing shortest paths, so concurrent senders never serialize on
+// Dijkstra.
 type Topology struct {
 	mu     sync.Mutex
 	nodes  map[string]bool
 	links  map[string]map[string]*Link
 	slices map[string]*Slice
 	rng    *sim.RNG
+
+	// epoch counts graph edits; table caches the all-pairs routes for
+	// the epoch it was built at. buildMu serializes rebuilds.
+	epoch   atomic.Uint64
+	table   atomic.Pointer[routeTable]
+	buildMu sync.Mutex
 }
 
 // Slice reserves a bandwidth share on a set of links for a traffic class
@@ -75,7 +88,10 @@ func NewTopology(seed uint64) *Topology {
 func (t *Topology) AddNode(name string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.nodes[name] = true
+	if !t.nodes[name] {
+		t.nodes[name] = true
+		t.epoch.Add(1)
+	}
 }
 
 // Nodes returns all endpoint names, sorted.
@@ -114,6 +130,7 @@ func (t *Topology) AddLink(from, to string, latency sim.Time, bandwidth float64,
 		Latency: latency, Bandwidth: bandwidth, LossP: lossP,
 		nextFree: make(map[string]sim.Time),
 	}
+	t.epoch.Add(1)
 	return nil
 }
 
@@ -130,7 +147,10 @@ func (t *Topology) RemoveLink(from, to string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if m := t.links[from]; m != nil {
-		delete(m, to)
+		if _, ok := m[to]; ok {
+			delete(m, to)
+			t.epoch.Add(1)
+		}
 	}
 }
 
@@ -209,76 +229,87 @@ func (t *Topology) sliceShare(linkKey, sliceID string) float64 {
 }
 
 // Route returns the minimum-latency path from src to dst (inclusive of
-// both) using Dijkstra over link latencies.
+// both). The path comes from the epoch-cached all-pairs table, so the
+// call is lock-free and O(path length) in the steady state.
 func (t *Topology) Route(src, dst string) ([]string, sim.Time, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if !t.nodes[src] {
+	tab := t.routes()
+	i, ok := tab.idx[src]
+	if !ok {
 		return nil, 0, fmt.Errorf("network: unknown source %q", src)
 	}
-	if !t.nodes[dst] {
+	j, ok := tab.idx[dst]
+	if !ok {
 		return nil, 0, fmt.Errorf("network: unknown destination %q", dst)
 	}
-	if src == dst {
+	if i == j {
 		return []string{src}, 0, nil
 	}
-	dist := map[string]sim.Time{src: 0}
-	prev := map[string]string{}
-	pq := &routeQueue{{node: src, dist: 0}}
-	visited := map[string]bool{}
-	for pq.Len() > 0 {
-		cur := heap.Pop(pq).(routeItem)
-		if visited[cur.node] {
-			continue
-		}
-		visited[cur.node] = true
-		if cur.node == dst {
-			break
-		}
-		// Deterministic neighbor order.
-		var nbrs []string
-		for to := range t.links[cur.node] {
-			nbrs = append(nbrs, to)
-		}
-		sort.Strings(nbrs)
-		for _, to := range nbrs {
-			l := t.links[cur.node][to]
-			nd := cur.dist + l.Latency
-			if old, ok := dist[to]; !ok || nd < old {
-				dist[to] = nd
-				prev[to] = cur.node
-				heap.Push(pq, routeItem{node: to, dist: nd})
-			}
-		}
-	}
-	if _, ok := dist[dst]; !ok {
+	lat := tab.dist[i*tab.n+j]
+	if lat < 0 {
 		return nil, 0, fmt.Errorf("network: no route %s -> %s", src, dst)
 	}
-	var path []string
-	for at := dst; ; at = prev[at] {
-		path = append(path, at)
-		if at == src {
-			break
-		}
+	path := make([]string, 0, 4)
+	path = append(path, src)
+	for at := i; at != j; {
+		at = int(tab.next[at*tab.n+j])
+		path = append(path, tab.names[at])
 	}
-	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
-		path[i], path[j] = path[j], path[i]
-	}
-	return path, dist[dst], nil
+	return path, lat, nil
 }
 
-type routeItem struct {
-	node string
-	dist sim.Time
+// RouteLatency returns the minimum route latency src→dst from the
+// epoch-cached table without materializing the path. ok is false when
+// either endpoint is unknown or no route exists. This is the planner's
+// hot read: two atomic loads plus two map lookups.
+func (t *Topology) RouteLatency(src, dst string) (sim.Time, bool) {
+	tab := t.routes()
+	i, ok := tab.idx[src]
+	if !ok {
+		return 0, false
+	}
+	j, ok := tab.idx[dst]
+	if !ok {
+		return 0, false
+	}
+	lat := tab.dist[i*tab.n+j]
+	if lat < 0 {
+		return 0, false
+	}
+	return lat, true
 }
 
-type routeQueue []routeItem
+// RouteReader is a consistent snapshot of the all-pairs latency table
+// for bulk queries by node index: resolve names once with NodeIndex,
+// then read many latencies without repeating the map lookups. The
+// snapshot stays valid (though possibly one epoch stale) regardless of
+// concurrent topology edits.
+type RouteReader struct {
+	tab *routeTable
+}
 
-func (q routeQueue) Len() int           { return len(q) }
-func (q routeQueue) Less(i, j int) bool { return q[i].dist < q[j].dist }
-func (q routeQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
-func (q *routeQueue) Push(x any)        { *q = append(*q, x.(routeItem)) }
-func (q *routeQueue) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+// RouteReader returns a reader pinned to the current route table.
+func (t *Topology) RouteReader() RouteReader {
+	return RouteReader{tab: t.routes()}
+}
+
+// NodeIndex resolves a node name to its index in this snapshot.
+func (r RouteReader) NodeIndex(name string) (int, bool) {
+	i, ok := r.tab.idx[name]
+	return i, ok
+}
+
+// LatencyAt returns the latency between two node indices.
+func (r RouteReader) LatencyAt(from, to int) (sim.Time, bool) {
+	lat := r.tab.dist[from*r.tab.n+to]
+	if lat < 0 {
+		return 0, false
+	}
+	return lat, true
+}
+
+// Epoch returns the topology edit counter; the route table rebuilds
+// lazily whenever it trails this value.
+func (t *Topology) Epoch() uint64 { return t.epoch.Load() }
 
 // Stats returns per-link congestion statistics, sorted by from/to.
 func (t *Topology) Stats() []LinkStats {

@@ -6,6 +6,7 @@ import (
 	"math/big"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 func newBigInt(b []byte) *big.Int { return new(big.Int).SetBytes(b) }
@@ -21,6 +22,14 @@ type TrustEngine struct {
 	obs map[string]map[string]*betaRecord
 	// decay per Observe on the same (rater, subject) pair.
 	decay float64
+	// rep memoizes Reputation per subject between Observe calls; the
+	// orchestrator polls reputations once per candidate per plan, so the
+	// cross-rater aggregation would otherwise rerun constantly.
+	rep map[string]float64
+	// hasObs flips once the first observation lands. While false every
+	// reputation is exactly the neutral 0.5, which lets callers with a
+	// threshold at or below neutral skip per-subject queries entirely.
+	hasObs atomic.Bool
 }
 
 type betaRecord struct {
@@ -33,7 +42,11 @@ func NewTrustEngine(decay float64) (*TrustEngine, error) {
 	if decay <= 0 || decay > 1 {
 		return nil, fmt.Errorf("security: trust decay %v out of (0,1]", decay)
 	}
-	return &TrustEngine{obs: make(map[string]map[string]*betaRecord), decay: decay}, nil
+	return &TrustEngine{
+		obs:   make(map[string]map[string]*betaRecord),
+		decay: decay,
+		rep:   make(map[string]float64),
+	}, nil
 }
 
 // Observe records an interaction outcome between rater and subject.
@@ -57,7 +70,14 @@ func (t *TrustEngine) Observe(rater, subject string, success bool) {
 	} else {
 		r.f++
 	}
+	// New evidence about subject invalidates only subject's memo.
+	delete(t.rep, subject)
+	t.hasObs.Store(true)
 }
+
+// HasEvidence reports whether any interaction has ever been observed.
+// While false, Reputation is the neutral 0.5 for every subject.
+func (t *TrustEngine) HasEvidence() bool { return t.hasObs.Load() }
 
 // Trust returns rater's direct trust in subject: the beta-reputation
 // expected value (s+1)/(s+f+2). With no history it is the neutral 0.5.
@@ -76,6 +96,9 @@ func (t *TrustEngine) Trust(rater, subject string) float64 {
 func (t *TrustEngine) Reputation(subject string) float64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if v, ok := t.rep[subject]; ok {
+		return v
+	}
 	num, den := 0.0, 0.0
 	for _, m := range t.obs {
 		r := m[subject]
@@ -90,10 +113,12 @@ func (t *TrustEngine) Reputation(subject string) float64 {
 		num += w * trust
 		den += w
 	}
-	if den == 0 {
-		return 0.5
+	v := 0.5
+	if den != 0 {
+		v = num / den
 	}
-	return num / den
+	t.rep[subject] = v
+	return v
 }
 
 // Trusted reports whether subject's reputation clears threshold.

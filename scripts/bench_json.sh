@@ -1,0 +1,40 @@
+#!/bin/sh
+# Runs every benchmark once and emits BENCH_results.json mapping each
+# benchmark to its ns/op, bytes/op, and allocs/op — the artifact the CI
+# bench-smoke job uploads so perf regressions are visible per commit.
+#
+# Usage: scripts/bench_json.sh [output-file]
+set -eu
+
+out="${1:-BENCH_results.json}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+# -benchtime=1x keeps this a smoke pass: one iteration per benchmark,
+# enough to catch breakage and produce a coarse perf fingerprint.
+go test -run '^$' -bench . -benchtime 1x -benchmem ./... >"$tmp"
+
+awk '
+BEGIN { print "{"; first = 1 }
+/^pkg: / { pkg = $2 }
+/^Benchmark/ {
+    name = $1
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($(i) == "ns/op")    ns = $(i - 1)
+        if ($(i) == "B/op")     bytes = $(i - 1)
+        if ($(i) == "allocs/op") allocs = $(i - 1)
+    }
+    if (ns == "") next
+    key = pkg "." name
+    if (!first) printf ",\n"
+    first = 0
+    printf "  \"%s\": {\"ns_per_op\": %s", key, ns
+    if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    printf "}"
+}
+END { print "\n}" }
+' "$tmp" >"$out"
+
+echo "wrote $out ($(grep -c 'ns_per_op' "$out") benchmarks)"
