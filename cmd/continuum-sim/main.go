@@ -7,9 +7,13 @@
 //
 //	continuum-sim [-seed N] [-requests N] [-goal latency|energy|balanced]
 //	              [-fail device] [-serve addr]
+//	continuum-sim chaos <scenario> [-seed N] [-mapek=false] [-list]
 //
 // With -serve, the MIRTO agent REST API is exposed on addr (tokens:
 // admin-token / viewer-token) instead of running the batch scenario.
+// The chaos subcommand runs a bundled fault-injection scenario against
+// the self-healing stack and prints its resilience report; with -mapek
+// (the default) it exits non-zero if availability drops below 99%.
 package main
 
 import (
@@ -18,8 +22,10 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strings"
 
 	"myrtus"
+	"myrtus/internal/chaos"
 	"myrtus/internal/mirto"
 	"myrtus/internal/sim"
 	"myrtus/internal/trace"
@@ -55,7 +61,51 @@ topology_template:
         properties: {level: medium}
 `
 
+func chaosMain(argv []string) {
+	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
+	seed := fs.Uint64("seed", 1, "scenario + simulation seed")
+	mapek := fs.Bool("mapek", true, "run the MAPE-K self-healing loop (false = control run)")
+	list := fs.Bool("list", false, "list bundled scenarios and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: continuum-sim chaos <scenario> [-seed N] [-mapek=false]\n")
+		fs.PrintDefaults()
+	}
+	// Accept flags before or after the positional scenario name.
+	fs.Parse(argv) //nolint:errcheck // ExitOnError
+	name := ""
+	if fs.NArg() > 0 {
+		name = fs.Arg(0)
+		fs.Parse(fs.Args()[1:]) //nolint:errcheck
+	}
+	if *list {
+		fmt.Println(strings.Join(chaos.Names(), "\n"))
+		return
+	}
+	if name == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	sc, err := chaos.BuiltIn(name, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := chaos.Run(sc, chaos.Config{Seed: *seed, MAPEK: *mapek})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep.Render())
+	if *mapek && rep.Availability() < 0.99 {
+		fmt.Fprintf(os.Stderr, "chaos: availability %.2f%% below the 99%% self-healing bar\n",
+			100*rep.Availability())
+		os.Exit(1)
+	}
+}
+
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "chaos" {
+		chaosMain(os.Args[2:])
+		return
+	}
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	requests := flag.Int("requests", 50, "requests to drive through the pipeline")
 	goal := flag.String("goal", "latency", "orchestration goal: latency, energy, balanced")

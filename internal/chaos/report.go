@@ -1,0 +1,141 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"myrtus/internal/network"
+	"myrtus/internal/sim"
+	"myrtus/internal/telemetry"
+	"myrtus/internal/trace"
+)
+
+// Report is the per-scenario resilience report: request-level outcomes,
+// incident MTTR, detector and loop activity, and recovery-time
+// attribution. Render is deterministic — byte-identical across runs with
+// the same (scenario, seed, config) — so reports double as regression
+// fixtures.
+type Report struct {
+	Scenario string
+	Seed     uint64
+	MAPEK    bool
+	Duration sim.Time
+
+	// Request outcomes: OK on the first attempt, Recovered via retries,
+	// Lost after exhausting them. AttemptFailures counts every failed
+	// attempt, including ones later recovered.
+	Total, OK, Recovered, Lost int
+	AttemptFailures            int
+
+	// Incidents and their repair times: an incident spans the first
+	// failed attempt to the next success that post-dates it.
+	Incidents   int
+	MTTRSamples []sim.Time
+
+	// Failure-detector counters.
+	Suspected, Confirmed, DetectorRecovered int
+
+	// MAPE-K loop activity (zero in the control run).
+	LoopIterations, Replans, Boosts, ExecErrors int
+
+	Fabric network.FabricStats
+
+	// EventsApplied counts executed fault events; EventErrors records
+	// events that could not be applied (still deterministic).
+	EventsApplied int
+	EventErrors   []string
+
+	// Registry exposes the headline counters as telemetry for export.
+	Registry *telemetry.Registry
+
+	attribution map[trace.Layer]*trace.LayerStat
+}
+
+// Availability is the fraction of requests that eventually succeeded.
+func (r *Report) Availability() float64 {
+	if r.Total == 0 {
+		return 1
+	}
+	return float64(r.OK+r.Recovered) / float64(r.Total)
+}
+
+// MTTR returns the p50 and p95 of the incident repair-time samples
+// (0, 0 when no incident closed).
+func (r *Report) MTTR() (p50, p95 sim.Time) {
+	n := len(r.MTTRSamples)
+	if n == 0 {
+		return 0, 0
+	}
+	s := make([]sim.Time, n)
+	copy(s, r.MTTRSamples)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	q := func(f float64) sim.Time {
+		i := int(f * float64(n))
+		if i >= n {
+			i = n - 1
+		}
+		return s[i]
+	}
+	return q(0.50), q(0.95)
+}
+
+// Attribution returns the accumulated recovery critical-path time per
+// layer, in canonical layer order.
+func (r *Report) Attribution() []trace.LayerStat {
+	var total sim.Time
+	for _, ls := range r.attribution {
+		total += ls.Time
+	}
+	var out []trace.LayerStat
+	for _, l := range trace.CanonicalLayers() {
+		ls, ok := r.attribution[l]
+		if !ok {
+			continue
+		}
+		cp := *ls
+		if total > 0 {
+			cp.Share = float64(cp.Time) / float64(total)
+		}
+		out = append(out, cp)
+	}
+	return out
+}
+
+func dur(t sim.Time) string { return time.Duration(t).String() }
+
+// Render formats the report as deterministic text.
+func (r *Report) Render() string {
+	var b strings.Builder
+	mode := "off"
+	if r.MAPEK {
+		mode = "on"
+	}
+	fmt.Fprintf(&b, "chaos report: scenario=%s seed=%d mapek=%s duration=%s\n",
+		r.Scenario, r.Seed, mode, dur(r.Duration))
+	fmt.Fprintf(&b, "  requests:  total=%d ok=%d recovered=%d lost=%d (attempt failures=%d)\n",
+		r.Total, r.OK, r.Recovered, r.Lost, r.AttemptFailures)
+	fmt.Fprintf(&b, "  availability: %.2f%%\n", 100*r.Availability())
+	p50, p95 := r.MTTR()
+	fmt.Fprintf(&b, "  incidents: %d closed=%d mttr_p50=%s mttr_p95=%s\n",
+		r.Incidents, len(r.MTTRSamples), dur(p50), dur(p95))
+	fmt.Fprintf(&b, "  detector:  suspected=%d confirmed=%d recovered=%d\n",
+		r.Suspected, r.Confirmed, r.DetectorRecovered)
+	fmt.Fprintf(&b, "  loop:      iterations=%d replans=%d boosts=%d exec_errors=%d\n",
+		r.LoopIterations, r.Replans, r.Boosts, r.ExecErrors)
+	fmt.Fprintf(&b, "  fabric:    delivered=%d lost=%d retries=%d backoff=%s\n",
+		r.Fabric.Delivered, r.Fabric.Lost, r.Fabric.Retries, dur(r.Fabric.BackoffTime))
+	fmt.Fprintf(&b, "  faults:    applied=%d errors=%d\n", r.EventsApplied, len(r.EventErrors))
+	for _, e := range r.EventErrors {
+		fmt.Fprintf(&b, "    ! %s\n", e)
+	}
+	if att := r.Attribution(); len(att) > 0 {
+		fmt.Fprintf(&b, "  recovery attribution (critical path of recovering requests):\n")
+		for _, ls := range att {
+			fmt.Fprintf(&b, "    %-8s %6.1f%%  time=%s spans=%d\n",
+				ls.Layer, 100*ls.Share, dur(ls.Time), ls.Spans)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,414 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+
+	"myrtus/internal/continuum"
+	"myrtus/internal/mapek"
+	"myrtus/internal/mirto"
+	"myrtus/internal/network"
+	"myrtus/internal/sim"
+	"myrtus/internal/telemetry"
+	"myrtus/internal/tosca"
+	"myrtus/internal/trace"
+)
+
+// Config tunes one scenario run.
+type Config struct {
+	Seed uint64
+	// MAPEK attaches the self-healing loop; false is the control run that
+	// measures what the retries alone can absorb.
+	MAPEK bool
+	// DetectK is the failure detector's missed-heartbeat threshold
+	// (default 2); TickEvery is the sensing cadence (default 250ms).
+	DetectK   int
+	TickEvery sim.Time
+	// Infra overrides the continuum sizing (nil = DefaultOptions with
+	// the run seed).
+	Infra *continuum.Options
+}
+
+// runner is the per-run mutable state: the live system plus the memo
+// maps that pair a fault with its later restore even after the plan has
+// moved on.
+type runner struct {
+	c   *continuum.Continuum
+	o   *mirto.Orchestrator
+	app string
+
+	// crashTarget/isolateTarget memoize "stage:x" resolution at fault
+	// time so the paired repair/reconnect hits the same physical device.
+	crashTarget   map[string]string
+	isolateTarget map[string]string
+	savedLinks    map[string][]network.Link
+	degraded      map[string][]network.Link
+	failedLayer   map[string][]string
+
+	rep *Report
+}
+
+// Run executes one scenario and produces its resilience report. The
+// whole run — workload, faults, detection, healing — advances on the
+// simulation clock, so a (scenario, config) pair is fully reproducible.
+func Run(sc Scenario, cfg Config) (*Report, error) {
+	sc = defaults(sc)
+	if cfg.DetectK < 1 {
+		cfg.DetectK = 2
+	}
+	if cfg.TickEvery <= 0 {
+		cfg.TickEvery = 250 * sim.Millisecond
+	}
+	opts := continuum.DefaultOptions()
+	if cfg.Infra != nil {
+		opts = *cfg.Infra
+	}
+	opts.Seed = cfg.Seed
+
+	c, err := continuum.Build(opts)
+	if err != nil {
+		return nil, err
+	}
+	m := mirto.NewManager(c, mirto.LatencyGoal())
+	o := mirto.NewOrchestrator(m)
+	st, err := tosca.Parse(sc.App)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := o.Deploy(st)
+	if err != nil {
+		return nil, err
+	}
+	var loop *mapek.Loop
+	if cfg.MAPEK {
+		if loop, err = o.AttachLoop(plan.App, sc.SLO); err != nil {
+			return nil, err
+		}
+	}
+	fd := mirto.NewFailureDetector(c, cfg.DetectK)
+
+	r := &runner{
+		c: c, o: o, app: plan.App,
+		crashTarget:   map[string]string{},
+		isolateTarget: map[string]string{},
+		savedLinks:    map[string][]network.Link{},
+		degraded:      map[string][]network.Link{},
+		failedLayer:   map[string][]string{},
+		rep: &Report{
+			Scenario: sc.Name, Seed: cfg.Seed, MAPEK: cfg.MAPEK, Duration: sc.Duration,
+			attribution: map[trace.Layer]*trace.LayerStat{},
+		},
+	}
+	eng := c.Engine
+
+	// Fault schedule.
+	for _, ev := range sc.Events {
+		ev := ev
+		eng.At(ev.At, func() {
+			if err := r.apply(ev); err != nil {
+				r.rep.EventErrors = append(r.rep.EventErrors,
+					fmt.Sprintf("%v %s %s: %v", ev.At, ev.Kind, ev.Target, err))
+			}
+		})
+	}
+	// Broker noise sink: bursts need a subscriber for full fan-out load.
+	for _, ev := range sc.Events {
+		if ev.Kind == BrokerBurst {
+			c.Broker.Subscribe(fmt.Sprintf("cloud-srv-%d", opts.CloudServers-1),
+				"chaos/#", "", func(string, []byte) {})
+			break
+		}
+	}
+
+	// Sensing cadence: heartbeats, failure detection, and (when enabled)
+	// one MAPE-K pass per tick.
+	var tick func()
+	tick = func() {
+		c.Heartbeat()
+		fd.Tick()
+		if loop != nil {
+			loop.Iterate()
+		}
+		if eng.Now()+cfg.TickEvery <= sc.Duration {
+			eng.After(cfg.TickEvery, tick)
+		}
+	}
+	eng.After(cfg.TickEvery, tick)
+
+	// Open-loop workload with incident bookkeeping: an incident opens at
+	// the first failed attempt and closes at the next success that
+	// post-dates it; the gap is one MTTR sample.
+	var inIncident bool
+	var incidentStart sim.Time
+	for at := sc.RequestEvery; at <= sc.Duration; at += sc.RequestEvery {
+		eng.At(at, func() {
+			r.rep.Total++
+			submitAt := eng.Now()
+			pol := sc.Retry
+			pol.OnAttemptFail = func(int, error) {
+				r.rep.AttemptFailures++
+				if !inIncident {
+					inIncident = true
+					incidentStart = eng.Now()
+					r.rep.Incidents++
+				}
+			}
+			err := o.R.SubmitWithRetry(r.app, sc.Ingress, sc.Items, pol,
+				func(_ sim.Time, _ float64, attempts int, err error) {
+					if err != nil {
+						r.rep.Lost++
+						return
+					}
+					if attempts > 1 {
+						r.rep.Recovered++
+					} else {
+						r.rep.OK++
+					}
+					// Only a success that started (or retried) after the
+					// incident opened proves the service healed.
+					if inIncident && (attempts > 1 || submitAt >= incidentStart) {
+						r.rep.MTTRSamples = append(r.rep.MTTRSamples, eng.Now()-incidentStart)
+						inIncident = false
+						r.attributeRecovery()
+					}
+				})
+			if err != nil {
+				r.rep.Lost++
+			}
+		})
+	}
+
+	eng.RunUntil(sc.Duration)
+	eng.Run() // drain in-flight retries and transfers past the horizon
+
+	// Roll up the counters.
+	rep := r.rep
+	rep.Suspected, rep.Confirmed, rep.DetectorRecovered = fd.Stats()
+	if loop != nil {
+		rep.LoopIterations, _, _ = loop.Stats()
+		for _, rec := range loop.History() {
+			for _, a := range rec.Actions {
+				switch a.Kind {
+				case "replan":
+					rep.Replans++
+				case "boost":
+					rep.Boosts++
+				}
+			}
+			rep.ExecErrors += len(rec.ExecErrors)
+		}
+	}
+	rep.Fabric = c.Fabric.Stats()
+
+	reg := telemetry.NewRegistry("chaos")
+	reg.Counter(telemetry.Application, "failovers").Add(float64(rep.Replans))
+	reg.Counter(telemetry.Application, "boosts").Add(float64(rep.Boosts))
+	reg.Counter(telemetry.Application, "suspected_failures").Add(float64(rep.Suspected))
+	reg.Counter(telemetry.Application, "confirmed_failures").Add(float64(rep.Confirmed))
+	reg.Counter(telemetry.Application, "requests_recovered").Add(float64(rep.Recovered))
+	reg.Counter(telemetry.Application, "requests_lost").Add(float64(rep.Lost))
+	reg.Counter(telemetry.Application, "incidents").Add(float64(rep.Incidents))
+	rep.Registry = reg
+	return rep, nil
+}
+
+// attributeRecovery charges the just-completed recovering request's
+// critical path to layers. Inside a request's done callback the newest
+// finished trace is that request's trace (the root ends, records, and
+// fires done within one engine event).
+func (r *runner) attributeRecovery() {
+	trs := r.c.Tracer.Traces()
+	if len(trs) == 0 {
+		return
+	}
+	tr := trs[len(trs)-1]
+	if tr.Root == nil || tr.Root.Name != "request/"+r.app || tr.Root.Error != "" {
+		return
+	}
+	for _, ls := range tr.LayerBreakdown() {
+		acc := r.rep.attribution[ls.Layer]
+		if acc == nil {
+			acc = &trace.LayerStat{Layer: ls.Layer}
+			r.rep.attribution[ls.Layer] = acc
+		}
+		acc.Time += ls.Time
+		acc.Spans += ls.Spans
+	}
+}
+
+// resolve turns a target spec into a physical device name; "stage:<node>"
+// is resolved against the live plan at fire time.
+func (r *runner) resolve(spec string) (string, error) {
+	node, ok := strings.CutPrefix(spec, "stage:")
+	if !ok {
+		return spec, nil
+	}
+	plan, ok := r.o.PlanFor(r.app)
+	if !ok {
+		return "", fmt.Errorf("app %q not deployed", r.app)
+	}
+	a, ok := plan.Assignment(node)
+	if !ok {
+		return "", fmt.Errorf("no stage %q in plan", node)
+	}
+	return a.Device, nil
+}
+
+// endpoints resolves a link target "A<->B" or "A->B" into the concrete
+// directed pairs to mutate; the restore pairing keeps the resolved pairs
+// in Report state, so resolution here is always against the live plan.
+func (r *runner) endpoints(target string) ([][2]string, error) {
+	duplex := strings.Contains(target, "<->")
+	sep := "->"
+	if duplex {
+		sep = "<->"
+	}
+	parts := strings.SplitN(target, sep, 2)
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("bad link target %q", target)
+	}
+	a, err := r.resolve(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return nil, err
+	}
+	b, err := r.resolve(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return nil, err
+	}
+	pairs := [][2]string{{a, b}}
+	if duplex {
+		pairs = append(pairs, [2]string{b, a})
+	}
+	return pairs, nil
+}
+
+// apply executes one fault event against the live system.
+func (r *runner) apply(ev Event) error {
+	topo := r.c.Topo
+	switch ev.Kind {
+	case DeviceCrash:
+		dev, err := r.resolve(ev.Target)
+		if err != nil {
+			return err
+		}
+		d := r.c.Devices[dev]
+		if d == nil {
+			return fmt.Errorf("unknown device %q", dev)
+		}
+		r.crashTarget[ev.Target] = dev
+		d.Fail() // silent: the failure detector has to notice
+
+	case DeviceRepair:
+		dev := r.crashTarget[ev.Target]
+		if dev == "" {
+			var err error
+			if dev, err = r.resolve(ev.Target); err != nil {
+				return err
+			}
+		}
+		delete(r.crashTarget, ev.Target)
+		d := r.c.Devices[dev]
+		if d == nil {
+			return fmt.Errorf("unknown device %q", dev)
+		}
+		d.Repair(r.c.Engine.Now()) // the detector restores its node on the next tick
+
+	case LinkDegrade:
+		pairs, err := r.endpoints(ev.Target)
+		if err != nil {
+			return err
+		}
+		var saved []network.Link
+		for _, p := range pairs {
+			l, ok := topo.Link(p[0], p[1])
+			if !ok {
+				return fmt.Errorf("no link %s->%s", p[0], p[1])
+			}
+			saved = append(saved, network.Link{From: p[0], To: p[1],
+				Latency: l.Latency, Bandwidth: l.Bandwidth, LossP: l.LossP})
+		}
+		for _, p := range pairs {
+			if err := topo.SetLinkQuality(p[0], p[1], ev.Latency, ev.Bandwidth, ev.LossP); err != nil {
+				return err
+			}
+		}
+		if _, dup := r.degraded[ev.Target]; !dup {
+			r.degraded[ev.Target] = saved
+		}
+
+	case LinkRestore:
+		saved, ok := r.degraded[ev.Target]
+		if !ok {
+			return fmt.Errorf("no degraded link for %q", ev.Target)
+		}
+		delete(r.degraded, ev.Target)
+		for _, l := range saved {
+			if err := topo.SetLinkQuality(l.From, l.To, l.Latency, l.Bandwidth, l.LossP); err != nil {
+				return err
+			}
+		}
+
+	case NodeIsolate:
+		dev, err := r.resolve(ev.Target)
+		if err != nil {
+			return err
+		}
+		r.isolateTarget[ev.Target] = dev
+		links := topo.AdjacentLinks(dev)
+		if len(links) == 0 {
+			return fmt.Errorf("device %q has no links to cut", dev)
+		}
+		r.savedLinks[ev.Target] = links
+		for _, l := range links {
+			topo.RemoveLink(l.From, l.To)
+		}
+
+	case NodeReconnect:
+		links, ok := r.savedLinks[ev.Target]
+		if !ok {
+			return fmt.Errorf("no isolation for %q", ev.Target)
+		}
+		delete(r.savedLinks, ev.Target)
+		delete(r.isolateTarget, ev.Target)
+		for _, l := range links {
+			if err := topo.AddLink(l.From, l.To, l.Latency, l.Bandwidth, l.LossP); err != nil {
+				return err
+			}
+		}
+
+	case LayerOutage:
+		names := r.c.DevicesInLayer(ev.Target)
+		if len(names) == 0 {
+			return fmt.Errorf("no devices in layer %q", ev.Target)
+		}
+		r.failedLayer[ev.Target] = names
+		for _, n := range names {
+			r.c.Devices[n].Fail()
+		}
+
+	case LayerRestore:
+		names, ok := r.failedLayer[ev.Target]
+		if !ok {
+			return fmt.Errorf("no outage for layer %q", ev.Target)
+		}
+		delete(r.failedLayer, ev.Target)
+		for _, n := range names {
+			r.c.Devices[n].Repair(r.c.Engine.Now())
+		}
+
+	case BrokerBurst:
+		pub, err := r.resolve(ev.Target)
+		if err != nil {
+			return err
+		}
+		payload := make([]byte, ev.Bytes)
+		for i := 0; i < ev.Messages; i++ {
+			r.c.Broker.Publish(pub, "chaos/noise", payload, "") //nolint:errcheck
+		}
+
+	default:
+		return fmt.Errorf("unknown event kind %q", ev.Kind)
+	}
+	r.rep.EventsApplied++
+	return nil
+}

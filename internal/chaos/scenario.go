@@ -1,0 +1,207 @@
+// Package chaos is the deterministic fault-injection subsystem: seeded
+// scenarios of timed fault events (device crashes, link degradation and
+// partitions, broker overload, correlated layer outages) executed as
+// discrete events on the simulation clock, driven against a full
+// continuum with the MIRTO self-healing stack attached. Two runs with
+// the same seed are byte-identical, which turns resilience claims —
+// availability, MTTR, recovery attribution — into regression-testable
+// numbers.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+
+	"myrtus/internal/mirto"
+	"myrtus/internal/sim"
+)
+
+// Kind names one fault-event type.
+type Kind string
+
+const (
+	// DeviceCrash silently fails the target device: no FailDevice call,
+	// the heartbeat-based failure detector has to notice.
+	DeviceCrash Kind = "device-crash"
+	// DeviceRepair brings a crashed device back (paired with the crash's
+	// target so the same physical device recovers even after replans).
+	DeviceRepair Kind = "device-repair"
+	// LinkDegrade rewrites a link's latency/bandwidth/loss in place.
+	LinkDegrade Kind = "link-degrade"
+	// LinkRestore undoes a LinkDegrade on the same target.
+	LinkRestore Kind = "link-restore"
+	// NodeIsolate cuts every link touching the target device (network
+	// partition); the device itself stays healthy.
+	NodeIsolate Kind = "node-isolate"
+	// NodeReconnect restores the links a NodeIsolate on the same target cut.
+	NodeReconnect Kind = "node-reconnect"
+	// LayerOutage fails every device of the target layer at once
+	// (correlated failure: power loss, zone outage).
+	LayerOutage Kind = "layer-outage"
+	// LayerRestore repairs the devices a LayerOutage took down.
+	LayerRestore Kind = "layer-restore"
+	// BrokerBurst floods the pub/sub broker with Messages × Bytes noise
+	// published from the target device, loading its real uplinks.
+	BrokerBurst Kind = "broker-burst"
+)
+
+// Event is one timed fault. Target is a device name, a layer name (for
+// layer events), a "stage:<node>" reference resolved against the live
+// plan when the event fires, or — for link events — "A<->B" / "A->B"
+// where each endpoint may itself be a stage reference.
+type Event struct {
+	At     sim.Time
+	Kind   Kind
+	Target string
+
+	// Link quality for LinkDegrade.
+	Latency   sim.Time
+	Bandwidth float64
+	LossP     float64
+
+	// Burst sizing for BrokerBurst.
+	Messages int
+	Bytes    int
+}
+
+// Scenario is a seeded schedule of faults plus the workload driven
+// through them.
+type Scenario struct {
+	Name string
+	// App is the TOSCA service template under test ("" = DefaultApp).
+	App string
+	// Duration is the virtual length of the run; open-loop requests
+	// arrive every RequestEvery until then.
+	Duration     sim.Time
+	RequestEvery sim.Time
+	Items        int64
+	// Ingress is the device the request input data originates at.
+	Ingress string
+	// SLO drives the MAPE-K loop; Retry shapes the serve-path retries.
+	SLO   mirto.SLO
+	Retry mirto.RetryPolicy
+
+	Events []Event
+}
+
+// DefaultApp is the three-stage pipeline the bundled scenarios stress:
+// an edge-pinned camera, a security-medium accelerated detector, and an
+// aggregator free to ride fog or cloud.
+const DefaultApp = `
+tosca_definitions_version: tosca_2_0
+metadata:
+  template_name: chaos-cam
+topology_template:
+  node_templates:
+    camera:
+      type: myrtus.nodes.Container
+      properties: {cpu: 0.5, memoryMB: 128, gops: 0.2, outMB: 0.1, inMB: 0.2}
+    detector:
+      type: myrtus.nodes.AcceleratedKernel
+      properties: {cpu: 1, memoryMB: 256, kernel: conv2d, gops: 2, outMB: 0.05}
+      requirements:
+        - source: camera
+    aggregator:
+      type: myrtus.nodes.Container
+      properties: {cpu: 2, memoryMB: 1024, gops: 1, outMB: 0.01}
+      requirements:
+        - source: detector
+  policies:
+    - cam-edge:
+        type: myrtus.policies.Placement
+        targets: [camera]
+        properties: {layer: edge}
+    - det-medium:
+        type: myrtus.policies.Security
+        targets: [detector]
+        properties: {level: medium}
+`
+
+func defaults(sc Scenario) Scenario {
+	if sc.App == "" {
+		sc.App = DefaultApp
+	}
+	if sc.Duration <= 0 {
+		sc.Duration = 60 * sim.Second
+	}
+	if sc.RequestEvery <= 0 {
+		sc.RequestEvery = 50 * sim.Millisecond
+	}
+	if sc.Items <= 0 {
+		sc.Items = 1
+	}
+	if sc.Retry.Attempts == 0 {
+		sc.Retry = mirto.RetryPolicy{Attempts: 6, Base: 100 * sim.Millisecond}
+	}
+	sort.SliceStable(sc.Events, func(i, j int) bool { return sc.Events[i].At < sc.Events[j].At })
+	return sc
+}
+
+// EdgeFlap is the bundled link-flap scenario: the camera's uplink flaps
+// three times (degrade/restore), then the detector's and the camera's
+// devices crash and come back, and a broker burst floods the camera's
+// uplink near the end. The flap tests replan hysteresis (one replan per
+// cooldown, not a storm); the crashes test detection and failover.
+func EdgeFlap(seed uint64) Scenario {
+	sc := Scenario{
+		Name:    "edge-flap",
+		Ingress: "edge-rv-0",
+		SLO:     mirto.SLO{P95LatencyMs: 250, MaxFailureRate: 0.05},
+	}
+	// Three 2-second flaps of the camera device's gateway uplink. The
+	// stage reference re-resolves per flap, so the fault follows the app
+	// after each escape replan.
+	for i := 0; i < 3; i++ {
+		at := sim.Time(5+4*i) * sim.Second
+		sc.Events = append(sc.Events,
+			Event{At: at, Kind: LinkDegrade, Target: "stage:camera<->fog-gw-0",
+				Latency: 60 * sim.Millisecond, Bandwidth: 6e6, LossP: 0.3},
+			Event{At: at + 2*sim.Second, Kind: LinkRestore, Target: "stage:camera<->fog-gw-0"},
+		)
+	}
+	sc.Events = append(sc.Events,
+		Event{At: 20 * sim.Second, Kind: DeviceCrash, Target: "stage:detector"},
+		Event{At: 27 * sim.Second, Kind: DeviceRepair, Target: "stage:detector"},
+		Event{At: 40 * sim.Second, Kind: DeviceCrash, Target: "stage:camera"},
+		Event{At: 47 * sim.Second, Kind: DeviceRepair, Target: "stage:camera"},
+		Event{At: 52 * sim.Second, Kind: BrokerBurst, Target: "stage:camera", Messages: 200, Bytes: 10_000},
+	)
+	_ = seed // the schedule is fixed; the seed shapes loss/jitter draws at run time
+	return defaults(sc)
+}
+
+// FogPartition is the bundled partition scenario: the aggregator's
+// device is cut off the network for 8 seconds, a correlated cloud-layer
+// outage strikes at a seeded time, and a broker burst rides on top.
+func FogPartition(seed uint64) Scenario {
+	rng := sim.NewRNG(seed).Fork("chaos/fog-partition")
+	outageAt := sim.Time(rng.Range(30, 38) * float64(sim.Second))
+	sc := Scenario{
+		Name:    "fog-partition",
+		Ingress: "edge-rv-0",
+		SLO:     mirto.SLO{P95LatencyMs: 250, MaxFailureRate: 0.05},
+		Events: []Event{
+			{At: 10 * sim.Second, Kind: NodeIsolate, Target: "stage:aggregator"},
+			{At: 18 * sim.Second, Kind: NodeReconnect, Target: "stage:aggregator"},
+			{At: outageAt, Kind: LayerOutage, Target: "cloud"},
+			{At: outageAt + 5*sim.Second, Kind: LayerRestore, Target: "cloud"},
+			{At: 50 * sim.Second, Kind: BrokerBurst, Target: "stage:detector", Messages: 150, Bytes: 20_000},
+		},
+	}
+	return defaults(sc)
+}
+
+// Names lists the bundled scenarios.
+func Names() []string { return []string{"edge-flap", "fog-partition"} }
+
+// BuiltIn returns a bundled scenario by name, with the seed applied to
+// any seeded schedule draws.
+func BuiltIn(name string, seed uint64) (Scenario, error) {
+	switch name {
+	case "edge-flap":
+		return EdgeFlap(seed), nil
+	case "fog-partition":
+		return FogPartition(seed), nil
+	}
+	return Scenario{}, fmt.Errorf("chaos: unknown scenario %q (have %v)", name, Names())
+}

@@ -282,6 +282,26 @@ func (c *Continuum) Layers() []*cluster.Cluster {
 	return []*cluster.Cluster{c.Edge, c.Fog, c.Cloud}
 }
 
+// DevicesInLayer returns the names of physical devices registered in the
+// named layer ("edge", "fog", "cloud"), sorted — the blast set of a
+// correlated layer-wide outage.
+func (c *Continuum) DevicesInLayer(layer string) []string {
+	for _, cl := range c.Layers() {
+		if cl.Name() != layer {
+			continue
+		}
+		var out []string
+		for _, n := range cl.Nodes() { // sorted by name
+			if n.Virtual || c.Devices[n.Name] == nil {
+				continue
+			}
+			out = append(out, n.Name)
+		}
+		return out
+	}
+	return nil
+}
+
 // Heartbeat refreshes every live device's registry status and lease at
 // the current virtual time, then expires lapsed leases. MIRTO agents call
 // this on their sensing cadence.

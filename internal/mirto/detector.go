@@ -1,0 +1,98 @@
+package mirto
+
+import (
+	"sort"
+
+	"myrtus/internal/continuum"
+)
+
+// FailureDetector is the heartbeat-based liveness monitor of the
+// self-healing serve path. Instead of requiring an explicit
+// Continuum.FailDevice call, it is ticked on the agents' sensing cadence
+// and watches each device's heartbeat: after K consecutive missed beats
+// the device is *suspected* and its cluster node marked NotReady (so
+// offers, replans, and the controllers route around it); after 2K misses
+// the failure is *confirmed*. A device that heartbeats again is cleared
+// and its node restored.
+//
+// The detector is deterministic: devices are visited in sorted name
+// order, and all state advances only on Tick, which the single
+// simulation goroutine drives.
+type FailureDetector struct {
+	c *continuum.Continuum
+	k int
+
+	misses    map[string]int
+	suspected map[string]bool
+
+	suspectedTotal int
+	confirmedTotal int
+	recoveredTotal int
+}
+
+// NewFailureDetector builds a detector over the continuum; k is the
+// number of consecutive missed heartbeats before suspicion (minimum 1).
+func NewFailureDetector(c *continuum.Continuum, k int) *FailureDetector {
+	if k < 1 {
+		k = 1
+	}
+	return &FailureDetector{
+		c:         c,
+		k:         k,
+		misses:    map[string]int{},
+		suspected: map[string]bool{},
+	}
+}
+
+// Tick senses one heartbeat round and returns the devices newly
+// suspected and newly recovered this round.
+func (fd *FailureDetector) Tick() (suspected, recovered []string) {
+	for _, name := range fd.c.DeviceNames() {
+		d := fd.c.Devices[name]
+		if d.Failed() {
+			fd.misses[name]++
+			switch m := fd.misses[name]; {
+			case m == fd.k:
+				fd.suspected[name] = true
+				fd.suspectedTotal++
+				suspected = append(suspected, name)
+				if cl, ok := fd.c.ClusterFor(name); ok {
+					cl.SetNodeReady(name, false) //nolint:errcheck
+				}
+			case m == 2*fd.k:
+				fd.confirmedTotal++
+			}
+			continue
+		}
+		// Heartbeating again: clear suspicion and restore the node.
+		if fd.misses[name] > 0 {
+			delete(fd.misses, name)
+		}
+		if fd.suspected[name] {
+			delete(fd.suspected, name)
+			fd.recoveredTotal++
+			recovered = append(recovered, name)
+			if cl, ok := fd.c.ClusterFor(name); ok {
+				cl.SetNodeReady(name, true) //nolint:errcheck
+			}
+		}
+	}
+	return suspected, recovered
+}
+
+// Suspects returns the currently suspected device names, sorted.
+func (fd *FailureDetector) Suspects() []string {
+	out := make([]string, 0, len(fd.suspected))
+	for n := range fd.suspected {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats reports cumulative suspicion counters: devices ever suspected,
+// suspicions confirmed (still down after a second window), and suspected
+// devices that came back.
+func (fd *FailureDetector) Stats() (suspected, confirmed, recovered int) {
+	return fd.suspectedTotal, fd.confirmedTotal, fd.recoveredTotal
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"myrtus/internal/mapek"
+	"myrtus/internal/sim"
 	"myrtus/internal/tosca"
 )
 
@@ -16,6 +17,14 @@ type Orchestrator struct {
 	M *Manager
 	R *Runtime
 
+	// ReplanCooldown is the replan hysteresis window: after one
+	// reallocation of an app, further replan decisions for it are
+	// suppressed until this much virtual time has passed, so a flapping
+	// link triggers one replan instead of a storm. Zero disables the
+	// debounce. Set before AttachLoop; not safe to change while loops
+	// iterate.
+	ReplanCooldown sim.Time
+
 	mu    sync.Mutex
 	plans map[string]*Plan
 	loops map[string]*mapek.Loop
@@ -24,10 +33,11 @@ type Orchestrator struct {
 // NewOrchestrator builds the full cognitive engine over a continuum.
 func NewOrchestrator(m *Manager) *Orchestrator {
 	return &Orchestrator{
-		M:     m,
-		R:     NewRuntime(m),
-		plans: map[string]*Plan{},
-		loops: map[string]*mapek.Loop{},
+		M:              m,
+		R:              NewRuntime(m),
+		ReplanCooldown: 2 * sim.Second,
+		plans:          map[string]*Plan{},
+		loops:          map[string]*mapek.Loop{},
 	}
 }
 
@@ -128,10 +138,20 @@ func (o *Orchestrator) AttachLoop(app string, slo SLO) (*mapek.Loop, error) {
 			return nil
 		}
 		var kpis []mapek.KPI
-		if slo.P95LatencyMs > 0 && k.LatencyMs.Count > 0 {
-			kpis = append(kpis, mapek.KPI{
-				Name: "p95_latency_ms", Value: k.LatencyMs.P95, Target: slo.P95LatencyMs,
-			})
+		if slo.P95LatencyMs > 0 {
+			// Prefer the sliding-window p95: it forgets a healed incident,
+			// so the violation clears once the degradation is gone instead
+			// of demanding reallocation forever.
+			switch {
+			case k.RecentP95Ms > 0:
+				kpis = append(kpis, mapek.KPI{
+					Name: "p95_latency_ms", Value: k.RecentP95Ms, Target: slo.P95LatencyMs,
+				})
+			case k.LatencyMs.Count > 0:
+				kpis = append(kpis, mapek.KPI{
+					Name: "p95_latency_ms", Value: k.LatencyMs.P95, Target: slo.P95LatencyMs,
+				})
+			}
 		}
 		if slo.MaxFailureRate > 0 {
 			dOK := k.Requests - lastOK
@@ -167,6 +187,16 @@ func (o *Orchestrator) AttachLoop(app string, slo SLO) (*mapek.Loop, error) {
 			k.Put("boosted/"+app, 1.0)
 			return []mapek.Action{{Kind: "boost", Target: app}}
 		}
+		// Replan hysteresis: one reallocation per cooldown window. A
+		// flapping link keeps violating, but the debounce turns the storm
+		// into a single replan until the window expires.
+		now := o.M.C.Engine.Now()
+		if cd := o.ReplanCooldown; cd > 0 {
+			if last := k.GetFloat("lastReplanAt/"+app, -1); last >= 0 && now-sim.Time(last) < cd {
+				return nil
+			}
+		}
+		k.Put("lastReplanAt/"+app, float64(now))
 		return []mapek.Action{{Kind: "replan", Target: app}}
 	}
 	executor := func(a mapek.Action) error {

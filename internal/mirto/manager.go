@@ -352,6 +352,16 @@ func (m *Manager) Plan(st *tosca.ServiceTemplate) (*Plan, error) {
 		gops := nt.PropFloat("gops", 1)
 		bi, bestScore := m.pickBest(offers, st, nodeName, gops, placedAt)
 		best := offers[bi]
+		// Degraded-mode invariant: no placement — initial or replan under
+		// failures — may relax the template's security level. The index
+		// already buckets by level, so a violating winner is a bug, not a
+		// fallback to accept.
+		if secLevel != "" {
+			if d := m.C.Devices[best.Device]; d != nil && !d.SupportsSecurity(secLevel) {
+				return nil, fmt.Errorf("mirto: placement of %q on %s would relax security level %q",
+					nodeName, best.Device, secLevel)
+			}
+		}
 		plan.Score += bestScore
 		placedAt[nodeName] = best.Device
 		r := reserved[best.Device]

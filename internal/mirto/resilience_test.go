@@ -1,0 +1,259 @@
+package mirto
+
+import (
+	"strings"
+	"testing"
+
+	"myrtus/internal/cluster"
+	"myrtus/internal/sim"
+)
+
+func TestFailureDetectorSuspectsAndRecovers(t *testing.T) {
+	c := testContinuum(t)
+	fd := NewFailureDetector(c, 2)
+
+	// A device that silently stops heartbeating (no FailDevice call).
+	c.Devices["edge-mc-0"].Fail()
+
+	if sus, _ := fd.Tick(); len(sus) != 0 {
+		t.Fatalf("suspected after 1 miss (K=2): %v", sus)
+	}
+	if n, _ := c.Edge.Node("edge-mc-0"); !n.Ready {
+		t.Fatal("node marked unready before K misses")
+	}
+	sus, _ := fd.Tick()
+	if len(sus) != 1 || sus[0] != "edge-mc-0" {
+		t.Fatalf("suspected after K misses = %v", sus)
+	}
+	if n, _ := c.Edge.Node("edge-mc-0"); n.Ready {
+		t.Fatal("suspected node still ready")
+	}
+	fd.Tick()
+	fd.Tick() // 2K misses: confirmed
+	if s, conf, r := fd.Stats(); s != 1 || conf != 1 || r != 0 {
+		t.Fatalf("stats after confirmation = %d/%d/%d", s, conf, r)
+	}
+	if got := fd.Suspects(); len(got) != 1 || got[0] != "edge-mc-0" {
+		t.Fatalf("suspects = %v", got)
+	}
+
+	// The device heartbeats again: cleared and node restored.
+	c.Devices["edge-mc-0"].Repair(c.Engine.Now())
+	_, rec := fd.Tick()
+	if len(rec) != 1 || rec[0] != "edge-mc-0" {
+		t.Fatalf("recovered = %v", rec)
+	}
+	if n, _ := c.Edge.Node("edge-mc-0"); !n.Ready {
+		t.Fatal("recovered node not restored")
+	}
+	if s, conf, r := fd.Stats(); s != 1 || conf != 1 || r != 1 {
+		t.Fatalf("final stats = %d/%d/%d", s, conf, r)
+	}
+	if len(fd.Suspects()) != 0 {
+		t.Fatalf("suspects not cleared: %v", fd.Suspects())
+	}
+}
+
+func TestRepairDeviceRoundTrip(t *testing.T) {
+	// fail → repair → Replan: the app serves again and the repaired
+	// device returns to the candidate index with its watermark restored.
+	c := testContinuum(t)
+	o := NewOrchestrator(NewManager(c, LatencyGoal()))
+	plan, err := o.Deploy(parseApp(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := o.R.ServeRequest("mobility", 1); err != nil {
+		t.Fatalf("baseline request: %v", err)
+	}
+
+	cam, _ := plan.Assignment("camera")
+	if err := c.FailDevice(cam.Device); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := o.R.ServeRequest("mobility", 1); err == nil {
+		t.Fatal("request served through a failed device")
+	}
+	if err := o.replan("mobility"); err != nil {
+		t.Fatalf("replan around failure: %v", err)
+	}
+	np, _ := o.PlanFor("mobility")
+	ncam, _ := np.Assignment("camera")
+	if ncam.Device == cam.Device {
+		t.Fatal("replan kept the failed device")
+	}
+	if _, _, err := o.R.ServeRequest("mobility", 1); err != nil {
+		t.Fatalf("post-replan request: %v", err)
+	}
+
+	if err := c.RepairDevice(cam.Device); err != nil {
+		t.Fatal(err)
+	}
+	// The repaired device must be offered again, free of any stale
+	// allocation (its pods were evicted by the failure).
+	ag := o.M.Edge
+	offers := ag.Offers(cluster.Resources{CPU: 0.5, MemMB: 64}, "", "")
+	found := false
+	for _, of := range offers {
+		if of.Device == cam.Device {
+			found = true
+			spec := c.Devices[cam.Device].Spec()
+			if of.FreeCPU != float64(spec.Cores) {
+				t.Fatalf("repaired device free CPU = %v, want %v", of.FreeCPU, spec.Cores)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("repaired device %s missing from offers", cam.Device)
+	}
+	ag.idx.mu.RLock()
+	e := ag.idx.entries[cam.Device]
+	maxCPU := ag.idx.maxFreeCPU
+	ag.idx.mu.RUnlock()
+	if e == nil || !e.ready {
+		t.Fatalf("index entry for %s not ready after repair: %+v", cam.Device, e)
+	}
+	if maxCPU < e.free.CPU {
+		t.Fatalf("watermark %v below repaired free CPU %v", maxCPU, e.free.CPU)
+	}
+	// And a final replan is free to use it again.
+	if err := o.replan("mobility"); err != nil {
+		t.Fatalf("replan after repair: %v", err)
+	}
+	if _, _, err := o.R.ServeRequest("mobility", 1); err != nil {
+		t.Fatalf("request after repair replan: %v", err)
+	}
+}
+
+func TestSubmitWithRetryRecoversAcrossRepair(t *testing.T) {
+	c := testContinuum(t)
+	o := NewOrchestrator(NewManager(c, LatencyGoal()))
+	plan, err := o.Deploy(parseApp(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cam, _ := plan.Assignment("camera")
+	if err := c.FailDevice(cam.Device); err != nil {
+		t.Fatal(err)
+	}
+	// Repair lands mid-retry: the first attempts fail, a later one
+	// succeeds, and the request counts as recovered rather than lost.
+	c.Engine.After(200*sim.Millisecond, func() {
+		c.RepairDevice(cam.Device) //nolint:errcheck
+	})
+	var gotAttempts int
+	var gotErr error
+	fails := 0
+	err = o.R.SubmitWithRetry("mobility", "", 1, RetryPolicy{
+		Attempts: 6, Base: 50 * sim.Millisecond,
+		OnAttemptFail: func(int, error) { fails++ },
+	}, func(_ sim.Time, _ float64, attempts int, err error) {
+		gotAttempts, gotErr = attempts, err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Engine.Run()
+	if gotErr != nil {
+		t.Fatalf("request lost: %v (attempts=%d)", gotErr, gotAttempts)
+	}
+	if gotAttempts < 2 || fails != gotAttempts-1 {
+		t.Fatalf("attempts=%d fails=%d, expected retries before recovery", gotAttempts, fails)
+	}
+	reg, _ := o.R.Metrics("mobility")
+	if s, ok := reg.Find("requests_recovered"); !ok || s.Value != 1 {
+		t.Fatalf("requests_recovered = %+v %v", s, ok)
+	}
+	if s, ok := reg.Find("requests_lost"); ok && s.Value != 0 {
+		t.Fatalf("requests_lost = %v", s.Value)
+	}
+	if s, ok := reg.Find("serve_retries"); !ok || s.Value < 1 {
+		t.Fatalf("serve_retries = %+v %v", s, ok)
+	}
+
+	// Exhausting attempts against a permanent failure is a loss.
+	if err := c.FailDevice(cam.Device); err != nil {
+		t.Fatal(err)
+	}
+	// Fail every other edge device too so no replan could even help.
+	var lostErr error
+	lost := false
+	err = o.R.SubmitWithRetry("mobility", "", 1, RetryPolicy{Attempts: 2, Base: 10 * sim.Millisecond},
+		func(_ sim.Time, _ float64, _ int, err error) { lost, lostErr = true, err })
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Engine.Run()
+	if !lost || lostErr == nil {
+		t.Fatal("permanent failure not reported")
+	}
+	if s, _ := reg.Find("requests_lost"); s.Value != 1 {
+		t.Fatalf("requests_lost = %v, want 1", s.Value)
+	}
+}
+
+func TestReplanDebounce(t *testing.T) {
+	c := testContinuum(t)
+	o := NewOrchestrator(NewManager(c, EnergyGoal()))
+	if _, err := o.Deploy(parseApp(t)); err != nil {
+		t.Fatal(err)
+	}
+	loop, err := o.AttachLoop("mobility", SLO{P95LatencyMs: 0.001}) // impossible target
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := o.R.ServeRequest("mobility", 4); err != nil {
+		t.Fatal(err)
+	}
+	// Escalation: boost first, then one replan.
+	if rec := loop.Iterate(); len(rec.Actions) != 1 || rec.Actions[0].Kind != "boost" {
+		t.Fatalf("first pass = %+v", rec.Actions)
+	}
+	if rec := loop.Iterate(); len(rec.Actions) != 1 || rec.Actions[0].Kind != "replan" {
+		t.Fatalf("second pass = %+v", rec.Actions)
+	}
+	// The violation persists, but further replans are debounced until the
+	// cooldown expires — a flapping signal yields one replan, not a storm.
+	for i := 0; i < 5; i++ {
+		if rec := loop.Iterate(); len(rec.Actions) != 0 {
+			t.Fatalf("pass %d inside cooldown acted: %+v", i, rec.Actions)
+		}
+	}
+	c.Engine.RunFor(o.ReplanCooldown + sim.Millisecond)
+	if rec := loop.Iterate(); len(rec.Actions) != 1 || rec.Actions[0].Kind != "replan" {
+		t.Fatalf("post-cooldown pass = %+v", rec.Actions)
+	}
+}
+
+func TestDegradedPlanNeverRelaxesSecurity(t *testing.T) {
+	// With every medium-capable device down, replanning the detector
+	// (security level medium) must fail outright — never fall back to a
+	// low-security device.
+	c := testContinuum(t)
+	o := NewOrchestrator(NewManager(c, LatencyGoal()))
+	plan, err := o.Deploy(parseApp(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range c.DeviceNames() {
+		if c.Devices[name].SupportsSecurity("medium") {
+			if err := c.FailDevice(name); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	err = o.replan("mobility")
+	if err == nil {
+		np, _ := o.PlanFor("mobility")
+		det, _ := np.Assignment("detector")
+		t.Fatalf("replan placed detector on %s with every medium device down", det.Device)
+	}
+	if !strings.Contains(err.Error(), "detector") {
+		t.Fatalf("unexpected replan error: %v", err)
+	}
+	// The failed replan must leave the previous plan intact.
+	np, ok := o.PlanFor("mobility")
+	if !ok || len(np.Assignments) != len(plan.Assignments) {
+		t.Fatalf("plan lost after failed replan: %+v", np)
+	}
+}

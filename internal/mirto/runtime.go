@@ -23,25 +23,36 @@ type Runtime struct {
 	devices map[string]*device.Device
 	tracer  *trace.Tracer
 
+	// retryRNG jitters serve-path retry backoffs; its stream is forked
+	// from the engine seed so retries stay deterministic without
+	// perturbing any other consumer's draws.
+	retryRNG *sim.RNG
+
 	mu      sync.Mutex
 	plans   map[string]*Plan
 	metrics map[string]*telemetry.Registry
 
 	ok     map[string]*telemetry.Counter
 	failed map[string]*telemetry.Counter
+	// recent holds each app's sliding window of successful request
+	// latencies; the MAPE-K monitor prefers its p95 over the cumulative
+	// histogram so violations subside once their cause heals.
+	recent map[string]*telemetry.Window
 }
 
 // NewRuntime builds a runtime over the manager's continuum.
 func NewRuntime(m *Manager) *Runtime {
 	return &Runtime{
-		engine:  m.C.Engine,
-		fabric:  m.C.Fabric,
-		devices: m.C.Devices,
-		tracer:  m.C.Tracer,
-		plans:   map[string]*Plan{},
-		metrics: map[string]*telemetry.Registry{},
-		ok:      map[string]*telemetry.Counter{},
-		failed:  map[string]*telemetry.Counter{},
+		engine:   m.C.Engine,
+		fabric:   m.C.Fabric,
+		devices:  m.C.Devices,
+		tracer:   m.C.Tracer,
+		retryRNG: m.C.Engine.RNG().Fork("mirto/serve-retry"),
+		plans:    map[string]*Plan{},
+		metrics:  map[string]*telemetry.Registry{},
+		ok:       map[string]*telemetry.Counter{},
+		failed:   map[string]*telemetry.Counter{},
+		recent:   map[string]*telemetry.Window{},
 	}
 }
 
@@ -55,6 +66,7 @@ func (r *Runtime) Register(plan *Plan) {
 		r.metrics[plan.App] = reg
 		r.ok[plan.App] = reg.Counter(telemetry.Application, "requests_ok")
 		r.failed[plan.App] = reg.Counter(telemetry.Application, "requests_failed")
+		r.recent[plan.App] = telemetry.NewWindow(128)
 	}
 }
 
@@ -111,6 +123,7 @@ func (r *Runtime) SubmitFrom(app, ingress string, items int64, done func(lat sim
 	plan := r.plans[app]
 	reg := r.metrics[app]
 	okC, failC := r.ok[app], r.failed[app]
+	recentW := r.recent[app]
 	r.mu.Unlock()
 	if plan == nil {
 		return errNoPlan
@@ -219,6 +232,7 @@ func (r *Runtime) SubmitFrom(app, ingress string, items int64, done func(lat sim
 					finished = true
 					lat := finishAll - start
 					latHist.Observe(lat.Seconds() * 1e3)
+					recentW.Push(int64(finishAll), lat.Seconds()*1e3)
 					energyC.Add(totalEnergy)
 					okC.Inc()
 					root.SetAttr("latency", lat.String())
@@ -307,6 +321,95 @@ func (r *Runtime) SubmitFrom(app, ingress string, items int64, done func(lat sim
 	return nil
 }
 
+// RetryPolicy shapes the serve path's self-healing retries.
+type RetryPolicy struct {
+	// Attempts is the total number of tries (minimum 1).
+	Attempts int
+	// Base is the first retry's backoff; successive retries double it.
+	Base sim.Time
+	// Max caps the backoff (0 = 32×Base). Deterministic jitter of up to
+	// +50% is added on top of the capped value.
+	Max sim.Time
+	// OnAttemptFail, if set, observes each failed attempt at its virtual
+	// failure time — chaos harnesses use it to stamp incident starts.
+	OnAttemptFail func(attempt int, err error)
+}
+
+// SubmitWithRetry is SubmitFrom with exponential-backoff retries: a
+// failed request (crashed device, lost transfer) is resubmitted after a
+// deterministic jittered backoff, riding out the window between a fault
+// and the MAPE-K loop's reallocation. done fires exactly once with the
+// final outcome and the number of attempts spent; a request that
+// succeeds on attempt > 1 counts as recovered, one that exhausts all
+// attempts as lost.
+func (r *Runtime) SubmitWithRetry(app, ingress string, items int64, pol RetryPolicy, done func(lat sim.Time, energy float64, attempts int, err error)) error {
+	if pol.Attempts < 1 {
+		pol.Attempts = 1
+	}
+	if pol.Base <= 0 {
+		pol.Base = 100 * sim.Millisecond
+	}
+	max := pol.Max
+	if max <= 0 {
+		max = 32 * pol.Base
+	}
+	r.mu.Lock()
+	reg := r.metrics[app]
+	r.mu.Unlock()
+	if reg == nil {
+		return errNoPlan
+	}
+	recoveredC := reg.Counter(telemetry.Application, "requests_recovered")
+	lostC := reg.Counter(telemetry.Application, "requests_lost")
+	retriesC := reg.Counter(telemetry.Application, "serve_retries")
+
+	attempt := 0
+	var try func() error
+	try = func() error {
+		attempt++
+		a := attempt
+		return r.SubmitFrom(app, ingress, items, func(lat sim.Time, energy float64, err error) {
+			if err == nil {
+				if a > 1 {
+					recoveredC.Inc()
+				}
+				if done != nil {
+					done(lat, energy, a, nil)
+				}
+				return
+			}
+			if pol.OnAttemptFail != nil {
+				pol.OnAttemptFail(a, err)
+			}
+			if a >= pol.Attempts {
+				lostC.Inc()
+				if done != nil {
+					done(0, 0, a, err)
+				}
+				return
+			}
+			retriesC.Inc()
+			shift := a - 1
+			if shift > 6 {
+				shift = 6
+			}
+			backoff := pol.Base << shift
+			if backoff > max {
+				backoff = max
+			}
+			backoff += sim.Time(r.retryRNG.Float64() * float64(backoff) / 2)
+			r.engine.After(backoff, func() {
+				if err := try(); err != nil && done != nil {
+					// The app vanished mid-retry (undeployed): final loss.
+					lostC.Inc()
+					done(0, 0, attempt, err)
+				}
+			})
+		})
+	}
+	return try()
+}
+
 // ServeRequestFrom is the synchronous form of SubmitFrom.
 func (r *Runtime) ServeRequestFrom(app, ingress string, items int64) (sim.Time, float64, error) {
 	var lat sim.Time
@@ -349,10 +452,15 @@ func (r *Runtime) ServeRequest(app string, items int64) (sim.Time, float64, erro
 
 // KPIs summarizes an app's recent performance.
 type KPIs struct {
-	App          string
-	Requests     int64
-	Failed       int64
-	LatencyMs    telemetry.Snapshot
+	App       string
+	Requests  int64
+	Failed    int64
+	LatencyMs telemetry.Snapshot
+	// RecentP95Ms is the p95 over the sliding window of the latest
+	// successful requests (0 until the first success). Unlike the
+	// cumulative LatencyMs histogram it forgets a healed incident, so
+	// SLO checks against it stop firing once the cause is gone.
+	RecentP95Ms  float64
 	EnergyJoules float64
 }
 
@@ -362,7 +470,24 @@ func (r *Runtime) KPIs(app string) (KPIs, bool) {
 	if !ok {
 		return KPIs{}, false
 	}
+	r.mu.Lock()
+	recentW := r.recent[app]
+	r.mu.Unlock()
 	k := KPIs{App: app}
+	if recentW != nil {
+		if pts := recentW.Points(); len(pts) > 0 {
+			vals := make([]float64, len(pts))
+			for i, p := range pts {
+				vals[i] = p.Value
+			}
+			sort.Float64s(vals)
+			idx := int(0.95 * float64(len(vals)))
+			if idx >= len(vals) {
+				idx = len(vals) - 1
+			}
+			k.RecentP95Ms = vals[idx]
+		}
+	}
 	if s, ok := reg.Find("latency_ms"); ok {
 		k.LatencyMs = s.Hist
 	}

@@ -17,9 +17,17 @@ type Fabric struct {
 	topo   *Topology
 	tracer *trace.Tracer
 
+	// retryBase is the first retransmit's backoff; successive retries of
+	// one transfer double it (capped at 64×), each stretched by up to
+	// +50% jitter from rng — a stream forked off the topology seed so
+	// backoff draws never perturb the loss-draw sequence.
+	retryBase sim.Time
+	rng       *sim.RNG
+
 	delivered int64
 	lost      int64
 	retries   int64
+	backoff   sim.Time
 	latency   latencyAgg
 }
 
@@ -39,7 +47,32 @@ func (a *latencyAgg) add(d sim.Time) {
 
 // NewFabric binds a topology to an engine.
 func NewFabric(engine *sim.Engine, topo *Topology) *Fabric {
-	return &Fabric{engine: engine, topo: topo}
+	return &Fabric{
+		engine:    engine,
+		topo:      topo,
+		retryBase: sim.Millisecond,
+		rng:       topo.rng.Fork("fabric-retry"),
+	}
+}
+
+// SetRetryBackoff tunes the base retransmit backoff. Zero restores the
+// legacy immediate-retry behaviour (retransmits consume no virtual time
+// beyond the link traversal itself).
+func (f *Fabric) SetRetryBackoff(base sim.Time) { f.retryBase = base }
+
+// backoffDelay is the attempt'th retransmit's deterministic exponential
+// backoff with seeded jitter; attempt counts retransmits already spent
+// on the transfer.
+func (f *Fabric) backoffDelay(attempt int) sim.Time {
+	if f.retryBase <= 0 {
+		return 0
+	}
+	shift := attempt
+	if shift > 6 {
+		shift = 6
+	}
+	d := f.retryBase << shift
+	return d + sim.Time(f.rng.Float64()*float64(d)/2)
 }
 
 // Engine returns the underlying simulation engine.
@@ -81,12 +114,14 @@ func (f *Fabric) Send(src, dst string, size int64, opts Options, done func(err e
 		return nil
 	}
 	start := f.engine.Now()
-	f.hop(path, 0, size, opts, start, done)
+	f.hop(path, 0, size, opts, start, 0, done)
 	return nil
 }
 
 // hop simulates traversal of path[idx] → path[idx+1], then recurses.
-func (f *Fabric) hop(path []string, idx int, size int64, opts Options, start sim.Time, done func(error)) {
+// attempt counts retransmits already spent on this transfer and drives
+// the retry backoff.
+func (f *Fabric) hop(path []string, idx int, size int64, opts Options, start sim.Time, attempt int, done func(error)) {
 	if idx == len(path)-1 {
 		f.delivered++
 		f.latency.add(f.engine.Now() - start)
@@ -127,13 +162,23 @@ func (f *Fabric) hop(path []string, idx int, size int64, opts Options, start sim
 				f.retries++
 				o := opts
 				o.Retries--
-				f.hop(path, idx, size, o, start, done)
+				// Retransmits back off on the sim clock instead of
+				// re-traversing the lossy link instantly.
+				delay := f.backoffDelay(attempt)
+				f.backoff += delay
+				if delay == 0 {
+					f.hop(path, idx, size, o, start, attempt+1, done)
+					return
+				}
+				f.engine.After(delay, func() {
+					f.hop(path, idx, size, o, start, attempt+1, done)
+				})
 				return
 			}
 			f.fail(done, fmt.Errorf("network: packet lost on %s->%s", from, to))
 			return
 		}
-		f.hop(path, idx+1, size, opts, start, done)
+		f.hop(path, idx+1, size, opts, start, attempt, done)
 	})
 }
 
@@ -150,13 +195,14 @@ type FabricStats struct {
 	Delivered   int64
 	Lost        int64
 	Retries     int64
+	BackoffTime sim.Time // virtual time spent waiting out retransmit backoffs
 	MeanLatency sim.Time
 	MaxLatency  sim.Time
 }
 
 // Stats returns cumulative transfer statistics.
 func (f *Fabric) Stats() FabricStats {
-	s := FabricStats{Delivered: f.delivered, Lost: f.lost, Retries: f.retries, MaxLatency: f.latency.max}
+	s := FabricStats{Delivered: f.delivered, Lost: f.lost, Retries: f.retries, BackoffTime: f.backoff, MaxLatency: f.latency.max}
 	if f.latency.n > 0 {
 		s.MeanLatency = f.latency.sum / sim.Time(f.latency.n)
 	}

@@ -524,3 +524,56 @@ func TestPublishCtxRecordsBrokerSpan(t *testing.T) {
 		t.Fatalf("span duration %v too short for full fan-out", pub.Duration())
 	}
 }
+
+func TestFabricRetryBackoff(t *testing.T) {
+	// Retransmits must consume virtual time: a lossy transfer with
+	// retries arrives strictly later than the loss-free serialization
+	// plus propagation, and BackoffTime accounts for the waiting.
+	run := func(seed uint64) (sim.Time, FabricStats) {
+		eng := sim.NewEngine(seed)
+		topo := NewTopology(seed)
+		topo.AddLink("a", "b", sim.Millisecond, 1e9, 0.5) //nolint:errcheck
+		f := NewFabric(eng, topo)
+		var last sim.Time
+		for i := 0; i < 200; i++ {
+			f.Send("a", "b", 100, Options{Retries: 5}, func(err error) { //nolint:errcheck
+				if err == nil {
+					last = eng.Now()
+				}
+			})
+		}
+		eng.Run()
+		return last, f.Stats()
+	}
+	last, st := run(7)
+	if st.Retries == 0 || st.BackoffTime == 0 {
+		t.Fatalf("no backoff accounted: %+v", st)
+	}
+	// Every retransmit waited at least the 1ms base.
+	if st.BackoffTime < sim.Time(st.Retries)*sim.Millisecond {
+		t.Fatalf("BackoffTime %v below %d retries × base", st.BackoffTime, st.Retries)
+	}
+	if last <= sim.Millisecond {
+		t.Fatalf("lossy deliveries finished at %v, before any backoff could elapse", last)
+	}
+
+	// Same seed → byte-identical timing and stats.
+	last2, st2 := run(7)
+	if last != last2 || st != st2 {
+		t.Fatalf("retry backoff not deterministic: %v/%+v vs %v/%+v", last, st, last2, st2)
+	}
+
+	// Zero base restores the legacy immediate-retry behaviour.
+	eng := sim.NewEngine(7)
+	topo := NewTopology(7)
+	topo.AddLink("a", "b", sim.Millisecond, 1e9, 0.5) //nolint:errcheck
+	f := NewFabric(eng, topo)
+	f.SetRetryBackoff(0)
+	for i := 0; i < 50; i++ {
+		f.Send("a", "b", 100, Options{Retries: 5}, nil) //nolint:errcheck
+	}
+	eng.Run()
+	if got := f.Stats(); got.BackoffTime != 0 {
+		t.Fatalf("zero base still accrued backoff: %+v", got)
+	}
+}

@@ -50,6 +50,62 @@ func TestRouteTableEpochInvalidation(t *testing.T) {
 	}
 }
 
+func TestRouteTableInvalidatesOnQualityChange(t *testing.T) {
+	// Degrading an existing link (no add/remove) must invalidate cached
+	// routes: traffic shifts to a parallel path the moment the quality
+	// changes, and shifts back on restore.
+	topo := star(t)
+	if err := topo.AddDuplex("edge-0", "fmdc", 10*sim.Millisecond, 10e6, 0); err != nil {
+		t.Fatal(err)
+	}
+	path, lat, err := topo.Route("edge-0", "cloud")
+	if err != nil || path[1] != "gateway" || lat != 27*sim.Millisecond {
+		t.Fatalf("initial route = %v (%v, %v), want via gateway at 27ms", path, lat, err)
+	}
+
+	e0 := topo.Epoch()
+	if err := topo.SetLinkQuality("gateway", "fmdc", 50*sim.Millisecond, 100e6, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	if topo.Epoch() == e0 {
+		t.Fatal("SetLinkQuality must bump the epoch")
+	}
+	path, lat, err = topo.Route("edge-0", "cloud")
+	if err != nil || path[1] != "fmdc" || lat != 30*sim.Millisecond {
+		t.Fatalf("degraded route = %v (%v, %v), want via fmdc at 30ms", path, lat, err)
+	}
+	if l, ok := topo.Link("gateway", "fmdc"); !ok || l.LossP != 0.2 || l.Latency != 50*sim.Millisecond {
+		t.Fatalf("link params not applied: %+v %v", l, ok)
+	}
+
+	// Restoring the original quality restores the original route.
+	if err := topo.SetLinkQuality("gateway", "fmdc", 5*sim.Millisecond, 100e6, 0); err != nil {
+		t.Fatal(err)
+	}
+	path, lat, err = topo.Route("edge-0", "cloud")
+	if err != nil || path[1] != "gateway" || lat != 27*sim.Millisecond {
+		t.Fatalf("restored route = %v (%v, %v), want via gateway at 27ms", path, lat, err)
+	}
+}
+
+func TestSetLinkQualityValidation(t *testing.T) {
+	topo := star(t)
+	e0 := topo.Epoch()
+	for name, err := range map[string]error{
+		"self-link":    topo.SetLinkQuality("gateway", "gateway", sim.Millisecond, 1e6, 0),
+		"bandwidth":    topo.SetLinkQuality("gateway", "fmdc", sim.Millisecond, 0, 0),
+		"loss":         topo.SetLinkQuality("gateway", "fmdc", sim.Millisecond, 1e6, 1.0),
+		"missing link": topo.SetLinkQuality("gateway", "ghost", sim.Millisecond, 1e6, 0),
+	} {
+		if err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+	if topo.Epoch() != e0 {
+		t.Fatal("rejected edits must not bump the epoch")
+	}
+}
+
 func TestRouteTableFirstHopPaths(t *testing.T) {
 	// Route must reconstruct full multi-hop paths from the first-hop
 	// matrix, for every pair.

@@ -154,6 +154,57 @@ func (t *Topology) RemoveLink(from, to string) {
 	}
 }
 
+// SetLinkQuality rewrites the latency, bandwidth, and loss of an
+// existing link (degradation injection / repair). Validation mirrors
+// AddLink; the epoch bump invalidates cached routes so the next routing
+// read sees the new weights.
+func (t *Topology) SetLinkQuality(from, to string, latency sim.Time, bandwidth, lossP float64) error {
+	if from == to {
+		return fmt.Errorf("network: self-link on %q", from)
+	}
+	if bandwidth <= 0 {
+		return fmt.Errorf("network: non-positive bandwidth on %s->%s", from, to)
+	}
+	if lossP < 0 || lossP >= 1 {
+		return fmt.Errorf("network: loss probability %v out of [0,1)", lossP)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	l, ok := t.links[from][to]
+	if !ok {
+		return fmt.Errorf("network: no link %s->%s", from, to)
+	}
+	l.Latency, l.Bandwidth, l.LossP = latency, bandwidth, lossP
+	t.epoch.Add(1)
+	return nil
+}
+
+// AdjacentLinks returns parameter copies of every link touching node in
+// either direction, sorted by (From, To) — the set a partition event
+// must cut and a heal event later restore.
+func (t *Topology) AdjacentLinks(node string) []Link {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Link
+	for _, m := range t.links {
+		for _, l := range m {
+			if l.From == node || l.To == node {
+				out = append(out, Link{
+					From: l.From, To: l.To,
+					Latency: l.Latency, Bandwidth: l.Bandwidth, LossP: l.LossP,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
 // Link returns the link from→to.
 func (t *Topology) Link(from, to string) (*Link, bool) {
 	t.mu.Lock()

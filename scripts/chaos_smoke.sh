@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# chaos_smoke.sh — CI gate for the chaos engine: run every bundled
+# scenario twice with the same seed under the race detector, require
+# the self-healing availability bar (the binary exits non-zero below
+# 99%), and diff the two reports byte-for-byte to catch any
+# nondeterminism regression.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEED="${CHAOS_SEED:-7}"
+BIN="$(mktemp -d)/continuum-sim"
+trap 'rm -rf "$(dirname "$BIN")"' EXIT
+
+go build -race -o "$BIN" ./cmd/continuum-sim
+
+for sc in $("$BIN" chaos -list); do
+  echo "== chaos $sc -seed $SEED =="
+  "$BIN" chaos "$sc" -seed "$SEED" | tee "$BIN.$sc.1"
+  "$BIN" chaos "$sc" -seed "$SEED" > "$BIN.$sc.2"
+  if ! diff -u "$BIN.$sc.1" "$BIN.$sc.2"; then
+    echo "chaos: $sc is nondeterministic for seed $SEED" >&2
+    exit 1
+  fi
+  echo "determinism: ok"
+done
