@@ -8,12 +8,16 @@
 //	continuum-sim [-seed N] [-requests N] [-goal latency|energy|balanced]
 //	              [-fail device] [-serve addr]
 //	continuum-sim chaos <scenario> [-seed N] [-mapek=false] [-list]
+//	continuum-sim overload [-seed N] [-admission=false] [-duration S]
 //
 // With -serve, the MIRTO agent REST API is exposed on addr (tokens:
 // admin-token / viewer-token) instead of running the batch scenario.
 // The chaos subcommand runs a bundled fault-injection scenario against
 // the self-healing stack and prints its resilience report; with -mapek
 // (the default) it exits non-zero if availability drops below 99%.
+// The overload subcommand sweeps offered load from 0.5x to 4x measured
+// capacity and prints the goodput-vs-load curve; with -admission (the
+// default) it exits non-zero if 4x goodput retention falls below 90%.
 package main
 
 import (
@@ -27,6 +31,7 @@ import (
 	"myrtus"
 	"myrtus/internal/chaos"
 	"myrtus/internal/mirto"
+	"myrtus/internal/overload"
 	"myrtus/internal/sim"
 	"myrtus/internal/trace"
 )
@@ -101,9 +106,42 @@ func chaosMain(argv []string) {
 	}
 }
 
+func overloadMain(argv []string) {
+	fs := flag.NewFlagSet("overload", flag.ExitOnError)
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	admission := fs.Bool("admission", true, "enable the protection stack (false = unprotected control run)")
+	duration := fs.Float64("duration", 10, "virtual seconds per sweep point")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: continuum-sim overload [-seed N] [-admission=false] [-duration S]\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(argv) //nolint:errcheck // ExitOnError
+	rep, err := overload.Run(overload.Config{
+		Seed:      *seed,
+		Admission: *admission,
+		Duration:  sim.Time(*duration * float64(sim.Second)),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep.Render())
+	if *admission {
+		last := rep.Points[len(rep.Points)-1]
+		if peak := rep.PeakGoodput(); peak > 0 && last.GoodputRPS/peak < 0.9 {
+			fmt.Fprintf(os.Stderr, "overload: %.1fx goodput retention %.1f%% below the 90%% bar\n",
+				last.Multiplier, 100*last.GoodputRPS/peak)
+			os.Exit(1)
+		}
+	}
+}
+
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "chaos" {
 		chaosMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "overload" {
+		overloadMain(os.Args[2:])
 		return
 	}
 	seed := flag.Uint64("seed", 1, "simulation seed")

@@ -40,6 +40,11 @@ type Report struct {
 	// MAPE-K loop activity (zero in the control run).
 	LoopIterations, Replans, Boosts, ExecErrors int
 
+	// Circuit-breaker activity (zero in the control run, which carries no
+	// breaker set): transitions to open and requests fast-failed while
+	// open or probing.
+	BreakerOpens, BreakerFastFails int64
+
 	Fabric network.FabricStats
 
 	// EventsApplied counts executed fault events; EventErrors records
@@ -124,8 +129,10 @@ func (r *Report) Render() string {
 		r.Suspected, r.Confirmed, r.DetectorRecovered)
 	fmt.Fprintf(&b, "  loop:      iterations=%d replans=%d boosts=%d exec_errors=%d\n",
 		r.LoopIterations, r.Replans, r.Boosts, r.ExecErrors)
-	fmt.Fprintf(&b, "  fabric:    delivered=%d lost=%d retries=%d backoff=%s\n",
-		r.Fabric.Delivered, r.Fabric.Lost, r.Fabric.Retries, dur(r.Fabric.BackoffTime))
+	fmt.Fprintf(&b, "  breakers:  opens=%d fast_fails=%d\n",
+		r.BreakerOpens, r.BreakerFastFails)
+	fmt.Fprintf(&b, "  fabric:    delivered=%d lost=%d retries=%d queue_drops=%d backoff=%s\n",
+		r.Fabric.Delivered, r.Fabric.Lost, r.Fabric.Retries, r.Fabric.QueueDrops, dur(r.Fabric.BackoffTime))
 	fmt.Fprintf(&b, "  faults:    applied=%d errors=%d\n", r.EventsApplied, len(r.EventErrors))
 	for _, e := range r.EventErrors {
 		fmt.Fprintf(&b, "    ! %s\n", e)

@@ -24,6 +24,13 @@ type Config struct {
 	// (default 2); TickEvery is the sensing cadence (default 250ms).
 	DetectK   int
 	TickEvery sim.Time
+	// BrokerQueueLimit bounds every link's queue delay — the cap on the
+	// pub/sub broker's effective queue depth under a burst. Transfers
+	// past the bound are dropped and counted in FabricStats.QueueDrops.
+	// The bound rides with the protection stack (MAPEK runs); the control
+	// arm keeps the legacy unbounded fabric it is the baseline for
+	// (default 250ms; negative disables the bound).
+	BrokerQueueLimit sim.Time
 	// Infra overrides the continuum sizing (nil = DefaultOptions with
 	// the run seed).
 	Infra *continuum.Options
@@ -59,6 +66,9 @@ func Run(sc Scenario, cfg Config) (*Report, error) {
 	if cfg.TickEvery <= 0 {
 		cfg.TickEvery = 250 * sim.Millisecond
 	}
+	if cfg.BrokerQueueLimit == 0 {
+		cfg.BrokerQueueLimit = 250 * sim.Millisecond
+	}
 	opts := continuum.DefaultOptions()
 	if cfg.Infra != nil {
 		opts = *cfg.Infra
@@ -68,6 +78,12 @@ func Run(sc Scenario, cfg Config) (*Report, error) {
 	c, err := continuum.Build(opts)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.MAPEK && cfg.BrokerQueueLimit > 0 {
+		// Bounded link queues: a broker burst sheds its excess instead of
+		// stalling every transfer behind it. Protection-stack behavior, so
+		// the unprotected control arm keeps unbounded queuing.
+		c.Fabric.SetMaxQueueDelay(cfg.BrokerQueueLimit)
 	}
 	m := mirto.NewManager(c, mirto.LatencyGoal())
 	o := mirto.NewOrchestrator(m)
@@ -80,12 +96,21 @@ func Run(sc Scenario, cfg Config) (*Report, error) {
 		return nil, err
 	}
 	var loop *mapek.Loop
+	var breakers *mirto.BreakerSet
 	if cfg.MAPEK {
 		if loop, err = o.AttachLoop(plan.App, sc.SLO); err != nil {
 			return nil, err
 		}
+		// Circuit breakers ride with the self-healing stack: the serve
+		// path fast-fails suspect devices and links, and the failure
+		// detector trips/resets device breakers at suspicion/recovery.
+		breakers = mirto.NewBreakerSet(c.Engine, mirto.BreakerConfig{})
+		o.R.SetBreakers(breakers)
 	}
 	fd := mirto.NewFailureDetector(c, cfg.DetectK)
+	if breakers != nil {
+		fd.SetBreakers(breakers)
+	}
 
 	r := &runner{
 		c: c, o: o, app: plan.App,
@@ -197,6 +222,9 @@ func Run(sc Scenario, cfg Config) (*Report, error) {
 			}
 			rep.ExecErrors += len(rec.ExecErrors)
 		}
+	}
+	if breakers != nil {
+		rep.BreakerOpens, rep.BreakerFastFails = breakers.Stats()
 	}
 	rep.Fabric = c.Fabric.Stats()
 

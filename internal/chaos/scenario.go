@@ -164,7 +164,7 @@ func EdgeFlap(seed uint64) Scenario {
 		Event{At: 27 * sim.Second, Kind: DeviceRepair, Target: "stage:detector"},
 		Event{At: 40 * sim.Second, Kind: DeviceCrash, Target: "stage:camera"},
 		Event{At: 47 * sim.Second, Kind: DeviceRepair, Target: "stage:camera"},
-		Event{At: 52 * sim.Second, Kind: BrokerBurst, Target: "stage:camera", Messages: 200, Bytes: 10_000},
+		Event{At: 52 * sim.Second, Kind: BrokerBurst, Target: "stage:camera", Messages: 2000, Bytes: 10_000},
 	)
 	_ = seed // the schedule is fixed; the seed shapes loss/jitter draws at run time
 	return defaults(sc)
@@ -185,7 +185,7 @@ func FogPartition(seed uint64) Scenario {
 			{At: 18 * sim.Second, Kind: NodeReconnect, Target: "stage:aggregator"},
 			{At: outageAt, Kind: LayerOutage, Target: "cloud"},
 			{At: outageAt + 5*sim.Second, Kind: LayerRestore, Target: "cloud"},
-			{At: 50 * sim.Second, Kind: BrokerBurst, Target: "stage:detector", Messages: 150, Bytes: 20_000},
+			{At: 50 * sim.Second, Kind: BrokerBurst, Target: "stage:detector", Messages: 1500, Bytes: 20_000},
 		},
 	}
 	return defaults(sc)

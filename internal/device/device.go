@@ -10,6 +10,7 @@
 package device
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -21,6 +22,12 @@ import (
 	"myrtus/internal/telemetry"
 	"myrtus/internal/trace"
 )
+
+// ErrOverloaded is the deterministic fast-reject a device returns when
+// new work would wait longer than its configured queue limit. Callers
+// must treat it as a load signal, not a fault: retrying it amplifies the
+// very overload that caused it (mirto.Retryable reports false for it).
+var ErrOverloaded = errors.New("device: work queue full")
 
 // Layer names a continuum layer.
 type Layer string
@@ -133,6 +140,10 @@ type Device struct {
 	memUsed   float64
 	energy    float64 // dynamic energy accumulated (J)
 	busyTotal sim.Time
+	// queueLimit bounds how long new work may wait for a core before Run
+	// rejects it with ErrOverloaded (0 = unbounded, the legacy behavior).
+	queueLimit sim.Time
+	rejected   int64
 	// failed is atomic so orchestration hot paths can poll liveness
 	// across thousands of candidates without taking the device lock.
 	failed atomic.Bool
@@ -199,6 +210,29 @@ func (d *Device) Repair(now sim.Time) {
 		d.coreBusy[i] = now
 	}
 	d.memUsed = 0
+}
+
+// SetQueueLimit bounds the per-device work queue: work that would wait
+// longer than limit for a core is rejected with ErrOverloaded instead of
+// queuing without bound. Zero restores unbounded queuing.
+func (d *Device) SetQueueLimit(limit sim.Time) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.queueLimit = limit
+}
+
+// QueueLimit returns the configured work-queue bound (0 = unbounded).
+func (d *Device) QueueLimit() sim.Time {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.queueLimit
+}
+
+// Rejected reports how many work submissions the queue bound rejected.
+func (d *Device) Rejected() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.rejected
 }
 
 // SetDVFS selects DVFS level i (index into Spec.DVFSLevels).
@@ -304,6 +338,12 @@ func (d *Device) Run(w Work, now sim.Time) (Result, error) {
 	start := now
 	if d.coreBusy[core] > start {
 		start = d.coreBusy[core]
+	}
+	if d.queueLimit > 0 && start-now > d.queueLimit {
+		d.rejected++
+		d.mu.Unlock()
+		return Result{}, fmt.Errorf("device %s: work %q would wait %v (limit %v): %w",
+			d.spec.Name, w.Name, start-now, d.queueLimit, ErrOverloaded)
 	}
 	f := d.spec.DVFSLevels[d.dvfs]
 	seconds := w.GOps / (d.spec.GOPSPerCore * f * speedup)

@@ -7,12 +7,20 @@
 package fpga
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 
 	"myrtus/internal/sim"
 )
+
+// ErrOverloaded is the deterministic fast-reject Execute returns when a
+// region's backlog exceeds the fabric's configured bound. Devices fall
+// back to their general-purpose cores on it (graceful degradation), so
+// an overloaded accelerator slows work down instead of queuing it
+// without bound.
+var ErrOverloaded = errors.New("fpga: region backlog full")
 
 // OperatingPoint is one configuration of an accelerator: the clock /
 // parallelism trade-off chosen by the Node Manager to balance latency
@@ -149,6 +157,26 @@ type Fabric struct {
 	regions []*Region
 	// StaticPowerWatts is drawn whenever the fabric is powered.
 	StaticPowerWatts float64
+	// maxBacklog bounds how long new work may queue behind a region's
+	// in-flight work before Execute rejects it (0 = unbounded).
+	maxBacklog sim.Time
+	rejected   int64
+}
+
+// SetMaxBacklog bounds each region's FIFO backlog: work that would start
+// more than limit after its submission time is rejected with
+// ErrOverloaded. Zero restores unbounded queuing.
+func (f *Fabric) SetMaxBacklog(limit sim.Time) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.maxBacklog = limit
+}
+
+// Rejected reports how many executions the backlog bound rejected.
+func (f *Fabric) Rejected() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.rejected
 }
 
 // NewFabric builds a fabric with the given region areas.
@@ -257,6 +285,11 @@ func (f *Fabric) Execute(idx int, kernel string, items int64, now sim.Time) (sim
 	start := now
 	if r.busyUntil > start {
 		start = r.busyUntil
+	}
+	if f.maxBacklog > 0 && start-now > f.maxBacklog {
+		f.rejected++
+		return 0, 0, fmt.Errorf("fpga: region %d backlog %v exceeds limit %v: %w",
+			idx, start-now, f.maxBacklog, ErrOverloaded)
 	}
 	// Parallelism processes ⌈items/parallelism⌉ batches.
 	batches := (items + int64(op.Parallelism) - 1) / int64(op.Parallelism)

@@ -1,0 +1,258 @@
+package mirto
+
+import (
+	"errors"
+	"sync"
+
+	"myrtus/internal/device"
+	"myrtus/internal/network"
+	"myrtus/internal/sim"
+)
+
+// ErrOverloaded is the deterministic fast-reject the serve path returns
+// when admission control (or the runtime's in-flight bound) sheds a
+// request instead of queuing it. Shed requests are counted separately
+// from failures and are never retried by SubmitWithRetry: retrying a
+// shed request feeds the overload that shed it.
+var ErrOverloaded = errors.New("mirto: overloaded, request shed")
+
+// ErrSecurityRefused marks a placement the Privacy & Security Manager
+// refused because it would relax a template's Table II security level.
+// Like overload, it is non-retryable: the refusal is deterministic
+// policy, and retrying it can only burn capacity.
+var ErrSecurityRefused = errors.New("mirto: placement refused by security policy")
+
+// Retryable reports whether a serve-path error is worth retrying.
+// Overload rejections (admission shed, full device/FPGA/link queues) and
+// security refusals are deterministic policy decisions — retrying them
+// amplifies load without any chance of success, so SubmitWithRetry fails
+// them fast. Everything else (crashed device, lost transfer) is the
+// transient-fault class retries exist for.
+func Retryable(err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, ErrOverloaded),
+		errors.Is(err, ErrSecurityRefused),
+		errors.Is(err, device.ErrOverloaded),
+		errors.Is(err, network.ErrQueueFull):
+		return false
+	}
+	return true
+}
+
+// Priority is an application's admission priority class. The Table II
+// security levels map onto it: a pipeline carrying a High-security stage
+// is the kind of critical workload (health monitoring, safety) that must
+// be shed last, while Low/unclassified traffic is shed first.
+type Priority int
+
+// Priority classes, strongest-retention first.
+const (
+	PriorityHigh Priority = iota
+	PriorityMedium
+	PriorityLow
+	numPriorities
+)
+
+func (p Priority) String() string {
+	switch p {
+	case PriorityHigh:
+		return "high"
+	case PriorityMedium:
+		return "medium"
+	}
+	return "low"
+}
+
+// PriorityFromSecurity maps a Table II security level to an admission
+// priority class ("" and unknown levels map to PriorityLow).
+func PriorityFromSecurity(level string) Priority {
+	switch level {
+	case "high":
+		return PriorityHigh
+	case "medium":
+		return PriorityMedium
+	}
+	return PriorityLow
+}
+
+// AdmissionConfig tunes the admission controller.
+type AdmissionConfig struct {
+	// Rate is the token-bucket refill rate in requests per second —
+	// normally the measured serving capacity with a little headroom
+	// shaved off. Zero disables the rate gate.
+	Rate float64
+	// Burst is the bucket capacity (default: Rate/4, minimum 8 tokens) —
+	// how much above-rate burstiness is absorbed before shedding starts.
+	Burst float64
+	// ReserveMedium / ReserveLow are the bucket fractions below which
+	// Medium- and Low-priority requests are refused even though tokens
+	// remain: the reserve is kept for higher classes, which is what makes
+	// shedding priority-aware under a shared rate. Defaults 0.10 / 0.25.
+	ReserveMedium, ReserveLow float64
+	// Target is the CoDel-style sojourn target: when the serve path's
+	// measured queue delay stays above it for a full Interval, the
+	// controller starts shedding lowest-priority-first regardless of
+	// token availability (default 25ms).
+	Target sim.Time
+	// Interval is the CoDel control window (default 100ms). Each further
+	// Interval spent above Target escalates shedding one priority class.
+	Interval sim.Time
+}
+
+func (c AdmissionConfig) withDefaults() AdmissionConfig {
+	if c.Burst <= 0 {
+		c.Burst = c.Rate / 4
+	}
+	if c.Burst < 8 {
+		c.Burst = 8
+	}
+	if c.ReserveMedium <= 0 {
+		c.ReserveMedium = 0.10
+	}
+	if c.ReserveLow <= 0 {
+		c.ReserveLow = 0.25
+	}
+	if c.Target <= 0 {
+		c.Target = 25 * sim.Millisecond
+	}
+	if c.Interval <= 0 {
+		c.Interval = 100 * sim.Millisecond
+	}
+	return c
+}
+
+// PriorityStats counts one priority class's admission outcomes.
+type PriorityStats struct {
+	Admitted  int64
+	ShedRate  int64 // refused by the token-bucket rate gate
+	ShedDelay int64 // refused by the queue-delay (CoDel) gate
+}
+
+// Shed is the total requests this class lost to admission control.
+func (s PriorityStats) Shed() int64 { return s.ShedRate + s.ShedDelay }
+
+// AdmissionController is the serve path's overload gate: a token-bucket
+// rate limiter with nested priority reserves plus a CoDel-style
+// queue-delay controller, both advancing purely on the simulation clock
+// so every admit/shed decision is deterministic for a seed.
+//
+// The two gates catch different overloads. The token bucket caps
+// sustained offered load at the provisioned rate — cheap, O(1), and the
+// first line of defense against a flood. The sojourn controller watches
+// the measured backlog of the serve path itself, so it also catches
+// capacity loss (devices down, brownout not yet engaged) that a fixed
+// rate cannot see: when queue delay stays above Target for an Interval
+// it sheds Low first, then Medium, then High — the Table II-derived
+// priority order.
+type AdmissionController struct {
+	engine *sim.Engine
+	cfg    AdmissionConfig
+
+	mu         sync.Mutex
+	tokens     float64
+	lastRefill sim.Time
+
+	// CoDel state: when the sojourn first crossed Target (-1 = below),
+	// and the current shed escalation level (0 = none, 1 = shed Low,
+	// 2 = +Medium, 3 = +High).
+	aboveSince sim.Time
+	dropLevel  int
+
+	stats [numPriorities]PriorityStats
+}
+
+// NewAdmissionController builds a controller on the engine's clock.
+func NewAdmissionController(engine *sim.Engine, cfg AdmissionConfig) *AdmissionController {
+	cfg = cfg.withDefaults()
+	return &AdmissionController{
+		engine:     engine,
+		cfg:        cfg,
+		tokens:     cfg.Burst,
+		lastRefill: engine.Now(),
+		aboveSince: -1,
+	}
+}
+
+// Admit decides one request: nil to admit, ErrOverloaded to shed.
+// sojourn is the serve path's current measured queue delay (the
+// runtime's worst per-device backlog over the app's plan).
+func (ac *AdmissionController) Admit(prio Priority, sojourn sim.Time) error {
+	if prio < PriorityHigh || prio > PriorityLow {
+		prio = PriorityLow
+	}
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	now := ac.engine.Now()
+
+	// Rate gate: refill, then check the class's reserve threshold. A Low
+	// request needs the bucket above its reserve so the tokens it would
+	// take remain available to higher classes.
+	if ac.cfg.Rate > 0 {
+		if dt := now - ac.lastRefill; dt > 0 {
+			ac.tokens += ac.cfg.Rate * dt.Seconds()
+			if ac.tokens > ac.cfg.Burst {
+				ac.tokens = ac.cfg.Burst
+			}
+		}
+		ac.lastRefill = now
+		need := 1.0
+		switch prio {
+		case PriorityMedium:
+			need += ac.cfg.ReserveMedium * ac.cfg.Burst
+		case PriorityLow:
+			need += ac.cfg.ReserveLow * ac.cfg.Burst
+		}
+		if ac.tokens < need {
+			ac.stats[prio].ShedRate++
+			return ErrOverloaded
+		}
+	}
+
+	// Queue-delay gate (CoDel-style): sustained sojourn above Target
+	// escalates the shed level one priority class per Interval; dropping
+	// below Target resets it immediately.
+	if sojourn <= ac.cfg.Target {
+		ac.aboveSince = -1
+		ac.dropLevel = 0
+	} else {
+		if ac.aboveSince < 0 {
+			ac.aboveSince = now
+			ac.dropLevel = 0
+		}
+		if lvl := 1 + int((now-ac.aboveSince)/ac.cfg.Interval); lvl != ac.dropLevel {
+			if lvl > int(numPriorities) {
+				lvl = int(numPriorities)
+			}
+			ac.dropLevel = lvl
+		}
+	}
+	// dropLevel 1 sheds Low (priority 2), 2 sheds Medium too, 3 all.
+	if ac.dropLevel > 0 && int(prio) >= int(numPriorities)-ac.dropLevel {
+		ac.stats[prio].ShedDelay++
+		return ErrOverloaded
+	}
+
+	if ac.cfg.Rate > 0 {
+		ac.tokens--
+	}
+	ac.stats[prio].Admitted++
+	return nil
+}
+
+// DropLevel reports the current CoDel escalation level (0 = not
+// shedding on queue delay).
+func (ac *AdmissionController) DropLevel() int {
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	return ac.dropLevel
+}
+
+// Stats returns a snapshot of per-priority admission outcomes indexed by
+// Priority.
+func (ac *AdmissionController) Stats() [3]PriorityStats {
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	return ac.stats
+}

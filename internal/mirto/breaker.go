@@ -1,0 +1,213 @@
+package mirto
+
+import (
+	"errors"
+	"sync"
+
+	"myrtus/internal/sim"
+)
+
+// ErrCircuitOpen is the fast-fail returned when a request targets a
+// device or link whose circuit breaker is open. Unlike ErrOverloaded it
+// IS retryable: the breaker half-opens after its cooldown and the next
+// backed-off retry becomes the probe — exactly the cheap "fail fast now,
+// test again later" behavior breakers exist for.
+var ErrCircuitOpen = errors.New("mirto: circuit breaker open")
+
+// BreakerState is one circuit breaker's position.
+type BreakerState int
+
+// The classic three breaker states.
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
+// BreakerConfig tunes a BreakerSet.
+type BreakerConfig struct {
+	// Threshold is the consecutive-failure count that opens a breaker
+	// (default 5).
+	Threshold int
+	// Cooldown is how long an open breaker fast-fails before half-opening
+	// to admit a single probe (default 1s of virtual time).
+	Cooldown sim.Time
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = sim.Second
+	}
+	return c
+}
+
+type breaker struct {
+	state    BreakerState
+	fails    int
+	openedAt sim.Time
+	probing  bool
+}
+
+// BreakerSet holds per-target circuit breakers on the simulation clock.
+// Targets are device names and directed link keys ("src->dst"); the
+// runtime consults Allow before running a stage or issuing a transfer,
+// and records Success/Failure from the outcome. The failure detector
+// trips a suspected device's breaker directly (Trip) and resets it when
+// the device heartbeats again (Reset), so fast-failing starts at
+// suspicion rather than after Threshold wasted requests.
+//
+// All state transitions are guarded by one mutex and timed on the
+// virtual clock, so concurrent readers race-safely observe a
+// deterministic sequence for a fixed seed.
+type BreakerSet struct {
+	engine *sim.Engine
+	cfg    BreakerConfig
+
+	mu sync.Mutex
+	m  map[string]*breaker
+
+	opens     int64
+	fastFails int64
+}
+
+// NewBreakerSet builds an empty breaker set on the engine's clock.
+func NewBreakerSet(engine *sim.Engine, cfg BreakerConfig) *BreakerSet {
+	return &BreakerSet{engine: engine, cfg: cfg.withDefaults(), m: map[string]*breaker{}}
+}
+
+func (bs *BreakerSet) get(target string) *breaker {
+	b := bs.m[target]
+	if b == nil {
+		b = &breaker{}
+		bs.m[target] = b
+	}
+	return b
+}
+
+// Allow reports whether a request may proceed against target. An open
+// breaker past its cooldown half-opens and admits exactly one probe;
+// while that probe is outstanding further requests keep fast-failing.
+func (bs *BreakerSet) Allow(target string) bool {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	b := bs.m[target]
+	if b == nil {
+		return true
+	}
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if bs.engine.Now()-b.openedAt >= bs.cfg.Cooldown {
+			b.state = BreakerHalfOpen
+			b.probing = true
+			return true
+		}
+		bs.fastFails++
+		return false
+	default: // half-open
+		if !b.probing {
+			b.probing = true
+			return true
+		}
+		bs.fastFails++
+		return false
+	}
+}
+
+// Success records a successful interaction with target, closing a
+// half-open breaker and clearing the failure streak.
+func (bs *BreakerSet) Success(target string) {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	b := bs.m[target]
+	if b == nil {
+		return
+	}
+	b.fails = 0
+	b.probing = false
+	b.state = BreakerClosed
+}
+
+// Failure records a failed interaction: a half-open probe failure
+// reopens immediately; Threshold consecutive failures open a closed
+// breaker.
+func (bs *BreakerSet) Failure(target string) {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	b := bs.get(target)
+	b.probing = false
+	if b.state == BreakerHalfOpen {
+		bs.openLocked(b)
+		return
+	}
+	b.fails++
+	if b.state == BreakerClosed && b.fails >= bs.cfg.Threshold {
+		bs.openLocked(b)
+	}
+}
+
+func (bs *BreakerSet) openLocked(b *breaker) {
+	b.state = BreakerOpen
+	b.openedAt = bs.engine.Now()
+	b.fails = 0
+	b.probing = false
+	bs.opens++
+}
+
+// Trip forces target's breaker open now — the failure detector calls
+// this at suspicion time so requests stop paying for a dead device
+// before Threshold of them have failed.
+func (bs *BreakerSet) Trip(target string) {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	b := bs.get(target)
+	if b.state != BreakerOpen {
+		bs.openLocked(b)
+	}
+}
+
+// Reset closes target's breaker — called when the failure detector sees
+// the device heartbeat again (liveness just proved, no probe needed).
+func (bs *BreakerSet) Reset(target string) {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	b := bs.m[target]
+	if b == nil {
+		return
+	}
+	b.state = BreakerClosed
+	b.fails = 0
+	b.probing = false
+}
+
+// State reports target's current breaker state (closed for unknown
+// targets).
+func (bs *BreakerSet) State(target string) BreakerState {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	if b := bs.m[target]; b != nil {
+		return b.state
+	}
+	return BreakerClosed
+}
+
+// Stats reports cumulative transitions to open and fast-failed requests.
+func (bs *BreakerSet) Stats() (opens, fastFails int64) {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	return bs.opens, bs.fastFails
+}

@@ -22,6 +22,11 @@ type FailureDetector struct {
 	c *continuum.Continuum
 	k int
 
+	// breakers, when set, are tripped at suspicion and reset at recovery,
+	// so the serve path fast-fails a dead device from the moment the
+	// detector notices rather than after more requests time out into it.
+	breakers *BreakerSet
+
 	misses    map[string]int
 	suspected map[string]bool
 
@@ -44,6 +49,10 @@ func NewFailureDetector(c *continuum.Continuum, k int) *FailureDetector {
 	}
 }
 
+// SetBreakers wires a breaker set into the detector: suspicion trips the
+// device's breaker open, a returning heartbeat resets it closed.
+func (fd *FailureDetector) SetBreakers(bs *BreakerSet) { fd.breakers = bs }
+
 // Tick senses one heartbeat round and returns the devices newly
 // suspected and newly recovered this round.
 func (fd *FailureDetector) Tick() (suspected, recovered []string) {
@@ -58,6 +67,9 @@ func (fd *FailureDetector) Tick() (suspected, recovered []string) {
 				suspected = append(suspected, name)
 				if cl, ok := fd.c.ClusterFor(name); ok {
 					cl.SetNodeReady(name, false) //nolint:errcheck
+				}
+				if fd.breakers != nil {
+					fd.breakers.Trip(name)
 				}
 			case m == 2*fd.k:
 				fd.confirmedTotal++
@@ -74,6 +86,9 @@ func (fd *FailureDetector) Tick() (suspected, recovered []string) {
 			recovered = append(recovered, name)
 			if cl, ok := fd.c.ClusterFor(name); ok {
 				cl.SetNodeReady(name, true) //nolint:errcheck
+			}
+			if fd.breakers != nil {
+				fd.breakers.Reset(name)
 			}
 		}
 	}

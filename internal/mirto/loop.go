@@ -115,7 +115,17 @@ type SLO struct {
 	P95LatencyMs float64
 	// MaxFailureRate bounds failed/total requests.
 	MaxFailureRate float64
+	// MaxShedRate bounds shed/(shed+served) per monitoring window. When
+	// exceeded the loop engages brownout (drop optional stages, then
+	// reduce batch quality) before letting admission control keep
+	// shedding; when shedding stops, brownout is rolled back one level
+	// per quiet window. Zero disables brownout management.
+	MaxShedRate float64
 }
+
+// MaxBrownoutLevel is the deepest degradation the loop will request:
+// level 1 drops optional stages, level 2 also halves the batch.
+const MaxBrownoutLevel = 2
 
 // AttachLoop wires a MAPE-K loop for a deployed app: Monitor reads the
 // runtime KPIs, the Planner requests reallocation on SLO violations, and
@@ -131,13 +141,40 @@ func (o *Orchestrator) AttachLoop(app string, slo SLO) (*mapek.Loop, error) {
 	// The failure-rate KPI is windowed: each monitoring pass senses only
 	// the traffic since the previous pass, so one historical incident
 	// does not trigger reallocation forever.
-	var lastOK, lastFailed int64
+	var lastOK, lastFailed, lastShed int64
 	monitor := func() []mapek.KPI {
 		k, ok := o.R.KPIs(app)
 		if !ok {
 			return nil
 		}
+		// Window deltas since the previous pass; the last* counters are
+		// advanced once here so every gate sees the same window.
+		dOK := k.Requests - lastOK
+		dFail := k.Failed - lastFailed
+		dShed := k.Shed - lastShed
+		lastOK, lastFailed, lastShed = k.Requests, k.Failed, k.Shed
 		var kpis []mapek.KPI
+		if slo.MaxShedRate > 0 {
+			dServed := dOK + dFail
+			rate := 0.0
+			if total := dShed + dServed; total > 0 {
+				rate = float64(dShed) / float64(total)
+			}
+			kpis = append(kpis, mapek.KPI{
+				Name: "shed_rate", Value: rate, Target: slo.MaxShedRate,
+			})
+			// The planner only runs when a violation exists, so recovery is
+			// itself surfaced as a KPI: while brownout is engaged and the
+			// window saw traffic but no shedding, "brownout excess" violates
+			// its 0 target, prompting a restore action.
+			if rate == 0 && dServed > 0 {
+				if lvl := o.R.Brownout(app); lvl > 0 {
+					kpis = append(kpis, mapek.KPI{
+						Name: "brownout_excess", Value: float64(lvl), Target: 0.5,
+					})
+				}
+			}
+		}
 		if slo.P95LatencyMs > 0 {
 			// Prefer the sliding-window p95: it forgets a healed incident,
 			// so the violation clears once the degradation is gone instead
@@ -154,9 +191,6 @@ func (o *Orchestrator) AttachLoop(app string, slo SLO) (*mapek.Loop, error) {
 			}
 		}
 		if slo.MaxFailureRate > 0 {
-			dOK := k.Requests - lastOK
-			dFail := k.Failed - lastFailed
-			lastOK, lastFailed = k.Requests, k.Failed
 			rate := 0.0
 			if total := dOK + dFail; total > 0 {
 				rate = float64(dFail) / float64(total)
@@ -176,11 +210,29 @@ func (o *Orchestrator) AttachLoop(app string, slo SLO) (*mapek.Loop, error) {
 		if len(violations) == 0 {
 			return nil
 		}
-		failing := false
+		failing, shedding, excess := false, false, false
 		for _, v := range violations {
-			if v.KPI.Name == "failure_rate" {
+			switch v.KPI.Name {
+			case "failure_rate":
 				failing = true
+			case "shed_rate":
+				shedding = true
+			case "brownout_excess":
+				excess = true
 			}
+		}
+		// Brownout before shedding harder: sustained overload is answered
+		// by degrading quality (drop optional stages, halve batches), and
+		// rolled back one level per quiet window once shedding stops.
+		if shedding {
+			if o.R.Brownout(app) < MaxBrownoutLevel {
+				return []mapek.Action{{Kind: "brownout", Target: app}}
+			}
+			// Already fully browned out: overload exceeds what degradation
+			// can absorb — fall through so the escalation policy below can
+			// boost or reallocate capacity.
+		} else if excess && len(violations) == 1 {
+			return []mapek.Action{{Kind: "restore", Target: app}}
 		}
 		boosted := k.GetFloat("boosted/"+app, 0) > 0
 		if !failing && !boosted {
@@ -205,6 +257,10 @@ func (o *Orchestrator) AttachLoop(app string, slo SLO) (*mapek.Loop, error) {
 			return o.boost(a.Target)
 		case "replan":
 			return o.replan(a.Target)
+		case "brownout":
+			return o.brownoutStep(a.Target, 1)
+		case "restore":
+			return o.brownoutStep(a.Target, -1)
 		default:
 			return fmt.Errorf("mirto: unknown action %q", a.Kind)
 		}
@@ -271,6 +327,23 @@ func (o *Orchestrator) boost(app string) error {
 			}
 		}
 	}
+	return nil
+}
+
+// brownoutStep moves an app's brownout level by delta, clamped to
+// [0, MaxBrownoutLevel].
+func (o *Orchestrator) brownoutStep(app string, delta int) error {
+	o.mu.Lock()
+	_, ok := o.plans[app]
+	o.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("mirto: app %q not deployed", app)
+	}
+	lvl := o.R.Brownout(app) + delta
+	if lvl > MaxBrownoutLevel {
+		lvl = MaxBrownoutLevel
+	}
+	o.R.SetBrownout(app, lvl)
 	return nil
 }
 

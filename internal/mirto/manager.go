@@ -183,6 +183,32 @@ type Plan struct {
 	// every request.
 	shapeOnce sync.Once
 	shape     *planShape
+
+	// brownoutOnce caches the degraded pipeline shape with optional
+	// stages spliced out (see brownoutShape).
+	brownoutOnce sync.Once
+	bshape       *planShape
+
+	// prioOnce caches the admission priority derived from the template's
+	// Table II security policies.
+	prioOnce sync.Once
+	prio     Priority
+}
+
+// Priority derives the plan's admission priority class from its
+// template: the strongest Table II security level any stage carries wins
+// (a pipeline with one High-security stage is High-priority end to end —
+// shedding its cheap stages still kills the critical request).
+func (p *Plan) Priority() Priority {
+	p.prioOnce.Do(func() {
+		p.prio = PriorityLow
+		for _, n := range p.Template.NodeNames() {
+			if pr := PriorityFromSecurity(p.Template.SecurityLevelFor(n)); pr < p.prio {
+				p.prio = pr
+			}
+		}
+	})
+	return p.prio
 }
 
 // planShape is the static dataflow shape of a plan's template.
@@ -206,6 +232,82 @@ func (p *Plan) Assignment(node string) (Assignment, bool) {
 		return Assignment{}, false
 	}
 	return p.Assignments[i], true
+}
+
+// brownoutShape returns the template's degraded dataflow shape: every
+// node marked "optional: 1" is spliced out, with requirements that
+// passed through an optional node re-routed to its nearest kept
+// ancestors, so the remaining pipeline stays a connected DAG. Brownout
+// level 1 serves this shape instead of the full one — dropping optional
+// enrichment work frees capacity without shedding whole requests. With
+// no optional nodes the full shape is returned unchanged.
+func (p *Plan) brownoutShape() *planShape {
+	p.brownoutOnce.Do(func() {
+		full := p.pipelineShape()
+		optional := map[string]bool{}
+		for _, n := range full.order {
+			if p.Template.Nodes[n].PropFloat("optional", 0) > 0 {
+				optional[n] = true
+			}
+		}
+		if len(optional) == 0 || len(optional) == len(full.order) {
+			p.bshape = full
+			return
+		}
+		// expand resolves one upstream target through any chain of
+		// optional nodes to the non-optional ancestors behind it.
+		var expand func(n string, seen map[string]bool) []string
+		expand = func(n string, seen map[string]bool) []string {
+			if !optional[n] {
+				return []string{n}
+			}
+			if seen[n] {
+				return nil
+			}
+			seen[n] = true
+			var out []string
+			for _, r := range p.Template.Nodes[n].Requirements {
+				if _, ok := p.Template.Nodes[r.Target]; ok {
+					out = append(out, expand(r.Target, seen)...)
+				}
+			}
+			return out
+		}
+		s := &planShape{}
+		for _, n := range full.order {
+			if !optional[n] {
+				s.order = append(s.order, n)
+			}
+		}
+		s.consumers = make(map[string][]string, len(s.order))
+		s.indeg = make(map[string]int, len(s.order))
+		for _, n := range s.order {
+			s.indeg[n] = 0
+		}
+		for _, n := range s.order {
+			dedup := map[string]bool{}
+			for _, r := range p.Template.Nodes[n].Requirements {
+				if _, ok := p.Template.Nodes[r.Target]; !ok {
+					continue
+				}
+				for _, t := range expand(r.Target, map[string]bool{}) {
+					if dedup[t] {
+						continue
+					}
+					dedup[t] = true
+					s.consumers[t] = append(s.consumers[t], n)
+					s.indeg[n]++
+				}
+			}
+		}
+		for _, n := range s.order {
+			if len(s.consumers[n]) == 0 {
+				s.sinks++
+			}
+		}
+		p.bshape = s
+	})
+	return p.bshape
 }
 
 // pipelineShape returns the cached dataflow shape of the template.
@@ -358,8 +460,8 @@ func (m *Manager) Plan(st *tosca.ServiceTemplate) (*Plan, error) {
 		// fallback to accept.
 		if secLevel != "" {
 			if d := m.C.Devices[best.Device]; d != nil && !d.SupportsSecurity(secLevel) {
-				return nil, fmt.Errorf("mirto: placement of %q on %s would relax security level %q",
-					nodeName, best.Device, secLevel)
+				return nil, fmt.Errorf("mirto: placement of %q on %s would relax security level %q: %w",
+					nodeName, best.Device, secLevel, ErrSecurityRefused)
 			}
 		}
 		plan.Score += bestScore

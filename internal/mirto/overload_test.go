@@ -1,0 +1,515 @@
+package mirto
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"myrtus/internal/continuum"
+	"myrtus/internal/device"
+	"myrtus/internal/network"
+	"myrtus/internal/sim"
+	"myrtus/internal/tosca"
+)
+
+// optionalAppYAML is appYAML plus an optional enhancer between detector
+// and aggregator — the stage brownout level 1 splices out.
+const optionalAppYAML = `
+tosca_definitions_version: tosca_2_0
+metadata:
+  template_name: mobility-opt
+topology_template:
+  node_templates:
+    camera:
+      type: myrtus.nodes.Container
+      properties: {cpu: 0.5, memoryMB: 128, gops: 0.5, outMB: 2.0}
+    detector:
+      type: myrtus.nodes.AcceleratedKernel
+      properties: {cpu: 1.0, memoryMB: 512, kernel: conv2d, gops: 12, outMB: 0.2}
+      requirements:
+        - source: camera
+    enhancer:
+      type: myrtus.nodes.Container
+      properties: {cpu: 0.5, memoryMB: 128, gops: 2, outMB: 0.2, optional: 1}
+      requirements:
+        - source: detector
+    aggregator:
+      type: myrtus.nodes.Container
+      properties: {cpu: 2, memoryMB: 2048, gops: 4, outMB: 0.05}
+      requirements:
+        - source: detector
+        - source: enhancer
+`
+
+func TestBreakerStateTransitions(t *testing.T) {
+	eng := sim.NewEngine(1)
+	bs := NewBreakerSet(eng, BreakerConfig{Threshold: 3, Cooldown: sim.Second})
+
+	// Closed: allows, and stays closed below the failure threshold.
+	if !bs.Allow("dev") {
+		t.Fatal("closed breaker refused a request")
+	}
+	bs.Failure("dev")
+	bs.Failure("dev")
+	if got := bs.State("dev"); got != BreakerClosed {
+		t.Fatalf("state after 2 failures = %v, want closed", got)
+	}
+	// A success clears the streak...
+	bs.Success("dev")
+	bs.Failure("dev")
+	bs.Failure("dev")
+	if got := bs.State("dev"); got != BreakerClosed {
+		t.Fatalf("streak not cleared by success: %v", got)
+	}
+	// ...and the threshold'th consecutive failure opens.
+	bs.Failure("dev")
+	if got := bs.State("dev"); got != BreakerOpen {
+		t.Fatalf("state after %d consecutive failures = %v, want open", 3, got)
+	}
+	if bs.Allow("dev") {
+		t.Fatal("open breaker admitted a request inside cooldown")
+	}
+
+	// Past the cooldown: half-open, exactly one probe allowed.
+	eng.RunUntil(eng.Now() + sim.Second)
+	if !bs.Allow("dev") {
+		t.Fatal("breaker past cooldown refused the probe")
+	}
+	if got := bs.State("dev"); got != BreakerHalfOpen {
+		t.Fatalf("state during probe = %v, want half-open", got)
+	}
+	if bs.Allow("dev") {
+		t.Fatal("second request admitted while the probe is outstanding")
+	}
+	// Probe failure reopens immediately.
+	bs.Failure("dev")
+	if got := bs.State("dev"); got != BreakerOpen {
+		t.Fatalf("state after probe failure = %v, want open", got)
+	}
+
+	// Cooldown again; this time the probe succeeds and the breaker closes.
+	eng.RunUntil(eng.Now() + sim.Second)
+	if !bs.Allow("dev") {
+		t.Fatal("reopened breaker refused the second probe")
+	}
+	bs.Success("dev")
+	if got := bs.State("dev"); got != BreakerClosed {
+		t.Fatalf("state after probe success = %v, want closed", got)
+	}
+	if !bs.Allow("dev") {
+		t.Fatal("closed breaker refused a request after recovery")
+	}
+
+	// Detector integration: Trip forces open, Reset forces closed.
+	bs.Trip("dev")
+	if got := bs.State("dev"); got != BreakerOpen {
+		t.Fatalf("state after Trip = %v, want open", got)
+	}
+	bs.Reset("dev")
+	if got := bs.State("dev"); got != BreakerClosed {
+		t.Fatalf("state after Reset = %v, want closed", got)
+	}
+	opens, fastFails := bs.Stats()
+	if opens != 3 || fastFails != 2 {
+		t.Fatalf("stats = opens %d fastFails %d, want 3 and 2", opens, fastFails)
+	}
+}
+
+// TestBreakerChurnRace hammers one BreakerSet from many goroutines; the
+// race detector (CI runs go test -race) is the assertion.
+func TestBreakerChurnRace(t *testing.T) {
+	eng := sim.NewEngine(1)
+	bs := NewBreakerSet(eng, BreakerConfig{Threshold: 2, Cooldown: sim.Millisecond})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			target := fmt.Sprintf("dev-%d", g%3)
+			for i := 0; i < 500; i++ {
+				switch i % 5 {
+				case 0:
+					bs.Allow(target)
+				case 1:
+					bs.Failure(target)
+				case 2:
+					bs.Success(target)
+				case 3:
+					bs.Trip(target)
+				default:
+					bs.Reset(target)
+				}
+				bs.State(target)
+			}
+		}(g)
+	}
+	wg.Wait()
+	bs.Stats()
+}
+
+func TestAdmissionPriorityReserves(t *testing.T) {
+	eng := sim.NewEngine(1)
+	// Burst of 8 tokens; reserves default to 10% (medium) and 25% (low):
+	// low needs >3 tokens, medium >1.8.
+	ac := NewAdmissionController(eng, AdmissionConfig{Rate: 100, Burst: 8})
+
+	// Drain the bucket with High admits (no refill at t=0).
+	for i := 0; i < 6; i++ {
+		if err := ac.Admit(PriorityHigh, 0); err != nil {
+			t.Fatalf("high admit %d refused: %v", i, err)
+		}
+	}
+	// 2 tokens left: below Low's reserve, above Medium's.
+	if err := ac.Admit(PriorityLow, 0); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("low admitted below its reserve: %v", err)
+	}
+	if err := ac.Admit(PriorityMedium, 0); err != nil {
+		t.Fatalf("medium refused above its reserve: %v", err)
+	}
+	if err := ac.Admit(PriorityHigh, 0); err != nil {
+		t.Fatalf("high refused with tokens left: %v", err)
+	}
+	// Bucket empty: even High sheds now.
+	if err := ac.Admit(PriorityHigh, 0); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("high admitted from an empty bucket: %v", err)
+	}
+	st := ac.Stats()
+	if st[PriorityHigh].Admitted != 7 || st[PriorityHigh].ShedRate != 1 ||
+		st[PriorityLow].ShedRate != 1 || st[PriorityMedium].Admitted != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// The reserve ordering guarantees shed(High) <= shed(Low) by
+	// construction; the refill restores service.
+	eng.RunUntil(eng.Now() + sim.Second)
+	if err := ac.Admit(PriorityLow, 0); err != nil {
+		t.Fatalf("low refused after refill: %v", err)
+	}
+}
+
+func TestAdmissionCoDelEscalation(t *testing.T) {
+	eng := sim.NewEngine(1)
+	// Rate 0 disables the token gate: only the sojourn controller acts.
+	ac := NewAdmissionController(eng, AdmissionConfig{
+		Target: 25 * sim.Millisecond, Interval: 100 * sim.Millisecond,
+	})
+	over := 50 * sim.Millisecond
+
+	// First crossing: level 1, Low sheds, Medium and High pass.
+	if err := ac.Admit(PriorityHigh, over); err != nil {
+		t.Fatalf("high refused at level 1: %v", err)
+	}
+	if err := ac.Admit(PriorityLow, over); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("low admitted at level 1: %v", err)
+	}
+	if got := ac.DropLevel(); got != 1 {
+		t.Fatalf("drop level = %d, want 1", got)
+	}
+	// One interval later: level 2, Medium sheds too.
+	eng.RunUntil(eng.Now() + 100*sim.Millisecond)
+	if err := ac.Admit(PriorityMedium, over); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("medium admitted at level 2: %v", err)
+	}
+	if err := ac.Admit(PriorityHigh, over); err != nil {
+		t.Fatalf("high refused at level 2: %v", err)
+	}
+	// Another interval: level 3, everything sheds.
+	eng.RunUntil(eng.Now() + 100*sim.Millisecond)
+	if err := ac.Admit(PriorityHigh, over); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("high admitted at level 3: %v", err)
+	}
+	// Sojourn back under target: instant reset.
+	if err := ac.Admit(PriorityLow, sim.Millisecond); err != nil {
+		t.Fatalf("low refused after recovery: %v", err)
+	}
+	if got := ac.DropLevel(); got != 0 {
+		t.Fatalf("drop level after recovery = %d, want 0", got)
+	}
+}
+
+func TestRetryableClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{ErrOverloaded, false},
+		{ErrSecurityRefused, false},
+		{device.ErrOverloaded, false},
+		{network.ErrQueueFull, false},
+		{fmt.Errorf("stage x: %w", ErrOverloaded), false},
+		{fmt.Errorf("transfer: %w", network.ErrQueueFull), false},
+		{ErrCircuitOpen, true}, // the backed-off retry is the probe
+		{errors.New("device crashed"), true},
+	}
+	for _, c := range cases {
+		if got := Retryable(c.err); got != c.want {
+			t.Errorf("Retryable(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestPlanPriorityFromSecurity(t *testing.T) {
+	cases := []struct {
+		level string
+		want  Priority
+	}{{"high", PriorityHigh}, {"medium", PriorityMedium}, {"low", PriorityLow}, {"", PriorityLow}}
+	for _, c := range cases {
+		yaml := appYAML
+		if c.level != "" {
+			yaml = yaml[:len(yaml)-1] + "\n    - agg-sec:\n        type: myrtus.policies.Security\n        targets: [aggregator]\n        properties:\n          level: " + c.level + "\n"
+		}
+		st, err := tosca.Parse(yaml)
+		if err != nil {
+			t.Fatalf("level %q: %v", c.level, err)
+		}
+		p := &Plan{Template: st}
+		// appYAML's detector is security-medium, so the aggregator policy
+		// only wins when it is stronger.
+		want := c.want
+		if want > PriorityMedium {
+			want = PriorityMedium
+		}
+		if got := p.Priority(); got != want {
+			t.Errorf("level %q: priority = %v, want %v", c.level, got, want)
+		}
+	}
+}
+
+func TestBrownoutShapeSplicesOptionalStages(t *testing.T) {
+	st, err := tosca.Parse(optionalAppYAML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Plan{Template: st}
+	full := p.pipelineShape()
+	if len(full.order) != 4 {
+		t.Fatalf("full order = %v", full.order)
+	}
+	b := p.brownoutShape()
+	if len(b.order) != 3 {
+		t.Fatalf("brownout order = %v, want camera/detector/aggregator", b.order)
+	}
+	for _, n := range b.order {
+		if n == "enhancer" {
+			t.Fatalf("optional enhancer still in brownout shape: %v", b.order)
+		}
+	}
+	// The aggregator's two upstreams (detector direct, detector via the
+	// spliced enhancer) collapse to one deduplicated edge.
+	if got := b.indeg["aggregator"]; got != 1 {
+		t.Fatalf("aggregator indeg = %d, want 1", got)
+	}
+	if got := len(b.consumers["detector"]); got != 1 || b.consumers["detector"][0] != "aggregator" {
+		t.Fatalf("detector consumers = %v, want [aggregator]", b.consumers["detector"])
+	}
+	if b.sinks != 1 {
+		t.Fatalf("sinks = %d, want 1", b.sinks)
+	}
+	// A template with no optional stages browns out to its full shape.
+	p2 := &Plan{Template: parseApp(t)}
+	if got := p2.brownoutShape(); len(got.order) != len(p2.pipelineShape().order) {
+		t.Fatalf("no-optional brownout shape = %v", got.order)
+	}
+}
+
+// TestBrownoutServesDegraded drives the runtime at brownout level 1 and
+// checks the optional stage is skipped and the request counted degraded.
+func TestBrownoutServesDegraded(t *testing.T) {
+	c := testContinuum(t)
+	o := NewOrchestrator(NewManager(c, LatencyGoal()))
+	st, err := tosca.Parse(optionalAppYAML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := o.Deploy(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat0, _, err := o.R.ServeRequest(plan.App, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.R.SetBrownout(plan.App, 1)
+	lat1, _, err := o.R.ServeRequest(plan.App, 1)
+	if err != nil {
+		t.Fatalf("degraded request failed: %v", err)
+	}
+	if lat1 >= lat0 {
+		t.Errorf("brownout latency %v not below full-pipeline %v", lat1, lat0)
+	}
+	k, _ := o.R.KPIs(plan.App)
+	if k.Degraded != 1 || k.Requests != 2 {
+		t.Errorf("degraded=%d requests=%d, want 1 and 2", k.Degraded, k.Requests)
+	}
+	// Restore: back to the full pipeline, no further degraded counts.
+	o.R.SetBrownout(plan.App, 0)
+	if _, _, err := o.R.ServeRequest(plan.App, 1); err != nil {
+		t.Fatal(err)
+	}
+	if k, _ = o.R.KPIs(plan.App); k.Degraded != 1 {
+		t.Errorf("degraded = %d after restore, want 1", k.Degraded)
+	}
+}
+
+// TestInFlightBoundSheds saturates the per-app in-flight bound and
+// checks the overflow is shed with ErrOverloaded, not queued.
+func TestInFlightBoundSheds(t *testing.T) {
+	c := testContinuum(t)
+	o := NewOrchestrator(NewManager(c, LatencyGoal()))
+	plan, err := o.Deploy(parseApp(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.R.SetMaxInFlight(2)
+	var completed int
+	for i := 0; i < 2; i++ {
+		if err := o.R.Submit(plan.App, 1, func(_ sim.Time, _ float64, err error) {
+			if err == nil {
+				completed++
+			}
+		}); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if err := o.R.Submit(plan.App, 1, nil); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("third submit err = %v, want ErrOverloaded", err)
+	}
+	c.Engine.Run()
+	if completed != 2 {
+		t.Fatalf("completed = %d, want 2", completed)
+	}
+	// Slots released on completion: submits flow again.
+	if err := o.R.Submit(plan.App, 1, nil); err != nil {
+		t.Fatalf("submit after drain: %v", err)
+	}
+	k, _ := o.R.KPIs(plan.App)
+	if k.Shed != 1 {
+		t.Fatalf("shed = %d, want 1", k.Shed)
+	}
+}
+
+// TestSubmitWithRetryNoRetryStorm checks the non-retryable error class:
+// device-queue overload must fail fast with zero retries.
+func TestSubmitWithRetryNoRetryStorm(t *testing.T) {
+	c := testContinuum(t)
+	o := NewOrchestrator(NewManager(c, LatencyGoal()))
+	plan, err := o.Deploy(parseApp(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clamp every device's queue hard so a burst overruns it.
+	for _, name := range c.DeviceNames() {
+		c.Devices[name].SetQueueLimit(sim.Microsecond)
+	}
+	var lost, attemptsSeen int
+	var lastErr error
+	for i := 0; i < 40; i++ {
+		err := o.R.SubmitWithRetry(plan.App, "", 1, RetryPolicy{Attempts: 6, Base: 10 * sim.Millisecond},
+			func(_ sim.Time, _ float64, attempts int, err error) {
+				if err != nil {
+					lost++
+					attemptsSeen = attempts
+					lastErr = err
+				}
+			})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	c.Engine.Run()
+	if lost == 0 {
+		t.Fatal("queue limit never overran: test exercises nothing")
+	}
+	if attemptsSeen != 1 {
+		t.Fatalf("overloaded request spent %d attempts, want 1 (no retry storm); err=%v", attemptsSeen, lastErr)
+	}
+	if !errors.Is(lastErr, device.ErrOverloaded) {
+		t.Fatalf("loss cause = %v, want device.ErrOverloaded", lastErr)
+	}
+	reg, _ := o.R.Metrics(plan.App)
+	if s, ok := reg.Find("serve_retries"); ok && s.Value != 0 {
+		t.Fatalf("serve_retries = %v, want 0", s.Value)
+	}
+}
+
+// TestDeviceQueueBound exercises the bounded device queue directly.
+func TestDeviceQueueBound(t *testing.T) {
+	c := testContinuum(t)
+	d := c.Devices["cloud-srv-0"]
+	d.SetQueueLimit(sim.Millisecond)
+	// Fill every core past the bound with big work.
+	var rejected int
+	for i := 0; i < 4*d.Spec().Cores+8; i++ {
+		if _, err := d.Run(device.Work{Name: "big", GOps: 500}, c.Engine.Now()); err != nil {
+			if !errors.Is(err, device.ErrOverloaded) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			rejected++
+		}
+	}
+	if rejected == 0 {
+		t.Fatal("no work rejected past the queue bound")
+	}
+	if d.Rejected() != int64(rejected) {
+		t.Fatalf("Rejected() = %d, want %d", d.Rejected(), rejected)
+	}
+}
+
+// TestFabricQueueBound exercises the bounded link queue directly.
+func TestFabricQueueBound(t *testing.T) {
+	c := testContinuum(t)
+	c.Fabric.SetMaxQueueDelay(sim.Millisecond)
+	var failed, sent int
+	for i := 0; i < 16; i++ {
+		// 10MB transfers on an edge uplink: each takes ~1s of link time,
+		// so everything behind the first waits far past the bound.
+		err := c.Fabric.Send("edge-rv-0", "fog-gw-0", 10e6, network.Options{}, func(err error) {
+			if err != nil {
+				if !errors.Is(err, network.ErrQueueFull) {
+					t.Errorf("transfer error = %v, want ErrQueueFull", err)
+				}
+				failed++
+			}
+		})
+		if err == nil {
+			sent++
+		}
+	}
+	c.Engine.Run()
+	if sent == 0 || failed == 0 {
+		t.Fatalf("sent=%d dropped=%d: bound never engaged", sent, failed)
+	}
+	if got := c.Fabric.Stats().QueueDrops; got != int64(failed) {
+		t.Fatalf("QueueDrops = %d, want %d", got, failed)
+	}
+}
+
+// BenchmarkSubmitOverload measures the shed path: every submit is
+// refused by a zero-rate admission controller, so the benchmark tracks
+// the fixed cost of rejecting a request under overload.
+func BenchmarkSubmitOverload(b *testing.B) {
+	opts := continuum.DefaultOptions()
+	opts.KBReplicas = 1
+	c, err := continuum.Build(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := NewOrchestrator(NewManager(c, LatencyGoal()))
+	st, err := tosca.Parse(appYAML)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := o.Deploy(st)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Rate so low the bucket never refills a token within the run; every
+	// submit after the burst allowance travels the full shed path.
+	ac := NewAdmissionController(c.Engine, AdmissionConfig{Rate: 1e-9, Burst: 8})
+	o.R.SetAdmission(ac)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = o.R.Submit(plan.App, 1, nil)
+	}
+}

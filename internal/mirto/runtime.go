@@ -34,10 +34,26 @@ type Runtime struct {
 
 	ok     map[string]*telemetry.Counter
 	failed map[string]*telemetry.Counter
+	// shed counts requests rejected at the door (admission control or the
+	// in-flight bound) — deliberately separate from failed: a shed
+	// request never consumed serve-path capacity.
+	shed map[string]*telemetry.Counter
+	// degraded counts requests served at reduced quality under brownout.
+	degraded map[string]*telemetry.Counter
 	// recent holds each app's sliding window of successful request
 	// latencies; the MAPE-K monitor prefers its p95 over the cumulative
 	// histogram so violations subside once their cause heals.
 	recent map[string]*telemetry.Window
+
+	// Overload-protection hooks (all optional; wire before serving):
+	// admission gates every submit, breakers fast-fail suspect targets,
+	// maxInFlight bounds concurrent requests per app, brownout holds each
+	// app's current degradation level.
+	admission   *AdmissionController
+	breakers    *BreakerSet
+	maxInFlight int
+	inflight    map[string]int
+	brownout    map[string]int
 }
 
 // NewRuntime builds a runtime over the manager's continuum.
@@ -52,8 +68,99 @@ func NewRuntime(m *Manager) *Runtime {
 		metrics:  map[string]*telemetry.Registry{},
 		ok:       map[string]*telemetry.Counter{},
 		failed:   map[string]*telemetry.Counter{},
+		shed:     map[string]*telemetry.Counter{},
+		degraded: map[string]*telemetry.Counter{},
 		recent:   map[string]*telemetry.Window{},
+		inflight: map[string]int{},
+		brownout: map[string]int{},
 	}
+}
+
+// SetAdmission wires an admission controller in front of every Submit:
+// requests the controller refuses return ErrOverloaded without touching
+// a device. Wire before serving; nil detaches.
+func (r *Runtime) SetAdmission(ac *AdmissionController) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.admission = ac
+}
+
+// Admission returns the attached admission controller (nil when none).
+func (r *Runtime) Admission() *AdmissionController {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.admission
+}
+
+// SetBreakers wires per-device and per-link circuit breakers into the
+// serve path: stages and transfers consult the breaker before touching
+// their target and record the outcome after. Wire before serving.
+func (r *Runtime) SetBreakers(bs *BreakerSet) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.breakers = bs
+}
+
+// Breakers returns the attached breaker set (nil when none).
+func (r *Runtime) Breakers() *BreakerSet {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.breakers
+}
+
+// SetMaxInFlight bounds how many requests per app may be in flight at
+// once; submits beyond the bound are shed with ErrOverloaded. Zero
+// restores the unbounded legacy behavior. Wire before serving.
+func (r *Runtime) SetMaxInFlight(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.maxInFlight = n
+}
+
+// SetBrownout sets an app's brownout level: 0 serves the full pipeline,
+// 1 drops optional stages (template nodes with property optional: 1),
+// 2 additionally halves the per-request batch size (reduced replica
+// quality). The MAPE-K loop drives this under sustained shedding and
+// restores it on recovery.
+func (r *Runtime) SetBrownout(app string, level int) {
+	if level < 0 {
+		level = 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.brownout[app] = level
+}
+
+// Brownout returns an app's current brownout level.
+func (r *Runtime) Brownout(app string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.brownout[app]
+}
+
+// PlanSojourn measures the serve path's current queue delay for a plan:
+// the worst per-device backlog across its assignments — the sojourn
+// signal the admission controller's delay gate watches.
+func (r *Runtime) PlanSojourn(plan *Plan) sim.Time {
+	now := r.engine.Now()
+	var worst sim.Time
+	for _, a := range plan.Assignments {
+		if d := r.devices[a.Device]; d != nil && !d.Failed() {
+			if qd := d.QueueDelay(now); qd > worst {
+				worst = qd
+			}
+		}
+	}
+	return worst
+}
+
+// releaseInflight returns one in-flight slot for app.
+func (r *Runtime) releaseInflight(app string) {
+	r.mu.Lock()
+	if n := r.inflight[app]; n > 0 {
+		r.inflight[app] = n - 1
+	}
+	r.mu.Unlock()
 }
 
 // Register makes an executed plan runnable.
@@ -66,6 +173,8 @@ func (r *Runtime) Register(plan *Plan) {
 		r.metrics[plan.App] = reg
 		r.ok[plan.App] = reg.Counter(telemetry.Application, "requests_ok")
 		r.failed[plan.App] = reg.Counter(telemetry.Application, "requests_failed")
+		r.shed[plan.App] = reg.Counter(telemetry.Application, "requests_shed")
+		r.degraded[plan.App] = reg.Counter(telemetry.Application, "requests_degraded")
 		r.recent[plan.App] = telemetry.NewWindow(128)
 	}
 }
@@ -123,7 +232,11 @@ func (r *Runtime) SubmitFrom(app, ingress string, items int64, done func(lat sim
 	plan := r.plans[app]
 	reg := r.metrics[app]
 	okC, failC := r.ok[app], r.failed[app]
+	shedC, degradedC := r.shed[app], r.degraded[app]
 	recentW := r.recent[app]
+	ac, bs := r.admission, r.breakers
+	maxIF := r.maxInFlight
+	level := r.brownout[app]
 	r.mu.Unlock()
 	if plan == nil {
 		return errNoPlan
@@ -131,8 +244,44 @@ func (r *Runtime) SubmitFrom(app, ingress string, items int64, done func(lat sim
 	if items <= 0 {
 		items = 1
 	}
+
+	// Admission gate: the controller sees the app's priority class and the
+	// serve path's measured sojourn, and sheds deterministically before
+	// the request touches any device.
+	if ac != nil {
+		if err := ac.Admit(plan.Priority(), r.PlanSojourn(plan)); err != nil {
+			shedC.Inc()
+			return err
+		}
+	}
+	// In-flight bound: the serve path's concurrency is capped, so a flood
+	// of accepted requests cannot build an unbounded internal backlog.
+	tracked := false
+	if maxIF > 0 {
+		r.mu.Lock()
+		if r.inflight[app] >= maxIF {
+			r.mu.Unlock()
+			shedC.Inc()
+			return fmt.Errorf("mirto: app %s at in-flight limit %d: %w", app, maxIF, ErrOverloaded)
+		}
+		r.inflight[app]++
+		tracked = true
+		r.mu.Unlock()
+	}
+
 	st := plan.Template
 	shape := plan.pipelineShape()
+	if level >= 1 {
+		// Brownout: serve a reduced pipeline rather than shed. Level 1
+		// splices out optional stages; level 2 also halves the batch.
+		if b := plan.brownoutShape(); len(b.order) > 0 && len(b.order) < len(shape.order) {
+			shape = b
+		}
+		if level >= 2 && items > 1 {
+			items = (items + 1) / 2
+		}
+		degradedC.Inc()
+	}
 	order, consumers, indeg := shape.order, shape.consumers, shape.indeg
 	start := r.engine.Now()
 	latHist := reg.Histogram(telemetry.Application, "latency_ms")
@@ -172,6 +321,9 @@ func (r *Runtime) SubmitFrom(app, ingress string, items int64, done func(lat sim
 			return
 		}
 		finished = true
+		if tracked {
+			r.releaseInflight(app)
+		}
 		failC.Inc()
 		root.SetError(err)
 		root.EndNow()
@@ -205,6 +357,12 @@ func (r *Runtime) SubmitFrom(app, ingress string, items int64, done func(lat sim
 		if !pctx.Valid() {
 			pctx = rootCtx
 		}
+		// Device breaker: fast-fail a stage whose target is open rather
+		// than paying for a doomed or saturated run.
+		if bs != nil && !bs.Allow(a.Device) {
+			failDone(fmt.Errorf("mirto: device %s for stage %s: %w", a.Device, n, ErrCircuitOpen))
+			return
+		}
 		res, err := dev.Run(device.Work{
 			Name:   plan.App + "/" + n,
 			GOps:   nt.PropFloat("gops", 1),
@@ -213,8 +371,14 @@ func (r *Runtime) SubmitFrom(app, ingress string, items int64, done func(lat sim
 			Ctx:    pctx,
 		}, at)
 		if err != nil {
+			if bs != nil {
+				bs.Failure(a.Device)
+			}
 			failDone(err)
 			return
+		}
+		if bs != nil {
+			bs.Success(a.Device)
 		}
 		totalEnergy += res.EnergyJoules
 		outMB := nt.PropFloat("outMB", 0.1)
@@ -230,6 +394,9 @@ func (r *Runtime) SubmitFrom(app, ingress string, items int64, done func(lat sim
 				remainingSinks--
 				if remainingSinks == 0 {
 					finished = true
+					if tracked {
+						r.releaseInflight(app)
+					}
 					lat := finishAll - start
 					latHist.Observe(lat.Seconds() * 1e3)
 					recentW.Push(int64(finishAll), lat.Seconds()*1e3)
@@ -272,16 +439,34 @@ func (r *Runtime) SubmitFrom(app, ingress string, items int64, done func(lat sim
 				continue
 			}
 			size := int64(outMB * 1e6)
+			lkey := a.Device + "->" + ca.Device
 			r.engine.At(res.Finish, func() {
+				// Link breaker: a link that keeps losing transfers (or a
+				// flooded broker path shedding with ErrQueueFull) is
+				// fast-failed until its cooldown probe succeeds.
+				if bs != nil && !bs.Allow(lkey) {
+					deliver(trace.SpanContext{}, fmt.Errorf("link %s: %w", lkey, ErrCircuitOpen))
+					return
+				}
 				// tctx is captured by the done closure; SendCtx returns
 				// before any delivery event can fire, so the assignment
 				// is always visible to the callback.
 				var tctx trace.SpanContext
 				var serr error
 				tctx, serr = r.fabric.SendCtx(res.Ctx, a.Device, ca.Device, size, network.Options{Retries: 3}, func(err error) {
+					if bs != nil {
+						if err != nil {
+							bs.Failure(lkey)
+						} else {
+							bs.Success(lkey)
+						}
+					}
 					deliver(tctx, err)
 				})
 				if serr != nil {
+					if bs != nil {
+						bs.Failure(lkey)
+					}
 					deliver(trace.SpanContext{}, serr)
 				}
 			})
@@ -303,9 +488,21 @@ func (r *Runtime) SubmitFrom(app, ingress string, items int64, done func(lat sim
 			continue
 		}
 		// Input data must travel from the ingress device first.
+		ikey := ingress + "->" + a.Device
+		if bs != nil && !bs.Allow(ikey) {
+			failDone(fmt.Errorf("mirto: ingress link %s: %w", ikey, ErrCircuitOpen))
+			continue
+		}
 		var ictx trace.SpanContext
 		var serr error
 		ictx, serr = r.fabric.SendCtx(rootCtx, ingress, a.Device, int64(inMB*1e6), network.Options{Retries: 3}, func(err error) {
+			if bs != nil {
+				if err != nil {
+					bs.Failure(ikey)
+				} else {
+					bs.Success(ikey)
+				}
+			}
 			if err != nil {
 				failDone(fmt.Errorf("mirto: ingress transfer to %s: %w", n, err))
 				return
@@ -315,6 +512,9 @@ func (r *Runtime) SubmitFrom(app, ingress string, items int64, done func(lat sim
 			runStage(n)
 		})
 		if serr != nil {
+			if bs != nil {
+				bs.Failure(ikey)
+			}
 			failDone(serr)
 		}
 	}
@@ -381,7 +581,10 @@ func (r *Runtime) SubmitWithRetry(app, ingress string, items int64, pol RetryPol
 			if pol.OnAttemptFail != nil {
 				pol.OnAttemptFail(a, err)
 			}
-			if a >= pol.Attempts {
+			// Non-retryable classes (overload shed, security refusal) fail
+			// fast: retrying a deterministic policy decision only feeds the
+			// very overload that produced it — the retry-storm antipattern.
+			if a >= pol.Attempts || !Retryable(err) {
 				lostC.Inc()
 				if done != nil {
 					done(0, 0, a, err)
@@ -452,9 +655,15 @@ func (r *Runtime) ServeRequest(app string, items int64) (sim.Time, float64, erro
 
 // KPIs summarizes an app's recent performance.
 type KPIs struct {
-	App       string
-	Requests  int64
-	Failed    int64
+	App      string
+	Requests int64
+	Failed   int64
+	// Shed counts requests rejected by admission control or the in-flight
+	// bound — overload protection working, not the serve path failing.
+	Shed int64
+	// Degraded counts requests served under brownout (optional stages
+	// dropped and/or batch halved).
+	Degraded  int64
 	LatencyMs telemetry.Snapshot
 	// RecentP95Ms is the p95 over the sliding window of the latest
 	// successful requests (0 until the first success). Unlike the
@@ -496,6 +705,12 @@ func (r *Runtime) KPIs(app string) (KPIs, bool) {
 	}
 	if s, ok := reg.Find("requests_failed"); ok {
 		k.Failed = int64(s.Value)
+	}
+	if s, ok := reg.Find("requests_shed"); ok {
+		k.Shed = int64(s.Value)
+	}
+	if s, ok := reg.Find("requests_degraded"); ok {
+		k.Degraded = int64(s.Value)
 	}
 	if s, ok := reg.Find("energy_joules"); ok {
 		k.EnergyJoules = s.Value

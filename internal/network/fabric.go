@@ -1,12 +1,20 @@
 package network
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 
 	"myrtus/internal/sim"
 	"myrtus/internal/trace"
 )
+
+// ErrQueueFull is the deterministic fast-reject a transfer receives when
+// a link's queue delay exceeds the fabric's configured bound — the
+// bounded-queue alternative to letting a saturated link (or a flooded
+// broker endpoint) absorb unbounded backlog. It is an overload signal,
+// not a fault: mirto.Retryable reports false for it.
+var ErrQueueFull = errors.New("network: link queue full")
 
 // Fabric simulates message transfers over a Topology on a sim.Engine.
 // It is the delivery layer under the protocol endpoints (pub/sub broker,
@@ -24,11 +32,16 @@ type Fabric struct {
 	retryBase sim.Time
 	rng       *sim.RNG
 
-	delivered int64
-	lost      int64
-	retries   int64
-	backoff   sim.Time
-	latency   latencyAgg
+	// maxQueue bounds each link's per-slice queue delay: a transfer whose
+	// hop would wait longer is dropped with ErrQueueFull (0 = unbounded).
+	maxQueue sim.Time
+
+	delivered  int64
+	lost       int64
+	retries    int64
+	queueDrops int64
+	backoff    sim.Time
+	latency    latencyAgg
 }
 
 type latencyAgg struct {
@@ -59,6 +72,15 @@ func NewFabric(engine *sim.Engine, topo *Topology) *Fabric {
 // legacy immediate-retry behaviour (retransmits consume no virtual time
 // beyond the link traversal itself).
 func (f *Fabric) SetRetryBackoff(base sim.Time) { f.retryBase = base }
+
+// SetMaxQueueDelay bounds every link's per-slice queue: a hop that would
+// wait longer than limit behind queued transfers is dropped with
+// ErrQueueFull instead of stretching the queue further. This is what
+// caps the pub/sub broker's effective queue depth too — a burst of
+// publishes queues on the broker endpoint's links, and everything past
+// the bound is shed rather than delaying all traffic behind it. Zero
+// restores unbounded queuing.
+func (f *Fabric) SetMaxQueueDelay(limit sim.Time) { f.maxQueue = limit }
 
 // backoffDelay is the attempt'th retransmit's deterministic exponential
 // backoff with seeded jitter; attempt counts retransmits already spent
@@ -147,6 +169,13 @@ func (f *Fabric) hop(path []string, idx int, size int64, opts Options, start sim
 		free = now
 	}
 	wait := free - now
+	if f.maxQueue > 0 && wait > f.maxQueue {
+		f.topo.mu.Unlock()
+		f.queueDrops++
+		f.fail(done, fmt.Errorf("network: %s->%s queue delay %v exceeds %v: %w",
+			from, to, wait, f.maxQueue, ErrQueueFull))
+		return
+	}
 	ser := serialization(size, bw)
 	link.nextFree[opts.Slice] = free + ser
 	link.queueTotal += wait
@@ -192,9 +221,12 @@ func (f *Fabric) fail(done func(error), err error) {
 
 // FabricStats summarizes fabric activity.
 type FabricStats struct {
-	Delivered   int64
-	Lost        int64
-	Retries     int64
+	Delivered int64
+	Lost      int64
+	Retries   int64
+	// QueueDrops counts transfers shed by the bounded link queue
+	// (SetMaxQueueDelay) instead of queuing past the bound.
+	QueueDrops  int64
 	BackoffTime sim.Time // virtual time spent waiting out retransmit backoffs
 	MeanLatency sim.Time
 	MaxLatency  sim.Time
@@ -202,7 +234,7 @@ type FabricStats struct {
 
 // Stats returns cumulative transfer statistics.
 func (f *Fabric) Stats() FabricStats {
-	s := FabricStats{Delivered: f.delivered, Lost: f.lost, Retries: f.retries, BackoffTime: f.backoff, MaxLatency: f.latency.max}
+	s := FabricStats{Delivered: f.delivered, Lost: f.lost, Retries: f.retries, QueueDrops: f.queueDrops, BackoffTime: f.backoff, MaxLatency: f.latency.max}
 	if f.latency.n > 0 {
 		s.MeanLatency = f.latency.sum / sim.Time(f.latency.n)
 	}

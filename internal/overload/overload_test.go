@@ -1,0 +1,93 @@
+package overload
+
+import (
+	"strings"
+	"testing"
+
+	"myrtus/internal/mirto"
+	"myrtus/internal/sim"
+)
+
+// sweep runs a short two-point sweep (1x and 4x capacity) used by every
+// assertion below.
+func sweep(t *testing.T, admission bool) *Report {
+	t.Helper()
+	rep, err := Run(Config{
+		Seed:        42,
+		Admission:   admission,
+		Duration:    4 * sim.Second,
+		Multipliers: []float64{1, 4},
+		MaxRequests: 8000,
+	})
+	if err != nil {
+		t.Fatalf("sweep (admission=%v): %v", admission, err)
+	}
+	return rep
+}
+
+// TestGoodputRetentionUnderOverload is the acceptance bar: at 4x offered
+// load the protected system sustains at least 90% of its peak goodput,
+// while the unprotected control run degrades measurably below it.
+func TestGoodputRetentionUnderOverload(t *testing.T) {
+	prot := sweep(t, true)
+	ctrl := sweep(t, false)
+
+	peak := prot.PeakGoodput()
+	if peak <= 0 {
+		t.Fatalf("protected sweep has no goodput:\n%s", prot.Render())
+	}
+	at4 := prot.Points[len(prot.Points)-1]
+	if at4.Multiplier != 4 {
+		t.Fatalf("last point is %vx, want 4x", at4.Multiplier)
+	}
+	if ret := at4.GoodputRPS / peak; ret < 0.9 {
+		t.Errorf("protected 4x retention = %.3f, want >= 0.9\n%s", ret, prot.Render())
+	}
+	ctrl4 := ctrl.Points[len(ctrl.Points)-1]
+	if ctrl4.GoodputRPS >= 0.9*at4.GoodputRPS {
+		t.Errorf("control 4x goodput %.1f not measurably below protected %.1f\n%s\n%s",
+			ctrl4.GoodputRPS, at4.GoodputRPS, ctrl.Render(), prot.Render())
+	}
+}
+
+// TestPrioritySheddingOrder checks the Table II mapping end to end: the
+// High-priority app's shed rate never exceeds the Low-priority app's at
+// any sweep point.
+func TestPrioritySheddingOrder(t *testing.T) {
+	rep := sweep(t, true)
+	for _, p := range rep.Points {
+		hi := p.Classes[mirto.PriorityHigh].ShedFrac()
+		lo := p.Classes[mirto.PriorityLow].ShedFrac()
+		if hi > lo {
+			t.Errorf("at %.1fx: shed(high)=%.3f > shed(low)=%.3f\n%s",
+				p.Multiplier, hi, lo, rep.Render())
+		}
+	}
+}
+
+// TestOverloadSheddingEngages makes sure the 4x point actually exercises
+// the protection stack rather than passing vacuously.
+func TestOverloadSheddingEngages(t *testing.T) {
+	rep := sweep(t, true)
+	at4 := rep.Points[len(rep.Points)-1]
+	var shed int64
+	for _, c := range at4.Classes {
+		shed += c.Shed
+	}
+	if shed == 0 {
+		t.Errorf("no requests shed at 4x offered load\n%s", rep.Render())
+	}
+}
+
+// TestReportDeterminism renders the same seed twice and demands
+// byte-identical output.
+func TestReportDeterminism(t *testing.T) {
+	a := sweep(t, true).Render()
+	b := sweep(t, true).Render()
+	if a != b {
+		t.Errorf("same-seed renders differ:\n--- first\n%s\n--- second\n%s", a, b)
+	}
+	if !strings.Contains(a, "admission=on") {
+		t.Errorf("render missing admission mode line:\n%s", a)
+	}
+}

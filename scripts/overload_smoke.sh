@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# overload_smoke.sh — CI gate for the overload-protection stack: run the
+# goodput-vs-offered-load sweep twice with the same seed under the race
+# detector, require the goodput-retention bar (the binary exits non-zero
+# when 4x retention drops below 90%), and diff the two reports
+# byte-for-byte to catch any nondeterminism regression. A control sweep
+# with the protection stack off is printed for the comparison record.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEED="${OVERLOAD_SEED:-7}"
+DURATION="${OVERLOAD_DURATION:-6}"
+BIN="$(mktemp -d)/continuum-sim"
+trap 'rm -rf "$(dirname "$BIN")"' EXIT
+
+go build -race -o "$BIN" ./cmd/continuum-sim
+
+echo "== overload -seed $SEED (protected) =="
+"$BIN" overload -seed "$SEED" -duration "$DURATION" | tee "$BIN.1"
+"$BIN" overload -seed "$SEED" -duration "$DURATION" > "$BIN.2"
+if ! diff -u "$BIN.1" "$BIN.2"; then
+  echo "overload: sweep is nondeterministic for seed $SEED" >&2
+  exit 1
+fi
+echo "determinism: ok"
+
+echo "== overload -seed $SEED (unprotected control) =="
+"$BIN" overload -seed "$SEED" -duration "$DURATION" -admission=false
