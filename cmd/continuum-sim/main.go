@@ -70,9 +70,11 @@ func chaosMain(argv []string) {
 	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
 	seed := fs.Uint64("seed", 1, "scenario + simulation seed")
 	mapek := fs.Bool("mapek", true, "run the MAPE-K self-healing loop (false = control run)")
+	stateful := fs.Bool("stateful", false, "run the stateful-app variant: checkpoint/restore stage state and verify it against a fault-free same-seed reference")
+	checkpoint := fs.Bool("checkpoint", true, "persist stateful stage state to the raft-backed KB (false = control arm measuring unrecovered loss)")
 	list := fs.Bool("list", false, "list bundled scenarios and exit")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: continuum-sim chaos <scenario> [-seed N] [-mapek=false]\n")
+		fmt.Fprintf(fs.Output(), "usage: continuum-sim chaos <scenario> [-seed N] [-mapek=false] [-stateful] [-checkpoint=false]\n")
 		fs.PrintDefaults()
 	}
 	// Accept flags before or after the positional scenario name.
@@ -94,7 +96,13 @@ func chaosMain(argv []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep, err := chaos.Run(sc, chaos.Config{Seed: *seed, MAPEK: *mapek})
+	if *stateful {
+		sc = chaos.Statefulize(sc)
+	}
+	rep, err := chaos.Run(sc, chaos.Config{
+		Seed: *seed, MAPEK: *mapek,
+		Stateful: *stateful, NoCheckpoint: !*checkpoint,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -103,6 +111,17 @@ func chaosMain(argv []string) {
 		fmt.Fprintf(os.Stderr, "chaos: availability %.2f%% below the 99%% self-healing bar\n",
 			100*rep.Availability())
 		os.Exit(1)
+	}
+	if *stateful && *checkpoint {
+		if len(rep.DivergentCells) > 0 {
+			fmt.Fprintf(os.Stderr, "chaos: %d state cell(s) diverged from the fault-free reference\n",
+				len(rep.DivergentCells))
+			os.Exit(1)
+		}
+		if rep.RPOItems > 0 {
+			fmt.Fprintf(os.Stderr, "chaos: RPO violated: %d committed state item(s) lost\n", rep.RPOItems)
+			os.Exit(1)
+		}
 	}
 }
 

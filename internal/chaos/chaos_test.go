@@ -3,6 +3,8 @@ package chaos
 import (
 	"strings"
 	"testing"
+
+	"myrtus/internal/sim"
 )
 
 // run executes a bundled scenario and fails the test on any setup error.
@@ -84,6 +86,103 @@ func TestControlWithoutMAPEKIsStrictlyWorse(t *testing.T) {
 				t.Errorf("control mttr p50 %v <= healed %v", cp50, hp50)
 			}
 		})
+	}
+}
+
+// runStateful executes a bundled scenario in its stateful-app variant.
+func runStateful(t *testing.T, name string, seed uint64, noCheckpoint bool) *Report {
+	t.Helper()
+	sc, err := BuiltIn(name, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(Statefulize(sc), Config{
+		Seed: seed, MAPEK: true, Stateful: true, NoCheckpoint: noCheckpoint,
+	})
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return rep
+}
+
+func TestStatefulScenariosRecoverWithZeroRPO(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			rep := runStateful(t, name, 7, false)
+			if !rep.Stateful || !rep.Checkpoint {
+				t.Fatalf("report flags stateful=%v checkpoint=%v", rep.Stateful, rep.Checkpoint)
+			}
+			if rep.StateApplied == 0 {
+				t.Fatal("no state applies; stateful stages never exercised")
+			}
+			if rep.Invalidations == 0 {
+				t.Errorf("invalidations = 0, faults never destroyed state\n%s", rep.Render())
+			}
+			if rep.Ckpt.Restores == 0 || len(rep.RTOSamples) == 0 {
+				t.Errorf("restores=%d rto samples=%d, recovery never ran",
+					rep.Ckpt.Restores, len(rep.RTOSamples))
+			}
+			_, p95 := rep.RTO()
+			if p95 <= 0 || p95 > 5*sim.Second {
+				t.Errorf("rto p95 = %v, want finite and under 5s", p95)
+			}
+			if rep.RPOItems != 0 {
+				t.Errorf("RPOItems = %d, committed state was lost\n%s", rep.RPOItems, rep.Render())
+			}
+			if rep.UnrestoredCells != 0 {
+				t.Errorf("unrestored cells = %d at drain", rep.UnrestoredCells)
+			}
+			if rep.ComparedCells != 2 || len(rep.DivergentCells) != 0 {
+				t.Errorf("divergence: compared=%d divergent=%v",
+					rep.ComparedCells, rep.DivergentCells)
+			}
+			if rep.Ckpt.Fulls == 0 || rep.Ckpt.BytesSent == 0 {
+				t.Errorf("checkpointer idle: fulls=%d bytes=%d", rep.Ckpt.Fulls, rep.Ckpt.BytesSent)
+			}
+		})
+	}
+}
+
+func TestStatefulWithoutCheckpointLosesState(t *testing.T) {
+	// The control arm: same faults, no checkpointing — the loss must be
+	// measurable, or the recovery machinery is claiming credit it did not
+	// earn.
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			rep := runStateful(t, name, 7, true)
+			if rep.Checkpoint {
+				t.Fatal("control arm reports checkpoint=on")
+			}
+			if rep.RPOItems == 0 {
+				t.Errorf("control arm lost nothing; checkpointing shows no benefit\n%s", rep.Render())
+			}
+			if rep.Ckpt.Restores != 0 || len(rep.RTOSamples) != 0 {
+				t.Errorf("control arm restored state: restores=%d rto=%d",
+					rep.Ckpt.Restores, len(rep.RTOSamples))
+			}
+			if len(rep.DivergentCells) == 0 {
+				t.Errorf("control arm state matches the fault-free run despite losing %d items",
+					rep.RPOItems)
+			}
+		})
+	}
+}
+
+func TestStatefulSameSeedRunsAreByteIdentical(t *testing.T) {
+	a := runStateful(t, "edge-flap", 7, false).Render()
+	b := runStateful(t, "edge-flap", 7, false).Render()
+	if a != b {
+		t.Errorf("same-seed stateful reports differ:\n--- run 1 ---\n%s--- run 2 ---\n%s", a, b)
+	}
+}
+
+func TestStatefulizeShape(t *testing.T) {
+	sc := Statefulize(EdgeFlap(1))
+	if sc.App != StatefulApp {
+		t.Fatal("app not swapped")
+	}
+	if sc.Retry.Attempts < 10 {
+		t.Fatalf("retry attempts = %d, divergence check needs every request to land", sc.Retry.Attempts)
 	}
 }
 

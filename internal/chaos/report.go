@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"myrtus/internal/mirto"
 	"myrtus/internal/network"
 	"myrtus/internal/sim"
 	"myrtus/internal/telemetry"
@@ -52,8 +53,40 @@ type Report struct {
 	EventsApplied int
 	EventErrors   []string
 
+	// Stateful-state section (set only when Config.Stateful). Checkpoint
+	// is false in the no-checkpoint control arm.
+	Stateful   bool
+	Checkpoint bool
+	// StateApplied counts state updates applied across stateful stages;
+	// DedupHits retried re-executions the dedup window absorbed (each one
+	// a prevented double-apply); Invalidations device-loss events on
+	// state cells; CleanMigrations live state moves under replans.
+	StateApplied, DedupHits        uint64
+	Invalidations, CleanMigrations uint64
+	// RPOItems is the number of applied state updates recovery could not
+	// bring back (the recovery-point objective; 0 = no state lost).
+	RPOItems uint64
+	// JournalReplayed counts journal entries folded in during restores;
+	// JournalEvicted entries that aged out of the bounded journal.
+	JournalReplayed, JournalEvicted uint64
+	// RTOSamples are per-incident crash→state-restored latencies.
+	RTOSamples []sim.Time
+	// Ckpt carries the checkpointer's counters (zero in the control arm).
+	Ckpt mirto.CheckpointStats
+	// UnrestoredCells counts cells still lost when the run drained.
+	UnrestoredCells int
+	// ComparedCells/DivergentCells are the state-divergence check against
+	// the fault-free same-seed reference: any cell whose canonical state
+	// bytes differ is listed.
+	ComparedCells  int
+	DivergentCells []string
+
 	// Registry exposes the headline counters as telemetry for export.
 	Registry *telemetry.Registry
+
+	// fingerprints is the canonical per-cell state at the end of the run,
+	// compared between the chaos and fault-free arms.
+	fingerprints map[string][]byte
 
 	attribution map[trace.Layer]*trace.LayerStat
 }
@@ -68,13 +101,19 @@ func (r *Report) Availability() float64 {
 
 // MTTR returns the p50 and p95 of the incident repair-time samples
 // (0, 0 when no incident closed).
-func (r *Report) MTTR() (p50, p95 sim.Time) {
-	n := len(r.MTTRSamples)
+func (r *Report) MTTR() (p50, p95 sim.Time) { return quantiles(r.MTTRSamples) }
+
+// RTO returns the p50 and p95 of the crash→state-restored latency
+// samples (0, 0 when no restore completed).
+func (r *Report) RTO() (p50, p95 sim.Time) { return quantiles(r.RTOSamples) }
+
+func quantiles(samples []sim.Time) (p50, p95 sim.Time) {
+	n := len(samples)
 	if n == 0 {
 		return 0, 0
 	}
 	s := make([]sim.Time, n)
-	copy(s, r.MTTRSamples)
+	copy(s, samples)
 	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
 	q := func(f float64) sim.Time {
 		i := int(f * float64(n))
@@ -136,6 +175,24 @@ func (r *Report) Render() string {
 	fmt.Fprintf(&b, "  faults:    applied=%d errors=%d\n", r.EventsApplied, len(r.EventErrors))
 	for _, e := range r.EventErrors {
 		fmt.Fprintf(&b, "    ! %s\n", e)
+	}
+	if r.Stateful {
+		ck := "on"
+		if !r.Checkpoint {
+			ck = "off"
+		}
+		fmt.Fprintf(&b, "  state:     applied=%d dedup_hits=%d invalidations=%d clean_migrations=%d unrestored=%d (checkpoint=%s)\n",
+			r.StateApplied, r.DedupHits, r.Invalidations, r.CleanMigrations, r.UnrestoredCells, ck)
+		rp50, rp95 := r.RTO()
+		fmt.Fprintf(&b, "  recovery:  rpo_items=%d rto_p50=%s rto_p95=%s restores=%d journal_replayed=%d journal_evicted=%d\n",
+			r.RPOItems, dur(rp50), dur(rp95), len(r.RTOSamples), r.JournalReplayed, r.JournalEvicted)
+		fmt.Fprintf(&b, "  checkpoint: fulls=%d deltas=%d skipped=%d bytes=%d send_failures=%d restores=%d journal_only=%d restore_failures=%d\n",
+			r.Ckpt.Fulls, r.Ckpt.Deltas, r.Ckpt.Skipped, r.Ckpt.BytesSent, r.Ckpt.SendFailures,
+			r.Ckpt.Restores, r.Ckpt.JournalOnlyRestores, r.Ckpt.RestoreFailures)
+		fmt.Fprintf(&b, "  divergence: compared=%d divergent=%d\n", r.ComparedCells, len(r.DivergentCells))
+		for _, cell := range r.DivergentCells {
+			fmt.Fprintf(&b, "    ! state diverged: %s\n", cell)
+		}
 	}
 	if att := r.Attribution(); len(att) > 0 {
 		fmt.Fprintf(&b, "  recovery attribution (critical path of recovering requests):\n")

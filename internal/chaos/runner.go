@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"myrtus/internal/continuum"
@@ -34,7 +35,22 @@ type Config struct {
 	// Infra overrides the continuum sizing (nil = DefaultOptions with
 	// the run seed).
 	Infra *continuum.Options
+
+	// Stateful tracks per-stage state cells for stages the app declares
+	// stateful, runs a fault-free same-seed reference of the scenario, and
+	// reports RPO/RTO plus the state-divergence check against it.
+	Stateful bool
+	// NoCheckpoint is the control arm: state cells exist but nothing
+	// persists them, so a crashed device's state is unrecoverable — the
+	// run that quantifies what checkpointing buys.
+	NoCheckpoint bool
+	// CheckpointEvery throttles checkpoint passes (default 1s).
+	CheckpointEvery sim.Time
 }
+
+// ckptAnchor is the device fronting the raft-replicated KB: checkpoint
+// transfers terminate there and restore transfers originate there.
+const ckptAnchor = "cloud-srv-0"
 
 // runner is the per-run mutable state: the live system plus the memo
 // maps that pair a fault with its later restore even after the plan has
@@ -52,13 +68,53 @@ type runner struct {
 	degraded      map[string][]network.Link
 	failedLayer   map[string][]string
 
+	// ss is the stateful-stage state store (nil unless cfg.Stateful):
+	// fault events stamp crash times on it for honest RTO measurement.
+	ss *mirto.StateStore
+
 	rep *Report
 }
 
 // Run executes one scenario and produces its resilience report. The
 // whole run — workload, faults, detection, healing — advances on the
 // simulation clock, so a (scenario, config) pair is fully reproducible.
+// With cfg.Stateful the scenario is run twice: once as scheduled and
+// once fault-free with the same seed, and the surviving per-stage state
+// of the chaos run is compared cell-by-cell against the fault-free
+// reference — nonzero divergence means recovery lost or double-applied
+// an update.
 func Run(sc Scenario, cfg Config) (*Report, error) {
+	rep, err := runOnce(sc, cfg)
+	if err != nil || !cfg.Stateful {
+		return rep, err
+	}
+	// Fault-free reference: same app, same seed, same workload schedule,
+	// no fault events. Its final per-stage state is what a correct
+	// recovery must reproduce exactly.
+	ref := sc
+	ref.Events = nil
+	refRep, err := runOnce(ref, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: fault-free reference run: %w", err)
+	}
+	for cell, want := range refRep.fingerprints {
+		rep.ComparedCells++
+		if string(rep.fingerprints[cell]) != string(want) {
+			rep.DivergentCells = append(rep.DivergentCells, cell)
+		}
+	}
+	for cell := range rep.fingerprints {
+		if _, ok := refRep.fingerprints[cell]; !ok {
+			rep.ComparedCells++
+			rep.DivergentCells = append(rep.DivergentCells, cell)
+		}
+	}
+	sort.Strings(rep.DivergentCells)
+	return rep, nil
+}
+
+// runOnce executes one scenario run end to end.
+func runOnce(sc Scenario, cfg Config) (*Report, error) {
 	sc = defaults(sc)
 	if cfg.DetectK < 1 {
 		cfg.DetectK = 2
@@ -87,6 +143,19 @@ func Run(sc Scenario, cfg Config) (*Report, error) {
 	}
 	m := mirto.NewManager(c, mirto.LatencyGoal())
 	o := mirto.NewOrchestrator(m)
+	var ss *mirto.StateStore
+	var cp *mirto.Checkpointer
+	if cfg.Stateful {
+		ss = mirto.NewStateStore(0)
+		o.R.SetStateStore(ss)
+		if !cfg.NoCheckpoint {
+			// Checkpoints ride the fabric into the raft-replicated KB the
+			// continuum already carries; the orchestrator pokes the
+			// checkpointer on every replan.
+			cp = mirto.NewCheckpointer(o.R, c.KB, ckptAnchor, cfg.CheckpointEvery)
+			o.CP = cp
+		}
+	}
 	st, err := tosca.Parse(sc.App)
 	if err != nil {
 		return nil, err
@@ -111,9 +180,12 @@ func Run(sc Scenario, cfg Config) (*Report, error) {
 	if breakers != nil {
 		fd.SetBreakers(breakers)
 	}
+	if ss != nil {
+		fd.SetStateStore(ss)
+	}
 
 	r := &runner{
-		c: c, o: o, app: plan.App,
+		c: c, o: o, app: plan.App, ss: ss,
 		crashTarget:   map[string]string{},
 		isolateTarget: map[string]string{},
 		savedLinks:    map[string][]network.Link{},
@@ -121,6 +193,7 @@ func Run(sc Scenario, cfg Config) (*Report, error) {
 		failedLayer:   map[string][]string{},
 		rep: &Report{
 			Scenario: sc.Name, Seed: cfg.Seed, MAPEK: cfg.MAPEK, Duration: sc.Duration,
+			Stateful: cfg.Stateful, Checkpoint: cfg.Stateful && !cfg.NoCheckpoint,
 			attribution: map[trace.Layer]*trace.LayerStat{},
 		},
 	}
@@ -153,6 +226,19 @@ func Run(sc Scenario, cfg Config) (*Report, error) {
 		fd.Tick()
 		if loop != nil {
 			loop.Iterate()
+		}
+		if cp != nil {
+			cp.Tick()
+		} else if ss != nil {
+			// No-checkpoint control: a lost cell has nothing to restore from,
+			// so the stage restarts empty on its current live placement and
+			// everything it held counts as RPO loss.
+			for _, key := range ss.LostCells() {
+				app, stage := mirto.SplitCellKey(key)
+				if dev, ok := o.R.StageDevice(app, stage); ok {
+					ss.AbandonLost(app, stage, dev, eng.Now())
+				}
+			}
 		}
 		if eng.Now()+cfg.TickEvery <= sc.Duration {
 			eng.After(cfg.TickEvery, tick)
@@ -205,9 +291,32 @@ func Run(sc Scenario, cfg Config) (*Report, error) {
 
 	eng.RunUntil(sc.Duration)
 	eng.Run() // drain in-flight retries and transfers past the horizon
+	if cp != nil {
+		// Final restore/checkpoint pass: a cell whose placement came back
+		// only near the horizon still gets its state recovered and the
+		// closing state persisted.
+		cp.Sync()
+		eng.Run()
+	}
 
 	// Roll up the counters.
 	rep := r.rep
+	if ss != nil {
+		sst := ss.Stats()
+		rep.StateApplied = sst.Applied
+		rep.DedupHits = sst.DedupHits
+		rep.Invalidations = sst.Invalidations
+		rep.CleanMigrations = sst.CleanMigrations
+		rep.RPOItems = sst.RPOItems
+		rep.JournalReplayed = sst.JournalReplayed
+		rep.JournalEvicted = sst.JournalEvicted
+		rep.RTOSamples = sst.RTOSamples
+		rep.UnrestoredCells = len(ss.LostCells())
+		if cp != nil {
+			rep.Ckpt = cp.Stats()
+		}
+		rep.fingerprints = ss.Fingerprints()
+	}
 	rep.Suspected, rep.Confirmed, rep.DetectorRecovered = fd.Stats()
 	if loop != nil {
 		rep.LoopIterations, _, _ = loop.Stats()
@@ -324,6 +433,11 @@ func (r *runner) apply(ev Event) error {
 			return fmt.Errorf("unknown device %q", dev)
 		}
 		r.crashTarget[ev.Target] = dev
+		if r.ss != nil {
+			// Stamp the true crash instant so RTO measures crash→restored,
+			// not detection→restored.
+			r.ss.NoteCrash(dev, r.c.Engine.Now())
+		}
 		d.Fail() // silent: the failure detector has to notice
 
 	case DeviceRepair:
@@ -411,6 +525,9 @@ func (r *runner) apply(ev Event) error {
 		}
 		r.failedLayer[ev.Target] = names
 		for _, n := range names {
+			if r.ss != nil {
+				r.ss.NoteCrash(n, r.c.Engine.Now())
+			}
 			r.c.Devices[n].Fail()
 		}
 

@@ -117,6 +117,53 @@ topology_template:
         properties: {level: medium}
 `
 
+// StatefulApp is DefaultApp with stateful detector and aggregator
+// stages: the detector accumulates per-window detection counters
+// (crashed and restored by edge-flap), the aggregator holds the rolling
+// aggregate (isolated and migrated by fog-partition) — together they
+// exercise both the crash-restore and the clean-migration recovery
+// paths.
+const StatefulApp = `
+tosca_definitions_version: tosca_2_0
+metadata:
+  template_name: chaos-cam
+topology_template:
+  node_templates:
+    camera:
+      type: myrtus.nodes.Container
+      properties: {cpu: 0.5, memoryMB: 128, gops: 0.2, outMB: 0.1, inMB: 0.2}
+    detector:
+      type: myrtus.nodes.AcceleratedKernel
+      properties: {cpu: 1, memoryMB: 256, kernel: conv2d, gops: 2, outMB: 0.05, stateful: true, stateMB: 0.5}
+      requirements:
+        - source: camera
+    aggregator:
+      type: myrtus.nodes.Container
+      properties: {cpu: 2, memoryMB: 1024, gops: 1, outMB: 0.01, stateful: true, stateMB: 2}
+      requirements:
+        - source: detector
+  policies:
+    - cam-edge:
+        type: myrtus.policies.Placement
+        targets: [camera]
+        properties: {layer: edge}
+    - det-medium:
+        type: myrtus.policies.Security
+        targets: [detector]
+        properties: {level: medium}
+`
+
+// Statefulize converts a scenario to its stateful-app variant: the app
+// gains stateful stages and the retry budget grows so every request
+// survives the bundled fault windows — the state-divergence check
+// demands that the chaos run eventually applies exactly the updates the
+// fault-free run does.
+func Statefulize(sc Scenario) Scenario {
+	sc.App = StatefulApp
+	sc.Retry = mirto.RetryPolicy{Attempts: 10, Base: 100 * sim.Millisecond}
+	return sc
+}
+
 func defaults(sc Scenario) Scenario {
 	if sc.App == "" {
 		sc.App = DefaultApp

@@ -10,6 +10,7 @@ package fl
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"myrtus/internal/sim"
 )
@@ -129,6 +130,14 @@ type Client struct {
 type FedAvgOptions struct {
 	Rounds int
 	Local  SGDOptions
+	// TrimFraction enables Byzantine-robust aggregation: each round the
+	// server takes the coordinate-wise trimmed mean, dropping the
+	// ⌈TrimFraction·n⌉ smallest and largest client values of every weight
+	// coordinate before averaging. The trimmed mean is unweighted —
+	// sample-count weighting would let a poisoning client amplify itself
+	// simply by claiming more data. 0 keeps plain sample-weighted FedAvg;
+	// values must lie in [0, 0.5) and leave at least one client untrimmed.
+	TrimFraction float64
 }
 
 // DefaultFedAvgOptions returns a standard configuration.
@@ -154,21 +163,50 @@ func FedAvg(clients []Client, dim int, opts FedAvgOptions) (*Model, error) {
 			return nil, fmt.Errorf("fl: client %s dim %d, want %d", c.Name, len(c.Data.X[0]), dim)
 		}
 	}
+	trim := 0
+	if opts.TrimFraction > 0 {
+		if opts.TrimFraction >= 0.5 {
+			return nil, fmt.Errorf("fl: trim fraction %.2f must be < 0.5", opts.TrimFraction)
+		}
+		trim = int(math.Ceil(opts.TrimFraction * float64(len(clients))))
+		if len(clients)-2*trim < 1 {
+			return nil, fmt.Errorf("fl: trimming %d from each end leaves no clients (have %d)", trim, len(clients))
+		}
+	}
 	global := NewModel(dim)
 	for r := 0; r < opts.Rounds; r++ {
-		sumW := make([]float64, dim)
-		sumB := 0.0
-		total := 0.0
-		for _, c := range clients {
+		locals := make([]*Model, len(clients))
+		for i, c := range clients {
 			local := global.Clone()
 			if err := local.TrainSGD(c.Data, opts.Local); err != nil {
 				return nil, fmt.Errorf("fl: client %s round %d: %w", c.Name, r, err)
 			}
+			locals[i] = local
+		}
+		if trim > 0 {
+			vals := make([]float64, len(locals))
+			coord := func(pick func(m *Model) float64) float64 {
+				for i, l := range locals {
+					vals[i] = pick(l)
+				}
+				return trimmedMean(vals, trim)
+			}
+			for j := range global.W {
+				j := j
+				global.W[j] = coord(func(m *Model) float64 { return m.W[j] })
+			}
+			global.B = coord(func(m *Model) float64 { return m.B })
+			continue
+		}
+		sumW := make([]float64, dim)
+		sumB := 0.0
+		total := 0.0
+		for i, c := range clients {
 			w := float64(c.Data.Len())
 			for j := range sumW {
-				sumW[j] += w * local.W[j]
+				sumW[j] += w * locals[i].W[j]
 			}
-			sumB += w * local.B
+			sumB += w * locals[i].B
 			total += w
 		}
 		for j := range global.W {
@@ -177,6 +215,18 @@ func FedAvg(clients []Client, dim int, opts FedAvgOptions) (*Model, error) {
 		global.B = sumB / total
 	}
 	return global, nil
+}
+
+// trimmedMean sorts vals in place, drops k values from each end, and
+// averages the rest. The caller guarantees len(vals) > 2k.
+func trimmedMean(vals []float64, k int) float64 {
+	sort.Float64s(vals)
+	kept := vals[k : len(vals)-k]
+	s := 0.0
+	for _, v := range kept {
+		s += v
+	}
+	return s / float64(len(kept))
 }
 
 // OperatingPointSample is one telemetry observation: device features at

@@ -1,6 +1,7 @@
 package fl
 
 import (
+	"fmt"
 	"math"
 	"testing"
 	"testing/quick"
@@ -145,6 +146,74 @@ func TestFedAvgValidation(t *testing.T) {
 	}
 	if _, err := FedAvg([]Client{c}, 1, FedAvgOptions{Rounds: 0}); err == nil {
 		t.Fatal("zero rounds accepted")
+	}
+}
+
+func TestTrimmedMeanFedAvgResistsPoisoning(t *testing.T) {
+	// Five honest clients share the same physics; one adversarial client
+	// claims a huge dataset whose labels are inverted and scaled — a model
+	// replacement attack. Plain sample-weighted FedAvg is dragged far off;
+	// the coordinate-wise trimmed mean discards the outlier per coordinate
+	// and stays close to the honest function.
+	rng := sim.NewRNG(7)
+	truth := func(x []float64) float64 { return 2*x[0] + x[1] - 1 }
+	mk := func(name string, n int, f func([]float64) float64) Client {
+		d := &Dataset{}
+		for i := 0; i < n; i++ {
+			x := []float64{rng.Float64(), rng.Float64()}
+			d.X = append(d.X, x)
+			d.Y = append(d.Y, f(x))
+		}
+		return Client{Name: name, Data: d}
+	}
+	var clients []Client
+	for i := 0; i < 5; i++ {
+		clients = append(clients, mk(fmt.Sprintf("honest-%d", i), 80, truth))
+	}
+	poison := func(x []float64) float64 { return -40 * truth(x) }
+	clients = append(clients, mk("adversary", 2000, poison))
+	test := mk("test", 200, truth).Data
+
+	opts := DefaultFedAvgOptions()
+	plain, err := FedAvg(clients, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.TrimFraction = 0.2 // ceil(0.2*6)=2 trimmed per end, 2 kept
+	robust, err := FedAvg(clients, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pMSE, rMSE := plain.MSE(test), robust.MSE(test)
+	if rMSE > 0.05 {
+		t.Fatalf("trimmed-mean model still poisoned: MSE %v", rMSE)
+	}
+	if pMSE < 10*rMSE {
+		t.Fatalf("attack too weak to discriminate: plain %v vs robust %v", pMSE, rMSE)
+	}
+}
+
+func TestTrimmedMeanEqualsPlainMeanWithoutOutliers(t *testing.T) {
+	vals := []float64{3, 1, 2, 5, 4}
+	if got := trimmedMean(vals, 0); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("untrimmed mean = %v", got)
+	}
+	vals2 := []float64{100, 1, 2, 3, -50}
+	if got := trimmedMean(vals2, 1); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("trimmed mean = %v", got)
+	}
+}
+
+func TestFedAvgTrimValidation(t *testing.T) {
+	c := Client{Name: "c", Data: &Dataset{X: [][]float64{{1}}, Y: []float64{1}}}
+	opts := DefaultFedAvgOptions()
+	opts.TrimFraction = 0.5
+	if _, err := FedAvg([]Client{c}, 1, opts); err == nil {
+		t.Fatal("trim fraction 0.5 accepted")
+	}
+	opts.TrimFraction = 0.4 // ceil(0.4*2)=1 per end leaves zero of two
+	if _, err := FedAvg([]Client{c, c}, 1, opts); err == nil {
+		t.Fatal("over-trimming accepted")
 	}
 }
 

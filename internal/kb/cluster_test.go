@@ -407,6 +407,72 @@ func TestClusterSnapshotCatchUp(t *testing.T) {
 	}
 }
 
+func TestClusterFailoverWithLaggingFollowerUnderLoss(t *testing.T) {
+	// The compound recovery scenario checkpoint durability leans on: a
+	// follower falls so far behind that the leader compacts past its log,
+	// the network starts dropping 15% of messages, the follower comes back
+	// and must catch up via snapshot transfer through the loss, and then
+	// the leader itself crashes. The cluster must elect a new leader and
+	// every live replica must converge on all committed keys.
+	c := NewCluster(5, 23)
+	c.Put("/seed", []byte("x"))
+	oldLead := c.Leader()
+	laggard := NodeID(0)
+	for _, id := range c.Members() {
+		if id != oldLead {
+			laggard = id
+			break
+		}
+	}
+	c.Crash(laggard)
+	// Push the log well past the compaction threshold so the laggard's
+	// log tail no longer exists anywhere — only a snapshot can help it.
+	for i := 0; i < 3*compactThreshold; i++ {
+		if rev := c.Put(fmt.Sprintf("/w%03d", i%64), []byte{byte(i)}); rev <= 0 {
+			t.Fatalf("put %d failed", i)
+		}
+	}
+	c.mu.Lock()
+	if c.nodes[oldLead].SnapshotIndex() == 0 {
+		c.mu.Unlock()
+		t.Fatal("leader never compacted; test premise broken")
+	}
+	c.mu.Unlock()
+	// Lossy recovery: the snapshot transfer has to survive drops.
+	c.SetDropProbability(0.15)
+	c.Recover(laggard)
+	c.Ticks(400)
+	if kv, ok := c.StaleGet(laggard, "/seed"); !ok || string(kv.Value) != "x" {
+		t.Fatalf("laggard lost pre-crash data under loss: %v %v", kv, ok)
+	}
+	if _, dropped := c.Stats(); dropped == 0 {
+		t.Fatal("no drops recorded at 15% loss; test premise broken")
+	}
+	// Now the leader dies too. A new one must emerge and keep committing.
+	c.Crash(oldLead)
+	if rev := c.Put("/after-failover", []byte("y")); rev <= 0 {
+		t.Fatal("cluster could not commit after leader crash")
+	}
+	newLead := c.Leader()
+	if newLead == 0 || newLead == oldLead {
+		t.Fatalf("leader = %d (old %d)", newLead, oldLead)
+	}
+	// Quiesce the network and verify every live replica holds the full
+	// committed history — snapshot-recovered laggard included.
+	c.SetDropProbability(0)
+	c.Ticks(200)
+	for _, id := range c.Members() {
+		if id == oldLead {
+			continue
+		}
+		for _, key := range []string{"/seed", "/w010", "/after-failover"} {
+			if kv, ok := c.StaleGet(id, key); !ok || len(kv.Value) == 0 {
+				t.Fatalf("replica %d missing %s after failover: %v %v", id, key, kv, ok)
+			}
+		}
+	}
+}
+
 func TestCompactToValidation(t *testing.T) {
 	c := NewCluster(1, 22)
 	c.Put("/k", []byte("v"))

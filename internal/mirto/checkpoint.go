@@ -1,0 +1,333 @@
+package mirto
+
+import (
+	"fmt"
+
+	"myrtus/internal/kb"
+	"myrtus/internal/network"
+	"myrtus/internal/sim"
+)
+
+// Checkpointer periodically persists every stateful stage's state cell
+// into the raft-replicated KB and drives the restore half of the MAPE-K
+// recovery path. Checkpoint bytes physically travel the fabric from the
+// owning device to the anchor device fronting the KB (so checkpoint
+// traffic is visible in FabricStats and competes with serve traffic),
+// and only a delivered transfer commits to the KB. Writes alternate
+// full images with deltas (the journal entries since the last full) to
+// keep steady-state checkpoint bytes proportional to the update rate,
+// not the state size.
+//
+// Leadership rides the KB's own lease machinery: the checkpointer holds
+// a kb.LeaseManager lease and a CAS-claimed leader key, so a second
+// checkpointer against the same KB stays passive until the first's
+// lease expires.
+type Checkpointer struct {
+	rt    *Runtime
+	ss    *StateStore
+	store kb.Backend
+	// anchor is the device fronting the KB: checkpoints flow owner→anchor,
+	// restores anchor→destination.
+	anchor string
+
+	// Interval is the checkpoint cadence on the sim clock; FullEvery is
+	// how many checkpoints of a cell may be deltas before the next full.
+	Interval  sim.Time
+	FullEvery int
+
+	leases   *kb.LeaseManager
+	lease    *kb.Lease
+	isLeader bool
+
+	book     map[string]*ckptBook
+	inflight map[string]bool
+	lastPass sim.Time
+	passes   uint64
+
+	stats CheckpointStats
+}
+
+// ckptBook is the per-cell checkpoint bookkeeping.
+type ckptBook struct {
+	hasFull   bool
+	needFull  bool
+	fullCount uint64 // state.Count captured by the last full image
+	fullPos   uint64 // journal total position at the last full image
+	lastCount uint64 // state.Count at the last committed checkpoint
+	sinceFull int    // deltas written since the last full
+}
+
+// CheckpointStats are the checkpoint/restore counters surfaced in the
+// chaos report.
+type CheckpointStats struct {
+	// Fulls/Deltas count committed checkpoint writes; Skipped cells whose
+	// state was unchanged at a pass; BytesSent the fabric bytes checkpoint
+	// and restore transfers moved.
+	Fulls, Deltas, Skipped, BytesSent uint64
+	// SendFailures counts checkpoint transfers the fabric lost (the state
+	// stays dirty and the next pass retries).
+	SendFailures uint64
+	// Restores counts completed checkpoint-backed restores;
+	// JournalOnlyRestores recoveries that found no committed checkpoint
+	// and rebuilt purely from the journal; RestoreFailures transfer or
+	// decode failures (retried on the next tick).
+	Restores, JournalOnlyRestores, RestoreFailures uint64
+}
+
+// ckptKey returns the KB key prefix for one cell's checkpoints.
+func ckptKey(app, stage, kind string) string {
+	return "mirto/ckpt/" + app + "/" + stage + "/" + kind
+}
+
+const ckptLeaderKey = "mirto/ckpt/leader"
+
+// NewCheckpointer wires a checkpointer over the runtime's state store.
+// The KB backend is typically the raft-replicated cluster the continuum
+// built; anchor names the device fronting it (checkpoint transfers
+// terminate there). Interval defaults to 1s, FullEvery to 4.
+func NewCheckpointer(rt *Runtime, store kb.Backend, anchor string, interval sim.Time) *Checkpointer {
+	if interval <= 0 {
+		interval = sim.Second
+	}
+	cp := &Checkpointer{
+		rt:        rt,
+		ss:        rt.StateStore(),
+		store:     store,
+		anchor:    anchor,
+		Interval:  interval,
+		FullEvery: 4,
+		leases:    kb.NewLeaseManager(store),
+		book:      map[string]*ckptBook{},
+		inflight:  map[string]bool{},
+	}
+	return cp
+}
+
+// Tick advances the checkpointer on the sensing cadence: lease
+// maintenance every tick, restore attempts for lost cells every tick
+// (recovery is urgent), checkpoint passes throttled to Interval.
+func (cp *Checkpointer) Tick() {
+	now := cp.rt.engine.Now()
+	cp.tickLease(now)
+	if !cp.isLeader {
+		return
+	}
+	cp.restorePass(now)
+	if cp.passes == 0 || now-cp.lastPass >= cp.Interval {
+		cp.lastPass = now
+		cp.passes++
+		cp.checkpointPass()
+	}
+}
+
+// Sync runs an immediate restore + checkpoint pass — the MAPE-K
+// executor pokes this right after a replan so a clean migration or a
+// fresh placement for a lost stage is handled without waiting for the
+// next tick.
+func (cp *Checkpointer) Sync() {
+	now := cp.rt.engine.Now()
+	cp.tickLease(now)
+	if !cp.isLeader {
+		return
+	}
+	cp.restorePass(now)
+	cp.checkpointPass()
+}
+
+// tickLease maintains the checkpointer's leadership lease: grant on
+// first touch, keep-alive afterwards, and a CAS claim of the leader key
+// once the previous holder's lease (if any) has expired.
+func (cp *Checkpointer) tickLease(now sim.Time) {
+	if cp.lease == nil {
+		cp.lease = cp.leases.Grant(int64(now), int64(4*cp.Interval))
+	} else {
+		cp.leases.KeepAlive(cp.lease.ID, int64(now)) //nolint:errcheck
+	}
+	cp.leases.Tick(int64(now))
+	if cp.isLeader {
+		// Re-assert the claim through the lease so expiry releases it.
+		cp.leases.Attach(cp.lease.ID, ckptLeaderKey, []byte(cp.anchor)) //nolint:errcheck
+		return
+	}
+	if _, held := cp.store.Get(ckptLeaderKey); held {
+		return // another checkpointer holds the key; wait for expiry
+	}
+	if _, ok := cp.store.CAS(ckptLeaderKey, 0, []byte(cp.anchor)); ok {
+		cp.isLeader = true
+		cp.leases.Attach(cp.lease.ID, ckptLeaderKey, []byte(cp.anchor)) //nolint:errcheck
+	}
+}
+
+// checkpointPass walks every cell in deterministic order and writes the
+// dirty ones.
+func (cp *Checkpointer) checkpointPass() {
+	for _, key := range cp.ss.Cells() {
+		cp.checkpointCell(key)
+	}
+}
+
+// checkpointCell writes one cell's checkpoint if it is dirty: the state
+// is encoded (full image or journal delta), the bytes ride the fabric
+// owner→anchor, and only a delivered transfer commits to the KB.
+func (cp *Checkpointer) checkpointCell(key string) {
+	if cp.inflight[key] {
+		return
+	}
+	app, stage := SplitCellKey(key)
+	owner, lost, restoring, ok := cp.ss.CellInfo(app, stage)
+	if !ok || lost || restoring || owner == "" {
+		return
+	}
+	st, _, _ := cp.ss.State(app, stage)
+	b := cp.book[key]
+	if b == nil {
+		b = &ckptBook{}
+		cp.book[key] = b
+	}
+	if st.Count == b.lastCount && b.hasFull && !b.needFull {
+		cp.stats.Skipped++
+		return
+	}
+	ents, newPos, covered := cp.ss.JournalSince(app, stage, b.fullPos)
+	full := !b.hasFull || b.needFull || !covered || b.sinceFull+1 >= cp.FullEvery
+	var payload []byte
+	var size int64
+	if full {
+		img := st
+		payload = EncodeState(&img)
+		// The declared state-size hint models the real aggregate payload a
+		// production stage would ship on top of our compact counters.
+		size = int64(cp.ss.Hint(app, stage)*1e6) + int64(len(payload))
+	} else {
+		payload = EncodeDelta(&StateDelta{Stage: stage, BaseCount: b.fullCount, Entries: ents})
+		size = int64(len(payload))
+	}
+	count := st.Count
+	cp.inflight[key] = true
+	commit := func(err error) {
+		cp.inflight[key] = false
+		if err != nil {
+			cp.stats.SendFailures++
+			return
+		}
+		cp.stats.BytesSent += uint64(size)
+		if full {
+			cp.store.Put(ckptKey(app, stage, "full"), payload)
+			cp.store.Delete(ckptKey(app, stage, "delta"))
+			b.hasFull, b.needFull = true, false
+			b.fullCount, b.fullPos = count, newPos
+			b.sinceFull = 0
+			cp.stats.Fulls++
+		} else {
+			cp.store.Put(ckptKey(app, stage, "delta"), payload)
+			b.sinceFull++
+			cp.stats.Deltas++
+		}
+		b.lastCount = count
+	}
+	if err := cp.rt.fabric.Send(owner, cp.anchor, size, network.Options{Retries: 3}, commit); err != nil {
+		cp.inflight[key] = false
+		cp.stats.SendFailures++
+	}
+}
+
+// restorePass tries to recover every lost cell whose stage has a live
+// placement: the latest committed checkpoint travels anchor→destination
+// over the fabric, is decoded (full + delta), and handed to the state
+// store, which replays the journal tail on top — CompleteRestore's
+// dedup guarantees replay never double-applies an entry the checkpoint
+// already holds.
+func (cp *Checkpointer) restorePass(now sim.Time) {
+	for _, key := range cp.ss.LostCells() {
+		app, stage := SplitCellKey(key)
+		dest, live := cp.rt.StageDevice(app, stage)
+		if !live {
+			continue // placement still points at the dead device; replan pending
+		}
+		if !cp.ss.MarkRestoring(app, stage) {
+			continue
+		}
+		fullKV, hasFull := cp.store.Get(ckptKey(app, stage, "full"))
+		deltaKV, hasDelta := cp.store.Get(ckptKey(app, stage, "delta"))
+		if !hasFull && !hasDelta {
+			// Nothing committed: rebuild purely from the journal tail. No
+			// bytes move, so the restore completes immediately.
+			cp.ss.CompleteRestore(app, stage, dest, nil, nil, now)
+			cp.markRestored(key)
+			cp.stats.JournalOnlyRestores++
+			continue
+		}
+		size := int64(len(fullKV.Value) + len(deltaKV.Value))
+		if hasFull {
+			size += int64(cp.ss.Hint(app, stage) * 1e6)
+		}
+		app, stage, key := app, stage, key
+		done := func(err error) {
+			if err != nil {
+				cp.stats.RestoreFailures++
+				cp.ss.ClearRestoring(app, stage)
+				return
+			}
+			if err := cp.installCheckpoint(app, stage, key, fullKV.Value, deltaKV.Value); err != nil {
+				cp.stats.RestoreFailures++
+				cp.ss.ClearRestoring(app, stage)
+				return
+			}
+			cp.stats.BytesSent += uint64(size)
+		}
+		if err := cp.rt.fabric.Send(cp.anchor, dest, size, network.Options{Retries: 3}, done); err != nil {
+			cp.stats.RestoreFailures++
+			cp.ss.ClearRestoring(app, stage)
+		}
+	}
+}
+
+// installCheckpoint decodes a delivered checkpoint and completes the
+// restore at the current virtual time (the delivery time).
+func (cp *Checkpointer) installCheckpoint(app, stage, key string, fullB, deltaB []byte) error {
+	img := &StageState{Stage: stage}
+	if len(fullB) > 0 {
+		dec, err := DecodeState(fullB)
+		if err != nil {
+			return fmt.Errorf("mirto: restoring %s: %w", key, err)
+		}
+		img = dec
+	}
+	extra := map[uint64]bool{}
+	if len(deltaB) > 0 {
+		d, err := DecodeDelta(deltaB)
+		if err != nil {
+			return fmt.Errorf("mirto: restoring %s delta: %w", key, err)
+		}
+		for _, e := range d.Entries {
+			if !img.seen(e.ReqID) {
+				img.apply(e.ReqID, e.Items, e.At, cp.ss.Bound())
+			}
+			extra[e.ReqID] = true
+		}
+	}
+	dest, live := cp.rt.StageDevice(app, stage)
+	if !live {
+		return fmt.Errorf("mirto: restore destination for %s died mid-transfer", key)
+	}
+	cp.ss.CompleteRestore(app, stage, dest, img, extra, cp.rt.engine.Now())
+	cp.markRestored(key)
+	cp.stats.Restores++
+	return nil
+}
+
+// markRestored resets a cell's checkpoint bookkeeping after a restore:
+// the next checkpoint must be a full image, because the restored state
+// no longer matches the delta chain in the KB.
+func (cp *Checkpointer) markRestored(key string) {
+	b := cp.book[key]
+	if b == nil {
+		b = &ckptBook{}
+		cp.book[key] = b
+	}
+	b.needFull = true
+	b.lastCount = 0
+}
+
+// Stats returns a copy of the checkpoint/restore counters.
+func (cp *Checkpointer) Stats() CheckpointStats { return cp.stats }

@@ -27,6 +27,11 @@ type FailureDetector struct {
 	// detector notices rather than after more requests time out into it.
 	breakers *BreakerSet
 
+	// stateStore, when set, has the suspect's state cells invalidated at
+	// suspicion: the device's RAM is presumed gone, and the checkpoint
+	// restore path takes over from there.
+	stateStore *StateStore
+
 	misses    map[string]int
 	suspected map[string]bool
 
@@ -53,6 +58,11 @@ func NewFailureDetector(c *continuum.Continuum, k int) *FailureDetector {
 // device's breaker open, a returning heartbeat resets it closed.
 func (fd *FailureDetector) SetBreakers(bs *BreakerSet) { fd.breakers = bs }
 
+// SetStateStore wires the state store into the detector: suspicion
+// invalidates the suspect's in-memory state cells (the eviction half of
+// the checkpoint/restore path).
+func (fd *FailureDetector) SetStateStore(ss *StateStore) { fd.stateStore = ss }
+
 // Tick senses one heartbeat round and returns the devices newly
 // suspected and newly recovered this round.
 func (fd *FailureDetector) Tick() (suspected, recovered []string) {
@@ -70,6 +80,9 @@ func (fd *FailureDetector) Tick() (suspected, recovered []string) {
 				}
 				if fd.breakers != nil {
 					fd.breakers.Trip(name)
+				}
+				if fd.stateStore != nil {
+					fd.stateStore.Invalidate(name, fd.c.Engine.Now())
 				}
 			case m == 2*fd.k:
 				fd.confirmedTotal++

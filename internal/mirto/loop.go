@@ -25,6 +25,11 @@ type Orchestrator struct {
 	// iterate.
 	ReplanCooldown sim.Time
 
+	// CP, when set, is poked right after every replan so stateful stages
+	// are checkpointed/restored against the new placement without waiting
+	// for the next checkpoint tick. Set before loops iterate.
+	CP *Checkpointer
+
 	mu    sync.Mutex
 	plans map[string]*Plan
 	loops map[string]*mapek.Loop
@@ -293,6 +298,11 @@ func (o *Orchestrator) replan(app string) error {
 	o.plans[app] = np
 	o.mu.Unlock()
 	o.R.Register(np)
+	if o.CP != nil {
+		// Stateful stages may have moved (clean migration) or finally have a
+		// live placement to restore onto — handle it now, on the replan.
+		o.CP.Sync()
+	}
 	return nil
 }
 

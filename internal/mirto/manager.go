@@ -193,6 +193,26 @@ type Plan struct {
 	// Table II security policies.
 	prioOnce sync.Once
 	prio     Priority
+
+	// statefulOnce caches the set of stages declared "stateful: true" so
+	// the serve path's per-request lookup is a map probe.
+	statefulOnce sync.Once
+	statefulSet  map[string]bool
+}
+
+// StatefulStages returns the template nodes declared stateful — the
+// stages whose per-request state the runtime tracks, checkpoints, and
+// restores across failures.
+func (p *Plan) StatefulStages() map[string]bool {
+	p.statefulOnce.Do(func() {
+		p.statefulSet = map[string]bool{}
+		for _, n := range p.Template.NodeNames() {
+			if p.Template.Nodes[n].PropBool("stateful", false) {
+				p.statefulSet[n] = true
+			}
+		}
+	})
+	return p.statefulSet
 }
 
 // Priority derives the plan's admission priority class from its

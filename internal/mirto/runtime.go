@@ -54,6 +54,14 @@ type Runtime struct {
 	maxInFlight int
 	inflight    map[string]int
 	brownout    map[string]int
+
+	// stateStore, when set, receives one apply per (request, stateful
+	// stage) at the stage's finish time; the request's deterministic ID
+	// makes the apply exactly-once across serve-path retries.
+	stateStore *StateStore
+	// reqSeq allocates each app's deterministic request IDs — assigned
+	// once per logical request and reused verbatim by every retry.
+	reqSeq map[string]uint64
 }
 
 // NewRuntime builds a runtime over the manager's continuum.
@@ -73,7 +81,58 @@ func NewRuntime(m *Manager) *Runtime {
 		recent:   map[string]*telemetry.Window{},
 		inflight: map[string]int{},
 		brownout: map[string]int{},
+		reqSeq:   map[string]uint64{},
 	}
+}
+
+// SetStateStore wires the stateful-stage state store into the serve
+// path. Wire before serving; nil detaches.
+func (r *Runtime) SetStateStore(ss *StateStore) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.stateStore = ss
+	if ss != nil {
+		ss.SetFailedFn(func(name string) bool {
+			d := r.devices[name]
+			return d != nil && d.Failed()
+		})
+	}
+}
+
+// StateStore returns the attached state store (nil when none).
+func (r *Runtime) StateStore() *StateStore {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stateStore
+}
+
+// StageDevice resolves a stage's current placement to a live device:
+// it reports false while the assignment points at a failed device (the
+// restore path waits for the MAPE-K replan to move the stage).
+func (r *Runtime) StageDevice(app, stage string) (string, bool) {
+	r.mu.Lock()
+	plan := r.plans[app]
+	r.mu.Unlock()
+	if plan == nil {
+		return "", false
+	}
+	a, ok := plan.Assignment(stage)
+	if !ok {
+		return "", false
+	}
+	d := r.devices[a.Device]
+	if d == nil || d.Failed() {
+		return "", false
+	}
+	return a.Device, true
+}
+
+// nextReqID allocates the next deterministic request ID for an app.
+func (r *Runtime) nextReqID(app string) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.reqSeq[app]++
+	return r.reqSeq[app]
 }
 
 // SetAdmission wires an admission controller in front of every Submit:
@@ -168,6 +227,11 @@ func (r *Runtime) Register(plan *Plan) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.plans[plan.App] = plan
+	if ss := r.stateStore; ss != nil {
+		for n := range plan.StatefulStages() {
+			ss.SetHint(plan.App, n, plan.Template.Nodes[n].PropFloat("stateMB", 1))
+		}
+	}
 	if r.metrics[plan.App] == nil {
 		reg := telemetry.NewRegistry(plan.App)
 		r.metrics[plan.App] = reg
@@ -228,6 +292,13 @@ func (r *Runtime) Submit(app string, items int64, done func(lat sim.Time, energy
 // device, so source stages placed elsewhere pay the transfer — this is
 // what makes edge placement of sensor-adjacent stages pay off.
 func (r *Runtime) SubmitFrom(app, ingress string, items int64, done func(lat sim.Time, energy float64, err error)) error {
+	return r.submitRequest(app, ingress, items, r.nextReqID(app), done)
+}
+
+// submitRequest is the serve path proper. reqID is the request's
+// deterministic identity: a retry resubmits with the same ID, and
+// stateful stages dedup on it so re-execution never double-applies.
+func (r *Runtime) submitRequest(app, ingress string, items int64, reqID uint64, done func(lat sim.Time, energy float64, err error)) error {
 	r.mu.Lock()
 	plan := r.plans[app]
 	reg := r.metrics[app]
@@ -235,6 +306,7 @@ func (r *Runtime) SubmitFrom(app, ingress string, items int64, done func(lat sim
 	shedC, degradedC := r.shed[app], r.degraded[app]
 	recentW := r.recent[app]
 	ac, bs := r.admission, r.breakers
+	ss := r.stateStore
 	maxIF := r.maxInFlight
 	level := r.brownout[app]
 	r.mu.Unlock()
@@ -243,6 +315,10 @@ func (r *Runtime) SubmitFrom(app, ingress string, items int64, done func(lat sim
 	}
 	if items <= 0 {
 		items = 1
+	}
+	var statefulSet map[string]bool
+	if ss != nil {
+		statefulSet = plan.StatefulStages()
 	}
 
 	// Admission gate: the controller sees the app's priority class and the
@@ -379,6 +455,16 @@ func (r *Runtime) SubmitFrom(app, ingress string, items int64, done func(lat sim
 		}
 		if bs != nil {
 			bs.Success(a.Device)
+		}
+		if statefulSet[n] {
+			// The stage's state update lands when the work finishes. Apply
+			// dedups on the request ID, so a retry that re-executes a stage
+			// whose first run already applied is a no-op — the exactly-once
+			// half of the recovery contract.
+			devName := a.Device
+			r.engine.At(res.Finish, func() {
+				ss.Apply(app, n, devName, reqID, items, res.Finish)
+			})
 		}
 		totalEnergy += res.EnergyJoules
 		outMB := nt.PropFloat("outMB", 0.1)
@@ -563,12 +649,16 @@ func (r *Runtime) SubmitWithRetry(app, ingress string, items int64, pol RetryPol
 	lostC := reg.Counter(telemetry.Application, "requests_lost")
 	retriesC := reg.Counter(telemetry.Application, "serve_retries")
 
+	// One deterministic request ID for the whole logical request: every
+	// retry resubmits under it, so a stateful stage that already applied
+	// the request before the failure dedups the re-execution.
+	reqID := r.nextReqID(app)
 	attempt := 0
 	var try func() error
 	try = func() error {
 		attempt++
 		a := attempt
-		return r.SubmitFrom(app, ingress, items, func(lat sim.Time, energy float64, err error) {
+		return r.submitRequest(app, ingress, items, reqID, func(lat sim.Time, energy float64, err error) {
 			if err == nil {
 				if a > 1 {
 					recoveredC.Inc()

@@ -1,0 +1,397 @@
+package mirto
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"reflect"
+	"testing"
+
+	"myrtus/internal/sim"
+)
+
+func TestStateApplyExactlyOnce(t *testing.T) {
+	ss := NewStateStore(8)
+	if !ss.Apply("app", "det", "dev-a", 1, 5, 0) {
+		t.Fatal("first apply rejected")
+	}
+	// A retried request re-executing the stage must be absorbed.
+	if ss.Apply("app", "det", "dev-a", 1, 5, sim.Second) {
+		t.Fatal("duplicate apply took effect")
+	}
+	st, lost, ok := ss.State("app", "det")
+	if !ok || lost {
+		t.Fatalf("State = lost=%v ok=%v", lost, ok)
+	}
+	if st.Count != 1 || st.Items != 5 || st.Xor != 1 {
+		t.Fatalf("state = %+v", st)
+	}
+	if s := ss.Stats(); s.Applied != 1 || s.DedupHits != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestStateDedupSurvivesJournalOnlyPhase(t *testing.T) {
+	// While a cell is lost, applies are journaled but not folded; a retry
+	// of a journaled request must still dedup against the journal.
+	ss := NewStateStore(8)
+	ss.Apply("app", "det", "dev-a", 1, 1, 0)
+	ss.NoteCrash("dev-a", sim.Second)
+	ss.Invalidate("dev-a", 2*sim.Second)
+	if !ss.Apply("app", "det", "dev-b", 2, 1, 3*sim.Second) {
+		t.Fatal("journal-phase apply rejected")
+	}
+	if ss.Apply("app", "det", "dev-b", 2, 1, 4*sim.Second) {
+		t.Fatal("journal-phase duplicate took effect")
+	}
+	if s := ss.Stats(); s.LostApplies != 1 || s.DedupHits != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestInvalidateAndRestoreZeroRPO(t *testing.T) {
+	ss := NewStateStore(16)
+	for i := uint64(1); i <= 4; i++ {
+		ss.Apply("app", "det", "dev-a", i, 2, sim.Time(i)*sim.Second)
+	}
+	// Crash at t=5s, detected at t=6s: lostAt must use the crash time.
+	ss.NoteCrash("dev-a", 5*sim.Second)
+	ss.Invalidate("dev-a", 6*sim.Second)
+	if got := ss.LostCells(); len(got) != 1 || got[0] != "app/det" {
+		t.Fatalf("LostCells = %v", got)
+	}
+	st, lost, _ := ss.State("app", "det")
+	if !lost || st.Count != 0 {
+		t.Fatalf("post-invalidate state = %+v lost=%v", st, lost)
+	}
+	// Two more applies land while lost (journaled only).
+	ss.Apply("app", "det", "dev-b", 5, 2, 7*sim.Second)
+	ss.Apply("app", "det", "dev-b", 6, 2, 8*sim.Second)
+	// Restore with no checkpoint image: the journal replays everything.
+	ss.CompleteRestore("app", "det", "dev-b", nil, nil, 9*sim.Second)
+	st, lost, _ = ss.State("app", "det")
+	if lost || st.Count != 6 || st.Items != 12 {
+		t.Fatalf("restored state = %+v lost=%v", st, lost)
+	}
+	s := ss.Stats()
+	if s.RPOItems != 0 {
+		t.Fatalf("RPOItems = %d, want 0 (journal covered everything)", s.RPOItems)
+	}
+	if s.JournalReplayed != 6 {
+		t.Fatalf("JournalReplayed = %d", s.JournalReplayed)
+	}
+	if len(s.RTOSamples) != 1 || s.RTOSamples[0] != 4*sim.Second {
+		t.Fatalf("RTOSamples = %v, want [4s] (crash 5s -> restored 9s)", s.RTOSamples)
+	}
+}
+
+func TestRestoreFromImageSkipsCoveredEntries(t *testing.T) {
+	ss := NewStateStore(16)
+	for i := uint64(1); i <= 3; i++ {
+		ss.Apply("app", "det", "dev-a", i, 1, sim.Time(i)*sim.Second)
+	}
+	img, _, _ := ss.State("app", "det")
+	ss.Invalidate("dev-a", 4*sim.Second)
+	ss.Apply("app", "det", "dev-b", 4, 1, 5*sim.Second)
+	ss.CompleteRestore("app", "det", "dev-b", &img, nil, 6*sim.Second)
+	st, _, _ := ss.State("app", "det")
+	if st.Count != 4 || st.Xor != 1^2^3^4 {
+		t.Fatalf("restored state = %+v", st)
+	}
+	// Only the uncovered journal entry replayed; the three in the image
+	// must not double-apply.
+	if s := ss.Stats(); s.JournalReplayed != 1 || s.RPOItems != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestAbandonLostCountsRPO(t *testing.T) {
+	// The no-checkpoint control path: everything the cell held is loss.
+	ss := NewStateStore(16)
+	for i := uint64(1); i <= 5; i++ {
+		ss.Apply("app", "det", "dev-a", i, 1, sim.Time(i)*sim.Second)
+	}
+	ss.Invalidate("dev-a", 6*sim.Second)
+	ss.AbandonLost("app", "det", "dev-b", 7*sim.Second)
+	if s := ss.Stats(); s.RPOItems != 5 {
+		t.Fatalf("RPOItems = %d, want 5", s.RPOItems)
+	}
+	st, lost, _ := ss.State("app", "det")
+	if lost || st.Count != 0 {
+		t.Fatalf("abandoned cell = %+v lost=%v", st, lost)
+	}
+}
+
+func TestApplyFromNewPlacementWithDeadOwnerInvalidates(t *testing.T) {
+	// A replan can move a stage off a crashed device before the failure
+	// detector confirms the crash. The first apply from the new placement
+	// must invalidate — state cannot migrate out of dead RAM.
+	ss := NewStateStore(16)
+	ss.Apply("app", "det", "dev-a", 1, 1, 0)
+	ss.NoteCrash("dev-a", sim.Second)
+	var lostApp, lostStage string
+	ss.SetOnLost(func(app, stage string) { lostApp, lostStage = app, stage })
+	ss.Apply("app", "det", "dev-b", 2, 1, 2*sim.Second)
+	s := ss.Stats()
+	if s.Invalidations != 1 || s.CleanMigrations != 0 {
+		t.Fatalf("stats = %+v, want inline invalidation not migration", s)
+	}
+	if s.LostApplies != 1 {
+		t.Fatalf("LostApplies = %d, the triggering apply must be journaled", s.LostApplies)
+	}
+	if lostApp != "app" || lostStage != "det" {
+		t.Fatalf("onLost fired with %q/%q", lostApp, lostStage)
+	}
+	if _, lost, _ := ss.State("app", "det"); !lost {
+		t.Fatal("cell not marked lost")
+	}
+}
+
+func TestApplyLiveOwnerChangeIsCleanMigration(t *testing.T) {
+	ss := NewStateStore(16)
+	ss.Apply("app", "det", "dev-a", 1, 1, 0)
+	// dev-a is alive (no crash stamp, no failed fn): a replan moving the
+	// stage migrates the state like a live process.
+	ss.Apply("app", "det", "dev-b", 2, 1, sim.Second)
+	s := ss.Stats()
+	if s.CleanMigrations != 1 || s.Invalidations != 0 {
+		t.Fatalf("stats = %+v, want clean migration", s)
+	}
+	st, lost, _ := ss.State("app", "det")
+	if lost || st.Count != 2 {
+		t.Fatalf("migrated state = %+v lost=%v", st, lost)
+	}
+}
+
+func TestApplyDeadOwnerViaFailedFn(t *testing.T) {
+	ss := NewStateStore(16)
+	down := map[string]bool{}
+	ss.SetFailedFn(func(d string) bool { return down[d] })
+	ss.Apply("app", "det", "dev-a", 1, 1, 0)
+	down["dev-a"] = true
+	ss.Apply("app", "det", "dev-b", 2, 1, sim.Second)
+	if s := ss.Stats(); s.Invalidations != 1 || s.CleanMigrations != 0 {
+		t.Fatalf("stats = %+v, want liveness-probe invalidation", s)
+	}
+}
+
+func TestJournalEvictionAndCoverage(t *testing.T) {
+	ss := NewStateStore(4)
+	for i := uint64(1); i <= 10; i++ {
+		ss.Apply("app", "det", "dev-a", i, 1, sim.Time(i))
+	}
+	if s := ss.Stats(); s.JournalEvicted != 6 {
+		t.Fatalf("JournalEvicted = %d", s.JournalEvicted)
+	}
+	// Position 0 was evicted: coverage is broken.
+	if _, _, covered := ss.JournalSince("app", "det", 0); covered {
+		t.Fatal("evicted position reported as covered")
+	}
+	ents, total, covered := ss.JournalSince("app", "det", 6)
+	if !covered || total != 10 || len(ents) != 4 || ents[0].ReqID != 7 {
+		t.Fatalf("JournalSince(6) = %d ents total=%d covered=%v", len(ents), total, covered)
+	}
+}
+
+func TestStateWindowsShift(t *testing.T) {
+	ss := NewStateStore(16)
+	ss.Apply("app", "det", "dev-a", 1, 1, 0)
+	ss.Apply("app", "det", "dev-a", 2, 1, sim.Second+sim.Millisecond)
+	ss.Apply("app", "det", "dev-a", 3, 1, sim.Second+2*sim.Millisecond)
+	st, _, _ := ss.State("app", "det")
+	if st.Windows[0] != 2 || st.Windows[1] != 1 {
+		t.Fatalf("windows = %v", st.Windows)
+	}
+	// A jump past the whole window range zeroes history.
+	ss.Apply("app", "det", "dev-a", 4, 1, 100*sim.Second)
+	st, _, _ = ss.State("app", "det")
+	if st.Windows[0] != 1 || st.Windows[1] != 0 {
+		t.Fatalf("windows after jump = %v", st.Windows)
+	}
+}
+
+func TestFingerprintOrderIndependent(t *testing.T) {
+	a, b := NewStateStore(16), NewStateStore(16)
+	a.Apply("app", "det", "d", 1, 2, 0)
+	a.Apply("app", "det", "d", 2, 3, sim.Second)
+	// Same requests, different order and different times.
+	b.Apply("app", "det", "d", 2, 3, 5*sim.Second)
+	b.Apply("app", "det", "d", 1, 2, 9*sim.Second)
+	fa, fb := a.Fingerprints()["app/det"], b.Fingerprints()["app/det"]
+	if !reflect.DeepEqual(fa, fb) {
+		t.Fatalf("fingerprints differ: %x vs %x", fa, fb)
+	}
+}
+
+func sampleState() *StageState {
+	s := &StageState{Stage: "det", Count: 7, Items: 21, Xor: 0xdead,
+		LastApply: 3 * sim.Second, WindowBase: 3}
+	s.Windows = [stateWindows]uint64{3, 2, 1, 1}
+	s.Dedup = []uint64{4, 5, 6, 7}
+	return s
+}
+
+func TestStateCodecRoundTrip(t *testing.T) {
+	s := sampleState()
+	got, err := DecodeState(EncodeState(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, got) {
+		t.Fatalf("round trip:\n want %+v\n got  %+v", s, got)
+	}
+	d := &StateDelta{Stage: "det", BaseCount: 7, Entries: []JournalEntry{
+		{ReqID: 8, Items: 3, At: 4 * sim.Second},
+		{ReqID: 9, Items: 1, At: 5 * sim.Second},
+	}}
+	gd, err := DecodeDelta(EncodeDelta(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d, gd) {
+		t.Fatalf("delta round trip:\n want %+v\n got  %+v", d, gd)
+	}
+}
+
+// resealCRC recomputes the trailing checksum after a deliberate
+// tamper, so the test reaches the field-level validation under it.
+func resealCRC(data []byte) []byte {
+	body := data[:len(data)-4]
+	return appendU32(append([]byte(nil), body...), crc32.ChecksumIEEE(body))
+}
+
+func TestStateCodecRejectsCorruptInput(t *testing.T) {
+	good := EncodeState(sampleState())
+	cases := map[string][]byte{
+		"empty":     {},
+		"truncated": good[:8],
+		"bad magic": append([]byte("XXXX"), good[4:]...),
+		"flipped byte": func() []byte {
+			b := append([]byte(nil), good...)
+			b[10] ^= 0xff
+			return b
+		}(),
+		"bad version": func() []byte {
+			b := append([]byte(nil), good...)
+			b[4] = 99
+			return resealCRC(b)
+		}(),
+		"trailing garbage": func() []byte {
+			b := append([]byte(nil), good[:len(good)-4]...)
+			b = append(b, 0xab)
+			return resealCRC(append(b, good[len(good)-4:]...))
+		}(),
+		"oversized dedup list": func() []byte {
+			b := append([]byte{}, stateMagicFull...)
+			b = append(b, stateCodecV1)
+			b = appendString(b, "det")
+			for i := 0; i < 3+stateWindows; i++ {
+				b = appendU64(b, 0)
+			}
+			b = appendU32(b, maxCodecList+1)
+			return appendCRC(b)
+		}(),
+		"delta magic on state": EncodeDelta(&StateDelta{Stage: "det"}),
+	}
+	for name, data := range cases {
+		if _, err := DecodeState(data); err == nil {
+			t.Errorf("%s: DecodeState accepted corrupt input", name)
+		}
+	}
+	if _, err := DecodeDelta(good); err == nil {
+		t.Error("DecodeDelta accepted a full-image record")
+	}
+}
+
+// FuzzStateCodec checks the checkpoint codec never panics on arbitrary
+// bytes and that anything it accepts re-encodes canonically.
+func FuzzStateCodec(f *testing.F) {
+	f.Add(EncodeState(sampleState()))
+	f.Add(EncodeDelta(&StateDelta{Stage: "det", BaseCount: 1,
+		Entries: []JournalEntry{{ReqID: 2, Items: 3, At: 4}}}))
+	f.Add([]byte("MYSF"))
+	f.Add([]byte("junk"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if s, err := DecodeState(data); err == nil {
+			re := EncodeState(s)
+			s2, err := DecodeState(re)
+			if err != nil {
+				t.Fatalf("re-encode of accepted state rejected: %v", err)
+			}
+			if !reflect.DeepEqual(s, s2) {
+				t.Fatalf("state not canonical: %+v vs %+v", s, s2)
+			}
+		}
+		if d, err := DecodeDelta(data); err == nil {
+			re := EncodeDelta(d)
+			d2, err := DecodeDelta(re)
+			if err != nil {
+				t.Fatalf("re-encode of accepted delta rejected: %v", err)
+			}
+			if !reflect.DeepEqual(d, d2) {
+				t.Fatalf("delta not canonical: %+v vs %+v", d, d2)
+			}
+		}
+	})
+}
+
+func TestFingerprintLayout(t *testing.T) {
+	s := &StageState{Count: 1, Items: 2, Xor: 3}
+	fp := s.Fingerprint()
+	if len(fp) != 24 {
+		t.Fatalf("fingerprint length %d", len(fp))
+	}
+	if binary.BigEndian.Uint64(fp[0:]) != 1 ||
+		binary.BigEndian.Uint64(fp[8:]) != 2 ||
+		binary.BigEndian.Uint64(fp[16:]) != 3 {
+		t.Fatalf("fingerprint = %x", fp)
+	}
+}
+
+func TestSplitCellKey(t *testing.T) {
+	if app, stage := SplitCellKey("a/b"); app != "a" || stage != "b" {
+		t.Fatalf("split = %q %q", app, stage)
+	}
+	if app, stage := SplitCellKey("solo"); app != "solo" || stage != "" {
+		t.Fatalf("split = %q %q", app, stage)
+	}
+}
+
+func TestMarkRestoringSingleFlight(t *testing.T) {
+	ss := NewStateStore(8)
+	ss.Apply("app", "det", "dev-a", 1, 1, 0)
+	if ss.MarkRestoring("app", "det") {
+		t.Fatal("restoring flag taken on a live cell")
+	}
+	ss.Invalidate("dev-a", sim.Second)
+	if !ss.MarkRestoring("app", "det") {
+		t.Fatal("restoring flag refused on a lost cell")
+	}
+	if ss.MarkRestoring("app", "det") {
+		t.Fatal("second restore admitted while one is in flight")
+	}
+	ss.ClearRestoring("app", "det")
+	if !ss.MarkRestoring("app", "det") {
+		t.Fatal("restoring flag refused after clear")
+	}
+}
+
+// BenchmarkCheckpointOverhead measures the CPU cost of one full
+// checkpoint cycle at the default dedup/journal bound: encoding a
+// bound-sized state image and decoding it back (the hot work the
+// Checkpointer adds per stage per interval; the simulated transfer cost
+// is separate and rides the fabric).
+func BenchmarkCheckpointOverhead(b *testing.B) {
+	ss := NewStateStore(0)
+	for i := 0; i < 4*DefaultStateBound; i++ {
+		ss.Apply("app", "det", "dev-a", uint64(i+1), 3, sim.Time(i)*sim.Millisecond)
+	}
+	st, _, _ := ss.State("app", "det")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data := EncodeState(&st)
+		if _, err := DecodeState(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -80,6 +80,22 @@ func (n *NodeTemplate) PropString(key, def string) string {
 	return def
 }
 
+// PropBool reads a boolean property with a default; numeric values are
+// truthy when nonzero (YAML authors write both "stateful: true" and
+// "stateful: 1").
+func (n *NodeTemplate) PropBool(key string, def bool) bool {
+	switch v := n.Properties[key].(type) {
+	case bool:
+		return v
+	case int64:
+		return v != 0
+	case float64:
+		return v != 0
+	default:
+		return def
+	}
+}
+
 // PropInt reads an integer property with a default.
 func (n *NodeTemplate) PropInt(key string, def int) int {
 	switch v := n.Properties[key].(type) {

@@ -60,6 +60,15 @@ func Validate(t *ServiceTemplate) error {
 		if reps := n.PropInt("replicas", 1); reps < 1 {
 			add("node %q has non-positive replicas", name)
 		}
+		// Stateful stages carry a state-size hint that sizes checkpoint
+		// transfers; a declared hint without statefulness is a likely typo.
+		if n.PropBool("stateful", false) {
+			if mb := n.PropFloat("stateMB", 1); mb <= 0 {
+				add("stateful node %q needs positive stateMB", name)
+			}
+		} else if _, has := n.Properties["stateMB"]; has {
+			add("node %q declares stateMB without stateful: true", name)
+		}
 		for _, r := range n.Requirements {
 			if r.Target == "" {
 				add("node %q requirement %q has no target", name, r.Name)

@@ -23,3 +23,28 @@ for sc in $("$BIN" chaos -list); do
   fi
   echo "determinism: ok"
 done
+
+# Stateful arm: checkpoint/restore must deliver RPO=0 (the binary exits
+# non-zero on any lost item or state divergence from the fault-free
+# reference), RTO p95 must stay under the 5s bar, and the stateful
+# reports must be byte-deterministic too.
+RTO_BAR_S=5
+for sc in $("$BIN" chaos -list); do
+  echo "== chaos $sc -stateful -seed $SEED =="
+  "$BIN" chaos "$sc" -stateful -seed "$SEED" | tee "$BIN.$sc.s1"
+  "$BIN" chaos "$sc" -stateful -seed "$SEED" > "$BIN.$sc.s2"
+  if ! diff -u "$BIN.$sc.s1" "$BIN.$sc.s2"; then
+    echo "chaos: $sc -stateful is nondeterministic for seed $SEED" >&2
+    exit 1
+  fi
+  grep -q 'rpo_items=0 ' "$BIN.$sc.s1" || {
+    echo "chaos: $sc -stateful reports nonzero RPO" >&2; exit 1; }
+  grep -q 'divergent=0$' "$BIN.$sc.s1" || {
+    echo "chaos: $sc -stateful diverged from the fault-free reference" >&2; exit 1; }
+  rto_p95=$(sed -n 's/.*rto_p95=\([0-9.]*\)\(m\{0,1\}s\).*/\1 \2/p' "$BIN.$sc.s1")
+  read -r rto_val rto_unit <<<"$rto_p95"
+  [ "$rto_unit" = "ms" ] && rto_val=$(awk "BEGIN{print $rto_val/1000}")
+  awk "BEGIN{exit !($rto_val > 0 && $rto_val < $RTO_BAR_S)}" || {
+    echo "chaos: $sc -stateful rto_p95=$rto_p95 outside (0, ${RTO_BAR_S}s)" >&2; exit 1; }
+  echo "stateful: rpo=0 rto_p95=${rto_val}s divergence=0 determinism: ok"
+done
