@@ -9,15 +9,22 @@
 //	              [-fail device] [-serve addr]
 //	continuum-sim chaos <scenario> [-seed N] [-mapek=false] [-list]
 //	continuum-sim overload [-seed N] [-admission=false] [-duration S]
+//	continuum-sim tenants [-seed N] [-quotas=false] [-duration S]
 //
 // With -serve, the MIRTO agent REST API is exposed on addr (tokens:
 // admin-token / viewer-token) instead of running the batch scenario.
 // The chaos subcommand runs a bundled fault-injection scenario against
 // the self-healing stack and prints its resilience report; with -mapek
 // (the default) it exits non-zero if availability drops below 99%.
+// The "noisy-neighbor" chaos scenario instead flash-crowds an
+// aggressor tenant against a victim and gates on tenant isolation.
 // The overload subcommand sweeps offered load from 0.5x to 4x measured
 // capacity and prints the goodput-vs-load curve; with -admission (the
 // default) it exits non-zero if 4x goodput retention falls below 90%.
+// The tenants subcommand runs the mixed-tenant sweep — an aggressor
+// tenant at 1x/2x/4x its admission budget against an in-budget victim
+// — and, with -quotas (the default), exits non-zero if the victim's
+// goodput or p95 bound is violated at the heaviest point.
 package main
 
 import (
@@ -85,12 +92,30 @@ func chaosMain(argv []string) {
 		fs.Parse(fs.Args()[1:]) //nolint:errcheck
 	}
 	if *list {
-		fmt.Println(strings.Join(chaos.Names(), "\n"))
+		fmt.Println(strings.Join(append(chaos.Names(), "noisy-neighbor"), "\n"))
 		return
 	}
 	if name == "" {
 		fs.Usage()
 		os.Exit(2)
+	}
+	if name == "noisy-neighbor" {
+		// Multi-tenant interference scenario: the injected fault is another
+		// stakeholder's flash crowd, so it runs on the tenant harness
+		// instead of the timed-fault runner. -mapek=false doubles as the
+		// no-quotas control arm.
+		rep, err := chaos.RunNoisyNeighbor(chaos.NoisyConfig{Seed: *seed, Quotas: *mapek})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(rep.Render())
+		if *mapek {
+			if v := rep.Violated(); v != "" {
+				fmt.Fprintf(os.Stderr, "chaos: %s\n", v)
+				os.Exit(1)
+			}
+		}
+		return
 	}
 	sc, err := chaos.BuiltIn(name, *seed)
 	if err != nil {
@@ -154,6 +179,33 @@ func overloadMain(argv []string) {
 	}
 }
 
+func tenantsMain(argv []string) {
+	fs := flag.NewFlagSet("tenants", flag.ExitOnError)
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	quotas := fs.Bool("quotas", true, "per-tenant admission budgets + DRR dispatch (false = shared-admission control arm)")
+	duration := fs.Float64("duration", 8, "virtual seconds per sweep point")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: continuum-sim tenants [-seed N] [-quotas=false] [-duration S]\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(argv) //nolint:errcheck // ExitOnError
+	rep, err := overload.RunTenants(overload.TenantsConfig{
+		Seed:     *seed,
+		Quotas:   *quotas,
+		Duration: sim.Time(*duration * float64(sim.Second)),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep.Render())
+	if *quotas {
+		if v := rep.Violated(); v != "" {
+			fmt.Fprintf(os.Stderr, "tenants: %s\n", v)
+			os.Exit(1)
+		}
+	}
+}
+
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "chaos" {
 		chaosMain(os.Args[2:])
@@ -161,6 +213,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "overload" {
 		overloadMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "tenants" {
+		tenantsMain(os.Args[2:])
 		return
 	}
 	seed := flag.Uint64("seed", 1, "simulation seed")

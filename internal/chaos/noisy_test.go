@@ -1,0 +1,55 @@
+package chaos
+
+import (
+	"testing"
+
+	"myrtus/internal/sim"
+)
+
+func shortNoisyCfg(quotas bool) NoisyConfig {
+	return NoisyConfig{
+		Seed:       3,
+		Quotas:     quotas,
+		Duration:   5 * sim.Second,
+		FlashStart: 1 * sim.Second,
+		FlashEnd:   3 * sim.Second,
+		FlashMult:  4,
+	}
+}
+
+// TestNoisyNeighborIsolation: the flash-crowd scenario must hold the
+// victim's flash-window bounds with quotas on, and measurably violate
+// them in the shared-admission control arm.
+func TestNoisyNeighborIsolation(t *testing.T) {
+	rep, err := RunNoisyNeighbor(shortNoisyCfg(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := rep.Violated(); v != "" {
+		t.Fatalf("noisy-neighbor violated with quotas on: %s\n%s", v, rep.Render())
+	}
+
+	ctl, err := RunNoisyNeighbor(shortNoisyCfg(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctl.Violated() == "" {
+		t.Fatalf("control arm unexpectedly held isolation:\n%s", ctl.Render())
+	}
+}
+
+// TestNoisyNeighborDeterminism: same seed + config renders
+// byte-identical reports.
+func TestNoisyNeighborDeterminism(t *testing.T) {
+	a, err := RunNoisyNeighbor(shortNoisyCfg(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunNoisyNeighbor(shortNoisyCfg(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Render() != b.Render() {
+		t.Fatalf("noisy-neighbor run not deterministic:\n--- a ---\n%s--- b ---\n%s", a.Render(), b.Render())
+	}
+}

@@ -186,9 +186,9 @@ func (r *Report) Render() string {
 		rp50, rp95 := r.RTO()
 		fmt.Fprintf(&b, "  recovery:  rpo_items=%d rto_p50=%s rto_p95=%s restores=%d journal_replayed=%d journal_evicted=%d\n",
 			r.RPOItems, dur(rp50), dur(rp95), len(r.RTOSamples), r.JournalReplayed, r.JournalEvicted)
-		fmt.Fprintf(&b, "  checkpoint: fulls=%d deltas=%d skipped=%d bytes=%d send_failures=%d restores=%d journal_only=%d restore_failures=%d\n",
+		fmt.Fprintf(&b, "  checkpoint: fulls=%d deltas=%d skipped=%d bytes=%d send_failures=%d restores=%d journal_only=%d restore_failures=%d gc_keys=%d\n",
 			r.Ckpt.Fulls, r.Ckpt.Deltas, r.Ckpt.Skipped, r.Ckpt.BytesSent, r.Ckpt.SendFailures,
-			r.Ckpt.Restores, r.Ckpt.JournalOnlyRestores, r.Ckpt.RestoreFailures)
+			r.Ckpt.Restores, r.Ckpt.JournalOnlyRestores, r.Ckpt.RestoreFailures, r.Ckpt.KeysDeleted)
 		fmt.Fprintf(&b, "  divergence: compared=%d divergent=%d\n", r.ComparedCells, len(r.DivergentCells))
 		for _, cell := range r.DivergentCells {
 			fmt.Fprintf(&b, "    ! state diverged: %s\n", cell)

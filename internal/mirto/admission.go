@@ -7,6 +7,7 @@ import (
 	"myrtus/internal/device"
 	"myrtus/internal/network"
 	"myrtus/internal/sim"
+	"myrtus/internal/telemetry"
 )
 
 // ErrOverloaded is the deterministic fast-reject the serve path returns
@@ -161,6 +162,32 @@ type AdmissionController struct {
 	dropLevel  int
 
 	stats [numPriorities]PriorityStats
+	// shedC/admittedC mirror the per-priority outcomes into a bound
+	// telemetry registry (nil slots until BindMetrics) so reports read
+	// shed_low/shed_med/shed_high like any other exported metric instead
+	// of recomputing them from raw admission stats.
+	shedC     [numPriorities]*telemetry.Counter
+	admittedC [numPriorities]*telemetry.Counter
+}
+
+// ShedCounterNames are the telemetry counter names BindMetrics exports,
+// indexed by Priority (shed_high, shed_med, shed_low).
+var ShedCounterNames = [3]string{"shed_high", "shed_med", "shed_low"}
+
+// AdmittedCounterNames are the per-priority admitted counters BindMetrics
+// exports, indexed by Priority.
+var AdmittedCounterNames = [3]string{"admitted_high", "admitted_med", "admitted_low"}
+
+// BindMetrics exports the controller's per-priority admission outcomes
+// as counters (shed_high/shed_med/shed_low, admitted_*) on reg. Every
+// later Admit updates the counters; bind before serving.
+func (ac *AdmissionController) BindMetrics(reg *telemetry.Registry) {
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	for p := 0; p < int(numPriorities); p++ {
+		ac.shedC[p] = reg.Counter(telemetry.Application, ShedCounterNames[p])
+		ac.admittedC[p] = reg.Counter(telemetry.Application, AdmittedCounterNames[p])
+	}
 }
 
 // NewAdmissionController builds a controller on the engine's clock.
@@ -206,6 +233,9 @@ func (ac *AdmissionController) Admit(prio Priority, sojourn sim.Time) error {
 		}
 		if ac.tokens < need {
 			ac.stats[prio].ShedRate++
+			if c := ac.shedC[prio]; c != nil {
+				c.Inc()
+			}
 			return ErrOverloaded
 		}
 	}
@@ -231,6 +261,9 @@ func (ac *AdmissionController) Admit(prio Priority, sojourn sim.Time) error {
 	// dropLevel 1 sheds Low (priority 2), 2 sheds Medium too, 3 all.
 	if ac.dropLevel > 0 && int(prio) >= int(numPriorities)-ac.dropLevel {
 		ac.stats[prio].ShedDelay++
+		if c := ac.shedC[prio]; c != nil {
+			c.Inc()
+		}
 		return ErrOverloaded
 	}
 
@@ -238,6 +271,9 @@ func (ac *AdmissionController) Admit(prio Priority, sojourn sim.Time) error {
 		ac.tokens--
 	}
 	ac.stats[prio].Admitted++
+	if c := ac.admittedC[prio]; c != nil {
+		c.Inc()
+	}
 	return nil
 }
 

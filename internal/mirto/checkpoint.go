@@ -2,6 +2,9 @@ package mirto
 
 import (
 	"fmt"
+	"sort"
+	"strconv"
+	"strings"
 
 	"myrtus/internal/kb"
 	"myrtus/internal/network"
@@ -43,6 +46,7 @@ type Checkpointer struct {
 	inflight map[string]bool
 	lastPass sim.Time
 	passes   uint64
+	seq      uint64 // monotonic checkpoint sequence across all cells
 
 	stats CheckpointStats
 }
@@ -52,7 +56,7 @@ type ckptBook struct {
 	hasFull   bool
 	needFull  bool
 	fullCount uint64 // state.Count captured by the last full image
-	fullPos   uint64 // journal total position at the last full image
+	lastPos   uint64 // journal total position at the last committed checkpoint
 	lastCount uint64 // state.Count at the last committed checkpoint
 	sinceFull int    // deltas written since the last full
 }
@@ -72,11 +76,44 @@ type CheckpointStats struct {
 	// and rebuilt purely from the journal; RestoreFailures transfer or
 	// decode failures (retried on the next tick).
 	Restores, JournalOnlyRestores, RestoreFailures uint64
+	// KeysDeleted counts superseded checkpoint keys the retention policy
+	// garbage-collected from the KB.
+	KeysDeleted uint64
 }
 
-// ckptKey returns the KB key prefix for one cell's checkpoints.
-func ckptKey(app, stage, kind string) string {
-	return "mirto/ckpt/" + app + "/" + stage + "/" + kind
+// Checkpoint keys are versioned: each committed write lands under a
+// fresh monotonic sequence number, and the retention policy deletes
+// everything a new full image supersedes. The sequence is zero-padded
+// so lexical KB order is commit order and a prefix Range returns the
+// restore chain already sorted.
+//
+//	mirto/ckpt/<app>/<stage>/delta/<seq>
+//	mirto/ckpt/<app>/<stage>/full/<seq>
+
+// ckptCellPrefix returns the KB key prefix holding one cell's
+// checkpoint chain.
+func ckptCellPrefix(app, stage string) string {
+	return "mirto/ckpt/" + app + "/" + stage + "/"
+}
+
+// ckptVersionedKey returns the KB key for one committed checkpoint.
+func ckptVersionedKey(app, stage, kind string, seq uint64) string {
+	return fmt.Sprintf("%s%s/%016d", ckptCellPrefix(app, stage), kind, seq)
+}
+
+// ckptParseKey extracts the kind and sequence from a cell-prefixed key.
+func ckptParseKey(key, cellPrefix string) (kind string, seq uint64, ok bool) {
+	rest := key[len(cellPrefix):]
+	i := strings.IndexByte(rest, '/')
+	if i < 0 {
+		return "", 0, false
+	}
+	kind = rest[:i]
+	n, err := strconv.ParseUint(rest[i+1:], 10, 64)
+	if err != nil {
+		return "", 0, false
+	}
+	return kind, n, true
 }
 
 const ckptLeaderKey = "mirto/ckpt/leader"
@@ -188,7 +225,11 @@ func (cp *Checkpointer) checkpointCell(key string) {
 		cp.stats.Skipped++
 		return
 	}
-	ents, newPos, covered := cp.ss.JournalSince(app, stage, b.fullPos)
+	// Deltas are incremental: each covers the journal entries since the
+	// last *committed* checkpoint, so steady-state delta bytes track the
+	// update rate per interval. The restore chain is the newest full plus
+	// every delta committed after it.
+	ents, newPos, covered := cp.ss.JournalSince(app, stage, b.lastPos)
 	full := !b.hasFull || b.needFull || !covered || b.sinceFull+1 >= cp.FullEvery
 	var payload []byte
 	var size int64
@@ -199,10 +240,12 @@ func (cp *Checkpointer) checkpointCell(key string) {
 		// production stage would ship on top of our compact counters.
 		size = int64(cp.ss.Hint(app, stage)*1e6) + int64(len(payload))
 	} else {
-		payload = EncodeDelta(&StateDelta{Stage: stage, BaseCount: b.fullCount, Entries: ents})
+		payload = EncodeDelta(&StateDelta{Stage: stage, BaseCount: b.lastCount, Entries: ents})
 		size = int64(len(payload))
 	}
 	count := st.Count
+	cp.seq++
+	seq := cp.seq
 	cp.inflight[key] = true
 	commit := func(err error) {
 		cp.inflight[key] = false
@@ -212,22 +255,40 @@ func (cp *Checkpointer) checkpointCell(key string) {
 		}
 		cp.stats.BytesSent += uint64(size)
 		if full {
-			cp.store.Put(ckptKey(app, stage, "full"), payload)
-			cp.store.Delete(ckptKey(app, stage, "delta"))
+			cp.store.Put(ckptVersionedKey(app, stage, "full", seq), payload)
+			// Retention: a committed full supersedes the cell's entire
+			// earlier chain — the previous full and every delta before
+			// this sequence number are dead weight in the KB.
+			cp.gcCell(app, stage, seq)
 			b.hasFull, b.needFull = true, false
-			b.fullCount, b.fullPos = count, newPos
+			b.fullCount = count
 			b.sinceFull = 0
 			cp.stats.Fulls++
 		} else {
-			cp.store.Put(ckptKey(app, stage, "delta"), payload)
+			cp.store.Put(ckptVersionedKey(app, stage, "delta", seq), payload)
 			b.sinceFull++
 			cp.stats.Deltas++
 		}
+		b.lastPos = newPos
 		b.lastCount = count
 	}
 	if err := cp.rt.fabric.Send(owner, cp.anchor, size, network.Options{Retries: 3}, commit); err != nil {
 		cp.inflight[key] = false
 		cp.stats.SendFailures++
+	}
+}
+
+// gcCell deletes every checkpoint key of the cell older than the just-
+// committed full image's sequence number. With FullEvery=k the cell
+// therefore never holds more than 1 full + (k-1) deltas plus the
+// in-commit write — bounded regardless of runtime.
+func (cp *Checkpointer) gcCell(app, stage string, fullSeq uint64) {
+	prefix := ckptCellPrefix(app, stage)
+	for _, kv := range cp.store.Range(prefix) {
+		if _, seq, ok := ckptParseKey(kv.Key, prefix); ok && seq < fullSeq {
+			cp.store.Delete(kv.Key)
+			cp.stats.KeysDeleted++
+		}
 	}
 }
 
@@ -247,9 +308,8 @@ func (cp *Checkpointer) restorePass(now sim.Time) {
 		if !cp.ss.MarkRestoring(app, stage) {
 			continue
 		}
-		fullKV, hasFull := cp.store.Get(ckptKey(app, stage, "full"))
-		deltaKV, hasDelta := cp.store.Get(ckptKey(app, stage, "delta"))
-		if !hasFull && !hasDelta {
+		fullB, deltas := cp.readChain(app, stage)
+		if fullB == nil && len(deltas) == 0 {
 			// Nothing committed: rebuild purely from the journal tail. No
 			// bytes move, so the restore completes immediately.
 			cp.ss.CompleteRestore(app, stage, dest, nil, nil, now)
@@ -257,8 +317,11 @@ func (cp *Checkpointer) restorePass(now sim.Time) {
 			cp.stats.JournalOnlyRestores++
 			continue
 		}
-		size := int64(len(fullKV.Value) + len(deltaKV.Value))
-		if hasFull {
+		size := int64(len(fullB))
+		for _, d := range deltas {
+			size += int64(len(d))
+		}
+		if fullB != nil {
 			size += int64(cp.ss.Hint(app, stage) * 1e6)
 		}
 		app, stage, key := app, stage, key
@@ -268,7 +331,7 @@ func (cp *Checkpointer) restorePass(now sim.Time) {
 				cp.ss.ClearRestoring(app, stage)
 				return
 			}
-			if err := cp.installCheckpoint(app, stage, key, fullKV.Value, deltaKV.Value); err != nil {
+			if err := cp.installCheckpoint(app, stage, key, fullB, deltas); err != nil {
 				cp.stats.RestoreFailures++
 				cp.ss.ClearRestoring(app, stage)
 				return
@@ -282,9 +345,44 @@ func (cp *Checkpointer) restorePass(now sim.Time) {
 	}
 }
 
-// installCheckpoint decodes a delivered checkpoint and completes the
-// restore at the current virtual time (the delivery time).
-func (cp *Checkpointer) installCheckpoint(app, stage, key string, fullB, deltaB []byte) error {
+// readChain fetches one cell's committed restore chain from the KB:
+// the newest full image plus every delta committed after it, in commit
+// order. The retention policy keeps exactly this chain alive, but the
+// read tolerates any leftover keys by filtering on sequence numbers.
+func (cp *Checkpointer) readChain(app, stage string) (fullB []byte, deltas [][]byte) {
+	prefix := ckptCellPrefix(app, stage)
+	type versioned struct {
+		seq     uint64
+		payload []byte
+	}
+	var fullSeq uint64
+	var allDeltas []versioned
+	for _, kv := range cp.store.Range(prefix) {
+		kind, seq, ok := ckptParseKey(kv.Key, prefix)
+		if !ok {
+			continue
+		}
+		switch kind {
+		case "full":
+			if fullB == nil || seq > fullSeq {
+				fullB, fullSeq = kv.Value, seq
+			}
+		case "delta":
+			allDeltas = append(allDeltas, versioned{seq, kv.Value})
+		}
+	}
+	sort.Slice(allDeltas, func(i, j int) bool { return allDeltas[i].seq < allDeltas[j].seq })
+	for _, d := range allDeltas {
+		if fullB == nil || d.seq > fullSeq {
+			deltas = append(deltas, d.payload)
+		}
+	}
+	return fullB, deltas
+}
+
+// installCheckpoint decodes a delivered checkpoint chain and completes
+// the restore at the current virtual time (the delivery time).
+func (cp *Checkpointer) installCheckpoint(app, stage, key string, fullB []byte, deltas [][]byte) error {
 	img := &StageState{Stage: stage}
 	if len(fullB) > 0 {
 		dec, err := DecodeState(fullB)
@@ -294,7 +392,7 @@ func (cp *Checkpointer) installCheckpoint(app, stage, key string, fullB, deltaB 
 		img = dec
 	}
 	extra := map[uint64]bool{}
-	if len(deltaB) > 0 {
+	for _, deltaB := range deltas {
 		d, err := DecodeDelta(deltaB)
 		if err != nil {
 			return fmt.Errorf("mirto: restoring %s delta: %w", key, err)

@@ -1,0 +1,134 @@
+package mirto
+
+import (
+	"strings"
+	"testing"
+
+	"myrtus/internal/sim"
+	"myrtus/internal/tosca"
+)
+
+const statefulAppYAML = `
+tosca_definitions_version: tosca_2_0
+metadata:
+  template_name: gc-app
+topology_template:
+  node_templates:
+    camera:
+      type: myrtus.nodes.Container
+      properties: {cpu: 0.5, memoryMB: 128, gops: 0.5, outMB: 0.5}
+    detector:
+      type: myrtus.nodes.AcceleratedKernel
+      properties: {cpu: 1, memoryMB: 512, kernel: conv2d, gops: 4, outMB: 0.2, stateful: true, stateMB: 2}
+      requirements:
+        - source: camera
+    aggregator:
+      type: myrtus.nodes.Container
+      properties: {cpu: 1, memoryMB: 512, gops: 2, outMB: 0.05, stateful: true, stateMB: 1}
+      requirements:
+        - source: detector
+`
+
+// TestCheckpointRetentionBoundsKeys drives a stateful pipeline through
+// many checkpoint cycles and asserts the retention policy holds: each
+// cell's KB footprint stays bounded at one full image plus at most
+// FullEvery-1 deltas (one extra key tolerated for a commit that lands
+// between GC passes), no matter how long the run.
+func TestCheckpointRetentionBoundsKeys(t *testing.T) {
+	c := testContinuum(t)
+	o := NewOrchestrator(NewManager(c, LatencyGoal()))
+	st, err := tosca.Parse(statefulAppYAML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := o.Deploy(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := NewStateStore(256)
+	o.R.SetStateStore(ss)
+	cp := NewCheckpointer(o.R, c.KB, "cloud-srv-0", 100*sim.Millisecond)
+
+	eng := c.Engine
+	for i := 0; i < 80; i++ {
+		if err := o.R.Submit(plan.App, 1, nil); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		eng.RunFor(50 * sim.Millisecond)
+		cp.Tick()
+	}
+	eng.Run()
+	cp.Tick() // commit anything still dirty after the drain
+
+	stats := cp.Stats()
+	if stats.Fulls < 3 {
+		t.Fatalf("expected several full checkpoints to cycle the retention policy, got %d (stats %+v)", stats.Fulls, stats)
+	}
+	if stats.Deltas == 0 {
+		t.Fatalf("expected delta checkpoints between fulls, got none (stats %+v)", stats)
+	}
+	if stats.KeysDeleted == 0 {
+		t.Fatalf("retention policy deleted no superseded keys (stats %+v)", stats)
+	}
+
+	// Bound per cell: 1 live full + up to FullEvery-1 deltas, +1 for a
+	// write committed since the last GC.
+	bound := 1 + (cp.FullEvery - 1) + 1
+	for _, stage := range []string{"detector", "aggregator"} {
+		prefix := ckptCellPrefix(plan.App, stage)
+		kvs := c.KB.Range(prefix)
+		if len(kvs) == 0 {
+			t.Fatalf("cell %s has no committed checkpoints", stage)
+		}
+		if len(kvs) > bound {
+			keys := make([]string, len(kvs))
+			for i, kv := range kvs {
+				keys[i] = kv.Key
+			}
+			t.Fatalf("cell %s holds %d checkpoint keys > bound %d:\n%s",
+				stage, len(kvs), bound, strings.Join(keys, "\n"))
+		}
+		fulls := 0
+		for _, kv := range kvs {
+			if kind, _, ok := ckptParseKey(kv.Key, prefix); ok && kind == "full" {
+				fulls++
+			}
+		}
+		if fulls != 1 {
+			t.Fatalf("cell %s retains %d full images, want exactly 1", stage, fulls)
+		}
+		// The surviving chain must still decode into a restorable image.
+		fullB, deltas := cp.readChain(plan.App, stage)
+		if fullB == nil {
+			t.Fatalf("cell %s: readChain found no full image", stage)
+		}
+		if err := cp.installCheckpointDryRun(stage, fullB, deltas); err != nil {
+			t.Fatalf("cell %s: surviving chain does not decode: %v", stage, err)
+		}
+	}
+}
+
+// installCheckpointDryRun decodes a chain without touching the state
+// store — the test-only half of installCheckpoint.
+func (cp *Checkpointer) installCheckpointDryRun(stage string, fullB []byte, deltas [][]byte) error {
+	img := &StageState{Stage: stage}
+	if len(fullB) > 0 {
+		dec, err := DecodeState(fullB)
+		if err != nil {
+			return err
+		}
+		img = dec
+	}
+	for _, deltaB := range deltas {
+		d, err := DecodeDelta(deltaB)
+		if err != nil {
+			return err
+		}
+		for _, e := range d.Entries {
+			if !img.seen(e.ReqID) {
+				img.apply(e.ReqID, e.Items, e.At, cp.ss.Bound())
+			}
+		}
+	}
+	return nil
+}

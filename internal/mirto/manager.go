@@ -215,6 +215,20 @@ func (p *Plan) StatefulStages() map[string]bool {
 	return p.statefulSet
 }
 
+// DefaultTenant is the implicit tenant of templates that declare none:
+// single-app deployments keep working unchanged on a multi-tenant
+// runtime, charged to this catch-all stakeholder.
+const DefaultTenant = "default"
+
+// Tenant returns the plan's owning tenant: the template's declared
+// tenant, or DefaultTenant when the manifest names none.
+func (p *Plan) Tenant() string {
+	if p.Template != nil && p.Template.Tenant != "" {
+		return p.Template.Tenant
+	}
+	return DefaultTenant
+}
+
 // Priority derives the plan's admission priority class from its
 // template: the strongest Table II security level any stage carries wins
 // (a pipeline with one High-security stage is High-priority end to end —

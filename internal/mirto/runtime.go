@@ -49,7 +49,12 @@ type Runtime struct {
 	// admission gates every submit, breakers fast-fail suspect targets,
 	// maxInFlight bounds concurrent requests per app, brownout holds each
 	// app's current degradation level.
-	admission   *AdmissionController
+	admission *AdmissionController
+	// admitFor overrides the global admission controller per app: the
+	// tenant layer points every app of a tenant at that tenant's own
+	// controller, so a tenant over its carved-out budget sheds only its
+	// own traffic while the others keep their full reserves.
+	admitFor    map[string]*AdmissionController
 	breakers    *BreakerSet
 	maxInFlight int
 	inflight    map[string]int
@@ -79,6 +84,7 @@ func NewRuntime(m *Manager) *Runtime {
 		shed:     map[string]*telemetry.Counter{},
 		degraded: map[string]*telemetry.Counter{},
 		recent:   map[string]*telemetry.Window{},
+		admitFor: map[string]*AdmissionController{},
 		inflight: map[string]int{},
 		brownout: map[string]int{},
 		reqSeq:   map[string]uint64{},
@@ -149,6 +155,28 @@ func (r *Runtime) Admission() *AdmissionController {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.admission
+}
+
+// SetAppAdmission overrides the admission controller for one app —
+// the per-tenant carve-out: every app of a tenant shares that tenant's
+// controller, whose rate is the tenant's slice of the global budget.
+// nil removes the override (the app falls back to the global gate).
+func (r *Runtime) SetAppAdmission(app string, ac *AdmissionController) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ac == nil {
+		delete(r.admitFor, app)
+		return
+	}
+	r.admitFor[app] = ac
+}
+
+// AppAdmission returns the app's admission override (nil when the app
+// uses the global controller).
+func (r *Runtime) AppAdmission(app string) *AdmissionController {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.admitFor[app]
 }
 
 // SetBreakers wires per-device and per-link circuit breakers into the
@@ -306,6 +334,9 @@ func (r *Runtime) submitRequest(app, ingress string, items int64, reqID uint64, 
 	shedC, degradedC := r.shed[app], r.degraded[app]
 	recentW := r.recent[app]
 	ac, bs := r.admission, r.breakers
+	if tac := r.admitFor[app]; tac != nil {
+		ac = tac
+	}
 	ss := r.stateStore
 	maxIF := r.maxInFlight
 	level := r.brownout[app]
@@ -370,6 +401,7 @@ func (r *Runtime) submitRequest(app, ingress string, items int64, reqID uint64, 
 	// the end-to-end latency.
 	root := r.tracer.StartRoot("request/"+app, trace.LayerAgent)
 	root.SetAttr("ingress", ingress)
+	root.SetAttr("tenant", plan.Tenant())
 	rootCtx := root.Context()
 
 	type state struct {

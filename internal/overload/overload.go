@@ -25,6 +25,7 @@ import (
 	"myrtus/internal/mapek"
 	"myrtus/internal/mirto"
 	"myrtus/internal/sim"
+	"myrtus/internal/telemetry"
 	"myrtus/internal/tosca"
 )
 
@@ -289,11 +290,17 @@ func runPoint(cfg Config, capacityRPS float64, deadline sim.Time, mult float64) 
 	}
 	eng := s.c.Engine
 	var loops [3]*mapek.Loop
+	// admReg receives the admission controller's per-priority shed
+	// counters (shed_high/shed_med/shed_low); the report reads those
+	// instead of re-deriving sheds from submit-site errors.
+	var admReg *telemetry.Registry
 	if cfg.Admission {
 		// The full protection stack: rate calibrated just under capacity,
 		// queue bounds at the deadline (queuing past it is wasted work),
 		// breakers over devices and links, and brownout via MAPE-K.
 		ac := mirto.NewAdmissionController(eng, mirto.AdmissionConfig{Rate: 0.9 * capacityRPS})
+		admReg = telemetry.NewRegistry("admission")
+		ac.BindMetrics(admReg)
 		s.o.R.SetAdmission(ac)
 		s.o.R.SetBreakers(mirto.NewBreakerSet(eng, mirto.BreakerConfig{}))
 		maxIF := int(capacityRPS * deadline.Seconds())
@@ -351,7 +358,12 @@ func runPoint(cfg Config, capacityRPS float64, deadline sim.Time, mult float64) 
 			})
 			if err != nil {
 				if errors.Is(err, mirto.ErrOverloaded) {
-					pt.Classes[idx].Shed++
+					// With admission on, the controller's telemetry counters
+					// are the source of truth for sheds (read after the run);
+					// only the control arm tallies them here.
+					if admReg == nil {
+						pt.Classes[idx].Shed++
+					}
 				} else {
 					pt.Classes[idx].Failed++
 				}
@@ -392,6 +404,14 @@ func runPoint(cfg Config, capacityRPS float64, deadline sim.Time, mult float64) 
 	for i, app := range appNames {
 		if k, ok := s.o.R.KPIs(app); ok {
 			pt.Classes[i].Degraded = k.Degraded
+		}
+	}
+	if admReg != nil {
+		// Each sweep app is exactly one Table II priority class, so the
+		// controller's exported per-priority counters are the classes'
+		// shed totals.
+		for p := 0; p < len(pt.Classes); p++ {
+			pt.Classes[p].Shed = counterValue(admReg, mirto.ShedCounterNames[p])
 		}
 	}
 	for _, name := range s.c.DeviceNames() {

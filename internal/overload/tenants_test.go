@@ -1,0 +1,71 @@
+package overload
+
+import (
+	"testing"
+
+	"myrtus/internal/sim"
+)
+
+func shortTenantsCfg(quotas bool) TenantsConfig {
+	return TenantsConfig{
+		Seed:        1,
+		Quotas:      quotas,
+		Duration:    3 * sim.Second,
+		Multipliers: []float64{4},
+	}
+}
+
+// TestTenantIsolationGate: with per-tenant budgets and DRR dispatch,
+// an aggressor at 4x its admission budget is shed back to roughly its
+// share while the in-budget victim keeps its goodput and p95 bounds.
+func TestTenantIsolationGate(t *testing.T) {
+	rep, err := RunTenants(shortTenantsCfg(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := rep.Violated(); v != "" {
+		t.Fatalf("isolation violated with quotas on: %s\n%s", v, rep.Render())
+	}
+	last := rep.Points[len(rep.Points)-1]
+	agg := last.byTenant(NoisyTenant)
+	if agg == nil || agg.Shed == 0 {
+		t.Fatalf("aggressor at 4x budget was never shed:\n%s", rep.Render())
+	}
+	// The aggressor's admitted volume must collapse toward its budget:
+	// within 1.5x of budget x duration.
+	admitted := float64(agg.Submitted - agg.Shed)
+	budgetVol := rep.NoisyBudgetRPS * 3
+	if admitted > 1.5*budgetVol {
+		t.Fatalf("aggressor admitted %.0f requests, budget volume %.0f:\n%s",
+			admitted, budgetVol, rep.Render())
+	}
+}
+
+// TestTenantControlArmViolates: the shared-admission control arm must
+// measurably fail the same gate — the aggressor's higher Table II
+// priority lets its flood starve the victim.
+func TestTenantControlArmViolates(t *testing.T) {
+	rep, err := RunTenants(shortTenantsCfg(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violated() == "" {
+		t.Fatalf("control arm unexpectedly isolated the victim:\n%s", rep.Render())
+	}
+}
+
+// TestTenantsReportDeterminism: same seed + config renders
+// byte-identical reports.
+func TestTenantsReportDeterminism(t *testing.T) {
+	a, err := RunTenants(shortTenantsCfg(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunTenants(shortTenantsCfg(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Render() != b.Render() {
+		t.Fatalf("mixed-tenant sweep not deterministic:\n--- a ---\n%s--- b ---\n%s", a.Render(), b.Render())
+	}
+}

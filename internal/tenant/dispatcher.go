@@ -1,0 +1,269 @@
+package tenant
+
+import (
+	"errors"
+	"sync"
+
+	"myrtus/internal/mirto"
+	"myrtus/internal/sim"
+	"myrtus/internal/telemetry"
+)
+
+// Dispatcher fronts the MIRTO runtime with tenant-aware arbitration.
+// Dispatch slots — the platform's serve-path concurrency — are the
+// contended resource: while slots are free a submit goes straight
+// through, and once they are exhausted requests wait in their tenant's
+// bounded DRR queue, so a flooding tenant overflows its own queue
+// while the weighted-fair scheduler keeps draining everyone else's.
+//
+// Admission itself is NOT duplicated here: each tenant's carved-out
+// AdmissionController is wired into the runtime via SetAppAdmission,
+// so the per-tenant token bucket and sojourn gate run inside the serve
+// path exactly once per dispatch, and shed accounting (per-app
+// requests_shed, per-tenant shed_high/med/low) stays consistent with
+// single-tenant operation. The dispatcher adds the two gates the
+// runtime cannot see: the tenant's fabric-bandwidth budget at the
+// door, and weighted-fair ordering of the backlog.
+type Dispatcher struct {
+	engine *sim.Engine
+	rt     *mirto.Runtime
+	reg    *Registry
+	sched  *Scheduler
+
+	mu       sync.Mutex
+	slots    int
+	maxSlots int
+	pumping  bool
+	deadline sim.Time // goodput threshold for requests_good (0 = off)
+
+	dispatched map[string]int64 // per-tenant total handoffs to the runtime
+	ingressMB  map[string]float64
+}
+
+// queuedReq is one deferred submission.
+type queuedReq struct {
+	app, ingress string
+	items        int64
+	done         func(lat sim.Time, energy float64, err error)
+}
+
+// NewDispatcher builds a dispatcher with maxSlots concurrent in-runtime
+// requests (minimum 1) and perTenantQueue waiting slots per tenant.
+// Register tenants on reg and bind their apps before submitting.
+func NewDispatcher(engine *sim.Engine, rt *mirto.Runtime, reg *Registry, maxSlots, perTenantQueue int) *Dispatcher {
+	if maxSlots < 1 {
+		maxSlots = 1
+	}
+	d := &Dispatcher{
+		engine:     engine,
+		rt:         rt,
+		reg:        reg,
+		sched:      NewScheduler(perTenantQueue),
+		maxSlots:   maxSlots,
+		dispatched: map[string]int64{},
+		ingressMB:  map[string]float64{},
+	}
+	for _, t := range reg.List() {
+		d.sched.AddTenant(t.ID, t.Quota.Weight)
+	}
+	return d
+}
+
+// Scheduler exposes the DRR arbiter (for stats and tenant churn).
+func (d *Dispatcher) Scheduler() *Scheduler { return d.sched }
+
+// AddTenant registers a late-arriving tenant's queue.
+func (d *Dispatcher) AddTenant(t *Tenant) { d.sched.AddTenant(t.ID, t.Quota.Weight) }
+
+// RemoveTenant drops a tenant's queue, failing its queued requests
+// with ErrTenantRemoved.
+func (d *Dispatcher) RemoveTenant(id string) {
+	for _, it := range d.sched.RemoveTenant(id) {
+		if q, ok := it.Payload.(*queuedReq); ok && q.done != nil {
+			q.done(0, 0, ErrTenantRemoved)
+		}
+	}
+}
+
+// SetDeadline sets the goodput threshold: completions at or under it
+// increment the tenant's requests_good counter.
+func (d *Dispatcher) SetDeadline(dl sim.Time) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.deadline = dl
+}
+
+// Dispatched reports total runtime handoffs for a tenant (both
+// immediate and dequeued) — the quantity weighted fairness governs.
+func (d *Dispatcher) Dispatched(id string) int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dispatched[id]
+}
+
+// Submit routes one request for app through tenant arbitration. The
+// returned error is a synchronous refusal (unknown tenant, fabric
+// budget exhausted, tenant queue full); otherwise the outcome —
+// including admission shed at dispatch time — arrives via done,
+// exactly once.
+func (d *Dispatcher) Submit(app, ingress string, items int64, done func(lat sim.Time, energy float64, err error)) error {
+	t, ok := d.reg.TenantOf(app)
+	if !ok {
+		return ErrNoTenant
+	}
+	m := t.Metrics()
+	m.Counter(telemetry.Application, "requests_submitted").Inc()
+	// Fabric budget: the tenant pays for its requests' ingress bytes up
+	// front; a data flood is shed at the door before touching the DRR
+	// queue or the fabric itself.
+	if mb := d.appIngressMB(app); mb > 0 && !t.allowFabric(mb, d.engine.Now()) {
+		m.Counter(telemetry.Application, "requests_shed").Inc()
+		m.Counter(telemetry.Application, "shed_fabric").Inc()
+		return mirto.ErrOverloaded
+	}
+	d.mu.Lock()
+	if d.slots < d.maxSlots {
+		d.slots++
+		d.mu.Unlock()
+		return d.dispatch(t, app, ingress, items, done)
+	}
+	d.mu.Unlock()
+	if !d.sched.Enqueue(t.ID, float64(items), &queuedReq{app: app, ingress: ingress, items: items, done: done}) {
+		m.Counter(telemetry.Application, "requests_shed").Inc()
+		m.Counter(telemetry.Application, "shed_backlog").Inc()
+		return mirto.ErrOverloaded
+	}
+	return nil
+}
+
+// dispatch hands one request to the runtime, owning one slot. On a
+// synchronous refusal (per-tenant admission, in-flight bound) the slot
+// is freed and the error returned — done is never called in that case,
+// mirroring the runtime's own contract.
+func (d *Dispatcher) dispatch(t *Tenant, app, ingress string, items int64, done func(lat sim.Time, energy float64, err error)) error {
+	err := d.rt.SubmitFrom(app, ingress, items, func(lat sim.Time, energy float64, rerr error) {
+		d.record(t, lat, rerr)
+		d.freeSlot()
+		if done != nil {
+			done(lat, energy, rerr)
+		}
+	})
+	if err != nil {
+		m := t.Metrics()
+		if errors.Is(err, mirto.ErrOverloaded) {
+			m.Counter(telemetry.Application, "requests_shed").Inc()
+		} else {
+			m.Counter(telemetry.Application, "requests_failed").Inc()
+		}
+		d.freeSlot()
+		return err
+	}
+	d.mu.Lock()
+	d.dispatched[t.ID]++
+	d.mu.Unlock()
+	return nil
+}
+
+// record lands one completed request's outcome in the tenant registry.
+func (d *Dispatcher) record(t *Tenant, lat sim.Time, err error) {
+	m := t.Metrics()
+	if err != nil {
+		m.Counter(telemetry.Application, "requests_failed").Inc()
+		return
+	}
+	m.Counter(telemetry.Application, "requests_ok").Inc()
+	m.Histogram(telemetry.Application, "latency_ms").Observe(lat.Seconds() * 1e3)
+	d.mu.Lock()
+	dl := d.deadline
+	d.mu.Unlock()
+	if dl > 0 && lat <= dl {
+		m.Counter(telemetry.Application, "requests_good").Inc()
+	}
+}
+
+// freeSlot returns a slot and drains queued work into it.
+func (d *Dispatcher) freeSlot() {
+	d.mu.Lock()
+	d.slots--
+	d.mu.Unlock()
+	d.pump()
+}
+
+// pump dispatches queued requests while slots are free. The pumping
+// guard flattens re-entrancy: a synchronously-failing dispatch frees
+// its slot and re-enters pump, which returns immediately while the
+// outer loop re-checks slot availability.
+func (d *Dispatcher) pump() {
+	d.mu.Lock()
+	if d.pumping {
+		d.mu.Unlock()
+		return
+	}
+	d.pumping = true
+	for d.slots < d.maxSlots {
+		it, ok := d.sched.Next()
+		if !ok {
+			break
+		}
+		d.slots++
+		d.mu.Unlock()
+		d.dispatchQueued(it)
+		d.mu.Lock()
+	}
+	d.pumping = false
+	d.mu.Unlock()
+}
+
+// dispatchQueued runs one dequeued item, completing its done on a
+// synchronous refusal (the submitter already returned nil).
+func (d *Dispatcher) dispatchQueued(it Item) {
+	q, ok := it.Payload.(*queuedReq)
+	if !ok {
+		d.mu.Lock()
+		d.slots--
+		d.mu.Unlock()
+		return
+	}
+	t, ok := d.reg.TenantOf(q.app)
+	if !ok {
+		d.mu.Lock()
+		d.slots--
+		d.mu.Unlock()
+		if q.done != nil {
+			q.done(0, 0, ErrTenantRemoved)
+		}
+		return
+	}
+	if err := d.dispatch(t, q.app, q.ingress, q.items, q.done); err != nil {
+		// dispatch freed the slot and recorded the shed; surface the
+		// outcome to the submitter, which got nil at enqueue time.
+		if q.done != nil {
+			q.done(0, 0, err)
+		}
+	}
+}
+
+// appIngressMB caches the per-request ingress megabytes an app's
+// source stages declare — the fabric-budget charge per submit.
+func (d *Dispatcher) appIngressMB(app string) float64 {
+	d.mu.Lock()
+	if mb, ok := d.ingressMB[app]; ok {
+		d.mu.Unlock()
+		return mb
+	}
+	d.mu.Unlock()
+	mb := 0.0
+	if plan, ok := d.rt.Plan(app); ok && plan.Template != nil {
+		st := plan.Template
+		for _, name := range st.NodeNames() {
+			n := st.Nodes[name]
+			if len(n.Requirements) == 0 {
+				mb += n.PropFloat("inMB", 0)
+			}
+		}
+	}
+	d.mu.Lock()
+	d.ingressMB[app] = mb
+	d.mu.Unlock()
+	return mb
+}

@@ -1,0 +1,204 @@
+package tenant
+
+import "sync"
+
+// Scheduler is a deficit-round-robin arbiter over per-tenant bounded
+// queues. When dispatch slots are contended, backlogged tenants drain
+// in proportion to their weights regardless of how lopsided the
+// offered load is: a tenant flooding 10x another's rate still gets
+// only its weighted share of dispatches, and its excess waits in (and
+// overflows) its own queue instead of starving anyone else's.
+//
+// The algorithm is classic DRR: active tenants sit on a ring; each
+// visit grants a tenant quantum x weight of deficit credit, and the
+// tenant dispatches head-of-line items while its deficit covers their
+// cost. An emptied queue forfeits its remaining deficit, so credit
+// cannot be hoarded across idle periods.
+type Scheduler struct {
+	mu      sync.Mutex
+	limit   int     // per-tenant queue bound
+	quantum float64 // base credit per visit, scaled by weight
+
+	queues     map[string]*drrQueue
+	ring       []string // backlogged tenants, in activation order
+	cur        int
+	dispatched map[string]int64
+	dropped    map[string]int64
+}
+
+type drrQueue struct {
+	weight  float64
+	deficit float64
+	visited bool // quantum already granted for the current visit
+	items   []Item
+}
+
+// Item is one queued unit of work.
+type Item struct {
+	Tenant  string
+	Cost    float64 // deficit charge (e.g. request batch size)
+	Payload any
+}
+
+// NewScheduler builds a scheduler bounding each tenant's queue at
+// perTenantLimit items (minimum 1).
+func NewScheduler(perTenantLimit int) *Scheduler {
+	if perTenantLimit < 1 {
+		perTenantLimit = 1
+	}
+	return &Scheduler{
+		limit:      perTenantLimit,
+		quantum:    1,
+		queues:     map[string]*drrQueue{},
+		dispatched: map[string]int64{},
+		dropped:    map[string]int64{},
+	}
+}
+
+// AddTenant registers a tenant's queue with the given DRR weight
+// (values <= 0 become 1). Re-adding updates the weight.
+func (s *Scheduler) AddTenant(id string, weight float64) {
+	if weight <= 0 {
+		weight = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if q, ok := s.queues[id]; ok {
+		q.weight = weight
+		return
+	}
+	s.queues[id] = &drrQueue{weight: weight}
+}
+
+// RemoveTenant drops a tenant's queue and returns its undelivered
+// items so the caller can fail their completions.
+func (s *Scheduler) RemoveTenant(id string) []Item {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q, ok := s.queues[id]
+	if !ok {
+		return nil
+	}
+	delete(s.queues, id)
+	for i, name := range s.ring {
+		if name == id {
+			s.ring = append(s.ring[:i], s.ring[i+1:]...)
+			if s.cur > i {
+				s.cur--
+			}
+			if len(s.ring) > 0 {
+				s.cur %= len(s.ring)
+			} else {
+				s.cur = 0
+			}
+			break
+		}
+	}
+	return q.items
+}
+
+// Enqueue appends work to the tenant's queue. It returns false — the
+// caller's cue to shed — when the tenant is unknown or its queue is
+// at the bound.
+func (s *Scheduler) Enqueue(id string, cost float64, payload any) bool {
+	if cost <= 0 {
+		cost = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q, ok := s.queues[id]
+	if !ok || len(q.items) >= s.limit {
+		if ok {
+			s.dropped[id]++
+		}
+		return false
+	}
+	if len(q.items) == 0 {
+		s.ring = append(s.ring, id)
+	}
+	q.items = append(q.items, Item{Tenant: id, Cost: cost, Payload: payload})
+	return true
+}
+
+// Next pops the next item under DRR order, or ok=false if every queue
+// is empty.
+func (s *Scheduler) Next() (Item, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.ring) > 0 {
+		id := s.ring[s.cur]
+		q := s.queues[id]
+		if q == nil || len(q.items) == 0 {
+			s.removeCur()
+			continue
+		}
+		if !q.visited {
+			q.deficit += s.quantum * q.weight
+			q.visited = true
+		}
+		if q.deficit+1e-9 >= q.items[0].Cost {
+			it := q.items[0]
+			q.items = q.items[1:]
+			q.deficit -= it.Cost
+			s.dispatched[id]++
+			if len(q.items) == 0 {
+				// Forfeit leftover credit: an idle tenant must not bank
+				// deficit to burst past its share later.
+				q.deficit = 0
+				q.visited = false
+				s.removeCur()
+			}
+			return it, true
+		}
+		// Deficit does not cover the head item: end this visit and move
+		// on; credit accrues again next round until the item affords.
+		q.visited = false
+		s.cur = (s.cur + 1) % len(s.ring)
+	}
+	return Item{}, false
+}
+
+// removeCur deletes the ring entry at cur; caller holds s.mu.
+func (s *Scheduler) removeCur() {
+	s.ring = append(s.ring[:s.cur], s.ring[s.cur+1:]...)
+	if len(s.ring) > 0 {
+		s.cur %= len(s.ring)
+	} else {
+		s.cur = 0
+	}
+}
+
+// Len is the tenant's current queue depth.
+func (s *Scheduler) Len(id string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if q, ok := s.queues[id]; ok {
+		return len(q.items)
+	}
+	return 0
+}
+
+// Backlog is the total queued items across tenants.
+func (s *Scheduler) Backlog() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, q := range s.queues {
+		n += len(q.items)
+	}
+	return n
+}
+
+// Dispatched reports how many items the tenant has dequeued via Next.
+func (s *Scheduler) Dispatched(id string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dispatched[id]
+}
+
+// Dropped reports how many enqueues the tenant's bound refused.
+func (s *Scheduler) Dropped(id string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped[id]
+}

@@ -1,0 +1,225 @@
+package tenant
+
+import (
+	"fmt"
+	"sort"
+
+	"myrtus/internal/continuum"
+	"myrtus/internal/mapek"
+	"myrtus/internal/mirto"
+	"myrtus/internal/sim"
+	"myrtus/internal/tosca"
+)
+
+// IngressDevice is the edge device tenant experiments submit from.
+const IngressDevice = "edge-rv-0"
+
+// Spec declares one tenant for a mixed-tenant system: its identity,
+// quotas, SLO, and the TOSCA templates it deploys. Template tenant
+// metadata, when present, must match ID.
+type Spec struct {
+	ID    string
+	Class mirto.Priority
+	Quota Quota
+	SLO   SLO
+	Apps  []string // TOSCA YAML documents
+}
+
+// System is one built mixed-tenant continuum. The two isolation arms
+// share everything — substrate, protections, MAPE-K loops — except
+// admission and arbitration: with quotas on, each tenant admits
+// against its carved budget and the DRR dispatcher arbitrates slots;
+// with quotas off (the control arm), every tenant shares one global
+// admission controller whose only fairness is Table II priority.
+type System struct {
+	C   *continuum.Continuum
+	O   *mirto.Orchestrator
+	Reg *Registry // nil in the control arm
+
+	// Disp arbitrates dispatch in the quotas arm; nil in control, where
+	// submits go straight to the runtime.
+	Disp *Dispatcher
+	// Shared is the control arm's single admission controller.
+	Shared *mirto.AdmissionController
+
+	// Apps maps tenant ID to its deployed app names, deploy order.
+	Apps  map[string][]string
+	Loops map[string]*mapek.Loop // app -> MAPE-K loop
+
+	CapacityRPS float64
+	Deadline    sim.Time
+}
+
+// buildBare deploys every spec's apps on a fresh continuum with no
+// protections — the calibration substrate.
+func buildBare(seed uint64, specs []Spec) (*System, error) {
+	opts := continuum.DefaultOptions()
+	opts.Seed = seed
+	c, err := continuum.Build(opts)
+	if err != nil {
+		return nil, err
+	}
+	o := mirto.NewOrchestrator(mirto.NewManager(c, mirto.LatencyGoal()))
+	s := &System{C: c, O: o, Apps: map[string][]string{}, Loops: map[string]*mapek.Loop{}}
+	for _, spec := range specs {
+		for _, yaml := range spec.Apps {
+			st, err := tosca.Parse(yaml)
+			if err != nil {
+				return nil, fmt.Errorf("tenant: parsing app for %s: %w", spec.ID, err)
+			}
+			if st.Tenant != "" && st.Tenant != spec.ID {
+				return nil, fmt.Errorf("tenant: template %s declares tenant %q under spec %q",
+					st.Name, st.Tenant, spec.ID)
+			}
+			st.Tenant = spec.ID
+			plan, err := o.Deploy(st)
+			if err != nil {
+				return nil, fmt.Errorf("tenant: deploying %s for %s: %w", st.Name, spec.ID, err)
+			}
+			s.Apps[spec.ID] = append(s.Apps[spec.ID], plan.App)
+		}
+	}
+	return s, nil
+}
+
+// BuildSystem builds one experiment arm: specs deployed on a seed-fresh
+// continuum with the full protection stack (bounded queues, breakers,
+// in-flight caps, MAPE-K brownout loops), plus either per-tenant
+// admission budgets and DRR arbitration (quotas=true) or one shared
+// admission controller (quotas=false). capacityRPS and deadline come
+// from Calibrate.
+func BuildSystem(seed uint64, specs []Spec, quotas bool, capacityRPS float64, deadline sim.Time) (*System, error) {
+	s, err := buildBare(seed, specs)
+	if err != nil {
+		return nil, err
+	}
+	s.CapacityRPS = capacityRPS
+	s.Deadline = deadline
+	eng := s.C.Engine
+	admissionRPS := 0.9 * capacityRPS
+	maxIF := int(capacityRPS * deadline.Seconds())
+	if maxIF < 8 {
+		maxIF = 8
+	}
+	s.O.R.SetBreakers(mirto.NewBreakerSet(eng, mirto.BreakerConfig{}))
+	s.O.R.SetMaxInFlight(maxIF)
+	for _, name := range s.C.DeviceNames() {
+		s.C.Devices[name].SetQueueLimit(deadline)
+	}
+	s.C.Fabric.SetMaxQueueDelay(deadline)
+
+	if quotas {
+		s.Reg = NewRegistry(eng, admissionRPS)
+		for _, spec := range specs {
+			t, err := s.Reg.Register(spec.ID, spec.Class, spec.Quota, spec.SLO)
+			if err != nil {
+				return nil, err
+			}
+			for i, app := range s.Apps[spec.ID] {
+				st, perr := tosca.Parse(spec.Apps[i])
+				if perr != nil {
+					return nil, perr
+				}
+				cpu, mem := TemplateDemand(st)
+				if err := s.Reg.BindApp(app, spec.ID, cpu, mem); err != nil {
+					return nil, err
+				}
+				// The tenant's carved-out bucket replaces the shared gate on
+				// this app's serve path.
+				s.O.R.SetAppAdmission(app, t.Admission())
+			}
+		}
+		s.Disp = NewDispatcher(eng, s.O.R, s.Reg, maxIF, maxIF)
+		s.Disp.SetDeadline(deadline)
+	} else {
+		s.Shared = mirto.NewAdmissionController(eng, mirto.AdmissionConfig{Rate: admissionRPS})
+		s.O.R.SetAdmission(s.Shared)
+	}
+
+	for _, spec := range specs {
+		for _, app := range s.Apps[spec.ID] {
+			loop, err := s.O.AttachLoop(app, mirto.SLO{MaxShedRate: 0.05})
+			if err != nil {
+				return nil, err
+			}
+			s.Loops[app] = loop
+		}
+	}
+	return s, nil
+}
+
+// Submit routes one request: through the DRR dispatcher in the quotas
+// arm, straight to the runtime in control.
+func (s *System) Submit(app string, items int64, done func(lat sim.Time, energy float64, err error)) error {
+	if s.Disp != nil {
+		return s.Disp.Submit(app, IngressDevice, items, done)
+	}
+	return s.O.R.SubmitFrom(app, IngressDevice, items, done)
+}
+
+// Tick runs one MAPE-K iteration for every app and returns the deepest
+// brownout level per app, keyed by app name.
+func (s *System) Tick() map[string]int {
+	apps := make([]string, 0, len(s.Loops))
+	for app := range s.Loops {
+		apps = append(apps, app)
+	}
+	sort.Strings(apps)
+	levels := make(map[string]int, len(apps))
+	for _, app := range apps {
+		s.Loops[app].Iterate()
+		levels[app] = s.O.R.Brownout(app)
+	}
+	return levels
+}
+
+// Calibrate measures the mixed deployment's idle latency and closed-loop
+// capacity on a throwaway substrate: deadline = 10x worst idle request
+// latency, capacity = makespan rate of a closed 90-request burst round-
+// robined across every deployed app.
+func Calibrate(seed uint64, specs []Spec, items int64) (capacityRPS float64, deadline sim.Time, err error) {
+	s, err := buildBare(seed, specs)
+	if err != nil {
+		return 0, 0, err
+	}
+	var apps []string
+	for _, spec := range specs {
+		apps = append(apps, s.Apps[spec.ID]...)
+	}
+	if len(apps) == 0 {
+		return 0, 0, fmt.Errorf("tenant: no apps to calibrate")
+	}
+	var idle sim.Time
+	for _, app := range apps {
+		lat, _, serr := s.O.R.ServeRequestFrom(app, IngressDevice, items)
+		if serr != nil {
+			return 0, 0, fmt.Errorf("tenant: idle request to %s: %w", app, serr)
+		}
+		if lat > idle {
+			idle = lat
+		}
+	}
+	deadline = 10 * idle
+	eng := s.C.Engine
+	const burst = 90
+	start := eng.Now()
+	var last sim.Time
+	pending := burst
+	for i := 0; i < burst; i++ {
+		app := apps[i%len(apps)]
+		err := s.O.R.SubmitFrom(app, IngressDevice, items, func(_ sim.Time, _ float64, err error) {
+			pending--
+			if t := eng.Now(); t > last {
+				last = t
+			}
+		})
+		if err != nil {
+			return 0, 0, fmt.Errorf("tenant: burst submit to %s: %w", app, err)
+		}
+	}
+	eng.Run()
+	if pending != 0 || last <= start {
+		return 0, 0, fmt.Errorf("tenant: calibration burst did not complete (%d pending)", pending)
+	}
+	return burst / (last - start).Seconds(), deadline, nil
+}

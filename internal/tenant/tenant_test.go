@@ -1,0 +1,232 @@
+package tenant
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"myrtus/internal/mirto"
+	"myrtus/internal/sim"
+)
+
+// drrShares runs the DRR property experiment: tenant "a" offers ten
+// times tenant "b"'s load against a dispatch capacity of one item per
+// tick, and the dispatched shares must track the weights, not the
+// offered ratio.
+func drrShares(t *testing.T, wa, wb float64, rounds int) (shareA, shareB float64) {
+	t.Helper()
+	s := NewScheduler(16)
+	s.AddTenant("a", wa)
+	s.AddTenant("b", wb)
+	for i := 0; i < rounds; i++ {
+		// 10:1 offered load; the bounded queues absorb what fairness
+		// refuses and overflow the rest.
+		for j := 0; j < 10; j++ {
+			s.Enqueue("a", 1, i*10+j)
+		}
+		s.Enqueue("b", 1, i)
+		if _, ok := s.Next(); !ok {
+			t.Fatalf("round %d: scheduler empty despite offered load", i)
+		}
+	}
+	total := float64(s.Dispatched("a") + s.Dispatched("b"))
+	if total == 0 {
+		t.Fatal("nothing dispatched")
+	}
+	return float64(s.Dispatched("a")) / total, float64(s.Dispatched("b")) / total
+}
+
+// TestDRRFairnessProperty: with equal weights and a 10:1 offered-load
+// imbalance, dispatch shares stay within ±5% of 50/50.
+func TestDRRFairnessProperty(t *testing.T) {
+	shareA, shareB := drrShares(t, 1, 1, 4000)
+	if math.Abs(shareA-0.5) > 0.05 || math.Abs(shareB-0.5) > 0.05 {
+		t.Fatalf("equal-weight shares diverged from 50/50: a=%.3f b=%.3f", shareA, shareB)
+	}
+}
+
+// TestDRRWeightedShares: weights 3:1 yield 75/25 within ±5% under the
+// same 10:1 offered imbalance.
+func TestDRRWeightedShares(t *testing.T) {
+	shareA, shareB := drrShares(t, 3, 1, 4000)
+	if math.Abs(shareA-0.75) > 0.05 || math.Abs(shareB-0.25) > 0.05 {
+		t.Fatalf("3:1-weight shares diverged from 75/25: a=%.3f b=%.3f", shareA, shareB)
+	}
+}
+
+// TestDRRWorkConserving: an idle tenant's share flows to the busy one
+// instead of going unused.
+func TestDRRWorkConserving(t *testing.T) {
+	s := NewScheduler(16)
+	s.AddTenant("a", 1)
+	s.AddTenant("b", 1)
+	for j := 0; j < 10; j++ {
+		s.Enqueue("a", 1, j)
+	}
+	for j := 0; j < 10; j++ {
+		if _, ok := s.Next(); !ok {
+			t.Fatalf("dispatch %d: empty with tenant a backlogged", j)
+		}
+	}
+	if got := s.Dispatched("a"); got != 10 {
+		t.Fatalf("busy tenant dispatched %d of 10 with the other idle", got)
+	}
+}
+
+func TestRegistryValidation(t *testing.T) {
+	eng := sim.NewEngine(1)
+	r := NewRegistry(eng, 100)
+	if _, err := r.Register("Bad_ID", mirto.PriorityLow, Quota{AdmissionShare: 0.1}, SLO{}); err == nil {
+		t.Fatal("invalid tenant ID accepted")
+	}
+	if _, err := r.Register("ok", mirto.PriorityLow, Quota{AdmissionShare: 0}, SLO{}); err == nil {
+		t.Fatal("zero admission share accepted")
+	}
+	if _, err := r.Register("t1", mirto.PriorityLow, Quota{AdmissionShare: 0.6}, SLO{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register("t1", mirto.PriorityLow, Quota{AdmissionShare: 0.1}, SLO{}); err == nil {
+		t.Fatal("duplicate tenant accepted")
+	}
+	// Shares must partition, not oversubscribe, the platform rate.
+	if _, err := r.Register("t2", mirto.PriorityLow, Quota{AdmissionShare: 0.5}, SLO{}); err == nil {
+		t.Fatal("oversubscribed shares accepted")
+	}
+	if _, err := r.Register("t2", mirto.PriorityLow, Quota{AdmissionShare: 0.4}, SLO{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistryQuotaCharging(t *testing.T) {
+	eng := sim.NewEngine(1)
+	r := NewRegistry(eng, 100)
+	tn, err := r.Register("capped", mirto.PriorityLow,
+		Quota{AdmissionShare: 0.5, CPUCores: 4, MemMB: 1024}, SLO{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.BindApp("app-1", "capped", 3, 512); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.BindApp("app-2", "capped", 2, 128); err == nil {
+		t.Fatal("CPU quota breach accepted")
+	}
+	if err := r.BindApp("app-2", "capped", 1, 1024); err == nil {
+		t.Fatal("memory quota breach accepted")
+	}
+	if err := r.BindApp("app-2", "capped", 1, 512); err != nil {
+		t.Fatal(err)
+	}
+	r.UnbindApp("app-1")
+	if cpu, mem := tn.Used(); cpu != 1 || mem != 512 {
+		t.Fatalf("unbind did not refund quota: cpu=%v mem=%v", cpu, mem)
+	}
+	if _, ok := r.TenantOf("app-1"); ok {
+		t.Fatal("unbound app still resolves")
+	}
+}
+
+// TestTenantChurnDuringReplans exercises the registry and scheduler
+// locks under -race: goroutine packs churn synthetic tenants
+// (register/bind/enqueue/unregister) and hammer the read paths while,
+// between bursts, the main goroutine drives real traffic and MAPE-K
+// iterations (which replan) through a live mixed-tenant system. The
+// simulation engine itself is single-threaded by design, so engine
+// advancement stays on the main goroutine; everything the tenant layer
+// owns must tolerate the concurrency.
+func TestTenantChurnDuringReplans(t *testing.T) {
+	specs := tenantSpecsForTest()
+	capacity, deadline, err := Calibrate(7, specs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := BuildSystem(7, specs, true, capacity, deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := s.C.Engine
+	app := s.Apps["alpha"][0]
+
+	for round := 0; round < 4; round++ {
+		var wg sync.WaitGroup
+		for g := 0; g < 6; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				id := fmt.Sprintf("churn-%d", g)
+				for i := 0; i < 40; i++ {
+					tn, err := s.Reg.Register(id, mirto.PriorityLow,
+						Quota{AdmissionShare: 0.01, Weight: 1}, SLO{})
+					if err != nil {
+						continue
+					}
+					s.Disp.AddTenant(tn)
+					s.Reg.BindApp(fmt.Sprintf("%s-app", id), id, 1, 64) //nolint:errcheck
+					s.Disp.Scheduler().Enqueue(id, 1, i)
+					s.Reg.UnbindApp(fmt.Sprintf("%s-app", id))
+					s.Disp.RemoveTenant(id)
+					s.Reg.Unregister(id) //nolint:errcheck
+				}
+			}(g)
+		}
+		for g := 0; g < 3; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 200; i++ {
+					s.Reg.List()
+					s.Reg.TenantOf(app)
+					s.Disp.Dispatched("alpha")
+					s.Disp.Scheduler().Backlog()
+				}
+			}()
+		}
+		wg.Wait()
+
+		// Single-threaded phase: serve traffic and iterate the MAPE-K
+		// loops (replans included) against whatever the churn left behind.
+		for i := 0; i < 30; i++ {
+			s.Submit(app, 4, nil) //nolint:errcheck
+			eng.RunFor(20 * sim.Millisecond)
+		}
+		s.Tick()
+		eng.Run()
+	}
+
+	// The real tenant must have survived the churn intact.
+	if _, ok := s.Reg.Get("alpha"); !ok {
+		t.Fatal("tenant alpha lost during churn")
+	}
+	if tn, _ := s.Reg.Get("alpha"); tn != nil {
+		if _, ok := s.Reg.TenantOf(app); !ok {
+			t.Fatal("app binding lost during churn")
+		}
+	}
+}
+
+func tenantSpecsForTest() []Spec {
+	app := func(name string) string {
+		return fmt.Sprintf(`
+tosca_definitions_version: tosca_2_0
+metadata:
+  template_name: %s
+topology_template:
+  node_templates:
+    src:
+      type: myrtus.nodes.Container
+      properties: {cpu: 0.5, memoryMB: 128, gops: 0.2, outMB: 0.1, inMB: 0.2}
+    sink:
+      type: myrtus.nodes.Container
+      properties: {cpu: 1, memoryMB: 256, gops: 1, outMB: 0.01}
+      requirements:
+        - source: src
+`, name)
+	}
+	return []Spec{
+		{ID: "alpha", Class: mirto.PriorityMedium,
+			Quota: Quota{AdmissionShare: 0.4, Weight: 1}, Apps: []string{app("alpha-app")}},
+		{ID: "beta", Class: mirto.PriorityLow,
+			Quota: Quota{AdmissionShare: 0.4, Weight: 1}, Apps: []string{app("beta-app")}},
+	}
+}

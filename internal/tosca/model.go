@@ -56,8 +56,13 @@ type ServiceTemplate struct {
 	Name        string
 	Description string
 	Version     string
-	Nodes       map[string]*NodeTemplate
-	Policies    []Policy
+	// Tenant is the owning stakeholder of this application (metadata
+	// "tenant"). On a shared continuum the orchestrator charges the app's
+	// resource usage, admission budget, and dispatch share to this tenant;
+	// empty means the implicit single-tenant default.
+	Tenant   string
+	Nodes    map[string]*NodeTemplate
+	Policies []Policy
 }
 
 // PropFloat reads a numeric property with a default.
@@ -178,6 +183,9 @@ func Parse(src string) (*ServiceTemplate, error) {
 		if n, ok := md["template_name"].(string); ok {
 			st.Name = n
 		}
+		if tn, ok := md["tenant"].(string); ok {
+			st.Tenant = tn
+		}
 	}
 	if d, ok := doc["description"].(string); ok {
 		st.Description = d
@@ -254,8 +262,14 @@ func Parse(src string) (*ServiceTemplate, error) {
 func (t *ServiceTemplate) Render() string {
 	var b strings.Builder
 	b.WriteString("tosca_definitions_version: " + t.Version + "\n")
-	if t.Name != "" {
-		b.WriteString("metadata:\n  template_name: " + t.Name + "\n")
+	if t.Name != "" || t.Tenant != "" {
+		b.WriteString("metadata:\n")
+		if t.Name != "" {
+			b.WriteString("  template_name: " + t.Name + "\n")
+		}
+		if t.Tenant != "" {
+			b.WriteString("  tenant: " + t.Tenant + "\n")
+		}
 	}
 	if t.Description != "" {
 		fmt.Fprintf(&b, "description: %q\n", t.Description)

@@ -358,3 +358,66 @@ func TestCSARTemplateMissing(t *testing.T) {
 		t.Fatal("missing template accepted")
 	}
 }
+
+const tenantTemplate = `
+tosca_definitions_version: tosca_2_0
+metadata:
+  template_name: shared-app
+  tenant: acme-mobility
+topology_template:
+  node_templates:
+    worker:
+      type: myrtus.nodes.Container
+      properties: {cpu: 1, memoryMB: 256}
+`
+
+func TestParseTenantMetadata(t *testing.T) {
+	st, err := Parse(tenantTemplate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tenant != "acme-mobility" {
+		t.Fatalf("tenant = %q", st.Tenant)
+	}
+	if err := Validate(st); err != nil {
+		t.Fatal(err)
+	}
+	// Absent tenant metadata parses to the empty (single-tenant) default.
+	st2, _ := Parse(sampleTemplate)
+	if st2.Tenant != "" {
+		t.Fatalf("implicit tenant = %q", st2.Tenant)
+	}
+}
+
+func TestValidateTenantID(t *testing.T) {
+	for _, ok := range []string{"a", "acme", "acme-1", "0tenant9"} {
+		if !ValidTenantID(ok) {
+			t.Fatalf("valid tenant ID %q rejected", ok)
+		}
+	}
+	long := strings.Repeat("a", 64)
+	for _, bad := range []string{"", "-acme", "acme-", "Acme", "ac_me", "a/b", long} {
+		if ValidTenantID(bad) {
+			t.Fatalf("invalid tenant ID %q accepted", bad)
+		}
+	}
+	st, _ := Parse(tenantTemplate)
+	st.Tenant = "Not-Valid-"
+	if err := Validate(st); err == nil || !strings.Contains(err.Error(), "tenant") {
+		t.Fatalf("bad tenant ID passed validation: %v", err)
+	}
+}
+
+func TestRenderPreservesTenant(t *testing.T) {
+	st, err := Parse(tenantTemplate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Parse(st.Render())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Tenant != st.Tenant {
+		t.Fatalf("render round-trip lost tenant: %q != %q", st2.Tenant, st.Tenant)
+	}
+}

@@ -43,6 +43,9 @@ func Validate(t *ServiceTemplate) error {
 	if len(t.Nodes) == 0 {
 		add("no node templates")
 	}
+	if t.Tenant != "" && !ValidTenantID(t.Tenant) {
+		add("tenant %q is not a valid tenant ID (lowercase alphanumeric and '-', must start/end alphanumeric, max 63 chars)", t.Tenant)
+	}
 	for _, name := range t.NodeNames() {
 		n := t.Nodes[name]
 		if !knownNodeTypes[n.Type] {
@@ -113,6 +116,28 @@ func Validate(t *ServiceTemplate) error {
 		return &ValidationError{Problems: problems}
 	}
 	return nil
+}
+
+// ValidTenantID reports whether id is a well-formed tenant identifier:
+// a DNS-label-shaped name (lowercase alphanumeric and '-', starting and
+// ending alphanumeric, at most 63 characters) so tenant IDs can double as
+// Kubernetes namespace names and KB key segments.
+func ValidTenantID(id string) bool {
+	if len(id) == 0 || len(id) > 63 {
+		return false
+	}
+	alnum := func(c byte) bool {
+		return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')
+	}
+	if !alnum(id[0]) || !alnum(id[len(id)-1]) {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		if !alnum(id[i]) && id[i] != '-' {
+			return false
+		}
+	}
+	return true
 }
 
 func propFloat(m map[string]any, key string) float64 {

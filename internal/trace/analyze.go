@@ -113,6 +113,70 @@ func (t *Trace) LayerBreakdown() []LayerStat {
 	return out
 }
 
+// TenantStat summarizes end-to-end request latency for one tenant across
+// traces: requests whose root span carries a "tenant" attribute are
+// grouped by it, so a shared continuum's per-stakeholder p50/p95/p99 fall
+// straight out of the trace store.
+type TenantStat struct {
+	Tenant string  `json:"tenant"`
+	Count  int64   `json:"count"`
+	Errors int64   `json:"errors"`
+	MeanMs float64 `json:"meanMs"`
+	P50Ms  float64 `json:"p50Ms"`
+	P95Ms  float64 `json:"p95Ms"`
+	P99Ms  float64 `json:"p99Ms"`
+}
+
+// TenantSummary aggregates per-tenant request-latency percentiles over
+// finished traces, sorted by tenant name. Only successful requests
+// contribute latency samples; failed roots count under Errors. Traces
+// whose root has no tenant attribute are skipped.
+func TenantSummary(traces []*Trace) []TenantStat {
+	hists := make(map[string]*telemetry.Histogram)
+	errs := make(map[string]int64)
+	for _, tr := range traces {
+		if tr == nil || tr.Root == nil {
+			continue
+		}
+		tenant := tr.Root.Attrs["tenant"]
+		if tenant == "" {
+			continue
+		}
+		if tr.Root.Error != "" {
+			errs[tenant]++
+			if hists[tenant] == nil {
+				hists[tenant] = telemetry.NewHistogram(0)
+			}
+			continue
+		}
+		h := hists[tenant]
+		if h == nil {
+			h = telemetry.NewHistogram(0)
+			hists[tenant] = h
+		}
+		h.Observe(tr.Root.Duration().Seconds() * 1e3)
+	}
+	tenants := make([]string, 0, len(hists))
+	for tn := range hists {
+		tenants = append(tenants, tn)
+	}
+	sort.Strings(tenants)
+	out := make([]TenantStat, 0, len(tenants))
+	for _, tn := range tenants {
+		snap := hists[tn].Snapshot()
+		out = append(out, TenantStat{
+			Tenant: tn,
+			Count:  snap.Count + errs[tn],
+			Errors: errs[tn],
+			MeanMs: snap.Mean,
+			P50Ms:  snap.P50,
+			P95Ms:  snap.P95,
+			P99Ms:  snap.P99,
+		})
+	}
+	return out
+}
+
 // NameStat summarizes span durations for one span name across traces.
 type NameStat struct {
 	Name   string  `json:"name"`

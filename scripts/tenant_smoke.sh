@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# tenant_smoke.sh — CI gate for the multi-tenant isolation stack: run the
+# mixed-tenant sweep twice with the same seed under the race detector,
+# require the noisy-neighbor isolation bar (the binary exits non-zero
+# when the victim's goodput drops below 90% or its p95 exceeds 1.5x the
+# solo baseline at the heaviest aggressor point), and diff the two
+# reports byte-for-byte to catch any nondeterminism regression. A
+# control sweep with shared admission (no per-tenant quotas) is printed
+# for the comparison record — it is expected to violate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEED="${TENANT_SEED:-7}"
+DURATION="${TENANT_DURATION:-6}"
+BIN="$(mktemp -d)/continuum-sim"
+trap 'rm -rf "$(dirname "$BIN")"' EXIT
+
+go build -race -o "$BIN" ./cmd/continuum-sim
+
+echo "== tenants -seed $SEED (per-tenant quotas + DRR) =="
+"$BIN" tenants -seed "$SEED" -duration "$DURATION" | tee "$BIN.1"
+"$BIN" tenants -seed "$SEED" -duration "$DURATION" > "$BIN.2"
+if ! diff -u "$BIN.1" "$BIN.2"; then
+  echo "tenants: sweep is nondeterministic for seed $SEED" >&2
+  exit 1
+fi
+echo "determinism: ok"
+
+echo "== tenants -seed $SEED (shared-admission control, expected to violate) =="
+"$BIN" tenants -seed "$SEED" -duration "$DURATION" -quotas=false
