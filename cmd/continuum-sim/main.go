@@ -7,6 +7,7 @@
 //
 //	continuum-sim [-seed N] [-requests N] [-goal latency|energy|balanced]
 //	              [-fail device] [-serve addr]
+//	              [-cpuprofile file] [-memprofile file]
 //	continuum-sim chaos <scenario> [-seed N] [-mapek=false] [-list]
 //	continuum-sim overload [-seed N] [-admission=false] [-duration S]
 //	continuum-sim tenants [-seed N] [-quotas=false] [-duration S]
@@ -33,6 +34,8 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"myrtus"
@@ -219,12 +222,43 @@ func main() {
 		tenantsMain(os.Args[2:])
 		return
 	}
+	// Exit through a deferred os.Exit so the pprof defers below run
+	// even on a failed run.
+	exitCode := 0
+	defer func() { os.Exit(exitCode) }()
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	requests := flag.Int("requests", 50, "requests to drive through the pipeline")
 	goal := flag.String("goal", "latency", "orchestration goal: latency, energy, balanced")
 	failDev := flag.String("fail", "", "fail this device mid-run to exercise the MAPE-K loop")
 	serve := flag.String("serve", "", "serve the MIRTO agent REST API on this address instead")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (planner profiling)")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile shows live objects
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+	}()
 
 	opts := myrtus.DefaultOptions()
 	opts.Infrastructure.Seed = *seed
@@ -300,6 +334,6 @@ func main() {
 	fmt.Print(trace.RenderSummary(sum))
 
 	if k.Failed > int64(*requests)/2 {
-		os.Exit(1)
+		exitCode = 1
 	}
 }

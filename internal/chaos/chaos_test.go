@@ -212,3 +212,41 @@ func TestSeedShapesSeededDraws(t *testing.T) {
 		t.Error("same seed drew a different outage time")
 	}
 }
+
+func TestDeltaReplansDoNotRegressMTTR(t *testing.T) {
+	// Delta replans change how the MAPE-K loop computes a new plan, not
+	// when it runs or what it produces — so recovery time must not get
+	// worse. The clock is virtual and the runs are deterministic, so an
+	// exact comparison against the full-replan control arm is valid.
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			runMode := func(noDelta bool) *Report {
+				sc, err := BuiltIn(name, 7)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep, err := Run(sc, Config{Seed: 7, MAPEK: true, NoDeltaReplans: noDelta})
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				return rep
+			}
+			on, off := runMode(false), runMode(true)
+			if off.DeltaReplans != 0 {
+				t.Fatalf("control arm ran %d delta replans, want 0", off.DeltaReplans)
+			}
+			_, onP95 := on.MTTR()
+			_, offP95 := off.MTTR()
+			if onP95 > offP95 {
+				t.Errorf("mttr p95 with delta replans = %v, full-replan control = %v\n%s",
+					onP95, offP95, on.Render())
+			}
+			if onAv, offAv := on.Availability(), off.Availability(); onAv < offAv {
+				t.Errorf("availability with delta replans = %.4f, control = %.4f", onAv, offAv)
+			}
+			if on.DeltaReplans == 0 {
+				t.Errorf("%s never exercised a delta replan; comparison is vacuous", name)
+			}
+		})
+	}
+}

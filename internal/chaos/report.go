@@ -41,6 +41,13 @@ type Report struct {
 	// MAPE-K loop activity (zero in the control run).
 	LoopIterations, Replans, Boosts, ExecErrors int
 
+	// Replan-mode attribution: incremental delta splices vs full
+	// renegotiations, with each replan's deterministic planning cost in
+	// candidates scored (wall-clock-free, so renders stay byte-identical
+	// per seed).
+	DeltaReplans, FullReplans int
+	DeltaCost, FullCost       []int
+
 	// Circuit-breaker activity (zero in the control run, which carries no
 	// breaker set): transitions to open and requests fast-failed while
 	// open or probing.
@@ -125,6 +132,24 @@ func quantiles(samples []sim.Time) (p50, p95 sim.Time) {
 	return q(0.50), q(0.95)
 }
 
+func intQuantiles(samples []int) (p50, p95 int) {
+	n := len(samples)
+	if n == 0 {
+		return 0, 0
+	}
+	s := make([]int, n)
+	copy(s, samples)
+	sort.Ints(s)
+	q := func(f float64) int {
+		i := int(f * float64(n))
+		if i >= n {
+			i = n - 1
+		}
+		return s[i]
+	}
+	return q(0.50), q(0.95)
+}
+
 // Attribution returns the accumulated recovery critical-path time per
 // layer, in canonical layer order.
 func (r *Report) Attribution() []trace.LayerStat {
@@ -168,6 +193,10 @@ func (r *Report) Render() string {
 		r.Suspected, r.Confirmed, r.DetectorRecovered)
 	fmt.Fprintf(&b, "  loop:      iterations=%d replans=%d boosts=%d exec_errors=%d\n",
 		r.LoopIterations, r.Replans, r.Boosts, r.ExecErrors)
+	dp50, dp95 := intQuantiles(r.DeltaCost)
+	fp50, fp95 := intQuantiles(r.FullCost)
+	fmt.Fprintf(&b, "  replan_mode: delta=%d full=%d delta_cost_p50=%d delta_cost_p95=%d full_cost_p50=%d full_cost_p95=%d (cost=candidates scored)\n",
+		r.DeltaReplans, r.FullReplans, dp50, dp95, fp50, fp95)
 	fmt.Fprintf(&b, "  breakers:  opens=%d fast_fails=%d\n",
 		r.BreakerOpens, r.BreakerFastFails)
 	fmt.Fprintf(&b, "  fabric:    delivered=%d lost=%d retries=%d queue_drops=%d backoff=%s\n",

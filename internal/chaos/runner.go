@@ -46,6 +46,10 @@ type Config struct {
 	NoCheckpoint bool
 	// CheckpointEvery throttles checkpoint passes (default 1s).
 	CheckpointEvery sim.Time
+	// NoDeltaReplans forces every reallocation through full
+	// renegotiation — the control arm quantifying what incremental
+	// delta replans save (see the report's replan_mode line).
+	NoDeltaReplans bool
 }
 
 // ckptAnchor is the device fronting the raft-replicated KB: checkpoint
@@ -143,6 +147,7 @@ func runOnce(sc Scenario, cfg Config) (*Report, error) {
 	}
 	m := mirto.NewManager(c, mirto.LatencyGoal())
 	o := mirto.NewOrchestrator(m)
+	o.DeltaReplans = !cfg.NoDeltaReplans
 	var ss *mirto.StateStore
 	var cp *mirto.Checkpointer
 	if cfg.Stateful {
@@ -330,6 +335,19 @@ func runOnce(sc Scenario, cfg Config) (*Report, error) {
 				}
 			}
 			rep.ExecErrors += len(rec.ExecErrors)
+		}
+		// Replan-mode attribution: which reallocations were incremental
+		// splices vs full renegotiations, and what each cost in the
+		// deterministic candidates-scored unit.
+		for _, ev := range o.ReplanLog() {
+			switch ev.Mode {
+			case "delta":
+				rep.DeltaReplans++
+				rep.DeltaCost = append(rep.DeltaCost, ev.Scored)
+			default:
+				rep.FullReplans++
+				rep.FullCost = append(rep.FullCost, ev.Scored)
+			}
 		}
 	}
 	if breakers != nil {

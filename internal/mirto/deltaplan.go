@@ -1,0 +1,279 @@
+package mirto
+
+import (
+	"fmt"
+
+	"myrtus/internal/cluster"
+)
+
+// DeltaStats summarizes one incremental replan: how much of the old
+// plan survived, how much was re-negotiated, and the deterministic
+// planning cost (candidates scored) the delta actually paid.
+type DeltaStats struct {
+	Kept     int // stages spliced through unchanged (pods untouched)
+	Replaced int // stages re-placed against the shard indexes
+	Moved    int // re-placed stages that landed on a different device
+	Scored   int // candidates scored — O(Replaced), not O(stages × devices)
+}
+
+// DeltaPlan computes an incremental replan of old: only the dirty
+// stages (and their forced closure) are re-placed; every other stage is
+// spliced through with its device — and its live pod — untouched. The
+// result is NOT executed; ExecuteDelta applies it, DeltaReplan does
+// both.
+//
+// The closure grows during the walk: a stage is re-placed when it is
+// dirty, when any of its upstreams moved (its network scores changed),
+// or when its old device can no longer host it (gone, not ready,
+// outside the security bucket, untrusted, or out of capacity once this
+// plan's reservations are counted). Re-placement scores candidates as
+// if the old plan were already torn down — the old pods' resources are
+// credited back via a release set — which makes the delta equivalent to
+// Teardown+Plan: under otherwise-unchanged cluster state the spliced
+// plan is byte-identical (same assignments, same score) to a
+// from-scratch plan, because every stage's candidate scan sees exactly
+// the free capacity, upstream placements, and reservation prefix the
+// full planner would see. Dirty stages whose fresh winner is the old
+// device keep their pod and do not poison downstream stages.
+//
+// The security invariant of full planning holds unchanged on this
+// path: kept stages re-verify membership in their security bucket, and
+// re-placed stages go through the same bucketed descent — a degraded
+// delta plan never relaxes a stage's security level.
+func (m *Manager) DeltaPlan(old *Plan, dirty map[string]bool) (*Plan, DeltaStats, error) {
+	var stats DeltaStats
+	st := old.Template
+	np := &Plan{App: old.App, Template: st}
+	shape := old.pipelineShape() // same template: reuse the cached shape
+	np.adoptShape(shape)
+	order := shape.order
+	np.Assignments = make([]Assignment, 0, len(order))
+
+	// release credits back what Teardown(old) would free, so candidate
+	// fit checks see post-teardown capacity while the old pods still run.
+	release := make(map[string]cluster.Resources, len(old.Assignments))
+	for i := range old.Assignments {
+		a := &old.Assignments[i]
+		if a.PodName == "" {
+			continue
+		}
+		release[a.Device] = release[a.Device].Add(shape.reqs[a.TemplateNode].req)
+	}
+
+	ps := getPlanScratch()
+	defer putPlanScratch(ps)
+	var moved map[string]bool
+
+	// Consecutive keeps hold one read lock on their layer's index
+	// instead of locking per stage; the lock is always dropped before a
+	// re-placement descends (placeStage takes its own agent locks).
+	var lockedAg *LayerAgent
+	unlockAg := func() {
+		if lockedAg != nil {
+			lockedAg.idx.mu.RUnlock()
+			lockedAg = nil
+		}
+	}
+	defer unlockAg()
+
+	for _, nodeName := range order {
+		oldA := old.assignmentRef(nodeName)
+		replace := dirty[nodeName] || oldA == nil
+		if !replace && moved != nil {
+			for _, t := range shape.ups[nodeName] {
+				if moved[t] {
+					replace = true // upstream moved: network scores changed
+					break
+				}
+			}
+		}
+		sr := shape.reqs[nodeName]
+		if !replace {
+			kept := false
+			if ag := m.agentFor(oldA.Layer); ag != nil {
+				if ag != lockedAg {
+					unlockAg()
+					ag.rlockBuilt()
+					lockedAg = ag
+				}
+				kept = m.keepStageLocked(ag, sr, ps, release, oldA)
+			}
+			if kept {
+				np.Score += oldA.Score
+				ps.placedAt[nodeName] = oldA.Device
+				ps.reserved[oldA.Device] = ps.reserved[oldA.Device].Add(sr.req)
+				np.Assignments = append(np.Assignments, *oldA)
+				stats.Kept++
+				continue
+			}
+			replace = true // old device can no longer host the stage
+		}
+		unlockAg()
+		if err := m.planStageInto(np, st, nodeName, ps, release); err != nil {
+			return nil, stats, err
+		}
+		stats.Replaced++
+		na := &np.Assignments[len(np.Assignments)-1]
+		if oldA != nil && na.Device == oldA.Device {
+			// Fresh winner is the old device: the deployed pod already
+			// matches the spec — splice it through instead of churning.
+			na.PodName = oldA.PodName
+		} else {
+			if moved == nil {
+				moved = make(map[string]bool, len(dirty))
+			}
+			moved[nodeName] = true
+			stats.Moved++
+		}
+	}
+	np.Negotiations = ps.negotiations
+	np.Scored = ps.scored
+	stats.Scored = ps.scored
+	return np, stats, nil
+}
+
+// keepStageLocked re-verifies that a non-dirty stage's old device can
+// still host it: alive, ready, in the stage's security bucket, trusted,
+// and with the stage's demand fitting the post-teardown capacity. The
+// checks mirror the planner's candidate filters exactly, so a kept
+// stage is one the full planner would also have accepted — and its
+// recorded Score is the value a fresh scan would re-derive, because
+// every scoring input (free capacity once releases are credited,
+// upstream placements, queue state) is unchanged for a kept stage. No
+// candidate is scored: a keep is O(1) validity checking. The caller
+// holds ag's index read lock (batched across consecutive keeps).
+func (m *Manager) keepStageLocked(ag *LayerAgent, sr *stageReq, ps *planScratch, release map[string]cluster.Resources, oldA *Assignment) bool {
+	e := ag.idx.entries[oldA.Device]
+	if e == nil || !e.ready || e.dev.Failed() {
+		return false
+	}
+	// Bucket membership, not just device capability: the full planner
+	// only ever scans the stage's security bucket.
+	if !e.inBucket(sr.secLevel) {
+		return false
+	}
+	if sr.pin != "" && e.name != sr.pin {
+		return false
+	}
+	free := e.free
+	if r, ok := release[e.name]; ok {
+		free = free.Add(r)
+	}
+	if r, ok := ps.reserved[e.name]; ok {
+		free = cluster.Resources{CPU: free.CPU - r.CPU, MemMB: free.MemMB - r.MemMB}
+	}
+	if !sr.req.Fits(free) {
+		return false
+	}
+	if th := m.Goal.TrustThreshold; th > 0 && (th > 0.5 || m.C.Trust.HasEvidence()) {
+		if m.C.Trust.Reputation(e.name) < th {
+			return false
+		}
+	}
+	return true
+}
+
+// agentFor maps a layer name back to its agent.
+func (m *Manager) agentFor(layer string) *LayerAgent {
+	switch layer {
+	case "edge":
+		return m.Edge
+	case "fog":
+		return m.Fog
+	case "cloud":
+		return m.Cloud
+	}
+	return nil
+}
+
+// ExecuteDelta applies a delta plan: stages spliced through (PodName
+// already set) are untouched; replaced stages have their old pods
+// removed and new ones created and bound, mirroring Replan's
+// teardown-then-execute so the freed capacity is visible to the new
+// bindings. On failure the created pods are removed and the old ones
+// restored best-effort, leaving the caller free to fall back to a full
+// replan.
+func (m *Manager) ExecuteDelta(old, np *Plan) error {
+	var changed []int
+	for i := range np.Assignments {
+		if np.Assignments[i].PodName == "" {
+			changed = append(changed, i)
+		}
+	}
+	restore := make([]Assignment, 0, len(changed))
+	for _, i := range changed {
+		if oa, ok := old.Assignment(np.Assignments[i].TemplateNode); ok && oa.PodName != "" {
+			oa.Cluster.DeletePod(oa.PodName)
+			restore = append(restore, oa)
+		}
+	}
+	rollback := func(created []int) {
+		for _, j := range created {
+			a := &np.Assignments[j]
+			a.Cluster.DeletePod(a.PodName)
+			a.PodName = ""
+		}
+		for _, oa := range restore {
+			if name, err := oa.Cluster.CreatePod(podSpec(np, &oa)); err == nil {
+				if oa.Cluster.Bind(name, oa.Device) != nil {
+					oa.Cluster.DeletePod(name)
+				}
+			}
+		}
+	}
+	var created []int
+	for _, i := range changed {
+		a := &np.Assignments[i]
+		name, err := a.Cluster.CreatePod(podSpec(np, a))
+		if err == nil {
+			if berr := a.Cluster.Bind(name, a.Device); berr != nil {
+				a.Cluster.DeletePod(name)
+				err = berr
+			}
+		}
+		if err != nil {
+			rollback(created)
+			return fmt.Errorf("mirto: delta splice of %s: %w", a.TemplateNode, err)
+		}
+		a.PodName = name
+		created = append(created, i)
+	}
+	return m.configureNodes(np)
+}
+
+// DeltaReplan computes and applies an incremental replan in one step.
+func (m *Manager) DeltaReplan(old *Plan, dirty map[string]bool) (*Plan, DeltaStats, error) {
+	np, stats, err := m.DeltaPlan(old, dirty)
+	if err != nil {
+		return nil, stats, err
+	}
+	if err := m.ExecuteDelta(old, np); err != nil {
+		return nil, stats, err
+	}
+	return np, stats, nil
+}
+
+// DirtyStages returns the stages of a plan whose device has failed or
+// whose cluster node is gone/unready — the seed set an incremental
+// replan re-places (nil when the plan is fully healthy, which callers
+// treat as "nothing locally wrong, renegotiate globally").
+func (m *Manager) DirtyStages(plan *Plan) map[string]bool {
+	var dirty map[string]bool
+	for _, a := range plan.Assignments {
+		bad := false
+		if d := m.C.Devices[a.Device]; d == nil || d.Failed() {
+			bad = true
+		} else if a.Cluster != nil {
+			if n, ok := a.Cluster.Node(a.Device); !ok || !n.Ready {
+				bad = true
+			}
+		}
+		if bad {
+			if dirty == nil {
+				dirty = map[string]bool{}
+			}
+			dirty[a.TemplateNode] = true
+		}
+	}
+	return dirty
+}

@@ -1,0 +1,238 @@
+package mirto
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"myrtus/internal/continuum"
+	"myrtus/internal/tosca"
+)
+
+// renderAssignments canonicalizes the placement decisions for
+// byte-identity comparison. PodName is excluded on purpose: a delta
+// plan splices live pods through while a from-scratch plan binds fresh
+// ones — the decisions, not the pod handles, must match.
+func renderAssignments(p *Plan) string {
+	var b strings.Builder
+	for _, a := range p.Assignments {
+		fmt.Fprintf(&b, "%s -> %s layer=%s sec=%q\n", a.TemplateNode, a.Device, a.Layer, a.SecurityLvl)
+	}
+	fmt.Fprintf(&b, "score=%.17g\n", p.Score)
+	return b.String()
+}
+
+// TestDeltaPlanEquivalence is the delta-splice invariant: after a
+// device crash, the spliced delta plan is byte-identical — same
+// assignments, same score — to a from-scratch plan on the same cluster
+// state (i.e. after the old plan is torn down). Table-driven across
+// security levels and stateful stages, crashing each placed device in
+// turn.
+func TestDeltaPlanEquivalence(t *testing.T) {
+	variants := []struct {
+		name string
+		yaml string
+	}{
+		{"base", appYAML},
+		{"high-security", strings.ReplaceAll(appYAML, "level: medium", "level: high")},
+		{"stateful", strings.ReplaceAll(appYAML, "gops: 4\n", "gops: 4\n        stateful: true\n")},
+	}
+	stages := []string{"camera", "detector", "aggregator"}
+	for _, v := range variants {
+		for _, crash := range stages {
+			t.Run(v.name+"/crash-"+crash, func(t *testing.T) {
+				c := testContinuum(t)
+				m := NewManager(c, LatencyGoal())
+				st, err := tosca.Parse(v.yaml)
+				if err != nil {
+					t.Fatal(err)
+				}
+				old, err := m.Plan(st)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := m.Execute(old); err != nil {
+					t.Fatal(err)
+				}
+				victim, ok := old.Assignment(crash)
+				if !ok {
+					t.Fatalf("no assignment for %s", crash)
+				}
+				if err := c.FailDevice(victim.Device); err != nil {
+					t.Fatal(err)
+				}
+
+				dirty := m.DirtyStages(old)
+				if !dirty[crash] {
+					t.Fatalf("dirty set %v misses crashed stage %s", dirty, crash)
+				}
+				delta, stats, err := m.DeltaPlan(old, dirty)
+				if err != nil {
+					t.Fatalf("delta plan: %v", err)
+				}
+				// Reference: tear the old plan down and renegotiate from
+				// scratch on the identical cluster state.
+				m.Teardown(old)
+				full, err := m.Plan(st)
+				if err != nil {
+					t.Fatalf("full plan: %v", err)
+				}
+				if got, want := renderAssignments(delta), renderAssignments(full); got != want {
+					t.Fatalf("delta plan diverges from full replan:\ndelta:\n%s\nfull:\n%s", got, want)
+				}
+				if stats.Kept == 0 && len(dirty) < len(stages) {
+					t.Fatalf("delta kept nothing despite %d/%d dirty stages", len(dirty), len(stages))
+				}
+				if stats.Scored >= full.Scored {
+					t.Fatalf("delta scored %d candidates, full plan %d — no savings", stats.Scored, full.Scored)
+				}
+				for _, a := range delta.Assignments {
+					if a.Device == victim.Device {
+						t.Fatalf("delta plan still places %s on failed device %s", a.TemplateNode, a.Device)
+					}
+					if a.SecurityLvl != "" && !c.Devices[a.Device].SupportsSecurity(a.SecurityLvl) {
+						t.Fatalf("delta plan relaxed security of %s: %s on %s", a.TemplateNode, a.SecurityLvl, a.Device)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestDeltaReplanSplice applies a delta end to end through the
+// orchestrator: the crashed stage moves, every healthy stage keeps its
+// live pod, and the app serves again from the spliced plan.
+func TestDeltaReplanSplice(t *testing.T) {
+	c := testContinuum(t)
+	o := NewOrchestrator(NewManager(c, LatencyGoal()))
+	plan, err := o.Deploy(parseApp(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldPods := map[string]string{}
+	for _, a := range plan.Assignments {
+		oldPods[a.TemplateNode] = a.PodName
+	}
+	cam, _ := plan.Assignment("camera")
+	if err := c.FailDevice(cam.Device); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.replan("mobility"); err != nil {
+		t.Fatal(err)
+	}
+	log := o.ReplanLog()
+	if len(log) != 1 || log[0].Mode != "delta" {
+		t.Fatalf("replan log = %+v, want one delta event", log)
+	}
+	np, _ := o.PlanFor("mobility")
+	for _, a := range np.Assignments {
+		if a.PodName == "" {
+			t.Fatalf("spliced plan left %s without a pod", a.TemplateNode)
+		}
+		if a.TemplateNode == "camera" {
+			if a.Device == cam.Device {
+				t.Fatalf("camera still on failed device %s", cam.Device)
+			}
+		} else if a.PodName != oldPods[a.TemplateNode] {
+			t.Fatalf("healthy stage %s churned pods: %s -> %s", a.TemplateNode, oldPods[a.TemplateNode], a.PodName)
+		}
+	}
+	if _, _, err := o.R.ServeRequest("mobility", 1); err != nil {
+		t.Fatalf("request on spliced plan: %v", err)
+	}
+}
+
+// TestDeltaReplanFallsBackToFull: with no dirty stages (pure KPI
+// pressure) the orchestrator renegotiates globally.
+func TestDeltaReplanFallsBackToFull(t *testing.T) {
+	c := testContinuum(t)
+	o := NewOrchestrator(NewManager(c, LatencyGoal()))
+	if _, err := o.Deploy(parseApp(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.replan("mobility"); err != nil {
+		t.Fatal(err)
+	}
+	log := o.ReplanLog()
+	if len(log) != 1 || log[0].Mode != "full" {
+		t.Fatalf("replan log = %+v, want one full event", log)
+	}
+}
+
+// TestDeltaPlanChurnRace hammers delta replans while cluster events
+// (node readiness flaps driving digest refreshes) fire concurrently —
+// run under -race this is the planner/index synchronization check. The
+// invariant checked is validity, not byte-identity: every produced plan
+// places all stages on live, security-compatible devices.
+func TestDeltaPlanChurnRace(t *testing.T) {
+	opts := continuum.DefaultOptions()
+	opts.KBReplicas = 1
+	opts.Multicores, opts.HMPSoCs, opts.RISCVs = 12, 12, 12
+	c, err := continuum.Build(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(c, LatencyGoal())
+	st := parseApp(t)
+	old, err := m.Plan(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Execute(old); err != nil {
+		t.Fatal(err)
+	}
+
+	// Churners: flap readiness of edge devices the plan does not use, so
+	// digests refresh under load without invalidating the placement.
+	used := map[string]bool{}
+	for _, a := range old.Assignments {
+		used[a.Device] = true
+	}
+	var flappable []string
+	for name := range c.Devices {
+		if !used[name] && strings.HasPrefix(name, "edge-") {
+			flappable = append(flappable, name)
+		}
+	}
+	if len(flappable) < 4 {
+		t.Fatalf("not enough spare edge devices to churn: %d", len(flappable))
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			cl, ok := c.ClusterFor(name)
+			if !ok {
+				return
+			}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				cl.SetNodeReady(name, i%2 == 0) //nolint:errcheck
+			}
+		}(flappable[w])
+	}
+	for i := 0; i < 200; i++ {
+		dirty := map[string]bool{"camera": true}
+		np, _, err := m.DeltaPlan(old, dirty)
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if len(np.Assignments) != len(old.Assignments) {
+			t.Fatalf("iteration %d: plan lost stages", i)
+		}
+		for _, a := range np.Assignments {
+			if a.SecurityLvl != "" && !c.Devices[a.Device].SupportsSecurity(a.SecurityLvl) {
+				t.Fatalf("iteration %d: security relaxed for %s", i, a.TemplateNode)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

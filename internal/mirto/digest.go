@@ -1,0 +1,164 @@
+package mirto
+
+import (
+	"math"
+	"sort"
+
+	"myrtus/internal/cluster"
+	"myrtus/internal/network"
+	"myrtus/internal/sim"
+)
+
+// shardDigest is the compact capacity summary a shard exports up the
+// planning hierarchy: free-resource watermarks, the ceiling on any
+// member's effective compute rate, and the floor on marginal power.
+// The root planner places stages against digests — it skips a shard
+// when the digest proves no member can fit the request, or when the
+// digest's score lower bound (digestLB, score.go) cannot beat the best
+// candidate already found — and descends into entry scans only for
+// shards that might win. Digests are recomputed in place from the
+// shard's entries on every cluster event touching a member, so a
+// refresh allocates nothing.
+//
+// The fields are deliberately one-sided bounds over the shard's ready
+// entries: maxima for anything the scan wants large (free CPU/mem,
+// effective rate), a minimum for power. Entries the scan would reject
+// anyway (not ready) are excluded; entries it might reject for dynamic
+// reasons the digest cannot see (device Failed, trust, pinning) are
+// included, keeping every bound valid for the accepted subset.
+type shardDigest struct {
+	// ready counts entries whose cluster node is Ready; 0 means the
+	// whole shard is skippable.
+	ready      int
+	maxFreeCPU float64
+	maxFreeMem float64
+	// maxEff is the largest base effective rate (GOPS/core × best
+	// custom-unit speedup) of any ready entry. The kernel's fabric
+	// pseudo-rate is folded in at query time via effCeiling.
+	maxEff    float64
+	hasFabric bool
+	// minPowerPerCore is the smallest marginal power of any ready entry
+	// (0 when the shard has none ready).
+	minPowerPerCore float64
+}
+
+// refresh recomputes the digest from the shard's entries in place.
+func (s *candShard) refresh() {
+	d := shardDigest{minPowerPerCore: math.MaxFloat64}
+	for _, e := range s.entries {
+		if !e.ready {
+			continue
+		}
+		d.ready++
+		if e.free.CPU > d.maxFreeCPU {
+			d.maxFreeCPU = e.free.CPU
+		}
+		if e.free.MemMB > d.maxFreeMem {
+			d.maxFreeMem = e.free.MemMB
+		}
+		if eff := e.gopsPerCore * e.maxCustom; eff > d.maxEff {
+			d.maxEff = eff
+		}
+		if e.hasFabric {
+			d.hasFabric = true
+		}
+		if e.powerPerCore < d.minPowerPerCore {
+			d.minPowerPerCore = e.powerPerCore
+		}
+	}
+	if d.ready == 0 {
+		d.minPowerPerCore = 0
+	}
+	s.dig = d
+}
+
+// canFit reports whether some ready entry might satisfy req — the
+// feasibility gate of the digest descent.
+func (d *shardDigest) canFit(req cluster.Resources) bool {
+	return d.ready > 0 && req.CPU <= d.maxFreeCPU && req.MemMB <= d.maxFreeMem
+}
+
+// effCeiling is the highest effective compute rate any member could
+// reach for a kernel whose loadable bitstream runs at bsEff on fabric.
+func (d *shardDigest) effCeiling(bsEff float64) float64 {
+	if d.hasFabric && bsEff > d.maxEff {
+		return bsEff
+	}
+	return d.maxEff
+}
+
+// CapacityDigest is the layer-level capacity summary a MIRTO agent
+// exports up the hierarchy during negotiation — watermarks, rate
+// ceiling, security ceiling, and best latency toward the layer's
+// anchor, never node lists. Root coordinators and operators (mirtoctl,
+// continuum-sim) read these to reason about a layer without scanning
+// it.
+type CapacityDigest struct {
+	Layer  string
+	Shards int
+	Ready  int
+
+	MaxFreeCPU float64
+	MaxFreeMem float64
+	MaxEffGOPS float64
+	HasFabric  bool
+
+	// SecurityLevels lists the suites with at least one ready device —
+	// the layer's security ceiling.
+	SecurityLevels []string
+
+	// BestToAnchor / WorstToAnchor bound member latency to the named
+	// anchor node (-1 when no anchor was given or none is reachable).
+	BestToAnchor  sim.Time
+	WorstToAnchor sim.Time
+	Reachable     int
+}
+
+// Digest folds the agent's shard digests into the layer summary. topo
+// and anchor are optional: when given, the latency bounds come from one
+// reverse shortest-path row on the epoch route table (AnchorSummary).
+func (a *LayerAgent) Digest(topo *network.Topology, anchor string) CapacityDigest {
+	a.rlockBuilt()
+	d := CapacityDigest{Layer: a.Layer, BestToAnchor: -1, WorstToAnchor: -1}
+	var names []string
+	for sec, shards := range a.idx.bySec {
+		if sec == "" {
+			for _, sh := range shards {
+				d.Shards++
+				d.Ready += sh.dig.ready
+				if sh.dig.maxFreeCPU > d.MaxFreeCPU {
+					d.MaxFreeCPU = sh.dig.maxFreeCPU
+				}
+				if sh.dig.maxFreeMem > d.MaxFreeMem {
+					d.MaxFreeMem = sh.dig.maxFreeMem
+				}
+				if sh.dig.maxEff > d.MaxEffGOPS {
+					d.MaxEffGOPS = sh.dig.maxEff
+				}
+				if sh.dig.hasFabric {
+					d.HasFabric = true
+				}
+				for _, e := range sh.entries {
+					if e.ready {
+						names = append(names, e.name)
+					}
+				}
+			}
+			continue
+		}
+		for _, sh := range shards {
+			if sh.dig.ready > 0 {
+				d.SecurityLevels = append(d.SecurityLevels, sec)
+				break
+			}
+		}
+	}
+	a.idx.mu.RUnlock()
+	sort.Strings(d.SecurityLevels)
+	if topo != nil && anchor != "" {
+		if s, ok := topo.AnchorSummary(anchor, names); ok {
+			d.BestToAnchor, d.WorstToAnchor, d.Reachable = s.Best, s.Worst, s.Reachable
+		}
+	}
+	return d
+}

@@ -1,7 +1,6 @@
 package mirto
 
 import (
-	"sort"
 	"sync"
 
 	"myrtus/internal/cluster"
@@ -21,40 +20,82 @@ type candEntry struct {
 	// deploy/teardown/failure events.
 	free cluster.Resources
 
-	gopsPerCore  float64
-	custom       map[string]float64 // kernel → custom-unit speedup
+	gopsPerCore float64
+	custom      map[string]float64 // kernel → custom-unit speedup
+	// maxCustom is the largest custom-unit speedup across kernels (≥1),
+	// folded into shard digests as the entry's effective-rate ceiling.
+	maxCustom    float64
 	hasFabric    bool
 	powerPerCore float64
+	// secLevels mirrors the cluster node's supported suites — the same
+	// list that chose this entry's security buckets — so a keep check
+	// can test bucket membership without a per-bucket shard search.
+	secLevels []string
+}
+
+// inBucket reports whether the entry belongs to the security bucket for
+// level ("" is the catch-all bucket holding every entry).
+func (e *candEntry) inBucket(level string) bool {
+	if level == "" {
+		return true
+	}
+	for _, k := range e.secLevels {
+		if k == level {
+			return true
+		}
+	}
+	return false
 }
 
 // candIndex indexes a layer's ready devices by security level so Offers
-// answers negotiations from pre-bucketed, pre-sorted candidate lists.
-// It builds lazily on the first negotiation and stays current through
-// cluster NodeListener events; buckets are sorted by device name, which
-// keeps offer order (and therefore plans) deterministic.
+// and the planner answer negotiations from pre-bucketed candidates. It
+// builds lazily on the first negotiation and stays current through
+// cluster NodeListener events.
+//
+// Each bucket is a list of shards — contiguous, name-ordered runs of
+// ~shardTarget entries, each carrying a capacity digest (free-resource
+// watermarks, effective-rate ceiling, ready count; see digest.go). The
+// planner descends bucket → digest → entries, skipping whole shards
+// whose digest proves no candidate can fit or win, and fans shards out
+// to workers for large continua. Concatenating a bucket's shards yields
+// the entries in device-name order, which keeps offer order (and
+// therefore plans) deterministic and identical to the pre-shard index.
 type candIndex struct {
 	mu      sync.RWMutex
 	built   bool
 	entries map[string]*candEntry
-	// bySec buckets entries by supported suite; key "" holds every
-	// entry (negotiations without a security requirement).
-	bySec map[string][]*candEntry
-	// maxFreeCPU/maxFreeMem are upper bounds on any entry's free
-	// resources (raised on updates, tightened on rebuild) so oversized
-	// requests exit before touching a single candidate.
-	maxFreeCPU, maxFreeMem float64
+	// bySec buckets shards by supported suite; key "" holds every entry
+	// (negotiations without a security requirement).
+	bySec map[string][]*candShard
 }
 
 func newCandIndex() *candIndex {
 	return &candIndex{
 		entries: map[string]*candEntry{},
-		bySec:   map[string][]*candEntry{},
+		bySec:   map[string][]*candShard{},
 	}
 }
 
+// rlockBuilt leaves the index read-locked with the build guaranteed to
+// have run — the shared preamble of every negotiation or descent.
+func (a *LayerAgent) rlockBuilt() {
+	a.idx.mu.RLock()
+	if a.idx.built {
+		return
+	}
+	a.idx.mu.RUnlock()
+	a.idx.mu.Lock()
+	if !a.idx.built {
+		a.buildLocked()
+	}
+	a.idx.mu.Unlock()
+	a.idx.mu.RLock()
+}
+
 // onNodeChange is the cluster NodeListener: it refreshes exactly the
-// touched device's entry. Before the first build there is nothing to
-// maintain — the build scan will observe current state.
+// touched device's entry and the digests of the shards holding it.
+// Before the first build there is nothing to maintain — the build scan
+// will observe current state.
 func (a *LayerAgent) onNodeChange(node string) {
 	a.idx.mu.Lock()
 	defer a.idx.mu.Unlock()
@@ -65,7 +106,9 @@ func (a *LayerAgent) onNodeChange(node string) {
 }
 
 // refreshLocked re-reads one node from the cluster and updates its
-// index entry (adding or removing it as needed).
+// index entry (adding or removing it as needed), then refreshes the
+// digest of every shard the entry lives in — the zero-alloc fan-out
+// that keeps capacity digests current with cluster events.
 func (a *LayerAgent) refreshLocked(node string) {
 	n, ok := a.cl.Node(node)
 	if !ok || n.Virtual {
@@ -79,47 +122,42 @@ func (a *LayerAgent) refreshLocked(node string) {
 			return // virtual or foreign node: never indexed
 		}
 		e = newEntry(node, d)
+		e.secLevels = n.SecurityLevels
 		a.idx.entries[node] = e
 		a.insertLocked(e, n.SecurityLevels)
 	}
 	e.ready = n.Ready
 	if free, ok := a.cl.FreeOn(node); ok {
 		e.free = free
-		if free.CPU > a.idx.maxFreeCPU {
-			a.idx.maxFreeCPU = free.CPU
-		}
-		if free.MemMB > a.idx.maxFreeMem {
-			a.idx.maxFreeMem = free.MemMB
-		}
 	}
+	a.refreshDigestsLocked(node)
 }
 
 func newEntry(name string, d *device.Device) *candEntry {
 	spec := d.Spec()
+	maxCustom := 1.0
+	for _, s := range spec.CustomUnits {
+		if s > maxCustom {
+			maxCustom = s
+		}
+	}
 	return &candEntry{
 		name:         name,
 		dev:          d,
 		gopsPerCore:  spec.GOPSPerCore,
 		custom:       spec.CustomUnits,
+		maxCustom:    maxCustom,
 		hasFabric:    spec.Fabric != nil,
 		powerPerCore: (spec.MaxPowerW - spec.IdlePowerW) / float64(spec.Cores),
 	}
 }
 
 // insertLocked places an entry into the "" bucket and one bucket per
-// supported suite, preserving name order.
+// supported suite, preserving name order and splitting oversized shards.
 func (a *LayerAgent) insertLocked(e *candEntry, levels []string) {
-	keys := append([]string{""}, levels...)
-	for _, k := range keys {
-		b := a.idx.bySec[k]
-		i := sort.Search(len(b), func(i int) bool { return b[i].name >= e.name })
-		if i < len(b) && b[i].name == e.name {
-			continue
-		}
-		b = append(b, nil)
-		copy(b[i+1:], b[i:])
-		b[i] = e
-		a.idx.bySec[k] = b
+	a.idx.bySec[""] = shardInsert(a.idx.bySec[""], e)
+	for _, k := range levels {
+		a.idx.bySec[k] = shardInsert(a.idx.bySec[k], e)
 	}
 }
 
@@ -129,21 +167,30 @@ func (a *LayerAgent) removeLocked(node string) {
 	}
 	delete(a.idx.entries, node)
 	for k, b := range a.idx.bySec {
-		for i, e := range b {
-			if e.name == node {
-				a.idx.bySec[k] = append(b[:i], b[i+1:]...)
-				break
-			}
+		a.idx.bySec[k] = shardRemove(b, node)
+	}
+}
+
+// refreshDigestsLocked recomputes the digest of the shard holding node
+// in every bucket. Buckets without the node are untouched (shardFind
+// misses), so the cost is O(buckets × shardTarget) per event.
+func (a *LayerAgent) refreshDigestsLocked(node string) {
+	for _, b := range a.idx.bySec {
+		if sh := shardFind(b, node); sh != nil {
+			sh.refresh()
 		}
 	}
 }
 
-// buildLocked scans the cluster once and constructs the index.
+// buildLocked scans the cluster once and constructs the sharded index:
+// entries are gathered in name order per bucket, chunked into shards,
+// and each shard's digest computed — O(N log N) total, no per-entry
+// sorted inserts.
 func (a *LayerAgent) buildLocked() {
 	a.idx.entries = map[string]*candEntry{}
-	a.idx.bySec = map[string][]*candEntry{}
-	a.idx.maxFreeCPU, a.idx.maxFreeMem = 0, 0
+	a.idx.bySec = map[string][]*candShard{}
 	freeAll := a.cl.FreeAll()
+	byKey := map[string][]*candEntry{}
 	for _, n := range a.cl.Nodes() { // sorted by name
 		if n.Virtual {
 			continue
@@ -155,14 +202,15 @@ func (a *LayerAgent) buildLocked() {
 		e := newEntry(n.Name, d)
 		e.ready = n.Ready
 		e.free = freeAll[n.Name]
+		e.secLevels = n.SecurityLevels
 		a.idx.entries[n.Name] = e
-		a.insertLocked(e, n.SecurityLevels)
-		if e.free.CPU > a.idx.maxFreeCPU {
-			a.idx.maxFreeCPU = e.free.CPU
+		byKey[""] = append(byKey[""], e)
+		for _, k := range n.SecurityLevels {
+			byKey[k] = append(byKey[k], e)
 		}
-		if e.free.MemMB > a.idx.maxFreeMem {
-			a.idx.maxFreeMem = e.free.MemMB
-		}
+	}
+	for k, entries := range byKey {
+		a.idx.bySec[k] = shardChunk(entries)
 	}
 	a.idx.built = true
 }

@@ -30,9 +30,45 @@ type Orchestrator struct {
 	// for the next checkpoint tick. Set before loops iterate.
 	CP *Checkpointer
 
+	// DeltaReplans enables incremental replans: when the trigger is a
+	// device failure (the plan has dirty stages), only the affected
+	// stages are re-placed and spliced into the live plan. Pure KPI
+	// violations with a healthy placement still renegotiate globally —
+	// the pressure there is systemic, not local. An infeasible delta
+	// falls back to the full path. On by default.
+	DeltaReplans bool
+
 	mu    sync.Mutex
 	plans map[string]*Plan
 	loops map[string]*mapek.Loop
+
+	replanMu sync.Mutex
+	replans  []ReplanEvent
+}
+
+// ReplanEvent records one reallocation for observability: which mode
+// ran and what it cost in the deterministic candidates-scored unit
+// (wall-clock-free, so chaos reports built on these stay
+// byte-identical per seed).
+type ReplanEvent struct {
+	App    string
+	Mode   string // "delta" | "full"
+	Scored int
+	Kept   int
+	Moved  int
+}
+
+// ReplanLog returns a copy of the reallocation log.
+func (o *Orchestrator) ReplanLog() []ReplanEvent {
+	o.replanMu.Lock()
+	defer o.replanMu.Unlock()
+	return append([]ReplanEvent(nil), o.replans...)
+}
+
+func (o *Orchestrator) recordReplan(ev ReplanEvent) {
+	o.replanMu.Lock()
+	o.replans = append(o.replans, ev)
+	o.replanMu.Unlock()
 }
 
 // NewOrchestrator builds the full cognitive engine over a continuum.
@@ -41,6 +77,7 @@ func NewOrchestrator(m *Manager) *Orchestrator {
 		M:              m,
 		R:              NewRuntime(m),
 		ReplanCooldown: 2 * sim.Second,
+		DeltaReplans:   true,
 		plans:          map[string]*Plan{},
 		loops:          map[string]*mapek.Loop{},
 	}
@@ -282,7 +319,10 @@ func (o *Orchestrator) AttachLoop(app string, slo SLO) (*mapek.Loop, error) {
 }
 
 // replan reallocates an app with fresh system state and rebinds the
-// runtime to the new plan.
+// runtime to the new plan. With DeltaReplans on and failed/unready
+// devices in the placement, only the affected stages are re-placed
+// (Manager.DeltaReplan); otherwise — or when the delta is infeasible —
+// the app renegotiates from scratch.
 func (o *Orchestrator) replan(app string) error {
 	o.mu.Lock()
 	plan, ok := o.plans[app]
@@ -290,9 +330,28 @@ func (o *Orchestrator) replan(app string) error {
 	if !ok {
 		return fmt.Errorf("mirto: app %q not deployed", app)
 	}
-	np, err := o.M.Replan(plan)
-	if err != nil {
-		return err
+	var np *Plan
+	if o.DeltaReplans {
+		if dirty := o.M.DirtyStages(plan); len(dirty) > 0 {
+			if dp, stats, err := o.M.DeltaReplan(plan, dirty); err == nil {
+				np = dp
+				o.recordReplan(ReplanEvent{
+					App: app, Mode: "delta",
+					Scored: stats.Scored, Kept: stats.Kept, Moved: stats.Moved,
+				})
+			}
+		}
+	}
+	if np == nil {
+		full, err := o.M.Replan(plan)
+		if err != nil {
+			return err
+		}
+		np = full
+		o.recordReplan(ReplanEvent{
+			App: app, Mode: "full",
+			Scored: np.Scored, Moved: len(np.Assignments),
+		})
 	}
 	o.mu.Lock()
 	o.plans[app] = np

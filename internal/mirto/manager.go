@@ -104,52 +104,57 @@ func (a *LayerAgent) Offers(req cluster.Resources, kernel, secLevel string) []Of
 // the planner uses with a reused buffer.
 func (a *LayerAgent) OffersAppend(dst []Offer, req cluster.Resources, kernel, secLevel string) []Offer {
 	atomic.AddInt64(&a.NegotiationCount, 1)
-	a.idx.mu.RLock()
-	if !a.idx.built {
-		a.idx.mu.RUnlock()
-		a.idx.mu.Lock()
-		if !a.idx.built {
-			a.buildLocked()
-		}
-		a.idx.mu.Unlock()
-		a.idx.mu.RLock()
-	}
+	a.rlockBuilt()
 	defer a.idx.mu.RUnlock()
-	if req.CPU > a.idx.maxFreeCPU || req.MemMB > a.idx.maxFreeMem {
-		return dst // nothing in this layer can fit the request
-	}
-	// Kernel-wide facts hoisted out of the candidate loop.
-	bsEff := 0.0
-	if kernel != "" {
-		if bss := a.c.Bitstreams.ForKernel(kernel); len(bss) > 0 {
-			// A loadable bitstream makes the fabric the execution engine;
-			// approximate its effective rate from the fastest point.
-			if perItem := bss[0].Points[0].LatencyPerItem.Seconds(); perItem > 0 {
-				bsEff = 1.0 / perItem // items/s as pseudo-GOPS
-			}
-		}
-	}
+	bsEff := a.kernelFabricEff(kernel)
 	now := a.c.Engine.Now()
-	for _, e := range a.idx.bySec[secLevel] {
-		if !e.ready || !req.Fits(e.free) || e.dev.Failed() {
-			continue
+	for _, sh := range a.idx.bySec[secLevel] {
+		if !sh.dig.canFit(req) {
+			continue // digest proves no member fits
 		}
-		eff := e.gopsPerCore
-		if s, ok := e.custom[kernel]; ok && s > 1 {
-			eff *= s
+		for _, e := range sh.entries {
+			if !e.ready || !req.Fits(e.free) || e.dev.Failed() {
+				continue
+			}
+			dst = append(dst, Offer{
+				Device: e.name, Layer: a.Layer, Cluster: a.cl,
+				FreeCPU: e.free.CPU, FreeMem: e.free.MemMB,
+				EffGOPS:      e.effFor(kernel, bsEff),
+				PowerPerCore: e.powerPerCore,
+				QueueDelay:   e.dev.QueueDelay(now),
+			})
 		}
-		if e.hasFabric && bsEff > eff {
-			eff = bsEff
-		}
-		dst = append(dst, Offer{
-			Device: e.name, Layer: a.Layer, Cluster: a.cl,
-			FreeCPU: e.free.CPU, FreeMem: e.free.MemMB,
-			EffGOPS:      eff,
-			PowerPerCore: e.powerPerCore,
-			QueueDelay:   e.dev.QueueDelay(now),
-		})
 	}
 	return dst
+}
+
+// kernelFabricEff returns the kernel's fabric pseudo-rate: with a
+// loadable bitstream the fabric becomes the execution engine, its
+// effective rate approximated from the fastest operating point.
+func (a *LayerAgent) kernelFabricEff(kernel string) float64 {
+	if kernel == "" {
+		return 0
+	}
+	if bss := a.c.Bitstreams.ForKernel(kernel); len(bss) > 0 {
+		if perItem := bss[0].Points[0].LatencyPerItem.Seconds(); perItem > 0 {
+			return 1.0 / perItem // items/s as pseudo-GOPS
+		}
+	}
+	return 0
+}
+
+// effFor is the entry's effective compute rate for a kernel: base rate,
+// boosted by a custom-unit speedup when the device has one, overridden
+// by the fabric when a bitstream outruns both.
+func (e *candEntry) effFor(kernel string, bsEff float64) float64 {
+	eff := e.gopsPerCore
+	if s, ok := e.custom[kernel]; ok && s > 1 {
+		eff *= s
+	}
+	if e.hasFabric && bsEff > eff {
+		eff = bsEff
+	}
+	return eff
 }
 
 // Assignment is one template-node → device decision.
@@ -160,6 +165,11 @@ type Assignment struct {
 	Cluster      *cluster.Cluster
 	PodName      string
 	SecurityLvl  string
+	// Score is this stage's contribution to the plan objective, recorded
+	// so an incremental replan can splice a surviving stage through
+	// without re-deriving it (the cluster state a kept stage was scored
+	// against is exactly the state a from-scratch replan would see).
+	Score float64
 }
 
 // Plan is the output of deployment-time orchestration.
@@ -171,6 +181,11 @@ type Plan struct {
 	Score float64
 	// Negotiations counts inter-agent capacity exchanges.
 	Negotiations int
+	// Scored counts candidates scored while planning — the
+	// deterministic planning-cost unit (wall-clock-free, so chaos
+	// reports built on it stay byte-identical per seed). A delta replan
+	// scores O(affected stages); a full plan O(stages × candidates).
+	Scored int
 
 	// lookupOnce builds byNode for O(1) Assignment lookups on the serve
 	// path; it works for hand-built plans too, but Assignments must not
@@ -251,10 +266,31 @@ type planShape struct {
 	consumers map[string][]string
 	indeg     map[string]int
 	sinks     int
+	// reqs caches each stage's resolved placement request. A stageReq
+	// is pure template data (demand, kernel, security level, layer,
+	// pin), so resolving it once per template — instead of once per
+	// stage per (re)plan — is free for incremental replans, which adopt
+	// the old plan's shape. Stored by pointer: a stageReq is wide, and
+	// the keep path reads one per stage.
+	reqs map[string]*stageReq
+	// ups lists each stage's upstream targets (requirement edges),
+	// mirroring consumers in the other direction.
+	ups map[string][]string
 }
 
 // Assignment returns the assignment for a template node in O(1).
 func (p *Plan) Assignment(node string) (Assignment, bool) {
+	if a := p.assignmentRef(node); a != nil {
+		return *a, true
+	}
+	return Assignment{}, false
+}
+
+// assignmentRef is the copy-free sibling of Assignment for hot replan
+// walks: the Assignment struct is wide enough that per-stage value
+// copies show up at ten-thousand-stage scale. Returns nil when the
+// node has no assignment; the pointer aliases p.Assignments.
+func (p *Plan) assignmentRef(node string) *Assignment {
 	p.lookupOnce.Do(func() {
 		p.byNode = make(map[string]int, len(p.Assignments))
 		for i, a := range p.Assignments {
@@ -263,9 +299,9 @@ func (p *Plan) Assignment(node string) (Assignment, bool) {
 	})
 	i, ok := p.byNode[node]
 	if !ok {
-		return Assignment{}, false
+		return nil
 	}
-	return p.Assignments[i], true
+	return &p.Assignments[i]
 }
 
 // brownoutShape returns the template's degraded dataflow shape: every
@@ -353,9 +389,11 @@ func (p *Plan) pipelineShape() *planShape {
 		for _, n := range s.order {
 			s.indeg[n] = 0
 		}
+		s.ups = make(map[string][]string, len(s.order))
 		for _, n := range s.order {
 			for _, req := range p.Template.Nodes[n].Requirements {
 				s.consumers[req.Target] = append(s.consumers[req.Target], n)
+				s.ups[n] = append(s.ups[n], req.Target)
 				s.indeg[n]++
 			}
 		}
@@ -364,9 +402,20 @@ func (p *Plan) pipelineShape() *planShape {
 				s.sinks++
 			}
 		}
+		s.reqs = make(map[string]*stageReq, len(s.order))
+		for _, n := range s.order {
+			r := stageRequest(p.Template, n)
+			s.reqs[n] = &r
+		}
 		p.shape = s
 	})
 	return p.shape
+}
+
+// adoptShape seeds the plan's memoized shape from another plan over the
+// same template, so incremental replans skip the topo-sort rebuild.
+func (p *Plan) adoptShape(s *planShape) {
+	p.shapeOnce.Do(func() { p.shape = s })
 }
 
 // Manager is the MIRTO Manager: the cognitive block unifying the four
@@ -406,10 +455,12 @@ func NewManager(c *continuum.Continuum, goal Goal) *Manager {
 func (m *Manager) agents() []*LayerAgent { return []*LayerAgent{m.Edge, m.Fog, m.Cloud} }
 
 // Plan runs deployment-time orchestration for a validated template:
-// for every node template (in dependency order) the WL Manager gathers
-// offers from the layer agents, the Privacy & Security Manager filters
-// them, and the scoring blends the four drivers. The plan is not yet
-// applied — Execute does that through the deployment proxy.
+// for every node template (in dependency order) the WL Manager places
+// the stage hierarchically — layer agents expose security-bucketed
+// shards with capacity digests, the descent skips shards the digests
+// rule out, and only surviving shards are scanned (see placeStage).
+// The plan is not yet applied — Execute does that through the
+// deployment proxy.
 func (m *Manager) Plan(st *tosca.ServiceTemplate) (*Plan, error) {
 	if err := tosca.Validate(st); err != nil {
 		return nil, err
@@ -417,100 +468,64 @@ func (m *Manager) Plan(st *tosca.ServiceTemplate) (*Plan, error) {
 	plan := &Plan{App: appName(st), Template: st}
 	order := plan.pipelineShape().order
 	plan.Assignments = make([]Assignment, 0, len(order))
-	// reserved tracks resources this plan will consume per device, so
-	// multi-component apps don't over-commit a node they already chose.
-	reserved := make(map[string]cluster.Resources, len(order))
-	placedAt := make(map[string]string, len(order)) // template node → device
-	var offerBuf []Offer                            // reused across template nodes
+	ps := getPlanScratch()
+	defer putPlanScratch(ps)
 
 	for _, nodeName := range order {
-		nt := st.Nodes[nodeName]
-		// Image admission (§VI Container Image Registry): a component
-		// referencing an image must resolve to a pullable, non-quarantined
-		// version before any placement happens.
-		if img := nt.PropString("image", ""); img != "" && m.C.Images != nil {
-			name, tag := splitImageRef(img)
-			if _, err := m.C.Images.Resolve(name, tag); err != nil {
-				return nil, fmt.Errorf("mirto: admission of %q failed: %w", nodeName, err)
-			}
+		if err := m.planStageInto(plan, st, nodeName, ps, nil); err != nil {
+			return nil, err
 		}
-		req := cluster.Resources{
-			CPU:   nt.PropFloat("cpu", 0.5),
-			MemMB: nt.PropFloat("memoryMB", 128),
-		}
-		kernel := nt.PropString("kernel", "")
-		secLevel := st.SecurityLevelFor(nodeName)
-		layerWant := placementLayer(st, nodeName)
-
-		// 1. Negotiation: collect offers across layers into the reused
-		// buffer, dropping candidates this plan already over-commits.
-		offers := offerBuf[:0]
-		for _, ag := range m.agents() {
-			if layerWant != "" && ag.Layer != layerWant {
-				continue
-			}
-			from := len(offers)
-			offers = ag.OffersAppend(offers, req, kernel, secLevel)
-			if len(reserved) > 0 {
-				kept := offers[:from]
-				for _, o := range offers[from:] {
-					r := reserved[o.Device]
-					if !req.Fits(cluster.Resources{CPU: o.FreeCPU - r.CPU, MemMB: o.FreeMem - r.MemMB}) {
-						continue
-					}
-					kept = append(kept, o)
-				}
-				offers = kept
-			}
-			plan.Negotiations++
-		}
-		// Sensor-attached components may pin themselves to the device the
-		// data originates at ("device" property).
-		if pin := nt.PropString("device", ""); pin != "" {
-			pinned := offers[:0]
-			for _, o := range offers {
-				if o.Device == pin {
-					pinned = append(pinned, o)
-				}
-			}
-			offers = pinned
-		}
-		// 2. Privacy & Security Manager: trust filter.
-		offers = m.filterTrusted(offers)
-		offerBuf = offers[:0]
-		if len(offers) == 0 {
-			return nil, fmt.Errorf("mirto: no feasible component for %q (layer=%q security=%q cpu=%.1f)",
-				nodeName, layerWant, secLevel, req.CPU)
-		}
-		// 3. Score: latency + energy + network drivers (fans out across
-		// workers for large candidate sets; ties break on offer order so
-		// the winner is identical either way).
-		gops := nt.PropFloat("gops", 1)
-		bi, bestScore := m.pickBest(offers, st, nodeName, gops, placedAt)
-		best := offers[bi]
-		// Degraded-mode invariant: no placement — initial or replan under
-		// failures — may relax the template's security level. The index
-		// already buckets by level, so a violating winner is a bug, not a
-		// fallback to accept.
-		if secLevel != "" {
-			if d := m.C.Devices[best.Device]; d != nil && !d.SupportsSecurity(secLevel) {
-				return nil, fmt.Errorf("mirto: placement of %q on %s would relax security level %q: %w",
-					nodeName, best.Device, secLevel, ErrSecurityRefused)
-			}
-		}
-		plan.Score += bestScore
-		placedAt[nodeName] = best.Device
-		r := reserved[best.Device]
-		reserved[best.Device] = r.Add(req)
-		plan.Assignments = append(plan.Assignments, Assignment{
-			TemplateNode: nodeName,
-			Device:       best.Device,
-			Layer:        best.Layer,
-			Cluster:      best.Cluster,
-			SecurityLvl:  secLevel,
-		})
 	}
+	plan.Negotiations = ps.negotiations
+	plan.Scored = ps.scored
 	return plan, nil
+}
+
+// planStageInto admits, places, and records one stage: the shared step
+// of full planning and delta replanning. ps accumulates the plan's
+// reservations and placements; release credits back resources a delta
+// replan will free.
+func (m *Manager) planStageInto(plan *Plan, st *tosca.ServiceTemplate, nodeName string, ps *planScratch, release map[string]cluster.Resources) error {
+	// Image admission (§VI Container Image Registry): a component
+	// referencing an image must resolve to a pullable, non-quarantined
+	// version before any placement happens.
+	if img := st.Nodes[nodeName].PropString("image", ""); img != "" && m.C.Images != nil {
+		name, tag := splitImageRef(img)
+		if _, err := m.C.Images.Resolve(name, tag); err != nil {
+			return fmt.Errorf("mirto: admission of %q failed: %w", nodeName, err)
+		}
+	}
+	sr := plan.pipelineShape().reqs[nodeName]
+	if sr == nil {
+		r := stageRequest(st, nodeName)
+		sr = &r
+	}
+	win, err := m.placeStage(st, *sr, ps, release)
+	if err != nil {
+		return err
+	}
+	// Degraded-mode invariant: no placement — initial or replan under
+	// failures — may relax the template's security level. The index
+	// already buckets by level, so a violating winner is a bug, not a
+	// fallback to accept.
+	if sr.secLevel != "" {
+		if d := m.C.Devices[win.device]; d != nil && !d.SupportsSecurity(sr.secLevel) {
+			return fmt.Errorf("mirto: placement of %q on %s would relax security level %q: %w",
+				nodeName, win.device, sr.secLevel, ErrSecurityRefused)
+		}
+	}
+	plan.Score += win.score
+	ps.placedAt[nodeName] = win.device
+	ps.reserved[win.device] = ps.reserved[win.device].Add(sr.req)
+	plan.Assignments = append(plan.Assignments, Assignment{
+		TemplateNode: nodeName,
+		Device:       win.device,
+		Layer:        win.layer,
+		Cluster:      win.cl,
+		SecurityLvl:  sr.secLevel,
+		Score:        win.score,
+	})
+	return nil
 }
 
 // scoreEnv is the per-stage context shared by every offer scored for
@@ -527,15 +542,16 @@ type scoreEnv struct {
 	upIdx   []int
 }
 
-func (m *Manager) newScoreEnv(st *tosca.ServiceTemplate, node string, gops float64, placedAt map[string]string) scoreEnv {
+func (m *Manager) newScoreEnv(st *tosca.ServiceTemplate, node string, gops float64, ps *planScratch) scoreEnv {
 	env := scoreEnv{gops: gops, dataStore: st.Nodes[node].Type == tosca.TypeDataStore}
 	reqs := st.Nodes[node].Requirements
 	if len(reqs) == 0 {
 		return env
 	}
 	env.rr = m.C.Topo.RouteReader()
+	env.upNames, env.upIdx = ps.upNames[:0], ps.upIdx[:0]
 	for _, r := range reqs {
-		up, ok := placedAt[r.Target]
+		up, ok := ps.placedAt[r.Target]
 		if !ok {
 			continue // unplaced upstream carries no network cost yet
 		}
@@ -546,6 +562,7 @@ func (m *Manager) newScoreEnv(st *tosca.ServiceTemplate, node string, gops float
 		env.upNames = append(env.upNames, up)
 		env.upIdx = append(env.upIdx, i)
 	}
+	ps.upNames, ps.upIdx = env.upNames, env.upIdx
 	return env
 }
 
@@ -630,15 +647,7 @@ func (m *Manager) filterTrusted(offers []Offer) []Offer {
 func (m *Manager) Execute(plan *Plan) error {
 	for i := range plan.Assignments {
 		a := &plan.Assignments[i]
-		nt := plan.Template.Nodes[a.TemplateNode]
-		spec := cluster.PodSpec{
-			App:           plan.App + "-" + a.TemplateNode,
-			Requests:      cluster.Resources{CPU: nt.PropFloat("cpu", 0.5), MemMB: nt.PropFloat("memoryMB", 128)},
-			SecurityLevel: a.SecurityLvl,
-			Kernel:        nt.PropString("kernel", ""),
-			Labels:        map[string]string{"myrtus/app": plan.App, "myrtus/component": a.TemplateNode},
-		}
-		name, err := a.Cluster.CreatePod(spec)
+		name, err := a.Cluster.CreatePod(podSpec(plan, a))
 		if err != nil {
 			return fmt.Errorf("mirto: creating pod for %s: %w", a.TemplateNode, err)
 		}
@@ -649,6 +658,18 @@ func (m *Manager) Execute(plan *Plan) error {
 		a.PodName = name
 	}
 	return m.configureNodes(plan)
+}
+
+// podSpec builds the deployment-proxy pod spec for one assignment.
+func podSpec(plan *Plan, a *Assignment) cluster.PodSpec {
+	nt := plan.Template.Nodes[a.TemplateNode]
+	return cluster.PodSpec{
+		App:           plan.App + "-" + a.TemplateNode,
+		Requests:      cluster.Resources{CPU: nt.PropFloat("cpu", 0.5), MemMB: nt.PropFloat("memoryMB", 128)},
+		SecurityLevel: a.SecurityLvl,
+		Kernel:        nt.PropString("kernel", ""),
+		Labels:        map[string]string{"myrtus/app": plan.App, "myrtus/component": a.TemplateNode},
+	}
 }
 
 // configureNodes is the Node Manager: it loads bitstreams for

@@ -108,13 +108,20 @@ func TestRepairDeviceRoundTrip(t *testing.T) {
 	}
 	ag.idx.mu.RLock()
 	e := ag.idx.entries[cam.Device]
-	maxCPU := ag.idx.maxFreeCPU
+	sh := shardFind(ag.idx.bySec[""], cam.Device)
+	var maxCPU float64
+	if sh != nil {
+		maxCPU = sh.dig.maxFreeCPU
+	}
 	ag.idx.mu.RUnlock()
 	if e == nil || !e.ready {
 		t.Fatalf("index entry for %s not ready after repair: %+v", cam.Device, e)
 	}
+	if sh == nil {
+		t.Fatalf("no shard holds repaired device %s", cam.Device)
+	}
 	if maxCPU < e.free.CPU {
-		t.Fatalf("watermark %v below repaired free CPU %v", maxCPU, e.free.CPU)
+		t.Fatalf("shard digest watermark %v below repaired free CPU %v", maxCPU, e.free.CPU)
 	}
 	// And a final replan is free to use it again.
 	if err := o.replan("mobility"); err != nil {

@@ -1,25 +1,171 @@
 package mirto
 
 import (
+	"fmt"
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
+	"myrtus/internal/cluster"
+	"myrtus/internal/sim"
 	"myrtus/internal/tosca"
 )
 
-// defaultScoreThreshold is the candidate-set size beyond which Plan
-// scores offers on a worker pool. Below it the fan-out overhead
-// (goroutine wake-ups) exceeds the scoring work itself.
+// defaultScoreThreshold is the ready-candidate count beyond which a
+// stage's shard scans fan out to a worker pool. Below it the fan-out
+// overhead (goroutine wake-ups) exceeds the scoring work itself.
 const defaultScoreThreshold = 96
 
-// pickBest returns the index and score of the winning offer: lowest
-// score, ties broken by lowest index. The tie-break makes the parallel
-// and sequential paths choose identically — chunks are merged in index
-// order and a later chunk replaces the incumbent only on a strictly
-// lower score — so plans are byte-identical across runs and modes.
-func (m *Manager) pickBest(offers []Offer, st *tosca.ServiceTemplate, node string, gops float64, placedAt map[string]string) (int, float64) {
-	env := m.newScoreEnv(st, node, gops, placedAt)
+// stageReq is one template node's placement request, resolved from the
+// template once per stage.
+type stageReq struct {
+	node     string
+	req      cluster.Resources
+	kernel   string
+	secLevel string
+	layer    string // required layer; "" = any
+	pin      string // required device; "" = any
+	gops     float64
+}
+
+func stageRequest(st *tosca.ServiceTemplate, node string) stageReq {
+	nt := st.Nodes[node]
+	return stageReq{
+		node:     node,
+		req:      cluster.Resources{CPU: nt.PropFloat("cpu", 0.5), MemMB: nt.PropFloat("memoryMB", 128)},
+		kernel:   nt.PropString("kernel", ""),
+		secLevel: st.SecurityLevelFor(node),
+		layer:    placementLayer(st, node),
+		pin:      nt.PropString("device", ""),
+		gops:     nt.PropFloat("gops", 1),
+	}
+}
+
+// stageWin is the winning candidate for one stage.
+type stageWin struct {
+	device string
+	layer  string
+	cl     *cluster.Cluster
+	score  float64
+}
+
+// shardTask is one shard that survived the digest descent and must be
+// scanned for a stage; bsEff and bias are the agent-wide facts hoisted
+// out of the entry loop.
+type shardTask struct {
+	ag    *LayerAgent
+	sh    *candShard
+	bsEff float64
+	bias  float64
+}
+
+// shardResult is a shard scan's local winner — merged across tasks in
+// task order with a strictly-lower-score replacement, so the parallel
+// merge picks the same device a flat sequential scan would.
+type shardResult struct {
+	found  bool
+	device string
+	score  float64
+	scored int
+}
+
+// planScratch is the pooled working set of one planning run: the
+// reservation and placement maps, score-env slices, and shard task
+// buffers, reused so a plan allocates O(stages), not O(devices).
+type planScratch struct {
+	reserved map[string]cluster.Resources // device → resources this plan consumes
+	placedAt map[string]string            // template node → device
+	upNames  []string
+	upIdx    []int
+	tasks    []shardTask
+	results  []shardResult
+
+	negotiations int
+	scored       int
+}
+
+var planScratchPool = sync.Pool{New: func() any {
+	return &planScratch{
+		reserved: map[string]cluster.Resources{},
+		placedAt: map[string]string{},
+	}
+}}
+
+func getPlanScratch() *planScratch {
+	ps := planScratchPool.Get().(*planScratch)
+	for k := range ps.reserved {
+		delete(ps.reserved, k)
+	}
+	for k := range ps.placedAt {
+		delete(ps.placedAt, k)
+	}
+	ps.negotiations, ps.scored = 0, 0
+	return ps
+}
+
+func putPlanScratch(ps *planScratch) { planScratchPool.Put(ps) }
+
+// placeStage places one stage hierarchically: consult each layer agent
+// for the shards of the stage's security bucket whose capacity digest
+// admits the request (the descent — whole shards are skipped on digest
+// evidence alone), then scan the surviving shards' entries, either
+// sequentially with score-lower-bound pruning or fanned out across
+// workers. release credits back resources a delta replan will free
+// (the old plan's pods, still deployed while the new plan is computed).
+//
+// The winner is the first strictly-lowest-score candidate in device
+// name order within layer order — identical for the sequential and
+// parallel paths, so plans are byte-identical across modes.
+func (m *Manager) placeStage(st *tosca.ServiceTemplate, sr stageReq, ps *planScratch, release map[string]cluster.Resources) (stageWin, error) {
+	env := m.newScoreEnv(st, sr.node, sr.gops, ps)
+	trustTh := 0.0
+	if m.Goal.TrustThreshold > 0 && (m.Goal.TrustThreshold > 0.5 || m.C.Trust.HasEvidence()) {
+		trustTh = m.Goal.TrustThreshold
+	}
+	now := m.C.Engine.Now()
+
+	// Descent: gather feasible shards across the consulted layers, read
+	// locks held until the scans finish.
+	tasks := ps.tasks[:0]
+	totalReady := 0
+	var locked []*LayerAgent
+	defer func() {
+		for _, ag := range locked {
+			ag.idx.mu.RUnlock()
+		}
+	}()
+	for _, ag := range m.agents() {
+		if sr.layer != "" && ag.Layer != sr.layer {
+			continue
+		}
+		atomic.AddInt64(&ag.NegotiationCount, 1)
+		ps.negotiations++
+		ag.rlockBuilt()
+		locked = append(locked, ag)
+		bsEff := ag.kernelFabricEff(sr.kernel)
+		bias := 0.0
+		if env.dataStore {
+			switch ag.Layer {
+			case "edge":
+				bias = 5
+			case "fog":
+				bias = -0.01
+			}
+		}
+		for _, sh := range ag.idx.bySec[sr.secLevel] {
+			if sr.pin != "" && (sh.lo() > sr.pin || sh.hi() < sr.pin) {
+				continue
+			}
+			if !sh.dig.canFit(sr.req) && !releaseInRange(sh, release) {
+				continue
+			}
+			tasks = append(tasks, shardTask{ag: ag, sh: sh, bsEff: bsEff, bias: bias})
+			totalReady += sh.dig.ready
+		}
+	}
+	ps.tasks = tasks
+
 	threshold := m.scoreThreshold
 	if threshold <= 0 {
 		threshold = defaultScoreThreshold
@@ -28,58 +174,136 @@ func (m *Manager) pickBest(offers []Offer, st *tosca.ServiceTemplate, node strin
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if len(offers) < threshold || workers < 2 {
-		return m.pickBestRange(offers, 0, len(offers), &env)
-	}
-	// Keep every worker busy with a meaningful slice of candidates.
-	if max := len(offers) / 32; workers > max {
-		workers = max
-	}
-	if workers < 2 {
-		return m.pickBestRange(offers, 0, len(offers), &env)
-	}
-	type result struct {
-		idx   int
-		score float64
-	}
-	results := make([]result, workers)
-	chunk := (len(offers) + workers - 1) / workers
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(offers) {
-			hi = len(offers)
+
+	best := stageWin{score: math.Inf(1)}
+	found := false
+	if totalReady < threshold || workers < 2 || len(tasks) < 2 {
+		for _, tk := range tasks {
+			// Prune: a shard whose score lower bound cannot strictly beat
+			// the incumbent cannot change the winner (the incumbent sits
+			// earlier in scan order and only a strictly lower score
+			// replaces it).
+			if found && m.digestLB(&tk.sh.dig, sr.gops, tk.bsEff, tk.bias) >= best.score {
+				continue
+			}
+			r := m.scanShard(tk, &sr, ps.reserved, release, &env, trustTh, now)
+			ps.scored += r.scored
+			if r.found && r.score < best.score {
+				best = stageWin{device: r.device, layer: tk.ag.Layer, cl: tk.ag.cl, score: r.score}
+				found = true
+			}
 		}
-		if lo >= hi {
-			results[w] = result{idx: -1, score: math.Inf(1)}
-			continue
+	} else {
+		if workers > len(tasks) {
+			workers = len(tasks)
 		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			i, s := m.pickBestRange(offers, lo, hi, &env)
-			results[w] = result{idx: i, score: s}
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	best, bestScore := -1, math.Inf(1)
-	for _, r := range results { // chunks are in index order
-		if r.idx >= 0 && r.score < bestScore {
-			best, bestScore = r.idx, r.score
+		if cap(ps.results) < len(tasks) {
+			ps.results = make([]shardResult, len(tasks))
+		}
+		results := ps.results[:len(tasks)]
+		var next int32 = -1
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(atomic.AddInt32(&next, 1))
+					if i >= len(tasks) {
+						return
+					}
+					results[i] = m.scanShard(tasks[i], &sr, ps.reserved, release, &env, trustTh, now)
+				}
+			}()
+		}
+		wg.Wait()
+		for i := range results {
+			r := &results[i]
+			ps.scored += r.scored
+			if r.found && r.score < best.score {
+				tk := tasks[i]
+				best = stageWin{device: r.device, layer: tk.ag.Layer, cl: tk.ag.cl, score: r.score}
+				found = true
+			}
 		}
 	}
-	return best, bestScore
+	if !found {
+		return stageWin{}, fmt.Errorf("mirto: no feasible component for %q (layer=%q security=%q cpu=%.1f)",
+			sr.node, sr.layer, sr.secLevel, sr.req.CPU)
+	}
+	return best, nil
 }
 
-// pickBestRange scores offers[lo:hi] sequentially; the first strictly
-// lowest score wins.
-func (m *Manager) pickBestRange(offers []Offer, lo, hi int, env *scoreEnv) (int, float64) {
-	best, bestScore := -1, math.Inf(1)
-	for i := lo; i < hi; i++ {
-		if s := m.score(&offers[i], env); s < bestScore {
-			best, bestScore = i, s
+// scanShard scores one shard's entries for a stage and returns the
+// local winner. Pure with respect to shared state — safe to run on
+// worker goroutines while the agent read locks are held.
+func (m *Manager) scanShard(tk shardTask, sr *stageReq, reserved, release map[string]cluster.Resources, env *scoreEnv, trustTh float64, now sim.Time) shardResult {
+	res := shardResult{score: math.Inf(1)}
+	for _, e := range tk.sh.entries {
+		if sr.pin != "" && e.name != sr.pin {
+			continue
+		}
+		if !e.ready || e.dev.Failed() {
+			continue
+		}
+		free := e.free
+		if release != nil {
+			if r, ok := release[e.name]; ok {
+				free = free.Add(r)
+			}
+		}
+		if r, ok := reserved[e.name]; ok {
+			free = cluster.Resources{CPU: free.CPU - r.CPU, MemMB: free.MemMB - r.MemMB}
+		}
+		if !sr.req.Fits(free) {
+			continue
+		}
+		if trustTh > 0 && m.C.Trust.Reputation(e.name) < trustTh {
+			continue
+		}
+		o := Offer{
+			Device: e.name, Layer: tk.ag.Layer, Cluster: tk.ag.cl,
+			FreeCPU: free.CPU, FreeMem: free.MemMB,
+			EffGOPS:      e.effFor(sr.kernel, tk.bsEff),
+			PowerPerCore: e.powerPerCore,
+			QueueDelay:   e.dev.QueueDelay(now),
+		}
+		s := m.score(&o, env)
+		res.scored++
+		if s < res.score {
+			res.found = true
+			res.device = e.name
+			res.score = s
 		}
 	}
-	return best, bestScore
+	return res
+}
+
+// digestLB is a lower bound on the score any member of a shard can
+// reach for a stage: best-case compute from the digest's rate ceiling,
+// zero network cost and queue delay, the digest's minimum marginal
+// power, plus the layer's data-store bias (constant across the shard).
+func (m *Manager) digestLB(d *shardDigest, gops, bsEff, bias float64) float64 {
+	ub := d.effCeiling(bsEff)
+	if ub <= 0 {
+		return math.Inf(1)
+	}
+	c := gops / ub
+	return m.Goal.WLatency*c + m.Goal.WEnergy*d.minPowerPerCore*c/10 + bias
+}
+
+// releaseInRange reports whether a delta replan's released-resource set
+// touches the shard's name range — if so the shard must be scanned even
+// when its digest (which cannot see the pending release) says full.
+func releaseInRange(sh *candShard, release map[string]cluster.Resources) bool {
+	if len(release) == 0 {
+		return false
+	}
+	lo, hi := sh.lo(), sh.hi()
+	for name := range release {
+		if name >= lo && name <= hi {
+			return true
+		}
+	}
+	return false
 }

@@ -1,0 +1,132 @@
+package mirto
+
+import "sort"
+
+// shardTarget is the nominal shard size. Shards are built at this size
+// and split when incremental inserts double it, so a digest refresh or
+// an entry lookup touches O(shardTarget) entries regardless of how
+// large the continuum grows.
+const shardTarget = 128
+
+// candShard is one contiguous, name-ordered run of a security bucket's
+// candidate entries plus the capacity digest summarizing them. Shard
+// boundaries are name ranges — not hashes — so concatenating a bucket's
+// shards walks entries in exactly the order the flat index used, and
+// the planner's first-lowest-score tie-break picks the same device
+// whether it scanned flat, descended shard by shard, or scored shards
+// on parallel workers.
+type candShard struct {
+	entries []*candEntry
+	dig     shardDigest
+}
+
+func (s *candShard) lo() string { return s.entries[0].name }
+func (s *candShard) hi() string { return s.entries[len(s.entries)-1].name }
+
+// shardChunk cuts a name-sorted entry list into shards of shardTarget
+// entries and computes their digests — the bulk-build path.
+func shardChunk(entries []*candEntry) []*candShard {
+	if len(entries) == 0 {
+		return nil
+	}
+	out := make([]*candShard, 0, (len(entries)+shardTarget-1)/shardTarget)
+	for len(entries) > 0 {
+		n := shardTarget
+		if n > len(entries) {
+			n = len(entries)
+		}
+		// Cap capacity so a later split's append cannot alias the
+		// neighboring shard's backing array.
+		sh := &candShard{entries: entries[:n:n]}
+		sh.refresh()
+		out = append(out, sh)
+		entries = entries[n:]
+	}
+	return out
+}
+
+// shardLocate returns the index and shard whose name range could hold
+// name, or (-1, nil) when name falls outside every shard's range.
+func shardLocate(b []*candShard, name string) (int, *candShard) {
+	i := sort.Search(len(b), func(i int) bool { return b[i].hi() >= name })
+	if i == len(b) || b[i].lo() > name {
+		return -1, nil
+	}
+	return i, b[i]
+}
+
+// shardFind returns the shard actually containing an entry named name,
+// or nil — the digest-refresh probe, O(log shards + log shardTarget).
+func shardFind(b []*candShard, name string) *candShard {
+	_, sh := shardLocate(b, name)
+	if sh == nil {
+		return nil
+	}
+	if j := sh.search(name); j < len(sh.entries) && sh.entries[j].name == name {
+		return sh
+	}
+	return nil
+}
+
+func (s *candShard) search(name string) int {
+	return sort.Search(len(s.entries), func(j int) bool { return s.entries[j].name >= name })
+}
+
+// shardInsert adds e to the bucket in name order, splitting the target
+// shard if the insert doubles it past shardTarget, and refreshes the
+// affected digests.
+func shardInsert(b []*candShard, e *candEntry) []*candShard {
+	if len(b) == 0 {
+		sh := &candShard{entries: []*candEntry{e}}
+		sh.refresh()
+		return []*candShard{sh}
+	}
+	// First shard whose range ends at or after the name; names beyond
+	// every range extend the last shard.
+	i := sort.Search(len(b), func(i int) bool { return b[i].hi() >= e.name })
+	if i == len(b) {
+		i = len(b) - 1
+	}
+	sh := b[i]
+	j := sh.search(e.name)
+	if j < len(sh.entries) && sh.entries[j].name == e.name {
+		sh.entries[j] = e
+		sh.refresh()
+		return b
+	}
+	sh.entries = append(sh.entries, nil)
+	copy(sh.entries[j+1:], sh.entries[j:])
+	sh.entries[j] = e
+	if len(sh.entries) >= 2*shardTarget {
+		mid := len(sh.entries) / 2
+		right := &candShard{entries: append([]*candEntry(nil), sh.entries[mid:]...)}
+		sh.entries = sh.entries[:mid:mid]
+		sh.refresh()
+		right.refresh()
+		b = append(b, nil)
+		copy(b[i+2:], b[i+1:])
+		b[i+1] = right
+		return b
+	}
+	sh.refresh()
+	return b
+}
+
+// shardRemove drops the entry named name, deleting the shard when it
+// empties.
+func shardRemove(b []*candShard, name string) []*candShard {
+	i, sh := shardLocate(b, name)
+	if sh == nil {
+		return b
+	}
+	j := sh.search(name)
+	if j == len(sh.entries) || sh.entries[j].name != name {
+		return b
+	}
+	sh.entries = append(sh.entries[:j], sh.entries[j+1:]...)
+	if len(sh.entries) == 0 {
+		return append(b[:i], b[i+1:]...)
+	}
+	sh.refresh()
+	return b
+}

@@ -1,43 +1,67 @@
 package network
 
 import (
-	"container/heap"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"myrtus/internal/sim"
 )
 
-// routeTable is an immutable all-pairs shortest-path snapshot of the
-// topology: per-pair latency plus the first hop of each minimum-latency
-// path. It is built once per topology epoch by single-source Dijkstra
-// from every node and shared lock-free through an atomic.Pointer, so the
-// routing read path (Route, RouteLatency, every Fabric send) never takes
-// the topology mutex and never re-runs Dijkstra.
+// routeTable is the per-epoch routing snapshot of the topology: node
+// naming, adjacency, and a set of single-source shortest-path rows built
+// lazily, one per queried source. The historical implementation ran
+// Dijkstra from every node eagerly, materializing an O(N²) all-pairs
+// matrix on every topology epoch — ~110ms and 2.4M allocations at 1400
+// nodes, and ~2.4GB of matrix at a 10k-edge continuum. Planning and
+// serving only ever query a handful of sources (the devices hosting
+// stages, the gateway, the KB anchor), so the table now shards the work
+// by source: the first read from a source pays one Dijkstra over the
+// snapshot (O(E log N), typed heap, reused scratch) and every later read
+// is an atomic load plus an array index. A topology edit bumps the epoch
+// and invalidates the whole snapshot; only the sources actually queried
+// afterwards are recomputed.
 //
 // The relaxation order (neighbors sorted by name, strict-less distance
-// updates) is identical to the historical per-pair Dijkstra, so the
-// paths the table yields are byte-identical to the ones Route computed
-// before the table existed.
+// updates, container/heap pop semantics) is identical to the historical
+// eager build, so the paths the rows yield are byte-identical to the
+// ones the all-pairs matrix produced.
 type routeTable struct {
 	epoch uint64
 	names []string       // sorted node names; index = node id
 	idx   map[string]int // name → id
 	n     int
-	// dist[i*n+j] is the latency i→j; negative means unreachable.
+	// adj[i] lists i's out-links sorted by neighbor name; radj[i] its
+	// in-links, used by reverse (to-anchor) rows.
+	adj  [][]nbr
+	radj [][]nbr
+
+	// rows[i] is the lazily-built forward row from source i; toRows[i]
+	// the reverse row into anchor i (distances only). buildMu serializes
+	// row builds and guards the shared Dijkstra scratch.
+	rows    []atomic.Pointer[routeRow]
+	toRows  []atomic.Pointer[routeRow]
+	buildMu sync.Mutex
+	scratch dijkstraScratch
+}
+
+// routeRow is one single-source shortest-path solution. dist[j] is the
+// latency source→j (negative when unreachable); next[j] the first hop on
+// the minimum-latency path (-1 when unreachable or j == source). Reverse
+// rows carry distances only (next is nil).
+type routeRow struct {
 	dist []sim.Time
-	// next[i*n+j] is the first hop on the minimum-latency path i→j;
-	// -1 when unreachable or i == j.
 	next []int32
 }
 
 // graphSnapshot is the adjacency copied out under the topology lock so
-// the table build runs without holding it.
+// row builds run without holding it.
 type graphSnapshot struct {
 	epoch uint64
 	names []string
 	idx   map[string]int
-	// adj[i] lists i's out-links sorted by neighbor name.
-	adj [][]nbr
+	adj   [][]nbr
+	radj  [][]nbr
 }
 
 type nbr struct {
@@ -60,6 +84,7 @@ func (t *Topology) snapshot() *graphSnapshot {
 		s.idx[n] = i
 	}
 	s.adj = make([][]nbr, len(s.names))
+	s.radj = make([][]nbr, len(s.names))
 	for from, links := range t.links {
 		i := s.idx[from]
 		tos := make([]string, 0, len(links))
@@ -73,13 +98,21 @@ func (t *Topology) snapshot() *graphSnapshot {
 		}
 		s.adj[i] = out
 	}
+	// Reverse adjacency, kept in the same name order as the forward one.
+	for i, out := range s.adj {
+		for _, e := range out {
+			s.radj[e.to] = append(s.radj[e.to], nbr{to: i, lat: e.lat})
+		}
+	}
 	return s
 }
 
-// routes returns the table for the current epoch, building it if the
-// topology changed since the last build. The fast path is two atomic
-// loads; builds are serialized on buildMu so concurrent readers never
-// duplicate the all-pairs work.
+// routes returns the table for the current epoch, snapshotting the graph
+// if the topology changed since the last build. The fast path is two
+// atomic loads; snapshots are serialized on buildMu so concurrent
+// readers never duplicate the copy. Unlike the historical eager build,
+// constructing the table costs O(N+E) — no shortest paths are computed
+// until a source is actually queried.
 func (t *Topology) routes() *routeTable {
 	for {
 		tab := t.table.Load()
@@ -92,108 +125,182 @@ func (t *Topology) routes() *routeTable {
 			t.buildMu.Unlock()
 			return tab
 		}
-		tab = buildRouteTable(t.snapshot())
+		s := t.snapshot()
+		tab = &routeTable{
+			epoch: s.epoch, names: s.names, idx: s.idx, n: len(s.names),
+			adj: s.adj, radj: s.radj,
+			rows:   make([]atomic.Pointer[routeRow], len(s.names)),
+			toRows: make([]atomic.Pointer[routeRow], len(s.names)),
+		}
 		t.table.Store(tab)
 		t.buildMu.Unlock()
-		// Loop: a concurrent edit during the build invalidates it.
+		// Loop: a concurrent edit during the snapshot invalidates it.
 	}
 }
 
-// buildRouteTable runs Dijkstra from every source over the snapshot.
-func buildRouteTable(s *graphSnapshot) *routeTable {
-	n := len(s.names)
-	tab := &routeTable{
-		epoch: s.epoch, names: s.names, idx: s.idx, n: n,
-		dist: make([]sim.Time, n*n),
-		next: make([]int32, n*n),
+// row returns the forward shortest-path row from src, building it on
+// first use.
+func (tab *routeTable) row(src int) *routeRow {
+	if r := tab.rows[src].Load(); r != nil {
+		return r
 	}
-	for i := range tab.dist {
-		tab.dist[i] = -1
-		tab.next[i] = -1
+	tab.buildMu.Lock()
+	defer tab.buildMu.Unlock()
+	if r := tab.rows[src].Load(); r != nil {
+		return r
 	}
-	// Reusable per-source scratch.
-	dist := make([]sim.Time, n)
-	prev := make([]int32, n)
-	visited := make([]bool, n)
-	var pq intRouteQueue
-	var chain []int32
-	for src := 0; src < n; src++ {
-		for i := 0; i < n; i++ {
-			dist[i] = -1
-			prev[i] = -1
-			visited[i] = false
-		}
-		dist[src] = 0
-		pq = pq[:0]
-		pq = append(pq, intRouteItem{node: int32(src)})
-		for len(pq) > 0 {
-			cur := heap.Pop(&pq).(intRouteItem)
-			if visited[cur.node] {
-				continue
-			}
-			visited[cur.node] = true
-			for _, e := range s.adj[cur.node] {
-				nd := cur.dist + e.lat
-				if dist[e.to] < 0 || nd < dist[e.to] {
-					dist[e.to] = nd
-					prev[e.to] = cur.node
-					heap.Push(&pq, intRouteItem{node: int32(e.to), dist: nd})
-				}
-			}
-		}
-		row := src * n
-		for dst := 0; dst < n; dst++ {
-			if dst == src || dist[dst] < 0 {
-				if dst == src {
-					tab.dist[row+dst] = 0
-				}
-				continue
-			}
-			tab.dist[row+dst] = dist[dst]
-		}
-		// First hops: every node on the shortest path src→v shares v's
-		// first hop, so one memoized upward walk resolves a whole chain.
-		for dst := 0; dst < n; dst++ {
-			if dst == src || dist[dst] < 0 || tab.next[row+dst] >= 0 {
-				continue
-			}
-			chain = chain[:0]
-			hop := int32(-1)
-			for u := int32(dst); ; {
-				if nxt := tab.next[row+int(u)]; nxt >= 0 {
-					hop = nxt // u's first hop is already known
-					break
-				}
-				chain = append(chain, u)
-				if prev[u] == int32(src) {
-					hop = u // u is src's direct neighbor on the path
-					break
-				}
-				u = prev[u]
-			}
-			for _, v := range chain {
-				tab.next[row+int(v)] = hop
-			}
-		}
-	}
-	return tab
+	r := tab.scratch.run(src, tab.n, tab.adj, true)
+	tab.rows[src].Store(r)
+	return r
 }
 
-type intRouteItem struct {
+// toRow returns the reverse row into anchor: dist[j] is the latency
+// j→anchor. Built by Dijkstra over the reversed adjacency.
+func (tab *routeTable) toRow(anchor int) *routeRow {
+	if r := tab.toRows[anchor].Load(); r != nil {
+		return r
+	}
+	tab.buildMu.Lock()
+	defer tab.buildMu.Unlock()
+	if r := tab.toRows[anchor].Load(); r != nil {
+		return r
+	}
+	r := tab.scratch.run(anchor, tab.n, tab.radj, false)
+	tab.toRows[anchor].Store(r)
+	return r
+}
+
+// dijkstraScratch holds the per-build working set, reused across row
+// builds under buildMu so a build allocates only its result row.
+type dijkstraScratch struct {
+	dist    []sim.Time
+	prev    []int32
+	visited []bool
+	pq      routeHeap
+	chain   []int32
+}
+
+// run executes one single-source Dijkstra over adj. withHops also
+// derives the first-hop array via a memoized upward walk (every node on
+// the shortest path src→v shares v's first hop).
+func (sc *dijkstraScratch) run(src, n int, adj [][]nbr, withHops bool) *routeRow {
+	if cap(sc.dist) < n {
+		sc.dist = make([]sim.Time, n)
+		sc.prev = make([]int32, n)
+		sc.visited = make([]bool, n)
+	}
+	dist, prev, visited := sc.dist[:n], sc.prev[:n], sc.visited[:n]
+	for i := 0; i < n; i++ {
+		dist[i] = -1
+		prev[i] = -1
+		visited[i] = false
+	}
+	dist[src] = 0
+	sc.pq = sc.pq[:0]
+	sc.pq.push(routeItem{node: int32(src)})
+	for len(sc.pq) > 0 {
+		cur := sc.pq.pop()
+		if visited[cur.node] {
+			continue
+		}
+		visited[cur.node] = true
+		for _, e := range adj[cur.node] {
+			nd := cur.dist + e.lat
+			if dist[e.to] < 0 || nd < dist[e.to] {
+				dist[e.to] = nd
+				prev[e.to] = cur.node
+				sc.pq.push(routeItem{node: int32(e.to), dist: nd})
+			}
+		}
+	}
+	row := &routeRow{dist: make([]sim.Time, n)}
+	copy(row.dist, dist)
+	if !withHops {
+		return row
+	}
+	row.next = make([]int32, n)
+	for i := range row.next {
+		row.next[i] = -1
+	}
+	for dst := 0; dst < n; dst++ {
+		if dst == src || dist[dst] < 0 || row.next[dst] >= 0 {
+			continue
+		}
+		sc.chain = sc.chain[:0]
+		hop := int32(-1)
+		for u := int32(dst); ; {
+			if nxt := row.next[u]; nxt >= 0 {
+				hop = nxt // u's first hop is already known
+				break
+			}
+			sc.chain = append(sc.chain, u)
+			if prev[u] == int32(src) {
+				hop = u // u is src's direct neighbor on the path
+				break
+			}
+			u = prev[u]
+		}
+		for _, v := range sc.chain {
+			row.next[v] = hop
+		}
+	}
+	return row
+}
+
+// routeItem / routeHeap is a typed binary min-heap on dist. It
+// reproduces container/heap's push/pop mechanics exactly (append+up;
+// swap-root-with-last, shrink, down) so the visit order — and therefore
+// the tie-broken shortest paths — match the historical implementation
+// byte for byte, without the per-push interface boxing that used to
+// account for millions of allocations per all-pairs build.
+type routeItem struct {
 	node int32
 	dist sim.Time
 }
 
-type intRouteQueue []intRouteItem
+type routeHeap []routeItem
 
-func (q intRouteQueue) Len() int           { return len(q) }
-func (q intRouteQueue) Less(i, j int) bool { return q[i].dist < q[j].dist }
-func (q intRouteQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
-func (q *intRouteQueue) Push(x any)        { *q = append(*q, x.(intRouteItem)) }
-func (q *intRouteQueue) Pop() any {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
+func (q *routeHeap) push(it routeItem) {
+	*q = append(*q, it)
+	q.up(len(*q) - 1)
+}
+
+func (q *routeHeap) pop() routeItem {
+	h := *q
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	it := h[n]
+	*q = h[:n]
+	q.down(0, n)
 	return it
+}
+
+func (q routeHeap) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || q[j].dist >= q[i].dist {
+			break
+		}
+		q[i], q[j] = q[j], q[i]
+		j = i
+	}
+}
+
+func (q routeHeap) down(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && q[j2].dist < q[j1].dist {
+			j = j2
+		}
+		if q[j].dist >= q[i].dist {
+			break
+		}
+		q[i], q[j] = q[j], q[i]
+		i = j
+	}
 }

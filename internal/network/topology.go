@@ -280,8 +280,9 @@ func (t *Topology) sliceShare(linkKey, sliceID string) float64 {
 }
 
 // Route returns the minimum-latency path from src to dst (inclusive of
-// both). The path comes from the epoch-cached all-pairs table, so the
-// call is lock-free and O(path length) in the steady state.
+// both). The path comes from the epoch-cached sharded route table: the
+// first query from a source runs one single-source Dijkstra; later
+// queries are lock-free and O(path length).
 func (t *Topology) Route(src, dst string) ([]string, sim.Time, error) {
 	tab := t.routes()
 	i, ok := tab.idx[src]
@@ -295,14 +296,14 @@ func (t *Topology) Route(src, dst string) ([]string, sim.Time, error) {
 	if i == j {
 		return []string{src}, 0, nil
 	}
-	lat := tab.dist[i*tab.n+j]
+	lat := tab.row(i).dist[j]
 	if lat < 0 {
 		return nil, 0, fmt.Errorf("network: no route %s -> %s", src, dst)
 	}
 	path := make([]string, 0, 4)
 	path = append(path, src)
 	for at := i; at != j; {
-		at = int(tab.next[at*tab.n+j])
+		at = int(tab.row(at).next[j])
 		path = append(path, tab.names[at])
 	}
 	return path, lat, nil
@@ -311,7 +312,8 @@ func (t *Topology) Route(src, dst string) ([]string, sim.Time, error) {
 // RouteLatency returns the minimum route latency src→dst from the
 // epoch-cached table without materializing the path. ok is false when
 // either endpoint is unknown or no route exists. This is the planner's
-// hot read: two atomic loads plus two map lookups.
+// hot read: in the steady state two atomic loads, two map lookups, and
+// one array index into the source's row.
 func (t *Topology) RouteLatency(src, dst string) (sim.Time, bool) {
 	tab := t.routes()
 	i, ok := tab.idx[src]
@@ -322,18 +324,20 @@ func (t *Topology) RouteLatency(src, dst string) (sim.Time, bool) {
 	if !ok {
 		return 0, false
 	}
-	lat := tab.dist[i*tab.n+j]
+	lat := tab.row(i).dist[j]
 	if lat < 0 {
 		return 0, false
 	}
 	return lat, true
 }
 
-// RouteReader is a consistent snapshot of the all-pairs latency table
-// for bulk queries by node index: resolve names once with NodeIndex,
-// then read many latencies without repeating the map lookups. The
-// snapshot stays valid (though possibly one epoch stale) regardless of
-// concurrent topology edits.
+// RouteReader is a consistent snapshot of the sharded latency table for
+// bulk queries by node index: resolve names once with NodeIndex, then
+// read many latencies without repeating the map lookups. The snapshot
+// stays valid (though possibly one epoch stale) regardless of concurrent
+// topology edits. Latencies are served from per-source rows built on
+// first use, so a reader that queries k sources costs k Dijkstras total,
+// not one per pair and not one per node in the topology.
 type RouteReader struct {
 	tab *routeTable
 }
@@ -351,11 +355,65 @@ func (r RouteReader) NodeIndex(name string) (int, bool) {
 
 // LatencyAt returns the latency between two node indices.
 func (r RouteReader) LatencyAt(from, to int) (sim.Time, bool) {
-	lat := r.tab.dist[from*r.tab.n+to]
+	lat := r.tab.row(from).dist[to]
 	if lat < 0 {
 		return 0, false
 	}
 	return lat, true
+}
+
+// ToLatencyAt returns the latency from a node index to an anchor index,
+// served from the anchor's reverse row — one reverse Dijkstra per anchor
+// per epoch, shared by every node querying that anchor. This is the
+// route-summary read shard digests aggregate over: a shard of devices
+// summarizes "best latency to our layer's anchor" without any per-pair
+// state.
+func (r RouteReader) ToLatencyAt(node, anchor int) (sim.Time, bool) {
+	lat := r.tab.toRow(anchor).dist[node]
+	if lat < 0 {
+		return 0, false
+	}
+	return lat, true
+}
+
+// AnchorSummary condenses a member set's connectivity to an anchor into
+// a compact digest: the best and worst member→anchor latency plus the
+// reachable count. This is the "capacity digest" shape hierarchical
+// planning negotiates instead of node lists — O(members) reads against
+// one shared reverse row, no all-pairs state.
+type AnchorSummary struct {
+	Best, Worst sim.Time
+	Reachable   int
+}
+
+// AnchorSummary computes the member→anchor route summary for a shard's
+// member set. Unknown members count as unreachable.
+func (t *Topology) AnchorSummary(anchor string, members []string) (AnchorSummary, bool) {
+	tab := t.routes()
+	ai, ok := tab.idx[anchor]
+	if !ok {
+		return AnchorSummary{}, false
+	}
+	row := tab.toRow(ai)
+	var s AnchorSummary
+	for _, m := range members {
+		mi, ok := tab.idx[m]
+		if !ok {
+			continue
+		}
+		lat := row.dist[mi]
+		if lat < 0 {
+			continue
+		}
+		if s.Reachable == 0 || lat < s.Best {
+			s.Best = lat
+		}
+		if lat > s.Worst {
+			s.Worst = lat
+		}
+		s.Reachable++
+	}
+	return s, true
 }
 
 // Epoch returns the topology edit counter; the route table rebuilds

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // The MYRTUS TOSCA profile: node and policy types the DPE emits and the
@@ -63,6 +64,16 @@ type ServiceTemplate struct {
 	Tenant   string
 	Nodes    map[string]*NodeTemplate
 	Policies []Policy
+
+	// policyIdx memoizes PoliciesFor per node. Planning resolves
+	// policies for every stage on every (re)plan, so the naive
+	// policies×targets scan turns quadratic on wide templates; the index
+	// is built once on first use, after which the template's policies
+	// are treated as immutable (they are — templates are parsed, then
+	// only read).
+	policyOnce sync.Once
+	policyIdx  map[string][]Policy
+	policyAll  []Policy // policies with no explicit target: apply to all
 }
 
 // PropFloat reads a numeric property with a default.
@@ -124,8 +135,31 @@ func (t *ServiceTemplate) NodeNames() []string {
 }
 
 // PoliciesFor returns the policies targeting the named node (or with no
-// explicit target, which apply to all).
+// explicit target, which apply to all). The first call indexes the
+// policy list by target; callers must not mutate t.Policies afterwards.
 func (t *ServiceTemplate) PoliciesFor(node string) []Policy {
+	t.policyOnce.Do(func() {
+		t.policyIdx = make(map[string][]Policy, len(t.Nodes))
+		for _, p := range t.Policies {
+			if len(p.Targets) == 0 {
+				t.policyAll = append(t.policyAll, p)
+				continue
+			}
+			for _, tg := range p.Targets {
+				t.policyIdx[tg] = append(t.policyIdx[tg], p)
+			}
+		}
+	})
+	targeted := t.policyIdx[node]
+	if len(t.policyAll) == 0 {
+		return targeted
+	}
+	if len(targeted) == 0 {
+		return t.policyAll
+	}
+	// Both targeted and catch-all policies exist (rare): fall back to
+	// the order-preserving scan so the result interleaves exactly as the
+	// policy list declares.
 	var out []Policy
 	for _, p := range t.Policies {
 		if len(p.Targets) == 0 {

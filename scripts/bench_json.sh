@@ -3,6 +3,13 @@
 # benchmark to its ns/op, bytes/op, and allocs/op — the artifact the CI
 # bench-smoke job uploads so perf regressions are visible per commit.
 #
+# When BENCH_baseline.json exists, the gated A5 planning arms
+# (edge-300, edge-1000) are additionally re-run at a stable iteration
+# count and diffed against it: >25% regression in ns/op or allocs/op
+# fails the script. Baseline keys are bare sub-benchmark names
+# (no pkg prefix, no -GOMAXPROCS suffix) so the gate is machine-shape
+# independent.
+#
 # Usage: scripts/bench_json.sh [output-file]
 set -eu
 
@@ -38,3 +45,59 @@ END { print "\n}" }
 ' "$tmp" >"$out"
 
 echo "wrote $out ($(grep -c 'ns_per_op' "$out") benchmarks)"
+
+# --- A5 regression gate --------------------------------------------------
+# The 1x smoke numbers above are too noisy to gate on; re-run just the
+# gated arms at a stable iteration count and compare against the
+# committed baseline.
+baseline="BENCH_baseline.json"
+if [ -f "$baseline" ]; then
+    echo "A5 regression gate: diffing edge-300/edge-1000 against $baseline"
+    go test -run '^$' -bench 'A5Scale/^(edge-300|edge-1000)$' -benchtime 200x -benchmem . >"$tmp"
+    awk -v basefile="$baseline" '
+    BEGIN {
+        while ((getline line < basefile) > 0) {
+            if (line !~ /"ns_per_op"/) continue
+            key = line; sub(/^[ \t]*"/, "", key); sub(/".*$/, "", key)
+            ns = line; sub(/.*"ns_per_op": */, "", ns); sub(/[,}].*/, "", ns)
+            bns[key] = ns + 0
+            if (line ~ /"allocs_per_op"/) {
+                al = line; sub(/.*"allocs_per_op": */, "", al); sub(/[,}].*/, "", al)
+                ballocs[key] = al + 0
+            }
+        }
+    }
+    /^BenchmarkA5Scale\// {
+        # Exact name first; fall back to stripping a -GOMAXPROCS suffix
+        # (go only appends it when GOMAXPROCS != 1, and the sub-bench
+        # names themselves end in digits).
+        name = $1
+        if (!(name in bns)) {
+            alt = name; sub(/-[0-9]+$/, "", alt)
+            if (alt in bns) name = alt
+        }
+        if (!(name in bns)) next
+        ns = ""; al = ""
+        for (i = 2; i <= NF; i++) {
+            if ($(i) == "ns/op")     ns = $(i - 1)
+            if ($(i) == "allocs/op") al = $(i - 1)
+        }
+        if (ns == "") next
+        checked++
+        if (ns + 0 > bns[name] * 1.25) {
+            printf "FAIL %s: %.0f ns/op exceeds 1.25x baseline %.0f\n", name, ns, bns[name]
+            bad = 1
+        } else {
+            printf "ok   %s: %.0f ns/op (baseline %.0f)\n", name, ns, bns[name]
+        }
+        if (al != "" && (name in ballocs) && al + 0 > ballocs[name] * 1.25) {
+            printf "FAIL %s: %d allocs/op exceeds 1.25x baseline %d\n", name, al, ballocs[name]
+            bad = 1
+        }
+    }
+    END {
+        if (checked < 2) { print "FAIL: A5 regression gate matched fewer than 2 arms"; exit 1 }
+        if (bad) exit 1
+        print "A5 regression gate passed (edge-300, edge-1000 within 25% of baseline)"
+    }' "$tmp"
+fi
