@@ -19,6 +19,9 @@
 // (the default) it exits non-zero if availability drops below 99%.
 // The "noisy-neighbor" chaos scenario instead flash-crowds an
 // aggressor tenant against a victim and gates on tenant isolation.
+// The "planned-drain" scenario runs the three-arm live-migration
+// experiment — planned drain vs same-seed crash vs crash mid-migration
+// — and gates on zero-loss, sub-tick-pause drains.
 // The overload subcommand sweeps offered load from 0.5x to 4x measured
 // capacity and prints the goodput-vs-load curve; with -admission (the
 // default) it exits non-zero if 4x goodput retention falls below 90%.
@@ -95,7 +98,7 @@ func chaosMain(argv []string) {
 		fs.Parse(fs.Args()[1:]) //nolint:errcheck
 	}
 	if *list {
-		fmt.Println(strings.Join(append(chaos.Names(), "noisy-neighbor"), "\n"))
+		fmt.Println(strings.Join(append(chaos.Names(), "noisy-neighbor", "planned-drain"), "\n"))
 		return
 	}
 	if name == "" {
@@ -108,6 +111,25 @@ func chaosMain(argv []string) {
 		// instead of the timed-fault runner. -mapek=false doubles as the
 		// no-quotas control arm.
 		rep, err := chaos.RunNoisyNeighbor(chaos.NoisyConfig{Seed: *seed, Quotas: *mapek})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(rep.Render())
+		if *mapek {
+			if v := rep.Violated(); v != "" {
+				fmt.Fprintf(os.Stderr, "chaos: %s\n", v)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	if name == "planned-drain" {
+		// Live-migration experiment: three same-seed arms (planned drain,
+		// crash control, crash mid-migration) on the multi-arm harness.
+		// The drain must be zero-loss with sub-tick pauses, strictly
+		// beating the crash arm's measured RTO; the mid-migration crash
+		// must degrade cleanly to checkpoint restore.
+		rep, err := chaos.RunPlannedDrain(*seed)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -12,6 +12,10 @@
 //	delete APP      undeploy an application
 //	kpis APP        show an application's KPIs
 //	registry        dump the Resource Registry snapshot
+//	drain DEVICE    live-migrate every stateful stage off the device
+//	                (pre-copy, catch-up, flip) and leave it cordoned
+//	undrain DEVICE  lift a drain's cordon, making the device
+//	                schedulable again
 //	trace [ID]      list recorded request traces, or print one trace's
 //	                span tree and critical path
 //	health          agent health
@@ -28,6 +32,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"sort"
 	"strings"
 
 	"myrtus/internal/trace"
@@ -69,6 +74,16 @@ func main() {
 		err = cli.get("/v1/kpis/" + args[1])
 	case "registry":
 		err = cli.get("/v1/registry")
+	case "drain":
+		if len(args) != 2 {
+			log.Fatal("usage: mirtoctl drain DEVICE")
+		}
+		err = cli.drain(args[1])
+	case "undrain":
+		if len(args) != 2 {
+			log.Fatal("usage: mirtoctl undrain DEVICE")
+		}
+		err = cli.do("DELETE", "/v1/drain/"+args[1], "", nil)
 	case "trace":
 		if len(args) == 1 {
 			err = cli.get("/v1/traces")
@@ -125,6 +140,79 @@ func (c *client) trace(id string) error {
 	segs, total := tr.CriticalPath()
 	fmt.Print(trace.RenderCriticalPath(segs, total))
 	return nil
+}
+
+// drain POSTs a planned drain and renders the returned migration trace:
+// per-stage pre-copy/catch-up rounds, bytes shipped, residual delta
+// sizes, and the per-app intake pauses the flips cost.
+func (c *client) drain(device string) error {
+	raw, err := c.send("POST", "/v1/drain/"+device)
+	if err != nil {
+		return err
+	}
+	var v struct {
+		Device  string            `json:"device"`
+		Aborted bool              `json:"aborted"`
+		Reason  string            `json:"reason"`
+		Took    string            `json:"took"`
+		Moved   int               `json:"moved"`
+		Stages  []struct {
+			App, Stage, From, To string
+			Flipped              bool
+			Rounds               int
+			Residuals            []int
+			PrecopyBytes         int64
+			DeltaBytes           int64
+			FinalDelta           int
+		} `json:"stages"`
+		Pauses map[string]string `json:"pauses"`
+		Parked map[string]int    `json:"parked"`
+	}
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return fmt.Errorf("decoding drain report: %w", err)
+	}
+	status := "completed (device cordoned; `mirtoctl undrain` to reuse it)"
+	if v.Aborted {
+		status = "ABORTED: " + v.Reason
+	}
+	fmt.Printf("drain %s: %s\n", v.Device, status)
+	fmt.Printf("  took %s, %d assignment(s) moved\n", v.Took, v.Moved)
+	for _, s := range v.Stages {
+		fmt.Printf("  %s/%s: %s -> %s flipped=%v\n", s.App, s.Stage, s.From, s.To, s.Flipped)
+		fmt.Printf("    pre-copy %d bytes, catch-up %d rounds (%d delta bytes), residuals=%v, final delta %d entries\n",
+			s.PrecopyBytes, s.Rounds, s.DeltaBytes, s.Residuals, s.FinalDelta)
+	}
+	apps := make([]string, 0, len(v.Pauses))
+	for app := range v.Pauses {
+		apps = append(apps, app)
+	}
+	sort.Strings(apps)
+	for _, app := range apps {
+		fmt.Printf("  pause %s: %s (%d request(s) parked and replayed)\n", app, v.Pauses[app], v.Parked[app])
+	}
+	return nil
+}
+
+// send issues a bodyless request and returns the raw response body.
+func (c *client) send(method, path string) ([]byte, error) {
+	req, err := http.NewRequest(method, c.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Authorization", "Bearer "+c.token)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 400 {
+		return nil, fmt.Errorf("request failed with %s: %s", resp.Status, raw)
+	}
+	return raw, nil
 }
 
 // fetch GETs a path and returns the raw body (unlike do, which prints).

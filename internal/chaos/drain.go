@@ -1,0 +1,185 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+
+	"myrtus/internal/mirto"
+	"myrtus/internal/sim"
+)
+
+// Planned-drain harness: the controlled-experiment counterpart to the
+// crash scenarios. Three same-seed arms share one workload schedule:
+//
+//   - drain: the aggregator's device is drained at t=10s — pre-copy,
+//     journal catch-up, paused flip. The bar is zero-loss: no request
+//     lost, state fingerprints byte-identical to the fault-free
+//     reference, and the only unavailability the sub-tick intake pause.
+//   - crash control: the same device crashes at the same instant
+//     instead (repair at t=20s). Checkpoint restore delivers RPO=0,
+//     but detection plus restore cost real unavailability — the RTO
+//     the drain arm must beat.
+//   - mid-migration crash: the drain starts and the device dies 150ms
+//     in, mid-pre-copy. The drain must abort cleanly and degrade to
+//     the crash-restore path with no double-apply and no state loss.
+
+// drainAt/drainCrashLag place the faults: the drain fires at drainAt;
+// the adversarial arm kills the device drainCrashLag later, which is
+// inside the pre-copy window (the first catch-up round cannot start
+// before drainAt + the migrator's 250ms round gap).
+const (
+	drainAt       = 10 * sim.Second
+	drainCrashLag = 150 * sim.Millisecond
+	drainRepairAt = 20 * sim.Second
+)
+
+// PlannedDrain is the bundled maintenance scenario: the stateful app
+// runs under open-loop load and the device hosting the 2MB aggregator
+// cell is drained mid-run. The generous retry budget matches the other
+// stateful scenarios so the divergence check is apples-to-apples.
+func PlannedDrain(seed uint64) Scenario {
+	sc := Scenario{
+		Name:    "planned-drain",
+		Ingress: "edge-rv-0",
+		SLO:     mirto.SLO{P95LatencyMs: 250, MaxFailureRate: 0.05},
+		Events: []Event{
+			{At: drainAt, Kind: DrainDevice, Target: "stage:aggregator"},
+		},
+	}
+	_ = seed // the schedule is fixed; the seed shapes run-time draws
+	return defaults(Statefulize(sc))
+}
+
+// DrainRunReport bundles the three arms plus the headline comparison.
+type DrainRunReport struct {
+	Seed uint64
+	// Drain is the planned-drain arm (with the fault-free divergence
+	// check), Crash the same-seed crash-control arm, MidCrash the
+	// adversarial crash-mid-migration arm.
+	Drain, Crash, MidCrash *Report
+}
+
+// Run executes all three arms of the planned-drain experiment with one
+// seed and one workload schedule.
+func RunPlannedDrain(seed uint64) (*DrainRunReport, error) {
+	cfg := Config{Seed: seed, MAPEK: true, Stateful: true}
+
+	drainRep, err := Run(PlannedDrain(seed), cfg)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: drain arm: %w", err)
+	}
+
+	crash := PlannedDrain(seed)
+	crash.Name = "planned-drain/crash-control"
+	crash.Events = []Event{
+		{At: drainAt, Kind: DeviceCrash, Target: "stage:aggregator"},
+		{At: drainRepairAt, Kind: DeviceRepair, Target: "stage:aggregator"},
+	}
+	crashRep, err := Run(defaults(crash), cfg)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: crash-control arm: %w", err)
+	}
+
+	mid := PlannedDrain(seed)
+	mid.Name = "planned-drain/mid-crash"
+	mid.Events = append(mid.Events,
+		Event{At: drainAt + drainCrashLag, Kind: DeviceCrash, Target: "stage:aggregator"},
+		Event{At: drainRepairAt, Kind: DeviceRepair, Target: "stage:aggregator"},
+	)
+	midRep, err := Run(defaults(mid), cfg)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: mid-crash arm: %w", err)
+	}
+
+	return &DrainRunReport{Seed: seed, Drain: drainRep, Crash: crashRep, MidCrash: midRep}, nil
+}
+
+// Violated returns a non-empty reason if any arm misses its bar:
+// the drain arm must be zero-loss, non-divergent, actually flip
+// ownership, and keep every intake pause at or under 2 sensing ticks;
+// its worst pause must be strictly below the crash arm's RTO p95; the
+// mid-crash arm must abort the drain yet still deliver RPO=0 with no
+// divergence (clean fallback to crash restore, no double-apply).
+func (r *DrainRunReport) Violated() string {
+	d := r.Drain
+	if d.Lost != 0 {
+		return fmt.Sprintf("drain arm lost %d requests (want 0)", d.Lost)
+	}
+	if d.ComparedCells == 0 {
+		return "drain arm compared no state cells"
+	}
+	if len(d.DivergentCells) != 0 {
+		return fmt.Sprintf("drain arm diverged from fault-free reference: %v", d.DivergentCells)
+	}
+	if d.RPOItems != 0 {
+		return fmt.Sprintf("drain arm rpo_items=%d (want 0)", d.RPOItems)
+	}
+	if len(d.Drains) == 0 {
+		return "drain arm executed no drain"
+	}
+	flipped := 0
+	for _, dr := range d.Drains {
+		if dr.Aborted {
+			return fmt.Sprintf("drain of %s aborted: %s", dr.Device, dr.Reason)
+		}
+		for _, sm := range dr.Stages {
+			if sm.Flipped {
+				flipped++
+			}
+		}
+	}
+	if flipped == 0 {
+		return "drain arm flipped no stateful stage"
+	}
+	pauses := d.PauseSamples()
+	if len(pauses) == 0 {
+		return "drain arm recorded no intake pause"
+	}
+	_, pauseP95 := quantiles(pauses)
+	if ticks := d.ticks(pauseP95); ticks > 2 {
+		return fmt.Sprintf("drain pause p95=%s is %.2f ticks (bar: 2)", dur(pauseP95), ticks)
+	}
+	_, rtoP95 := r.Crash.RTO()
+	if rtoP95 == 0 {
+		return "crash-control arm measured no RTO (nothing to compare against)"
+	}
+	pauseMax := pauses[len(pauses)-1]
+	if pauseMax >= rtoP95 {
+		return fmt.Sprintf("drain pause max=%s not below crash rto_p95=%s", dur(pauseMax), dur(rtoP95))
+	}
+	m := r.MidCrash
+	if m.RPOItems != 0 {
+		return fmt.Sprintf("mid-crash arm rpo_items=%d (want 0)", m.RPOItems)
+	}
+	if m.ComparedCells == 0 {
+		return "mid-crash arm compared no state cells"
+	}
+	if len(m.DivergentCells) != 0 {
+		return fmt.Sprintf("mid-crash arm diverged (double-apply?): %v", m.DivergentCells)
+	}
+	return ""
+}
+
+// Render formats the experiment deterministically: the three full arm
+// reports plus the headline drain-vs-crash comparison.
+func (r *DrainRunReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "planned-drain experiment: seed=%d\n", r.Seed)
+	fmt.Fprintf(&b, "== drain arm (planned maintenance) ==\n%s", r.Drain.Render())
+	fmt.Fprintf(&b, "== crash-control arm (same seed, same instant) ==\n%s", r.Crash.Render())
+	fmt.Fprintf(&b, "== mid-migration crash arm (drain aborted under it) ==\n%s", r.MidCrash.Render())
+	pauses := r.Drain.PauseSamples()
+	var pauseMax sim.Time
+	if len(pauses) > 0 {
+		pauseMax = pauses[len(pauses)-1]
+	}
+	_, rtoP95 := r.Crash.RTO()
+	verdict := "ok"
+	if v := r.Violated(); v != "" {
+		verdict = "VIOLATED: " + v
+	}
+	fmt.Fprintf(&b, "summary: drain pause_max=%s (%.2f ticks) lost=%d vs crash rto_p95=%s lost=%d | mid-crash rpo_items=%d divergent=%d | %s\n",
+		dur(pauseMax), r.Drain.ticks(pauseMax), r.Drain.Lost,
+		dur(rtoP95), r.Crash.Lost, r.MidCrash.RPOItems, len(r.MidCrash.DivergentCells), verdict)
+	return b.String()
+}

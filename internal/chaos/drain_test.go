@@ -1,0 +1,136 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+
+	"myrtus/internal/sim"
+)
+
+// TestPlannedDrainExperimentGates runs the full three-arm experiment
+// and asserts the acceptance bars: the drain arm is zero-loss and
+// fingerprint-identical to the fault-free reference with a sub-2-tick
+// pause, strictly beating the same-seed crash arm's RTO; the
+// mid-migration crash arm aborts the drain yet recovers with RPO=0 and
+// no divergence.
+func TestPlannedDrainExperimentGates(t *testing.T) {
+	rep, err := RunPlannedDrain(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := rep.Violated(); v != "" {
+		t.Fatalf("experiment violated: %s", v)
+	}
+
+	d := rep.Drain
+	if d.Lost != 0 || d.AttemptFailures != 0 {
+		t.Fatalf("drain arm lost=%d attempt_failures=%d, want a faultless run", d.Lost, d.AttemptFailures)
+	}
+	if d.ComparedCells == 0 || len(d.DivergentCells) != 0 {
+		t.Fatalf("drain arm divergence: compared=%d divergent=%v", d.ComparedCells, d.DivergentCells)
+	}
+	if d.LiveMigrations == 0 || d.DrainSplices == 0 {
+		t.Fatalf("drain arm live_migrations=%d splices=%d, want both nonzero", d.LiveMigrations, d.DrainSplices)
+	}
+	if len(d.Drains) != 1 || d.Drains[0].Aborted {
+		t.Fatalf("drain arm drains = %+v", d.Drains)
+	}
+	var flipped bool
+	for _, sm := range d.Drains[0].Stages {
+		if sm.Flipped {
+			flipped = true
+			if sm.PrecopyBytes == 0 {
+				t.Fatalf("flipped stage %s shipped no pre-copy bytes", sm.Stage)
+			}
+		}
+	}
+	if !flipped {
+		t.Fatal("drain arm flipped no stage")
+	}
+	// The planned drain's only unavailability is the intake pause — and
+	// it must be bounded by two sensing ticks and beaten by nothing the
+	// crash arm can offer.
+	_, pauseP95 := quantiles(d.PauseSamples())
+	if pauseP95 > 2*d.TickEvery {
+		t.Fatalf("pause p95 %s exceeds 2 ticks (%s)", dur(pauseP95), dur(2*d.TickEvery))
+	}
+	_, rtoP95 := rep.Crash.RTO()
+	if rtoP95 == 0 || pauseP95 >= rtoP95 {
+		t.Fatalf("drain pause %s not strictly below crash rto_p95 %s", dur(pauseP95), dur(rtoP95))
+	}
+	// The crash arm had a real incident to recover from; the drain arm
+	// had none.
+	if rep.Crash.Incidents == 0 || d.Incidents != 0 {
+		t.Fatalf("incidents: crash=%d drain=%d, want >0 / 0", rep.Crash.Incidents, d.Incidents)
+	}
+
+	m := rep.MidCrash
+	if len(m.Drains) != 1 || !m.Drains[0].Aborted {
+		t.Fatalf("mid-crash arm drains = %+v, want one aborted drain", m.Drains)
+	}
+	if m.RPOItems != 0 || len(m.DivergentCells) != 0 || m.ComparedCells == 0 {
+		t.Fatalf("mid-crash recovery: rpo=%d divergent=%v compared=%d",
+			m.RPOItems, m.DivergentCells, m.ComparedCells)
+	}
+	if m.LiveMigrations != 0 {
+		t.Fatalf("mid-crash arm counted %d live migrations for an aborted drain", m.LiveMigrations)
+	}
+}
+
+// TestPlannedDrainRenderDeterministic renders the experiment twice from
+// independent runs: byte-identical output is the regression contract
+// the smoke script diffs on.
+func TestPlannedDrainRenderDeterministic(t *testing.T) {
+	a, err := RunPlannedDrain(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunPlannedDrain(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, rb := a.Render(), b.Render()
+	if ra != rb {
+		t.Fatalf("renders differ:\n%s\n----\n%s", ra, rb)
+	}
+	for _, want := range []string{"migration:", "pre", "residuals=", "pause ", "summary:"} {
+		if !strings.Contains(ra, want) {
+			t.Fatalf("render missing %q:\n%s", want, ra)
+		}
+	}
+}
+
+// TestDrainEventRequiresMAPEK: without the self-healing stack there is
+// no migrator, so the event must surface as an event error, not a
+// crash.
+func TestDrainEventRequiresMAPEK(t *testing.T) {
+	sc := PlannedDrain(1)
+	rep, err := Run(sc, Config{Seed: 1, Stateful: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.EventErrors) != 1 || !strings.Contains(rep.EventErrors[0], "MAPE-K") {
+		t.Fatalf("event errors = %v, want one MAPE-K rejection", rep.EventErrors)
+	}
+	if len(rep.Drains) != 0 {
+		t.Fatalf("drains ran without a migrator: %+v", rep.Drains)
+	}
+}
+
+// TestDrainScenarioShape pins the bundled scenario's structure so the
+// smoke gates keep meaning what they say.
+func TestDrainScenarioShape(t *testing.T) {
+	sc := PlannedDrain(9)
+	if sc.Name != "planned-drain" || sc.App != StatefulApp {
+		t.Fatalf("scenario = %q app stateful=%v", sc.Name, sc.App == StatefulApp)
+	}
+	if len(sc.Events) != 1 || sc.Events[0].Kind != DrainDevice {
+		t.Fatalf("events = %+v, want one drain", sc.Events)
+	}
+	if sc.Events[0].At != 10*sim.Second {
+		t.Fatalf("drain at %s", sc.Events[0].At)
+	}
+	if sc.Retry.Attempts != 10 {
+		t.Fatalf("retry budget %d, want the stateful default 10", sc.Retry.Attempts)
+	}
+}

@@ -19,10 +19,11 @@ import (
 // the same (scenario, seed, config) — so reports double as regression
 // fixtures.
 type Report struct {
-	Scenario string
-	Seed     uint64
-	MAPEK    bool
-	Duration sim.Time
+	Scenario  string
+	Seed      uint64
+	MAPEK     bool
+	Duration  sim.Time
+	TickEvery sim.Time
 
 	// Request outcomes: OK on the first attempt, Recovered via retries,
 	// Lost after exhausting them. AttemptFailures counts every failed
@@ -87,6 +88,14 @@ type Report struct {
 	// bytes differ is listed.
 	ComparedCells  int
 	DivergentCells []string
+
+	// Migration section (set when the scenario carried DrainDevice
+	// events): per-drain pre-copy/catch-up/flip traces, the count of
+	// plan splices attributed to drains, and the state cells flipped to
+	// a new owner without a restore.
+	Drains         []*mirto.DrainReport
+	DrainSplices   int
+	LiveMigrations uint64
 
 	// Registry exposes the headline counters as telemetry for export.
 	Registry *telemetry.Registry
@@ -174,6 +183,28 @@ func (r *Report) Attribution() []trace.LayerStat {
 
 func dur(t sim.Time) string { return time.Duration(t).String() }
 
+// PauseSamples flattens every per-app intake-pause duration across the
+// report's drains (the unavailability a planned drain did impose).
+func (r *Report) PauseSamples() []sim.Time {
+	var out []sim.Time
+	for _, d := range r.Drains {
+		for _, p := range d.Pauses {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ticks expresses a duration in sensing ticks — the unit the drain
+// pause bound is stated in.
+func (r *Report) ticks(t sim.Time) float64 {
+	if r.TickEvery <= 0 {
+		return 0
+	}
+	return float64(t) / float64(r.TickEvery)
+}
+
 // Render formats the report as deterministic text.
 func (r *Report) Render() string {
 	var b strings.Builder
@@ -221,6 +252,33 @@ func (r *Report) Render() string {
 		fmt.Fprintf(&b, "  divergence: compared=%d divergent=%d\n", r.ComparedCells, len(r.DivergentCells))
 		for _, cell := range r.DivergentCells {
 			fmt.Fprintf(&b, "    ! state diverged: %s\n", cell)
+		}
+	}
+	if len(r.Drains) > 0 {
+		pp50, pp95 := quantiles(r.PauseSamples())
+		fmt.Fprintf(&b, "  migration: drains=%d splices=%d live_migrations=%d pause_p50=%s pause_p95=%s (%.2f ticks)\n",
+			len(r.Drains), r.DrainSplices, r.LiveMigrations, dur(pp50), dur(pp95), r.ticks(pp95))
+		for _, d := range r.Drains {
+			status := "completed"
+			if d.Aborted {
+				status = "aborted: " + d.Reason
+			}
+			fmt.Fprintf(&b, "    drain %s: took=%s moved=%d %s\n",
+				d.Device, dur(d.Finished-d.Started), d.Moved, status)
+			for _, sm := range d.Stages {
+				fmt.Fprintf(&b, "      %s/%s %s->%s flipped=%v rounds=%d precopy_bytes=%d delta_bytes=%d residuals=%v final_delta=%d\n",
+					sm.App, sm.Stage, sm.From, sm.To, sm.Flipped, sm.Rounds,
+					sm.PrecopyBytes, sm.DeltaBytes, sm.Residuals, sm.FinalDelta)
+			}
+			apps := make([]string, 0, len(d.Pauses))
+			for app := range d.Pauses {
+				apps = append(apps, app)
+			}
+			sort.Strings(apps)
+			for _, app := range apps {
+				fmt.Fprintf(&b, "      pause %s: %s (%.2f ticks) parked=%d\n",
+					app, dur(d.Pauses[app]), r.ticks(d.Pauses[app]), d.Parked[app])
+			}
 		}
 	}
 	if att := r.Attribution(); len(att) > 0 {

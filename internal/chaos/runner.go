@@ -75,6 +75,9 @@ type runner struct {
 	// ss is the stateful-stage state store (nil unless cfg.Stateful):
 	// fault events stamp crash times on it for honest RTO measurement.
 	ss *mirto.StateStore
+	// mig executes planned drains (nil unless cfg.MAPEK — live migration
+	// needs the self-healing stack to replan around the cordon).
+	mig *mirto.Migrator
 
 	rep *Report
 }
@@ -188,9 +191,15 @@ func runOnce(sc Scenario, cfg Config) (*Report, error) {
 	if ss != nil {
 		fd.SetStateStore(ss)
 	}
+	var mig *mirto.Migrator
+	if cfg.MAPEK {
+		mig = mirto.NewMigrator(o)
+		mig.SetDetector(fd)
+		mig.SetKB(c.KB)
+	}
 
 	r := &runner{
-		c: c, o: o, app: plan.App, ss: ss,
+		c: c, o: o, app: plan.App, ss: ss, mig: mig,
 		crashTarget:   map[string]string{},
 		isolateTarget: map[string]string{},
 		savedLinks:    map[string][]network.Link{},
@@ -198,7 +207,8 @@ func runOnce(sc Scenario, cfg Config) (*Report, error) {
 		failedLayer:   map[string][]string{},
 		rep: &Report{
 			Scenario: sc.Name, Seed: cfg.Seed, MAPEK: cfg.MAPEK, Duration: sc.Duration,
-			Stateful: cfg.Stateful, Checkpoint: cfg.Stateful && !cfg.NoCheckpoint,
+			TickEvery: cfg.TickEvery,
+			Stateful:  cfg.Stateful, Checkpoint: cfg.Stateful && !cfg.NoCheckpoint,
 			attribution: map[trace.Layer]*trace.LayerStat{},
 		},
 	}
@@ -313,6 +323,7 @@ func runOnce(sc Scenario, cfg Config) (*Report, error) {
 		rep.Invalidations = sst.Invalidations
 		rep.CleanMigrations = sst.CleanMigrations
 		rep.RPOItems = sst.RPOItems
+		rep.LiveMigrations = sst.LiveMigrations
 		rep.JournalReplayed = sst.JournalReplayed
 		rep.JournalEvicted = sst.JournalEvicted
 		rep.RTOSamples = sst.RTOSamples
@@ -344,6 +355,11 @@ func runOnce(sc Scenario, cfg Config) (*Report, error) {
 			case "delta":
 				rep.DeltaReplans++
 				rep.DeltaCost = append(rep.DeltaCost, ev.Scored)
+			case "drain":
+				// Migration flips splice the plan too, but they are planned
+				// maintenance, not healing — reported in the migration
+				// section, not the replan-mode attribution.
+				rep.DrainSplices++
 			default:
 				rep.FullReplans++
 				rep.FullCost = append(rep.FullCost, ev.Scored)
@@ -568,6 +584,22 @@ func (r *runner) apply(ev Event) error {
 		for i := 0; i < ev.Messages; i++ {
 			r.c.Broker.Publish(pub, "chaos/noise", payload, "") //nolint:errcheck
 		}
+
+	case DrainDevice:
+		if r.mig == nil {
+			return fmt.Errorf("planned drain needs the MAPE-K stack (run with -mapek)")
+		}
+		dev, err := r.resolve(ev.Target)
+		if err != nil {
+			return err
+		}
+		// The drain runs asynchronously (pre-copy rounds ride the fabric);
+		// its report lands on completion, aborted or not. A mid-drain crash
+		// of the device shows up as an aborted drain plus the normal
+		// crash-restore path taking over.
+		return r.mig.Drain(dev, func(dr *mirto.DrainReport, _ error) {
+			r.rep.Drains = append(r.rep.Drains, dr)
+		})
 
 	default:
 		return fmt.Errorf("unknown event kind %q", ev.Kind)

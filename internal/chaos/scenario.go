@@ -43,6 +43,12 @@ const (
 	// BrokerBurst floods the pub/sub broker with Messages × Bytes noise
 	// published from the target device, loading its real uplinks.
 	BrokerBurst Kind = "broker-burst"
+	// DrainDevice starts a planned drain of the target device: the
+	// migrator cordons it and live-migrates every resident stateful
+	// stage (pre-copy → catch-up → flip) with zero request loss. The
+	// maintenance event the MYRTUS continuum's any-tier mobility story
+	// promises — as opposed to DeviceCrash's unplanned recovery.
+	DrainDevice Kind = "drain-device"
 )
 
 // Event is one timed fault. Target is a device name, a layer name (for

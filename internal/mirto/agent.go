@@ -24,6 +24,7 @@ type Agent struct {
 
 	mu     sync.Mutex
 	tokens map[string]Role
+	mg     *Migrator
 
 	mux *http.ServeMux
 }
@@ -52,6 +53,8 @@ func NewAgent(o *Orchestrator, tokens map[string]Role) *Agent {
 	mux.HandleFunc("GET /v1/registry", a.requireRole(RoleViewer, a.handleRegistry))
 	mux.HandleFunc("GET /v1/kpis/{app}", a.requireRole(RoleViewer, a.handleKPIs))
 	mux.HandleFunc("POST /v1/rebalance/{layer}", a.requireRole(RoleAdmin, a.handleRebalance))
+	mux.HandleFunc("POST /v1/drain/{device}", a.requireRole(RoleAdmin, a.handleDrain))
+	mux.HandleFunc("DELETE /v1/drain/{device}", a.requireRole(RoleAdmin, a.handleUndrain))
 	mux.HandleFunc("GET /v1/traces", a.requireRole(RoleViewer, a.handleTraces))
 	mux.HandleFunc("GET /v1/traces/{id}", a.requireRole(RoleViewer, a.handleTrace))
 	a.mux = mux
@@ -61,6 +64,24 @@ func NewAgent(o *Orchestrator, tokens map[string]Role) *Agent {
 // ServeHTTP implements http.Handler.
 func (a *Agent) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	a.mux.ServeHTTP(w, r)
+}
+
+// SetMigrator attaches the live-migration engine the drain endpoints
+// use (one is built on demand otherwise).
+func (a *Agent) SetMigrator(mg *Migrator) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.mg = mg
+}
+
+func (a *Agent) migrator() *Migrator {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.mg == nil {
+		a.mg = NewMigrator(a.o)
+		a.mg.SetKB(a.o.M.C.KB)
+	}
+	return a.mg
 }
 
 // GrantToken registers a token at runtime.
@@ -257,6 +278,79 @@ func (a *Agent) handleRebalance(w http.ResponseWriter, r *http.Request) {
 		"maxRelLoadBefore": res.MaxRelLoadBefore,
 		"maxRelLoadAfter":  res.MaxRelLoadAfter,
 	})
+}
+
+// drainView is the JSON shape of a completed drain report.
+type drainView struct {
+	Device  string            `json:"device"`
+	Aborted bool              `json:"aborted"`
+	Reason  string            `json:"reason,omitempty"`
+	Took    string            `json:"took"`
+	Moved   int               `json:"moved"`
+	Stages  []stageDrainView  `json:"stages"`
+	Pauses  map[string]string `json:"pauses"`
+	Parked  map[string]int    `json:"parked"`
+}
+
+type stageDrainView struct {
+	App          string `json:"app"`
+	Stage        string `json:"stage"`
+	From         string `json:"from"`
+	To           string `json:"to"`
+	Flipped      bool   `json:"flipped"`
+	Rounds       int    `json:"rounds"`
+	Residuals    []int  `json:"residuals,omitempty"`
+	PrecopyBytes int64  `json:"precopyBytes"`
+	DeltaBytes   int64  `json:"deltaBytes"`
+	FinalDelta   int    `json:"finalDelta"`
+}
+
+func viewOfDrain(dr *DrainReport) drainView {
+	v := drainView{
+		Device: dr.Device, Aborted: dr.Aborted, Reason: dr.Reason,
+		Took: (dr.Finished - dr.Started).String(), Moved: dr.Moved,
+		Stages: []stageDrainView{}, Pauses: map[string]string{}, Parked: dr.Parked,
+	}
+	for _, sm := range dr.Stages {
+		v.Stages = append(v.Stages, stageDrainView{
+			App: sm.App, Stage: sm.Stage, From: sm.From, To: sm.To,
+			Flipped: sm.Flipped, Rounds: sm.Rounds, Residuals: sm.Residuals,
+			PrecopyBytes: sm.PrecopyBytes, DeltaBytes: sm.DeltaBytes, FinalDelta: sm.FinalDelta,
+		})
+	}
+	for app, p := range dr.Pauses {
+		v.Pauses[app] = p.String()
+	}
+	return v
+}
+
+// handleDrain starts a planned drain of the device and drives the
+// simulation until it completes — the agent fronts a simulated
+// continuum, so virtual time is the handler's to advance. The response
+// is the full migration trace; an aborted drain still returns 200 with
+// aborted=true (the recovery path owns the aftermath).
+func (a *Agent) handleDrain(w http.ResponseWriter, r *http.Request) {
+	device := r.PathValue("device")
+	var rep *DrainReport
+	err := a.migrator().Drain(device, func(dr *DrainReport, _ error) { rep = dr })
+	if err != nil {
+		writeError(w, http.StatusConflict, err.Error())
+		return
+	}
+	a.o.M.C.Engine.Run()
+	if rep == nil {
+		writeError(w, http.StatusInternalServerError, "drain did not complete")
+		return
+	}
+	writeJSON(w, http.StatusOK, viewOfDrain(rep))
+}
+
+// handleUndrain lifts a completed drain's cordon, making the device
+// schedulable again.
+func (a *Agent) handleUndrain(w http.ResponseWriter, r *http.Request) {
+	device := r.PathValue("device")
+	a.migrator().Undrain(device)
+	writeJSON(w, http.StatusOK, map[string]string{"undrained": device})
 }
 
 func (a *Agent) handleTraces(w http.ResponseWriter, r *http.Request) {

@@ -332,3 +332,69 @@ func TestAgentTraceEndpoints(t *testing.T) {
 		t.Fatalf("unknown trace = %d", resp.StatusCode)
 	}
 }
+
+func TestAgentDrainEndpoints(t *testing.T) {
+	a, srv := newTestAgent(t)
+	// Give the orchestrator the stateful stack so the drain has cells
+	// to live-migrate.
+	ss := NewStateStore(0)
+	a.o.R.SetStateStore(ss)
+	a.o.CP = NewCheckpointer(a.o.R, a.o.M.C.KB, "cloud-srv-0", 0)
+	resp, _ := doReq(t, "POST", srv.URL+"/v1/deployments", "admin-token", "application/x-yaml", []byte(drainAppYAML))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("deploy = %d", resp.StatusCode)
+	}
+	// Feed the aggregator cell so the pre-copy ships real state.
+	for i := 0; i < 5; i++ {
+		a.o.R.Submit("drainapp", 1, nil) //nolint:errcheck
+	}
+	a.o.M.C.Engine.Run()
+	plan, _ := a.o.PlanFor("drainapp")
+	agg, _ := plan.Assignment("aggregator")
+
+	// Drains are admin-only.
+	resp, _ = doReq(t, "POST", srv.URL+"/v1/drain/"+agg.Device, "viewer-token", "", nil)
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("viewer drain = %d", resp.StatusCode)
+	}
+	resp, body := doReq(t, "POST", srv.URL+"/v1/drain/"+agg.Device, "admin-token", "", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("drain = %d %v", resp.StatusCode, body)
+	}
+	if body["aborted"] != false || body["device"] != agg.Device {
+		t.Fatalf("drain body = %v", body)
+	}
+	stages, _ := body["stages"].([]any)
+	if len(stages) == 0 {
+		t.Fatalf("drain migrated no stages: %v", body)
+	}
+	flipped := false
+	for _, s := range stages {
+		sm := s.(map[string]any)
+		if sm["flipped"] == true {
+			flipped = true
+			if sm["precopyBytes"].(float64) == 0 {
+				t.Fatalf("flipped stage shipped no bytes: %v", sm)
+			}
+		}
+	}
+	if !flipped {
+		t.Fatalf("no stage flipped: %v", stages)
+	}
+	np, _ := a.o.PlanFor("drainapp")
+	nagg, _ := np.Assignment("aggregator")
+	if nagg.Device == agg.Device {
+		t.Fatal("aggregator still on the drained device")
+	}
+
+	// Unknown device is a conflict, not a crash.
+	resp, _ = doReq(t, "POST", srv.URL+"/v1/drain/no-such-device", "admin-token", "", nil)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("unknown drain = %d", resp.StatusCode)
+	}
+	// Undrain lifts the cordon.
+	resp, body = doReq(t, "DELETE", srv.URL+"/v1/drain/"+agg.Device, "admin-token", "", nil)
+	if resp.StatusCode != http.StatusOK || body["undrained"] != agg.Device {
+		t.Fatalf("undrain = %d %v", resp.StatusCode, body)
+	}
+}

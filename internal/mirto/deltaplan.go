@@ -144,7 +144,7 @@ func (m *Manager) DeltaPlan(old *Plan, dirty map[string]bool) (*Plan, DeltaStats
 // holds ag's index read lock (batched across consecutive keeps).
 func (m *Manager) keepStageLocked(ag *LayerAgent, sr *stageReq, ps *planScratch, release map[string]cluster.Resources, oldA *Assignment) bool {
 	e := ag.idx.entries[oldA.Device]
-	if e == nil || !e.ready || e.dev.Failed() {
+	if e == nil || !e.ready || e.cordoned || e.dev.Failed() {
 		return false
 	}
 	// Bucket membership, not just device capability: the full planner

@@ -35,6 +35,12 @@ type FailureDetector struct {
 	misses    map[string]int
 	suspected map[string]bool
 
+	// draining devices are quiescing on purpose (live migration's planned
+	// drain): their missed heartbeats are expected, so the detector must
+	// not suspect them — suspicion would trip breakers and force a
+	// spurious full replan in the middle of an orderly hand-off.
+	draining map[string]bool
+
 	suspectedTotal int
 	confirmedTotal int
 	recoveredTotal int
@@ -51,8 +57,25 @@ func NewFailureDetector(c *continuum.Continuum, k int) *FailureDetector {
 		k:         k,
 		misses:    map[string]int{},
 		suspected: map[string]bool{},
+		draining:  map[string]bool{},
 	}
 }
+
+// SetDraining marks a device as intentionally quiescing (or clears the
+// mark). While draining, missed heartbeats are expected: the detector
+// neither counts misses nor suspects the device, so breakers stay
+// closed and no eviction or replan is forced by the drain itself.
+func (fd *FailureDetector) SetDraining(name string, on bool) {
+	if on {
+		fd.draining[name] = true
+		delete(fd.misses, name)
+		return
+	}
+	delete(fd.draining, name)
+}
+
+// Draining reports whether the device is currently marked draining.
+func (fd *FailureDetector) Draining(name string) bool { return fd.draining[name] }
 
 // SetBreakers wires a breaker set into the detector: suspicion trips the
 // device's breaker open, a returning heartbeat resets it closed.
@@ -68,6 +91,9 @@ func (fd *FailureDetector) SetStateStore(ss *StateStore) { fd.stateStore = ss }
 func (fd *FailureDetector) Tick() (suspected, recovered []string) {
 	for _, name := range fd.c.DeviceNames() {
 		d := fd.c.Devices[name]
+		if fd.draining[name] {
+			continue // quiescing on purpose; missed beats are expected
+		}
 		if d.Failed() {
 			fd.misses[name]++
 			switch m := fd.misses[name]; {

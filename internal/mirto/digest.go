@@ -46,7 +46,7 @@ type shardDigest struct {
 func (s *candShard) refresh() {
 	d := shardDigest{minPowerPerCore: math.MaxFloat64}
 	for _, e := range s.entries {
-		if !e.ready {
+		if !e.ready || e.cordoned {
 			continue
 		}
 		d.ready++

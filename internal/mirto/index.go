@@ -16,6 +16,10 @@ type candEntry struct {
 	name  string
 	dev   *device.Device
 	ready bool
+	// cordoned marks a device being drained for live migration: it stays
+	// ready (existing placements keep serving) but the planner must not
+	// place anything new on it, and shard digests treat it as absent.
+	cordoned bool
 	// free is the node's free-resource watermark, maintained by
 	// deploy/teardown/failure events.
 	free cluster.Resources
@@ -67,12 +71,34 @@ type candIndex struct {
 	// bySec buckets shards by supported suite; key "" holds every entry
 	// (negotiations without a security requirement).
 	bySec map[string][]*candShard
+	// cordoned is the authoritative drain set; it survives full rebuilds
+	// (buildLocked re-applies it) and lazy first builds.
+	cordoned map[string]bool
 }
 
 func newCandIndex() *candIndex {
 	return &candIndex{
-		entries: map[string]*candEntry{},
-		bySec:   map[string][]*candShard{},
+		entries:  map[string]*candEntry{},
+		bySec:    map[string][]*candShard{},
+		cordoned: map[string]bool{},
+	}
+}
+
+// SetCordon marks (or clears) a device as cordoned in this layer's
+// index: digests and entry filters exclude it, so new placements route
+// around it while existing pods keep serving. A device the layer does
+// not hold is recorded anyway — a later build or insert honors the set.
+func (a *LayerAgent) SetCordon(device string, on bool) {
+	a.idx.mu.Lock()
+	defer a.idx.mu.Unlock()
+	if on {
+		a.idx.cordoned[device] = true
+	} else {
+		delete(a.idx.cordoned, device)
+	}
+	if e := a.idx.entries[device]; e != nil {
+		e.cordoned = on
+		a.refreshDigestsLocked(device)
 	}
 }
 
@@ -127,6 +153,7 @@ func (a *LayerAgent) refreshLocked(node string) {
 		a.insertLocked(e, n.SecurityLevels)
 	}
 	e.ready = n.Ready
+	e.cordoned = a.idx.cordoned[node]
 	if free, ok := a.cl.FreeOn(node); ok {
 		e.free = free
 	}
@@ -201,6 +228,7 @@ func (a *LayerAgent) buildLocked() {
 		}
 		e := newEntry(n.Name, d)
 		e.ready = n.Ready
+		e.cordoned = a.idx.cordoned[n.Name]
 		e.free = freeAll[n.Name]
 		e.secLevels = n.SecurityLevels
 		a.idx.entries[n.Name] = e

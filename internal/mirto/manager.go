@@ -113,7 +113,7 @@ func (a *LayerAgent) OffersAppend(dst []Offer, req cluster.Resources, kernel, se
 			continue // digest proves no member fits
 		}
 		for _, e := range sh.entries {
-			if !e.ready || !req.Fits(e.free) || e.dev.Failed() {
+			if !e.ready || e.cordoned || !req.Fits(e.free) || e.dev.Failed() {
 				continue
 			}
 			dst = append(dst, Offer{
@@ -453,6 +453,16 @@ func NewManager(c *continuum.Continuum, goal Goal) *Manager {
 }
 
 func (m *Manager) agents() []*LayerAgent { return []*LayerAgent{m.Edge, m.Fog, m.Cloud} }
+
+// Cordon marks (or clears) a device as cordoned across every layer
+// agent's candidate index: plans, delta replans, and offers exclude it
+// while its existing pods keep serving — the planner half of a live
+// migration's planned drain.
+func (m *Manager) Cordon(device string, on bool) {
+	for _, ag := range m.agents() {
+		ag.SetCordon(device, on)
+	}
+}
 
 // Plan runs deployment-time orchestration for a validated template:
 // for every node template (in dependency order) the WL Manager places

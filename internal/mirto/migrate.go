@@ -1,0 +1,716 @@
+package mirto
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"myrtus/internal/kb"
+	"myrtus/internal/network"
+	"myrtus/internal/sim"
+)
+
+// This file implements live stateful migration: planned drains that
+// move every stage off a device with zero request loss. The protocol
+// per stateful stage is pre-copy → catch-up → flip:
+//
+//	cordon ──► pre-copy ──► catch-up (rounds) ──► pause ──► flip ──► resume
+//	              │               │                            │
+//	              └── old owner keeps serving ─────────────────┘
+//
+// Pre-copy ships the full state-cell image over the fabric (sized by
+// the stage's declared stateMB hint) while the old owner keeps
+// serving; catch-up replays bounded journal deltas in rounds until the
+// residual delta is under Threshold; then intake is paused, the final
+// delta replayed, ownership CAS'd in the KB, and the new placement
+// spliced in via DeltaPlan/ExecuteDelta. Parked and retried requests
+// re-read the flipped plan on resume — they are forwarded to the new
+// owner — and the state store's dedup window keeps applies exactly-once
+// across the flip. If either endpoint crashes mid-migration the drain
+// aborts cleanly: cordon and draining marks are lifted, intake resumes,
+// and the ordinary failure-detector → checkpoint-restore path (PR 5)
+// takes over with no double-apply.
+
+// Migration message kinds on the MYSM wire.
+const (
+	MigratePrecopy byte = 1
+	MigrateDelta   byte = 2
+)
+
+const migrateMagic = "MYSM"
+
+// MigrateMsg is one migration transfer on the fabric: a pre-copy
+// carrying the encoded full image, or a catch-up/final delta carrying
+// journal entries from BasePos.
+type MigrateMsg struct {
+	Kind       byte
+	App, Stage string
+	From, To   string
+	Round      uint32
+	// BasePos is the journal total position the payload starts at (the
+	// pre-copy snapshot position, or a delta's first entry).
+	BasePos uint64
+	// Image is the encoded MYSF full image (pre-copy only).
+	Image []byte
+	// Entries are the journal entries of a delta (delta only).
+	Entries []JournalEntry
+}
+
+// EncodeMigrate renders a migration message in the MYSM framing: magic,
+// version, fields, CRC-32 trailer — same discipline as MYSF/MYSD.
+func EncodeMigrate(m *MigrateMsg) []byte {
+	b := make([]byte, 0, 64+len(m.Image)+24*len(m.Entries))
+	b = append(b, migrateMagic...)
+	b = append(b, stateCodecV1)
+	b = append(b, m.Kind)
+	b = appendString(b, m.App)
+	b = appendString(b, m.Stage)
+	b = appendString(b, m.From)
+	b = appendString(b, m.To)
+	b = appendU32(b, m.Round)
+	b = appendU64(b, m.BasePos)
+	b = appendU32(b, uint32(len(m.Image)))
+	b = append(b, m.Image...)
+	b = appendU32(b, uint32(len(m.Entries)))
+	for _, e := range m.Entries {
+		b = appendU64(b, e.ReqID)
+		b = appendU64(b, uint64(e.Items))
+		b = appendU64(b, uint64(e.At))
+	}
+	return appendCRC(b)
+}
+
+// u8 reads one byte from a record.
+func (r *recReader) u8() (byte, error) {
+	if r.pos+1 > len(r.b) {
+		return 0, fmt.Errorf("mirto: state record truncated at offset %d", r.pos)
+	}
+	v := r.b[r.pos]
+	r.pos++
+	return v, nil
+}
+
+// DecodeMigrate parses a migration message, rejecting bad magic,
+// version, kind, bound overruns, trailing garbage, and CRC mismatches.
+func DecodeMigrate(data []byte) (*MigrateMsg, error) {
+	r, err := openRecord(data, migrateMagic)
+	if err != nil {
+		return nil, err
+	}
+	m := &MigrateMsg{}
+	if m.Kind, err = r.u8(); err != nil {
+		return nil, err
+	}
+	if m.Kind != MigratePrecopy && m.Kind != MigrateDelta {
+		return nil, fmt.Errorf("mirto: unknown migrate message kind %d", m.Kind)
+	}
+	for _, dst := range []*string{&m.App, &m.Stage, &m.From, &m.To} {
+		if *dst, err = r.str(); err != nil {
+			return nil, err
+		}
+	}
+	if m.Round, err = r.u32(); err != nil {
+		return nil, err
+	}
+	if m.BasePos, err = r.u64(); err != nil {
+		return nil, err
+	}
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxCodecList || r.pos+int(n) > len(r.b) {
+		return nil, fmt.Errorf("mirto: migrate image length %d out of bounds", n)
+	}
+	if n > 0 {
+		m.Image = append([]byte(nil), r.b[r.pos:r.pos+int(n)]...)
+		r.pos += int(n)
+	}
+	if n, err = r.u32(); err != nil {
+		return nil, err
+	}
+	if n > maxCodecList {
+		return nil, fmt.Errorf("mirto: migrate entry count %d exceeds bound", n)
+	}
+	for i := uint32(0); i < n; i++ {
+		var e JournalEntry
+		var u uint64
+		if e.ReqID, err = r.u64(); err != nil {
+			return nil, err
+		}
+		if u, err = r.u64(); err != nil {
+			return nil, err
+		}
+		e.Items = int64(u)
+		if u, err = r.u64(); err != nil {
+			return nil, err
+		}
+		e.At = sim.Time(u)
+		m.Entries = append(m.Entries, e)
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	if m.Kind == MigratePrecopy && len(m.Image) == 0 {
+		return nil, fmt.Errorf("mirto: pre-copy message without image")
+	}
+	if m.Kind == MigrateDelta && len(m.Image) != 0 {
+		return nil, fmt.Errorf("mirto: delta message carries an image")
+	}
+	return m, nil
+}
+
+// StageMigration records one stateful stage's hand-off inside a drain.
+type StageMigration struct {
+	App, Stage string
+	From, To   string
+	// Rounds is the number of catch-up delta rounds run; Residuals the
+	// residual journal size observed at each round boundary (the last one
+	// is what the pause replayed).
+	Rounds    int
+	Residuals []int
+	// PrecopyBytes are the fabric bytes the full-image transfers moved
+	// (stateMB hint + encoded image); DeltaBytes the catch-up plus final
+	// delta payload bytes.
+	PrecopyBytes int64
+	DeltaBytes   int64
+	// FinalDelta is the number of entries replayed during the pause.
+	FinalDelta int
+	// Flipped marks a completed ownership hand-off.
+	Flipped bool
+
+	pos uint64 // journal position already covered by pre-copy/catch-up
+}
+
+// DrainReport summarizes one planned drain.
+type DrainReport struct {
+	Device   string
+	Started  sim.Time
+	Finished sim.Time
+	// Stages are the stateful stage migrations, in app/stage order.
+	Stages []*StageMigration
+	// Pauses is each app's measured intake-pause duration; Parked how
+	// many submits were held (and replayed) during it.
+	Pauses map[string]sim.Time
+	Parked map[string]int
+	// Moved counts assignments moved off the device across all apps.
+	Moved   int
+	Aborted bool
+	Reason  string
+}
+
+// PauseMax returns the longest per-app intake pause of the drain.
+func (dr *DrainReport) PauseMax() sim.Time {
+	var max sim.Time
+	for _, p := range dr.Pauses {
+		if p > max {
+			max = p
+		}
+	}
+	return max
+}
+
+// ownKey is the KB key recording a stage's state-cell owner; the flip
+// CASes it so two concurrent movers cannot both win.
+func ownKey(app, stage string) string { return "mirto/own/" + app + "/" + stage }
+
+// Migrator drives planned drains over an orchestrator: Drain(device)
+// cordons the device and live-migrates every resident stateful stage
+// with the pre-copy → catch-up → flip protocol, then splices the new
+// placement. All progress rides the sim engine; callbacks fire on the
+// engine goroutine like every other subsystem.
+type Migrator struct {
+	o  *Orchestrator
+	fd *FailureDetector
+	kb kb.Backend
+
+	// Threshold is the residual journal size (entries) at which catch-up
+	// stops and the flip pauses intake — it bounds the pause: the final
+	// delta replayed under pause is at most Threshold entries (plus the
+	// handful applied during the last inter-round gap). Default 4.
+	Threshold int
+	// MaxRounds caps catch-up rounds so a write rate that outruns the
+	// fabric cannot stall the drain forever; the flip then pauses with
+	// whatever residual remains. Default 16.
+	MaxRounds int
+	// RoundEvery is the virtual-time gap between catch-up rounds.
+	// Default 250ms.
+	RoundEvery sim.Time
+
+	mu      sync.Mutex
+	active  map[string]bool
+	reports []*DrainReport
+}
+
+// NewMigrator builds a migrator over the orchestrator (shares its
+// manager, runtime, and checkpointer).
+func NewMigrator(o *Orchestrator) *Migrator {
+	return &Migrator{
+		o:          o,
+		Threshold:  4,
+		MaxRounds:  16,
+		RoundEvery: 250 * sim.Millisecond,
+		active:     map[string]bool{},
+	}
+}
+
+// SetDetector wires the failure detector so a draining device's missed
+// heartbeats are treated as expected (no suspicion, no breaker trip).
+func (mg *Migrator) SetDetector(fd *FailureDetector) { mg.fd = fd }
+
+// SetKB wires the ownership ledger: each flip CASes the stage's owner
+// key, so a racing mover aborts instead of double-flipping.
+func (mg *Migrator) SetKB(store kb.Backend) { mg.kb = store }
+
+// Reports returns the completed drain reports in start order.
+func (mg *Migrator) Reports() []*DrainReport {
+	mg.mu.Lock()
+	defer mg.mu.Unlock()
+	return append([]*DrainReport(nil), mg.reports...)
+}
+
+func (mg *Migrator) failed(name string) bool {
+	d := mg.o.M.C.Devices[name]
+	return d == nil || d.Failed()
+}
+
+// Drain cordons device and live-migrates every resident stage; done
+// fires in virtual time with the drain report. The synchronous error
+// covers immediate rejections (unknown device, drain already active).
+// On success the device stays cordoned and draining — empty, excluded
+// from planning, safe to shut down; Undrain reverses that. On abort
+// (endpoint crash, no capacity, lost ownership race) every mark is
+// lifted and the ordinary recovery path owns whatever follows.
+func (mg *Migrator) Drain(device string, done func(*DrainReport, error)) error {
+	eng := mg.o.M.C.Engine
+	if d := mg.o.M.C.Devices[device]; d == nil {
+		return fmt.Errorf("mirto: unknown device %q", device)
+	}
+	mg.mu.Lock()
+	if mg.active[device] {
+		mg.mu.Unlock()
+		return fmt.Errorf("mirto: device %q already draining", device)
+	}
+	mg.active[device] = true
+	mg.mu.Unlock()
+
+	rep := &DrainReport{
+		Device:  device,
+		Started: eng.Now(),
+		Pauses:  map[string]sim.Time{},
+		Parked:  map[string]int{},
+	}
+	if mg.fd != nil {
+		mg.fd.SetDraining(device, true)
+	}
+	mg.o.M.Cordon(device, true)
+
+	// Apps with assignments on the device, in deterministic order.
+	var apps []string
+	for _, p := range mg.o.Plans() {
+		for i := range p.Assignments {
+			if p.Assignments[i].Device == device {
+				apps = append(apps, p.App)
+				break
+			}
+		}
+	}
+	sort.Strings(apps)
+
+	idx := 0
+	var nextApp func()
+	nextApp = func() {
+		if idx == len(apps) {
+			mg.finish(rep, nil, done)
+			return
+		}
+		app := apps[idx]
+		idx++
+		mg.drainApp(app, device, rep, func(err error) {
+			if err != nil {
+				mg.finish(rep, err, done)
+				return
+			}
+			nextApp()
+		})
+	}
+	eng.After(0, nextApp)
+	return nil
+}
+
+// Undrain lifts a completed drain's cordon and draining marks, making
+// the device schedulable again.
+func (mg *Migrator) Undrain(device string) {
+	mg.mu.Lock()
+	delete(mg.active, device)
+	mg.mu.Unlock()
+	mg.o.M.Cordon(device, false)
+	if mg.fd != nil {
+		mg.fd.SetDraining(device, false)
+	}
+}
+
+// finish seals the report; an abort lifts the cordon and draining marks
+// so the ordinary failure-handling path (detector suspicion, breaker
+// trips, checkpoint restore) resumes authority over the device.
+func (mg *Migrator) finish(rep *DrainReport, err error, done func(*DrainReport, error)) {
+	rep.Finished = mg.o.M.C.Engine.Now()
+	if err != nil {
+		rep.Aborted = true
+		rep.Reason = err.Error()
+		mg.o.M.Cordon(rep.Device, false)
+		if mg.fd != nil {
+			mg.fd.SetDraining(rep.Device, false)
+		}
+		mg.mu.Lock()
+		delete(mg.active, rep.Device)
+		mg.mu.Unlock()
+	}
+	mg.mu.Lock()
+	mg.reports = append(mg.reports, rep)
+	mg.mu.Unlock()
+	if done != nil {
+		done(rep, err)
+	}
+}
+
+// drainApp live-migrates one app off the device: DeltaPlan picks the
+// destinations (the cordon guarantees they avoid the device), each
+// resident stateful stage runs pre-copy + catch-up while the old owner
+// keeps serving, then flipApp pauses intake and commits the move.
+func (mg *Migrator) drainApp(app, device string, rep *DrainReport, done func(error)) {
+	o := mg.o
+	plan, ok := o.PlanFor(app)
+	if !ok {
+		done(nil)
+		return
+	}
+	dirty := map[string]bool{}
+	for i := range plan.Assignments {
+		if plan.Assignments[i].Device == device {
+			dirty[plan.Assignments[i].TemplateNode] = true
+		}
+	}
+	if len(dirty) == 0 {
+		done(nil)
+		return
+	}
+	np, stats, err := o.M.DeltaPlan(plan, dirty)
+	if err != nil {
+		done(fmt.Errorf("mirto: drain %s: no placement off %s: %w", app, device, err))
+		return
+	}
+
+	// Resident stateful stages whose cell lives on the device get the
+	// full protocol; everything else just moves at the flip.
+	ss := o.R.StateStore()
+	statefulSet := plan.StatefulStages()
+	var stages []string
+	for stage := range dirty {
+		if statefulSet[stage] {
+			stages = append(stages, stage)
+		}
+	}
+	sort.Strings(stages)
+
+	// Record the ownership intent: the current owner at the drain's
+	// start, at a revision the flip's CAS must still observe.
+	revs := map[string]int64{}
+	if mg.kb != nil {
+		for _, stage := range stages {
+			revs[stage] = mg.kb.Put(ownKey(app, stage), []byte(device))
+		}
+	}
+
+	sms := map[string]*StageMigration{}
+	for _, stage := range stages {
+		to := ""
+		if a, ok := np.Assignment(stage); ok {
+			to = a.Device
+		}
+		sm := &StageMigration{App: app, Stage: stage, From: device, To: to}
+		sms[stage] = sm
+		rep.Stages = append(rep.Stages, sm)
+	}
+
+	idx := 0
+	var nextStage func()
+	nextStage = func() {
+		if idx == len(stages) {
+			mg.flipApp(app, device, plan, np, stats, revs, sms, rep, done)
+			return
+		}
+		stage := stages[idx]
+		idx++
+		if ss == nil {
+			nextStage()
+			return
+		}
+		mg.migrateStage(sms[stage], ss, func(err error) {
+			if err != nil {
+				done(err)
+				return
+			}
+			nextStage()
+		})
+	}
+	nextStage()
+}
+
+// migrateStage runs pre-copy + catch-up for one stage while the old
+// owner keeps serving. It leaves sm.pos at the journal position the
+// flip's final delta must start from.
+func (mg *Migrator) migrateStage(sm *StageMigration, ss *StateStore, done func(error)) {
+	eng := mg.o.M.C.Engine
+	fabric := mg.o.M.C.Fabric
+	app, stage := sm.App, sm.Stage
+
+	precopy := func(after func(error)) {
+		if mg.failed(sm.From) || mg.failed(sm.To) {
+			after(fmt.Errorf("mirto: migrate %s/%s: endpoint died before pre-copy", app, stage))
+			return
+		}
+		sm.pos = ss.JournalPos(app, stage)
+		st, lost, ok := ss.State(app, stage)
+		if !ok {
+			after(nil) // no cell yet (no traffic): nothing to pre-copy
+			return
+		}
+		if lost {
+			after(fmt.Errorf("mirto: migrate %s/%s: cell already lost; restore path owns it", app, stage))
+			return
+		}
+		msg := EncodeMigrate(&MigrateMsg{
+			Kind: MigratePrecopy, App: app, Stage: stage,
+			From: sm.From, To: sm.To, BasePos: sm.pos, Image: EncodeState(&st),
+		})
+		// Like checkpoints, the declared stateMB hint models the real
+		// aggregate payload on top of the compact encoded counters.
+		size := int64(ss.Hint(app, stage)*1e6) + int64(len(msg))
+		sm.PrecopyBytes += size
+		err := fabric.Send(sm.From, sm.To, size, network.Options{Retries: 3}, func(err error) {
+			if err != nil {
+				after(fmt.Errorf("mirto: migrate %s/%s: pre-copy transfer: %w", app, stage, err))
+				return
+			}
+			if _, derr := DecodeMigrate(msg); derr != nil {
+				after(fmt.Errorf("mirto: migrate %s/%s: pre-copy rejected: %w", app, stage, derr))
+				return
+			}
+			after(nil)
+		})
+		if err != nil {
+			after(fmt.Errorf("mirto: migrate %s/%s: pre-copy send: %w", app, stage, err))
+		}
+	}
+
+	var catchup func()
+	catchup = func() {
+		if mg.failed(sm.From) || mg.failed(sm.To) {
+			done(fmt.Errorf("mirto: migrate %s/%s: endpoint died during catch-up", app, stage))
+			return
+		}
+		ents, newPos, covered := ss.JournalSince(app, stage, sm.pos)
+		if !covered {
+			// The bounded journal evicted entries past our position: the
+			// copied image has holes. Start over with a fresh pre-copy —
+			// counted as a round so a hot cell cannot loop silently.
+			sm.Rounds++
+			sm.Residuals = append(sm.Residuals, -1)
+			if sm.Rounds > mg.MaxRounds {
+				done(fmt.Errorf("mirto: migrate %s/%s: journal outran pre-copy %d times", app, stage, sm.Rounds))
+				return
+			}
+			precopy(func(err error) {
+				if err != nil {
+					done(err)
+					return
+				}
+				eng.After(mg.RoundEvery, catchup)
+			})
+			return
+		}
+		sm.Residuals = append(sm.Residuals, len(ents))
+		if len(ents) <= mg.Threshold || sm.Rounds >= mg.MaxRounds {
+			// Converged (or capped): the residual is the pause's final delta.
+			done(nil)
+			return
+		}
+		sm.Rounds++
+		msg := EncodeMigrate(&MigrateMsg{
+			Kind: MigrateDelta, App: app, Stage: stage,
+			From: sm.From, To: sm.To, Round: uint32(sm.Rounds),
+			BasePos: sm.pos, Entries: ents,
+		})
+		sm.DeltaBytes += int64(len(msg))
+		sm.pos = newPos
+		err := fabric.Send(sm.From, sm.To, int64(len(msg)), network.Options{Retries: 3}, func(err error) {
+			if err != nil {
+				done(fmt.Errorf("mirto: migrate %s/%s: catch-up transfer: %w", app, stage, err))
+				return
+			}
+			eng.After(mg.RoundEvery, catchup)
+		})
+		if err != nil {
+			done(fmt.Errorf("mirto: migrate %s/%s: catch-up send: %w", app, stage, err))
+		}
+	}
+
+	precopy(func(err error) {
+		if err != nil {
+			done(err)
+			return
+		}
+		eng.After(mg.RoundEvery, catchup)
+	})
+}
+
+// flipApp is the commit point: pause intake, replay each stage's final
+// delta, CAS ownership in the KB, splice the new placement, flip the
+// state cells, resume intake. The pause is bounded by the final deltas
+// (≤ Threshold entries each) — pre-copy and catch-up already moved the
+// bulk while serving.
+func (mg *Migrator) flipApp(app, device string, plan, np *Plan, stats DeltaStats,
+	revs map[string]int64, sms map[string]*StageMigration, rep *DrainReport, done func(error)) {
+	o := mg.o
+	eng := o.M.C.Engine
+	fabric := o.M.C.Fabric
+	ss := o.R.StateStore()
+
+	if mg.failed(device) {
+		done(fmt.Errorf("mirto: drain %s: %s died before the flip", app, device))
+		return
+	}
+	pauseStart := eng.Now()
+	o.R.PauseIntake(app)
+	abort := func(err error) {
+		o.R.ResumeIntake(app)
+		done(err)
+	}
+
+	stages := make([]string, 0, len(sms))
+	for stage := range sms {
+		stages = append(stages, stage)
+	}
+	sort.Strings(stages)
+
+	commit := func() {
+		// Atomic ownership flip: the ledger must still hold the revision we
+		// wrote at drain start, or another mover got there first.
+		if mg.kb != nil {
+			for _, stage := range stages {
+				if _, ok := mg.kb.CAS(ownKey(app, stage), revs[stage], []byte(sms[stage].To)); !ok {
+					abort(fmt.Errorf("mirto: drain %s/%s: ownership CAS lost", app, stage))
+					return
+				}
+			}
+		}
+		// The MAPE-K loop may have replanned while we copied: recompute the
+		// destination plan against the current one. State stays correct
+		// either way — the store is authoritative — only placement differs.
+		cur, ok := o.PlanFor(app)
+		if !ok {
+			abort(fmt.Errorf("mirto: drain %s: app undeployed mid-drain", app))
+			return
+		}
+		if cur != plan {
+			dirty := map[string]bool{}
+			for i := range cur.Assignments {
+				if cur.Assignments[i].Device == device {
+					dirty[cur.Assignments[i].TemplateNode] = true
+				}
+			}
+			if len(dirty) > 0 {
+				np2, stats2, err := o.M.DeltaPlan(cur, dirty)
+				if err != nil {
+					abort(fmt.Errorf("mirto: drain %s: replacement plan after mid-drain replan: %w", app, err))
+					return
+				}
+				np, stats = np2, stats2
+			} else {
+				np, stats = cur, DeltaStats{} // a replan already moved everything off
+			}
+		}
+		if np != cur {
+			if err := o.M.ExecuteDelta(cur, np); err != nil {
+				abort(fmt.Errorf("mirto: drain %s: splice: %w", app, err))
+				return
+			}
+			o.mu.Lock()
+			o.plans[app] = np
+			o.mu.Unlock()
+			o.R.Register(np)
+		}
+		if ss != nil {
+			for _, stage := range stages {
+				sm := sms[stage]
+				if a, ok := np.Assignment(stage); ok {
+					sm.To = a.Device
+				}
+				if ss.CompleteMigration(app, stage, sm.To) {
+					sm.Flipped = true
+				}
+			}
+		}
+		if o.CP != nil {
+			o.CP.Sync()
+		}
+		o.recordReplan(ReplanEvent{
+			App: app, Mode: "drain",
+			Scored: stats.Scored, Kept: stats.Kept, Moved: stats.Moved,
+		})
+		rep.Moved += stats.Moved
+		rep.Parked[app] = o.R.ResumeIntake(app)
+		rep.Pauses[app] = eng.Now() - pauseStart
+		done(nil)
+	}
+
+	// Final deltas, sequentially (each is ≤ Threshold entries).
+	idx := 0
+	var nextFinal func()
+	nextFinal = func() {
+		if ss == nil || idx == len(stages) {
+			commit()
+			return
+		}
+		stage := stages[idx]
+		idx++
+		sm := sms[stage]
+		if mg.failed(sm.From) || mg.failed(sm.To) {
+			abort(fmt.Errorf("mirto: migrate %s/%s: endpoint died at the flip", app, stage))
+			return
+		}
+		ents, newPos, covered := ss.JournalSince(app, stage, sm.pos)
+		if !covered {
+			abort(fmt.Errorf("mirto: migrate %s/%s: journal outran the flip", app, stage))
+			return
+		}
+		sm.FinalDelta = len(ents)
+		sm.pos = newPos
+		if len(ents) == 0 {
+			nextFinal()
+			return
+		}
+		msg := EncodeMigrate(&MigrateMsg{
+			Kind: MigrateDelta, App: app, Stage: stage,
+			From: sm.From, To: sm.To, Round: uint32(sm.Rounds + 1),
+			BasePos: sm.pos, Entries: ents,
+		})
+		sm.DeltaBytes += int64(len(msg))
+		err := fabric.Send(sm.From, sm.To, int64(len(msg)), network.Options{Retries: 3}, func(err error) {
+			if err != nil {
+				abort(fmt.Errorf("mirto: migrate %s/%s: final delta transfer: %w", app, stage, err))
+				return
+			}
+			if _, derr := DecodeMigrate(msg); derr != nil {
+				abort(fmt.Errorf("mirto: migrate %s/%s: final delta rejected: %w", app, stage, derr))
+				return
+			}
+			nextFinal()
+		})
+		if err != nil {
+			abort(fmt.Errorf("mirto: migrate %s/%s: final delta send: %w", app, stage, err))
+		}
+	}
+	nextFinal()
+}

@@ -1,0 +1,494 @@
+package mirto
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"myrtus/internal/continuum"
+	"myrtus/internal/sim"
+	"myrtus/internal/tosca"
+)
+
+func sampleMigrate(kind byte) *MigrateMsg {
+	m := &MigrateMsg{
+		Kind: kind, App: "app", Stage: "agg",
+		From: "fog-gw-0", To: "cloud-srv-1",
+		Round: 3, BasePos: 17,
+	}
+	if kind == MigratePrecopy {
+		m.Image = EncodeState(&StageState{Stage: "agg", Count: 2, Items: 5, Xor: 7})
+	} else {
+		m.Entries = []JournalEntry{
+			{ReqID: 18, Items: 2, At: 4 * sim.Second},
+			{ReqID: 19, Items: 1, At: 5 * sim.Second},
+		}
+	}
+	return m
+}
+
+func TestMigrateCodecRoundTrip(t *testing.T) {
+	for _, kind := range []byte{MigratePrecopy, MigrateDelta} {
+		m := sampleMigrate(kind)
+		got, err := DecodeMigrate(EncodeMigrate(m))
+		if err != nil {
+			t.Fatalf("kind %d: %v", kind, err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Fatalf("kind %d round trip:\n want %+v\n got  %+v", kind, m, got)
+		}
+	}
+}
+
+func TestMigrateCodecRejectsCorruptInput(t *testing.T) {
+	good := EncodeMigrate(sampleMigrate(MigratePrecopy))
+	cases := map[string][]byte{
+		"empty":     {},
+		"truncated": good[:8],
+		"bad magic": append([]byte("XXXX"), good[4:]...),
+		"flipped byte": func() []byte {
+			b := append([]byte(nil), good...)
+			b[12] ^= 0xff
+			return b
+		}(),
+		"bad version": func() []byte {
+			b := append([]byte(nil), good...)
+			b[4] = 99
+			return resealCRC(b)
+		}(),
+		"bad kind": func() []byte {
+			b := append([]byte(nil), good...)
+			b[5] = 7
+			return resealCRC(b)
+		}(),
+		"trailing garbage": func() []byte {
+			b := append([]byte(nil), good[:len(good)-4]...)
+			b = append(b, 0xab)
+			return resealCRC(append(b, good[len(good)-4:]...))
+		}(),
+		"oversized entry list": func() []byte {
+			b := append([]byte{}, migrateMagic...)
+			b = append(b, stateCodecV1, MigrateDelta)
+			for i := 0; i < 4; i++ {
+				b = appendString(b, "x")
+			}
+			b = appendU32(b, 0)
+			b = appendU64(b, 0)
+			b = appendU32(b, 0) // empty image
+			b = appendU32(b, maxCodecList+1)
+			return appendCRC(b)
+		}(),
+		"image longer than record": func() []byte {
+			b := append([]byte{}, migrateMagic...)
+			b = append(b, stateCodecV1, MigratePrecopy)
+			for i := 0; i < 4; i++ {
+				b = appendString(b, "x")
+			}
+			b = appendU32(b, 0)
+			b = appendU64(b, 0)
+			b = appendU32(b, 1<<15) // claims bytes the record doesn't carry
+			return appendCRC(b)
+		}(),
+		"precopy without image": EncodeMigrate(&MigrateMsg{
+			Kind: MigratePrecopy, App: "a", Stage: "s", From: "f", To: "t"}),
+		"delta with image": func() []byte {
+			m := sampleMigrate(MigrateDelta)
+			m.Image = []byte{1, 2, 3}
+			return EncodeMigrate(m)
+		}(),
+		"state magic on migrate": EncodeState(&StageState{Stage: "agg"}),
+	}
+	for name, data := range cases {
+		if _, err := DecodeMigrate(data); err == nil {
+			t.Errorf("%s: DecodeMigrate accepted corrupt input", name)
+		}
+	}
+	if _, err := DecodeState(good); err == nil {
+		t.Error("DecodeState accepted a migrate record")
+	}
+}
+
+// FuzzMigrateCodec checks the migration codec never panics on arbitrary
+// bytes and that anything it accepts re-encodes canonically.
+func FuzzMigrateCodec(f *testing.F) {
+	f.Add(EncodeMigrate(sampleMigrate(MigratePrecopy)))
+	f.Add(EncodeMigrate(sampleMigrate(MigrateDelta)))
+	f.Add([]byte(migrateMagic))
+	f.Add([]byte("junk"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeMigrate(data)
+		if err != nil {
+			return
+		}
+		re := EncodeMigrate(m)
+		m2, err := DecodeMigrate(re)
+		if err != nil {
+			t.Fatalf("re-encode of accepted migrate msg rejected: %v", err)
+		}
+		if !reflect.DeepEqual(m, m2) {
+			t.Fatalf("migrate msg not canonical: %+v vs %+v", m, m2)
+		}
+	})
+}
+
+// drainAppYAML is the stateful pipeline the drain tests move around:
+// the aggregator carries a 2MB cell, the detector a small one.
+const drainAppYAML = `
+tosca_definitions_version: tosca_2_0
+metadata:
+  template_name: drainapp
+topology_template:
+  node_templates:
+    camera:
+      type: myrtus.nodes.Container
+      properties: {cpu: 0.5, memoryMB: 128, gops: 0.2, outMB: 0.1, inMB: 0.2}
+    detector:
+      type: myrtus.nodes.Container
+      properties: {cpu: 1, memoryMB: 256, gops: 1, outMB: 0.05, stateful: true, stateMB: 0.5}
+      requirements:
+        - source: camera
+    aggregator:
+      type: myrtus.nodes.Container
+      properties: {cpu: 2, memoryMB: 1024, gops: 1, outMB: 0.01, stateful: true, stateMB: 2}
+      requirements:
+        - source: detector
+`
+
+// drainStack is the full live-migration fixture: orchestrator with
+// state store, checkpointer, failure detector, and migrator.
+type drainStack struct {
+	c  *continuum.Continuum
+	o  *Orchestrator
+	ss *StateStore
+	fd *FailureDetector
+	mg *Migrator
+}
+
+func newDrainStack(t *testing.T) *drainStack {
+	t.Helper()
+	opts := continuum.DefaultOptions()
+	opts.KBReplicas = 1
+	c, err := continuum.Build(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := NewOrchestrator(NewManager(c, LatencyGoal()))
+	ss := NewStateStore(0)
+	o.R.SetStateStore(ss)
+	o.CP = NewCheckpointer(o.R, c.KB, "cloud-srv-0", 0)
+	fd := NewFailureDetector(c, 2)
+	fd.SetStateStore(ss)
+	mg := NewMigrator(o)
+	mg.SetDetector(fd)
+	mg.SetKB(c.KB)
+	st, err := tosca.Parse(drainAppYAML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Deploy(st); err != nil {
+		t.Fatal(err)
+	}
+	return &drainStack{c: c, o: o, ss: ss, fd: fd, mg: mg}
+}
+
+// TestDrainLiveFlipZeroLoss drives submits every 10ms across a drain of
+// the aggregator's device: no request may fail, the ownership must flip
+// to the new placement, and the intake pause must stay far under the
+// crash-detection timescale.
+func TestDrainLiveFlipZeroLoss(t *testing.T) {
+	s := newDrainStack(t)
+	eng := s.c.Engine
+	plan, _ := s.o.PlanFor("drainapp")
+	agg, _ := plan.Assignment("aggregator")
+
+	var done, failed int
+	for at := 10 * sim.Millisecond; at <= 3*sim.Second; at += 10 * sim.Millisecond {
+		eng.At(at, func() {
+			s.o.R.Submit("drainapp", 1, func(_ sim.Time, _ float64, err error) { //nolint:errcheck
+				done++
+				if err != nil {
+					failed++
+				}
+			})
+		})
+	}
+	var rep *DrainReport
+	eng.At(500*sim.Millisecond, func() {
+		if err := s.mg.Drain(agg.Device, func(dr *DrainReport, _ error) { rep = dr }); err != nil {
+			t.Errorf("Drain: %v", err)
+		}
+	})
+	eng.Run()
+
+	if rep == nil {
+		t.Fatal("drain never completed")
+	}
+	if rep.Aborted {
+		t.Fatalf("drain aborted: %s", rep.Reason)
+	}
+	if failed != 0 || done != 300 {
+		t.Fatalf("requests: done=%d failed=%d (want 300/0)", done, failed)
+	}
+	np, _ := s.o.PlanFor("drainapp")
+	for _, a := range np.Assignments {
+		if a.Device == agg.Device {
+			t.Fatalf("stage %s still on drained device %s", a.TemplateNode, agg.Device)
+		}
+	}
+	flips := 0
+	for _, sm := range rep.Stages {
+		if sm.Flipped {
+			flips++
+			owner, lost, restoring, ok := s.ss.CellInfo(sm.App, sm.Stage)
+			if !ok || lost || restoring {
+				t.Fatalf("cell %s/%s after flip: owner=%s lost=%v restoring=%v ok=%v",
+					sm.App, sm.Stage, owner, lost, restoring, ok)
+			}
+			if owner == agg.Device {
+				t.Fatalf("cell %s/%s still owned by drained device", sm.App, sm.Stage)
+			}
+			if sm.PrecopyBytes == 0 {
+				t.Fatalf("stage %s flipped without pre-copy bytes", sm.Stage)
+			}
+		}
+	}
+	if flips == 0 {
+		t.Fatal("no stage flipped")
+	}
+	if got := s.ss.Stats().LiveMigrations; got != uint64(flips) {
+		t.Fatalf("LiveMigrations = %d, want %d", got, flips)
+	}
+	if kv, ok := s.c.KB.Get(ownKey("drainapp", "aggregator")); !ok || string(kv.Value) == agg.Device {
+		t.Fatalf("ownership key = %q ok=%v, want new owner", kv.Value, ok)
+	}
+	if max := rep.PauseMax(); max > 500*sim.Millisecond {
+		t.Fatalf("intake pause %s exceeds two sensing ticks", max)
+	}
+	// The device stays cordoned until Undrain; a second drain of the now
+	// empty device must be a no-op success.
+	if !s.o.M.Edge.idx.cordoned[agg.Device] && !s.o.M.Fog.idx.cordoned[agg.Device] && !s.o.M.Cloud.idx.cordoned[agg.Device] {
+		t.Fatal("drained device not cordoned anywhere")
+	}
+}
+
+// TestIntakeGateParksAndReplays checks the pause/resume mechanics in
+// isolation: submits during a pause complete only after resume.
+func TestIntakeGateParksAndReplays(t *testing.T) {
+	s := newDrainStack(t)
+	eng := s.c.Engine
+	s.o.R.PauseIntake("drainapp")
+	if !s.o.R.IntakePaused("drainapp") {
+		t.Fatal("intake not paused")
+	}
+	var done int
+	for i := 0; i < 3; i++ {
+		if err := s.o.R.Submit("drainapp", 1, func(_ sim.Time, _ float64, err error) {
+			if err != nil {
+				t.Errorf("parked submit failed: %v", err)
+			}
+			done++
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Run()
+	if done != 0 {
+		t.Fatalf("%d submits completed while paused", done)
+	}
+	if n := s.o.R.ResumeIntake("drainapp"); n != 3 {
+		t.Fatalf("ResumeIntake replayed %d, want 3", n)
+	}
+	eng.Run()
+	if done != 3 {
+		t.Fatalf("replayed submits completed = %d, want 3", done)
+	}
+}
+
+// TestDuplicateReqIDStraddlingFlipDedups replays a request ID that
+// already applied at the old owner after the flip: the dedup window
+// travels with the migrated cell, so the new owner must absorb it.
+func TestDuplicateReqIDStraddlingFlipDedups(t *testing.T) {
+	s := newDrainStack(t)
+	eng := s.c.Engine
+	plan, _ := s.o.PlanFor("drainapp")
+	agg, _ := plan.Assignment("aggregator")
+
+	const dupID = 7777
+	eng.At(10*sim.Millisecond, func() {
+		s.o.R.submitRequest("drainapp", "", 1, dupID, nil) //nolint:errcheck
+	})
+	eng.At(200*sim.Millisecond, func() {
+		s.mg.Drain(agg.Device, nil) //nolint:errcheck
+	})
+	eng.Run()
+
+	before, _, _ := s.ss.State("drainapp", "aggregator")
+	hits := s.ss.Stats().DedupHits
+	eng.After(0, func() {
+		s.o.R.submitRequest("drainapp", "", 1, dupID, nil) //nolint:errcheck
+	})
+	eng.Run()
+	after, _, _ := s.ss.State("drainapp", "aggregator")
+	if !reflect.DeepEqual(before, after) {
+		t.Fatalf("duplicate across flip changed state:\n before %+v\n after  %+v", before, after)
+	}
+	if got := s.ss.Stats().DedupHits; got <= hits {
+		t.Fatalf("dedup hits %d not above %d — duplicate re-applied?", got, hits)
+	}
+}
+
+// TestDrainAbortsWhenDeviceDiesMidMigration kills the drained device
+// during pre-copy and during catch-up: both drains must abort, lift the
+// cordon and draining marks, and leave recovery to the detector path.
+func TestDrainAbortsWhenDeviceDiesMidMigration(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		crashAt sim.Time
+	}{
+		{"mid-precopy", 5 * sim.Millisecond},
+		{"mid-catchup", 300 * sim.Millisecond},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := newDrainStack(t)
+			eng := s.c.Engine
+			plan, _ := s.o.PlanFor("drainapp")
+			agg, _ := plan.Assignment("aggregator")
+			// Feed the journal so catch-up has residuals to chase.
+			for at := 10 * sim.Millisecond; at <= sim.Second; at += 10 * sim.Millisecond {
+				eng.At(at, func() { s.o.R.Submit("drainapp", 1, nil) }) //nolint:errcheck
+			}
+			var rep *DrainReport
+			eng.After(0, func() {
+				if err := s.mg.Drain(agg.Device, func(dr *DrainReport, _ error) { rep = dr }); err != nil {
+					t.Errorf("Drain: %v", err)
+				}
+			})
+			eng.At(tc.crashAt, func() { s.c.Devices[agg.Device].Fail() })
+			eng.Run()
+
+			if rep == nil {
+				t.Fatal("drain never finished")
+			}
+			if !rep.Aborted {
+				t.Fatal("drain completed although the device died mid-migration")
+			}
+			if !strings.Contains(rep.Reason, "died") && !strings.Contains(rep.Reason, "failed") {
+				t.Fatalf("abort reason %q does not name the death", rep.Reason)
+			}
+			for _, ag := range []*LayerAgent{s.o.M.Edge, s.o.M.Fog, s.o.M.Cloud} {
+				ag.idx.mu.RLock()
+				cordoned := ag.idx.cordoned[agg.Device]
+				ag.idx.mu.RUnlock()
+				if cordoned {
+					t.Fatal("aborted drain left the device cordoned")
+				}
+			}
+			if s.fd.Draining(agg.Device) {
+				t.Fatal("aborted drain left the device marked draining")
+			}
+			// No flip happened, so ownership and live migrations stay zero.
+			if got := s.ss.Stats().LiveMigrations; got != 0 {
+				t.Fatalf("LiveMigrations = %d after aborted drain", got)
+			}
+			// The failure path is free to run now: detector suspicion must
+			// fire for the dead device (draining mark is gone).
+			s.c.Heartbeat()
+			s.fd.Tick()
+			s.fd.Tick()
+			if sus := s.fd.Suspects(); len(sus) != 1 || sus[0] != agg.Device {
+				t.Fatalf("suspects after aborted drain = %v, want [%s]", sus, agg.Device)
+			}
+		})
+	}
+}
+
+// TestDetectorTreatsDrainingMissesAsExpected is the cordon-vs-detector
+// contract: a draining device that stops heartbeating is never
+// suspected, and suspicion resumes the moment the mark lifts.
+func TestDetectorTreatsDrainingMissesAsExpected(t *testing.T) {
+	c := testContinuum(t)
+	fd := NewFailureDetector(c, 2)
+	fd.SetDraining("edge-mc-0", true)
+	if !fd.Draining("edge-mc-0") {
+		t.Fatal("draining mark not set")
+	}
+	c.Devices["edge-mc-0"].Fail()
+	for i := 0; i < 5; i++ {
+		if sus, _ := fd.Tick(); len(sus) != 0 {
+			t.Fatalf("draining device suspected on tick %d: %v", i, sus)
+		}
+	}
+	if s, conf, _ := fd.Stats(); s != 0 || conf != 0 {
+		t.Fatalf("detector stats while draining = %d/%d, want 0/0", s, conf)
+	}
+	fd.SetDraining("edge-mc-0", false)
+	fd.Tick()
+	sus, _ := fd.Tick()
+	if len(sus) != 1 || sus[0] != "edge-mc-0" {
+		t.Fatalf("suspicion after undrain = %v", sus)
+	}
+}
+
+// TestDrainRejectsUnknownAndConcurrent covers the synchronous error
+// paths: unknown device, and double-drain of the same device.
+func TestDrainRejectsUnknownAndConcurrent(t *testing.T) {
+	s := newDrainStack(t)
+	if err := s.mg.Drain("no-such-device", nil); err == nil {
+		t.Fatal("drain of unknown device accepted")
+	}
+	plan, _ := s.o.PlanFor("drainapp")
+	agg, _ := plan.Assignment("aggregator")
+	if err := s.mg.Drain(agg.Device, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.mg.Drain(agg.Device, nil); err == nil {
+		t.Fatal("concurrent drain of the same device accepted")
+	}
+	s.c.Engine.Run()
+	// Completed drain leaves the device active (cordoned); Undrain makes
+	// it drainable again.
+	if err := s.mg.Drain(agg.Device, nil); err == nil {
+		t.Fatal("re-drain accepted before Undrain")
+	}
+	s.mg.Undrain(agg.Device)
+	if err := s.mg.Drain(agg.Device, nil); err != nil {
+		t.Fatalf("drain after Undrain: %v", err)
+	}
+	s.c.Engine.Run()
+	if got := len(s.mg.Reports()); got != 2 {
+		t.Fatalf("reports = %d, want 2", got)
+	}
+}
+
+// TestDrainEmptyDeviceCompletesTrivially drains a device hosting no
+// assignments: no migrations, no pauses, nothing moved — but the device
+// ends up cordoned all the same.
+func TestDrainEmptyDeviceCompletesTrivially(t *testing.T) {
+	s := newDrainStack(t)
+	plan, _ := s.o.PlanFor("drainapp")
+	used := map[string]bool{}
+	for _, a := range plan.Assignments {
+		used[a.Device] = true
+	}
+	idle := ""
+	for name := range s.c.Devices {
+		if !used[name] {
+			idle = name
+			break
+		}
+	}
+	if idle == "" {
+		t.Fatal("no idle device in the continuum")
+	}
+	var rep *DrainReport
+	if err := s.mg.Drain(idle, func(dr *DrainReport, _ error) { rep = dr }); err != nil {
+		t.Fatal(err)
+	}
+	s.c.Engine.Run()
+	if rep == nil || rep.Aborted {
+		t.Fatalf("drain = %+v", rep)
+	}
+	if len(rep.Stages) != 0 || rep.Moved != 0 || len(rep.Pauses) != 0 {
+		t.Fatalf("empty-device drain did work: %+v", rep)
+	}
+}

@@ -60,6 +60,11 @@ type Runtime struct {
 	inflight    map[string]int
 	brownout    map[string]int
 
+	// gates holds each app's intake gate for live migration's
+	// pause-and-flip: while paused, submits are parked (not shed, not
+	// failed) and replayed against the freshly flipped plan on resume.
+	gates map[string]*intakeGate
+
 	// stateStore, when set, receives one apply per (request, stateful
 	// stage) at the stage's finish time; the request's deterministic ID
 	// makes the apply exactly-once across serve-path retries.
@@ -85,6 +90,7 @@ func NewRuntime(m *Manager) *Runtime {
 		degraded: map[string]*telemetry.Counter{},
 		recent:   map[string]*telemetry.Window{},
 		admitFor: map[string]*AdmissionController{},
+		gates:    map[string]*intakeGate{},
 		inflight: map[string]int{},
 		brownout: map[string]int{},
 		reqSeq:   map[string]uint64{},
@@ -308,6 +314,57 @@ func (r *Runtime) Metrics(app string) (*telemetry.Registry, bool) {
 
 var errNoPlan = fmt.Errorf("mirto: app not registered")
 
+// intakeGate parks an app's submits during a live migration's
+// pause-and-flip window. Parked requests are not shed: each holds a
+// closure that resubmits it (same request ID, so dedup semantics carry
+// across the flip) once the gate reopens against the new plan.
+type intakeGate struct {
+	paused  bool
+	waiters []func()
+}
+
+// PauseIntake closes the app's intake gate: subsequent submits park
+// until ResumeIntake. Pausing an already-paused app is a no-op.
+func (r *Runtime) PauseIntake(app string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gates[app]
+	if g == nil {
+		g = &intakeGate{}
+		r.gates[app] = g
+	}
+	g.paused = true
+}
+
+// ResumeIntake reopens the app's intake gate and replays every parked
+// submit as an immediate engine event (so the replays observe the plan
+// registered at flip time). It returns how many requests were parked.
+func (r *Runtime) ResumeIntake(app string) int {
+	r.mu.Lock()
+	g := r.gates[app]
+	if g == nil || !g.paused {
+		r.mu.Unlock()
+		return 0
+	}
+	g.paused = false
+	waiters := g.waiters
+	g.waiters = nil
+	r.mu.Unlock()
+	for _, w := range waiters {
+		w := w
+		r.engine.After(0, w)
+	}
+	return len(waiters)
+}
+
+// IntakePaused reports whether the app's intake gate is closed.
+func (r *Runtime) IntakePaused(app string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gates[app]
+	return g != nil && g.paused
+}
+
 // Submit schedules one request through the app's pipeline starting at
 // the current virtual time. done (optional) fires in virtual time with
 // the end-to-end latency and energy. The caller drives the engine.
@@ -328,6 +385,17 @@ func (r *Runtime) SubmitFrom(app, ingress string, items int64, done func(lat sim
 // stateful stages dedup on it so re-execution never double-applies.
 func (r *Runtime) submitRequest(app, ingress string, items int64, reqID uint64, done func(lat sim.Time, energy float64, err error)) error {
 	r.mu.Lock()
+	if g := r.gates[app]; g != nil && g.paused {
+		// Intake is paused for a migration flip: park the whole submit and
+		// replay it on resume — it will re-read the flipped plan, so queued
+		// requests are effectively forwarded to the new owner. The request
+		// ID travels with the replay, keeping dedup exactly-once.
+		g.waiters = append(g.waiters, func() {
+			r.submitRequest(app, ingress, items, reqID, done) //nolint:errcheck
+		})
+		r.mu.Unlock()
+		return nil
+	}
 	plan := r.plans[app]
 	reg := r.metrics[app]
 	okC, failC := r.ok[app], r.failed[app]

@@ -243,7 +243,7 @@ func (m *Manager) scanShard(tk shardTask, sr *stageReq, reserved, release map[st
 		if sr.pin != "" && e.name != sr.pin {
 			continue
 		}
-		if !e.ready || e.dev.Failed() {
+		if !e.ready || e.cordoned || e.dev.Failed() {
 			continue
 		}
 		free := e.free

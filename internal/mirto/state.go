@@ -387,6 +387,11 @@ type StateStoreStats struct {
 	// Invalidations counts device-loss events; CleanMigrations moves of a
 	// live cell to a new placement (no state loss).
 	Invalidations, CleanMigrations uint64
+	// LiveMigrations counts completed pre-copy/catch-up/flip ownership
+	// hand-offs (planned drains) — zero-loss by construction, counted
+	// separately from the passive CleanMigrations follow-the-placement
+	// moves.
+	LiveMigrations uint64
 	// RPOItems is the total number of applied state items (requests) that
 	// recovery could not bring back — the recovery-point objective, 0 when
 	// every committed apply survived.
@@ -802,6 +807,39 @@ func (ss *StateStore) ClearRestoring(app, stage string) {
 	if c := ss.cells[cellKey(app, stage)]; c != nil {
 		c.restoring = false
 	}
+}
+
+// JournalPos returns the cell's current total journal position (entries
+// ever appended, evicted ones included) — the pre-copy baseline of a
+// live migration.
+func (ss *StateStore) JournalPos(app, stage string) uint64 {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	c := ss.cells[cellKey(app, stage)]
+	if c == nil {
+		return 0
+	}
+	return c.journalDropped + uint64(len(c.journal))
+}
+
+// CompleteMigration finalizes a live migration's ownership flip: the
+// cell's owner becomes newOwner without touching the state itself (the
+// store is authoritative and the pre-copy/catch-up already proved the
+// image converged). It refuses cells that are missing, lost, or
+// restoring — a crash mid-migration falls back to checkpoint restore
+// and the flip must not fight it.
+func (ss *StateStore) CompleteMigration(app, stage, newOwner string) bool {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	c := ss.cells[cellKey(app, stage)]
+	if c == nil || c.lost || c.restoring {
+		return false
+	}
+	if c.owner != newOwner {
+		c.owner = newOwner
+	}
+	ss.stats.LiveMigrations++
+	return true
 }
 
 // JournalSince returns a copy of the journal entries at total position ≥
