@@ -1325,6 +1325,39 @@ func BenchmarkServeSteadyState(b *testing.B) {
 	}
 }
 
+// BenchmarkHedgeOverhead proves the gray-failure defense is free on the
+// healthy path: the serve loop with a health monitor attached (every
+// dispatch counted, every completion observed, no device degraded) must
+// match the detached baseline in ns/op and allocs/op. The hedge/steer
+// machinery only spends when a device actually degrades.
+func BenchmarkHedgeOverhead(b *testing.B) {
+	run := func(b *testing.B, attach bool) {
+		c := smallContinuum(b)
+		o := mirto.NewOrchestrator(mirto.NewManager(c, mirto.LatencyGoal()))
+		if attach {
+			hm := mirto.NewHealthMonitor(c, mirto.HealthConfig{})
+			o.R.SetHealth(hm)
+			o.M.SetHealth(hm)
+		}
+		st, err := tosca.Parse(benchApp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := o.Deploy(st); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := o.R.ServeRequestFrom(st.Name, "edge-rv-0", 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("monitor-detached", func(b *testing.B) { run(b, false) })
+	b.Run("monitor-attached-all-healthy", func(b *testing.B) { run(b, true) })
+}
+
 // ---------------------------------------------------------------------
 // T3 — Tracing overhead: instrumented vs. uninstrumented hot paths.
 // With sampling off the tracer must cost a few nil-checks (<5% on the

@@ -22,6 +22,11 @@
 // The "planned-drain" scenario runs the three-arm live-migration
 // experiment — planned drain vs same-seed crash vs crash mid-migration
 // — and gates on zero-loss, sub-tick-pause drains.
+// The "gray-fail" scenario runs the four-arm fail-slow experiment —
+// fault-free baseline, full defense (peer-relative health scoring +
+// hedged requests + quarantine), hedge-only ablation, and no-defense
+// control — and gates on availability, tail latency, detection, and
+// exactly-once state under hedging.
 // The overload subcommand sweeps offered load from 0.5x to 4x measured
 // capacity and prints the goodput-vs-load curve; with -admission (the
 // default) it exits non-zero if 4x goodput retention falls below 90%.
@@ -87,7 +92,11 @@ func chaosMain(argv []string) {
 	checkpoint := fs.Bool("checkpoint", true, "persist stateful stage state to the raft-backed KB (false = control arm measuring unrecovered loss)")
 	list := fs.Bool("list", false, "list bundled scenarios and exit")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: continuum-sim chaos <scenario> [-seed N] [-mapek=false] [-stateful] [-checkpoint=false]\n")
+		fmt.Fprintf(fs.Output(), "usage: continuum-sim chaos <scenario> [-seed N] [-mapek=false] [-stateful] [-checkpoint=false]\nscenarios (from the registry; -list prints bare names):\n")
+		for _, n := range chaos.Names() {
+			reg, _ := chaos.Lookup(n)
+			fmt.Fprintf(fs.Output(), "  %-16s %s\n", reg.Name, reg.Summary)
+		}
 		fs.PrintDefaults()
 	}
 	// Accept flags before or after the positional scenario name.
@@ -98,38 +107,19 @@ func chaosMain(argv []string) {
 		fs.Parse(fs.Args()[1:]) //nolint:errcheck
 	}
 	if *list {
-		fmt.Println(strings.Join(append(chaos.Names(), "noisy-neighbor", "planned-drain"), "\n"))
+		fmt.Println(strings.Join(chaos.Names(), "\n"))
 		return
 	}
 	if name == "" {
 		fs.Usage()
 		os.Exit(2)
 	}
-	if name == "noisy-neighbor" {
-		// Multi-tenant interference scenario: the injected fault is another
-		// stakeholder's flash crowd, so it runs on the tenant harness
-		// instead of the timed-fault runner. -mapek=false doubles as the
-		// no-quotas control arm.
-		rep, err := chaos.RunNoisyNeighbor(chaos.NoisyConfig{Seed: *seed, Quotas: *mapek})
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Print(rep.Render())
-		if *mapek {
-			if v := rep.Violated(); v != "" {
-				fmt.Fprintf(os.Stderr, "chaos: %s\n", v)
-				os.Exit(1)
-			}
-		}
-		return
-	}
-	if name == "planned-drain" {
-		// Live-migration experiment: three same-seed arms (planned drain,
-		// crash control, crash mid-migration) on the multi-arm harness.
-		// The drain must be zero-loss with sub-tick pauses, strictly
-		// beating the crash arm's measured RTO; the mid-migration crash
-		// must degrade cleanly to checkpoint restore.
-		rep, err := chaos.RunPlannedDrain(*seed)
+	if reg, ok := chaos.Lookup(name); ok && reg.Harness != nil {
+		// Multi-arm experiment harness (noisy-neighbor, planned-drain,
+		// gray-fail): runs its own arms end to end; -mapek carries the
+		// defense/control switch for the harnesses that have one, and
+		// gates the exit code on the harness verdict.
+		rep, err := reg.Harness(*seed, *mapek)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -18,7 +18,10 @@
 //	                schedulable again
 //	trace [ID]      list recorded request traces, or print one trace's
 //	                span tree and critical path
-//	health          agent health
+//	health          per-device gray-failure health: peer-relative score,
+//	                state (healthy/suspect-slow/quarantined/probation),
+//	                and the monitor's rollup counters
+//	healthz         agent liveness
 //
 // Pair it with `continuum-sim -serve :8080`.
 package main
@@ -91,6 +94,8 @@ func main() {
 		}
 		err = cli.trace(args[1])
 	case "health":
+		err = cli.health()
+	case "healthz":
 		err = cli.get("/v1/healthz")
 	default:
 		log.Fatalf("unknown command %q", args[0])
@@ -190,6 +195,56 @@ func (c *client) drain(device string) error {
 	for _, app := range apps {
 		fmt.Printf("  pause %s: %s (%d request(s) parked and replayed)\n", app, v.Pauses[app], v.Parked[app])
 	}
+	return nil
+}
+
+// health fetches the gray-failure monitor's fleet view and renders a
+// per-device table: peer-relative score (EWMA / peer-median, 1.0 ≈
+// nominal), escalation state, and the rollup counters.
+func (c *client) health() error {
+	raw, err := c.fetch("/v1/health/devices")
+	if err != nil {
+		return err
+	}
+	var v struct {
+		Attached bool `json:"attached"`
+		Stats    struct {
+			Suspects     int    `json:"suspects"`
+			Quarantines  int    `json:"quarantines"`
+			Restores     int    `json:"restores"`
+			Dispatches   uint64 `json:"dispatches"`
+			HedgesFired  uint64 `json:"hedges_fired"`
+			HedgesWon    uint64 `json:"hedges_won"`
+			HedgesDenied uint64 `json:"hedges_denied"`
+			Steered      uint64 `json:"steered"`
+		} `json:"stats"`
+		Devices []struct {
+			Device     string  `json:"device"`
+			Class      string  `json:"class"`
+			State      string  `json:"state"`
+			Score      float64 `json:"score"`
+			EWMA       float64 `json:"ewma"`
+			PeerMedian float64 `json:"peer_median"`
+			Samples    int     `json:"samples"`
+		} `json:"devices"`
+	}
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return fmt.Errorf("decoding device health: %w", err)
+	}
+	if !v.Attached {
+		fmt.Println("no health monitor attached")
+		return nil
+	}
+	fmt.Printf("%-16s %-10s %-14s %7s %7s %7s %8s\n",
+		"DEVICE", "CLASS", "STATE", "SCORE", "EWMA", "PEER", "SAMPLES")
+	for _, d := range v.Devices {
+		fmt.Printf("%-16s %-10s %-14s %7.2f %7.2f %7.2f %8d\n",
+			d.Device, d.Class, d.State, d.Score, d.EWMA, d.PeerMedian, d.Samples)
+	}
+	s := v.Stats
+	fmt.Printf("suspects=%d quarantines=%d restores=%d dispatches=%d hedges: fired=%d won=%d denied=%d steered=%d\n",
+		s.Suspects, s.Quarantines, s.Restores, s.Dispatches,
+		s.HedgesFired, s.HedgesWon, s.HedgesDenied, s.Steered)
 	return nil
 }
 

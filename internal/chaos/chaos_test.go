@@ -22,7 +22,7 @@ func run(t *testing.T, name string, seed uint64, mapek bool) *Report {
 }
 
 func TestScenariosSelfHealToSLO(t *testing.T) {
-	for _, name := range Names() {
+	for _, name := range EventNames() {
 		t.Run(name, func(t *testing.T) {
 			rep := run(t, name, 7, true)
 			if got := rep.Availability(); got < 0.99 {
@@ -53,7 +53,7 @@ func TestScenariosSelfHealToSLO(t *testing.T) {
 }
 
 func TestSameSeedRunsAreByteIdentical(t *testing.T) {
-	for _, name := range Names() {
+	for _, name := range EventNames() {
 		t.Run(name, func(t *testing.T) {
 			a := run(t, name, 7, true).Render()
 			b := run(t, name, 7, true).Render()
@@ -65,7 +65,7 @@ func TestSameSeedRunsAreByteIdentical(t *testing.T) {
 }
 
 func TestControlWithoutMAPEKIsStrictlyWorse(t *testing.T) {
-	for _, name := range Names() {
+	for _, name := range EventNames() {
 		t.Run(name, func(t *testing.T) {
 			healed := run(t, name, 7, true)
 			control := run(t, name, 7, false)
@@ -106,7 +106,7 @@ func runStateful(t *testing.T, name string, seed uint64, noCheckpoint bool) *Rep
 }
 
 func TestStatefulScenariosRecoverWithZeroRPO(t *testing.T) {
-	for _, name := range Names() {
+	for _, name := range EventNames() {
 		t.Run(name, func(t *testing.T) {
 			rep := runStateful(t, name, 7, false)
 			if !rep.Stateful || !rep.Checkpoint {
@@ -147,7 +147,7 @@ func TestStatefulWithoutCheckpointLosesState(t *testing.T) {
 	// The control arm: same faults, no checkpointing — the loss must be
 	// measurable, or the recovery machinery is claiming credit it did not
 	// earn.
-	for _, name := range Names() {
+	for _, name := range EventNames() {
 		t.Run(name, func(t *testing.T) {
 			rep := runStateful(t, name, 7, true)
 			if rep.Checkpoint {
@@ -218,7 +218,7 @@ func TestDeltaReplansDoNotRegressMTTR(t *testing.T) {
 	// when it runs or what it produces — so recovery time must not get
 	// worse. The clock is virtual and the runs are deterministic, so an
 	// exact comparison against the full-replan control arm is valid.
-	for _, name := range Names() {
+	for _, name := range EventNames() {
 		t.Run(name, func(t *testing.T) {
 			runMode := func(noDelta bool) *Report {
 				sc, err := BuiltIn(name, 7)

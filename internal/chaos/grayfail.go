@@ -1,0 +1,275 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+
+	"myrtus/internal/mirto"
+	"myrtus/internal/sim"
+)
+
+// Gray-failure harness: the fail-slow counterpart to the fail-stop
+// scenarios. The device hosting the aggregator silently stretches its
+// service times 40× while heartbeating normally — the binary failure
+// detector provably never fires, only the peer-relative health monitor
+// can see it. Four same-seed arms share one workload schedule:
+//
+//   - fault-free baseline: no fault, full defense attached. The tail
+//     reference the defense arm is judged against, and the
+//     false-positive check: a healthy continuum must produce zero
+//     suspects, zero quarantines, zero hedges.
+//   - defense: fail-slow pulse with the full stack — peer-relative
+//     scoring, hedged requests, and quarantine via live migration. The
+//     bar: availability ≥ 99% and p99 within 2× the baseline's.
+//   - hedge-only: same fault, escalation capped at suspect-slow. Hedges
+//     rescue individual requests but the slow device keeps taking
+//     traffic — the ablation showing why quarantine earns its place.
+//   - no-defense control: same fault, health monitor off. MAPE-K stays
+//     on and still cannot help — the device heartbeats, so nothing
+//     escalates. Must measurably violate both defense bars, or the
+//     fault is too weak to prove anything.
+
+// grayFailAt/grayFail2At/grayFail3At/grayFailDur place the three
+// fail-slow pulses; grayFailSlow is the service-time multiplier. At 40×
+// the aggregator's ~40ms stage becomes ~1.6s: with a request every 40ms
+// the slow device's queue blows through the 300ms bound and overload
+// rejections begin ~0.6s into each pulse — the window the defense has
+// to detect and route around. Later pulses re-resolve
+// "stage:aggregator", so each strikes whatever device the stage
+// migrated to after the previous quarantine: the fault follows the app,
+// and the defense has to detect a fresh device from a cold score every
+// time.
+const (
+	grayFailAt   = 10 * sim.Second
+	grayFail2At  = 40 * sim.Second
+	grayFail3At  = 65 * sim.Second
+	grayFailDur  = 4 * sim.Second
+	grayFailSlow = 40.0
+
+	grayFailDuration     = 90 * sim.Second
+	grayFailRequestEvery = 40 * sim.Millisecond
+
+	// grayQueueBound is the per-device queue-wait bound both arms run
+	// under: without it a fail-slow device absorbs unbounded queue and
+	// every request "succeeds" seconds late, hiding the availability
+	// damage real bounded systems take.
+	grayQueueBound = 300 * sim.Millisecond
+)
+
+// grayFailApp is StatefulApp with the aggregator pinned to the fog
+// layer: a 16-core FMDC at 40× service time saturates under the 40ms
+// open-loop arrivals (utilization 2.5), so the fault produces real
+// queue-bound rejections — a 64-core cloud server would absorb the
+// whole pulse and hide the availability damage.
+const grayFailApp = `
+tosca_definitions_version: tosca_2_0
+metadata:
+  template_name: chaos-cam
+topology_template:
+  node_templates:
+    camera:
+      type: myrtus.nodes.Container
+      properties: {cpu: 0.5, memoryMB: 128, gops: 0.2, outMB: 0.1, inMB: 0.2}
+    detector:
+      type: myrtus.nodes.AcceleratedKernel
+      properties: {cpu: 1, memoryMB: 256, kernel: conv2d, gops: 2, outMB: 0.05, stateful: true, stateMB: 0.5}
+      requirements:
+        - source: camera
+    aggregator:
+      type: myrtus.nodes.Container
+      properties: {cpu: 2, memoryMB: 1024, gops: 1, outMB: 0.01, stateful: true, stateMB: 2}
+      requirements:
+        - source: detector
+  policies:
+    - cam-edge:
+        type: myrtus.policies.Placement
+        targets: [camera]
+        properties: {layer: edge}
+    - det-medium:
+        type: myrtus.policies.Security
+        targets: [detector]
+        properties: {level: medium}
+    - agg-fog:
+        type: myrtus.policies.Placement
+        targets: [aggregator]
+        properties: {layer: fog}
+`
+
+// GrayFail is the bundled fail-slow scenario: the stateful pipeline
+// under open-loop load, with the aggregator's device (re-resolved at
+// fire time, so each fault lands wherever the stage lives right then)
+// slowed 40× for 4 seconds, three times. The un-slow pairs by target,
+// restoring the same physical device even after quarantine migrates
+// the stage away.
+func GrayFail(seed uint64) Scenario {
+	sc := Scenario{
+		Name:         "gray-fail",
+		Ingress:      "edge-rv-0",
+		Duration:     grayFailDuration,
+		RequestEvery: grayFailRequestEvery,
+		SLO:          mirto.SLO{P95LatencyMs: 250, MaxFailureRate: 0.05},
+		Events: []Event{
+			{At: grayFailAt, Kind: DeviceSlow, Target: "stage:aggregator", Slow: grayFailSlow},
+			{At: grayFailAt + grayFailDur, Kind: DeviceUnslow, Target: "stage:aggregator"},
+			{At: grayFail2At, Kind: DeviceSlow, Target: "stage:aggregator", Slow: grayFailSlow},
+			{At: grayFail2At + grayFailDur, Kind: DeviceUnslow, Target: "stage:aggregator"},
+			{At: grayFail3At, Kind: DeviceSlow, Target: "stage:aggregator", Slow: grayFailSlow},
+			{At: grayFail3At + grayFailDur, Kind: DeviceUnslow, Target: "stage:aggregator"},
+		},
+	}
+	_ = seed // the schedule is fixed; the seed shapes run-time draws
+	sc = defaults(Statefulize(sc))
+	sc.App = grayFailApp
+	return sc
+}
+
+// GrayFailRunReport bundles the four arms plus the headline comparison.
+type GrayFailRunReport struct {
+	Seed uint64
+	// Baseline is the fault-free reference arm, Defense the full
+	// defense arm, HedgeOnly the quarantine-ablated arm, Control the
+	// no-defense arm.
+	Baseline, Defense, HedgeOnly, Control *Report
+}
+
+// RunGrayFail executes all four arms of the gray-failure experiment
+// with one seed and one workload schedule.
+func RunGrayFail(seed uint64) (*GrayFailRunReport, error) {
+	base := Config{Seed: seed, MAPEK: true, Stateful: true, Health: true,
+		DeviceQueueLimit: grayQueueBound}
+
+	clean := GrayFail(seed)
+	clean.Name = "gray-fail/fault-free"
+	clean.Events = nil
+	baseRep, err := Run(clean, base)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: fault-free arm: %w", err)
+	}
+
+	defRep, err := Run(GrayFail(seed), base)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: defense arm: %w", err)
+	}
+
+	hcfg := base
+	hcfg.HedgeOnly = true
+	hedge := GrayFail(seed)
+	hedge.Name = "gray-fail/hedge-only"
+	hedgeRep, err := Run(hedge, hcfg)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: hedge-only arm: %w", err)
+	}
+
+	ccfg := base
+	ccfg.Health = false
+	ctl := GrayFail(seed)
+	ctl.Name = "gray-fail/no-defense"
+	ctlRep, err := Run(ctl, ccfg)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: no-defense arm: %w", err)
+	}
+
+	return &GrayFailRunReport{Seed: seed,
+		Baseline: baseRep, Defense: defRep, HedgeOnly: hedgeRep, Control: ctlRep}, nil
+}
+
+// Violated returns a non-empty reason if any arm misses its bar: the
+// fault-free baseline must raise zero false alarms; the defense arm
+// must detect, quarantine, hold availability ≥ 99% and p99 within 2×
+// the baseline, keep hedge overhead inside the 5% budget, and stay
+// byte-identical to the fault-free state (exactly-once under hedging);
+// the hedge-only arm must hedge without quarantining; the control arm
+// must measurably violate both defense bars.
+func (r *GrayFailRunReport) Violated() string {
+	_, _, basP99 := r.Baseline.LatencyQuantiles()
+	if basP99 <= 0 {
+		return "baseline arm measured no latency (nothing to compare against)"
+	}
+	b := r.Baseline.Health
+	if b.Suspects != 0 || b.Quarantines != 0 {
+		return fmt.Sprintf("baseline arm raised false alarms: suspects=%d quarantines=%d (want 0)",
+			b.Suspects, b.Quarantines)
+	}
+	if b.HedgesFired != 0 {
+		return fmt.Sprintf("baseline arm fired %d hedges with no fault (want 0)", b.HedgesFired)
+	}
+
+	d := r.Defense
+	if a := d.Availability(); a < 0.99 {
+		return fmt.Sprintf("defense availability %.2f%% (bar: 99%%)", 100*a)
+	}
+	_, _, defP99 := d.LatencyQuantiles()
+	if defP99 > 2*basP99 {
+		return fmt.Sprintf("defense p99=%s exceeds 2x baseline p99=%s", dur(defP99), dur(basP99))
+	}
+	if d.Health.Quarantines < 1 {
+		return "defense arm quarantined nothing"
+	}
+	if len(d.DetectionSamples) < 1 {
+		return "defense arm recorded no detection sample"
+	}
+	if d.Health.HedgesFired < 1 {
+		return "defense arm fired no hedge"
+	}
+	budget := uint64(0.05*float64(d.Health.Dispatches)) + 1
+	if d.Health.HedgesFired > budget {
+		return fmt.Sprintf("defense hedge overhead %d of %d dispatches breaches the 5%% budget",
+			d.Health.HedgesFired, d.Health.Dispatches)
+	}
+	if d.ComparedCells == 0 {
+		return "defense arm compared no state cells"
+	}
+	if len(d.DivergentCells) != 0 {
+		return fmt.Sprintf("defense arm diverged from fault-free reference (hedge double-apply?): %v",
+			d.DivergentCells)
+	}
+
+	h := r.HedgeOnly
+	if h.Health.Quarantines != 0 {
+		return fmt.Sprintf("hedge-only arm quarantined %d devices (escalation should cap at suspect)",
+			h.Health.Quarantines)
+	}
+	if h.Health.Suspects < 1 {
+		return "hedge-only arm suspected nothing"
+	}
+
+	c := r.Control
+	_, _, ctlP99 := c.LatencyQuantiles()
+	if c.Availability() >= 0.99 {
+		return fmt.Sprintf("control availability %.2f%% did not degrade below 99%% — fault too weak",
+			100*c.Availability())
+	}
+	if ctlP99 <= 2*basP99 {
+		return fmt.Sprintf("control p99=%s did not blow the 2x baseline bar (%s) — fault too weak",
+			dur(ctlP99), dur(basP99))
+	}
+	return ""
+}
+
+// Render formats the experiment deterministically: the four full arm
+// reports plus the headline defense-vs-control comparison.
+func (r *GrayFailRunReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "gray-fail experiment: seed=%d slow=%gx pulse=%s\n",
+		r.Seed, grayFailSlow, dur(grayFailDur))
+	fmt.Fprintf(&b, "== fault-free arm (baseline, defense attached) ==\n%s", r.Baseline.Render())
+	fmt.Fprintf(&b, "== defense arm (score + hedge + quarantine) ==\n%s", r.Defense.Render())
+	fmt.Fprintf(&b, "== hedge-only arm (no quarantine) ==\n%s", r.HedgeOnly.Render())
+	fmt.Fprintf(&b, "== no-defense arm (control) ==\n%s", r.Control.Render())
+	_, _, basP99 := r.Baseline.LatencyQuantiles()
+	_, _, defP99 := r.Defense.LatencyQuantiles()
+	_, _, hedP99 := r.HedgeOnly.LatencyQuantiles()
+	_, _, ctlP99 := r.Control.LatencyQuantiles()
+	detP50, _ := quantiles(r.Defense.DetectionSamples)
+	verdict := "ok"
+	if v := r.Violated(); v != "" {
+		verdict = "VIOLATED: " + v
+	}
+	fmt.Fprintf(&b, "summary: baseline p99=%s | defense avail=%.2f%% p99=%s detect_p50=%s quarantines=%d hedges=%d won=%d | hedge-only avail=%.2f%% p99=%s | control avail=%.2f%% p99=%s | %s\n",
+		dur(basP99),
+		100*r.Defense.Availability(), dur(defP99), dur(detP50),
+		r.Defense.Health.Quarantines, r.Defense.Health.HedgesFired, r.Defense.Health.HedgesWon,
+		100*r.HedgeOnly.Availability(), dur(hedP99),
+		100*r.Control.Availability(), dur(ctlP99), verdict)
+	return b.String()
+}

@@ -1,0 +1,59 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGrayFailExperimentHoldsItsBars runs the four-arm experiment and
+// demands every bar holds: baseline false-positive-free, defense inside
+// availability/p99/budget, hedge-only capped at suspect, control
+// measurably degraded.
+func TestGrayFailExperimentHoldsItsBars(t *testing.T) {
+	rep, err := RunGrayFail(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := rep.Violated(); v != "" {
+		t.Errorf("violated: %s\n%s", v, rep.Render())
+	}
+}
+
+// TestGrayFailSameSeedRunsAreByteIdentical pins the whole experiment —
+// scoring, hedging, quarantine drains, probation probes — to the
+// deterministic-replay contract the other scenarios honor.
+func TestGrayFailSameSeedRunsAreByteIdentical(t *testing.T) {
+	a, err := RunGrayFail(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunGrayFail(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra, rb := a.Render(), b.Render(); ra != rb {
+		t.Errorf("same-seed renders differ:\n--- run 1 ---\n%s--- run 2 ---\n%s", ra, rb)
+	}
+}
+
+// TestGrayFailBinaryDetectorNeverFires proves the premise of the whole
+// exercise: the fail-slow device keeps heartbeating, so the fail-stop
+// detector records zero suspicions across every faulted arm — without
+// the health monitor nothing in the stack notices.
+func TestGrayFailBinaryDetectorNeverFires(t *testing.T) {
+	rep, err := RunGrayFail(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for arm, r := range map[string]*Report{
+		"defense": rep.Defense, "hedge-only": rep.HedgeOnly, "control": rep.Control,
+	} {
+		if r.Suspected != 0 || r.Confirmed != 0 {
+			t.Errorf("%s arm: binary detector fired (suspected=%d confirmed=%d) on a heartbeating device",
+				arm, r.Suspected, r.Confirmed)
+		}
+	}
+	if !strings.Contains(rep.Render(), "summary:") {
+		t.Error("render missing summary line")
+	}
+}

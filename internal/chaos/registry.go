@@ -1,0 +1,109 @@
+package chaos
+
+import "fmt"
+
+// HarnessReport is the common surface of the multi-arm experiment
+// reports (noisy-neighbor, planned-drain, gray-fail): a deterministic
+// rendered text and a verdict — "" when every bar holds, else the first
+// violated bar's reason.
+type HarnessReport interface {
+	Render() string
+	Violated() string
+}
+
+// Registered is one bundled scenario. Exactly one of Events / Harness
+// is set: Events builds a timed-fault schedule for the Run runner;
+// Harness runs a multi-arm experiment end to end.
+type Registered struct {
+	Name    string
+	Summary string
+	// Events builds the timed-fault scenario (nil for harness entries).
+	Events func(seed uint64) Scenario
+	// Harness runs the multi-arm experiment (nil for event entries).
+	// defense carries the CLI's -mapek flag: harnesses with a single
+	// defense/control switch (noisy-neighbor's quotas) honor it; the
+	// ones that always run every arm ignore it.
+	Harness func(seed uint64, defense bool) (HarnessReport, error)
+}
+
+// registry is the single source of truth for bundled scenario names:
+// `continuum-sim chaos -list`, the usage text, and BuiltIn's
+// unknown-scenario error all read it, so they cannot drift.
+var registry = []Registered{
+	{
+		Name:    "edge-flap",
+		Summary: "camera uplink flaps, detector/camera crashes, broker burst",
+		Events:  EdgeFlap,
+	},
+	{
+		Name:    "fog-partition",
+		Summary: "aggregator partition, correlated cloud outage, broker burst",
+		Events:  FogPartition,
+	},
+	{
+		Name:    "gray-fail",
+		Summary: "fail-slow device; four arms: fault-free / defense / hedge-only / no-defense",
+		Harness: func(seed uint64, defense bool) (HarnessReport, error) {
+			return RunGrayFail(seed)
+		},
+	},
+	{
+		Name:    "noisy-neighbor",
+		Summary: "tenant flash crowd; -mapek=false is the no-quotas control arm",
+		Harness: func(seed uint64, defense bool) (HarnessReport, error) {
+			return RunNoisyNeighbor(NoisyConfig{Seed: seed, Quotas: defense})
+		},
+	},
+	{
+		Name:    "planned-drain",
+		Summary: "live migration; three arms: drain / crash / mid-migration crash",
+		Harness: func(seed uint64, defense bool) (HarnessReport, error) {
+			return RunPlannedDrain(seed)
+		},
+	},
+}
+
+// Names lists every bundled scenario (event schedules and experiment
+// harnesses alike), in registry order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, r := range registry {
+		out[i] = r.Name
+	}
+	return out
+}
+
+// EventNames lists only the timed-fault schedules — the subset of
+// Names() that BuiltIn accepts and the generic runner can drive.
+func EventNames() []string {
+	var out []string
+	for _, r := range registry {
+		if r.Events != nil {
+			out = append(out, r.Name)
+		}
+	}
+	return out
+}
+
+// Lookup finds a bundled scenario by name.
+func Lookup(name string) (Registered, bool) {
+	for _, r := range registry {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Registered{}, false
+}
+
+// BuiltIn returns a bundled timed-fault scenario by name, with the seed
+// applied to any seeded schedule draws.
+func BuiltIn(name string, seed uint64) (Scenario, error) {
+	r, ok := Lookup(name)
+	if !ok {
+		return Scenario{}, fmt.Errorf("chaos: unknown scenario %q (have %v)", name, Names())
+	}
+	if r.Events == nil {
+		return Scenario{}, fmt.Errorf("chaos: scenario %q is a multi-arm experiment harness, not a timed-fault schedule (have %v)", name, Names())
+	}
+	return r.Events(seed), nil
+}

@@ -97,6 +97,19 @@ type Report struct {
 	DrainSplices   int
 	LiveMigrations uint64
 
+	// Gray-failure section (set when Config.Health): the peer-relative
+	// health monitor's counters and per-device end state, plus the
+	// fault-injection→first-escalation detection lags.
+	HealthOn         bool
+	HedgeOnly        bool
+	Health           mirto.HealthStats
+	DeviceHealth     []mirto.DeviceHealth
+	DetectionSamples []sim.Time
+
+	// Latencies are per-request submit→completion times of every request
+	// that eventually succeeded (retry backoffs included).
+	Latencies []sim.Time
+
 	// Registry exposes the headline counters as telemetry for export.
 	Registry *telemetry.Registry
 
@@ -139,6 +152,26 @@ func quantiles(samples []sim.Time) (p50, p95 sim.Time) {
 		return s[i]
 	}
 	return q(0.50), q(0.95)
+}
+
+// LatencyQuantiles returns the p50/p95/p99 of the successful-request
+// latency samples (0s when none succeeded).
+func (r *Report) LatencyQuantiles() (p50, p95, p99 sim.Time) {
+	n := len(r.Latencies)
+	if n == 0 {
+		return 0, 0, 0
+	}
+	s := make([]sim.Time, n)
+	copy(s, r.Latencies)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	q := func(f float64) sim.Time {
+		i := int(f * float64(n))
+		if i >= n {
+			i = n - 1
+		}
+		return s[i]
+	}
+	return q(0.50), q(0.95), q(0.99)
 }
 
 func intQuantiles(samples []int) (p50, p95 int) {
@@ -217,6 +250,9 @@ func (r *Report) Render() string {
 	fmt.Fprintf(&b, "  requests:  total=%d ok=%d recovered=%d lost=%d (attempt failures=%d)\n",
 		r.Total, r.OK, r.Recovered, r.Lost, r.AttemptFailures)
 	fmt.Fprintf(&b, "  availability: %.2f%%\n", 100*r.Availability())
+	lp50, lp95, lp99 := r.LatencyQuantiles()
+	fmt.Fprintf(&b, "  latency:   p50=%s p95=%s p99=%s n=%d\n",
+		dur(lp50), dur(lp95), dur(lp99), len(r.Latencies))
 	p50, p95 := r.MTTR()
 	fmt.Fprintf(&b, "  incidents: %d closed=%d mttr_p50=%s mttr_p95=%s\n",
 		r.Incidents, len(r.MTTRSamples), dur(p50), dur(p95))
@@ -279,6 +315,32 @@ func (r *Report) Render() string {
 				fmt.Fprintf(&b, "      pause %s: %s (%.2f ticks) parked=%d\n",
 					app, dur(d.Pauses[app]), r.ticks(d.Pauses[app]), d.Parked[app])
 			}
+		}
+	}
+	if r.HealthOn {
+		hmode := "quarantine"
+		if r.HedgeOnly {
+			hmode = "hedge-only"
+		}
+		dp50, dp95 := quantiles(r.DetectionSamples)
+		fmt.Fprintf(&b, "  health:    suspects=%d quarantines=%d requarantines=%d probations=%d restores=%d probes=%d detect_p50=%s detect_p95=%s (mode=%s)\n",
+			r.Health.Suspects, r.Health.Quarantines, r.Health.Requarantines,
+			r.Health.Probations, r.Health.Restores, r.Health.Probes,
+			dur(dp50), dur(dp95), hmode)
+		overhead := 0.0
+		if r.Health.Dispatches > 0 {
+			overhead = 100 * float64(r.Health.HedgesFired) / float64(r.Health.Dispatches)
+		}
+		fmt.Fprintf(&b, "  hedges:    dispatches=%d fired=%d won=%d suppressed=%d denied=%d failovers=%d steered=%d overhead=%.2f%%\n",
+			r.Health.Dispatches, r.Health.HedgesFired, r.Health.HedgesWon,
+			r.Health.HedgesSuppressed, r.Health.HedgesDenied, r.Health.Failovers,
+			r.Health.Steered, overhead)
+		for _, dh := range r.DeviceHealth {
+			if dh.State == mirto.HealthHealthy.String() && dh.Score <= 1.5 {
+				continue // only the interesting rows; healthy-at-nominal is the default
+			}
+			fmt.Fprintf(&b, "    device %s (%s): state=%s score=%.2f ewma=%.3f peer_median=%.3f samples=%d\n",
+				dh.Device, dh.Class, dh.State, dh.Score, dh.EWMA, dh.PeerMedian, dh.Samples)
 		}
 	}
 	if att := r.Attribution(); len(att) > 0 {

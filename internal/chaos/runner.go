@@ -50,6 +50,21 @@ type Config struct {
 	// renegotiation — the control arm quantifying what incremental
 	// delta replans save (see the report's replan_mode line).
 	NoDeltaReplans bool
+
+	// Health attaches the gray-failure defense: peer-relative health
+	// scoring over observed stage service times, planner penalties and
+	// hedged requests for suspect-slow devices, and (with MAPEK)
+	// quarantine via cordon + live drain plus probation re-entry.
+	Health bool
+	// HedgeOnly caps the defense at hedging: no planner penalty, no
+	// quarantine — the middle arm of the gray-fail experiment.
+	HedgeOnly bool
+	// DeviceQueueLimit bounds every device's work queue: work that would
+	// wait longer for a core is rejected with ErrOverloaded instead of
+	// queuing without bound (0 = unbounded). Both gray-fail arms carry
+	// it, so the control arm's collapse is queue-bound rejection, not an
+	// unbounded-backlog artifact.
+	DeviceQueueLimit sim.Time
 }
 
 // ckptAnchor is the device fronting the raft-replicated KB: checkpoint
@@ -71,6 +86,14 @@ type runner struct {
 	savedLinks    map[string][]network.Link
 	degraded      map[string][]network.Link
 	failedLayer   map[string][]string
+	// slowTarget memoizes DeviceSlow resolution so the paired unslow
+	// restores the same physical device even after the stage migrates
+	// away; slowAt stamps injection time for detection-lag measurement.
+	slowTarget map[string]string
+	slowAt     map[string]sim.Time
+
+	// hm is the gray-failure health monitor (nil unless cfg.Health).
+	hm *mirto.HealthMonitor
 
 	// ss is the stateful-stage state store (nil unless cfg.Stateful):
 	// fault events stamp crash times on it for honest RTO measurement.
@@ -142,6 +165,13 @@ func runOnce(sc Scenario, cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.DeviceQueueLimit > 0 {
+		// Bounded device queues: a fail-slow device sheds its backlog
+		// with ErrOverloaded instead of stalling requests without bound.
+		for _, name := range c.DeviceNames() {
+			c.Devices[name].SetQueueLimit(cfg.DeviceQueueLimit)
+		}
+	}
 	if cfg.MAPEK && cfg.BrokerQueueLimit > 0 {
 		// Bounded link queues: a broker burst sheds its excess instead of
 		// stalling every transfer behind it. Protection-stack behavior, so
@@ -197,22 +227,51 @@ func runOnce(sc Scenario, cfg Config) (*Report, error) {
 		mig.SetDetector(fd)
 		mig.SetKB(c.KB)
 	}
+	var hm *mirto.HealthMonitor
+	if cfg.Health {
+		hcfg := mirto.HealthConfig{NoQuarantine: cfg.HedgeOnly}
+		if cfg.HedgeOnly {
+			hcfg.SuspectPenalty = -1 // hedge-only: no planner bias either
+		}
+		hm = mirto.NewHealthMonitor(c, hcfg)
+		hm.SetDetector(fd)
+		if mig != nil && !cfg.HedgeOnly {
+			hm.SetMigrator(mig)
+		}
+		m.SetHealth(hm)
+		o.R.SetHealth(hm)
+	}
 
 	r := &runner{
-		c: c, o: o, app: plan.App, ss: ss, mig: mig,
+		c: c, o: o, app: plan.App, ss: ss, mig: mig, hm: hm,
 		crashTarget:   map[string]string{},
 		isolateTarget: map[string]string{},
 		savedLinks:    map[string][]network.Link{},
 		degraded:      map[string][]network.Link{},
 		failedLayer:   map[string][]string{},
+		slowTarget:    map[string]string{},
+		slowAt:        map[string]sim.Time{},
 		rep: &Report{
 			Scenario: sc.Name, Seed: cfg.Seed, MAPEK: cfg.MAPEK, Duration: sc.Duration,
 			TickEvery: cfg.TickEvery,
 			Stateful:  cfg.Stateful, Checkpoint: cfg.Stateful && !cfg.NoCheckpoint,
+			HealthOn:  cfg.Health, HedgeOnly: cfg.HedgeOnly,
 			attribution: map[trace.Layer]*trace.LayerStat{},
 		},
 	}
 	eng := c.Engine
+	if hm != nil {
+		// Detection lag: the gap between a fail-slow injection and the
+		// monitor first escalating that device off healthy.
+		hm.OnTransition = func(dev string, from, to mirto.HealthState, at sim.Time) {
+			if from == mirto.HealthHealthy && to != mirto.HealthHealthy {
+				if t0, ok := r.slowAt[dev]; ok {
+					r.rep.DetectionSamples = append(r.rep.DetectionSamples, at-t0)
+					delete(r.slowAt, dev)
+				}
+			}
+		}
+	}
 
 	// Fault schedule.
 	for _, ev := range sc.Events {
@@ -239,6 +298,9 @@ func runOnce(sc Scenario, cfg Config) (*Report, error) {
 	tick = func() {
 		c.Heartbeat()
 		fd.Tick()
+		if hm != nil {
+			hm.Tick(eng.Now())
+		}
 		if loop != nil {
 			loop.Iterate()
 		}
@@ -285,6 +347,9 @@ func runOnce(sc Scenario, cfg Config) (*Report, error) {
 						r.rep.Lost++
 						return
 					}
+					// User-perceived latency: submit to final completion,
+					// retry backoffs included — the honest tail.
+					r.rep.Latencies = append(r.rep.Latencies, eng.Now()-submitAt)
 					if attempts > 1 {
 						r.rep.Recovered++
 					} else {
@@ -368,6 +433,15 @@ func runOnce(sc Scenario, cfg Config) (*Report, error) {
 	}
 	if breakers != nil {
 		rep.BreakerOpens, rep.BreakerFastFails = breakers.Stats()
+	}
+	if hm != nil {
+		rep.Health = hm.Stats()
+		rep.DeviceHealth = hm.States()
+	}
+	if mig != nil {
+		// Every completed drain — event-scheduled or quarantine-driven —
+		// lands in the migrator's report log, in start order.
+		rep.Drains = mig.Reports()
 	}
 	rep.Fabric = c.Fabric.Stats()
 
@@ -594,12 +668,46 @@ func (r *runner) apply(ev Event) error {
 			return err
 		}
 		// The drain runs asynchronously (pre-copy rounds ride the fabric);
-		// its report lands on completion, aborted or not. A mid-drain crash
-		// of the device shows up as an aborted drain plus the normal
+		// its report lands in the migrator's log on completion, aborted
+		// or not, and the rollup collects the log. A mid-drain crash of
+		// the device shows up as an aborted drain plus the normal
 		// crash-restore path taking over.
-		return r.mig.Drain(dev, func(dr *mirto.DrainReport, _ error) {
-			r.rep.Drains = append(r.rep.Drains, dr)
-		})
+		return r.mig.Drain(dev, nil)
+
+	case DeviceSlow:
+		dev, err := r.resolve(ev.Target)
+		if err != nil {
+			return err
+		}
+		d := r.c.Devices[dev]
+		if d == nil {
+			return fmt.Errorf("unknown device %q", dev)
+		}
+		factor := ev.Slow
+		if factor <= 1 {
+			return fmt.Errorf("device-slow needs Slow > 1, got %v", factor)
+		}
+		r.slowTarget[ev.Target] = dev
+		if _, ok := r.slowAt[dev]; !ok {
+			r.slowAt[dev] = r.c.Engine.Now()
+		}
+		d.SetSlowFactor(factor) // silent: the device keeps heartbeating
+
+	case DeviceUnslow:
+		dev := r.slowTarget[ev.Target]
+		if dev == "" {
+			var err error
+			if dev, err = r.resolve(ev.Target); err != nil {
+				return err
+			}
+		}
+		delete(r.slowTarget, ev.Target)
+		delete(r.slowAt, dev)
+		d := r.c.Devices[dev]
+		if d == nil {
+			return fmt.Errorf("unknown device %q", dev)
+		}
+		d.SetSlowFactor(1)
 
 	default:
 		return fmt.Errorf("unknown event kind %q", ev.Kind)

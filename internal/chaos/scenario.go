@@ -9,7 +9,6 @@
 package chaos
 
 import (
-	"fmt"
 	"sort"
 
 	"myrtus/internal/mirto"
@@ -49,6 +48,15 @@ const (
 	// maintenance event the MYRTUS continuum's any-tier mobility story
 	// promises — as opposed to DeviceCrash's unplanned recovery.
 	DrainDevice Kind = "drain-device"
+	// DeviceSlow injects a fail-slow gray failure: the target's service
+	// times stretch by Event.Slow while the device keeps heartbeating,
+	// so the binary failure detector provably never fires — only the
+	// peer-relative health monitor can see it.
+	DeviceSlow Kind = "device-slow"
+	// DeviceUnslow restores the slowed device's nominal speed (paired
+	// with the slow's target so the same physical device recovers even
+	// after the stage migrates away).
+	DeviceUnslow Kind = "device-unslow"
 )
 
 // Event is one timed fault. Target is a device name, a layer name (for
@@ -68,6 +76,9 @@ type Event struct {
 	// Burst sizing for BrokerBurst.
 	Messages int
 	Bytes    int
+
+	// Slow is the DeviceSlow service-time multiplier (>1).
+	Slow float64
 }
 
 // Scenario is a seeded schedule of faults plus the workload driven
@@ -242,19 +253,4 @@ func FogPartition(seed uint64) Scenario {
 		},
 	}
 	return defaults(sc)
-}
-
-// Names lists the bundled scenarios.
-func Names() []string { return []string{"edge-flap", "fog-partition"} }
-
-// BuiltIn returns a bundled scenario by name, with the seed applied to
-// any seeded schedule draws.
-func BuiltIn(name string, seed uint64) (Scenario, error) {
-	switch name {
-	case "edge-flap":
-		return EdgeFlap(seed), nil
-	case "fog-partition":
-		return FogPartition(seed), nil
-	}
-	return Scenario{}, fmt.Errorf("chaos: unknown scenario %q (have %v)", name, Names())
 }

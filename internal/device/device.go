@@ -121,6 +121,9 @@ type Work struct {
 
 // Result reports one completed execution.
 type Result struct {
+	// Start is when the work actually began executing (after any core
+	// queueing), so callers can separate service time from queue wait.
+	Start        sim.Time
 	Finish       sim.Time
 	EnergyJoules float64
 	// Engine names what ran the work: "core", "custom-unit", "fpga".
@@ -147,6 +150,11 @@ type Device struct {
 	// failed is atomic so orchestration hot paths can poll liveness
 	// across thousands of candidates without taking the device lock.
 	failed atomic.Bool
+
+	// slow stretches service time by a multiplicative factor without
+	// touching liveness: the device keeps heartbeating, so binary
+	// failure detection cannot see it (a gray failure). 0 or 1 = nominal.
+	slow float64
 
 	thermal *thermalState
 
@@ -210,6 +218,28 @@ func (d *Device) Repair(now sim.Time) {
 		d.coreBusy[i] = now
 	}
 	d.memUsed = 0
+}
+
+// SetSlowFactor injects (or clears) a fail-slow degradation: every
+// execution takes factor× its nominal service time while the device
+// stays up and keeps heartbeating. Factors <= 1 restore nominal speed.
+func (d *Device) SetSlowFactor(factor float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if factor <= 1 {
+		factor = 0
+	}
+	d.slow = factor
+}
+
+// SlowFactor returns the active fail-slow multiplier (1 = nominal).
+func (d *Device) SlowFactor() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.slow <= 1 {
+		return 1
+	}
+	return d.slow
 }
 
 // SetQueueLimit bounds the per-device work queue: work that would wait
@@ -310,12 +340,16 @@ func (d *Device) Run(w Work, now sim.Time) (Result, error) {
 	// FPGA path.
 	if w.Kernel != "" && d.spec.Fabric != nil {
 		if idx := d.spec.Fabric.FindLoaded(w.Kernel); idx >= 0 {
+			slow := d.slow
 			d.mu.Unlock()
 			finish, energy, err := d.spec.Fabric.Execute(idx, w.Kernel, items, now)
 			if err == nil {
+				if slow > 1 && finish > now {
+					finish = now + sim.Time(float64(finish-now)*slow)
+				}
 				d.record("fpga", finish-now, energy)
 				ctx := d.traceExec(w, "fpga", now, finish)
-				return Result{Finish: finish, EnergyJoules: energy, Engine: "fpga", Ctx: ctx}, nil
+				return Result{Start: now, Finish: finish, EnergyJoules: energy, Engine: "fpga", Ctx: ctx}, nil
 			}
 			d.mu.Lock() // fall through to CPU on accelerator error
 		}
@@ -347,6 +381,9 @@ func (d *Device) Run(w Work, now sim.Time) (Result, error) {
 	}
 	f := d.spec.DVFSLevels[d.dvfs]
 	seconds := w.GOps / (d.spec.GOPSPerCore * f * speedup)
+	if d.slow > 1 {
+		seconds *= d.slow
+	}
 	dur := sim.Time(seconds * float64(sim.Second))
 	if dur <= 0 {
 		dur = 1
@@ -357,7 +394,7 @@ func (d *Device) Run(w Work, now sim.Time) (Result, error) {
 	d.mu.Unlock()
 	d.record(engine, dur, energy)
 	ctx := d.traceExec(w, engine, now, finish)
-	return Result{Finish: finish, EnergyJoules: energy, Engine: engine, Ctx: ctx}, nil
+	return Result{Start: start, Finish: finish, EnergyJoules: energy, Engine: engine, Ctx: ctx}, nil
 }
 
 // traceExec records the execution span for sampled work. The span opens

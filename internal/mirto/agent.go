@@ -46,6 +46,7 @@ func NewAgent(o *Orchestrator, tokens map[string]Role) *Agent {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/healthz", a.handleHealth)
+	mux.HandleFunc("GET /v1/health/devices", a.requireRole(RoleViewer, a.handleDeviceHealth))
 	mux.HandleFunc("POST /v1/deployments", a.requireRole(RoleAdmin, a.handleDeploy))
 	mux.HandleFunc("GET /v1/deployments", a.requireRole(RoleViewer, a.handleList))
 	mux.HandleFunc("GET /v1/deployments/{app}", a.requireRole(RoleViewer, a.handleGet))
@@ -135,6 +136,31 @@ func (a *Agent) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"status":      "ok",
 		"deployments": len(a.o.Plans()),
 		"virtualTime": a.o.M.C.Engine.Now().String(),
+	})
+}
+
+// handleDeviceHealth reports the gray-failure monitor's view of the
+// fleet: per-device peer-relative scores and states plus the rollup
+// counters. A continuum without a monitor attached answers gracefully
+// with attached=false rather than erroring — health scoring is an
+// optional subsystem.
+func (a *Agent) handleDeviceHealth(w http.ResponseWriter, r *http.Request) {
+	hm := a.o.R.Health()
+	if hm == nil {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"attached": false,
+			"devices":  []DeviceHealth{},
+		})
+		return
+	}
+	devs := hm.States()
+	if devs == nil {
+		devs = []DeviceHealth{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"attached": true,
+		"stats":    hm.Stats(),
+		"devices":  devs,
 	})
 }
 

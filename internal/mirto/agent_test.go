@@ -398,3 +398,50 @@ func TestAgentDrainEndpoints(t *testing.T) {
 		t.Fatalf("undrain = %d %v", resp.StatusCode, body)
 	}
 }
+
+func TestAgentDeviceHealthEndpoint(t *testing.T) {
+	a, srv := newTestAgent(t)
+
+	// Monitor not attached: graceful attached=false, not an error.
+	resp, body := doReq(t, "GET", srv.URL+"/v1/health/devices", "viewer-token", "", nil)
+	if resp.StatusCode != http.StatusOK || body["attached"] != false {
+		t.Fatalf("detached monitor = %d %v", resp.StatusCode, body)
+	}
+	// Requires a token (viewer suffices, admin not needed).
+	resp, _ = doReq(t, "GET", srv.URL+"/v1/health/devices", "", "", nil)
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("no token = %d", resp.StatusCode)
+	}
+
+	// Attach a monitor, drift one device, and read the rows back.
+	hm := NewHealthMonitor(a.o.M.C, HealthConfig{})
+	a.o.R.SetHealth(hm)
+	for i := 0; i < 3; i++ {
+		at := sim.Time(i+1) * 100 * sim.Millisecond
+		feedHealthy(hm, a.o.M.C.Devices, at)
+		obsNorm(hm, a.o.M.C.Devices["fog-fmdc-0"], 3.0, at)
+	}
+	hm.Tick(sim.Second)
+	resp, body = doReq(t, "GET", srv.URL+"/v1/health/devices", "viewer-token", "", nil)
+	if resp.StatusCode != http.StatusOK || body["attached"] != true {
+		t.Fatalf("attached monitor = %d %v", resp.StatusCode, body)
+	}
+	devs, ok := body["devices"].([]any)
+	if !ok || len(devs) == 0 {
+		t.Fatalf("devices = %v", body["devices"])
+	}
+	found := ""
+	for _, d := range devs {
+		row := d.(map[string]any)
+		if row["device"] == "fog-fmdc-0" {
+			found = row["state"].(string)
+		}
+	}
+	if found != "suspect" {
+		t.Fatalf("fog-fmdc-0 state = %q, want suspect", found)
+	}
+	stats, ok := body["stats"].(map[string]any)
+	if !ok || stats["suspects"].(float64) != 1 {
+		t.Fatalf("stats = %v", body["stats"])
+	}
+}

@@ -77,6 +77,9 @@ func (fd *FailureDetector) SetDraining(name string, on bool) {
 // Draining reports whether the device is currently marked draining.
 func (fd *FailureDetector) Draining(name string) bool { return fd.draining[name] }
 
+// Suspected reports whether the device is currently crash-suspected.
+func (fd *FailureDetector) Suspected(name string) bool { return fd.suspected[name] }
+
 // SetBreakers wires a breaker set into the detector: suspicion trips the
 // device's breaker open, a returning heartbeat resets it closed.
 func (fd *FailureDetector) SetBreakers(bs *BreakerSet) { fd.breakers = bs }

@@ -1,0 +1,431 @@
+package mirto
+
+import (
+	"sync"
+	"testing"
+
+	"myrtus/internal/device"
+	"myrtus/internal/sim"
+)
+
+// obsNorm feeds one synthetic observation with an exact normalized
+// service time: gops is chosen so rate = 1000, making the wall duration
+// norm milliseconds regardless of the device's class.
+func obsNorm(hm *HealthMonitor, d *device.Device, norm float64, at sim.Time) {
+	gops := d.Spec().GOPSPerCore * 1e-3
+	hm.Observe(d, gops, at, at+sim.Time(norm*float64(sim.Millisecond)))
+}
+
+// healthPeers is a spread of devices across classes used as the healthy
+// reference fleet in the monitor unit tests.
+var healthPeers = []string{
+	"edge-mc-0", "edge-rv-0", "edge-rv-1", "fog-gw-0", "fog-fmdc-1",
+	"cloud-srv-0", "cloud-srv-1",
+}
+
+func feedHealthy(hm *HealthMonitor, c map[string]*device.Device, at sim.Time) {
+	for _, p := range healthPeers {
+		obsNorm(hm, c[p], 1.0, at)
+	}
+}
+
+// TestHealthEscalatesOnPeerRelativeSlowness walks the suspect half of
+// the state machine: a device whose normalized service time drifts 3×
+// past its peers becomes suspect, cannot be quarantined without a
+// migrator no matter how slow it gets, and de-escalates once its EWMA
+// decays back under the recovery ratio.
+func TestHealthEscalatesOnPeerRelativeSlowness(t *testing.T) {
+	c := testContinuum(t)
+	hm := NewHealthMonitor(c, HealthConfig{})
+	target := c.Devices["fog-fmdc-0"]
+
+	for i := 0; i < 3; i++ {
+		at := sim.Time(i+1) * 100 * sim.Millisecond
+		feedHealthy(hm, c.Devices, at)
+		obsNorm(hm, target, 3.0, at)
+	}
+	hm.Tick(sim.Second)
+	if st := hm.StateOf("fog-fmdc-0"); st != HealthSuspect {
+		t.Fatalf("state after 3x drift = %v, want suspect", st)
+	}
+	if s := hm.Stats(); s.Suspects != 1 {
+		t.Fatalf("Suspects = %d, want 1", s.Suspects)
+	}
+	if hm.Penalty("fog-fmdc-0") <= 0 {
+		t.Fatal("suspect device has no placement penalty")
+	}
+	if hm.Penalty("edge-rv-0") != 0 {
+		t.Fatal("healthy device pays a placement penalty")
+	}
+
+	// Far past the quarantine ratio, but no migrator attached:
+	// escalation must cap at suspect.
+	for i := 0; i < 4; i++ {
+		obsNorm(hm, target, 9.0, sim.Second+sim.Time(i+1)*10*sim.Millisecond)
+	}
+	hm.Tick(2 * sim.Second)
+	if st := hm.StateOf("fog-fmdc-0"); st != HealthSuspect {
+		t.Fatalf("state without migrator = %v, want suspect", st)
+	}
+	if s := hm.Stats(); s.Quarantines != 0 {
+		t.Fatalf("Quarantines = %d without a migrator", s.Quarantines)
+	}
+
+	// Recovery: fresh nominal samples decay the EWMA back under the
+	// recover ratio and the suspect de-escalates.
+	for i := 0; i < 8; i++ {
+		at := 2*sim.Second + sim.Time(i+1)*10*sim.Millisecond
+		feedHealthy(hm, c.Devices, at)
+		obsNorm(hm, target, 1.0, at)
+	}
+	hm.Tick(3 * sim.Second)
+	if st := hm.StateOf("fog-fmdc-0"); st != HealthHealthy {
+		t.Fatalf("state after recovery = %v, want healthy", st)
+	}
+}
+
+// TestHealthUniformObservationsRaiseNoAlarms is the false-positive
+// bar: a fleet with ordinary jitter (±20%) must never leave healthy.
+func TestHealthUniformObservationsRaiseNoAlarms(t *testing.T) {
+	c := testContinuum(t)
+	hm := NewHealthMonitor(c, HealthConfig{})
+	for i := 0; i < 6; i++ {
+		at := sim.Time(i+1) * 100 * sim.Millisecond
+		for j, p := range healthPeers {
+			jitter := 0.8
+			if (i+j)%2 == 0 {
+				jitter = 1.2
+			}
+			obsNorm(hm, c.Devices[p], jitter, at)
+		}
+		hm.Tick(at + 50*sim.Millisecond)
+	}
+	if s := hm.Stats(); s.Suspects != 0 || s.Quarantines != 0 {
+		t.Fatalf("uniform load raised alarms: %+v", s)
+	}
+	for _, dh := range hm.States() {
+		if dh.State != HealthHealthy.String() {
+			t.Fatalf("device %s drifted to %s under uniform load", dh.Device, dh.State)
+		}
+	}
+}
+
+// TestHealthQuarantineProbationRestoreCycle drives the full trajectory
+// with a migrator attached: suspect → quarantined (the drain fires) →
+// probation after the dwell → three fast probes → restored and
+// undrained.
+func TestHealthQuarantineProbationRestoreCycle(t *testing.T) {
+	s := newDrainStack(t)
+	hm := NewHealthMonitor(s.c, HealthConfig{})
+	hm.SetMigrator(s.mg)
+
+	// Pick a device hosting no stage: its quarantine drain completes
+	// trivially, keeping the trajectory under test the monitor's own.
+	plan, _ := s.o.PlanFor("drainapp")
+	used := map[string]bool{}
+	for _, a := range plan.Assignments {
+		used[a.Device] = true
+	}
+	target := ""
+	for _, name := range []string{"fog-fmdc-0", "fog-fmdc-1", "cloud-srv-1", "fog-gw-0"} {
+		if !used[name] {
+			target = name
+			break
+		}
+	}
+	if target == "" {
+		t.Fatal("no empty device to quarantine")
+	}
+
+	for i := 0; i < 3; i++ {
+		at := sim.Time(i+1) * 100 * sim.Millisecond
+		feedHealthy(hm, s.c.Devices, at)
+		obsNorm(hm, s.c.Devices[target], 3.0, at)
+	}
+	hm.Tick(sim.Second)
+	if st := hm.StateOf(target); st != HealthSuspect {
+		t.Fatalf("state = %v, want suspect", st)
+	}
+	for i := 0; i < 4; i++ {
+		obsNorm(hm, s.c.Devices[target], 9.0, sim.Second+sim.Time(i+1)*10*sim.Millisecond)
+	}
+	hm.Tick(2 * sim.Second)
+	s.c.Engine.Run()
+	if st := hm.StateOf(target); st != HealthQuarantined {
+		t.Fatalf("state = %v, want quarantined", st)
+	}
+	if st := hm.Stats(); st.Quarantines != 1 {
+		t.Fatalf("Quarantines = %d, want 1", st.Quarantines)
+	}
+	if got := len(s.mg.Reports()); got != 1 {
+		t.Fatalf("drain reports = %d, want 1 (quarantine drain)", got)
+	}
+
+	// Before the dwell elapses the device stays quarantined.
+	hm.Tick(5 * sim.Second)
+	if st := hm.StateOf(target); st != HealthQuarantined {
+		t.Fatalf("state before dwell = %v, want quarantined", st)
+	}
+	// Dwell (default 10s from quarantine at t=2s) over: probation, then
+	// ProbationGood fast probes restore the device and lift the cordon.
+	hm.Tick(13 * sim.Second)
+	if st := hm.StateOf(target); st != HealthProbation {
+		t.Fatalf("state after dwell = %v, want probation", st)
+	}
+	for i := 0; i < 3; i++ {
+		hm.Tick(14*sim.Second + sim.Time(i)*sim.Second)
+	}
+	if st := hm.StateOf(target); st != HealthHealthy {
+		t.Fatalf("state after probes = %v, want healthy", st)
+	}
+	st := hm.Stats()
+	if st.Probations != 1 || st.Restores != 1 || st.Probes < 3 {
+		t.Fatalf("stats after restore = %+v", st)
+	}
+	// Restore must have undrained: a fresh operator drain is accepted.
+	if err := s.mg.Drain(target, nil); err != nil {
+		t.Fatalf("drain after restore rejected: %v (cordon not lifted?)", err)
+	}
+}
+
+// TestHedgeTokenBudgetCapsAndDenies: the cumulative budget is
+// max(1, HedgeBudget × dispatches); overflow is denied and counted.
+func TestHedgeTokenBudgetCapsAndDenies(t *testing.T) {
+	c := testContinuum(t)
+	hm := NewHealthMonitor(c, HealthConfig{})
+	for i := 0; i < 100; i++ {
+		hm.NoteDispatch("edge-rv-0")
+	}
+	granted := 0
+	for i := 0; i < 10; i++ {
+		if hm.TakeHedgeToken() {
+			granted++
+			hm.NoteHedgeFired(i%2 == 0)
+		}
+	}
+	if granted != 5 {
+		t.Fatalf("granted = %d hedges over 100 dispatches, want 5 (5%% budget)", granted)
+	}
+	s := hm.Stats()
+	if s.HedgesFired != 5 || s.HedgesDenied != 5 {
+		t.Fatalf("stats = %+v, want fired=5 denied=5", s)
+	}
+	if s.HedgesWon+s.HedgesLost != s.HedgesFired {
+		t.Fatalf("won+lost=%d does not telescope to fired=%d", s.HedgesWon+s.HedgesLost, s.HedgesFired)
+	}
+}
+
+// TestHedgeExactlyOnceOnStatefulStage is the hedging half of the
+// exactly-once contract: a hedged stateful stage executes twice, but the
+// losing apply dedups against the winner's, and the final state is
+// byte-for-byte the state a hedge-free same-seed run produces.
+func TestHedgeExactlyOnceOnStatefulStage(t *testing.T) {
+	const requests = 6
+	run := func(withMonitor bool) (agg, det StageState, hs HealthStats, dedup uint64) {
+		s := newDrainStack(t)
+		plan, _ := s.o.PlanFor("drainapp")
+		a, _ := plan.Assignment("aggregator")
+		primary := s.c.Devices[a.Device]
+
+		var hm *HealthMonitor
+		if withMonitor {
+			// Budget 100%: every degraded dispatch may hedge, so the
+			// stateful stages hedge regardless of which colocated stage
+			// consumed a token first (the 5% cap has its own test).
+			hm = NewHealthMonitor(s.c, HealthConfig{HedgeBudget: 1})
+			s.o.R.SetHealth(hm)
+			s.o.M.SetHealth(hm)
+			// Seed peer references (every class rings at norm 1.0) and
+			// drift the primary to suspect before traffic arrives.
+			for i := 0; i < 3; i++ {
+				at := sim.Time(i+1) * 100 * sim.Millisecond
+				for name, d := range s.c.Devices {
+					if name == a.Device {
+						continue
+					}
+					obsNorm(hm, d, 1.0, at)
+				}
+				obsNorm(hm, primary, 3.0, at)
+			}
+			hm.Tick(600 * sim.Millisecond)
+			if st := hm.StateOf(a.Device); st != HealthSuspect {
+				t.Fatalf("primary %s = %v, want suspect", a.Device, st)
+			}
+		}
+
+		// The gray failure itself: the primary silently runs 12× slow,
+		// far past the hedge delay, so every hedge that fires wins.
+		primary.SetSlowFactor(12)
+		for i := 0; i < requests; i++ {
+			if _, _, err := s.o.R.ServeRequestFrom("drainapp", "", 1); err != nil {
+				t.Fatalf("request %d: %v", i, err)
+			}
+		}
+		aggSt, lost, ok := s.ss.State("drainapp", "aggregator")
+		if !ok || lost {
+			t.Fatalf("aggregator state lost=%v ok=%v", lost, ok)
+		}
+		detSt, _, _ := s.ss.State("drainapp", "detector")
+		if hm != nil {
+			hs = hm.Stats()
+		}
+		return aggSt, detSt, hs, s.ss.Stats().DedupHits
+	}
+
+	hAgg, hDet, hs, hDedup := run(true)
+	if hs.HedgesFired < 1 || hs.HedgesWon < 1 {
+		t.Fatalf("no hedge fired/won against a 12x-slow suspect: %+v", hs)
+	}
+	if hs.HedgesSuppressed < 1 || hDedup < 1 {
+		t.Fatalf("losing hedge applies were not absorbed: suppressed=%d dedup=%d",
+			hs.HedgesSuppressed, hDedup)
+	}
+	if int(hAgg.Count) != requests {
+		t.Fatalf("aggregator applied %d times for %d requests (hedge double-apply?)", hAgg.Count, requests)
+	}
+
+	cAgg, cDet, _, cDedup := run(false)
+	if cDedup != 0 {
+		t.Fatalf("hedge-free run recorded %d dedup hits", cDedup)
+	}
+	// Content fingerprint only (count, items, request-ID xor): hedges
+	// legitimately change *when* applies land, never *what* is applied.
+	fp := func(st StageState) [3]uint64 { return [3]uint64{st.Count, uint64(st.Items), st.Xor} }
+	if fp(hAgg) != fp(cAgg) || fp(hDet) != fp(cDet) {
+		t.Fatalf("hedged state diverged from hedge-free same-seed run:\n  hedged agg=%+v det=%+v\n  clean  agg=%+v det=%+v",
+			hAgg, hDet, cAgg, cDet)
+	}
+}
+
+// TestQuarantineYieldsToDrainAndCrash is the three-detector contract:
+// an operator drain in progress suppresses quarantine entirely (no
+// double cordon), quarantine proceeds normally once the drain is lifted,
+// and a crashed suspect de-escalates because the binary detector owns
+// fail-stop. The OnTransition callback re-enters the monitor on every
+// transition, doubling as a deadlock probe.
+func TestQuarantineYieldsToDrainAndCrash(t *testing.T) {
+	s := newDrainStack(t)
+	hm := NewHealthMonitor(s.c, HealthConfig{})
+	hm.SetDetector(s.fd)
+	hm.SetMigrator(s.mg)
+	hm.OnTransition = func(dev string, from, to HealthState, now sim.Time) {
+		_ = hm.Stats() // re-entrancy: must not deadlock
+		_ = hm.StateOf(dev)
+	}
+
+	plan, _ := s.o.PlanFor("drainapp")
+	a, _ := plan.Assignment("aggregator")
+
+	// Operator drain first (async: the device hosts stateful stages),
+	// then overwhelming slow evidence: the monitor must stay silent.
+	if err := s.mg.Drain(a.Device, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !s.fd.Draining(a.Device) {
+		t.Fatal("drain did not mark the device draining")
+	}
+	for i := 0; i < 4; i++ {
+		at := sim.Time(i+1) * 50 * sim.Millisecond
+		feedHealthy(hm, s.c.Devices, at)
+		obsNorm(hm, s.c.Devices[a.Device], 9.0, at)
+	}
+	hm.Tick(300 * sim.Millisecond)
+	hm.Tick(400 * sim.Millisecond)
+	if st := hm.StateOf(a.Device); st != HealthHealthy {
+		t.Fatalf("state while externally draining = %v, want healthy (hands off)", st)
+	}
+	if st := hm.Stats(); st.Quarantines != 0 || st.Suspects != 0 {
+		t.Fatalf("monitor acted during an operator drain: %+v", st)
+	}
+
+	s.c.Engine.Run() // complete the drain
+	reports := len(s.mg.Reports())
+	if reports != 1 {
+		t.Fatalf("drain reports = %d, want 1", reports)
+	}
+	s.mg.Undrain(a.Device)
+
+	// With the drain lifted, the already-ingested evidence escalates:
+	// suspect on the next tick, quarantined (one more drain) on the one
+	// after.
+	hm.Tick(sim.Second)
+	if st := hm.StateOf(a.Device); st != HealthSuspect {
+		t.Fatalf("state after undrain = %v, want suspect", st)
+	}
+	hm.Tick(2 * sim.Second)
+	s.c.Engine.Run()
+	if st := hm.StateOf(a.Device); st != HealthQuarantined {
+		t.Fatalf("state = %v, want quarantined", st)
+	}
+	if st := hm.Stats(); st.Quarantines != 1 {
+		t.Fatalf("Quarantines = %d, want 1", st.Quarantines)
+	}
+	if got := len(s.mg.Reports()); got != 2 {
+		t.Fatalf("drain reports = %d, want 2 (operator + quarantine)", got)
+	}
+
+	// Crash interaction: a suspect that dies is the binary detector's
+	// problem — the monitor de-escalates and never drains it.
+	crash := "cloud-srv-1"
+	if crash == a.Device {
+		crash = "cloud-srv-0"
+	}
+	for i := 0; i < 4; i++ {
+		obsNorm(hm, s.c.Devices[crash], 9.0, 2*sim.Second+sim.Time(i+1)*10*sim.Millisecond)
+	}
+	hm.Tick(3 * sim.Second)
+	if st := hm.StateOf(crash); st != HealthSuspect {
+		t.Fatalf("state = %v, want suspect", st)
+	}
+	s.c.Devices[crash].Fail()
+	hm.Tick(4 * sim.Second)
+	if st := hm.StateOf(crash); st != HealthHealthy {
+		t.Fatalf("crashed suspect = %v, want healthy (detector owns fail-stop)", st)
+	}
+	if got := len(s.mg.Reports()); got != 2 {
+		t.Fatalf("crash grew drain reports to %d (monitor drained a dead device?)", got)
+	}
+}
+
+// TestHealthMonitorParallelAccessIsRaceFree hammers the monitor's
+// public surface from concurrent goroutines (run under -race in CI):
+// observations, dispatch accounting, hedge tokens, reads, and ticks.
+func TestHealthMonitorParallelAccessIsRaceFree(t *testing.T) {
+	c := testContinuum(t)
+	hm := NewHealthMonitor(c, HealthConfig{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := healthPeers[i%len(healthPeers)]
+			d := c.Devices[name]
+			for j := 0; j < 400; j++ {
+				obsNorm(hm, d, 1.0, sim.Time(j)*sim.Millisecond)
+				hm.NoteDispatch(name)
+				if hm.TakeHedgeToken() {
+					hm.NoteHedgeFired(j%2 == 0)
+				}
+				_ = hm.Degraded(name)
+				_ = hm.Sidelined(name)
+				_ = hm.Penalty(name)
+				_ = hm.HedgeDelay(name, 1)
+				if j%50 == 0 {
+					_ = hm.States()
+					_ = hm.Stats()
+				}
+			}
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 100; j++ {
+			hm.Tick(sim.Time(j) * 10 * sim.Millisecond)
+		}
+	}()
+	wg.Wait()
+	if s := hm.Stats(); s.Dispatches != 8*400 {
+		t.Fatalf("Dispatches = %d, want %d", s.Dispatches, 8*400)
+	}
+}

@@ -439,6 +439,40 @@ type Manager struct {
 	// scoreThreshold is the candidate-set size at which scoring fans
 	// out; 0 means defaultScoreThreshold (tests lower it).
 	scoreThreshold int
+
+	// health, when attached, biases scoring away from suspect-slow
+	// devices and answers hedge-alternate lookups. Wire before planning;
+	// nil-checked on the hot path so detached managers pay nothing.
+	health *HealthMonitor
+}
+
+// SetHealth attaches a gray-failure health monitor to the planner:
+// suspect devices are penalized in scoring and BestAlternate consults
+// the monitor's alternate cache. Wire before serving; nil detaches.
+func (m *Manager) SetHealth(h *HealthMonitor) { m.health = h }
+
+// BestAlternate re-places one stage of a deployed plan while excluding
+// the device it is currently assigned to, returning the next-best
+// candidate for a hedged dispatch. The scan reuses the hierarchical
+// descent, so it is exactly the placement the planner would make if the
+// primary vanished — deterministic, security- and pin-respecting.
+func (m *Manager) BestAlternate(plan *Plan, node, avoid string) (string, bool) {
+	if plan == nil || plan.Template == nil {
+		return "", false
+	}
+	sr := stageRequest(plan.Template, node)
+	if sr.pin != "" {
+		// A pinned stage has exactly one legal home; no alternate exists.
+		return "", false
+	}
+	sr.avoid = avoid
+	ps := getPlanScratch()
+	defer putPlanScratch(ps)
+	win, err := m.placeStage(plan.Template, sr, ps, nil)
+	if err != nil || win.device == avoid {
+		return "", false
+	}
+	return win.device, true
 }
 
 // NewManager wires a manager over a built continuum.

@@ -22,6 +22,8 @@ type Runtime struct {
 	fabric  *network.Fabric
 	devices map[string]*device.Device
 	tracer  *trace.Tracer
+	// manager answers hedge-alternate placements (immutable after New).
+	manager *Manager
 
 	// retryRNG jitters serve-path retry backoffs; its stream is forked
 	// from the engine seed so retries stay deterministic without
@@ -55,7 +57,11 @@ type Runtime struct {
 	// controller, so a tenant over its carved-out budget sheds only its
 	// own traffic while the others keep their full reserves.
 	admitFor    map[string]*AdmissionController
-	breakers    *BreakerSet
+	breakers *BreakerSet
+	// health, when set, observes stage service times for peer-relative
+	// gray-failure scoring and arms hedged dispatches to suspect-slow
+	// devices.
+	health      *HealthMonitor
 	maxInFlight int
 	inflight    map[string]int
 	brownout    map[string]int
@@ -81,6 +87,7 @@ func NewRuntime(m *Manager) *Runtime {
 		fabric:   m.C.Fabric,
 		devices:  m.C.Devices,
 		tracer:   m.C.Tracer,
+		manager:  m,
 		retryRNG: m.C.Engine.RNG().Fork("mirto/serve-retry"),
 		plans:    map[string]*Plan{},
 		metrics:  map[string]*telemetry.Registry{},
@@ -195,6 +202,23 @@ func (r *Runtime) SetBreakers(bs *BreakerSet) {
 }
 
 // Breakers returns the attached breaker set (nil when none).
+// SetHealth wires a gray-failure health monitor into the serve path:
+// every stage execution is observed, and dispatches to degraded devices
+// gain a budgeted hedge plus a failover on outright rejection. Wire
+// before serving; nil detaches.
+func (r *Runtime) SetHealth(h *HealthMonitor) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.health = h
+}
+
+// Health returns the wired health monitor, nil if none.
+func (r *Runtime) Health() *HealthMonitor {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.health
+}
+
 func (r *Runtime) Breakers() *BreakerSet {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -402,6 +426,7 @@ func (r *Runtime) submitRequest(app, ingress string, items int64, reqID uint64, 
 	shedC, degradedC := r.shed[app], r.degraded[app]
 	recentW := r.recent[app]
 	ac, bs := r.admission, r.breakers
+	hm := r.health
 	if tac := r.admitFor[app]; tac != nil {
 		ac = tac
 	}
@@ -533,38 +558,109 @@ func (r *Runtime) submitRequest(app, ingress string, items int64, reqID uint64, 
 		if !pctx.Valid() {
 			pctx = rootCtx
 		}
-		// Device breaker: fast-fail a stage whose target is open rather
-		// than paying for a doomed or saturated run.
-		if bs != nil && !bs.Allow(a.Device) {
-			failDone(fmt.Errorf("mirto: device %s for stage %s: %w", a.Device, n, ErrCircuitOpen))
-			return
-		}
-		res, err := dev.Run(device.Work{
+		work := device.Work{
 			Name:   plan.App + "/" + n,
 			GOps:   nt.PropFloat("gops", 1),
 			Kernel: nt.PropString("kernel", ""),
 			Items:  items,
 			Ctx:    pctx,
-		}, at)
-		if err != nil {
-			if bs != nil {
-				bs.Failure(a.Device)
+		}
+		degraded := false
+		if hm != nil {
+			degraded = hm.NoteDispatch(a.Device)
+		}
+		srvName, srvDev := a.Device, dev
+		// Quarantine steering: while the plan still routes to a sidelined
+		// device (the pre-flip window of its drain), send the work
+		// straight to the alternate. No duplicate runs, so no hedge
+		// token — steering is free where hedging is budgeted.
+		if degraded && hm.Sidelined(a.Device) {
+			if altName, altDev := r.hedgeAlternate(plan, n, a.Device); altDev != nil {
+				srvName, srvDev = altName, altDev
+				hm.NoteSteer()
 			}
+		}
+		var res device.Result
+		var err error
+		// Device breaker: fast-fail a stage whose target is open rather
+		// than paying for a doomed or saturated run.
+		if bs != nil && !bs.Allow(srvName) {
+			err = fmt.Errorf("mirto: device %s for stage %s: %w", srvName, n, ErrCircuitOpen)
+		} else {
+			res, err = srvDev.Run(work, at)
+			if err != nil && bs != nil {
+				bs.Failure(srvName)
+			}
+		}
+		if err != nil && degraded {
+			// Degraded-primary failover: a suspect-slow device that
+			// rejects the work outright (queue bound, tripped breaker)
+			// must not doom the request while the quarantine drain is
+			// still in flight — re-route to the placement alternate.
+			if altName, altDev := r.hedgeAlternate(plan, n, srvName); altDev != nil {
+				if ares, aerr := altDev.Run(work, at); aerr == nil {
+					hm.NoteFailover()
+					srvName, srvDev, res, err = altName, altDev, ares, nil
+				}
+			}
+		}
+		if err != nil {
 			failDone(err)
 			return
 		}
 		if bs != nil {
-			bs.Success(a.Device)
+			bs.Success(srvName)
+		}
+		if hm != nil {
+			hm.Observe(srvDev, work.GOps, res.Start, res.Finish)
+		}
+		// Hedged request: a dispatch that landed on a suspect-slow device
+		// and will outlive the class-p95-derived delay arms one duplicate
+		// on the next-best candidate. First completion wins; the loser's
+		// state apply is absorbed by the exactly-once dedup window. A
+		// token budget (≤HedgeBudget of all dispatches, overflow denied
+		// and never retried) keeps hedging from amplifying load.
+		var hedgeLoss *device.Result
+		hedgeLossDev := ""
+		if hm != nil && degraded && srvName == a.Device {
+			if delay := hm.HedgeDelay(a.Device, work.GOps); delay > 0 && res.Finish > at+delay {
+				if altName, altDev := r.hedgeAlternate(plan, n, a.Device); altDev != nil && hm.TakeHedgeToken() {
+					if hres, herr := altDev.Run(work, at+delay); herr == nil {
+						totalEnergy += hres.EnergyJoules
+						hm.Observe(altDev, work.GOps, hres.Start, hres.Finish)
+						if hres.Finish < res.Finish {
+							lost := res
+							hedgeLoss, hedgeLossDev = &lost, srvName
+							srvName, res = altName, hres
+							hm.NoteHedgeFired(true)
+						} else {
+							lost := hres
+							hedgeLoss, hedgeLossDev = &lost, altName
+							hm.NoteHedgeFired(false)
+						}
+					}
+				}
+			}
 		}
 		if statefulSet[n] {
 			// The stage's state update lands when the work finishes. Apply
 			// dedups on the request ID, so a retry that re-executes a stage
 			// whose first run already applied is a no-op — the exactly-once
-			// half of the recovery contract.
-			devName := a.Device
+			// half of the recovery contract. A losing hedge's apply lands
+			// at or after the winner's (same-timestamp events fire FIFO,
+			// and the winner is scheduled first), so it always dedups.
+			devName := srvName
 			r.engine.At(res.Finish, func() {
 				ss.Apply(app, n, devName, reqID, items, res.Finish)
 			})
+			if hedgeLoss != nil {
+				lr, ld := *hedgeLoss, hedgeLossDev
+				r.engine.At(lr.Finish, func() {
+					if !ss.Apply(app, n, ld, reqID, items, lr.Finish) {
+						hm.NoteHedgeSuppressed()
+					}
+				})
+			}
 		}
 		totalEnergy += res.EnergyJoules
 		outMB := nt.PropFloat("outMB", 0.1)
@@ -620,12 +716,12 @@ func (r *Runtime) submitRequest(app, ingress string, items int64, reqID uint64, 
 					runStage(consumer)
 				}
 			}
-			if ca.Device == a.Device {
+			if ca.Device == srvName {
 				r.engine.At(res.Finish, func() { deliver(res.Ctx, nil) })
 				continue
 			}
 			size := int64(outMB * 1e6)
-			lkey := a.Device + "->" + ca.Device
+			lkey := srvName + "->" + ca.Device
 			r.engine.At(res.Finish, func() {
 				// Link breaker: a link that keeps losing transfers (or a
 				// flooded broker path shedding with ErrQueueFull) is
@@ -639,7 +735,7 @@ func (r *Runtime) submitRequest(app, ingress string, items int64, reqID uint64, 
 				// is always visible to the callback.
 				var tctx trace.SpanContext
 				var serr error
-				tctx, serr = r.fabric.SendCtx(res.Ctx, a.Device, ca.Device, size, network.Options{Retries: 3}, func(err error) {
+				tctx, serr = r.fabric.SendCtx(res.Ctx, srvName, ca.Device, size, network.Options{Retries: 3}, func(err error) {
 					if bs != nil {
 						if err != nil {
 							bs.Failure(lkey)
@@ -705,6 +801,40 @@ func (r *Runtime) submitRequest(app, ingress string, items int64, reqID uint64, 
 		}
 	}
 	return nil
+}
+
+// hedgeAlternate resolves the next-best device for a stage (excluding
+// the primary), consulting the health monitor's per-tick cache so the
+// serve path pays at most one placement scan per (app, stage, primary)
+// per sensing tick.
+func (r *Runtime) hedgeAlternate(plan *Plan, node, avoid string) (string, *device.Device) {
+	if r.manager == nil {
+		return "", nil
+	}
+	hm := r.health
+	key := plan.App + "/" + node + "/" + avoid
+	if hm != nil {
+		if name, ok, hit := hm.CachedAlt(key); hit {
+			if !ok {
+				return "", nil
+			}
+			if d := r.devices[name]; d != nil && !d.Failed() {
+				return name, d
+			}
+			return "", nil
+		}
+	}
+	name, ok := r.manager.BestAlternate(plan, node, avoid)
+	if hm != nil {
+		hm.StoreAlt(key, name, ok)
+	}
+	if !ok {
+		return "", nil
+	}
+	if d := r.devices[name]; d != nil && !d.Failed() {
+		return name, d
+	}
+	return "", nil
 }
 
 // RetryPolicy shapes the serve path's self-healing retries.

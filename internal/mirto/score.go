@@ -26,6 +26,7 @@ type stageReq struct {
 	secLevel string
 	layer    string // required layer; "" = any
 	pin      string // required device; "" = any
+	avoid    string // excluded device; "" = none (hedge alternates)
 	gops     float64
 }
 
@@ -243,6 +244,9 @@ func (m *Manager) scanShard(tk shardTask, sr *stageReq, reserved, release map[st
 		if sr.pin != "" && e.name != sr.pin {
 			continue
 		}
+		if sr.avoid != "" && e.name == sr.avoid {
+			continue
+		}
 		if !e.ready || e.cordoned || e.dev.Failed() {
 			continue
 		}
@@ -269,6 +273,13 @@ func (m *Manager) scanShard(tk shardTask, sr *stageReq, reserved, release map[st
 			QueueDelay:   e.dev.QueueDelay(now),
 		}
 		s := m.score(&o, env)
+		if m.health != nil {
+			// Suspect-slow devices stay schedulable but pay a score
+			// penalty, steering new placements toward healthy peers.
+			// The penalty is non-negative, so digestLB stays a lower
+			// bound and shard pruning remains sound.
+			s += m.health.Penalty(e.name)
+		}
 		res.scored++
 		if s < res.score {
 			res.found = true

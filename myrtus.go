@@ -50,6 +50,10 @@ type System struct {
 	Continuum    *continuum.Continuum
 	Manager      *mirto.Manager
 	Orchestrator *mirto.Orchestrator
+	// Health scores devices against their class peers to catch gray
+	// (fail-slow) failures the binary detector cannot see. Attached by
+	// default; feeds GET /v1/health/devices and `mirtoctl health`.
+	Health *mirto.HealthMonitor
 }
 
 // New builds the infrastructure and the cognitive engine.
@@ -59,10 +63,15 @@ func New(opts Options) (*System, error) {
 		return nil, err
 	}
 	m := mirto.NewManager(c, opts.Goal)
+	o := mirto.NewOrchestrator(m)
+	hm := mirto.NewHealthMonitor(c, mirto.HealthConfig{})
+	m.SetHealth(hm)
+	o.R.SetHealth(hm)
 	return &System{
 		Continuum:    c,
 		Manager:      m,
-		Orchestrator: mirto.NewOrchestrator(m),
+		Orchestrator: o,
+		Health:       hm,
 	}, nil
 }
 
@@ -111,8 +120,12 @@ func (s *System) AttachSLO(app string, slo mirto.SLO) error {
 	return err
 }
 
-// IterateLoops runs one MAPE-K pass for every attached loop.
+// IterateLoops runs one MAPE-K pass for every attached loop, plus one
+// health-monitor tick so peer-relative scores advance with the loops.
 func (s *System) IterateLoops() {
+	if s.Health != nil {
+		s.Health.Tick(s.Continuum.Engine.Now())
+	}
 	for _, p := range s.Orchestrator.Plans() {
 		if loop, ok := s.Orchestrator.Loop(p.App); ok {
 			loop.Iterate()

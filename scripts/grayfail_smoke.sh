@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# grayfail_smoke.sh — CI gate for the gray-failure defense: build with
+# the race detector, run the four-arm gray-fail experiment twice with
+# the same seed, diff the reports byte-for-byte, and re-assert the
+# headline bars from the rendered summary: the defended arm holds
+# availability at or above 99% with at least one quarantine and one
+# hedge, while the undefended control drops below 99%. (The binary
+# already exits non-zero on any violated bar; the greps keep a silent
+# render regression from masking one.)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEED="${CHAOS_SEED:-7}"
+BIN="$(mktemp -d)/continuum-sim"
+trap 'rm -rf "$(dirname "$BIN")"' EXIT
+
+go build -race -o "$BIN" ./cmd/continuum-sim
+
+echo "== chaos gray-fail -seed $SEED =="
+"$BIN" chaos gray-fail -seed "$SEED" | tee "$BIN.gray.1"
+"$BIN" chaos gray-fail -seed "$SEED" > "$BIN.gray.2"
+if ! diff -u "$BIN.gray.1" "$BIN.gray.2"; then
+  echo "grayfail: gray-fail is nondeterministic for seed $SEED" >&2
+  exit 1
+fi
+
+summary=$(grep '^summary: baseline ' "$BIN.gray.1")
+echo "$summary" | grep -q ' | ok$' || {
+  echo "grayfail: experiment verdict not ok: $summary" >&2; exit 1; }
+echo "$summary" | grep -Eq 'quarantines=[1-9][0-9]* hedges=[1-9][0-9]*' || {
+  echo "grayfail: defense arm never quarantined or hedged: $summary" >&2; exit 1; }
+
+defense=$(sed -n 's/.*defense avail=\([0-9.]*\)%.*/\1/p' "$BIN.gray.1")
+control=$(sed -n 's/.*control avail=\([0-9.]*\)%.*/\1/p' "$BIN.gray.1")
+awk "BEGIN{exit !($defense >= 99)}" || {
+  echo "grayfail: defense availability $defense% below the 99% bar" >&2; exit 1; }
+awk "BEGIN{exit !($control < 99)}" || {
+  echo "grayfail: control availability $control% not degraded (fault too weak?)" >&2; exit 1; }
+
+echo "grayfail: defense avail=${defense}% (>=99) control avail=${control}% (<99) determinism: ok"
