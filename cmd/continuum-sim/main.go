@@ -90,6 +90,7 @@ func chaosMain(argv []string) {
 	mapek := fs.Bool("mapek", true, "run the MAPE-K self-healing loop (false = control run)")
 	stateful := fs.Bool("stateful", false, "run the stateful-app variant: checkpoint/restore stage state and verify it against a fault-free same-seed reference")
 	checkpoint := fs.Bool("checkpoint", true, "persist stateful stage state to the raft-backed KB (false = control arm measuring unrecovered loss)")
+	fencing := fs.Bool("fencing", true, "split-brain only: run the full fenced experiment (false = unfenced control arm alone)")
 	list := fs.Bool("list", false, "list bundled scenarios and exit")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: continuum-sim chaos <scenario> [-seed N] [-mapek=false] [-stateful] [-checkpoint=false]\nscenarios (from the registry; -list prints bare names):\n")
@@ -116,10 +117,18 @@ func chaosMain(argv []string) {
 	}
 	if reg, ok := chaos.Lookup(name); ok && reg.Harness != nil {
 		// Multi-arm experiment harness (noisy-neighbor, planned-drain,
-		// gray-fail): runs its own arms end to end; -mapek carries the
-		// defense/control switch for the harnesses that have one, and
-		// gates the exit code on the harness verdict.
-		rep, err := reg.Harness(*seed, *mapek)
+		// gray-fail, split-brain): runs its own arms end to end; -mapek
+		// carries the defense/control switch for the harnesses that have
+		// one, and gates the exit code on the harness verdict.
+		var rep chaos.HarnessReport
+		var err error
+		if name == "split-brain" {
+			// split-brain's control switch is -fencing, not -mapek:
+			// false runs the unfenced control arm alone.
+			rep, err = chaos.RunSplitBrain(*seed, *fencing)
+		} else {
+			rep, err = reg.Harness(*seed, *mapek)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -16,8 +16,9 @@
 //	                (pre-copy, catch-up, flip) and leave it cordoned
 //	undrain DEVICE  lift a drain's cordon, making the device
 //	                schedulable again
-//	trace [ID]      list recorded request traces, or print one trace's
-//	                span tree and critical path
+//	trace [ID]      list recorded request traces (with the fencing
+//	                counters when a fence ledger is attached), or print
+//	                one trace's span tree and critical path
 //	health          per-device gray-failure health: peer-relative score,
 //	                state (healthy/suspect-slow/quarantined/probation),
 //	                and the monitor's rollup counters
@@ -89,7 +90,7 @@ func main() {
 		err = cli.do("DELETE", "/v1/drain/"+args[1], "", nil)
 	case "trace":
 		if len(args) == 1 {
-			err = cli.get("/v1/traces")
+			err = cli.traces()
 			break
 		}
 		err = cli.trace(args[1])
@@ -122,6 +123,37 @@ func (c *client) deploy(path string) error {
 }
 
 func (c *client) get(path string) error { return c.do("GET", path, "", nil) }
+
+// traces renders the trace listing as a table, followed by the agent's
+// fencing counters when a fence ledger is attached (split-brain runs).
+func (c *client) traces() error {
+	raw, err := c.fetch("/v1/traces")
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		Traces  []trace.Info      `json:"traces"`
+		Fencing map[string]uint64 `json:"fencing"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("decoding trace listing: %w", err)
+	}
+	if len(doc.Traces) == 0 {
+		fmt.Println("no traces recorded")
+	} else {
+		fmt.Printf("%-12s %-28s %10s %6s  %s\n", "ID", "NAME", "LATENCY", "SPANS", "ERROR")
+		for _, in := range doc.Traces {
+			fmt.Printf("%-12s %-28s %8.1fms %6d  %s\n", in.ID, in.Name, in.LatencyMs, in.Spans, in.Error)
+		}
+	}
+	if f := doc.Fencing; f != nil {
+		fmt.Printf("fencing: fenced_writes=%d fenced_checkpoints=%d fenced_migrates=%d plan_epoch_rejects=%d self_demotions=%d reconciliations=%d journal_discards=%d resync_bytes=%d\n",
+			f["fenced_writes"], f["fenced_checkpoints"], f["fenced_migrates"],
+			f["plan_epoch_rejects"], f["self_demotions"],
+			f["reconciliations"], f["journal_discards"], f["resync_bytes"])
+	}
+	return nil
+}
 
 // trace fetches one trace and renders its span tree plus critical path
 // locally (the agent serves raw spans; the analysis is client-side).
@@ -156,11 +188,11 @@ func (c *client) drain(device string) error {
 		return err
 	}
 	var v struct {
-		Device  string            `json:"device"`
-		Aborted bool              `json:"aborted"`
-		Reason  string            `json:"reason"`
-		Took    string            `json:"took"`
-		Moved   int               `json:"moved"`
+		Device  string `json:"device"`
+		Aborted bool   `json:"aborted"`
+		Reason  string `json:"reason"`
+		Took    string `json:"took"`
+		Moved   int    `json:"moved"`
 		Stages  []struct {
 			App, Stage, From, To string
 			Flipped              bool

@@ -61,6 +61,13 @@ var registry = []Registered{
 			return RunPlannedDrain(seed)
 		},
 	},
+	{
+		Name:    "split-brain",
+		Summary: "partitioned owner + KB minority; arms: fault-free / fencing / no-fencing (-fencing=false runs the control arm alone)",
+		Harness: func(seed uint64, defense bool) (HarnessReport, error) {
+			return RunSplitBrain(seed, true)
+		},
+	},
 }
 
 // Names lists every bundled scenario (event schedules and experiment

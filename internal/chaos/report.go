@@ -106,6 +106,14 @@ type Report struct {
 	DeviceHealth     []mirto.DeviceHealth
 	DetectionSamples []sim.Time
 
+	// Fencing section (set only when Config.Fencing): the fencing
+	// ledger's counters plus the state store's count of stale-token
+	// writes it rejected. Absent from renders of non-fenced runs, so
+	// existing scenario outputs stay byte-identical.
+	FencingOn    bool
+	Fence        mirto.FenceStats
+	FencedWrites uint64
+
 	// Latencies are per-request submit→completion times of every request
 	// that eventually succeeded (retry backoffs included).
 	Latencies []sim.Time
@@ -342,6 +350,14 @@ func (r *Report) Render() string {
 			fmt.Fprintf(&b, "    device %s (%s): state=%s score=%.2f ewma=%.3f peer_median=%.3f samples=%d\n",
 				dh.Device, dh.Class, dh.State, dh.Score, dh.EWMA, dh.PeerMedian, dh.Samples)
 		}
+	}
+	if r.FencingOn {
+		fmt.Fprintf(&b, "  fencing:   tokens_minted=%d fenced_writes=%d fenced_checkpoints=%d fenced_migrates=%d epoch_rejects=%d self_demotions=%d owner_fences=%d\n",
+			r.Fence.TokensMinted, r.FencedWrites, r.Fence.FencedCheckpoints,
+			r.Fence.FencedMigrates, r.Fence.PlanEpochRejects,
+			r.Fence.SelfDemotions, r.Fence.OwnerFences)
+		fmt.Fprintf(&b, "  reconcile: reconciliations=%d journal_discards=%d resync_bytes=%d\n",
+			r.Fence.Reconciliations, r.Fence.JournalDiscards, r.Fence.ResyncBytes)
 	}
 	if att := r.Attribution(); len(att) > 0 {
 		fmt.Fprintf(&b, "  recovery attribution (critical path of recovering requests):\n")

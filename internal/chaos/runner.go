@@ -65,6 +65,34 @@ type Config struct {
 	// it, so the control arm's collapse is queue-bound rejection, not an
 	// unbounded-backlog artifact.
 	DeviceQueueLimit sim.Time
+
+	// Fencing attaches the split-brain defense: a KB-backed fencing
+	// ledger mints a monotonic token per ownership change, every
+	// checkpoint, migration transfer, and stateful apply carries its
+	// writer's token, and stale tokens are rejected deterministically.
+	// Plans are stamped with CAS'd epochs so superseded plans cannot
+	// dispatch or splice. False is the split-brain control arm.
+	Fencing bool
+	// Hook, when set, runs after the full stack is wired but before any
+	// fault event or workload is scheduled — harnesses use it to grab
+	// live handles and schedule scenario-specific behavior (partitions,
+	// zombie writers, heal reconciliation) on the sim clock.
+	Hook func(RunHandles)
+}
+
+// RunHandles exposes the wired run internals to a Config.Hook, so a
+// harness can drive behavior no declarative Event covers (KB cluster
+// partitions, stale-token writes, explicit reconciliation).
+type RunHandles struct {
+	C     *continuum.Continuum
+	O     *mirto.Orchestrator
+	App   string
+	SS    *mirto.StateStore
+	CP    *mirto.Checkpointer
+	HM    *mirto.HealthMonitor
+	FD    *mirto.FailureDetector
+	Mig   *mirto.Migrator
+	Fence *mirto.FenceLedger
 }
 
 // ckptAnchor is the device fronting the raft-replicated KB: checkpoint
@@ -119,11 +147,13 @@ func Run(sc Scenario, cfg Config) (*Report, error) {
 		return rep, err
 	}
 	// Fault-free reference: same app, same seed, same workload schedule,
-	// no fault events. Its final per-stage state is what a correct
-	// recovery must reproduce exactly.
+	// no fault events and no harness hook. Its final per-stage state is
+	// what a correct recovery must reproduce exactly.
 	ref := sc
 	ref.Events = nil
-	refRep, err := runOnce(ref, cfg)
+	refCfg := cfg
+	refCfg.Hook = nil
+	refRep, err := runOnce(ref, refCfg)
 	if err != nil {
 		return nil, fmt.Errorf("chaos: fault-free reference run: %w", err)
 	}
@@ -181,17 +211,32 @@ func runOnce(sc Scenario, cfg Config) (*Report, error) {
 	m := mirto.NewManager(c, mirto.LatencyGoal())
 	o := mirto.NewOrchestrator(m)
 	o.DeltaReplans = !cfg.NoDeltaReplans
+	var fl *mirto.FenceLedger
+	if cfg.Fencing {
+		// The fencing ledger must be wired before Deploy: the first plan
+		// already gets an epoch stamp and the first Register mints the
+		// initial ownership tokens.
+		fl = mirto.NewFenceLedger(c.KB)
+		m.SetFence(fl)
+		o.R.SetFence(fl)
+	}
 	var ss *mirto.StateStore
 	var cp *mirto.Checkpointer
 	if cfg.Stateful {
 		ss = mirto.NewStateStore(0)
 		o.R.SetStateStore(ss)
+		if fl != nil {
+			ss.SetFencing(true)
+		}
 		if !cfg.NoCheckpoint {
 			// Checkpoints ride the fabric into the raft-replicated KB the
 			// continuum already carries; the orchestrator pokes the
 			// checkpointer on every replan.
 			cp = mirto.NewCheckpointer(o.R, c.KB, ckptAnchor, cfg.CheckpointEvery)
 			o.CP = cp
+			if fl != nil {
+				cp.SetFence(fl)
+			}
 		}
 	}
 	st, err := tosca.Parse(sc.App)
@@ -221,11 +266,17 @@ func runOnce(sc Scenario, cfg Config) (*Report, error) {
 	if ss != nil {
 		fd.SetStateStore(ss)
 	}
+	if fl != nil {
+		fd.SetFence(fl)
+	}
 	var mig *mirto.Migrator
 	if cfg.MAPEK {
 		mig = mirto.NewMigrator(o)
 		mig.SetDetector(fd)
 		mig.SetKB(c.KB)
+		if fl != nil {
+			mig.SetFence(fl)
+		}
 	}
 	var hm *mirto.HealthMonitor
 	if cfg.Health {
@@ -255,7 +306,7 @@ func runOnce(sc Scenario, cfg Config) (*Report, error) {
 			Scenario: sc.Name, Seed: cfg.Seed, MAPEK: cfg.MAPEK, Duration: sc.Duration,
 			TickEvery: cfg.TickEvery,
 			Stateful:  cfg.Stateful, Checkpoint: cfg.Stateful && !cfg.NoCheckpoint,
-			HealthOn:  cfg.Health, HedgeOnly: cfg.HedgeOnly,
+			HealthOn: cfg.Health, HedgeOnly: cfg.HedgeOnly,
 			attribution: map[trace.Layer]*trace.LayerStat{},
 		},
 	}
@@ -271,6 +322,16 @@ func runOnce(sc Scenario, cfg Config) (*Report, error) {
 				}
 			}
 		}
+	}
+
+	if cfg.Hook != nil {
+		// The harness hook sees the fully wired stack before anything is
+		// scheduled, so everything it plants fires on the same sim clock
+		// as the declarative events.
+		cfg.Hook(RunHandles{
+			C: c, O: o, App: plan.App, SS: ss, CP: cp,
+			HM: hm, FD: fd, Mig: mig, Fence: fl,
+		})
 	}
 
 	// Fault schedule.
@@ -381,8 +442,13 @@ func runOnce(sc Scenario, cfg Config) (*Report, error) {
 
 	// Roll up the counters.
 	rep := r.rep
+	if fl != nil {
+		rep.FencingOn = true
+		rep.Fence = fl.Stats()
+	}
 	if ss != nil {
 		sst := ss.Stats()
+		rep.FencedWrites = sst.FencedWrites
 		rep.StateApplied = sst.Applied
 		rep.DedupHits = sst.DedupHits
 		rep.Invalidations = sst.Invalidations

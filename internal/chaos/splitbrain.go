@@ -1,0 +1,412 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+
+	"myrtus/internal/kb"
+	"myrtus/internal/mirto"
+	"myrtus/internal/sim"
+)
+
+// Split-brain harness: the partitioned-authority counterpart to the
+// fail-stop and fail-slow scenarios. The device owning the stateful
+// aggregator is symmetrically partitioned from the rest of the
+// continuum (and the KB loses a minority replica) for several lease
+// TTLs — but it keeps heartbeating and believes it is still the owner,
+// so the binary failure detector never fires. The majority side replans
+// the stage onto a healthy device and keeps serving; the stranded old
+// owner keeps writing as a zombie. Three same-seed arms share one
+// workload schedule:
+//
+//   - fault-free baseline: no fault, fencing attached. The false-
+//     positive check — a healthy continuum must fence nothing, reject
+//     no epochs, and demote no checkpointer.
+//   - defense: the partition with the full fencing stack — ownership
+//     tokens on every stateful apply/checkpoint/migration, CAS'd plan
+//     epochs, checkpointer self-fencing, and heal-time reconciliation.
+//     The bar: zero zombie writes land, zero double-applies, zero
+//     divergence from the fault-free reference, availability ≥ 95%.
+//   - no-fencing control: same partition, same zombie, fencing off.
+//     Must measurably diverge — zombie writes land and the replayed
+//     pre-partition suffix double-applies — or the fault is too weak
+//     to prove the defense earns its place.
+
+const (
+	// sbPartitionAt..sbHealAt is the symmetric-partition window: 14
+	// seconds, 3.5 checkpoint-lease TTLs (the checkpointer lease is
+	// 4×1s), so the minority-side leadership provably cannot survive on
+	// lease validity alone.
+	sbPartitionAt = 10 * sim.Second
+	sbHealAt      = 24 * sim.Second
+	sbDuration    = 40 * sim.Second
+
+	sbRequestEvery = 40 * sim.Millisecond
+
+	// sbZombieDelay..every: the stranded owner starts re-asserting
+	// writes two seconds into the partition, every 80ms until heal.
+	// The writer is token-gated in the harness itself: a write fires
+	// only once cluster authority has actually moved past the captured
+	// token (before that instant the "zombie" would still be the
+	// legitimate owner, and its writes would be correct).
+	sbZombieDelay = 2 * sim.Second
+	sbZombieEvery = 80 * sim.Millisecond
+
+	// sbReplayLen is the pre-partition journal suffix the healed owner
+	// replays — the buffered-but-unshipped writes a real zombie carries
+	// back across the heal. Long after the dedup window has cycled, so
+	// only fencing (not dedup) can stop the double-apply.
+	sbReplayLen = 16
+)
+
+// sbStage is the stateful stage whose owner is stranded.
+const sbStage = "aggregator"
+
+// SplitBrain is the bundled split-brain scenario: the stateful pipeline
+// under open-loop load with the aggregator's device symmetrically
+// isolated for the partition window. Heartbeats ride out-of-band, so
+// the detector never suspects it — only SLO-breach replanning moves the
+// stage, and only fencing revokes the stranded owner's authority.
+func SplitBrain(seed uint64) Scenario {
+	sc := Scenario{
+		Name:         "split-brain",
+		Ingress:      "edge-rv-0",
+		Duration:     sbDuration,
+		RequestEvery: sbRequestEvery,
+		SLO:          mirto.SLO{P95LatencyMs: 250, MaxFailureRate: 0.05},
+		Events: []Event{
+			{At: sbPartitionAt, Kind: NodeIsolate, Target: "stage:" + sbStage},
+			{At: sbHealAt, Kind: NodeReconnect, Target: "stage:" + sbStage},
+		},
+	}
+	_ = seed // the schedule is fixed; the seed shapes run-time draws
+	sc = defaults(Statefulize(sc))
+	sc.App = grayFailApp
+	return sc
+}
+
+// SplitBrainObs is what the harness hook itself observed in one arm —
+// ground truth the report gates check against, independent of the
+// defense's own counters.
+type SplitBrainObs struct {
+	// Owner/StaleToken are the pre-partition aggregator owner and its
+	// fencing token (0 in the no-fencing arm).
+	Owner      string
+	StaleToken uint64
+	// ZombieAttempts/ZombieLanded count the stranded owner's stale-token
+	// writes and how many actually mutated the cell. Fencing must hold
+	// ZombieLanded at zero.
+	ZombieAttempts, ZombieLanded int
+	// ReplaySize/DoubleApplies: the pre-partition journal suffix
+	// replayed at heal, and how many entries re-applied (every one a
+	// double-apply — dedup has long cycled past them).
+	ReplaySize, DoubleApplies int
+	// StaleRegisterTried/Rejected: the superseded pre-partition plan was
+	// re-registered mid-partition; with fencing the runtime must reject
+	// it by epoch.
+	StaleRegisterTried, StaleRegisterRejected bool
+	// KBPartitioned records that the KB cluster really lost a minority
+	// replica for the window (requires the replicated-cluster backend).
+	KBPartitioned bool
+}
+
+// splitBrainHook builds the Config.Hook driving one arm: capture the
+// owner and its token just before the partition, partition the KB
+// minority, strand the checkpointer on the minority side, run the
+// token-gated zombie writer, re-register the superseded plan, replay
+// the pre-partition journal suffix after heal, and (with fencing)
+// reconcile and rejoin the fenced owner through probation.
+func splitBrainHook(obs *SplitBrainObs) func(RunHandles) {
+	return func(h RunHandles) {
+		eng := h.C.Engine
+		var owner string
+		var staleTok uint64
+		var stalePlan *mirto.Plan
+		var replay []mirto.JournalEntry
+
+		// The lease-elected checkpointer rides the minority side of the
+		// partition: while minority holds it cannot renew, and must
+		// self-demote on lease math alone.
+		minority := false
+		if h.CP != nil {
+			h.CP.SetReachable(func() bool { return !minority })
+		}
+
+		eng.At(sbPartitionAt-50*sim.Millisecond, func() {
+			owner, _ = h.O.R.StageDevice(h.App, sbStage)
+			obs.Owner = owner
+			if h.Fence != nil {
+				staleTok = h.O.R.CellToken(h.App, sbStage)
+			}
+			obs.StaleToken = staleTok
+			if p, ok := h.O.PlanFor(h.App); ok {
+				stalePlan = p
+			}
+			pos := h.SS.JournalPos(h.App, sbStage)
+			from := uint64(0)
+			if pos > sbReplayLen {
+				from = pos - sbReplayLen
+			}
+			if entries, _, ok := h.SS.JournalSince(h.App, sbStage, from); ok {
+				replay = entries
+			}
+			obs.ReplaySize = len(replay)
+		})
+
+		eng.At(sbPartitionAt, func() {
+			minority = true
+			if cl, ok := h.C.KB.(*kb.Cluster); ok && cl.Size() >= 3 {
+				ids := cl.Members()
+				cl.Partition(ids[:1], ids[1:])
+				obs.KBPartitioned = true
+			}
+		})
+
+		// Token-gated zombie writer: the stranded owner re-asserts writes
+		// with the token it held before the partition. Until cluster
+		// authority has actually moved past that token the write is
+		// withheld — it would be the legitimate owner's write, not a
+		// zombie's. Without fencing there is no authority to consult and
+		// every write fires (and lands — the control arm's divergence).
+		var zi uint64
+		var zombie func()
+		zombie = func() {
+			if eng.Now() >= sbHealAt {
+				return
+			}
+			fire := true
+			if h.Fence != nil {
+				_, cur, _, ok := h.Fence.Current(h.App, sbStage)
+				fire = ok && cur > staleTok
+			}
+			if fire {
+				zi++
+				obs.ZombieAttempts++
+				if h.SS.ApplyFenced(h.App, sbStage, owner, uint64(1)<<62|zi, 3, eng.Now(), staleTok) {
+					obs.ZombieLanded++
+				}
+			}
+			eng.After(sbZombieEvery, zombie)
+		}
+		eng.At(sbPartitionAt+sbZombieDelay, zombie)
+
+		// Mid-partition the minority side re-asserts its superseded plan.
+		// With fencing the epoch gate rejects the Register; without it the
+		// stale plan lands and re-points the stage at the stranded device.
+		eng.At(sbHealAt-2*sim.Second, func() {
+			if stalePlan == nil {
+				return
+			}
+			if h.Fence != nil && h.Fence.CurrentEpoch(h.App) <= stalePlan.Epoch {
+				return // not superseded yet: registering it would be legitimate
+			}
+			obs.StaleRegisterTried = true
+			before := h.O.R.Epoch(h.App)
+			h.O.R.Register(stalePlan)
+			if h.Fence != nil {
+				// Rejected iff the runtime's accepted epoch did not regress.
+				obs.StaleRegisterRejected = h.O.R.Epoch(h.App) >= before && before > stalePlan.Epoch
+			}
+		})
+
+		eng.At(sbHealAt, func() {
+			minority = false
+			if obs.KBPartitioned {
+				h.C.KB.(*kb.Cluster).Heal()
+			}
+		})
+
+		// Heal + 500ms: the rejoined owner replays its buffered
+		// pre-partition suffix — request IDs long aged out of the dedup
+		// window. Only the stale token stops the double-apply.
+		eng.At(sbHealAt+500*sim.Millisecond, func() {
+			for _, e := range replay {
+				if h.SS.ApplyFenced(h.App, sbStage, owner, e.ReqID, e.Items, eng.Now(), staleTok) {
+					obs.DoubleApplies++
+				}
+			}
+		})
+
+		// Heal + 1s: partition-heal reconciliation (fencing arms only):
+		// discard the fenced journal suffix, account the resync, and
+		// rejoin the fenced owner through the probation path.
+		eng.At(sbHealAt+sim.Second, func() {
+			if h.Fence == nil {
+				return
+			}
+			discarded, resync := h.SS.Reconcile(h.App, sbStage)
+			h.Fence.NoteReconciliation(discarded, resync)
+			if h.HM != nil {
+				h.HM.BeginProbation(owner, eng.Now())
+			}
+		})
+	}
+}
+
+// SplitBrainRunReport bundles the arms plus the harness observations.
+type SplitBrainRunReport struct {
+	Seed uint64
+	// FencingArm is false for the -fencing=false invocation, which runs
+	// only the control arm (Baseline and Defense are nil).
+	FencingArm bool
+	// Baseline is the fault-free reference arm, Defense the fenced
+	// partition arm, Control the unfenced partition arm.
+	Baseline, Defense, Control *Report
+	DefenseObs, ControlObs     SplitBrainObs
+}
+
+// RunSplitBrain executes the split-brain experiment with one seed and
+// one workload schedule. With fencing true all three arms run; with
+// fencing false only the no-fencing control arm runs (the CLI's
+// -fencing=false switch).
+func RunSplitBrain(seed uint64, fencing bool) (*SplitBrainRunReport, error) {
+	base := Config{Seed: seed, MAPEK: true, Stateful: true, Health: true,
+		Fencing: true, DeviceQueueLimit: grayQueueBound}
+	r := &SplitBrainRunReport{Seed: seed, FencingArm: fencing}
+
+	if fencing {
+		clean := SplitBrain(seed)
+		clean.Name = "split-brain/fault-free"
+		clean.Events = nil
+		var err error
+		if r.Baseline, err = Run(clean, base); err != nil {
+			return nil, fmt.Errorf("chaos: fault-free arm: %w", err)
+		}
+
+		dcfg := base
+		dcfg.Hook = splitBrainHook(&r.DefenseObs)
+		if r.Defense, err = Run(SplitBrain(seed), dcfg); err != nil {
+			return nil, fmt.Errorf("chaos: defense arm: %w", err)
+		}
+	}
+
+	ccfg := base
+	ccfg.Fencing = false
+	ccfg.Hook = splitBrainHook(&r.ControlObs)
+	ctl := SplitBrain(seed)
+	ctl.Name = "split-brain/no-fencing"
+	var err error
+	if r.Control, err = Run(ctl, ccfg); err != nil {
+		return nil, fmt.Errorf("chaos: no-fencing arm: %w", err)
+	}
+	return r, nil
+}
+
+// Violated returns a non-empty reason if any arm misses its bar: the
+// fault-free baseline must fence nothing; the defense arm must let zero
+// zombie writes land, zero double-applies through, reject the
+// superseded plan by epoch, self-demote the stranded checkpointer,
+// reconcile the fenced journal at heal, stay byte-identical to the
+// fault-free reference, and hold availability ≥ 95%; the control arm
+// must measurably diverge, or the fault is too weak to prove anything.
+func (r *SplitBrainRunReport) Violated() string {
+	if r.FencingArm {
+		b := r.Baseline
+		if b.FencedWrites != 0 || b.Fence.FencedCheckpoints != 0 || b.Fence.FencedMigrates != 0 {
+			return fmt.Sprintf("baseline arm fenced writes with no fault: state=%d ckpt=%d migrate=%d (want 0)",
+				b.FencedWrites, b.Fence.FencedCheckpoints, b.Fence.FencedMigrates)
+		}
+		if b.Fence.PlanEpochRejects != 0 || b.Fence.SelfDemotions != 0 {
+			return fmt.Sprintf("baseline arm rejected epochs or demoted leaders with no fault: epoch_rejects=%d self_demotions=%d (want 0)",
+				b.Fence.PlanEpochRejects, b.Fence.SelfDemotions)
+		}
+		if b.ComparedCells == 0 || len(b.DivergentCells) != 0 {
+			return fmt.Sprintf("baseline arm state check broken: compared=%d divergent=%d",
+				b.ComparedCells, len(b.DivergentCells))
+		}
+
+		d, o := r.Defense, r.DefenseObs
+		if d.Replans < 1 {
+			return "defense arm: partition never forced a replan (fault too weak to move ownership)"
+		}
+		if o.ZombieAttempts < 1 {
+			return "defense arm: authority never moved past the stranded owner's token (no zombie window)"
+		}
+		if o.ZombieLanded != 0 {
+			return fmt.Sprintf("defense arm: %d zombie write(s) LANDED despite fencing", o.ZombieLanded)
+		}
+		if d.FencedWrites < 1 {
+			return "defense arm fenced no writes (zombie never rejected?)"
+		}
+		if o.ReplaySize < 1 {
+			return "defense arm captured no pre-partition journal suffix to replay"
+		}
+		if o.DoubleApplies != 0 {
+			return fmt.Sprintf("defense arm: %d replayed entr(ies) double-applied despite fencing", o.DoubleApplies)
+		}
+		if !o.StaleRegisterTried || d.Fence.PlanEpochRejects < 1 {
+			return "defense arm: superseded plan was not epoch-rejected"
+		}
+		if d.Fence.SelfDemotions < 1 {
+			return "defense arm: stranded checkpointer never self-demoted"
+		}
+		if d.Fence.Reconciliations < 1 || d.Fence.JournalDiscards < 1 {
+			return fmt.Sprintf("defense arm: heal reconciliation missing (reconciliations=%d discards=%d)",
+				d.Fence.Reconciliations, d.Fence.JournalDiscards)
+		}
+		if d.ComparedCells == 0 {
+			return "defense arm compared no state cells"
+		}
+		if len(d.DivergentCells) != 0 {
+			return fmt.Sprintf("defense arm diverged from fault-free reference: %v", d.DivergentCells)
+		}
+		if a := d.Availability(); a < 0.95 {
+			return fmt.Sprintf("defense availability %.2f%% (bar: 95%%)", 100*a)
+		}
+	}
+
+	c, co := r.Control, r.ControlObs
+	if co.ZombieAttempts < 1 {
+		return "control arm: zombie writer never fired"
+	}
+	if co.ZombieLanded < 1 {
+		return "control arm: no zombie write landed — fencing defends against nothing"
+	}
+	if len(c.DivergentCells) == 0 && co.DoubleApplies == 0 {
+		return "control arm did not diverge (no divergent cells, no double-applies) — fault too weak"
+	}
+	return ""
+}
+
+// Render formats the experiment deterministically: every arm's full
+// report, the harness observations, and the headline comparison.
+func (r *SplitBrainRunReport) Render() string {
+	var b strings.Builder
+	mode := "full"
+	if !r.FencingArm {
+		mode = "control-only (-fencing=false)"
+	}
+	fmt.Fprintf(&b, "split-brain experiment: seed=%d partition=%s..%s stage=%s mode=%s\n",
+		r.Seed, dur(sbPartitionAt), dur(sbHealAt), sbStage, mode)
+	if r.FencingArm {
+		fmt.Fprintf(&b, "== fault-free arm (baseline, fencing attached) ==\n%s", r.Baseline.Render())
+		fmt.Fprintf(&b, "== defense arm (fencing + epochs + reconciliation) ==\n%s", r.Defense.Render())
+		b.WriteString(renderObs("defense", r.DefenseObs))
+	}
+	fmt.Fprintf(&b, "== no-fencing arm (control) ==\n%s", r.Control.Render())
+	b.WriteString(renderObs("control", r.ControlObs))
+	verdict := "ok"
+	if v := r.Violated(); v != "" {
+		verdict = "VIOLATED: " + v
+	}
+	if r.FencingArm {
+		fmt.Fprintf(&b, "summary: defense avail=%.2f%% fenced_writes=%d zombie_landed=%d double_applies=%d epoch_rejects=%d divergent=%d | control avail=%.2f%% zombie_landed=%d double_applies=%d divergent=%d | %s\n",
+			100*r.Defense.Availability(), r.Defense.FencedWrites,
+			r.DefenseObs.ZombieLanded, r.DefenseObs.DoubleApplies,
+			r.Defense.Fence.PlanEpochRejects, len(r.Defense.DivergentCells),
+			100*r.Control.Availability(), r.ControlObs.ZombieLanded,
+			r.ControlObs.DoubleApplies, len(r.Control.DivergentCells), verdict)
+	} else {
+		fmt.Fprintf(&b, "summary: control avail=%.2f%% zombie_landed=%d double_applies=%d divergent=%d | %s\n",
+			100*r.Control.Availability(), r.ControlObs.ZombieLanded,
+			r.ControlObs.DoubleApplies, len(r.Control.DivergentCells), verdict)
+	}
+	return b.String()
+}
+
+func renderObs(arm string, o SplitBrainObs) string {
+	return fmt.Sprintf("  [%s harness] owner=%s stale_token=%d kb_partitioned=%v zombie_attempts=%d zombie_landed=%d replayed=%d double_applies=%d stale_register_tried=%v rejected=%v\n",
+		arm, o.Owner, o.StaleToken, o.KBPartitioned,
+		o.ZombieAttempts, o.ZombieLanded, o.ReplaySize, o.DoubleApplies,
+		o.StaleRegisterTried, o.StaleRegisterRejected)
+}

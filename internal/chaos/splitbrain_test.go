@@ -1,0 +1,83 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSplitBrainExperimentHoldsItsBars runs the three-arm experiment
+// and demands every bar holds: baseline fences nothing, the defense
+// arm lets zero zombie writes land, zero double-applies through,
+// epoch-rejects the superseded plan, self-demotes the stranded
+// checkpointer, reconciles at heal, and stays byte-identical to the
+// fault-free reference; the unfenced control arm measurably diverges.
+func TestSplitBrainExperimentHoldsItsBars(t *testing.T) {
+	rep, err := RunSplitBrain(7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := rep.Violated(); v != "" {
+		t.Errorf("violated: %s\n%s", v, rep.Render())
+	}
+}
+
+// TestSplitBrainSameSeedRunsAreByteIdentical pins the experiment —
+// partition, zombie writes, epoch rejects, reconciliation, probation
+// rejoin — to the deterministic-replay contract.
+func TestSplitBrainSameSeedRunsAreByteIdentical(t *testing.T) {
+	a, err := RunSplitBrain(3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSplitBrain(3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra, rb := a.Render(), b.Render(); ra != rb {
+		t.Errorf("same-seed renders differ:\n--- run 1 ---\n%s--- run 2 ---\n%s", ra, rb)
+	}
+}
+
+// TestSplitBrainPremises proves the scenario's setup claims: the
+// stranded owner keeps heartbeating so the binary detector never fires
+// in any arm, the KB really lost a minority replica, and the control-
+// only invocation (-fencing=false) carries its own verdict.
+func TestSplitBrainPremises(t *testing.T) {
+	rep, err := RunSplitBrain(7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for arm, r := range map[string]*Report{
+		"defense": rep.Defense, "control": rep.Control,
+	} {
+		if r.Suspected != 0 || r.Confirmed != 0 {
+			t.Errorf("%s arm: binary detector fired (suspected=%d confirmed=%d) on a heartbeating zombie",
+				arm, r.Suspected, r.Confirmed)
+		}
+	}
+	if !rep.DefenseObs.KBPartitioned || !rep.ControlObs.KBPartitioned {
+		t.Error("KB cluster was never partitioned")
+	}
+	if !strings.Contains(rep.Render(), "summary:") {
+		t.Error("render missing summary line")
+	}
+	// Fencing must stay out of the no-fencing arm's render so the
+	// control report is comparable with the legacy scenarios.
+	if strings.Contains(rep.Control.Render(), "fencing:") {
+		t.Error("no-fencing control render carries a fencing section")
+	}
+	if !strings.Contains(rep.Defense.Render(), "fencing:") {
+		t.Error("defense render missing the fencing section")
+	}
+
+	ctl, err := RunSplitBrain(7, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctl.Baseline != nil || ctl.Defense != nil {
+		t.Error("control-only mode ran fenced arms")
+	}
+	if v := ctl.Violated(); v != "" {
+		t.Errorf("control-only verdict: %s", v)
+	}
+}

@@ -107,12 +107,17 @@ func (c *Cluster) Leader() NodeID {
 }
 
 func (c *Cluster) leaderLocked() NodeID {
+	// Prefer the highest term: a partitioned old leader keeps its role
+	// (no peer can reach it to demote it), and picking it would route
+	// every proposal into a log that can never commit.
+	var best NodeID
+	var bestTerm uint64
 	for _, id := range c.ids {
-		if c.alive[id] && c.nodes[id].Role() == Leader {
-			return id
+		if c.alive[id] && c.nodes[id].Role() == Leader && c.nodes[id].Term() > bestTerm {
+			best, bestTerm = id, c.nodes[id].Term()
 		}
 	}
-	return 0
+	return best
 }
 
 // tick advances every live node one tick and delivers all messages.
@@ -203,9 +208,12 @@ func (c *Cluster) applyLocked() {
 				st.CAS(cmd.Key, cmd.ExpectRev, cmd.Value)
 			}
 		}
-		// Log compaction: snapshot the applied state and truncate.
-		if n.LogSize() > compactThreshold {
-			applied := n.Commit()                // TakeCommitted drained applied == commit
+		// Log compaction: snapshot the applied state and truncate. Only
+		// serialize when the compaction point actually advanced — a
+		// partitioned replica whose commit is frozen would otherwise pay
+		// for a full-store marshal on every tick just to have CompactTo
+		// reject it.
+		if applied := n.Commit(); n.LogSize() > compactThreshold && applied > n.SnapshotIndex() {
 			n.CompactTo(applied, st.Serialize()) //nolint:errcheck // preconditions hold here
 		}
 	}

@@ -47,16 +47,39 @@ func (m *LeaseManager) Grant(now, ttl int64) *Lease {
 	return l
 }
 
-// KeepAlive refreshes the lease deadline to now+TTL.
+// KeepAlive refreshes the lease deadline to now+TTL. A keep-alive that
+// arrives at or after the deadline fails and revokes the lease (keys
+// dropped, exactly as if Tick had expired it): an expired lease must
+// never be resurrected, or a holder partitioned past its TTL would keep
+// authority the rest of the system has already reassigned.
 func (m *LeaseManager) KeepAlive(id, now int64) error {
+	m.mu.Lock()
+	l, ok := m.leases[id]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("kb: lease %d not found", id)
+	}
+	if l.Deadline <= now {
+		deadline := l.Deadline
+		m.mu.Unlock()
+		m.Revoke(id) //nolint:errcheck // lease exists: checked above
+		return fmt.Errorf("kb: lease %d expired at %d (keep-alive at %d)", id, deadline, now)
+	}
+	l.Deadline = now + l.TTL
+	m.mu.Unlock()
+	return nil
+}
+
+// Deadline reports the lease's absolute expiry; ok is false when the
+// lease is gone (expired or revoked).
+func (m *LeaseManager) Deadline(id int64) (int64, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	l, ok := m.leases[id]
 	if !ok {
-		return fmt.Errorf("kb: lease %d not found", id)
+		return 0, false
 	}
-	l.Deadline = now + l.TTL
-	return nil
+	return l.Deadline, true
 }
 
 // Revoke deletes the lease and all attached keys immediately.

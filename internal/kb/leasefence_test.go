@@ -1,0 +1,143 @@
+package kb
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestKeepAliveCannotResurrectExpiredLease is the regression test for
+// the lease-resurrection bug: a keep-alive arriving after the deadline
+// used to silently extend the lease, letting a zombie client keep keys
+// alive that the rest of the cluster had already watched expire. A
+// late keep-alive must fail, and the lease's keys must be gone.
+func TestKeepAliveCannotResurrectExpiredLease(t *testing.T) {
+	s := NewStore()
+	m := NewLeaseManager(s)
+
+	l := m.Grant(0, 100)
+	if err := m.Attach(l.ID, "svc/a", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+
+	// In-window keep-alives extend as ever.
+	if err := m.KeepAlive(l.ID, 90); err != nil {
+		t.Fatalf("in-window keep-alive failed: %v", err)
+	}
+
+	// The client goes dark for longer than the TTL (gap > TTL with no
+	// Tick in between — exactly the partition shape): the keep-alive
+	// must fail even though no Tick got to expire the lease first.
+	if err := m.KeepAlive(l.ID, 90+101); err == nil {
+		t.Fatal("keep-alive after the deadline resurrected the lease")
+	}
+	if m.Alive(l.ID) {
+		t.Fatal("expired lease still tracked")
+	}
+	if _, ok := s.Get("svc/a"); ok {
+		t.Fatal("expired lease's key survived the failed keep-alive")
+	}
+	if d, ok := m.Deadline(l.ID); ok {
+		t.Fatalf("Deadline reports %d for a dead lease", d)
+	}
+
+	// A fresh Grant starts clean — the failure is not sticky.
+	l2 := m.Grant(300, 100)
+	if err := m.KeepAlive(l2.ID, 350); err != nil {
+		t.Fatalf("fresh lease keep-alive failed: %v", err)
+	}
+}
+
+// TestWatchLeaseChurnUnderPartition drives the replicated KB through
+// lease grants, attaches, expiries, and re-grants while the cluster is
+// repeatedly partitioned and healed, with a concurrent watcher
+// draining events (run it with -race). Invariants: no expired lease's
+// key survives, and the watcher observes events in revision order.
+func TestWatchLeaseChurnUnderPartition(t *testing.T) {
+	cl := NewCluster(3, 99)
+	m := NewLeaseManager(cl)
+	w := cl.Watch("svc/", 8192)
+
+	var mu sync.Mutex
+	var revs []int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for e := range w.Events() {
+			mu.Lock()
+			revs = append(revs, e.KV.ModRevision)
+			mu.Unlock()
+		}
+	}()
+
+	ids := cl.Members()
+	now := int64(0)
+	const ttl = 20
+
+	// A long-lived lease kept alive through the churn — it must survive
+	// every partition because its client never goes dark.
+	keeper := m.Grant(now, ttl)
+	if err := m.Attach(keeper.ID, "svc/keeper", []byte("k")); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 60; i++ {
+		now += 5
+		l := m.Grant(now, ttl)
+		if err := m.Attach(l.ID, fmt.Sprintf("svc/%03d", i), []byte("v")); err != nil {
+			t.Fatalf("attach %d: %v", i, err)
+		}
+		if err := m.KeepAlive(keeper.ID, now); err != nil {
+			t.Fatalf("keeper keep-alive at %d: %v", now, err)
+		}
+		switch i % 7 {
+		case 3:
+			cl.Partition(ids[:1], ids[1:])
+		case 5:
+			cl.Heal()
+		}
+		m.Tick(now) // expires every short lease whose client went dark
+	}
+	cl.Heal()
+
+	// Sweep forward with the keeper's client still renewing in-window:
+	// every short lease lapses, the keeper must survive.
+	for j := 0; j < 10; j++ {
+		now += ttl / 2
+		if err := m.KeepAlive(keeper.ID, now); err != nil {
+			t.Fatalf("keeper keep-alive during sweep at %d: %v", now, err)
+		}
+		m.Tick(now)
+	}
+	kvs := cl.Range("svc/")
+	if len(kvs) != 1 || kvs[0].Key != "svc/keeper" {
+		t.Fatalf("stale lease keys survived the churn: %d keys", len(kvs))
+	}
+	if m.Len() != 1 {
+		t.Fatalf("lease table carries %d leases, want 1", m.Len())
+	}
+
+	// And the regression stays fixed on the replicated backend too: a
+	// keep-alive far past the deadline fails and drops the keys.
+	if err := m.KeepAlive(keeper.ID, now+10*ttl); err == nil {
+		t.Fatal("keep-alive far past the deadline resurrected the keeper")
+	}
+	if kvs := cl.Range("svc/"); len(kvs) != 0 {
+		t.Fatalf("dead keeper's key survived: %d keys", len(kvs))
+	}
+
+	w.Cancel()
+	wg.Wait()
+	if len(revs) == 0 {
+		t.Fatal("watcher observed no events")
+	}
+	for i := 1; i < len(revs); i++ {
+		if revs[i] <= revs[i-1] {
+			t.Fatalf("events out of revision order at %d: %d after %d", i, revs[i], revs[i-1])
+		}
+	}
+	if d := w.Dropped(); d != 0 {
+		t.Fatalf("watcher dropped %d events", d)
+	}
+}

@@ -384,7 +384,27 @@ func (a *Agent) handleTraces(w http.ResponseWriter, r *http.Request) {
 	if infos == nil {
 		infos = []trace.Info{}
 	}
-	writeJSON(w, http.StatusOK, infos)
+	doc := map[string]any{"traces": infos}
+	if fl := a.o.R.Fence(); fl != nil {
+		fs := fl.Stats()
+		var fencedWrites uint64
+		if ss := a.o.R.StateStore(); ss != nil {
+			fencedWrites = ss.Stats().FencedWrites
+		}
+		doc["fencing"] = map[string]any{
+			"tokens_minted":      fs.TokensMinted,
+			"fenced_writes":      fencedWrites,
+			"fenced_checkpoints": fs.FencedCheckpoints,
+			"fenced_migrates":    fs.FencedMigrates,
+			"plan_epoch_rejects": fs.PlanEpochRejects,
+			"self_demotions":     fs.SelfDemotions,
+			"owner_fences":       fs.OwnerFences,
+			"reconciliations":    fs.Reconciliations,
+			"journal_discards":   fs.JournalDiscards,
+			"resync_bytes":       fs.ResyncBytes,
+		}
+	}
+	writeJSON(w, http.StatusOK, doc)
 }
 
 func (a *Agent) handleTrace(w http.ResponseWriter, r *http.Request) {

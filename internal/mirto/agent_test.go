@@ -280,10 +280,14 @@ func TestAgentTraceEndpoints(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer lresp.Body.Close()
-	var infos []trace.Info
-	if err := json.NewDecoder(lresp.Body).Decode(&infos); err != nil {
+	var listing struct {
+		Traces  []trace.Info      `json:"traces"`
+		Fencing map[string]uint64 `json:"fencing"`
+	}
+	if err := json.NewDecoder(lresp.Body).Decode(&listing); err != nil {
 		t.Fatal(err)
 	}
+	infos := listing.Traces
 	var reqInfo *trace.Info
 	for i := range infos {
 		if strings.HasPrefix(string(infos[i].Name), "request/") {
@@ -330,6 +334,20 @@ func TestAgentTraceEndpoints(t *testing.T) {
 	resp, _ = doReq(t, "GET", srv.URL+"/v1/traces/t999999", "viewer-token", "", nil)
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("unknown trace = %d", resp.StatusCode)
+	}
+
+	// With a fence ledger attached, the listing carries the fencing
+	// counters mirtoctl renders.
+	a.o.R.SetFence(NewFenceLedger(a.o.M.C.KB))
+	_, body := doReq(t, "GET", srv.URL+"/v1/traces", "viewer-token", "", nil)
+	fencing, ok := body["fencing"].(map[string]any)
+	if !ok {
+		t.Fatalf("fencing block missing from trace listing: %v", body)
+	}
+	for _, k := range []string{"fenced_writes", "plan_epoch_rejects", "journal_discards"} {
+		if _, ok := fencing[k]; !ok {
+			t.Fatalf("fencing block missing %q", k)
+		}
 	}
 }
 

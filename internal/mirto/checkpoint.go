@@ -41,6 +41,21 @@ type Checkpointer struct {
 	leases   *kb.LeaseManager
 	lease    *kb.Lease
 	isLeader bool
+	// lastRenew is the last tick the lease was actually renewed at the
+	// KB; when now-lastRenew reaches the TTL, the lease could have
+	// expired at the majority and a leader self-fences (demotes to
+	// read-only) on its own clock — no clock trust, bound by TTL.
+	lastRenew sim.Time
+
+	// fence, when set, stamps every checkpoint commit with the cell's
+	// ownership token (inside a MYFE envelope); a commit whose token the
+	// ledger has moved past — or arriving from a self-demoted leader —
+	// is rejected and never lands in the KB.
+	fence *FenceLedger
+	// reachable, when set, reports whether the checkpointer can reach
+	// the KB majority (the chaos harness points it at the partition
+	// state). While unreachable: no keep-alives, no claims, no writes.
+	reachable func() bool
 
 	book     map[string]*ckptBook
 	inflight map[string]bool
@@ -79,6 +94,10 @@ type CheckpointStats struct {
 	// KeysDeleted counts superseded checkpoint keys the retention policy
 	// garbage-collected from the KB.
 	KeysDeleted uint64
+	// FencedWrites counts checkpoint commits rejected by fencing (stale
+	// token, or a self-demoted leader); SelfDemotions leadership drops
+	// because the lease could have expired at the majority.
+	FencedWrites, SelfDemotions uint64
 }
 
 // Checkpoint keys are versioned: each committed write lands under a
@@ -149,6 +168,9 @@ func (cp *Checkpointer) Tick() {
 	if !cp.isLeader {
 		return
 	}
+	if cp.reachable != nil && !cp.reachable() {
+		return // severed from the KB majority: no reads, no writes
+	}
 	cp.restorePass(now)
 	if cp.passes == 0 || now-cp.lastPass >= cp.Interval {
 		cp.lastPass = now
@@ -167,23 +189,78 @@ func (cp *Checkpointer) Sync() {
 	if !cp.isLeader {
 		return
 	}
+	if cp.reachable != nil && !cp.reachable() {
+		return // severed from the KB majority: no reads, no writes
+	}
 	cp.restorePass(now)
 	cp.checkpointPass()
 }
 
+// SetFence wires the split-brain fencing ledger: commits carry the
+// cell's ownership token and stale ones are rejected at the anchor.
+func (cp *Checkpointer) SetFence(fl *FenceLedger) { cp.fence = fl }
+
+// SetReachable wires a KB-majority reachability probe (the chaos
+// harness points it at the partition state). While unreachable the
+// checkpointer neither renews its lease nor claims leadership — and
+// once the lease TTL elapses without a renewal it self-fences.
+func (cp *Checkpointer) SetReachable(fn func() bool) { cp.reachable = fn }
+
+// Leader reports whether this checkpointer currently holds leadership.
+func (cp *Checkpointer) Leader() bool { return cp.isLeader }
+
 // tickLease maintains the checkpointer's leadership lease: grant on
 // first touch, keep-alive afterwards, and a CAS claim of the leader key
 // once the previous holder's lease (if any) has expired.
+//
+// Zombie self-fencing: leadership is only trusted while the lease was
+// renewed within its TTL on the local clock. A checkpointer severed
+// from the KB majority cannot renew; once now-lastRenew reaches the
+// TTL its lease *could* have expired at the majority (which may have
+// elected a successor), so it demotes to read-only rather than risk
+// writing as a zombie — the same TTL bound, no clock trust needed.
 func (cp *Checkpointer) tickLease(now sim.Time) {
+	reachable := cp.reachable == nil || cp.reachable()
+	ttl := int64(4 * cp.Interval)
 	if cp.lease == nil {
-		cp.lease = cp.leases.Grant(int64(now), int64(4*cp.Interval))
-	} else {
-		cp.leases.KeepAlive(cp.lease.ID, int64(now)) //nolint:errcheck
+		if !reachable {
+			return
+		}
+		cp.lease = cp.leases.Grant(int64(now), ttl)
+		cp.lastRenew = now
+	} else if reachable {
+		if err := cp.leases.KeepAlive(cp.lease.ID, int64(now)); err != nil {
+			// The lease lapsed (an expired lease can no longer be
+			// resurrected): leadership died with it. Demote and start over
+			// with a fresh lease — re-election goes through the ordinary
+			// CAS claim below.
+			if cp.isLeader {
+				cp.isLeader = false
+				cp.stats.SelfDemotions++
+				if cp.fence != nil {
+					cp.fence.NoteSelfDemotion()
+				}
+			}
+			cp.lease = cp.leases.Grant(int64(now), ttl)
+		}
+		cp.lastRenew = now
 	}
 	cp.leases.Tick(int64(now))
 	if cp.isLeader {
+		if int64(now)-int64(cp.lastRenew) >= ttl {
+			// The majority may have expired us: self-fence.
+			cp.isLeader = false
+			cp.stats.SelfDemotions++
+			if cp.fence != nil {
+				cp.fence.NoteSelfDemotion()
+			}
+			return
+		}
 		// Re-assert the claim through the lease so expiry releases it.
 		cp.leases.Attach(cp.lease.ID, ckptLeaderKey, []byte(cp.anchor)) //nolint:errcheck
+		return
+	}
+	if !reachable || cp.lease == nil {
 		return
 	}
 	if _, held := cp.store.Get(ckptLeaderKey); held {
@@ -232,15 +309,27 @@ func (cp *Checkpointer) checkpointCell(key string) {
 	ents, newPos, covered := cp.ss.JournalSince(app, stage, b.lastPos)
 	full := !b.hasFull || b.needFull || !covered || b.sinceFull+1 >= cp.FullEvery
 	var payload []byte
-	var size int64
 	if full {
 		img := st
 		payload = EncodeState(&img)
+	} else {
+		payload = EncodeDelta(&StateDelta{Stage: stage, BaseCount: b.lastCount, Entries: ents})
+	}
+	// With fencing wired, the payload travels inside a MYFE envelope
+	// stamped with the cell's ownership token as of encode time; the
+	// commit re-checks the ledger so a token minted while the transfer
+	// was in flight fences the write.
+	var fenceTok uint64
+	if cp.fence != nil {
+		_, fenceTok, _, _ = cp.fence.Current(app, stage)
+		payload = EncodeFenced(fenceTok, payload)
+	}
+	var size int64
+	if full {
 		// The declared state-size hint models the real aggregate payload a
 		// production stage would ship on top of our compact counters.
 		size = int64(cp.ss.Hint(app, stage)*1e6) + int64(len(payload))
 	} else {
-		payload = EncodeDelta(&StateDelta{Stage: stage, BaseCount: b.lastCount, Entries: ents})
 		size = int64(len(payload))
 	}
 	count := st.Count
@@ -252,6 +341,22 @@ func (cp *Checkpointer) checkpointCell(key string) {
 		if err != nil {
 			cp.stats.SendFailures++
 			return
+		}
+		if cp.fence != nil {
+			if !cp.isLeader {
+				// Self-fenced while the transfer was in flight: read-only.
+				cp.stats.FencedWrites++
+				cp.fence.NoteFencedCheckpoint()
+				return
+			}
+			if _, cur, _, ok := cp.fence.Current(app, stage); ok && cur != fenceTok {
+				// Ownership moved mid-flight; this image was produced under
+				// a stale token and must never land. The next pass
+				// re-encodes under the current token.
+				cp.stats.FencedWrites++
+				cp.fence.NoteFencedCheckpoint()
+				return
+			}
 		}
 		cp.stats.BytesSent += uint64(size)
 		if full {
@@ -385,7 +490,15 @@ func (cp *Checkpointer) readChain(app, stage string) (fullB []byte, deltas [][]b
 func (cp *Checkpointer) installCheckpoint(app, stage, key string, fullB []byte, deltas [][]byte) error {
 	img := &StageState{Stage: stage}
 	if len(fullB) > 0 {
-		dec, err := DecodeState(fullB)
+		raw := fullB
+		if IsFenced(raw) {
+			_, inner, err := DecodeFenced(raw)
+			if err != nil {
+				return fmt.Errorf("mirto: restoring %s envelope: %w", key, err)
+			}
+			raw = inner
+		}
+		dec, err := DecodeState(raw)
 		if err != nil {
 			return fmt.Errorf("mirto: restoring %s: %w", key, err)
 		}
@@ -393,6 +506,13 @@ func (cp *Checkpointer) installCheckpoint(app, stage, key string, fullB []byte, 
 	}
 	extra := map[uint64]bool{}
 	for _, deltaB := range deltas {
+		if IsFenced(deltaB) {
+			_, inner, err := DecodeFenced(deltaB)
+			if err != nil {
+				return fmt.Errorf("mirto: restoring %s delta envelope: %w", key, err)
+			}
+			deltaB = inner
+		}
 		d, err := DecodeDelta(deltaB)
 		if err != nil {
 			return fmt.Errorf("mirto: restoring %s delta: %w", key, err)

@@ -129,6 +129,9 @@ func (m *Manager) DeltaPlan(old *Plan, dirty map[string]bool) (*Plan, DeltaStats
 	np.Negotiations = ps.negotiations
 	np.Scored = ps.scored
 	stats.Scored = ps.scored
+	if m.fence != nil {
+		np.Epoch = m.fence.StampEpoch(np.App)
+	}
 	return np, stats, nil
 }
 
@@ -194,6 +197,17 @@ func (m *Manager) agentFor(layer string) *LayerAgent {
 // restored best-effort, leaving the caller free to fall back to a full
 // replan.
 func (m *Manager) ExecuteDelta(old, np *Plan) error {
+	// Epoch gate: a splice built from a superseded plan epoch was
+	// computed by a stale authority (a partitioned orchestrator, or a
+	// drain that raced a newer replan) — applying it would tear pods
+	// against a placement the rest of the system has moved past.
+	if m.fence != nil && np.Epoch != 0 {
+		if cur := m.fence.CurrentEpoch(np.App); np.Epoch < cur {
+			m.fence.NoteEpochReject()
+			return fmt.Errorf("mirto: splice of %s rejected: plan epoch %d superseded by %d",
+				np.App, np.Epoch, cur)
+		}
+	}
 	var changed []int
 	for i := range np.Assignments {
 		if np.Assignments[i].PodName == "" {

@@ -32,6 +32,11 @@ type FailureDetector struct {
 	// restore path takes over from there.
 	stateStore *StateStore
 
+	// fence, when set, has a confirmed-dead owner's fencing tokens
+	// revoked (bumped in place), closing the window between confirmation
+	// and the replan that reassigns its cells.
+	fence *FenceLedger
+
 	misses    map[string]int
 	suspected map[string]bool
 
@@ -89,6 +94,12 @@ func (fd *FailureDetector) SetBreakers(bs *BreakerSet) { fd.breakers = bs }
 // the checkpoint/restore path).
 func (fd *FailureDetector) SetStateStore(ss *StateStore) { fd.stateStore = ss }
 
+// SetFence wires the fencing ledger: a *confirmed* failure revokes the
+// dead owner's write authority in the ledger (FenceOwner), so even a
+// write it had in flight — or fires later as a partitioned zombie —
+// carries a stale token and never lands.
+func (fd *FailureDetector) SetFence(fl *FenceLedger) { fd.fence = fl }
+
 // Tick senses one heartbeat round and returns the devices newly
 // suspected and newly recovered this round.
 func (fd *FailureDetector) Tick() (suspected, recovered []string) {
@@ -115,6 +126,9 @@ func (fd *FailureDetector) Tick() (suspected, recovered []string) {
 				}
 			case m == 2*fd.k:
 				fd.confirmedTotal++
+				if fd.fence != nil {
+					fd.fence.FenceOwner(name)
+				}
 			}
 			continue
 		}

@@ -1,0 +1,333 @@
+package mirto
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"sync"
+
+	"myrtus/internal/kb"
+)
+
+// This file implements the split-brain fencing layer: a monotonic
+// fencing token per state cell, minted through the `mirto/own/<app>/
+// <stage>` ownership ledger on every ownership change, plus a per-app
+// plan epoch CAS'd through the KB on every (re)plan. Together they turn
+// "who owns what" from an assumption into a checkable lattice:
+//
+//   - every stateful apply, checkpoint commit, and migration transfer
+//     carries the writer's token; receivers reject tokens older than
+//     the newest they have accepted — a fenced write increments a
+//     counter and never lands;
+//   - every plan carries the epoch it was stamped with; the runtime
+//     rejects registrations and the manager rejects splices from a
+//     superseded epoch, so a partitioned orchestrator's replans are
+//     inert;
+//   - checkpoint and migrate payloads travel inside a MYFE envelope
+//     (versioned magic, CRC-covered, trailing-garbage rejected) that
+//     binds the bytes to the token that produced them.
+//
+// Tokens only ever grow: Ensure mints on ownership change, Mint is the
+// migration flip's atomic CAS, FenceOwner revokes a confirmed-dead
+// owner's authority in place. A reader comparing tokens therefore needs
+// no clock and no leader — staleness is a pure integer comparison.
+
+// ownEpochPrefix is the KB prefix of the per-app plan-epoch keys.
+const ownEpochPrefix = "mirto/epoch/"
+
+// epochKey is the KB key holding an app's current plan epoch.
+func epochKey(app string) string { return ownEpochPrefix + app }
+
+// FenceStats are the fencing counters surfaced in the chaos report and
+// the agent's trace listing.
+type FenceStats struct {
+	// TokensMinted counts ownership-change mints (Ensure, Mint, and
+	// FenceOwner bumps alike).
+	TokensMinted uint64
+	// FencedCheckpoints counts checkpoint commits rejected for carrying a
+	// stale token (or arriving from a self-demoted leader);
+	// FencedMigrates migration transfers rejected the same way.
+	FencedCheckpoints uint64
+	FencedMigrates    uint64
+	// PlanEpochRejects counts plan registrations/splices rejected for
+	// carrying a superseded epoch.
+	PlanEpochRejects uint64
+	// SelfDemotions counts zombie self-fencing events: a leader or owner
+	// dropping to read-only because its lease could have expired at the
+	// majority.
+	SelfDemotions uint64
+	// OwnerFences counts FenceOwner revocations of a confirmed-dead
+	// owner's write authority.
+	OwnerFences uint64
+	// Reconciliations counts partition-heal reconciliations;
+	// JournalDiscards the fenced journal entries they discarded;
+	// ResyncBytes the authoritative state bytes they resynced.
+	Reconciliations uint64
+	JournalDiscards uint64
+	ResyncBytes     uint64
+}
+
+// FenceLedger is the fencing authority over the KB's ownership keys.
+// All mutation goes through CAS so two movers (or a partitioned zombie
+// and the majority) cannot both win; the monotonic token travels with
+// every write the owner makes.
+type FenceLedger struct {
+	mu    sync.Mutex
+	store kb.Backend
+	stats FenceStats
+}
+
+// NewFenceLedger builds a ledger over the KB backend (typically the
+// raft-replicated cluster the continuum built).
+func NewFenceLedger(store kb.Backend) *FenceLedger {
+	return &FenceLedger{store: store}
+}
+
+// formatOwn renders an ownership record: "<device>@<token>".
+func formatOwn(device string, token uint64) []byte {
+	return []byte(device + "@" + strconv.FormatUint(token, 10))
+}
+
+// parseOwn parses an ownership record. Legacy records written before
+// fencing (bare device names) read as token 0 — older than any minted
+// token, so a legacy writer never outranks a fenced one.
+func parseOwn(v []byte) (device string, token uint64) {
+	i := bytes.LastIndexByte(v, '@')
+	if i < 0 {
+		return string(v), 0
+	}
+	tok, err := strconv.ParseUint(string(v[i+1:]), 10, 64)
+	if err != nil {
+		return string(v), 0
+	}
+	return string(v[:i]), tok
+}
+
+// Current reads a cell's ownership record: the device the ledger
+// attributes the cell to, its fencing token, and the record's revision
+// (the CAS anchor for a later Mint). ok is false when the cell has no
+// record yet.
+func (fl *FenceLedger) Current(app, stage string) (device string, token uint64, rev int64, ok bool) {
+	kv, ok := fl.store.Get(ownKey(app, stage))
+	if !ok {
+		return "", 0, 0, false
+	}
+	device, token = parseOwn(kv.Value)
+	return device, token, kv.ModRevision, true
+}
+
+// Ensure records device as the cell's owner, minting a fresh token if
+// ownership changed and returning the existing one if not. It is the
+// idempotent entry point the runtime uses at plan registration: same
+// owner, same token — re-registering a plan never advances the fence.
+func (fl *FenceLedger) Ensure(app, stage, device string) (token uint64, rev int64) {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	key := ownKey(app, stage)
+	for {
+		kv, ok := fl.store.Get(key)
+		if !ok {
+			if rev, ok := fl.store.CAS(key, 0, formatOwn(device, 1)); ok {
+				fl.stats.TokensMinted++
+				return 1, rev
+			}
+			continue // lost the create race; re-read
+		}
+		dev, tok := parseOwn(kv.Value)
+		if dev == device {
+			return tok, kv.ModRevision
+		}
+		if rev, ok := fl.store.CAS(key, kv.ModRevision, formatOwn(device, tok+1)); ok {
+			fl.stats.TokensMinted++
+			return tok + 1, rev
+		}
+		// CAS lost to a concurrent mover; re-read and retry.
+	}
+}
+
+// Mint is the migration flip's atomic ownership hand-off: it advances
+// the cell to device with a fresh token, but only if the record still
+// sits at expectRev — the revision the drain observed at its start. A
+// lost CAS means another mover (or the majority side of a partition)
+// got there first; the flip must abort.
+func (fl *FenceLedger) Mint(app, stage, device string, expectRev int64) (uint64, bool) {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	key := ownKey(app, stage)
+	kv, ok := fl.store.Get(key)
+	if !ok || kv.ModRevision != expectRev {
+		return 0, false
+	}
+	_, tok := parseOwn(kv.Value)
+	if _, ok := fl.store.CAS(key, expectRev, formatOwn(device, tok+1)); !ok {
+		return 0, false
+	}
+	fl.stats.TokensMinted++
+	return tok + 1, true
+}
+
+// FenceOwner revokes a confirmed-dead owner's write authority: every
+// cell the ledger still attributes to the device gets its token bumped
+// in place, so any write stamped with the dead owner's captured token
+// is stale from here on — even before the replan reassigns the cell.
+// It returns the number of cells fenced.
+func (fl *FenceLedger) FenceOwner(device string) int {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	n := 0
+	for _, kv := range fl.store.Range("mirto/own/") {
+		dev, tok := parseOwn(kv.Value)
+		if dev != device {
+			continue
+		}
+		if _, ok := fl.store.CAS(kv.Key, kv.ModRevision, formatOwn(device, tok+1)); ok {
+			fl.stats.TokensMinted++
+			n++
+		}
+	}
+	if n > 0 {
+		fl.stats.OwnerFences++
+	}
+	return n
+}
+
+// CurrentEpoch reads an app's plan epoch (0 when never stamped).
+func (fl *FenceLedger) CurrentEpoch(app string) uint64 {
+	kv, ok := fl.store.Get(epochKey(app))
+	if !ok {
+		return 0
+	}
+	e, err := strconv.ParseUint(string(kv.Value), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return e
+}
+
+// StampEpoch advances the app's plan epoch through a KB CAS and returns
+// the new value. Every plan the manager produces is stamped with a
+// fresh epoch, so any two plans for the same app are totally ordered —
+// the runtime and the splice path reject the older one.
+func (fl *FenceLedger) StampEpoch(app string) uint64 {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	key := epochKey(app)
+	for {
+		kv, ok := fl.store.Get(key)
+		if !ok {
+			if _, ok := fl.store.CAS(key, 0, []byte("1")); ok {
+				return 1
+			}
+			continue
+		}
+		e, err := strconv.ParseUint(string(kv.Value), 10, 64)
+		if err != nil {
+			e = 0
+		}
+		next := strconv.FormatUint(e+1, 10)
+		if _, ok := fl.store.CAS(key, kv.ModRevision, []byte(next)); ok {
+			return e + 1
+		}
+	}
+}
+
+// NoteFencedCheckpoint records a checkpoint commit rejected by fencing.
+func (fl *FenceLedger) NoteFencedCheckpoint() {
+	fl.mu.Lock()
+	fl.stats.FencedCheckpoints++
+	fl.mu.Unlock()
+}
+
+// NoteFencedMigrate records a migration transfer rejected by fencing.
+func (fl *FenceLedger) NoteFencedMigrate() {
+	fl.mu.Lock()
+	fl.stats.FencedMigrates++
+	fl.mu.Unlock()
+}
+
+// NoteEpochReject records a plan registration or splice rejected for
+// carrying a superseded epoch.
+func (fl *FenceLedger) NoteEpochReject() {
+	fl.mu.Lock()
+	fl.stats.PlanEpochRejects++
+	fl.mu.Unlock()
+}
+
+// NoteSelfDemotion records a zombie self-fencing event.
+func (fl *FenceLedger) NoteSelfDemotion() {
+	fl.mu.Lock()
+	fl.stats.SelfDemotions++
+	fl.mu.Unlock()
+}
+
+// NoteReconciliation records one partition-heal reconciliation: the
+// fenced journal suffix discarded and the authoritative bytes resynced.
+func (fl *FenceLedger) NoteReconciliation(discarded int, resyncBytes uint64) {
+	fl.mu.Lock()
+	fl.stats.Reconciliations++
+	fl.stats.JournalDiscards += uint64(discarded)
+	fl.stats.ResyncBytes += resyncBytes
+	fl.mu.Unlock()
+}
+
+// Stats returns a copy of the fencing counters.
+func (fl *FenceLedger) Stats() FenceStats {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	return fl.stats
+}
+
+// MYFE is the fenced-envelope framing: checkpoint and migrate payloads
+// travel wrapped in it so the receiver can check the writer's token
+// before trusting the bytes. Same codec discipline as MYSF/MYSD/MYSM —
+// versioned magic, bounded lengths, CRC-32 trailer, trailing garbage
+// rejected.
+const fenceMagic = "MYFE"
+
+// maxFencedInner bounds the wrapped payload length so corrupt input
+// cannot trigger huge allocations.
+const maxFencedInner = 1 << 20
+
+// EncodeFenced wraps inner in a MYFE envelope stamped with token.
+func EncodeFenced(token uint64, inner []byte) []byte {
+	b := make([]byte, 0, len(fenceMagic)+1+8+4+len(inner)+4)
+	b = append(b, fenceMagic...)
+	b = append(b, stateCodecV1)
+	b = appendU64(b, token)
+	b = appendU32(b, uint32(len(inner)))
+	b = append(b, inner...)
+	return appendCRC(b)
+}
+
+// DecodeFenced unwraps a MYFE envelope, returning the writer's token
+// and the inner payload. It rejects bad magic, version, length bounds,
+// trailing garbage, and CRC mismatches.
+func DecodeFenced(data []byte) (uint64, []byte, error) {
+	r, err := openRecord(data, fenceMagic)
+	if err != nil {
+		return 0, nil, err
+	}
+	token, err := r.u64()
+	if err != nil {
+		return 0, nil, err
+	}
+	n, err := r.u32()
+	if err != nil {
+		return 0, nil, err
+	}
+	if n > maxFencedInner || r.pos+int(n) > len(r.b) {
+		return 0, nil, fmt.Errorf("mirto: fenced envelope payload length %d out of bounds", n)
+	}
+	inner := append([]byte(nil), r.b[r.pos:r.pos+int(n)]...)
+	r.pos += int(n)
+	if err := r.done(); err != nil {
+		return 0, nil, err
+	}
+	return token, inner, nil
+}
+
+// IsFenced probes for the MYFE magic — the restore path uses it to
+// unwrap envelopes while still reading pre-fencing bare payloads.
+func IsFenced(data []byte) bool {
+	return len(data) >= len(fenceMagic) && string(data[:len(fenceMagic)]) == fenceMagic
+}

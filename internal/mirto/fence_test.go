@@ -1,0 +1,382 @@
+package mirto
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"myrtus/internal/kb"
+	"myrtus/internal/sim"
+	"myrtus/internal/tosca"
+)
+
+// TestFenceLedgerTokens exercises the ownership ledger's core lattice:
+// tokens only ever grow, Ensure is idempotent for the same owner and
+// mints on change, Mint is fenced by the revision it was read at, and
+// FenceOwner revokes in place.
+func TestFenceLedgerTokens(t *testing.T) {
+	fl := NewFenceLedger(kb.NewStore())
+
+	tok, rev := fl.Ensure("app", "agg", "dev-a")
+	if tok != 1 {
+		t.Fatalf("first touch token = %d, want 1", tok)
+	}
+	if tok2, _ := fl.Ensure("app", "agg", "dev-a"); tok2 != 1 {
+		t.Fatalf("same-owner Ensure minted: %d", tok2)
+	}
+	tok3, rev3 := fl.Ensure("app", "agg", "dev-b")
+	if tok3 != 2 {
+		t.Fatalf("ownership-change token = %d, want 2", tok3)
+	}
+	if dev, cur, _, ok := fl.Current("app", "agg"); !ok || dev != "dev-b" || cur != 2 {
+		t.Fatalf("Current = %s/%d/%v, want dev-b/2/true", dev, cur, ok)
+	}
+
+	// A Mint against the revision the ledger has moved past must fail —
+	// the migration flip's lost-CAS abort.
+	if _, ok := fl.Mint("app", "agg", "dev-c", rev); ok {
+		t.Fatal("Mint with a superseded revision succeeded")
+	}
+	mtok, ok := fl.Mint("app", "agg", "dev-c", rev3)
+	if !ok || mtok != 3 {
+		t.Fatalf("Mint = %d/%v, want 3/true", mtok, ok)
+	}
+
+	// FenceOwner bumps every cell the device owns, revoking the token it
+	// holds in hand.
+	fl.Ensure("app", "det", "dev-c")
+	if n := fl.FenceOwner("dev-c"); n != 2 {
+		t.Fatalf("FenceOwner revoked %d cells, want 2", n)
+	}
+	if _, cur, _, _ := fl.Current("app", "agg"); cur != 4 {
+		t.Fatalf("post-fence token = %d, want 4", cur)
+	}
+
+	// Epochs: CAS-monotonic per app.
+	if e := fl.CurrentEpoch("app"); e != 0 {
+		t.Fatalf("virgin epoch = %d, want 0", e)
+	}
+	if e := fl.StampEpoch("app"); e != 1 {
+		t.Fatalf("first stamp = %d, want 1", e)
+	}
+	if e := fl.StampEpoch("app"); e != 2 {
+		t.Fatalf("second stamp = %d, want 2", e)
+	}
+}
+
+// TestFencedCodec round-trips the MYFE envelope and rejects every class
+// of corruption: truncation, bit flips (CRC), trailing garbage, and
+// foreign magics.
+func TestFencedCodec(t *testing.T) {
+	inner := []byte("payload-bytes-0123456789")
+	env := EncodeFenced(42, inner)
+	tok, got, err := DecodeFenced(env)
+	if err != nil || tok != 42 || !bytes.Equal(got, inner) {
+		t.Fatalf("roundtrip: tok=%d err=%v", tok, err)
+	}
+	if !IsFenced(env) {
+		t.Fatal("IsFenced(env) = false")
+	}
+	if IsFenced(inner) {
+		t.Fatal("IsFenced(raw payload) = true")
+	}
+	for cut := 1; cut < len(env); cut++ {
+		if _, _, err := DecodeFenced(env[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	for i := 0; i < len(env); i++ {
+		bad := append([]byte(nil), env...)
+		bad[i] ^= 0x40
+		if _, _, err := DecodeFenced(bad); err == nil {
+			t.Fatalf("bit flip at %d accepted", i)
+		}
+	}
+	if _, _, err := DecodeFenced(append(append([]byte(nil), env...), 0xEE)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}
+
+// FuzzFenceToken fuzzes the MYFE decoder: arbitrary bytes must never
+// panic, and every valid encoding must round-trip its token and payload.
+func FuzzFenceToken(f *testing.F) {
+	f.Add(EncodeFenced(0, nil))
+	f.Add(EncodeFenced(^uint64(0), []byte("x")))
+	f.Add(EncodeFenced(7, make([]byte, 300)))
+	f.Add([]byte("MYFE"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tok, inner, err := DecodeFenced(data)
+		if err != nil {
+			return
+		}
+		re := EncodeFenced(tok, inner)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("decoded envelope does not re-encode to itself: %x vs %x", re, data)
+		}
+	})
+}
+
+// TestStaleTokenNeverLandsUnderRace races a fenced old owner's writes
+// against the new owner's: with -race this proves the gate is
+// data-race-free, and the deterministic post-conditions prove no stale
+// write ever mutated the cell.
+func TestStaleTokenNeverLandsUnderRace(t *testing.T) {
+	ss := NewStateStore(64)
+	ss.SetFencing(true)
+	ss.RaiseToken("app", "agg", "new-dev", 5)
+
+	const goroutines, writes = 4, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(2)
+		go func() { // the fenced zombie: token 4 < watermark 5
+			defer wg.Done()
+			for i := 0; i < writes; i++ {
+				ss.ApplyFenced("app", "agg", "old-dev", uint64(g)<<32|uint64(i), 1, 0, 4)
+			}
+		}()
+		go func() { // the legitimate new owner
+			defer wg.Done()
+			for i := 0; i < writes; i++ {
+				ss.ApplyFenced("app", "agg", "new-dev", uint64(g+8)<<32|uint64(i), 1, 0, 5)
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := ss.Stats()
+	if st.FencedWrites != goroutines*writes {
+		t.Fatalf("FencedWrites = %d, want %d", st.FencedWrites, goroutines*writes)
+	}
+	if st.Applied != goroutines*writes {
+		t.Fatalf("Applied = %d, want %d (a stale write landed or a fresh one was lost)",
+			st.Applied, goroutines*writes)
+	}
+	if tok := ss.CellToken("app", "agg"); tok != 5 {
+		t.Fatalf("cell token = %d, want 5 (stale writer moved the watermark?)", tok)
+	}
+	if owner, _, _, _ := ss.CellInfo("app", "agg"); owner != "new-dev" {
+		t.Fatalf("cell owner = %s, want new-dev", owner)
+	}
+	if got := ss.FencedEntries("app", "agg"); got != goroutines*writes {
+		t.Fatalf("fenced journal carries %d entries, want %d", got, goroutines*writes)
+	}
+
+	// Deterministic tail: stale still rejected, fresh token raises.
+	if ss.ApplyFenced("app", "agg", "old-dev", 1<<60, 1, 0, 4) {
+		t.Fatal("stale write landed after the race")
+	}
+	if !ss.ApplyFenced("app", "agg", "new-dev", 1<<60|1, 1, 0, 6) {
+		t.Fatal("fresh-token write rejected")
+	}
+	if tok := ss.CellToken("app", "agg"); tok != 6 {
+		t.Fatalf("watermark = %d, want 6", tok)
+	}
+}
+
+// TestReconcileDiscardsFencedSuffix checks the heal-time cleanup: the
+// fenced journal is discarded without touching state, and the resync
+// cost covers the encoded image.
+func TestReconcileDiscardsFencedSuffix(t *testing.T) {
+	ss := NewStateStore(8)
+	ss.SetFencing(true)
+	ss.RaiseToken("app", "agg", "dev-b", 3)
+	if !ss.ApplyFenced("app", "agg", "dev-b", 1, 10, 0, 3) {
+		t.Fatal("legitimate apply rejected")
+	}
+	for i := 0; i < 12; i++ { // overflows the bound-8 fenced journal
+		ss.ApplyFenced("app", "agg", "dev-a", 100+uint64(i), 1, 0, 2)
+	}
+	if got := ss.FencedEntries("app", "agg"); got != 12 {
+		t.Fatalf("fenced entries = %d, want 12", got)
+	}
+	before, _, _ := ss.State("app", "agg")
+	discarded, resync := ss.Reconcile("app", "agg")
+	if discarded != 12 {
+		t.Fatalf("discarded = %d, want 12", discarded)
+	}
+	if resync == 0 {
+		t.Fatal("resync bytes = 0")
+	}
+	if got := ss.FencedEntries("app", "agg"); got != 0 {
+		t.Fatalf("fenced entries after reconcile = %d", got)
+	}
+	after, _, _ := ss.State("app", "agg")
+	if string(EncodeState(&before)) != string(EncodeState(&after)) {
+		t.Fatal("reconcile mutated the cell state")
+	}
+}
+
+// TestPlanEpochRejects covers the epoch state machine end to end: plans
+// are stamped monotonically, a superseded plan cannot re-register, and
+// a superseded splice is refused.
+func TestPlanEpochRejects(t *testing.T) {
+	c := testContinuum(t)
+	m := NewManager(c, LatencyGoal())
+	o := NewOrchestrator(m)
+	fl := NewFenceLedger(c.KB)
+	m.SetFence(fl)
+	o.R.SetFence(fl)
+
+	st, err := tosca.Parse(statefulAppYAML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := o.Deploy(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Epoch != 1 {
+		t.Fatalf("first plan epoch = %d, want 1", p1.Epoch)
+	}
+
+	p2, err := m.Plan(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Epoch != 2 {
+		t.Fatalf("replan epoch = %d, want 2", p2.Epoch)
+	}
+	o.R.Register(p2)
+	if got := o.R.Epoch(p1.App); got != 2 {
+		t.Fatalf("runtime accepted epoch = %d, want 2", got)
+	}
+
+	// The superseded plan tries to come back: must be inert.
+	o.R.Register(p1)
+	if got := o.R.Epoch(p1.App); got != 2 {
+		t.Fatalf("stale Register regressed the epoch to %d", got)
+	}
+	if got := fl.Stats().PlanEpochRejects; got != 1 {
+		t.Fatalf("PlanEpochRejects = %d, want 1", got)
+	}
+
+	// A splice from the superseded epoch is refused outright.
+	err = m.ExecuteDelta(p2, p1)
+	if err == nil || !strings.Contains(err.Error(), "superseded") {
+		t.Fatalf("stale splice error = %v, want epoch-superseded rejection", err)
+	}
+	if got := fl.Stats().PlanEpochRejects; got != 2 {
+		t.Fatalf("PlanEpochRejects = %d, want 2", got)
+	}
+}
+
+// TestCheckpointerSelfFences strands the checkpointer away from the KB
+// majority and asserts zombie self-fencing: once its lease could have
+// expired at the majority it demotes on its own clock, without any
+// message telling it so — and re-earns leadership after the heal.
+func TestCheckpointerSelfFences(t *testing.T) {
+	c := testContinuum(t)
+	o := NewOrchestrator(NewManager(c, LatencyGoal()))
+	ss := NewStateStore(256)
+	o.R.SetStateStore(ss)
+	cp := NewCheckpointer(o.R, c.KB, "cloud-srv-0", 100*sim.Millisecond)
+	fl := NewFenceLedger(c.KB)
+	cp.SetFence(fl)
+
+	reachable := true
+	cp.SetReachable(func() bool { return reachable })
+
+	eng := c.Engine
+	cp.Tick()
+	if !cp.Leader() {
+		t.Fatal("checkpointer did not claim leadership")
+	}
+
+	// Sever it. The lease TTL is 4×Interval = 400ms: ticks inside the
+	// window must keep leadership (no flappy demotion), the first tick
+	// at/after the bound must demote.
+	reachable = false
+	for i := 0; i < 3; i++ {
+		eng.RunFor(100 * sim.Millisecond)
+		cp.Tick()
+		if !cp.Leader() {
+			t.Fatalf("demoted %dms into a 400ms TTL", (i+1)*100)
+		}
+	}
+	eng.RunFor(100 * sim.Millisecond)
+	cp.Tick()
+	if cp.Leader() {
+		t.Fatal("checkpointer still leader after its lease TTL elapsed unreachable")
+	}
+	if got := cp.Stats().SelfDemotions; got != 1 {
+		t.Fatalf("SelfDemotions = %d, want 1", got)
+	}
+	if got := fl.Stats().SelfDemotions; got != 1 {
+		t.Fatalf("ledger SelfDemotions = %d, want 1", got)
+	}
+
+	// While fenced it must not write, however dirty the cells get.
+	ss.Apply("gc-app", "detector", "fog-fmdc-0", 1, 1, eng.Now())
+	cp.Tick()
+	cp.Sync()
+	if st := cp.Stats(); st.Fulls != 0 || st.Deltas != 0 {
+		t.Fatalf("fenced checkpointer wrote: fulls=%d deltas=%d", st.Fulls, st.Deltas)
+	}
+
+	// Heal: the expired lease is released at the majority, a fresh lease
+	// is granted, and leadership is re-earned through the ordinary CAS.
+	reachable = true
+	for i := 0; i < 3 && !cp.Leader(); i++ {
+		eng.RunFor(100 * sim.Millisecond)
+		cp.Tick()
+	}
+	if !cp.Leader() {
+		t.Fatal("checkpointer never re-elected after heal")
+	}
+}
+
+// TestCheckpointFencesStaleCommit races a checkpoint commit against an
+// ownership change: the transfer is in flight when the cell's token is
+// revoked, so the commit must be rejected at the anchor — the
+// checkpoint never lands under a stale token.
+func TestCheckpointFencesStaleCommit(t *testing.T) {
+	c := testContinuum(t)
+	m := NewManager(c, LatencyGoal())
+	o := NewOrchestrator(m)
+	fl := NewFenceLedger(c.KB)
+	m.SetFence(fl)
+	o.R.SetFence(fl)
+	ss := NewStateStore(256)
+	ss.SetFencing(true)
+	o.R.SetStateStore(ss)
+
+	st, err := tosca.Parse(statefulAppYAML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := o.Deploy(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := NewCheckpointer(o.R, c.KB, "cloud-srv-0", 100*sim.Millisecond)
+	cp.SetFence(fl)
+
+	eng := c.Engine
+	if err := o.R.Submit(plan.App, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run() // serve completes; cells are dirty
+
+	cp.Tick() // transfers take off but have not landed yet
+	owner, _, _, ok := ss.CellInfo(plan.App, "aggregator")
+	if !ok {
+		t.Fatal("no aggregator cell")
+	}
+	fl.FenceOwner(owner) // authority moves while the bytes are in flight
+	eng.Run()            // transfers land; commits must be fenced
+
+	if got := cp.Stats().FencedWrites; got < 1 {
+		t.Fatalf("no checkpoint commit was fenced (FencedWrites=%d)", got)
+	}
+	if got := fl.Stats().FencedCheckpoints; got < 1 {
+		t.Fatalf("ledger FencedCheckpoints = %d, want ≥1", got)
+	}
+	// And nothing landed for the fenced cell.
+	if kvs := c.KB.Range(ckptCellPrefix(plan.App, "aggregator")); len(kvs) != 0 {
+		t.Fatalf("fenced checkpoint landed %d keys", len(kvs))
+	}
+}

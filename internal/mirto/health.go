@@ -286,6 +286,41 @@ func (m *HealthMonitor) Stats() HealthStats {
 	return m.stats
 }
 
+// BeginProbation places a device directly into the probation state —
+// the partition-heal rejoin path: a fenced owner that reconnects after
+// a partition has discarded its zombie suffix and resynced, but must
+// re-earn trust through clean probes (exactly like a quarantined device
+// exiting its dwell) before the planner will use it again. The device
+// is cordoned until probation lifts. Returns false when the device is
+// unknown or already quarantined/under probation.
+func (m *HealthMonitor) BeginProbation(name string, now sim.Time) bool {
+	d, ok := m.c.Devices[name]
+	if !ok {
+		return false
+	}
+	var fire []transition
+	m.mu.Lock()
+	h := m.track(d)
+	if h.state == HealthQuarantined || h.state == HealthProbation {
+		m.mu.Unlock()
+		return false
+	}
+	h.good = 0
+	m.stats.Probations++
+	fire = m.setState(h, HealthProbation, now, fire)
+	mg := m.mg
+	m.mu.Unlock()
+	if mg != nil {
+		mg.o.M.Cordon(name, true) // probe-good exit uncordons via Undrain
+	}
+	for _, t := range fire {
+		if m.OnTransition != nil {
+			m.OnTransition(t.dev, t.from, t.to, now)
+		}
+	}
+	return true
+}
+
 // track returns (creating if needed) the scoring state for a device.
 // Caller holds m.mu.
 func (m *HealthMonitor) track(d *device.Device) *devHealth {

@@ -186,6 +186,12 @@ type Plan struct {
 	// reports built on it stay byte-identical per seed). A delta replan
 	// scores O(affected stages); a full plan O(stages × candidates).
 	Scored int
+	// Epoch is the plan's fencing epoch, stamped through the KB when a
+	// FenceLedger is attached to the manager (fence.go). The runtime and
+	// the splice path reject a plan whose epoch is older than the newest
+	// accepted one; 0 marks a hand-built (unstamped) plan, always
+	// accepted.
+	Epoch uint64
 
 	// lookupOnce builds byNode for O(1) Assignment lookups on the serve
 	// path; it works for hand-built plans too, but Assignments must not
@@ -444,12 +450,23 @@ type Manager struct {
 	// devices and answers hedge-alternate lookups. Wire before planning;
 	// nil-checked on the hot path so detached managers pay nothing.
 	health *HealthMonitor
+
+	// fence, when attached, stamps every produced plan with a fresh
+	// epoch CAS'd through the KB and rejects splices from a superseded
+	// epoch — a partitioned orchestrator's replans become inert.
+	fence *FenceLedger
 }
 
 // SetHealth attaches a gray-failure health monitor to the planner:
 // suspect devices are penalized in scoring and BestAlternate consults
 // the monitor's alternate cache. Wire before serving; nil detaches.
 func (m *Manager) SetHealth(h *HealthMonitor) { m.health = h }
+
+// SetFence attaches the split-brain fencing ledger: every plan the
+// manager produces is stamped with a fresh KB-CAS'd epoch, and
+// ExecuteDelta rejects splices from a superseded one. Wire before
+// planning; nil detaches (plans carry epoch 0, never rejected).
+func (m *Manager) SetFence(fl *FenceLedger) { m.fence = fl }
 
 // BestAlternate re-places one stage of a deployed plan while excluding
 // the device it is currently assigned to, returning the next-best
@@ -522,6 +539,9 @@ func (m *Manager) Plan(st *tosca.ServiceTemplate) (*Plan, error) {
 	}
 	plan.Negotiations = ps.negotiations
 	plan.Scored = ps.scored
+	if m.fence != nil {
+		plan.Epoch = m.fence.StampEpoch(plan.App)
+	}
 	return plan, nil
 }
 

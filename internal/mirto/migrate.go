@@ -179,7 +179,8 @@ type StageMigration struct {
 	// Flipped marks a completed ownership hand-off.
 	Flipped bool
 
-	pos uint64 // journal position already covered by pre-copy/catch-up
+	pos   uint64 // journal position already covered by pre-copy/catch-up
+	token uint64 // owner's fencing token stamped on every transfer
 }
 
 // DrainReport summarizes one planned drain.
@@ -220,9 +221,10 @@ func ownKey(app, stage string) string { return "mirto/own/" + app + "/" + stage 
 // placement. All progress rides the sim engine; callbacks fire on the
 // engine goroutine like every other subsystem.
 type Migrator struct {
-	o  *Orchestrator
-	fd *FailureDetector
-	kb kb.Backend
+	o     *Orchestrator
+	fd    *FailureDetector
+	kb    kb.Backend
+	fence *FenceLedger
 
 	// Threshold is the residual journal size (entries) at which catch-up
 	// stops and the flip pauses intake — it bounds the pause: the final
@@ -262,6 +264,12 @@ func (mg *Migrator) SetDetector(fd *FailureDetector) { mg.fd = fd }
 // key, so a racing mover aborts instead of double-flipping.
 func (mg *Migrator) SetKB(store kb.Backend) { mg.kb = store }
 
+// SetFence upgrades the ownership ledger to the fencing one: drains
+// record ownership through FenceLedger.Ensure, every migration transfer
+// travels inside a token-stamped MYFE envelope the receiver validates,
+// and the flip mints the new owner's token atomically via Mint.
+func (mg *Migrator) SetFence(fl *FenceLedger) { mg.fence = fl }
+
 // Reports returns the completed drain reports in start order.
 func (mg *Migrator) Reports() []*DrainReport {
 	mg.mu.Lock()
@@ -272,6 +280,37 @@ func (mg *Migrator) Reports() []*DrainReport {
 func (mg *Migrator) failed(name string) bool {
 	d := mg.o.M.C.Devices[name]
 	return d == nil || d.Failed()
+}
+
+// wire frames a migration message for transfer: a token-stamped MYFE
+// envelope when the fencing ledger is wired, bare MYSM otherwise.
+func (mg *Migrator) wire(sm *StageMigration, m *MigrateMsg) []byte {
+	b := EncodeMigrate(m)
+	if mg.fence != nil {
+		b = EncodeFenced(sm.token, b)
+	}
+	return b
+}
+
+// receive validates a delivered transfer at the destination: envelope
+// integrity, MYSM framing, and — with fencing — the sender's token
+// against the ledger. A transfer stamped with a token the ledger has
+// moved past was sent by a superseded owner and is rejected; accepting
+// it would seed the new cell from a zombie's image.
+func (mg *Migrator) receive(sm *StageMigration, data []byte) (*MigrateMsg, error) {
+	if mg.fence != nil {
+		tok, inner, err := DecodeFenced(data)
+		if err != nil {
+			return nil, err
+		}
+		if _, cur, _, ok := mg.fence.Current(sm.App, sm.Stage); ok && cur > tok {
+			mg.fence.NoteFencedMigrate()
+			return nil, fmt.Errorf("mirto: migrate %s/%s: transfer token %d fenced (ledger at %d)",
+				sm.App, sm.Stage, tok, cur)
+		}
+		data = inner
+	}
+	return DecodeMigrate(data)
 }
 
 // Drain cordons device and live-migrates every resident stage; done
@@ -414,9 +453,17 @@ func (mg *Migrator) drainApp(app, device string, rep *DrainReport, done func(err
 	sort.Strings(stages)
 
 	// Record the ownership intent: the current owner at the drain's
-	// start, at a revision the flip's CAS must still observe.
+	// start, at a revision the flip's CAS must still observe. With the
+	// fencing ledger wired, Ensure also yields the owner's current token
+	// — the one every transfer of this drain is stamped with.
 	revs := map[string]int64{}
-	if mg.kb != nil {
+	toks := map[string]uint64{}
+	switch {
+	case mg.fence != nil:
+		for _, stage := range stages {
+			toks[stage], revs[stage] = mg.fence.Ensure(app, stage, device)
+		}
+	case mg.kb != nil:
 		for _, stage := range stages {
 			revs[stage] = mg.kb.Put(ownKey(app, stage), []byte(device))
 		}
@@ -428,7 +475,7 @@ func (mg *Migrator) drainApp(app, device string, rep *DrainReport, done func(err
 		if a, ok := np.Assignment(stage); ok {
 			to = a.Device
 		}
-		sm := &StageMigration{App: app, Stage: stage, From: device, To: to}
+		sm := &StageMigration{App: app, Stage: stage, From: device, To: to, token: toks[stage]}
 		sms[stage] = sm
 		rep.Stages = append(rep.Stages, sm)
 	}
@@ -480,7 +527,7 @@ func (mg *Migrator) migrateStage(sm *StageMigration, ss *StateStore, done func(e
 			after(fmt.Errorf("mirto: migrate %s/%s: cell already lost; restore path owns it", app, stage))
 			return
 		}
-		msg := EncodeMigrate(&MigrateMsg{
+		msg := mg.wire(sm, &MigrateMsg{
 			Kind: MigratePrecopy, App: app, Stage: stage,
 			From: sm.From, To: sm.To, BasePos: sm.pos, Image: EncodeState(&st),
 		})
@@ -493,7 +540,7 @@ func (mg *Migrator) migrateStage(sm *StageMigration, ss *StateStore, done func(e
 				after(fmt.Errorf("mirto: migrate %s/%s: pre-copy transfer: %w", app, stage, err))
 				return
 			}
-			if _, derr := DecodeMigrate(msg); derr != nil {
+			if _, derr := mg.receive(sm, msg); derr != nil {
 				after(fmt.Errorf("mirto: migrate %s/%s: pre-copy rejected: %w", app, stage, derr))
 				return
 			}
@@ -537,7 +584,7 @@ func (mg *Migrator) migrateStage(sm *StageMigration, ss *StateStore, done func(e
 			return
 		}
 		sm.Rounds++
-		msg := EncodeMigrate(&MigrateMsg{
+		msg := mg.wire(sm, &MigrateMsg{
 			Kind: MigrateDelta, App: app, Stage: stage,
 			From: sm.From, To: sm.To, Round: uint32(sm.Rounds),
 			BasePos: sm.pos, Entries: ents,
@@ -547,6 +594,10 @@ func (mg *Migrator) migrateStage(sm *StageMigration, ss *StateStore, done func(e
 		err := fabric.Send(sm.From, sm.To, int64(len(msg)), network.Options{Retries: 3}, func(err error) {
 			if err != nil {
 				done(fmt.Errorf("mirto: migrate %s/%s: catch-up transfer: %w", app, stage, err))
+				return
+			}
+			if _, derr := mg.receive(sm, msg); derr != nil {
+				done(fmt.Errorf("mirto: migrate %s/%s: catch-up rejected: %w", app, stage, derr))
 				return
 			}
 			eng.After(mg.RoundEvery, catchup)
@@ -596,8 +647,18 @@ func (mg *Migrator) flipApp(app, device string, plan, np *Plan, stats DeltaStats
 
 	commit := func() {
 		// Atomic ownership flip: the ledger must still hold the revision we
-		// wrote at drain start, or another mover got there first.
-		if mg.kb != nil {
+		// wrote at drain start, or another mover got there first. With
+		// fencing, Mint additionally advances the cell's token, so from
+		// this CAS on the old owner's captured token is stale everywhere.
+		switch {
+		case mg.fence != nil:
+			for _, stage := range stages {
+				if _, ok := mg.fence.Mint(app, stage, sms[stage].To, revs[stage]); !ok {
+					abort(fmt.Errorf("mirto: drain %s/%s: ownership CAS lost", app, stage))
+					return
+				}
+			}
+		case mg.kb != nil:
 			for _, stage := range stages {
 				if _, ok := mg.kb.CAS(ownKey(app, stage), revs[stage], []byte(sms[stage].To)); !ok {
 					abort(fmt.Errorf("mirto: drain %s/%s: ownership CAS lost", app, stage))
@@ -652,6 +713,9 @@ func (mg *Migrator) flipApp(app, device string, plan, np *Plan, stats DeltaStats
 				}
 			}
 		}
+		if mg.fence != nil {
+			o.R.RefreshFence(app)
+		}
 		if o.CP != nil {
 			o.CP.Sync()
 		}
@@ -691,7 +755,7 @@ func (mg *Migrator) flipApp(app, device string, plan, np *Plan, stats DeltaStats
 			nextFinal()
 			return
 		}
-		msg := EncodeMigrate(&MigrateMsg{
+		msg := mg.wire(sm, &MigrateMsg{
 			Kind: MigrateDelta, App: app, Stage: stage,
 			From: sm.From, To: sm.To, Round: uint32(sm.Rounds + 1),
 			BasePos: sm.pos, Entries: ents,
@@ -702,7 +766,7 @@ func (mg *Migrator) flipApp(app, device string, plan, np *Plan, stats DeltaStats
 				abort(fmt.Errorf("mirto: migrate %s/%s: final delta transfer: %w", app, stage, err))
 				return
 			}
-			if _, derr := DecodeMigrate(msg); derr != nil {
+			if _, derr := mg.receive(sm, msg); derr != nil {
 				abort(fmt.Errorf("mirto: migrate %s/%s: final delta rejected: %w", app, stage, derr))
 				return
 			}

@@ -56,7 +56,7 @@ type Runtime struct {
 	// tenant layer points every app of a tenant at that tenant's own
 	// controller, so a tenant over its carved-out budget sheds only its
 	// own traffic while the others keep their full reserves.
-	admitFor    map[string]*AdmissionController
+	admitFor map[string]*AdmissionController
 	breakers *BreakerSet
 	// health, when set, observes stage service times for peer-relative
 	// gray-failure scoring and arms hedged dispatches to suspect-slow
@@ -78,30 +78,112 @@ type Runtime struct {
 	// reqSeq allocates each app's deterministic request IDs — assigned
 	// once per logical request and reused verbatim by every retry.
 	reqSeq map[string]uint64
+
+	// fence, when set, is the split-brain fencing ledger (fence.go):
+	// Register ensures each stateful stage's ownership token and rejects
+	// plans from a superseded epoch; serve-path applies carry the cell's
+	// current token so a stale writer can never mutate state.
+	fence *FenceLedger
+	// cellTokens caches each stateful cell's current fencing token
+	// (key app + "/" + stage), read at apply time.
+	cellTokens map[string]uint64
+	// epochs records the newest plan epoch accepted per app.
+	epochs map[string]uint64
 }
 
 // NewRuntime builds a runtime over the manager's continuum.
 func NewRuntime(m *Manager) *Runtime {
 	return &Runtime{
-		engine:   m.C.Engine,
-		fabric:   m.C.Fabric,
-		devices:  m.C.Devices,
-		tracer:   m.C.Tracer,
-		manager:  m,
-		retryRNG: m.C.Engine.RNG().Fork("mirto/serve-retry"),
-		plans:    map[string]*Plan{},
-		metrics:  map[string]*telemetry.Registry{},
-		ok:       map[string]*telemetry.Counter{},
-		failed:   map[string]*telemetry.Counter{},
-		shed:     map[string]*telemetry.Counter{},
-		degraded: map[string]*telemetry.Counter{},
-		recent:   map[string]*telemetry.Window{},
-		admitFor: map[string]*AdmissionController{},
-		gates:    map[string]*intakeGate{},
-		inflight: map[string]int{},
-		brownout: map[string]int{},
-		reqSeq:   map[string]uint64{},
+		engine:     m.C.Engine,
+		fabric:     m.C.Fabric,
+		devices:    m.C.Devices,
+		tracer:     m.C.Tracer,
+		manager:    m,
+		retryRNG:   m.C.Engine.RNG().Fork("mirto/serve-retry"),
+		plans:      map[string]*Plan{},
+		metrics:    map[string]*telemetry.Registry{},
+		ok:         map[string]*telemetry.Counter{},
+		failed:     map[string]*telemetry.Counter{},
+		shed:       map[string]*telemetry.Counter{},
+		degraded:   map[string]*telemetry.Counter{},
+		recent:     map[string]*telemetry.Window{},
+		admitFor:   map[string]*AdmissionController{},
+		gates:      map[string]*intakeGate{},
+		inflight:   map[string]int{},
+		brownout:   map[string]int{},
+		reqSeq:     map[string]uint64{},
+		cellTokens: map[string]uint64{},
+		epochs:     map[string]uint64{},
 	}
+}
+
+// SetFence wires the split-brain fencing ledger into the serve path.
+// Wire before serving; nil detaches (tokens become inert).
+func (r *Runtime) SetFence(fl *FenceLedger) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fence = fl
+}
+
+// Fence returns the attached fencing ledger (nil when none).
+func (r *Runtime) Fence() *FenceLedger {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.fence
+}
+
+// CellToken returns the runtime's cached fencing token for a stateful
+// cell — the token its serve-path applies currently carry.
+func (r *Runtime) CellToken(app, stage string) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cellTokens[app+"/"+stage]
+}
+
+// applyToken is the token a serve-path apply carries: the cell's cached
+// ledger token when fencing is wired, the un-fenced sentinel otherwise
+// (so the healthy path allocates nothing and rejects nothing).
+func (r *Runtime) applyToken(app, stage string) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.fence == nil {
+		return ^uint64(0)
+	}
+	return r.cellTokens[app+"/"+stage]
+}
+
+// RefreshFence re-reads the fencing ledger for an app's stateful cells
+// and raises the cached tokens (and cell watermarks) to match. The
+// migration flip calls this after minting the new owner's tokens, so
+// the serve path carries them even when the flip spliced no new plan.
+func (r *Runtime) RefreshFence(app string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.fence == nil || r.stateStore == nil {
+		return
+	}
+	plan := r.plans[app]
+	if plan == nil {
+		return
+	}
+	stages := make([]string, 0, len(plan.StatefulStages()))
+	for n := range plan.StatefulStages() {
+		stages = append(stages, n)
+	}
+	sort.Strings(stages)
+	for _, n := range stages {
+		if dev, tok, _, ok := r.fence.Current(app, n); ok {
+			r.cellTokens[app+"/"+n] = tok
+			r.stateStore.RaiseToken(app, n, dev, tok)
+		}
+	}
+}
+
+// Epoch returns the newest plan epoch the runtime has accepted for app.
+func (r *Runtime) Epoch(app string) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.epochs[app]
 }
 
 // SetStateStore wires the stateful-stage state store into the serve
@@ -284,10 +366,42 @@ func (r *Runtime) releaseInflight(app string) {
 func (r *Runtime) Register(plan *Plan) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	// Plan-epoch gate: a plan stamped with an epoch older than the newest
+	// accepted one was built by a superseded authority (a partitioned
+	// orchestrator's view); registering it would route dispatches with a
+	// stale placement. Reject it outright — its dispatches never happen.
+	// Epoch 0 marks hand-built (unstamped) plans and is always accepted.
+	if r.fence != nil && plan.Epoch != 0 {
+		if cur := r.epochs[plan.App]; plan.Epoch < cur {
+			r.fence.NoteEpochReject()
+			return
+		}
+		r.epochs[plan.App] = plan.Epoch
+	}
 	r.plans[plan.App] = plan
 	if ss := r.stateStore; ss != nil {
 		for n := range plan.StatefulStages() {
 			ss.SetHint(plan.App, n, plan.Template.Nodes[n].PropFloat("stateMB", 1))
+		}
+		if r.fence != nil {
+			// Ensure each stateful cell's ownership token: a stage that
+			// moved gets a fresh mint, and the cell's watermark rises
+			// before the new owner's first apply — from this instant the
+			// old owner's captured token is stale.
+			stages := make([]string, 0, len(plan.StatefulStages()))
+			for n := range plan.StatefulStages() {
+				stages = append(stages, n)
+			}
+			sort.Strings(stages)
+			for _, n := range stages {
+				a, ok := plan.Assignment(n)
+				if !ok {
+					continue
+				}
+				tok, _ := r.fence.Ensure(plan.App, n, a.Device)
+				r.cellTokens[plan.App+"/"+n] = tok
+				ss.RaiseToken(plan.App, n, a.Device, tok)
+			}
 		}
 	}
 	if r.metrics[plan.App] == nil {
@@ -651,12 +765,17 @@ func (r *Runtime) submitRequest(app, ingress string, items int64, reqID uint64, 
 			// and the winner is scheduled first), so it always dedups.
 			devName := srvName
 			r.engine.At(res.Finish, func() {
-				ss.Apply(app, n, devName, reqID, items, res.Finish)
+				// The fencing token is read at apply time, not capture time:
+				// a request legitimately in flight across a migration flip
+				// or replan applies with the cell's current token and lands;
+				// only writers carrying an explicitly captured old token
+				// (a partitioned zombie) are fenced.
+				ss.ApplyFenced(app, n, devName, reqID, items, res.Finish, r.applyToken(app, n))
 			})
 			if hedgeLoss != nil {
 				lr, ld := *hedgeLoss, hedgeLossDev
 				r.engine.At(lr.Finish, func() {
-					if !ss.Apply(app, n, ld, reqID, items, lr.Finish) {
+					if !ss.ApplyFenced(app, n, ld, reqID, items, lr.Finish, r.applyToken(app, n)) {
 						hm.NoteHedgeSuppressed()
 					}
 				})

@@ -375,6 +375,14 @@ type stateCell struct {
 	// journalDropped counts entries evicted past the bound; total appended
 	// is len(journal)+journalDropped.
 	journalDropped uint64
+
+	// token is the highest fencing token an apply has carried (fence.go);
+	// a fenced apply carrying a lower token is rejected and parked in the
+	// fenced journal instead — the unshipped suffix a partition-heal
+	// reconciliation discards.
+	token         uint64
+	fenced        []JournalEntry
+	fencedDropped uint64
 }
 
 // StateStoreStats are the apply-side counters of the state subsystem.
@@ -401,6 +409,9 @@ type StateStoreStats struct {
 	// JournalReplayed counts journal entries folded in during restores;
 	// JournalEvicted entries lost past the journal bound.
 	JournalReplayed, JournalEvicted uint64
+	// FencedWrites counts applies rejected for carrying a stale fencing
+	// token — a partitioned zombie owner's writes, never folded in.
+	FencedWrites uint64
 }
 
 // StateStore holds every stateful stage's cell for one runtime. It is
@@ -432,6 +443,11 @@ type StateStore struct {
 	// RAM is gone — even if the failure detector has not confirmed the
 	// crash yet.
 	failed func(device string) bool
+
+	// fencing enables stale-token rejection on ApplyFenced; off (the
+	// default) every token is accepted, so pre-fencing callers and the
+	// -fencing=false control arm behave exactly as before.
+	fencing bool
 }
 
 // NewStateStore returns an empty store; bound sizes both the dedup
@@ -453,11 +469,68 @@ func cellKey(app, stage string) string { return app + "/" + stage }
 // Bound returns the dedup/journal bound.
 func (ss *StateStore) Bound() int { return ss.bound }
 
+// SetFencing toggles stale-token rejection on ApplyFenced. Off (the
+// default), tokens are recorded but never rejected — existing callers
+// and the control arm of the split-brain experiment are unchanged.
+func (ss *StateStore) SetFencing(on bool) {
+	ss.mu.Lock()
+	ss.fencing = on
+	ss.mu.Unlock()
+}
+
+// RaiseToken records the ledger's current fencing token for a cell,
+// creating the cell (owned by device) if it has no state yet. The
+// runtime calls this at plan registration, so the fence rises the
+// moment ownership changes — before the new owner's first apply lands.
+func (ss *StateStore) RaiseToken(app, stage, device string, token uint64) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	c := ss.cells[cellKey(app, stage)]
+	if c == nil {
+		c = &stateCell{app: app, stage: stage, owner: device, state: StageState{Stage: stage}}
+		ss.cells[cellKey(app, stage)] = c
+	}
+	if token > c.token {
+		c.token = token
+	}
+}
+
+// CellToken returns the highest fencing token a cell has observed.
+func (ss *StateStore) CellToken(app, stage string) uint64 {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if c := ss.cells[cellKey(app, stage)]; c != nil {
+		return c.token
+	}
+	return 0
+}
+
+// FencedEntries reports how many stale-token applies a cell has parked
+// in its fenced journal (including any evicted past the bound).
+func (ss *StateStore) FencedEntries(app, stage string) int {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if c := ss.cells[cellKey(app, stage)]; c != nil {
+		return len(c.fenced) + int(c.fencedDropped)
+	}
+	return 0
+}
+
 // Apply folds one served request into a stage's state cell, creating the
 // cell on first touch. It is idempotent per request ID within the dedup
 // window: a retried request that already executed the stage reports a
 // dedup hit and changes nothing. Returns whether the apply took effect.
 func (ss *StateStore) Apply(app, stage, device string, reqID uint64, items int64, at sim.Time) bool {
+	return ss.ApplyFenced(app, stage, device, reqID, items, at, ^uint64(0))
+}
+
+// ApplyFenced is Apply with the writer's fencing token. With fencing
+// enabled, a token below the cell's highest observed one identifies a
+// stale writer — a partitioned zombie owner or a replayed pre-partition
+// suffix: the apply is counted, parked in the fenced journal (for the
+// heal-time reconciliation to discard), and never folded into state.
+// Un-fenced callers pass MaxUint64 via Apply and are never rejected.
+func (ss *StateStore) ApplyFenced(app, stage, device string, reqID uint64, items int64, at sim.Time, token uint64) bool {
 	// newlyLost collects cells an inline owner-death invalidation marks
 	// lost; their onLost callbacks fire after the lock is released (defers
 	// run LIFO, so this one runs after the unlock below).
@@ -475,6 +548,25 @@ func (ss *StateStore) Apply(app, stage, device string, reqID uint64, items int64
 	if c == nil {
 		c = &stateCell{app: app, stage: stage, owner: device, state: StageState{Stage: stage}}
 		ss.cells[cellKey(app, stage)] = c
+	}
+	// Fencing gate: the token comparison runs before dedup so a stale
+	// writer can neither mutate state nor pollute the dedup window or
+	// journal. MaxUint64 is the un-fenced sentinel (plain Apply): it is
+	// never rejected and never raises the cell's watermark.
+	if ss.fencing && token != ^uint64(0) {
+		if token < c.token {
+			ss.stats.FencedWrites++
+			c.fenced = append(c.fenced, JournalEntry{ReqID: reqID, Items: items, At: at})
+			if len(c.fenced) > ss.bound {
+				drop := len(c.fenced) - ss.bound
+				c.fenced = c.fenced[drop:]
+				c.fencedDropped += uint64(drop)
+			}
+			return false
+		}
+		if token > c.token {
+			c.token = token
+		}
 	}
 	if c.state.seen(reqID) || journalHas(c.journal, reqID) {
 		ss.stats.DedupHits++
@@ -521,6 +613,26 @@ func journalHas(j []JournalEntry, reqID uint64) bool {
 		}
 	}
 	return false
+}
+
+// Reconcile is the partition-heal cleanup for a fenced owner: the
+// fenced journal suffix — writes the zombie attempted while stale — is
+// discarded deterministically (it was never folded in, so state is
+// untouched), and the resync cost of re-pulling the authoritative image
+// (encoded state plus the declared stateMB hint) is reported. Returns
+// the discarded entry count and the resync bytes.
+func (ss *StateStore) Reconcile(app, stage string) (discarded int, resyncBytes uint64) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	c := ss.cells[cellKey(app, stage)]
+	if c == nil {
+		return 0, 0
+	}
+	discarded = len(c.fenced) + int(c.fencedDropped)
+	c.fenced, c.fencedDropped = nil, 0
+	img := c.state
+	resyncBytes = uint64(len(EncodeState(&img))) + uint64(ss.hints[cellKey(app, stage)]*1e6)
+	return discarded, resyncBytes
 }
 
 // NoteCrash stamps the true crash time of a device (fault injectors call

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# splitbrain_smoke.sh — CI gate for the split-brain fencing defense:
+# build with the race detector, run the three-arm split-brain
+# experiment twice with the same seed, diff the reports byte-for-byte,
+# and re-assert the headline bars from the rendered summary: the
+# fenced defense arm lands zero zombie writes, zero double-applies,
+# and zero fingerprint divergence while fencing at least one write,
+# and the unfenced control arm measurably diverges. (The binary
+# already exits non-zero on any violated bar; the greps keep a silent
+# render regression from masking one.)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEED="${CHAOS_SEED:-7}"
+BIN="$(mktemp -d)/continuum-sim"
+trap 'rm -rf "$(dirname "$BIN")"' EXIT
+
+go build -race -o "$BIN" ./cmd/continuum-sim
+
+echo "== chaos split-brain -seed $SEED =="
+"$BIN" chaos split-brain -seed "$SEED" | tee "$BIN.sb.1"
+"$BIN" chaos split-brain -seed "$SEED" > "$BIN.sb.2"
+if ! diff -u "$BIN.sb.1" "$BIN.sb.2"; then
+  echo "splitbrain: split-brain is nondeterministic for seed $SEED" >&2
+  exit 1
+fi
+
+summary=$(grep '^summary: defense ' "$BIN.sb.1")
+echo "$summary" | grep -q ' | ok$' || {
+  echo "splitbrain: experiment verdict not ok: $summary" >&2; exit 1; }
+echo "$summary" | grep -Eq 'defense [^|]*fenced_writes=[1-9][0-9]*' || {
+  echo "splitbrain: defense arm never fenced a write: $summary" >&2; exit 1; }
+echo "$summary" | grep -Eq 'defense [^|]*zombie_landed=0 double_applies=0' || {
+  echo "splitbrain: zombie writes or double-applies landed under fencing: $summary" >&2; exit 1; }
+echo "$summary" | grep -Eq 'defense [^|]*divergent=0' || {
+  echo "splitbrain: defense arm diverged from the fault-free reference: $summary" >&2; exit 1; }
+
+# The control arm must demonstrate the failure the defense prevents:
+# zombie writes land and the state fingerprint diverges (or a
+# double-apply slips through the aged-out dedup window).
+echo "$summary" | grep -Eq 'control [^|]*zombie_landed=[1-9][0-9]*' || {
+  echo "splitbrain: control arm landed no zombie writes (fault too weak?): $summary" >&2; exit 1; }
+echo "$summary" | grep -Eq 'control [^|]*(divergent=[1-9][0-9]*|double_applies=[1-9][0-9]*)' || {
+  echo "splitbrain: control arm did not diverge: $summary" >&2; exit 1; }
+
+# The control-only arm (-fencing=false) carries its own verdict.
+"$BIN" chaos split-brain -seed "$SEED" -fencing=false > "$BIN.sb.ctl"
+grep -q '^summary: control .* | ok$' "$BIN.sb.ctl" || {
+  echo "splitbrain: control-only verdict not ok" >&2
+  tail -3 "$BIN.sb.ctl" >&2
+  exit 1
+}
+
+echo "splitbrain: defense fenced every stale write with zero divergence, control diverged, determinism: ok"
